@@ -1,0 +1,180 @@
+// The SMAP scenario of paper §1.1: the kernel's `alternative` macro family
+// exists to patch single instructions at boot — e.g. Supervisor Mode Access
+// Protection toggles (stac/clac around user accesses) are "deactivated at
+// boot time by overwriting with nop instructions if the boot processor does
+// not support it".
+//
+// Multiverse subsumes this mechanism (the paper's unification claim): the
+// CPU feature becomes a configuration switch, the toggle functions become
+// multiversed variation points, and the committed variants are either the
+// bare instruction (inlined into the call site, since it fits in 5 bytes) or
+// nothing (the call site becomes NOPs) — byte-for-byte what `alternative`
+// achieves, but through one generic compiler-assisted mechanism.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/baseline/alternatives.h"
+#include "src/core/program.h"
+#include "src/support/str.h"
+#include "src/workloads/harness.h"
+
+namespace mv {
+namespace {
+
+// The access-protection toggle is modelled with FENCE (a serializing
+// instruction of comparable cost to stac/clac).
+constexpr char kSmapTemplate[] = R"(
+%s int cpu_has_smap;
+
+long user_bytes[64];
+long sum;
+
+%s
+void uaccess_begin() {
+  if (cpu_has_smap) {
+    __builtin_fence();
+  }
+}
+
+%s
+void uaccess_end() {
+  if (cpu_has_smap) {
+    __builtin_fence();
+  }
+}
+
+long copy_from_user(long idx) {
+  long v;
+  uaccess_begin();
+  v = user_bytes[idx & 63];
+  uaccess_end();
+  return v;
+}
+
+void bench_copy(long n) {
+  long i;
+  for (i = 0; i < n; ++i) {
+    sum = sum + copy_from_user(i);
+  }
+}
+
+void bench_empty(long n) {
+  long i;
+  for (i = 0; i < n; ++i) {
+  }
+}
+)";
+
+double Measure(bool multiverse, bool has_smap, bool pinned) {
+  const char* attr = multiverse ? "__attribute__((multiverse))" : "";
+  const std::string source = StrFormat(kSmapTemplate, attr, attr, attr);
+  BuildOptions options;
+  if (pinned) {
+    options.frontend.defines["cpu_has_smap"] = has_smap ? 1 : 0;
+  }
+  std::unique_ptr<Program> program =
+      CheckOk(Program::Build({{"smap", source}}, options), "build smap kernel");
+  CheckOk(program->WriteGlobal("cpu_has_smap", has_smap ? 1 : 0, 4), "write feature");
+  if (multiverse) {
+    CheckOk(program->runtime().Commit(), "commit");
+  }
+  return CheckOk(
+      MeasurePerOpCycles(program.get(), "bench_copy", "bench_empty", 100000),
+      "measure");
+}
+
+// The kernel's actual mechanism: compile the toggle in unconditionally, NOP
+// it out at boot if the CPU lacks the feature.
+constexpr char kAlternativeTemplate[] = R"(
+long user_bytes[64];
+long sum;
+
+void uaccess_begin() {
+  __builtin_fence();
+}
+
+void uaccess_end() {
+  __builtin_fence();
+}
+
+long copy_from_user(long idx) {
+  long v;
+  uaccess_begin();
+  v = user_bytes[idx & 63];
+  uaccess_end();
+  return v;
+}
+
+void bench_copy(long n) {
+  long i;
+  for (i = 0; i < n; ++i) {
+    sum = sum + copy_from_user(i);
+  }
+}
+
+void bench_empty(long n) {
+  long i;
+  for (i = 0; i < n; ++i) {
+  }
+}
+)";
+
+double MeasureAlternative(bool has_smap) {
+  BuildOptions options;
+  std::unique_ptr<Program> program = CheckOk(
+      Program::Build({{"smap_alt", kAlternativeTemplate}}, options), "build alt kernel");
+  if (!has_smap) {
+    // Boot: the processor lacks SMAP; NOP the marked instructions in place.
+    AlternativesPatcher patcher(&program->vm());
+    for (const char* fn : {"uaccess_begin", "uaccess_end"}) {
+      const uint64_t addr = CheckOk(program->SymbolAddress(fn), "symbol");
+      const uint64_t size = CheckOk(program->FunctionSize(fn), "size");
+      CheckOk(patcher.CollectSites(addr, size, Op::kFence), "collect");
+    }
+    const int patched = CheckOk(patcher.Apply(), "apply");
+    if (patched != 2) {
+      std::fprintf(stderr, "FATAL: expected 2 alternative sites, got %d\n", patched);
+      std::abort();
+    }
+  }
+  return CheckOk(
+      MeasurePerOpCycles(program.get(), "bench_copy", "bench_empty", 100000),
+      "measure");
+}
+
+void Run() {
+  PrintHeader("SMAP-style boot-time feature patching: alternative vs multiverse",
+              "Section 1.1 (alternative macro family)");
+
+  std::printf("  %-44s %10s %10s\n", "", "SMAP off", "SMAP on");
+  const double dyn_off = Measure(false, false, false);
+  const double dyn_on = Measure(false, true, false);
+  std::printf("  %-44s %6.2f cyc %6.2f cyc\n",
+              "dynamic check per uaccess (no patching)", dyn_off, dyn_on);
+  const double mv_off = Measure(true, false, false);
+  const double mv_on = Measure(true, true, false);
+  std::printf("  %-44s %6.2f cyc %6.2f cyc\n",
+              "multiverse committed (call sites NOPed/inlined)", mv_off, mv_on);
+  const double alt_off = MeasureAlternative(false);
+  const double alt_on = MeasureAlternative(true);
+  std::printf("  %-44s %6.2f cyc %6.2f cyc\n",
+              "alternative macro (instructions NOPed at boot)", alt_off, alt_on);
+  const double ifdef_off = Measure(false, false, true);
+  const double ifdef_on = Measure(false, true, true);
+  std::printf("  %-44s %6.2f cyc %6.2f cyc\n",
+              "ideal compile-time binding (ifdef)", ifdef_off, ifdef_on);
+
+  PrintNote("");
+  PrintNote("Expected shape: committed multiverse matches (or beats, thanks to");
+  PrintNote("call-site inlining) what the special-purpose `alternative` macro");
+  PrintNote("achieves, without any hand-written patch metadata — the paper's");
+  PrintNote("unification claim for the kernel's ad-hoc patching mechanisms.");
+}
+
+}  // namespace
+}  // namespace mv
+
+int main() {
+  mv::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared output helpers for the benchmark binaries: each binary reproduces
+// one table/figure of the paper and prints it in a paper-like layout, plus
+// the paper's published numbers for side-by-side comparison.
+#ifndef MULTIVERSE_BENCH_BENCH_COMMON_H_
+#define MULTIVERSE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace mv {
+
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n(reproduces %s)\n", experiment, paper_ref);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRow(const std::string& label, double value, const char* unit,
+                     const char* note = "") {
+  std::printf("  %-44s %10.2f %-8s %s\n", label.c_str(), value, unit, note);
+}
+
+inline void PrintNote(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+// Benchmarks abort on infrastructure errors — a failed build is a bug, not a
+// data point.
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what, result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result.value());
+}
+
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Reproduces §6.2.1: the cPython garbage-collector enable flag on the
+// object-allocation path.
+//
+// The paper modified 12 lines in one file but could not measure a significant
+// effect: real-hardware jitter exceeded the per-allocation difference even
+// with core pinning and real-time priority. Our simulator is deterministic,
+// so the (small) effect is visible; we report it next to the paper's null
+// result.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/python.h"
+
+namespace mv {
+namespace {
+
+double Measure(bool gc_enabled, bool commit) {
+  std::unique_ptr<Program> python = CheckOk(BuildPythonGc(), "build mini cpython");
+  CheckOk(SetGcEnabled(python.get(), gc_enabled, commit), "set gc");
+  return CheckOk(MeasureGcAlloc(python.get()), "measure");
+}
+
+void Run() {
+  PrintHeader("cPython: gc.enable flag on _PyObject_GC_Alloc", "Section 6.2.1");
+
+  struct Row {
+    const char* label;
+    bool enabled;
+    bool commit;
+  };
+  const Row rows[] = {
+      {"gc enabled,  w/o multiverse", true, false},
+      {"gc enabled,  w/  multiverse", true, true},
+      {"gc disabled, w/o multiverse", false, false},
+      {"gc disabled, w/  multiverse", false, true},
+  };
+  for (const Row& row : rows) {
+    PrintRow(row.label, Measure(row.enabled, row.commit), "cyc/alloc");
+  }
+  PrintNote("");
+  PrintNote("Paper: no statistically significant effect measurable on real");
+  PrintNote("hardware (jitter exceeded the difference even in single-user");
+  PrintNote("mode with pinning and RT priority). The deterministic simulator");
+  PrintNote("resolves the small per-allocation difference instead.");
+}
+
+}  // namespace
+}  // namespace mv
+
+int main() {
+  mv::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 5: the musl C library with multiversed locking —
+// random(), malloc(0), malloc(1), fputc('a') in single- and multi-threaded
+// mode, without and with a multiverse commit.
+//
+// Paper (10 M invocations, i5-6400): single-threaded improvements of
+// −43 % (random) to −54 % (malloc(1)); fputc bandwidth 124 → 264 MiB/s;
+// only minor impact in multi-threaded mode.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/libc.h"
+
+namespace mv {
+namespace {
+
+LibcBenchResult Measure(int threads_minus_1, bool commit) {
+  std::unique_ptr<Program> libc = CheckOk(BuildLibc(), "build mini musl");
+  CheckOk(SetThreadMode(libc.get(), threads_minus_1, commit), "set thread mode");
+  return CheckOk(MeasureLibc(libc.get()), "measure");
+}
+
+void PrintMode(const char* mode, const LibcBenchResult& without,
+               const LibcBenchResult& with, double paper_random, double paper_malloc0,
+               double paper_malloc1, double paper_fputc) {
+  auto delta = [](double a, double b) { return (b - a) / a * 100.0; };
+  std::printf("  %s\n", mode);
+  std::printf("    %-12s %14s %14s %10s %12s\n", "", "w/o multiverse", "w/ multiverse",
+              "delta", "paper delta");
+  struct Row {
+    const char* name;
+    double a;
+    double b;
+    double paper;
+  };
+  const Row rows[] = {
+      {"random()", without.random_cycles, with.random_cycles, paper_random},
+      {"malloc(0)", without.malloc0_cycles, with.malloc0_cycles, paper_malloc0},
+      {"malloc(1)", without.malloc1_cycles, with.malloc1_cycles, paper_malloc1},
+      {"fputc('a')", without.fputc_cycles, with.fputc_cycles, paper_fputc},
+  };
+  for (const Row& row : rows) {
+    if (row.paper != 0) {
+      std::printf("    %-12s %10.2f cyc %10.2f cyc %+9.1f%% %10.0f%%\n", row.name, row.a,
+                  row.b, delta(row.a, row.b), row.paper);
+    } else {
+      std::printf("    %-12s %10.2f cyc %10.2f cyc %+9.1f%% %11s\n", row.name, row.a,
+                  row.b, delta(row.a, row.b), "~0%");
+    }
+  }
+}
+
+void Run() {
+  PrintHeader("musl C library: single-thread lock elision", "Figure 5");
+
+  const LibcBenchResult st_without = Measure(0, /*commit=*/false);
+  const LibcBenchResult st_with = Measure(0, /*commit=*/true);
+  PrintMode("Single threaded (threads_minus_1 = 0):", st_without, st_with, -43, -51, -54,
+            -53);
+
+  const LibcBenchResult mt_without = Measure(1, /*commit=*/false);
+  const LibcBenchResult mt_with = Measure(1, /*commit=*/true);
+  PrintMode("Multi threaded (threads_minus_1 = 1):", mt_without, mt_with, 0, 0, 0, 0);
+
+  // fputc output bandwidth (paper: 124 MiB/s -> 264 MiB/s).
+  const double bw_without =
+      kNominalGHz * 1e9 / st_without.fputc_cycles / (1024.0 * 1024.0);
+  const double bw_with = kNominalGHz * 1e9 / st_with.fputc_cycles / (1024.0 * 1024.0);
+  PrintNote("");
+  std::printf("  fputc bandwidth @%.1f GHz: %.0f MiB/s -> %.0f MiB/s (x%.2f; paper: 124 "
+              "-> 264 MiB/s, x2.13)\n",
+              kNominalGHz, bw_without, bw_with, bw_with / bw_without);
+  PrintNote("");
+  PrintNote("Expected shape: large single-threaded wins (the committed empty");
+  PrintNote("lock bodies are NOP-inlined into the call sites), minor impact in");
+  PrintNote("multi-threaded mode.");
+}
+
+}  // namespace
+}  // namespace mv
+
+int main() {
+  mv::Run();
+  return 0;
+}

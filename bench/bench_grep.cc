@@ -1,0 +1,60 @@
+// Reproduces §6.2.3: GNU grep end-to-end with the multiversed multibyte-mode
+// variable, searching "a.a" in hexadecimal-formatted random text.
+//
+// Paper (2 GiB ramdisk file, 100 runs): 7.84 s -> 7.63 s, −2.73 %.
+// Our input is scaled down (the VM interprets); the metric is the relative
+// change of the whole matcher run.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/grep.h"
+#include "src/workloads/harness.h"
+
+namespace mv {
+namespace {
+
+void Run() {
+  PrintHeader("GNU grep: multibyte-mode specialization of the match loop",
+              "Section 6.2.3");
+
+  // Single-byte locale (mb_cur_max = 1), like the paper's benchmark run.
+  std::unique_ptr<Program> without = CheckOk(BuildGrep(), "build grep");
+  CheckOk(SetGrepMode(without.get(), 1, /*commit=*/false), "set mode");
+  const GrepRunResult base = CheckOk(RunGrep(without.get()), "run grep");
+
+  std::unique_ptr<Program> with = CheckOk(BuildGrep(), "build grep");
+  CheckOk(SetGrepMode(with.get(), 1, /*commit=*/true), "set mode");
+  const GrepRunResult committed = CheckOk(RunGrep(with.get()), "run grep");
+
+  if (base.matches != committed.matches) {
+    std::fprintf(stderr, "FATAL: match counts diverge (%llu vs %llu)\n",
+                 (unsigned long long)base.matches, (unsigned long long)committed.matches);
+    std::abort();
+  }
+
+  const double delta = (committed.cycles - base.cycles) / base.cycles * 100.0;
+  std::printf("  matches found: %llu (both runs)\n", (unsigned long long)base.matches);
+  std::printf("  w/o multiverse: %12.0f cycles  (%.3f s scaled @%.1f GHz)\n", base.cycles,
+              CyclesToSeconds(base.cycles), kNominalGHz);
+  std::printf("  w/  multiverse: %12.0f cycles  (%.3f s scaled @%.1f GHz)\n",
+              committed.cycles, CyclesToSeconds(committed.cycles), kNominalGHz);
+  std::printf("  delta: %+.2f %%   (paper: -2.73 %%, 7.84 s -> 7.63 s)\n", delta);
+
+  // Cross-check: the multibyte mode still works after revert.
+  std::unique_ptr<Program> mb = CheckOk(BuildGrep(), "build grep");
+  CheckOk(SetGrepMode(mb.get(), 4, /*commit=*/true), "set mb mode");
+  const GrepRunResult mb_run = CheckOk(RunGrep(mb.get()), "run grep mb");
+  std::printf("\n  multibyte locale (mb_cur_max=4, committed): %llu matches, %.0f cycles\n",
+              (unsigned long long)mb_run.matches, mb_run.cycles);
+  PrintNote("");
+  PrintNote("Expected shape: a small single-digit-percent end-to-end win — the");
+  PrintNote("mode check is a small fraction of a well-optimized inner loop.");
+}
+
+}  // namespace
+}  // namespace mv
+
+int main() {
+  mv::Run();
+  return 0;
+}

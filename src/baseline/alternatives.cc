@@ -1,0 +1,70 @@
+#include "src/baseline/alternatives.h"
+
+#include "src/support/str.h"
+
+namespace mv {
+
+Status AlternativesPatcher::CollectSites(uint64_t fn_addr, uint64_t size, Op marked) {
+  const Memory& memory = vm_->memory();
+  uint64_t addr = fn_addr;
+  const uint64_t end = fn_addr + size;
+  while (addr < end) {
+    Result<Insn> insn = Decode(memory.raw(addr), memory.size() - addr);
+    if (!insn.ok()) {
+      return Status::Internal(StrFormat("alternatives: undecodable instruction at 0x%llx",
+                                        (unsigned long long)addr));
+    }
+    if (insn->op == marked) {
+      AltSite site;
+      site.addr = addr;
+      site.length = insn->size;
+      site.original.resize(insn->size);
+      MV_RETURN_IF_ERROR(memory.ReadRaw(addr, site.original.data(), insn->size));
+      sites_.push_back(std::move(site));
+    }
+    addr += insn->size;
+  }
+  return Status::Ok();
+}
+
+Result<int> AlternativesPatcher::Apply(const std::vector<uint8_t>& replacement) {
+  int patched = 0;
+  Memory& memory = vm_->memory();
+  for (const AltSite& site : sites_) {
+    if (replacement.size() > site.length) {
+      return Status::InvalidArgument(
+          "alternatives: replacement larger than the marked instruction");
+    }
+    std::vector<uint8_t> bytes(site.length, static_cast<uint8_t>(Op::kNop));
+    std::copy(replacement.begin(), replacement.end(), bytes.begin());
+
+    const uint8_t old_perms = memory.PermsAt(site.addr);
+    MV_RETURN_IF_ERROR(memory.Protect(site.addr, site.length, old_perms | kPermWrite));
+    MV_RETURN_IF_ERROR(memory.WriteRaw(site.addr, bytes.data(), bytes.size()));
+    MV_RETURN_IF_ERROR(memory.Protect(site.addr, site.length, old_perms));
+    vm_->FlushIcache(site.addr, site.length);
+    ++patched;
+  }
+  applied_ = true;
+  return patched;
+}
+
+Result<int> AlternativesPatcher::Restore() {
+  if (!applied_) {
+    return 0;
+  }
+  int restored = 0;
+  Memory& memory = vm_->memory();
+  for (const AltSite& site : sites_) {
+    const uint8_t old_perms = memory.PermsAt(site.addr);
+    MV_RETURN_IF_ERROR(memory.Protect(site.addr, site.length, old_perms | kPermWrite));
+    MV_RETURN_IF_ERROR(memory.WriteRaw(site.addr, site.original.data(), site.length));
+    MV_RETURN_IF_ERROR(memory.Protect(site.addr, site.length, old_perms));
+    vm_->FlushIcache(site.addr, site.length);
+    ++restored;
+  }
+  applied_ = false;
+  return restored;
+}
+
+}  // namespace mv

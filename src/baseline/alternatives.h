@@ -1,0 +1,56 @@
+// The kernel's `alternative` / `alternative_smp` mechanism (paper §1.1): a
+// special-purpose boot-time patcher that overwrites *single instructions* in
+// place, e.g. NOP-ing out SMAP toggles when the boot CPU lacks the feature.
+//
+// Faithful to its kernel counterpart, this patcher:
+//  * works on hand-identified instruction sites (here: found by scanning a
+//    function's code for the marked opcode — the stand-in for the kernel's
+//    .altinstructions records produced by inline-assembly macros);
+//  * replaces each site with same-length alternative bytes or NOPs;
+//  * runs once at boot and supports restoring the original bytes;
+//  * knows nothing about functions, variants or guards — which is exactly
+//    the reusability gap multiverse closes.
+#ifndef MULTIVERSE_SRC_BASELINE_ALTERNATIVES_H_
+#define MULTIVERSE_SRC_BASELINE_ALTERNATIVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+struct AltSite {
+  uint64_t addr = 0;
+  uint8_t length = 0;
+  std::vector<uint8_t> original;
+};
+
+class AlternativesPatcher {
+ public:
+  explicit AlternativesPatcher(Vm* vm) : vm_(vm) {}
+
+  // Registers every occurrence of `marked` inside [fn_addr, fn_addr + size)
+  // as an alternative site (the build-time half of the mechanism).
+  Status CollectSites(uint64_t fn_addr, uint64_t size, Op marked);
+
+  size_t num_sites() const { return sites_.size(); }
+
+  // Boot-time application: overwrite each site with `replacement` bytes
+  // (padded with NOPs to the site length), or pure NOPs if empty.
+  Result<int> Apply(const std::vector<uint8_t>& replacement = {});
+
+  // Restores all original instruction bytes.
+  Result<int> Restore();
+
+ private:
+  Vm* vm_;
+  std::vector<AltSite> sites_;
+  bool applied_ = false;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_BASELINE_ALTERNATIVES_H_

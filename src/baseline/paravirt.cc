@@ -1,0 +1,68 @@
+#include "src/baseline/paravirt.h"
+
+#include <cstring>
+
+#include "src/core/patching.h"
+#include "src/isa/isa.h"
+
+namespace mv {
+
+Result<ParavirtPatcher> ParavirtPatcher::Attach(Vm* vm, const Image& image) {
+  ParavirtPatcher patcher(vm);
+  auto it = image.sections.find(".pv.callsites");
+  if (it == image.sections.end() || it->second.size == 0) {
+    return patcher;  // nothing to patch
+  }
+  const SectionPlacement& placement = it->second;
+  if (placement.size % 16 != 0) {
+    return Status::Internal("malformed .pv.callsites section");
+  }
+  for (uint64_t off = 0; off < placement.size; off += 16) {
+    Site site;
+    MV_RETURN_IF_ERROR(vm->memory().ReadRaw(placement.addr + off, &site.var_addr, 8));
+    MV_RETURN_IF_ERROR(vm->memory().ReadRaw(placement.addr + off + 8, &site.site_addr, 8));
+    MV_RETURN_IF_ERROR(vm->memory().ReadRaw(site.site_addr, site.original.data(), 5));
+    patcher.sites_.push_back(site);
+  }
+  return patcher;
+}
+
+Result<PvPatchStats> ParavirtPatcher::PatchAll() {
+  PvPatchStats stats;
+  for (Site& site : sites_) {
+    uint64_t target = 0;
+    MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(site.var_addr, &target, 8));
+    if (target == 0) {
+      ++stats.sites_skipped;
+      continue;
+    }
+    std::optional<std::vector<uint8_t>> tiny = ExtractTinyBody(vm_->memory(), target);
+    std::array<uint8_t, 5> bytes{};
+    if (tiny.has_value()) {
+      bytes.fill(static_cast<uint8_t>(Op::kNop));
+      std::memcpy(bytes.data(), tiny->data(), tiny->size());
+      ++stats.sites_inlined;
+    } else {
+      MV_ASSIGN_OR_RETURN(bytes, EncodeCallBytes(site.site_addr, target));
+      ++stats.sites_patched;
+    }
+    MV_RETURN_IF_ERROR(PatchCode(vm_, site.site_addr, bytes));
+    site.patched = true;
+  }
+  return stats;
+}
+
+Result<PvPatchStats> ParavirtPatcher::RestoreAll() {
+  PvPatchStats stats;
+  for (Site& site : sites_) {
+    if (!site.patched) {
+      continue;
+    }
+    MV_RETURN_IF_ERROR(PatchCode(vm_, site.site_addr, site.original));
+    site.patched = false;
+    ++stats.sites_patched;
+  }
+  return stats;
+}
+
+}  // namespace mv

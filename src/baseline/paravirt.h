@@ -1,0 +1,65 @@
+// The PV-Ops baseline: a faithful model of the Linux kernel's existing
+// paravirt binary-patching mechanism that the paper compares against (§6.1).
+//
+// Like the kernel's mechanism (and unlike multiverse), this patcher:
+//  * has no compiler support — call sites are recorded "manually" (in our
+//    substrate: codegen records every indirect call through a *non*-
+//    multiverse function-pointer global into the .pv.callsites section,
+//    standing in for the kernel's inline-assembly macro wrappers);
+//  * patches indirect calls to direct calls at boot time and inlines tiny
+//    target bodies into the call site;
+//  * leaves the callee implementations under their custom no-scratch-register
+//    calling convention (mvc functions marked __attribute__((pvop)) save and
+//    restore a fixed register set), which is exactly where multiverse wins in
+//    the paravirtualized case.
+#ifndef MULTIVERSE_SRC_BASELINE_PARAVIRT_H_
+#define MULTIVERSE_SRC_BASELINE_PARAVIRT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/obj/linker.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+struct PvPatchStats {
+  int sites_patched = 0;   // indirect -> direct
+  int sites_inlined = 0;   // tiny body copied into the site
+  int sites_skipped = 0;   // null target
+};
+
+class ParavirtPatcher {
+ public:
+  // Parses the .pv.callsites section and snapshots the original site bytes.
+  static Result<ParavirtPatcher> Attach(Vm* vm, const Image& image);
+
+  // Boot-time patching: for every recorded site, read the current function-
+  // pointer value and rewrite the 5-byte indirect call to a direct call (or
+  // inline the body if it fits).
+  Result<PvPatchStats> PatchAll();
+
+  // Restores all sites to their original indirect form.
+  Result<PvPatchStats> RestoreAll();
+
+  size_t num_sites() const { return sites_.size(); }
+
+ private:
+  explicit ParavirtPatcher(Vm* vm) : vm_(vm) {}
+
+  struct Site {
+    uint64_t var_addr = 0;
+    uint64_t site_addr = 0;
+    std::array<uint8_t, 5> original{};
+    bool patched = false;
+  };
+
+  Vm* vm_;
+  std::vector<Site> sites_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_BASELINE_PARAVIRT_H_

@@ -1,0 +1,763 @@
+#include "src/codegen/codegen.h"
+
+#include <cstring>
+#include <iterator>
+#include <map>
+#include <unordered_map>
+
+#include "src/isa/isa.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+// Register plan: r0 is the primary result/chain register, r1/r2 are operand
+// scratch, r0..r5 carry call arguments, r11 holds indirect-call targets.
+constexpr uint8_t kResultReg = 0;
+constexpr uint8_t kScratch1 = 1;
+constexpr uint8_t kTargetReg = 11;
+
+// Registers a pvop-convention callee must preserve because the convention
+// has no scratch registers (paper §6.1: "all registers have to be saved and
+// restored by the callee").
+constexpr uint8_t kPvopSavedRegs[] = {6, 7, 8, 9};
+
+Cond PredToCond(CmpPred pred) {
+  switch (pred) {
+    case CmpPred::kEq: return Cond::kEq;
+    case CmpPred::kNe: return Cond::kNe;
+    case CmpPred::kSLt: return Cond::kLt;
+    case CmpPred::kSLe: return Cond::kLe;
+    case CmpPred::kSGt: return Cond::kGt;
+    case CmpPred::kSGe: return Cond::kGe;
+    case CmpPred::kULt: return Cond::kB;
+    case CmpPred::kULe: return Cond::kBe;
+    case CmpPred::kUGt: return Cond::kA;
+    case CmpPred::kUGe: return Cond::kAe;
+  }
+  return Cond::kEq;
+}
+
+Cond NegateCond(Cond cc) {
+  switch (cc) {
+    case Cond::kEq: return Cond::kNe;
+    case Cond::kNe: return Cond::kEq;
+    case Cond::kLt: return Cond::kGe;
+    case Cond::kGe: return Cond::kLt;
+    case Cond::kLe: return Cond::kGt;
+    case Cond::kGt: return Cond::kLe;
+    case Cond::kB: return Cond::kAe;
+    case Cond::kAe: return Cond::kB;
+    case Cond::kBe: return Cond::kA;
+    case Cond::kA: return Cond::kBe;
+  }
+  return Cond::kEq;
+}
+
+GWidth IrTypeToGWidth(IrType type) {
+  switch (type.byte_size()) {
+    case 1: return type.is_signed ? GWidth::kS8 : GWidth::kU8;
+    case 2: return type.is_signed ? GWidth::kS16 : GWidth::kU16;
+    case 4: return type.is_signed ? GWidth::kS32 : GWidth::kU32;
+    default: return type.is_signed ? GWidth::kS64 : GWidth::kU64;
+  }
+}
+
+Op LoadOpForType(IrType type) {
+  switch (type.byte_size()) {
+    case 1: return type.is_signed ? Op::kLd8S : Op::kLd8U;
+    case 2: return type.is_signed ? Op::kLd16S : Op::kLd16U;
+    case 4: return type.is_signed ? Op::kLd32S : Op::kLd32U;
+    default: return Op::kLd64;
+  }
+}
+
+Op StoreOpForType(IrType type) {
+  switch (type.byte_size()) {
+    case 1: return Op::kSt8;
+    case 2: return Op::kSt16;
+    case 4: return Op::kSt32;
+    default: return Op::kSt64;
+  }
+}
+
+Op BinToOp(BinKind kind) {
+  switch (kind) {
+    case BinKind::kAdd: return Op::kAdd;
+    case BinKind::kSub: return Op::kSub;
+    case BinKind::kMul: return Op::kMul;
+    case BinKind::kSDiv: return Op::kSDiv;
+    case BinKind::kUDiv: return Op::kUDiv;
+    case BinKind::kSRem: return Op::kSRem;
+    case BinKind::kURem: return Op::kURem;
+    case BinKind::kAnd: return Op::kAnd;
+    case BinKind::kOr: return Op::kOr;
+    case BinKind::kXor: return Op::kXor;
+    case BinKind::kShl: return Op::kShl;
+    case BinKind::kLShr: return Op::kShr;
+    case BinKind::kAShr: return Op::kSar;
+  }
+  return Op::kAdd;
+}
+
+std::optional<Op> BinToImmOp(BinKind kind) {
+  switch (kind) {
+    case BinKind::kAdd: return Op::kAddI;
+    case BinKind::kSub: return Op::kSubI;
+    case BinKind::kMul: return Op::kMulI;
+    case BinKind::kAnd: return Op::kAndI;
+    case BinKind::kOr: return Op::kOrI;
+    case BinKind::kXor: return Op::kXorI;
+    case BinKind::kShl: return Op::kShlI;
+    case BinKind::kLShr: return Op::kShrI;
+    case BinKind::kAShr: return Op::kSarI;
+    default: return std::nullopt;
+  }
+}
+
+bool FitsImm32(int64_t v) { return v >= INT32_MIN && v <= INT32_MAX; }
+
+class FnEmitter {
+ public:
+  FnEmitter(const Module& module, const Function& fn, ObjectFile* obj, int text_sec,
+            CodegenInfo* info)
+      : module_(module), fn_(fn), obj_(obj), text_sec_(text_sec), info_(info) {}
+
+  Status Emit();
+
+ private:
+  std::vector<uint8_t>& Text() {
+    return obj_->sections[static_cast<size_t>(text_sec_)].data;
+  }
+  uint64_t Offset() { return Text().size(); }
+
+  Status EmitInsn(const Insn& insn) {
+    Result<int> size = Encode(insn, &Text());
+    if (!size.ok()) {
+      return Status::Internal(StrFormat("%s: encode failed: %s", fn_.name.c_str(),
+                                        size.status().message().c_str()));
+    }
+    return Status::Ok();
+  }
+
+  int64_t SlotOffset(uint32_t slot) const { return 8 * static_cast<int64_t>(slot); }
+  int64_t SpillOffset(uint32_t vreg) const {
+    return 8 * static_cast<int64_t>(fn_.slots.size() + vreg);
+  }
+
+  Status LoadOperandTo(uint8_t reg, const Operand& op);
+  Status FlushChain();
+  // Prepares lhs in r0 and rhs in r1 (rescuing a chained rhs). Afterwards the
+  // chain is consumed.
+  Status PrepareBinaryOperands(const Operand& lhs, const Operand& rhs);
+  Status StoreResult(const BasicBlock& bb, size_t index, uint32_t vreg);
+  Status EmitNormalize(uint8_t reg, IrType type);
+  Status EmitOnce(uint64_t fn_start);
+  Status EmitBlock(const BasicBlock& bb);
+  Status EmitInstr(const BasicBlock& bb, size_t index, bool* fused_next);
+  Status EmitCall(const Instr& instr, const BasicBlock& bb, size_t index);
+  Status EmitBranch(Cond cc, uint32_t target_bb);
+  Status EmitJump(uint32_t target_bb);
+  Status EmitEpilogue(const Instr& instr);
+
+  const Module& module_;
+  const Function& fn_;
+  ObjectFile* obj_;
+  int text_sec_;
+  CodegenInfo* info_;
+
+  uint64_t frame_size_ = 0;
+  bool frame_used_ = false;   // any SP-relative access emitted
+  uint32_t chain_vreg_ = kNoVreg;
+  bool chain_stored_ = false;  // chained value also written to its spill slot
+  std::unordered_map<uint32_t, int> use_count_;  // per current block
+  std::map<uint32_t, uint64_t> block_offsets_;
+  struct Fixup {
+    uint64_t field_offset;
+    uint32_t bb;
+  };
+  std::vector<Fixup> fixups_;
+};
+
+Status FnEmitter::LoadOperandTo(uint8_t reg, const Operand& op) {
+  if (op.is_const()) {
+    return EmitInsn(MakeMovRI(reg, op.imm));
+  }
+  if (op.is_vreg()) {
+    if (chain_vreg_ == op.vreg) {
+      if (reg != kResultReg) {
+        return EmitInsn(MakeMovRR(reg, kResultReg));
+      }
+      return Status::Ok();
+    }
+    frame_used_ = true;
+    return EmitInsn(MakeLoad(Op::kLd64, reg, kRegSP,
+                             static_cast<int32_t>(SpillOffset(op.vreg))));
+  }
+  return Status::Internal(fn_.name + ": load of none-operand");
+}
+
+Status FnEmitter::FlushChain() {
+  if (chain_vreg_ != kNoVreg && !chain_stored_) {
+    frame_used_ = true;
+    MV_RETURN_IF_ERROR(EmitInsn(MakeStore(
+        Op::kSt64, kResultReg, kRegSP, static_cast<int32_t>(SpillOffset(chain_vreg_)))));
+    chain_stored_ = true;
+  }
+  return Status::Ok();
+}
+
+Status FnEmitter::PrepareBinaryOperands(const Operand& lhs, const Operand& rhs) {
+  const bool rhs_chained = rhs.is_vreg() && chain_vreg_ == rhs.vreg;
+  const bool lhs_chained = lhs.is_vreg() && chain_vreg_ == lhs.vreg;
+  if (lhs_chained) {
+    MV_RETURN_IF_ERROR(LoadOperandTo(kScratch1, rhs));
+    return Status::Ok();
+  }
+  if (rhs_chained) {
+    MV_RETURN_IF_ERROR(EmitInsn(MakeMovRR(kScratch1, kResultReg)));
+    chain_vreg_ = kNoVreg;
+    MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, lhs));
+    return Status::Ok();
+  }
+  MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, lhs));
+  MV_RETURN_IF_ERROR(LoadOperandTo(kScratch1, rhs));
+  return Status::Ok();
+}
+
+Status FnEmitter::StoreResult(const BasicBlock& bb, size_t index, uint32_t vreg) {
+  chain_vreg_ = kNoVreg;
+  if (vreg == kNoVreg) {
+    return Status::Ok();
+  }
+  const int uses = use_count_.count(vreg) != 0 ? use_count_.at(vreg) : 0;
+  if (uses == 0) {
+    return Status::Ok();
+  }
+  // Single use by the immediately following instruction: keep it in r0.
+  bool next_uses = false;
+  if (index + 1 < bb.instrs.size()) {
+    for (const Operand& arg : bb.instrs[index + 1].args) {
+      if (arg.is_vreg() && arg.vreg == vreg) {
+        next_uses = true;
+        break;
+      }
+    }
+  }
+  chain_vreg_ = vreg;
+  if (uses == 1 && next_uses) {
+    chain_stored_ = false;
+    return Status::Ok();
+  }
+  chain_stored_ = true;
+  frame_used_ = true;
+  return EmitInsn(MakeStore(Op::kSt64, kResultReg, kRegSP,
+                            static_cast<int32_t>(SpillOffset(vreg))));
+}
+
+Status FnEmitter::EmitNormalize(uint8_t reg, IrType type) {
+  if (!type.is_int() || type.bits >= 64) {
+    return Status::Ok();
+  }
+  const auto shift = static_cast<uint8_t>(64 - type.bits);
+  if (type.is_signed) {
+    MV_RETURN_IF_ERROR(EmitInsn(MakeShiftI(Op::kShlI, reg, shift)));
+    return EmitInsn(MakeShiftI(Op::kSarI, reg, shift));
+  }
+  if (type.bits < 32) {
+    const int32_t mask = static_cast<int32_t>((1u << type.bits) - 1);
+    return EmitInsn(MakeAluRI(Op::kAndI, reg, mask));
+  }
+  MV_RETURN_IF_ERROR(EmitInsn(MakeShiftI(Op::kShlI, reg, shift)));
+  return EmitInsn(MakeShiftI(Op::kShrI, reg, shift));
+}
+
+Status FnEmitter::EmitJump(uint32_t target_bb) {
+  MV_RETURN_IF_ERROR(EmitInsn(MakeJmp(0)));
+  fixups_.push_back({Offset() - 4, target_bb});
+  return Status::Ok();
+}
+
+Status FnEmitter::EmitBranch(Cond cc, uint32_t target_bb) {
+  MV_RETURN_IF_ERROR(EmitInsn(MakeJcc(cc, 0)));
+  fixups_.push_back({Offset() - 4, target_bb});
+  return Status::Ok();
+}
+
+Status FnEmitter::EmitEpilogue(const Instr& instr) {
+  if (!instr.args.empty()) {
+    MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+  }
+  chain_vreg_ = kNoVreg;
+  if (frame_size_ > 0) {
+    MV_RETURN_IF_ERROR(
+        EmitInsn(MakeAluRI(Op::kAddI, kRegSP, static_cast<int32_t>(frame_size_))));
+  }
+  if (fn_.pvop_convention) {
+    for (auto it = std::rbegin(kPvopSavedRegs); it != std::rend(kPvopSavedRegs); ++it) {
+      MV_RETURN_IF_ERROR(EmitInsn(MakePop(*it)));
+    }
+  }
+  return EmitInsn(MakeSimple(Op::kRet));
+}
+
+Status FnEmitter::EmitCall(const Instr& instr, const BasicBlock& bb, size_t index) {
+  MV_RETURN_IF_ERROR(FlushChain());
+  chain_vreg_ = kNoVreg;
+
+  const bool indirect = instr.op == IrOp::kCallInd;
+  const bool via = instr.op == IrOp::kCallVia;
+  const size_t first_arg = indirect ? 1 : 0;
+  const size_t num_args = instr.args.size() - first_arg;
+  if (num_args > kMaxRegArgs) {
+    return Status::Unimplemented(fn_.name + ": more than 6 call arguments");
+  }
+  if (indirect) {
+    MV_RETURN_IF_ERROR(LoadOperandTo(kTargetReg, instr.args[0]));
+  }
+  for (size_t i = 0; i < num_args; ++i) {
+    MV_RETURN_IF_ERROR(
+        LoadOperandTo(static_cast<uint8_t>(i), instr.args[first_arg + i]));
+  }
+
+  const uint64_t call_offset = Offset();
+  if (via) {
+    // Memory-indirect call through the function-pointer global: one 5-byte
+    // patchable instruction, exactly like the kernel's pvop call sites.
+    const GlobalVar& g = module_.globals[instr.global];
+    MV_RETURN_IF_ERROR(EmitInsn(MakeCallM(0)));
+    Reloc reloc;
+    reloc.section = text_sec_;
+    reloc.offset = call_offset + 1;
+    reloc.type = RelocType::kAbs32;
+    reloc.symbol = g.name;
+    obj_->relocs.push_back(std::move(reloc));
+    CallsiteRecord record;
+    record.text_offset = call_offset;
+    record.via_global = instr.global;
+    record.indirect = true;
+    record.callee = g.name;
+    if (g.is_fnptr_switch) {
+      info_->mv_callsites.push_back(record);
+    } else {
+      info_->pv_callsites.push_back(record);
+    }
+  } else if (indirect) {
+    MV_RETURN_IF_ERROR(EmitInsn(MakeCallR(kTargetReg)));
+  } else {
+    MV_RETURN_IF_ERROR(EmitInsn(MakeCall(0)));
+    Reloc reloc;
+    reloc.section = text_sec_;
+    reloc.offset = call_offset + 1;
+    reloc.type = RelocType::kRel32;
+    reloc.symbol = instr.callee;
+    obj_->relocs.push_back(std::move(reloc));
+
+    const Function* callee = module_.FindFunction(instr.callee);
+    if (callee != nullptr && callee->mv.is_multiverse && !callee->mv.is_variant()) {
+      CallsiteRecord record;
+      record.text_offset = call_offset;
+      record.callee = instr.callee;
+      record.indirect = false;
+      info_->mv_callsites.push_back(record);
+    }
+  }
+  return StoreResult(bb, index, instr.result);
+}
+
+Status FnEmitter::EmitInstr(const BasicBlock& bb, size_t index, bool* fused_next) {
+  const Instr& instr = bb.instrs[index];
+  *fused_next = false;
+
+  switch (instr.op) {
+    case IrOp::kLoadSlot:
+      frame_used_ = true;
+      MV_RETURN_IF_ERROR(EmitInsn(MakeLoad(Op::kLd64, kResultReg, kRegSP,
+                                           static_cast<int32_t>(SlotOffset(instr.slot)))));
+      return StoreResult(bb, index, instr.result);
+    case IrOp::kStoreSlot:
+      frame_used_ = true;
+      MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      return EmitInsn(MakeStore(Op::kSt64, kResultReg, kRegSP,
+                                static_cast<int32_t>(SlotOffset(instr.slot))));
+    case IrOp::kSlotAddr:
+      frame_used_ = true;
+      MV_RETURN_IF_ERROR(EmitInsn(MakeMovRR(kResultReg, kRegSP)));
+      MV_RETURN_IF_ERROR(EmitInsn(
+          MakeAluRI(Op::kAddI, kResultReg, static_cast<int32_t>(SlotOffset(instr.slot)))));
+      return StoreResult(bb, index, instr.result);
+
+    case IrOp::kLoadGlobal: {
+      const GlobalVar& g = module_.globals[instr.global];
+      MV_RETURN_IF_ERROR(EmitInsn(MakeLdg(kResultReg, IrTypeToGWidth(instr.type), 0)));
+      Reloc reloc;
+      reloc.section = text_sec_;
+      reloc.offset = Offset() - 4;
+      reloc.type = RelocType::kAbs32;
+      reloc.symbol = g.name;
+      obj_->relocs.push_back(std::move(reloc));
+      return StoreResult(bb, index, instr.result);
+    }
+    case IrOp::kStoreGlobal: {
+      const GlobalVar& g = module_.globals[instr.global];
+      MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      MV_RETURN_IF_ERROR(EmitInsn(MakeStg(kResultReg, IrTypeToGWidth(instr.type), 0)));
+      Reloc reloc;
+      reloc.section = text_sec_;
+      reloc.offset = Offset() - 4;
+      reloc.type = RelocType::kAbs32;
+      reloc.symbol = g.name;
+      obj_->relocs.push_back(std::move(reloc));
+      return Status::Ok();
+    }
+    case IrOp::kGlobalAddr:
+    case IrOp::kFuncAddr: {
+      MV_RETURN_IF_ERROR(EmitInsn(MakeMovRI(kResultReg, 0)));
+      Reloc reloc;
+      reloc.section = text_sec_;
+      reloc.offset = Offset() - 8;
+      reloc.type = RelocType::kAbs64;
+      reloc.symbol = instr.op == IrOp::kGlobalAddr ? module_.globals[instr.global].name
+                                                   : instr.callee;
+      obj_->relocs.push_back(std::move(reloc));
+      return StoreResult(bb, index, instr.result);
+    }
+
+    case IrOp::kLoad: {
+      MV_RETURN_IF_ERROR(LoadOperandTo(kScratch1, instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      MV_RETURN_IF_ERROR(
+          EmitInsn(MakeLoad(LoadOpForType(instr.type), kResultReg, kScratch1, 0)));
+      return StoreResult(bb, index, instr.result);
+    }
+    case IrOp::kStore: {
+      // args[0] = pointer, args[1] = value.
+      MV_RETURN_IF_ERROR(PrepareBinaryOperands(instr.args[1], instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      // value in r0, pointer in r1.
+      return EmitInsn(MakeStore(StoreOpForType(instr.type), kResultReg, kScratch1, 0));
+    }
+
+    case IrOp::kBin: {
+      const Operand& rhs = instr.args[1];
+      std::optional<Op> imm_op = BinToImmOp(instr.bin);
+      const bool is_shift = instr.bin == BinKind::kShl || instr.bin == BinKind::kLShr ||
+                            instr.bin == BinKind::kAShr;
+      if (rhs.is_const() && imm_op.has_value() &&
+          (is_shift ? (rhs.imm >= 0 && rhs.imm <= 63) : FitsImm32(rhs.imm))) {
+        MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+        chain_vreg_ = kNoVreg;
+        if (is_shift) {
+          MV_RETURN_IF_ERROR(EmitInsn(
+              MakeShiftI(*imm_op, kResultReg, static_cast<uint8_t>(rhs.imm))));
+        } else {
+          MV_RETURN_IF_ERROR(EmitInsn(
+              MakeAluRI(*imm_op, kResultReg, static_cast<int32_t>(rhs.imm))));
+        }
+      } else {
+        MV_RETURN_IF_ERROR(PrepareBinaryOperands(instr.args[0], rhs));
+        chain_vreg_ = kNoVreg;
+        MV_RETURN_IF_ERROR(
+            EmitInsn(MakeAluRR(BinToOp(instr.bin), kResultReg, kScratch1)));
+      }
+      // Wrap-around semantics for narrow types (see DESIGN.md).
+      switch (instr.bin) {
+        case BinKind::kAdd:
+        case BinKind::kSub:
+        case BinKind::kMul:
+        case BinKind::kShl:
+          MV_RETURN_IF_ERROR(EmitNormalize(kResultReg, instr.type));
+          break;
+        default:
+          break;
+      }
+      return StoreResult(bb, index, instr.result);
+    }
+
+    case IrOp::kCmp: {
+      // Fuse cmp + condbr when the comparison feeds only the branch.
+      const bool can_fuse =
+          index + 1 < bb.instrs.size() && bb.instrs[index + 1].op == IrOp::kCondBr &&
+          bb.instrs[index + 1].args[0].is_vreg() &&
+          bb.instrs[index + 1].args[0].vreg == instr.result &&
+          use_count_.at(instr.result) == 1;
+      const Operand& rhs = instr.args[1];
+      if (rhs.is_const() && FitsImm32(rhs.imm)) {
+        MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+        chain_vreg_ = kNoVreg;
+        MV_RETURN_IF_ERROR(
+            EmitInsn(MakeCmpI(kResultReg, static_cast<int32_t>(rhs.imm))));
+      } else {
+        MV_RETURN_IF_ERROR(PrepareBinaryOperands(instr.args[0], rhs));
+        chain_vreg_ = kNoVreg;
+        MV_RETURN_IF_ERROR(EmitInsn(MakeCmp(kResultReg, kScratch1)));
+      }
+      if (can_fuse) {
+        *fused_next = true;
+        const Instr& br = bb.instrs[index + 1];
+        const Cond cc = PredToCond(instr.pred);
+        const uint32_t next_bb = bb.id + 1;
+        if (br.bb_else == next_bb) {
+          return EmitBranch(cc, br.bb_then);
+        }
+        if (br.bb_then == next_bb) {
+          return EmitBranch(NegateCond(cc), br.bb_else);
+        }
+        MV_RETURN_IF_ERROR(EmitBranch(cc, br.bb_then));
+        return EmitJump(br.bb_else);
+      }
+      MV_RETURN_IF_ERROR(EmitInsn(MakeSetCC(PredToCond(instr.pred), kResultReg)));
+      return StoreResult(bb, index, instr.result);
+    }
+
+    case IrOp::kNot:
+    case IrOp::kNeg:
+      MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      MV_RETURN_IF_ERROR(EmitInsn(
+          MakeUnary(instr.op == IrOp::kNot ? Op::kNot : Op::kNeg, kResultReg)));
+      MV_RETURN_IF_ERROR(EmitNormalize(kResultReg, instr.type));
+      return StoreResult(bb, index, instr.result);
+
+    case IrOp::kTrunc:
+      MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      MV_RETURN_IF_ERROR(EmitNormalize(kResultReg, instr.type));
+      return StoreResult(bb, index, instr.result);
+
+    case IrOp::kSext: {
+      MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      const auto shift = static_cast<uint8_t>(64 - instr.imm);
+      MV_RETURN_IF_ERROR(EmitInsn(MakeShiftI(Op::kShlI, kResultReg, shift)));
+      MV_RETURN_IF_ERROR(EmitInsn(MakeShiftI(Op::kSarI, kResultReg, shift)));
+      return StoreResult(bb, index, instr.result);
+    }
+
+    case IrOp::kCall:
+    case IrOp::kCallInd:
+    case IrOp::kCallVia:
+      return EmitCall(instr, bb, index);
+
+    case IrOp::kSti:
+      chain_vreg_ = kNoVreg;
+      return EmitInsn(MakeSimple(Op::kSti));
+    case IrOp::kCli:
+      chain_vreg_ = kNoVreg;
+      return EmitInsn(MakeSimple(Op::kCli));
+    case IrOp::kPause:
+      chain_vreg_ = kNoVreg;
+      return EmitInsn(MakeSimple(Op::kPause));
+    case IrOp::kFence:
+      chain_vreg_ = kNoVreg;
+      return EmitInsn(MakeSimple(Op::kFence));
+    case IrOp::kHlt:
+      chain_vreg_ = kNoVreg;
+      return EmitInsn(MakeSimple(Op::kHlt));
+    case IrOp::kXchg:
+      // value in r0, pointer in r1; XCHG r0, [r1] leaves the old value in r0.
+      MV_RETURN_IF_ERROR(PrepareBinaryOperands(instr.args[1], instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      MV_RETURN_IF_ERROR(EmitInsn(MakeAluRR(Op::kXchg, kResultReg, kScratch1)));
+      return StoreResult(bb, index, instr.result);
+    case IrOp::kRdtsc:
+      chain_vreg_ = kNoVreg;
+      MV_RETURN_IF_ERROR(EmitInsn(MakeRdtsc(kResultReg)));
+      return StoreResult(bb, index, instr.result);
+    case IrOp::kHypercall:
+      chain_vreg_ = kNoVreg;
+      return EmitInsn(MakeHypercall(static_cast<uint8_t>(instr.imm)));
+    case IrOp::kVmCall:
+      if (!instr.args.empty()) {
+        MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+      }
+      chain_vreg_ = kNoVreg;
+      MV_RETURN_IF_ERROR(EmitInsn(MakeVmCall(static_cast<uint8_t>(instr.imm))));
+      return StoreResult(bb, index, instr.result);
+
+    case IrOp::kBr: {
+      chain_vreg_ = kNoVreg;
+      if (instr.bb_then == bb.id + 1) {
+        return Status::Ok();  // fallthrough
+      }
+      return EmitJump(instr.bb_then);
+    }
+    case IrOp::kCondBr: {
+      MV_RETURN_IF_ERROR(LoadOperandTo(kResultReg, instr.args[0]));
+      chain_vreg_ = kNoVreg;
+      MV_RETURN_IF_ERROR(EmitInsn(MakeCmpI(kResultReg, 0)));
+      const uint32_t next_bb = bb.id + 1;
+      if (instr.bb_else == next_bb) {
+        return EmitBranch(Cond::kNe, instr.bb_then);
+      }
+      if (instr.bb_then == next_bb) {
+        return EmitBranch(Cond::kEq, instr.bb_else);
+      }
+      MV_RETURN_IF_ERROR(EmitBranch(Cond::kNe, instr.bb_then));
+      return EmitJump(instr.bb_else);
+    }
+    case IrOp::kRet:
+      return EmitEpilogue(instr);
+  }
+  return Status::Internal("unhandled IR op");
+}
+
+Status FnEmitter::EmitBlock(const BasicBlock& bb) {
+  block_offsets_[bb.id] = Offset();
+  chain_vreg_ = kNoVreg;
+  use_count_.clear();
+  for (const Instr& instr : bb.instrs) {
+    for (const Operand& arg : instr.args) {
+      if (arg.is_vreg()) {
+        ++use_count_[arg.vreg];
+      }
+    }
+  }
+  for (size_t i = 0; i < bb.instrs.size(); ++i) {
+    bool fused = false;
+    MV_RETURN_IF_ERROR(EmitInstr(bb, i, &fused));
+    if (fused) {
+      ++i;
+    }
+  }
+  return Status::Ok();
+}
+
+Status FnEmitter::Emit() {
+  const uint64_t fn_start = Offset();
+  obj_->AddSymbol(fn_.name, text_sec_, fn_start);
+  if (fn_.param_types.size() > kMaxRegArgs) {
+    return Status::Unimplemented(fn_.name + ": more than 6 parameters");
+  }
+
+  frame_size_ = 8 * (fn_.slots.size() + fn_.next_vreg);
+  frame_size_ = (frame_size_ + 15) & ~UINT64_C(15);
+
+  // First pass with a pessimistic frame. If emission never touched the
+  // frame, roll back and re-emit frameless — this is what makes specialized
+  // one-instruction variants (cli-only spinlocks, sti/cli pvops) eligible
+  // for the runtime's call-site inlining and keeps leaf calls cheap.
+  const size_t relocs_start = obj_->relocs.size();
+  const size_t mv_sites_start = info_->mv_callsites.size();
+  const size_t pv_sites_start = info_->pv_callsites.size();
+  MV_RETURN_IF_ERROR(EmitOnce(fn_start));
+  if (!frame_used_ && frame_size_ > 0) {
+    Text().resize(fn_start);
+    obj_->relocs.resize(relocs_start);
+    info_->mv_callsites.resize(mv_sites_start);
+    info_->pv_callsites.resize(pv_sites_start);
+    frame_size_ = 0;
+    MV_RETURN_IF_ERROR(EmitOnce(fn_start));
+  }
+
+  info_->function_sizes[fn_.name] = Offset() - fn_start;
+  return Status::Ok();
+}
+
+Status FnEmitter::EmitOnce(uint64_t fn_start) {
+  (void)fn_start;
+  block_offsets_.clear();
+  fixups_.clear();
+  chain_vreg_ = kNoVreg;
+  chain_stored_ = false;
+  frame_used_ = false;
+
+  if (fn_.pvop_convention) {
+    for (uint8_t reg : kPvopSavedRegs) {
+      MV_RETURN_IF_ERROR(EmitInsn(MakePush(reg)));
+    }
+  }
+  if (frame_size_ > 0) {
+    MV_RETURN_IF_ERROR(
+        EmitInsn(MakeAluRI(Op::kSubI, kRegSP, static_cast<int32_t>(frame_size_))));
+    for (size_t i = 0; i < fn_.param_types.size(); ++i) {
+      MV_RETURN_IF_ERROR(EmitInsn(MakeStore(Op::kSt64, static_cast<uint8_t>(i), kRegSP,
+                                            static_cast<int32_t>(SlotOffset(
+                                                static_cast<uint32_t>(i))))));
+    }
+  }
+
+  for (const BasicBlock& bb : fn_.blocks) {
+    MV_RETURN_IF_ERROR(EmitBlock(bb));
+  }
+
+  // Patch intra-function jump targets.
+  for (const Fixup& fixup : fixups_) {
+    auto it = block_offsets_.find(fixup.bb);
+    if (it == block_offsets_.end()) {
+      return Status::Internal(fn_.name + ": fixup to unknown block");
+    }
+    const int64_t rel =
+        static_cast<int64_t>(it->second) - static_cast<int64_t>(fixup.field_offset + 4);
+    const auto value = static_cast<int32_t>(rel);
+    std::memcpy(Text().data() + fixup.field_offset, &value, 4);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<CodegenInfo> GenerateObject(const Module& module, ObjectFile* obj) {
+  CodegenInfo info;
+  const int text_sec = obj->FindOrAddSection(".text", /*is_code=*/true);
+  obj->sections[static_cast<size_t>(text_sec)].align = 16;
+  const int data_sec = obj->FindOrAddSection(".data");
+  const int rodata_sec = obj->FindOrAddSection(".rodata");
+
+  // --- Functions. ---
+  for (const Function& fn : module.functions) {
+    if (fn.is_extern) {
+      continue;
+    }
+    // Pad to 16-byte boundaries with NOPs so that prologue patching (which
+    // saves/overwrites the first 5 bytes, paper §4) never crosses into a
+    // neighbouring function, even for 1-byte bodies.
+    std::vector<uint8_t>& text = obj->sections[static_cast<size_t>(text_sec)].data;
+    while (text.size() % 16 != 0) {
+      text.push_back(static_cast<uint8_t>(Op::kNop));
+    }
+    const uint64_t fn_start = text.size();
+    FnEmitter emitter(module, fn, obj, text_sec, &info);
+    MV_RETURN_IF_ERROR(emitter.Emit());
+    // Guarantee ≥ 8 bytes of patchable space per function.
+    while (text.size() - fn_start < 8) {
+      text.push_back(static_cast<uint8_t>(Op::kNop));
+    }
+  }
+
+  // --- Globals. Constants (string literals) go to the read-only segment. ---
+  for (size_t gi = 0; gi < module.globals.size(); ++gi) {
+    const GlobalVar& g = module.globals[gi];
+    if (g.is_extern) {
+      continue;
+    }
+    const int target_sec = g.is_const ? rodata_sec : data_sec;
+    std::vector<uint8_t>& data = obj->sections[static_cast<size_t>(target_sec)].data;
+    const uint32_t elem_size = static_cast<uint32_t>(g.type.byte_size());
+    const uint32_t align = elem_size == 0 ? 8 : elem_size;
+    while (data.size() % align != 0) {
+      data.push_back(0);
+    }
+    const uint64_t offset = data.size();
+    obj->AddSymbol(g.name, target_sec, offset);
+    data.resize(offset + g.byte_size(), 0);
+    for (size_t i = 0; i < g.init.size() && i < g.count; ++i) {
+      std::memcpy(data.data() + offset + i * elem_size, &g.init[i], elem_size);
+    }
+    if (!g.init_symbol.empty()) {
+      Reloc reloc;
+      reloc.section = target_sec;
+      reloc.offset = offset;
+      reloc.type = RelocType::kAbs64;
+      reloc.symbol = g.init_symbol;
+      obj->relocs.push_back(std::move(reloc));
+    }
+  }
+
+  return info;
+}
+
+}  // namespace mv

@@ -1,0 +1,50 @@
+// MVISA code generation from mvir.
+//
+// The backend is deliberately simple (slot-backed temporaries with a
+// result-chaining peephole and compare/branch fusion) but plays the two roles
+// the paper assigns to the compiler backend:
+//  * it places a "label exactly at the emitted call instruction" for every
+//    call to a multiversed function and every indirect call through an
+//    attributed function pointer, producing the call-site records the
+//    runtime patches (paper §3, Figure 2);
+//  * it emits all functions — generic and specialized variants — with
+//    identical conventions, so a variant can be installed at any recorded
+//    call site by rewriting the rel32 of the 5-byte CALL.
+#ifndef MULTIVERSE_SRC_CODEGEN_CODEGEN_H_
+#define MULTIVERSE_SRC_CODEGEN_CODEGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/mvir/ir.h"
+#include "src/obj/object.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+// One recorded call site (offset relative to the object's .text section).
+struct CallsiteRecord {
+  uint64_t text_offset = 0;      // offset of the CALL/CALLR instruction
+  std::string callee;            // direct calls: the (generic) callee symbol
+  uint32_t via_global = kNoIndex;  // indirect calls through a fn-ptr switch
+  bool indirect = false;
+};
+
+// Facts the descriptor emitter (src/core) needs beyond the object itself.
+struct CodegenInfo {
+  std::vector<CallsiteRecord> mv_callsites;  // calls to multiversed functions
+  std::vector<CallsiteRecord> pv_callsites;  // all other indirect calls through
+                                             // named fn-ptr globals (baseline)
+  // function name -> body size in bytes (used in size accounting tests).
+  std::map<std::string, uint64_t> function_sizes;
+};
+
+// Generates .text and .data (with symbols and relocations) for `module` into
+// `obj`. Functions and globals marked extern produce undefined symbols only.
+Result<CodegenInfo> GenerateObject(const Module& module, ObjectFile* obj);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CODEGEN_CODEGEN_H_

@@ -1,0 +1,27 @@
+// Host-upcall (VMCALL) ABI between mvc guest programs and the host harness.
+//
+// Guest code invokes `__builtin_vmcall(code, arg)`; the VM exits to the host,
+// which services the call and resumes the guest with the result in r0. Codes
+// 1..7 are handled by the Program driver itself; higher codes are forwarded
+// to the harness-installed handler.
+#ifndef MULTIVERSE_SRC_CORE_ABI_H_
+#define MULTIVERSE_SRC_CORE_ABI_H_
+
+#include <cstdint>
+
+namespace mv {
+
+enum VmCallCode : uint8_t {
+  kVmCallPutChar = 1,        // arg: byte to append to the program's output
+  kVmCallCommit = 2,         // multiverse_commit()
+  kVmCallRevert = 3,         // multiverse_revert()
+  kVmCallCommitRefs = 4,     // arg: variable address
+  kVmCallRevertRefs = 5,     // arg: variable address
+  kVmCallCommitFn = 6,       // arg: generic function address
+  kVmCallRevertFn = 7,       // arg: generic function address
+  kVmCallUser = 16,          // first harness-defined code
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_ABI_H_

@@ -1,0 +1,308 @@
+#include "src/core/descriptors.h"
+
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+void Put32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + 4);
+  std::memcpy(out->data() + at, &v, 4);
+}
+
+void Put64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + 8);
+  std::memcpy(out->data() + at, &v, 8);
+}
+
+// Adds a string to .mv.strings and returns its offset within the section.
+uint64_t AddString(Section* strings, const std::string& text) {
+  const uint64_t offset = strings->data.size();
+  strings->data.insert(strings->data.end(), text.begin(), text.end());
+  strings->data.push_back(0);
+  return offset;
+}
+
+}  // namespace
+
+Status EmitDescriptors(const Module& module, const CodegenInfo& info, ObjectFile* obj) {
+  const int text_sec = obj->FindSection(".text");
+  if (text_sec < 0) {
+    return Status::FailedPrecondition("EmitDescriptors: object has no .text section");
+  }
+  const int vars_sec = obj->FindOrAddSection(".mv.variables");
+  const int fns_sec = obj->FindOrAddSection(".mv.functions");
+  const int variants_sec = obj->FindOrAddSection(".mv.variants");
+  const int guards_sec = obj->FindOrAddSection(".mv.guards");
+  const int sites_sec = obj->FindOrAddSection(".mv.callsites");
+  const int strings_sec = obj->FindOrAddSection(".mv.strings");
+  obj->sections[static_cast<size_t>(strings_sec)].align = 1;
+
+  auto data = [&](int sec) -> std::vector<uint8_t>& {
+    return obj->sections[static_cast<size_t>(sec)].data;
+  };
+  auto reloc_abs64 = [&](int sec, uint64_t offset, const std::string& symbol,
+                         int64_t addend = 0) {
+    Reloc r;
+    r.section = sec;
+    r.offset = offset;
+    r.type = RelocType::kAbs64;
+    r.symbol = symbol;
+    r.addend = addend;
+    obj->relocs.push_back(std::move(r));
+  };
+  auto reloc_abs64_section = [&](int sec, uint64_t offset, int target_sec, int64_t addend) {
+    Reloc r;
+    r.section = sec;
+    r.offset = offset;
+    r.type = RelocType::kAbs64;
+    r.target_section = target_sec;
+    r.addend = addend;
+    obj->relocs.push_back(std::move(r));
+  };
+
+  // --- .mv.variables: one 32-byte record per defined configuration switch. ---
+  for (const GlobalVar& g : module.globals) {
+    if (!g.is_multiverse || g.is_extern) {
+      continue;
+    }
+    std::vector<uint8_t>& out = data(vars_sec);
+    const uint64_t rec = out.size();
+    Put64(&out, 0);  // [0] variable address (reloc)
+    reloc_abs64(vars_sec, rec, g.name);
+    Put32(&out, static_cast<uint32_t>(g.type.byte_size()));  // [8] width
+    uint32_t flags = 0;
+    if (g.type.is_signed) {
+      flags |= kVarFlagSigned;
+    }
+    if (g.is_fnptr_switch) {
+      flags |= kVarFlagFnPtr;
+    }
+    Put32(&out, flags);                                       // [12] flags
+    const uint64_t name_off = AddString(&obj->sections[static_cast<size_t>(strings_sec)],
+                                        g.name);
+    Put64(&out, 0);  // [16] name reference (reloc into .mv.strings)
+    reloc_abs64_section(vars_sec, rec + 16, strings_sec, static_cast<int64_t>(name_off));
+    Put64(&out, 0);  // [24] reserved
+  }
+
+  // --- .mv.functions / .mv.variants / .mv.guards ---
+  for (const Function& fn : module.functions) {
+    if (!fn.mv.is_multiverse || fn.is_extern || fn.mv.is_variant()) {
+      continue;
+    }
+    std::vector<uint8_t>& fout = data(fns_sec);
+    const uint64_t frec = fout.size();
+    Put64(&fout, 0);  // [0] generic function address (reloc)
+    reloc_abs64(fns_sec, frec, fn.name);
+    const uint64_t name_off =
+        AddString(&obj->sections[static_cast<size_t>(strings_sec)], fn.name);
+    Put64(&fout, 0);  // [8] name reference
+    reloc_abs64_section(fns_sec, frec + 8, strings_sec, static_cast<int64_t>(name_off));
+    Put32(&fout, static_cast<uint32_t>(fn.mv.variants.size()));  // [16] n_variants
+    Put32(&fout, 0);                                             // [20] flags
+    const uint64_t variants_off = data(variants_sec).size();
+    Put64(&fout, 0);  // [24] variants pointer (reloc into .mv.variants)
+    reloc_abs64_section(fns_sec, frec + 24, variants_sec,
+                        static_cast<int64_t>(variants_off));
+    Put64(&fout, 0);  // [32] reserved
+    Put64(&fout, 0);  // [40] reserved
+
+    for (const VariantRecord& variant : fn.mv.variants) {
+      std::vector<uint8_t>& vout = data(variants_sec);
+      const uint64_t vrec = vout.size();
+      Put64(&vout, 0);  // [0] variant function address (reloc)
+      reloc_abs64(variants_sec, vrec, variant.symbol);
+      Put32(&vout, static_cast<uint32_t>(variant.guards.size()));  // [8] n_guards
+      Put32(&vout, 0);                                             // [12] flags
+      const uint64_t guards_off = data(guards_sec).size();
+      Put64(&vout, 0);  // [16] guards pointer (reloc into .mv.guards)
+      reloc_abs64_section(variants_sec, vrec + 16, guards_sec,
+                          static_cast<int64_t>(guards_off));
+      Put64(&vout, 0);  // [24] reserved
+
+      for (const GuardRange& guard : variant.guards) {
+        std::vector<uint8_t>& gout = data(guards_sec);
+        const uint64_t grec = gout.size();
+        Put64(&gout, 0);  // [0] variable address (reloc)
+        reloc_abs64(guards_sec, grec, module.globals[guard.global].name);
+        Put32(&gout, static_cast<uint32_t>(static_cast<int32_t>(guard.lo)));  // [8] lo
+        Put32(&gout, static_cast<uint32_t>(static_cast<int32_t>(guard.hi)));  // [12] hi
+      }
+    }
+  }
+
+  // --- .mv.callsites: 16 bytes per recorded call site. ---
+  for (const CallsiteRecord& site : info.mv_callsites) {
+    std::vector<uint8_t>& out = data(sites_sec);
+    const uint64_t rec = out.size();
+    Put64(&out, 0);  // [0] callee: generic fn address or fn-ptr variable address
+    reloc_abs64(sites_sec, rec, site.callee);
+    Put64(&out, 0);  // [8] call-site address (reloc into .text)
+    reloc_abs64_section(sites_sec, rec + 8, text_sec,
+                        static_cast<int64_t>(site.text_offset));
+  }
+
+  // --- .pv.callsites: same layout, consumed by the baseline patcher. ---
+  if (!info.pv_callsites.empty()) {
+    const int pv_sec = obj->FindOrAddSection(".pv.callsites");
+    for (const CallsiteRecord& site : info.pv_callsites) {
+      std::vector<uint8_t>& out = data(pv_sec);
+      const uint64_t rec = out.size();
+      Put64(&out, 0);
+      reloc_abs64(pv_sec, rec, site.callee);
+      Put64(&out, 0);
+      reloc_abs64_section(pv_sec, rec + 8, text_sec,
+                          static_cast<int64_t>(site.text_offset));
+    }
+  }
+
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-side parsing
+
+namespace {
+
+Result<std::string> ReadCString(const Memory& memory, uint64_t addr) {
+  std::string out;
+  for (uint64_t a = addr; a < memory.size(); ++a) {
+    char c = 0;
+    MV_RETURN_IF_ERROR(memory.ReadRaw(a, &c, 1));
+    if (c == '\0') {
+      return out;
+    }
+    out.push_back(c);
+  }
+  return Status::OutOfRange("unterminated descriptor string");
+}
+
+template <typename T>
+Result<T> ReadScalar(const Memory& memory, uint64_t addr) {
+  T value{};
+  MV_RETURN_IF_ERROR(memory.ReadRaw(addr, &value, sizeof(T)));
+  return value;
+}
+
+}  // namespace
+
+const RtVariable* DescriptorTable::FindVariable(uint64_t addr) const {
+  for (const RtVariable& v : variables) {
+    if (v.addr == addr) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const RtFunction* DescriptorTable::FindFunction(uint64_t generic_addr) const {
+  for (const RtFunction& f : functions) {
+    if (f.generic_addr == generic_addr) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+Result<DescriptorTable> DescriptorTable::Parse(const Memory& memory, const Image& image) {
+  DescriptorTable table;
+
+  auto section = [&](const char* name) -> SectionPlacement {
+    auto it = image.sections.find(name);
+    return it == image.sections.end() ? SectionPlacement{} : it->second;
+  };
+
+  const SectionPlacement vars = section(".mv.variables");
+  if (vars.size % kVariableDescSize != 0) {
+    return Status::Internal("malformed .mv.variables section");
+  }
+  for (uint64_t off = 0; off < vars.size; off += kVariableDescSize) {
+    const uint64_t rec = vars.addr + off;
+    RtVariable v;
+    MV_ASSIGN_OR_RETURN(v.addr, ReadScalar<uint64_t>(memory, rec));
+    MV_ASSIGN_OR_RETURN(v.width, ReadScalar<uint32_t>(memory, rec + 8));
+    uint32_t flags = 0;
+    MV_ASSIGN_OR_RETURN(flags, ReadScalar<uint32_t>(memory, rec + 12));
+    v.is_signed = (flags & kVarFlagSigned) != 0;
+    v.is_fnptr = (flags & kVarFlagFnPtr) != 0;
+    uint64_t name_addr = 0;
+    MV_ASSIGN_OR_RETURN(name_addr, ReadScalar<uint64_t>(memory, rec + 16));
+    MV_ASSIGN_OR_RETURN(v.name, ReadCString(memory, name_addr));
+    table.variables.push_back(std::move(v));
+  }
+
+  const SectionPlacement fns = section(".mv.functions");
+  if (fns.size % kFunctionDescSize != 0) {
+    return Status::Internal("malformed .mv.functions section");
+  }
+  for (uint64_t off = 0; off < fns.size; off += kFunctionDescSize) {
+    const uint64_t rec = fns.addr + off;
+    RtFunction f;
+    MV_ASSIGN_OR_RETURN(f.generic_addr, ReadScalar<uint64_t>(memory, rec));
+    uint64_t name_addr = 0;
+    MV_ASSIGN_OR_RETURN(name_addr, ReadScalar<uint64_t>(memory, rec + 8));
+    MV_ASSIGN_OR_RETURN(f.name, ReadCString(memory, name_addr));
+    uint32_t n_variants = 0;
+    MV_ASSIGN_OR_RETURN(n_variants, ReadScalar<uint32_t>(memory, rec + 16));
+    uint64_t variants_addr = 0;
+    MV_ASSIGN_OR_RETURN(variants_addr, ReadScalar<uint64_t>(memory, rec + 24));
+    for (uint32_t vi = 0; vi < n_variants; ++vi) {
+      const uint64_t vrec = variants_addr + vi * kVariantDescSize;
+      RtVariant variant;
+      MV_ASSIGN_OR_RETURN(variant.fn_addr, ReadScalar<uint64_t>(memory, vrec));
+      uint32_t n_guards = 0;
+      MV_ASSIGN_OR_RETURN(n_guards, ReadScalar<uint32_t>(memory, vrec + 8));
+      uint64_t guards_addr = 0;
+      MV_ASSIGN_OR_RETURN(guards_addr, ReadScalar<uint64_t>(memory, vrec + 16));
+      for (uint32_t gi = 0; gi < n_guards; ++gi) {
+        const uint64_t grec = guards_addr + gi * kGuardDescSize;
+        RtGuard guard;
+        MV_ASSIGN_OR_RETURN(guard.var_addr, ReadScalar<uint64_t>(memory, grec));
+        MV_ASSIGN_OR_RETURN(guard.lo, ReadScalar<int32_t>(memory, grec + 8));
+        MV_ASSIGN_OR_RETURN(guard.hi, ReadScalar<int32_t>(memory, grec + 12));
+        variant.guards.push_back(guard);
+      }
+      f.variants.push_back(std::move(variant));
+    }
+    table.functions.push_back(std::move(f));
+  }
+
+  const SectionPlacement sites = section(".mv.callsites");
+  if (sites.size % kCallsiteDescSize != 0) {
+    return Status::Internal("malformed .mv.callsites section");
+  }
+  for (uint64_t off = 0; off < sites.size; off += kCallsiteDescSize) {
+    const uint64_t rec = sites.addr + off;
+    RtCallsite site;
+    MV_ASSIGN_OR_RETURN(site.callee_addr, ReadScalar<uint64_t>(memory, rec));
+    MV_ASSIGN_OR_RETURN(site.site_addr, ReadScalar<uint64_t>(memory, rec + 8));
+    table.callsites.push_back(site);
+  }
+
+  return table;
+}
+
+uint64_t DescriptorSectionBytes(size_t n_variables, size_t n_callsites,
+                                const std::vector<size_t>& variants_per_function,
+                                const std::vector<size_t>& guards_per_variant) {
+  uint64_t total = n_variables * kVariableDescSize + n_callsites * kCallsiteDescSize;
+  size_t variant_index = 0;
+  for (size_t variants : variants_per_function) {
+    total += kFunctionDescSize;
+    for (size_t v = 0; v < variants; ++v, ++variant_index) {
+      const size_t guards = variant_index < guards_per_variant.size()
+                                ? guards_per_variant[variant_index]
+                                : 0;
+      total += kVariantDescSize + guards * kGuardDescSize;
+    }
+  }
+  return total;
+}
+
+}  // namespace mv

@@ -1,0 +1,101 @@
+// Multiverse descriptors: the binary metadata contract between the compiler
+// and the runtime library (paper §3, §5, Figure 2).
+//
+// Each translation unit emits three descriptor kinds into dedicated sections;
+// the linker concatenates same-named sections, so the runtime addresses each
+// kind as one contiguous array:
+//   .mv.variables  — one record per configuration switch
+//   .mv.functions  — one record per multiversed function (with variants)
+//   .mv.callsites  — one record per recorded call site
+// plus the auxiliary .mv.variants / .mv.guards / .mv.strings sections the
+// function records point into.
+//
+// Record sizes match the paper's accounting exactly (§5): 32 bytes per
+// variable, 16 bytes per call site, and 48 + #variants*(32 + #guards*16)
+// bytes per multiversed function.
+#ifndef MULTIVERSE_SRC_CORE_DESCRIPTORS_H_
+#define MULTIVERSE_SRC_CORE_DESCRIPTORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/codegen/codegen.h"
+#include "src/mvir/ir.h"
+#include "src/obj/linker.h"
+#include "src/obj/object.h"
+#include "src/support/status.h"
+#include "src/vm/memory.h"
+
+namespace mv {
+
+inline constexpr size_t kVariableDescSize = 32;
+inline constexpr size_t kFunctionDescSize = 48;
+inline constexpr size_t kVariantDescSize = 32;
+inline constexpr size_t kGuardDescSize = 16;
+inline constexpr size_t kCallsiteDescSize = 16;
+
+// Variable-descriptor flag bits.
+inline constexpr uint32_t kVarFlagSigned = 1u << 0;
+inline constexpr uint32_t kVarFlagFnPtr = 1u << 1;
+
+// Emits the .mv.* descriptor sections for `module` into `obj`, using the
+// call-site records collected during code generation. Also emits the
+// .pv.callsites section for indirect calls through non-multiverse function
+// pointers (consumed by the paravirt baseline patcher, src/baseline).
+Status EmitDescriptors(const Module& module, const CodegenInfo& info, ObjectFile* obj);
+
+// --- Runtime-side parsed view ---------------------------------------------
+
+struct RtVariable {
+  uint64_t addr = 0;
+  uint32_t width = 0;       // bytes: 1/2/4/8
+  bool is_signed = false;
+  bool is_fnptr = false;
+  std::string name;
+};
+
+struct RtGuard {
+  uint64_t var_addr = 0;
+  int32_t lo = 0;
+  int32_t hi = 0;
+};
+
+struct RtVariant {
+  uint64_t fn_addr = 0;
+  std::vector<RtGuard> guards;
+};
+
+struct RtFunction {
+  uint64_t generic_addr = 0;
+  std::string name;
+  std::vector<RtVariant> variants;
+};
+
+struct RtCallsite {
+  uint64_t callee_addr = 0;  // generic function address, or fn-ptr variable address
+  uint64_t site_addr = 0;    // address of the 5-byte CALL/CALLR instruction
+};
+
+struct DescriptorTable {
+  std::vector<RtVariable> variables;
+  std::vector<RtFunction> functions;
+  std::vector<RtCallsite> callsites;
+
+  const RtVariable* FindVariable(uint64_t addr) const;
+  const RtFunction* FindFunction(uint64_t generic_addr) const;
+
+  // Parses the descriptor sections of a loaded image (paper §5: "we only
+  // inspect the descriptors of the binary itself").
+  static Result<DescriptorTable> Parse(const Memory& memory, const Image& image);
+};
+
+// Byte-size accounting used by the size benchmarks and tests: exactly the
+// paper's formula from §5.
+uint64_t DescriptorSectionBytes(size_t n_variables, size_t n_callsites,
+                                const std::vector<size_t>& variants_per_function,
+                                const std::vector<size_t>& guards_per_variant);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_DESCRIPTORS_H_

@@ -1,0 +1,114 @@
+#include "src/core/patching.h"
+
+#include <cstring>
+
+#include "src/isa/isa.h"
+
+namespace mv {
+
+Status PatchCode(Vm* vm, uint64_t addr, const std::array<uint8_t, 5>& bytes) {
+  Memory& memory = vm->memory();
+  const uint8_t old_perms = memory.PermsAt(addr);
+  MV_RETURN_IF_ERROR(memory.Protect(addr, 5, old_perms | kPermWrite));
+  MV_RETURN_IF_ERROR(memory.WriteRaw(addr, bytes.data(), 5));
+  MV_RETURN_IF_ERROR(memory.Protect(addr, 5, old_perms));
+  vm->FlushIcache(addr, 5);
+  return Status::Ok();
+}
+
+Result<std::array<uint8_t, 5>> EncodeCallBytes(uint64_t site_addr, uint64_t target) {
+  const int64_t rel =
+      static_cast<int64_t>(target) - static_cast<int64_t>(site_addr + kCallInsnSize);
+  if (rel > INT32_MAX || rel < INT32_MIN) {
+    return Status::OutOfRange("call target out of rel32 range");
+  }
+  std::vector<uint8_t> encoded;
+  Result<int> size = Encode(MakeCall(static_cast<int32_t>(rel)), &encoded);
+  if (!size.ok()) {
+    return size.status();
+  }
+  std::array<uint8_t, 5> bytes{};
+  std::memcpy(bytes.data(), encoded.data(), 5);
+  return bytes;
+}
+
+std::optional<std::vector<uint8_t>> ExtractTinyBody(const Memory& memory, uint64_t fn_addr) {
+  std::vector<uint8_t> body;
+  uint64_t addr = fn_addr;
+  for (int guard = 0; guard < 8; ++guard) {
+    if (addr + 1 > memory.size()) {
+      return std::nullopt;
+    }
+    Result<Insn> insn = Decode(memory.raw(addr), memory.size() - addr);
+    if (!insn.ok()) {
+      return std::nullopt;
+    }
+    switch (insn->op) {
+      case Op::kRet:
+        return body.size() <= kCallInsnSize ? std::optional(body) : std::nullopt;
+      case Op::kJmp:
+      case Op::kJcc:
+      case Op::kCall:
+      case Op::kCallR:
+      case Op::kPush:
+      case Op::kPop:
+      case Op::kHlt:
+      case Op::kVmCall:
+        return std::nullopt;
+      default:
+        break;
+    }
+    if ((insn->op == Op::kAddI || insn->op == Op::kSubI || insn->op == Op::kMovRI ||
+         insn->op == Op::kMovRR) &&
+        insn->a == kRegSP) {
+      return std::nullopt;
+    }
+    for (int i = 0; i < insn->size; ++i) {
+      body.push_back(memory.raw(addr)[i]);
+    }
+    if (body.size() > kCallInsnSize) {
+      return std::nullopt;
+    }
+    addr += insn->size;
+  }
+  return std::nullopt;
+}
+
+Result<bool> TryBodyPatch(Vm* vm, uint64_t generic_addr, uint64_t generic_size,
+                          uint64_t variant_addr, uint64_t variant_size) {
+  if (variant_size > generic_size) {
+    return false;  // does not fit
+  }
+  Memory& memory = vm->memory();
+  // Scan the variant for pc-relative instructions: copying those without
+  // relocation would redirect control flow to garbage.
+  uint64_t addr = variant_addr;
+  const uint64_t end = variant_addr + variant_size;
+  while (addr < end) {
+    Result<Insn> insn = Decode(memory.raw(addr), memory.size() - addr);
+    if (!insn.ok()) {
+      return insn.status();
+    }
+    switch (insn->op) {
+      case Op::kCall:
+      case Op::kJmp:
+      case Op::kJcc:
+        return false;  // would need relocation
+      default:
+        break;
+    }
+    addr += insn->size;
+  }
+
+  std::vector<uint8_t> body(generic_size, static_cast<uint8_t>(Op::kNop));
+  MV_RETURN_IF_ERROR(memory.ReadRaw(variant_addr, body.data(), variant_size));
+
+  const uint8_t old_perms = memory.PermsAt(generic_addr);
+  MV_RETURN_IF_ERROR(memory.Protect(generic_addr, generic_size, old_perms | kPermWrite));
+  MV_RETURN_IF_ERROR(memory.WriteRaw(generic_addr, body.data(), body.size()));
+  MV_RETURN_IF_ERROR(memory.Protect(generic_addr, generic_size, old_perms));
+  vm->FlushIcache(generic_addr, generic_size);
+  return true;
+}
+
+}  // namespace mv

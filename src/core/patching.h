@@ -1,0 +1,41 @@
+// Low-level code-patching utilities shared by the multiverse runtime and the
+// paravirt baseline patcher (src/baseline): W^X-disciplined writes, rel32
+// call encoding, and tiny-body extraction for call-site inlining.
+#ifndef MULTIVERSE_SRC_CORE_PATCHING_H_
+#define MULTIVERSE_SRC_CORE_PATCHING_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+// Writes 5 bytes of code at `addr`: temporarily adds write permission,
+// writes, restores the previous protection, and flushes the icache range.
+Status PatchCode(Vm* vm, uint64_t addr, const std::array<uint8_t, 5>& bytes);
+
+// Encodes a 5-byte `CALL rel32` at `site_addr` targeting `target`.
+Result<std::array<uint8_t, 5>> EncodeCallBytes(uint64_t site_addr, uint64_t target);
+
+// If the function at `fn_addr` has a straight-line body of at most 5 bytes
+// before its final RET — no control flow, no stack-pointer effects — returns
+// the body bytes (possibly empty, Figure 3 c); otherwise nullopt.
+std::optional<std::vector<uint8_t>> ExtractTinyBody(const Memory& memory, uint64_t fn_addr);
+
+// The *rejected* body-patching design of paper §7.1, implemented to make its
+// complexity argument concrete: copies the variant's code over the generic
+// function's body instead of patching call sites. Refuses (returns false)
+// whenever the variant does not fit into the generic body, or contains
+// pc-relative instructions (CALL/JMP/Jcc rel32) — relocating those is
+// exactly the "significant complexity increase" the paper cites for choosing
+// call-site patching instead. Remaining generic bytes are NOP-filled.
+Result<bool> TryBodyPatch(Vm* vm, uint64_t generic_addr, uint64_t generic_size,
+                          uint64_t variant_addr, uint64_t variant_size);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_PATCHING_H_

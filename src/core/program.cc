@@ -1,0 +1,203 @@
+#include "src/core/program.h"
+
+#include "src/codegen/codegen.h"
+#include "src/core/abi.h"
+#include "src/core/descriptors.h"
+#include "src/opt/passes.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+Result<std::unique_ptr<Program>> Program::Build(const std::vector<ProgramSource>& sources,
+                                                const BuildOptions& options) {
+  auto program = std::unique_ptr<Program>(new Program());
+
+  std::vector<ObjectFile> objects;
+  for (const ProgramSource& src : sources) {
+    DiagnosticSink diag;
+    Result<Module> module = CompileToIr(src.source, src.name, options.frontend, &diag);
+    if (!module.ok()) {
+      return module.status();
+    }
+
+    // The multiverse "plugin" runs after IR generation, before optimization
+    // (paper §3). It internally optimizes the variants (needed for merging).
+    if (options.specialize) {
+      Result<SpecializeStats> stats = SpecializeModule(&*module, options.specializer);
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      program->specialize_stats_.functions_specialized += stats->functions_specialized;
+      program->specialize_stats_.variants_generated += stats->variants_generated;
+      program->specialize_stats_.variants_merged += stats->variants_merged;
+      program->specialize_stats_.variants_kept += stats->variants_kept;
+      for (std::string& warning : stats->warnings) {
+        program->specialize_stats_.warnings.push_back(std::move(warning));
+      }
+    }
+
+    // Regular optimization of every function (generic + non-multiverse).
+    for (Function& fn : module->functions) {
+      RunPipeline(fn, *module);
+    }
+    MV_RETURN_IF_ERROR(VerifyModule(*module));
+
+    ObjectFile obj;
+    obj.name = src.name;
+    Result<CodegenInfo> info = GenerateObject(*module, &obj);
+    if (!info.ok()) {
+      return info.status();
+    }
+    MV_RETURN_IF_ERROR(EmitDescriptors(*module, *info, &obj));
+    for (const auto& [fn_name, size] : info->function_sizes) {
+      program->function_sizes_[fn_name] = size;
+    }
+    objects.push_back(std::move(obj));
+    program->modules_.push_back(std::move(*module));
+  }
+
+  program->vm_ = std::make_unique<Vm>(options.vm_memory, options.vm_cores);
+  program->vm_->set_hypervisor_guest(options.hypervisor_guest);
+  Result<Image> image = LinkAndLoad(objects, options.link, program->vm_.get());
+  if (!image.ok()) {
+    return image.status();
+  }
+  program->image_ = std::move(*image);
+
+  Result<MultiverseRuntime> runtime =
+      MultiverseRuntime::Attach(program->vm_.get(), program->image_);
+  if (!runtime.ok()) {
+    return runtime.status();
+  }
+  program->runtime_ = std::make_unique<MultiverseRuntime>(std::move(*runtime));
+  return program;
+}
+
+Result<bool> Program::HandleVmCall(uint8_t code, int core) {
+  Core& c = vm_->core(core);
+  const uint64_t arg = c.regs[0];
+  switch (code) {
+    case kVmCallPutChar:
+      output_.push_back(static_cast<char>(arg));
+      c.regs[0] = arg;
+      return true;
+    case kVmCallCommit: {
+      Result<PatchStats> stats = runtime_->Commit();
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      c.regs[0] = static_cast<uint64_t>(stats->functions_committed);
+      return true;
+    }
+    case kVmCallRevert: {
+      Result<PatchStats> stats = runtime_->Revert();
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      c.regs[0] = static_cast<uint64_t>(stats->functions_reverted);
+      return true;
+    }
+    case kVmCallCommitRefs: {
+      Result<PatchStats> stats = runtime_->CommitRefs(arg);
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      c.regs[0] = static_cast<uint64_t>(stats->functions_committed);
+      return true;
+    }
+    case kVmCallRevertRefs: {
+      Result<PatchStats> stats = runtime_->RevertRefs(arg);
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      c.regs[0] = static_cast<uint64_t>(stats->functions_reverted);
+      return true;
+    }
+    case kVmCallCommitFn: {
+      Result<PatchStats> stats = runtime_->CommitFn(arg);
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      c.regs[0] = static_cast<uint64_t>(stats->functions_committed);
+      return true;
+    }
+    case kVmCallRevertFn: {
+      Result<PatchStats> stats = runtime_->RevertFn(arg);
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      c.regs[0] = static_cast<uint64_t>(stats->functions_reverted);
+      return true;
+    }
+    default:
+      if (vmcall_handler_) {
+        c.regs[0] = static_cast<uint64_t>(vmcall_handler_(code, arg));
+        return true;
+      }
+      return Status::Unimplemented(StrFormat("unhandled VMCALL code %u", code));
+  }
+}
+
+Result<uint64_t> Program::CallAt(uint64_t fn_addr, const std::vector<uint64_t>& args,
+                                 uint64_t max_steps, int core) {
+  SetupCall(image_, vm_.get(), fn_addr, args, core);
+  uint64_t remaining = max_steps;
+  while (true) {
+    const VmExit exit = vm_->Run(core, remaining);
+    switch (exit.kind) {
+      case VmExit::Kind::kHalt:
+        return vm_->core(core).regs[0];
+      case VmExit::Kind::kVmCall: {
+        Result<bool> handled = HandleVmCall(exit.vmcall_code, core);
+        if (!handled.ok()) {
+          return handled.status();
+        }
+        break;
+      }
+      case VmExit::Kind::kFault:
+        return Status::Internal("guest fault: " + exit.fault.ToString());
+      case VmExit::Kind::kStepLimit:
+        return Status::Internal(
+            StrFormat("guest exceeded the step limit of %llu",
+                      (unsigned long long)max_steps));
+    }
+    remaining = max_steps;  // each resume gets a fresh budget
+  }
+}
+
+Result<uint64_t> Program::Call(const std::string& fn_name, const std::vector<uint64_t>& args,
+                               uint64_t max_steps, int core) {
+  MV_ASSIGN_OR_RETURN(const uint64_t addr, image_.SymbolAddress(fn_name));
+  return CallAt(addr, args, max_steps, core);
+}
+
+Result<uint64_t> Program::FunctionSize(const std::string& name) const {
+  auto it = function_sizes_.find(name);
+  if (it == function_sizes_.end()) {
+    return Status::NotFound(StrFormat("no defined function named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+Result<int64_t> Program::ReadGlobal(const std::string& name, int width) const {
+  MV_ASSIGN_OR_RETURN(const uint64_t addr, image_.SymbolAddress(name));
+  uint64_t raw = 0;
+  MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(addr, &raw, static_cast<uint64_t>(width)));
+  switch (width) {
+    case 1:
+      return static_cast<int64_t>(static_cast<int8_t>(raw));
+    case 2:
+      return static_cast<int64_t>(static_cast<int16_t>(raw));
+    case 4:
+      return static_cast<int64_t>(static_cast<int32_t>(raw));
+    default:
+      return static_cast<int64_t>(raw);
+  }
+}
+
+Status Program::WriteGlobal(const std::string& name, int64_t value, int width) {
+  MV_ASSIGN_OR_RETURN(const uint64_t addr, image_.SymbolAddress(name));
+  return vm_->memory().WriteRaw(addr, &value, static_cast<uint64_t>(width));
+}
+
+}  // namespace mv

@@ -1,0 +1,94 @@
+// Program — the end-to-end driver facade: mvc sources -> IR -> specialization
+// -> optimization -> code generation -> descriptor emission -> link -> load,
+// plus a harness to call guest functions and service VMCALL upcalls
+// (including the in-guest multiverse API of paper Table 1).
+#ifndef MULTIVERSE_SRC_CORE_PROGRAM_H_
+#define MULTIVERSE_SRC_CORE_PROGRAM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/core/specializer.h"
+#include "src/frontend/frontend.h"
+#include "src/obj/linker.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+struct ProgramSource {
+  std::string name;    // translation-unit name
+  std::string source;  // mvc source text
+};
+
+struct BuildOptions {
+  CompileOptions frontend;            // compile-time defines (static baseline)
+  bool specialize = true;             // run the multiverse "plugin"
+  SpecializeOptions specializer;
+  LinkOptions link;
+  uint64_t vm_memory = 64ull << 20;   // 64 MiB
+  int vm_cores = 1;
+  bool hypervisor_guest = false;      // run as a paravirtualized guest
+};
+
+class Program {
+ public:
+  // Compiles, links and loads the given translation units. Build diagnostics
+  // (including the specializer's switch-write warnings) are available via
+  // diagnostics()/specialize_stats().
+  static Result<std::unique_ptr<Program>> Build(const std::vector<ProgramSource>& sources,
+                                                const BuildOptions& options);
+
+  Vm& vm() { return *vm_; }
+  const Image& image() const { return image_; }
+  MultiverseRuntime& runtime() { return *runtime_; }
+  const SpecializeStats& specialize_stats() const { return specialize_stats_; }
+  const std::vector<Module>& modules() const { return modules_; }
+
+  Result<uint64_t> SymbolAddress(const std::string& name) const {
+    return image_.SymbolAddress(name);
+  }
+
+  // Emitted code size of a defined function (bytes, excluding padding).
+  Result<uint64_t> FunctionSize(const std::string& name) const;
+
+  // Calls a guest function on `core` and runs it to completion, servicing
+  // VMCALLs along the way. Returns r0 (the guest return value).
+  Result<uint64_t> Call(const std::string& fn_name, const std::vector<uint64_t>& args = {},
+                        uint64_t max_steps = 100'000'000, int core = 0);
+  Result<uint64_t> CallAt(uint64_t fn_addr, const std::vector<uint64_t>& args = {},
+                          uint64_t max_steps = 100'000'000, int core = 0);
+
+  // Reads/writes a global scalar by symbol name (host-side configuration).
+  Result<int64_t> ReadGlobal(const std::string& name, int width = 8) const;
+  Status WriteGlobal(const std::string& name, int64_t value, int width);
+
+  // Output accumulated through kVmCallPutChar.
+  const std::string& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+
+  // Handler for VMCALL codes >= kVmCallUser: (code, r0) -> new r0.
+  using VmCallHandler = std::function<int64_t(uint8_t code, uint64_t arg)>;
+  void set_vmcall_handler(VmCallHandler handler) { vmcall_handler_ = std::move(handler); }
+
+ private:
+  Program() = default;
+
+  Result<bool> HandleVmCall(uint8_t code, int core);
+
+  std::unique_ptr<Vm> vm_;
+  Image image_;
+  std::unique_ptr<MultiverseRuntime> runtime_;
+  SpecializeStats specialize_stats_;
+  std::vector<Module> modules_;
+  std::map<std::string, uint64_t> function_sizes_;
+  std::string output_;
+  VmCallHandler vmcall_handler_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_PROGRAM_H_

@@ -1,0 +1,431 @@
+#include "src/core/runtime.h"
+
+#include "src/core/patching.h"
+
+#include <cstring>
+
+#include "src/isa/isa.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+constexpr uint8_t kNopByte = static_cast<uint8_t>(Op::kNop);
+
+}  // namespace
+
+Result<MultiverseRuntime> MultiverseRuntime::Attach(Vm* vm, const Image& image) {
+  MultiverseRuntime runtime(vm);
+  MV_ASSIGN_OR_RETURN(runtime.table_, DescriptorTable::Parse(vm->memory(), image));
+
+  // Snapshot the pristine call sites.
+  for (const RtCallsite& desc : runtime.table_.callsites) {
+    Site site;
+    site.desc = desc;
+    MV_RETURN_IF_ERROR(vm->memory().ReadRaw(desc.site_addr, site.original.data(), 5));
+    site.current = site.original;
+    runtime.sites_.push_back(site);
+  }
+
+  // Function states with their call sites and pristine prologues.
+  for (size_t fi = 0; fi < runtime.table_.functions.size(); ++fi) {
+    const RtFunction& fn = runtime.table_.functions[fi];
+    FnState state;
+    state.desc_index = fi;
+    MV_RETURN_IF_ERROR(
+        vm->memory().ReadRaw(fn.generic_addr, state.saved_prologue.data(), 5));
+    for (size_t si = 0; si < runtime.sites_.size(); ++si) {
+      if (runtime.sites_[si].desc.callee_addr == fn.generic_addr) {
+        state.sites.push_back(si);
+      }
+    }
+    runtime.fns_.emplace(fn.generic_addr, std::move(state));
+  }
+
+  // Function-pointer switches (paper §4).
+  for (size_t vi = 0; vi < runtime.table_.variables.size(); ++vi) {
+    const RtVariable& var = runtime.table_.variables[vi];
+    if (!var.is_fnptr) {
+      continue;
+    }
+    FnPtrState state;
+    state.var_index = vi;
+    for (size_t si = 0; si < runtime.sites_.size(); ++si) {
+      if (runtime.sites_[si].desc.callee_addr == var.addr) {
+        state.sites.push_back(si);
+      }
+    }
+    runtime.fnptrs_.emplace(var.addr, std::move(state));
+  }
+
+  return runtime;
+}
+
+Result<int64_t> MultiverseRuntime::ReadSwitch(const RtVariable& variable) const {
+  uint64_t raw = 0;
+  MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(variable.addr, &raw, variable.width));
+  if (variable.is_signed) {
+    switch (variable.width) {
+      case 1:
+        return static_cast<int64_t>(static_cast<int8_t>(raw));
+      case 2:
+        return static_cast<int64_t>(static_cast<int16_t>(raw));
+      case 4:
+        return static_cast<int64_t>(static_cast<int32_t>(raw));
+      default:
+        return static_cast<int64_t>(raw);
+    }
+  }
+  return static_cast<int64_t>(raw);
+}
+
+uint64_t MultiverseRuntime::InstalledVariant(uint64_t generic_addr) const {
+  auto it = fns_.find(generic_addr);
+  return it == fns_.end() ? 0 : it->second.installed;
+}
+
+// ---------------------------------------------------------------------------
+// Low-level patching
+
+Status MultiverseRuntime::PatchBytes(uint64_t addr, const std::array<uint8_t, 5>& bytes) {
+  // W^X discipline and icache flushing live in PatchCode (§7.2).
+  return PatchCode(vm_, addr, bytes);
+}
+
+Status MultiverseRuntime::VerifySite(const Site& site) const {
+  std::array<uint8_t, 5> now{};
+  MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(site.desc.site_addr, now.data(), 5));
+  if (now != site.current) {
+    return Status::FailedPrecondition(
+        StrFormat("call site at 0x%llx does not contain the expected bytes "
+                  "(foreign modification?)",
+                  (unsigned long long)site.desc.site_addr));
+  }
+  return Status::Ok();
+}
+
+Result<std::array<uint8_t, 5>> MultiverseRuntime::MakeCallBytes(uint64_t site_addr,
+                                                                uint64_t target) const {
+  return EncodeCallBytes(site_addr, target);
+}
+
+std::optional<std::vector<uint8_t>> MultiverseRuntime::TinyBody(uint64_t fn_addr) const {
+  return ExtractTinyBody(vm_->memory(), fn_addr);
+}
+
+Status MultiverseRuntime::PatchSiteToCall(Site* site, uint64_t target, PatchStats* stats) {
+  MV_RETURN_IF_ERROR(VerifySite(*site));
+
+  // Call-site inlining: bodies smaller than the call instruction are copied
+  // directly into the site; an empty body is eradicated into NOPs (§4).
+  std::optional<std::vector<uint8_t>> tiny = TinyBody(target);
+  std::array<uint8_t, 5> bytes{};
+  SiteState new_state;
+  if (tiny.has_value()) {
+    bytes.fill(kNopByte);
+    std::memcpy(bytes.data(), tiny->data(), tiny->size());
+    new_state = SiteState::kInlined;
+  } else {
+    MV_ASSIGN_OR_RETURN(bytes, MakeCallBytes(site->desc.site_addr, target));
+    new_state = SiteState::kDirectCall;
+  }
+  if (bytes == site->current) {
+    return Status::Ok();  // idempotent commit
+  }
+  MV_RETURN_IF_ERROR(PatchBytes(site->desc.site_addr, bytes));
+  site->current = bytes;
+  site->state = new_state;
+  if (new_state == SiteState::kInlined) {
+    ++stats->callsites_inlined;
+  } else {
+    ++stats->callsites_patched;
+  }
+  return Status::Ok();
+}
+
+Status MultiverseRuntime::RestoreSite(Site* site, PatchStats* stats) {
+  if (site->state == SiteState::kOriginal) {
+    return Status::Ok();
+  }
+  MV_RETURN_IF_ERROR(VerifySite(*site));
+  MV_RETURN_IF_ERROR(PatchBytes(site->desc.site_addr, site->original));
+  site->current = site->original;
+  site->state = SiteState::kOriginal;
+  ++stats->callsites_patched;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Function-level install / revert
+
+Result<PatchStats> MultiverseRuntime::InstallVariant(FnState* fn, uint64_t variant_addr) {
+  PatchStats stats;
+  const RtFunction& desc = table_.functions[fn->desc_index];
+
+  // Patch all recorded call sites.
+  for (size_t si : fn->sites) {
+    MV_RETURN_IF_ERROR(PatchSiteToCall(&sites_[si], variant_addr, &stats));
+  }
+
+  // Redirect the generic entry so that indirect and foreign calls also reach
+  // the committed variant (completeness, §7.4).
+  const int64_t rel = static_cast<int64_t>(variant_addr) -
+                      static_cast<int64_t>(desc.generic_addr + kJmpInsnSize);
+  if (rel > INT32_MAX || rel < INT32_MIN) {
+    return Status::OutOfRange("variant out of jmp rel32 range");
+  }
+  std::vector<uint8_t> encoded;
+  Result<int> size = Encode(MakeJmp(static_cast<int32_t>(rel)), &encoded);
+  if (!size.ok()) {
+    return size.status();
+  }
+  std::array<uint8_t, 5> jmp{};
+  std::memcpy(jmp.data(), encoded.data(), 5);
+  MV_RETURN_IF_ERROR(PatchBytes(desc.generic_addr, jmp));
+  fn->prologue_patched = true;
+  ++stats.prologues_patched;
+
+  fn->installed = variant_addr;
+  ++stats.functions_committed;
+  return stats;
+}
+
+Result<PatchStats> MultiverseRuntime::RevertFnState(FnState* fn) {
+  PatchStats stats;
+  if (fn->prologue_patched) {
+    const RtFunction& desc = table_.functions[fn->desc_index];
+    MV_RETURN_IF_ERROR(PatchBytes(desc.generic_addr, fn->saved_prologue));
+    fn->prologue_patched = false;
+    ++stats.prologues_patched;
+  }
+  for (size_t si : fn->sites) {
+    MV_RETURN_IF_ERROR(RestoreSite(&sites_[si], &stats));
+  }
+  if (fn->installed != 0) {
+    fn->installed = 0;
+    ++stats.functions_reverted;
+  }
+  return stats;
+}
+
+Result<PatchStats> MultiverseRuntime::CommitFnState(FnState* fn) {
+  const RtFunction& desc = table_.functions[fn->desc_index];
+
+  // Inspect the switches and search for a viable variant (§4).
+  for (const RtVariant& variant : desc.variants) {
+    bool viable = true;
+    for (const RtGuard& guard : variant.guards) {
+      const RtVariable* var = table_.FindVariable(guard.var_addr);
+      if (var == nullptr) {
+        return Status::Internal("guard references unknown variable descriptor");
+      }
+      MV_ASSIGN_OR_RETURN(const int64_t value, ReadSwitch(*var));
+      if (value < guard.lo || value > guard.hi) {
+        viable = false;
+        break;
+      }
+    }
+    if (viable) {
+      return InstallVariant(fn, variant.fn_addr);
+    }
+  }
+
+  // No suitable variant: revert to the generic function, which exhibits the
+  // correct behaviour for any value, and signal the situation (Figure 3 d).
+  MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnState(fn));
+  ++stats.generic_fallbacks;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Function-pointer switches
+
+Result<PatchStats> MultiverseRuntime::CommitFnPtr(FnPtrState* state) {
+  PatchStats stats;
+  const RtVariable& var = table_.variables[state->var_index];
+  uint64_t target = 0;
+  MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(var.addr, &target, 8));
+  if (target == 0) {
+    // Null function pointer: leave the indirect call in place.
+    ++stats.generic_fallbacks;
+    return stats;
+  }
+  for (size_t si : state->sites) {
+    MV_RETURN_IF_ERROR(PatchSiteToCall(&sites_[si], target, &stats));
+  }
+  state->installed = target;
+  ++stats.functions_committed;
+  return stats;
+}
+
+Result<PatchStats> MultiverseRuntime::RevertFnPtr(FnPtrState* state) {
+  PatchStats stats;
+  for (size_t si : state->sites) {
+    MV_RETURN_IF_ERROR(RestoreSite(&sites_[si], &stats));
+  }
+  if (state->installed != 0) {
+    state->installed = 0;
+    ++stats.functions_reverted;
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Public API (paper Table 1)
+
+Result<PatchStats> MultiverseRuntime::Commit() {
+  PatchStats total;
+  for (auto& [addr, fn] : fns_) {
+    MV_ASSIGN_OR_RETURN(PatchStats stats, CommitFnState(&fn));
+    total.Accumulate(stats);
+  }
+  for (auto& [addr, state] : fnptrs_) {
+    MV_ASSIGN_OR_RETURN(PatchStats stats, CommitFnPtr(&state));
+    total.Accumulate(stats);
+  }
+  return total;
+}
+
+Result<PatchStats> MultiverseRuntime::Revert() {
+  PatchStats total;
+  for (auto& [addr, fn] : fns_) {
+    MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnState(&fn));
+    total.Accumulate(stats);
+  }
+  for (auto& [addr, state] : fnptrs_) {
+    MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnPtr(&state));
+    total.Accumulate(stats);
+  }
+  return total;
+}
+
+Result<PatchStats> MultiverseRuntime::CommitFn(uint64_t generic_addr) {
+  auto it = fns_.find(generic_addr);
+  if (it == fns_.end()) {
+    return Status::NotFound(
+        StrFormat("no multiversed function at 0x%llx", (unsigned long long)generic_addr));
+  }
+  return CommitFnState(&it->second);
+}
+
+Result<PatchStats> MultiverseRuntime::RevertFn(uint64_t generic_addr) {
+  auto it = fns_.find(generic_addr);
+  if (it == fns_.end()) {
+    return Status::NotFound(
+        StrFormat("no multiversed function at 0x%llx", (unsigned long long)generic_addr));
+  }
+  return RevertFnState(&it->second);
+}
+
+Result<PatchStats> MultiverseRuntime::CommitRefs(uint64_t var_addr) {
+  auto fp = fnptrs_.find(var_addr);
+  if (fp != fnptrs_.end()) {
+    return CommitFnPtr(&fp->second);
+  }
+  PatchStats total;
+  bool found = false;
+  for (auto& [addr, fn] : fns_) {
+    const RtFunction& desc = table_.functions[fn.desc_index];
+    bool references = false;
+    for (const RtVariant& variant : desc.variants) {
+      for (const RtGuard& guard : variant.guards) {
+        if (guard.var_addr == var_addr) {
+          references = true;
+          break;
+        }
+      }
+      if (references) {
+        break;
+      }
+    }
+    if (references) {
+      found = true;
+      MV_ASSIGN_OR_RETURN(PatchStats stats, CommitFnState(&fn));
+      total.Accumulate(stats);
+    }
+  }
+  if (!found && table_.FindVariable(var_addr) == nullptr) {
+    return Status::NotFound(
+        StrFormat("no configuration switch at 0x%llx", (unsigned long long)var_addr));
+  }
+  return total;
+}
+
+Result<PatchStats> MultiverseRuntime::RevertRefs(uint64_t var_addr) {
+  auto fp = fnptrs_.find(var_addr);
+  if (fp != fnptrs_.end()) {
+    return RevertFnPtr(&fp->second);
+  }
+  PatchStats total;
+  bool found = false;
+  for (auto& [addr, fn] : fns_) {
+    const RtFunction& desc = table_.functions[fn.desc_index];
+    bool references = false;
+    for (const RtVariant& variant : desc.variants) {
+      for (const RtGuard& guard : variant.guards) {
+        if (guard.var_addr == var_addr) {
+          references = true;
+          break;
+        }
+      }
+      if (references) {
+        break;
+      }
+    }
+    if (references) {
+      found = true;
+      MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnState(&fn));
+      total.Accumulate(stats);
+    }
+  }
+  if (!found && table_.FindVariable(var_addr) == nullptr) {
+    return Status::NotFound(
+        StrFormat("no configuration switch at 0x%llx", (unsigned long long)var_addr));
+  }
+  return total;
+}
+
+namespace {
+
+Result<uint64_t> ResolveFnByName(const DescriptorTable& table, const std::string& name) {
+  for (const RtFunction& fn : table.functions) {
+    if (fn.name == name) {
+      return fn.generic_addr;
+    }
+  }
+  return Status::NotFound(StrFormat("no multiversed function named '%s'", name.c_str()));
+}
+
+Result<uint64_t> ResolveVarByName(const DescriptorTable& table, const std::string& name) {
+  for (const RtVariable& var : table.variables) {
+    if (var.name == name) {
+      return var.addr;
+    }
+  }
+  return Status::NotFound(StrFormat("no configuration switch named '%s'", name.c_str()));
+}
+
+}  // namespace
+
+Result<PatchStats> MultiverseRuntime::CommitFn(const std::string& name) {
+  MV_ASSIGN_OR_RETURN(const uint64_t addr, ResolveFnByName(table_, name));
+  return CommitFn(addr);
+}
+
+Result<PatchStats> MultiverseRuntime::RevertFn(const std::string& name) {
+  MV_ASSIGN_OR_RETURN(const uint64_t addr, ResolveFnByName(table_, name));
+  return RevertFn(addr);
+}
+
+Result<PatchStats> MultiverseRuntime::CommitRefs(const std::string& var_name) {
+  MV_ASSIGN_OR_RETURN(const uint64_t addr, ResolveVarByName(table_, var_name));
+  return CommitRefs(addr);
+}
+
+Result<PatchStats> MultiverseRuntime::RevertRefs(const std::string& var_name) {
+  MV_ASSIGN_OR_RETURN(const uint64_t addr, ResolveVarByName(table_, var_name));
+  return RevertRefs(addr);
+}
+
+}  // namespace mv

@@ -1,0 +1,141 @@
+// The multiverse runtime library: late feature binding via binary patching
+// (paper §4, Table 1).
+//
+// On commit, the runtime inspects the configuration switches through the
+// variable descriptors, selects for each multiversed function the first
+// variant whose guard ranges are all satisfied, and installs it:
+//   * every recorded call site is verified to contain the expected 5-byte
+//     CALL (or the previously installed state) and is rewritten to call the
+//     variant directly;
+//   * variant bodies smaller than a call instruction are inlined into the
+//     call site, NOP-padded — an empty body becomes pure NOPs (Figure 3 c);
+//   * the generic function's first bytes are saved and overwritten with an
+//     unconditional JMP to the variant, so calls through untracked function
+//     pointers, assembly, or run-time generated code also reach the variant
+//     (completeness, §7.4);
+//   * code pages are made writable only for the duration of each write, and
+//     the instruction cache is flushed for the patched ranges (§7.2).
+// If no variant matches the current switch values, the function is reverted
+// to the generic code and the fallback is signalled (Figure 3 d).
+//
+// The runtime deliberately performs no synchronization (§2): callers must
+// ensure the program is in a patchable state.
+#ifndef MULTIVERSE_SRC_CORE_RUNTIME_H_
+#define MULTIVERSE_SRC_CORE_RUNTIME_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/descriptors.h"
+#include "src/obj/linker.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+// Result of a commit/revert operation (the paper's int return, enriched).
+struct PatchStats {
+  int functions_committed = 0;   // functions now bound to a variant
+  int functions_reverted = 0;    // functions restored to generic state
+  int generic_fallbacks = 0;     // no variant matched; generic installed (§4)
+  int callsites_patched = 0;     // call sites rewritten to direct calls
+  int callsites_inlined = 0;     // call sites with the body inlined / NOPed
+  int prologues_patched = 0;
+
+  void Accumulate(const PatchStats& other) {
+    functions_committed += other.functions_committed;
+    functions_reverted += other.functions_reverted;
+    generic_fallbacks += other.generic_fallbacks;
+    callsites_patched += other.callsites_patched;
+    callsites_inlined += other.callsites_inlined;
+    prologues_patched += other.prologues_patched;
+  }
+};
+
+class MultiverseRuntime {
+ public:
+  // Parses the image's descriptor sections and snapshots the pristine bytes
+  // of every call site and generic prologue.
+  static Result<MultiverseRuntime> Attach(Vm* vm, const Image& image);
+
+  // --- The multiverse API (paper Table 1) ---
+  Result<PatchStats> Commit();
+  Result<PatchStats> Revert();
+  Result<PatchStats> CommitFn(uint64_t generic_addr);
+  Result<PatchStats> RevertFn(uint64_t generic_addr);
+  Result<PatchStats> CommitRefs(uint64_t var_addr);
+  Result<PatchStats> RevertRefs(uint64_t var_addr);
+
+  // Name-based conveniences (resolve through the descriptor tables).
+  Result<PatchStats> CommitFn(const std::string& name);
+  Result<PatchStats> RevertFn(const std::string& name);
+  Result<PatchStats> CommitRefs(const std::string& var_name);
+  Result<PatchStats> RevertRefs(const std::string& var_name);
+
+  const DescriptorTable& table() const { return table_; }
+
+  // Introspection: the variant currently installed for a generic function
+  // (0 = generic code active). Used by tests and benchmarks.
+  uint64_t InstalledVariant(uint64_t generic_addr) const;
+
+  // Reads a configuration switch's current value through its descriptor.
+  Result<int64_t> ReadSwitch(const RtVariable& variable) const;
+
+ private:
+  MultiverseRuntime(Vm* vm) : vm_(vm) {}
+
+  enum class SiteState : uint8_t { kOriginal, kDirectCall, kInlined };
+
+  struct Site {
+    RtCallsite desc;
+    std::array<uint8_t, 5> original{};
+    std::array<uint8_t, 5> current{};
+    SiteState state = SiteState::kOriginal;
+  };
+
+  struct FnState {
+    size_t desc_index = 0;  // into table_.functions
+    std::vector<size_t> sites;
+    std::array<uint8_t, 5> saved_prologue{};
+    bool prologue_patched = false;
+    uint64_t installed = 0;
+  };
+
+  struct FnPtrState {
+    size_t var_index = 0;  // into table_.variables
+    std::vector<size_t> sites;
+    uint64_t installed = 0;
+  };
+
+  // Writes 5 bytes at `addr` with W^X handling and icache flush.
+  Status PatchBytes(uint64_t addr, const std::array<uint8_t, 5>& bytes);
+  // Verifies that the site still contains what we believe it contains.
+  Status VerifySite(const Site& site) const;
+  Status PatchSiteToCall(Site* site, uint64_t target, PatchStats* stats);
+  Status RestoreSite(Site* site, PatchStats* stats);
+
+  // If the function at `fn_addr` has a straight-line body of at most 5 bytes
+  // (excluding RET) with no stack or control-flow effects, returns those
+  // bytes (possibly empty); otherwise nullopt.
+  Result<std::array<uint8_t, 5>> MakeCallBytes(uint64_t site_addr, uint64_t target) const;
+  std::optional<std::vector<uint8_t>> TinyBody(uint64_t fn_addr) const;
+
+  Result<PatchStats> InstallVariant(FnState* fn, uint64_t variant_addr);
+  Result<PatchStats> RevertFnState(FnState* fn);
+  Result<PatchStats> CommitFnState(FnState* fn);
+  Result<PatchStats> CommitFnPtr(FnPtrState* state);
+  Result<PatchStats> RevertFnPtr(FnPtrState* state);
+
+  Vm* vm_;
+  DescriptorTable table_;
+  std::vector<Site> sites_;
+  std::map<uint64_t, FnState> fns_;      // keyed by generic address
+  std::map<uint64_t, FnPtrState> fnptrs_;  // keyed by variable address
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_RUNTIME_H_

@@ -1,0 +1,221 @@
+#include "src/core/specializer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/opt/passes.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+// Collects the value-switch globals referenced by `fn`, in global-index
+// order. A non-empty bind_only list (partial specialization, paper §7.1)
+// restricts the result to the listed switches.
+std::vector<uint32_t> ReferencedSwitches(const Function& fn, const Module& module) {
+  std::set<uint32_t> seen;
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kLoadGlobal || instr.op == IrOp::kStoreGlobal ||
+          instr.op == IrOp::kGlobalAddr) {
+        const GlobalVar& g = module.globals[instr.global];
+        if (g.is_multiverse && !g.is_fnptr_switch) {
+          seen.insert(instr.global);
+        }
+      }
+    }
+  }
+  if (!fn.mv.bind_only.empty()) {
+    std::set<uint32_t> restricted;
+    for (uint32_t global : fn.mv.bind_only) {
+      if (seen.count(global) != 0) {
+        restricted.insert(global);
+      }
+    }
+    seen = std::move(restricted);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::string VariantName(const Function& generic, const Module& module,
+                        const std::map<uint32_t, int64_t>& binding) {
+  std::string name = generic.name;
+  for (const auto& [global, value] : binding) {
+    name += StrFormat(".%s=%lld", module.globals[global].name.c_str(), (long long)value);
+  }
+  return name;
+}
+
+// Attempts to coalesce a set of assignments (all mapping to the same variant
+// body) into per-switch [lo, hi] ranges. Succeeds only if the set is exactly
+// the cross product of per-switch value sets and each value set is contiguous
+// *within the switch's domain* — otherwise a range guard would over-cover.
+bool TryBoxGuards(const std::vector<std::map<uint32_t, int64_t>>& assignments,
+                  const std::vector<uint32_t>& switches, const Module& module,
+                  std::vector<GuardRange>* out) {
+  std::map<uint32_t, std::set<int64_t>> values;
+  for (const auto& assignment : assignments) {
+    for (const auto& [global, value] : assignment) {
+      values[global].insert(value);
+    }
+  }
+  size_t product = 1;
+  for (uint32_t global : switches) {
+    product *= values[global].size();
+  }
+  if (product != assignments.size()) {
+    return false;
+  }
+  // Contiguity within the domain: no domain value inside [lo, hi] may be
+  // missing from the merged set.
+  for (uint32_t global : switches) {
+    const std::set<int64_t>& vals = values[global];
+    const int64_t lo = *vals.begin();
+    const int64_t hi = *vals.rbegin();
+    for (int64_t d : module.globals[global].domain) {
+      if (d >= lo && d <= hi && vals.count(d) == 0) {
+        return false;
+      }
+    }
+  }
+  // The cross-product check: every combination must be present. Since
+  // product == |assignments| and assignments are unique, equality holds.
+  out->clear();
+  for (uint32_t global : switches) {
+    const std::set<int64_t>& vals = values[global];
+    out->push_back(GuardRange{global, *vals.begin(), *vals.rbegin()});
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<SpecializeStats> SpecializeModule(Module* module, const SpecializeOptions& options) {
+  SpecializeStats stats;
+  std::vector<Function> new_variants;
+
+  for (Function& fn : module->functions) {
+    if (!fn.mv.is_multiverse || fn.is_extern || fn.mv.is_variant()) {
+      continue;
+    }
+    const std::vector<uint32_t> switches = ReferencedSwitches(fn, *module);
+    if (switches.empty()) {
+      stats.warnings.push_back(StrFormat(
+          "%s: multiverse function references no configuration switch", fn.name.c_str()));
+      continue;
+    }
+
+    // Cross product of the switch domains.
+    size_t product = 1;
+    for (uint32_t global : switches) {
+      const std::vector<int64_t>& domain = module->globals[global].domain;
+      if (domain.empty()) {
+        return Status::Internal(StrFormat("switch '%s' has an empty domain",
+                                          module->globals[global].name.c_str()));
+      }
+      product *= domain.size();
+    }
+    if (product > options.max_variants_per_function) {
+      stats.warnings.push_back(StrFormat(
+          "%s: %zu variants exceed the per-function cap of %zu; skipping "
+          "specialization (narrow the switch domains)",
+          fn.name.c_str(), product, options.max_variants_per_function));
+      continue;
+    }
+
+    std::vector<std::map<uint32_t, int64_t>> assignments(1);
+    for (uint32_t global : switches) {
+      std::vector<std::map<uint32_t, int64_t>> next;
+      for (const auto& partial : assignments) {
+        for (int64_t value : module->globals[global].domain) {
+          auto extended = partial;
+          extended[global] = value;
+          next.push_back(std::move(extended));
+        }
+      }
+      assignments = std::move(next);
+    }
+
+    // Clone + bind + optimize each assignment; group by canonical body.
+    struct Group {
+      Function body;                 // the representative clone
+      std::vector<std::map<uint32_t, int64_t>> members;
+    };
+    std::map<std::string, Group> groups;   // canonical form -> group
+    std::vector<std::string> group_order;  // stable output order
+
+    for (const auto& assignment : assignments) {
+      Function clone = fn;  // deep copy of the pre-optimization body
+      clone.name = VariantName(fn, *module, assignment);
+      clone.mv.binding = assignment;
+      clone.mv.generic_name = fn.name;
+      clone.mv.variants.clear();
+      SubstituteGlobalReads(clone, assignment, &stats.warnings);
+      RunPipeline(clone, *module);
+      ++stats.variants_generated;
+
+      const std::string canonical = CanonicalizeFunction(clone);
+      auto it = groups.find(canonical);
+      if (it == groups.end()) {
+        group_order.push_back(canonical);
+        Group group;
+        group.body = std::move(clone);
+        group.members.push_back(assignment);
+        groups.emplace(canonical, std::move(group));
+      } else {
+        it->second.members.push_back(assignment);
+        ++stats.variants_merged;
+      }
+    }
+
+    // Emit variant records. Merged groups get a shortened name when their
+    // guard ranges form a box (paper: multi.A=1.B=01).
+    for (const std::string& canonical : group_order) {
+      Group& group = groups.at(canonical);
+      std::vector<GuardRange> box;
+      if (group.members.size() > 1 &&
+          TryBoxGuards(group.members, switches, *module, &box)) {
+        // Rename the representative to reflect the covered ranges.
+        std::string merged_name = fn.name;
+        for (const GuardRange& guard : box) {
+          const std::string& gname = module->globals[guard.global].name;
+          if (guard.lo == guard.hi) {
+            merged_name += StrFormat(".%s=%lld", gname.c_str(), (long long)guard.lo);
+          } else {
+            merged_name +=
+                StrFormat(".%s=%lld-%lld", gname.c_str(), (long long)guard.lo,
+                          (long long)guard.hi);
+          }
+        }
+        group.body.name = merged_name;
+        VariantRecord record;
+        record.symbol = merged_name;
+        record.guards = std::move(box);
+        fn.mv.variants.push_back(std::move(record));
+      } else {
+        // One guard record per member assignment, all sharing the same body.
+        for (const auto& assignment : group.members) {
+          VariantRecord record;
+          record.symbol = group.body.name;
+          for (uint32_t global : switches) {
+            const int64_t value = assignment.at(global);
+            record.guards.push_back(GuardRange{global, value, value});
+          }
+          fn.mv.variants.push_back(std::move(record));
+        }
+      }
+      ++stats.variants_kept;
+      new_variants.push_back(std::move(group.body));
+    }
+    ++stats.functions_specialized;
+  }
+
+  for (Function& variant : new_variants) {
+    module->functions.push_back(std::move(variant));
+  }
+  return stats;
+}
+
+}  // namespace mv

@@ -1,0 +1,56 @@
+// Ahead-of-time variant generation — the "compiler plugin" half of
+// multiverse (paper §3).
+//
+// For every function carrying the multiverse attribute the specializer:
+//  1. collects the configuration switches the body references and their
+//     value domains (explicit domain > enum items > {0, 1} default);
+//  2. clones the *unoptimized* body once per assignment in the cross product
+//     of the domains, replacing each switch read with the bound constant and
+//     warning about writes to bound switches;
+//  3. lets the regular optimizer specialize each clone (constant propagation,
+//     folding, dead-code elimination — src/opt);
+//  4. merges clones that become structurally equal, recording guard *ranges*
+//     [lo, hi] per switch; non-contiguous merges share code but keep one
+//     guard record per assignment, so a guard never over-covers;
+//  5. attaches the variant records to the generic function, which the
+//     descriptor emitter turns into the multiverse.functions section.
+//
+// The generic function keeps its dynamic checks and is marked non-inlinable.
+#ifndef MULTIVERSE_SRC_CORE_SPECIALIZER_H_
+#define MULTIVERSE_SRC_CORE_SPECIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mvir/ir.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+struct SpecializeOptions {
+  // Cap on the variant cross product per function. Exceeding it skips
+  // specialization of that function with a warning — the mitigation for
+  // combinatorial explosion the paper discusses in §7.1 (the developer is
+  // expected to narrow domains instead).
+  size_t max_variants_per_function = 64;
+};
+
+struct SpecializeStats {
+  size_t functions_specialized = 0;
+  size_t variants_generated = 0;   // clones before merging
+  size_t variants_merged = 0;      // clones discarded as duplicates
+  size_t variants_kept = 0;        // distinct variant bodies kept
+  std::vector<std::string> warnings;
+};
+
+// Specializes all defined multiverse functions in `module`, appending the
+// variant functions and attaching VariantRecords to the generic ones. Runs
+// the optimization pipeline on the variants (required for merging); the
+// caller optimizes the rest of the module afterwards.
+Result<SpecializeStats> SpecializeModule(Module* module,
+                                         const SpecializeOptions& options = {});
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_SPECIALIZER_H_

@@ -1,0 +1,193 @@
+// AST for mvc.
+//
+// mvc is the C subset the multiverse toolchain compiles. It supports the
+// constructs the paper's case studies need: integer and enum globals with
+// __attribute__((multiverse)) (optionally with an explicit value domain),
+// function-pointer globals (also attributable, paper §4), pointers, 1-D
+// global arrays, string literals, the usual statements and operators, and a
+// set of __builtin_* intrinsics mapping to MVISA system instructions.
+// Notable omissions (diagnosed, not silently ignored): structs, typedefs,
+// local arrays, varargs, the preprocessor.
+#ifndef MULTIVERSE_SRC_FRONTEND_AST_H_
+#define MULTIVERSE_SRC_FRONTEND_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/frontend/token.h"
+
+namespace mv {
+
+// ---------------------------------------------------------------------------
+// Type syntax (resolved by the lowering pass).
+
+struct TypeSpec {
+  enum class Base : uint8_t { kVoid, kBool, kChar, kShort, kInt, kLong, kEnum };
+  Base base = Base::kInt;
+  bool is_unsigned = false;
+  bool explicitly_signed = false;
+  std::string enum_name;
+  int pointer_depth = 0;  // number of '*'
+
+  // Function-pointer declarator: `ret (*name)(params)`.
+  bool is_fnptr = false;
+  std::vector<TypeSpec> fnptr_params;
+  std::unique_ptr<TypeSpec> fnptr_ret;
+
+  TypeSpec() = default;
+  TypeSpec(const TypeSpec& other) { *this = other; }
+  TypeSpec& operator=(const TypeSpec& other) {
+    base = other.base;
+    is_unsigned = other.is_unsigned;
+    explicitly_signed = other.explicitly_signed;
+    enum_name = other.enum_name;
+    pointer_depth = other.pointer_depth;
+    is_fnptr = other.is_fnptr;
+    fnptr_params = other.fnptr_params;
+    fnptr_ret = other.fnptr_ret
+                    ? std::make_unique<TypeSpec>(*other.fnptr_ret)
+                    : nullptr;
+    return *this;
+  }
+  TypeSpec(TypeSpec&&) = default;
+  TypeSpec& operator=(TypeSpec&&) = default;
+};
+
+// The multiverse attribute as parsed from source (paper §2, §3), plus the
+// pvop attribute modelling the kernel's custom no-scratch-register calling
+// convention for paravirt implementations (§6.1).
+struct MvAttribute {
+  bool present = false;         // multiverse
+  bool pvop = false;            // custom calling convention
+  std::vector<int64_t> domain;  // explicit specialization domain; empty = default
+  // On functions: bind only these switches (partial specialization, §7.1);
+  // the remaining referenced switches stay dynamic in every variant.
+  std::vector<std::string> bind_names;
+  SourceLoc loc;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions.
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kStringLit,
+  kIdent,
+  kUnary,     // op in unary_op: ! ~ - + * &
+  kBinary,    // op in binary_op
+  kAssign,    // target = value (op == kAssign) or compound (op records it)
+  kCond,      // a ? b : c
+  kCall,      // callee(args) — callee is an identifier expression
+  kIndex,     // a[i]
+  kCast,      // (type)expr
+  kIncDec,    // ++/-- prefix or postfix
+  kSizeof,    // sizeof(type)
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  int64_t int_value = 0;          // kIntLit
+  bool lit_unsigned = false;
+  bool lit_long = false;
+  std::string string_value;       // kStringLit
+  std::string ident;              // kIdent / kCall callee name
+
+  Tok op = Tok::kEof;             // operator for kUnary/kBinary/kAssign/kIncDec
+  bool is_prefix = false;         // kIncDec
+
+  std::unique_ptr<Expr> lhs;      // also: operand / condition / callee-expr
+  std::unique_ptr<Expr> rhs;
+  std::unique_ptr<Expr> third;    // kCond else-arm
+  std::vector<std::unique_ptr<Expr>> args;  // kCall
+  TypeSpec cast_type;             // kCast / kSizeof
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+enum class StmtKind : uint8_t {
+  kExpr,
+  kDecl,       // local variable declaration
+  kCompound,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kEmpty,
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  ExprPtr expr;                     // kExpr / kReturn value / conditions
+  std::vector<std::unique_ptr<Stmt>> body;  // kCompound
+  std::unique_ptr<Stmt> then_stmt;  // kIf then / loop body
+  std::unique_ptr<Stmt> else_stmt;  // kIf else
+  std::unique_ptr<Stmt> init_stmt;  // kFor init (kExpr or kDecl)
+  ExprPtr step_expr;                // kFor step
+
+  // kDecl:
+  TypeSpec decl_type;
+  std::string decl_name;
+  ExprPtr decl_init;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+// Top-level declarations.
+
+struct ParamDecl {
+  TypeSpec type;
+  std::string name;
+  SourceLoc loc;
+};
+
+struct FunctionDecl {
+  std::string name;
+  TypeSpec return_type;
+  std::vector<ParamDecl> params;
+  MvAttribute attr;
+  bool is_extern = false;   // declaration only (no body)
+  StmtPtr body;             // null for declarations
+  SourceLoc loc;
+};
+
+struct GlobalDecl {
+  std::string name;
+  TypeSpec type;
+  MvAttribute attr;
+  bool is_extern = false;
+  std::optional<int64_t> array_size;     // T name[N]
+  ExprPtr init;                          // scalar initializer
+  std::vector<ExprPtr> init_list;        // array initializer list
+  std::string init_string;               // char name[] = "..."
+  bool has_init_string = false;
+  SourceLoc loc;
+};
+
+struct EnumDecl {
+  std::string name;
+  std::vector<std::pair<std::string, int64_t>> items;
+  SourceLoc loc;
+};
+
+struct TranslationUnit {
+  std::vector<FunctionDecl> functions;
+  std::vector<GlobalDecl> globals;
+  std::vector<EnumDecl> enums;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FRONTEND_AST_H_

@@ -1,0 +1,105 @@
+#include "src/frontend/ctype.h"
+
+#include "src/support/str.h"
+
+namespace mv {
+
+TypeTable::TypeTable() {
+  CType v;
+  v.kind = CType::Kind::kVoid;
+  types_.push_back(v);  // index 0
+
+  auto make_int = [&](uint8_t bits, bool is_signed, bool is_bool = false) {
+    CType t;
+    t.kind = CType::Kind::kInt;
+    t.bits = bits;
+    t.is_signed = is_signed;
+    t.is_bool = is_bool;
+    return Intern(t);
+  };
+  bool_ = make_int(8, false, true);
+  i8_ = make_int(8, true);
+  u8_ = make_int(8, false);
+  i16_ = make_int(16, true);
+  u16_ = make_int(16, false);
+  i32_ = make_int(32, true);
+  u32_ = make_int(32, false);
+  i64_ = make_int(64, true);
+  u64_ = make_int(64, false);
+}
+
+int TypeTable::Intern(const CType& type) {
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i] == type) {
+      return static_cast<int>(i);
+    }
+  }
+  types_.push_back(type);
+  return static_cast<int>(types_.size() - 1);
+}
+
+int TypeTable::InternFnSig(FnSig sig) {
+  for (size_t i = 0; i < fnsigs_.size(); ++i) {
+    if (fnsigs_[i] == sig) {
+      return static_cast<int>(i);
+    }
+  }
+  fnsigs_.push_back(std::move(sig));
+  return static_cast<int>(fnsigs_.size() - 1);
+}
+
+int TypeTable::PointerTo(int pointee) {
+  CType t;
+  t.kind = CType::Kind::kPtr;
+  t.bits = 64;
+  t.pointee = pointee;
+  return Intern(t);
+}
+
+IrType TypeTable::ToIrType(int index) const {
+  const CType& t = at(index);
+  switch (t.kind) {
+    case CType::Kind::kVoid:
+      return IrType::Void();
+    case CType::Kind::kInt:
+      return IrType::Int(t.bits, t.is_signed);
+    case CType::Kind::kPtr:
+    case CType::Kind::kFnPtr:
+      return IrType::Ptr();
+  }
+  return IrType::Void();
+}
+
+int TypeTable::ByteSize(int index) const {
+  const CType& t = at(index);
+  switch (t.kind) {
+    case CType::Kind::kVoid:
+      return 0;
+    case CType::Kind::kInt:
+      return t.bits / 8;
+    case CType::Kind::kPtr:
+    case CType::Kind::kFnPtr:
+      return 8;
+  }
+  return 0;
+}
+
+std::string TypeTable::ToString(int index) const {
+  const CType& t = at(index);
+  switch (t.kind) {
+    case CType::Kind::kVoid:
+      return "void";
+    case CType::Kind::kInt:
+      if (t.is_bool) {
+        return "bool";
+      }
+      return StrFormat("%c%d", t.is_signed ? 'i' : 'u', t.bits);
+    case CType::Kind::kPtr:
+      return ToString(t.pointee) + "*";
+    case CType::Kind::kFnPtr:
+      return "fnptr";
+  }
+  return "?";
+}
+
+}  // namespace mv

@@ -1,0 +1,79 @@
+// Frontend-side type representation for mvc.
+//
+// mvir only needs machine-level types (IrType); the frontend additionally
+// tracks pointee types, enum identity (for the paper's default enum-domain
+// policy), and function-pointer signatures.
+#ifndef MULTIVERSE_SRC_FRONTEND_CTYPE_H_
+#define MULTIVERSE_SRC_FRONTEND_CTYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mvir/ir.h"
+
+namespace mv {
+
+struct CType {
+  enum class Kind : uint8_t { kVoid, kInt, kPtr, kFnPtr };
+
+  Kind kind = Kind::kVoid;
+  uint8_t bits = 0;
+  bool is_signed = false;
+  bool is_bool = false;   // stores normalize to 0/1
+  int enum_id = -1;       // kInt originating from an enum type
+  int pointee = -1;       // kPtr: CType index of the pointed-to type
+  int fnsig = -1;         // kFnPtr: index into TypeTable::fnsigs
+
+  bool operator==(const CType& o) const {
+    return kind == o.kind && bits == o.bits && is_signed == o.is_signed &&
+           is_bool == o.is_bool && enum_id == o.enum_id && pointee == o.pointee &&
+           fnsig == o.fnsig;
+  }
+};
+
+struct FnSig {
+  int ret = -1;                // CType index
+  std::vector<int> params;     // CType indices
+
+  bool operator==(const FnSig& o) const { return ret == o.ret && params == o.params; }
+};
+
+// Interned type storage. Indices are stable; index 0 is void.
+class TypeTable {
+ public:
+  TypeTable();
+
+  int Intern(const CType& type);
+  int InternFnSig(FnSig sig);
+  int PointerTo(int pointee);
+
+  const CType& at(int index) const { return types_[static_cast<size_t>(index)]; }
+  const FnSig& fnsig(int index) const { return fnsigs_[static_cast<size_t>(index)]; }
+
+  int void_type() const { return 0; }
+  int bool_type() const { return bool_; }
+  int i8() const { return i8_; }
+  int u8() const { return u8_; }
+  int i16() const { return i16_; }
+  int u16() const { return u16_; }
+  int i32() const { return i32_; }
+  int u32() const { return u32_; }
+  int i64() const { return i64_; }
+  int u64() const { return u64_; }
+
+  // Machine-level view of a CType.
+  IrType ToIrType(int index) const;
+  // Size in bytes of a value of this type (0 for void).
+  int ByteSize(int index) const;
+  std::string ToString(int index) const;
+
+ private:
+  std::vector<CType> types_;
+  std::vector<FnSig> fnsigs_;
+  int bool_, i8_, u8_, i16_, u16_, i32_, u32_, i64_, u64_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FRONTEND_CTYPE_H_

@@ -1,0 +1,36 @@
+// The mvc frontend entry point: source text -> unoptimized mvir module.
+//
+// The returned module is *pre-optimization*: the multiverse specializer
+// (src/core/specializer.h) clones and binds variants on this IR before the
+// optimization pipeline runs, matching the paper's pipeline position
+// ("after the immediate-code generation, but before the optimization
+// passes", §3).
+#ifndef MULTIVERSE_SRC_FRONTEND_FRONTEND_H_
+#define MULTIVERSE_SRC_FRONTEND_FRONTEND_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/mvir/ir.h"
+#include "src/support/diagnostics.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+struct CompileOptions {
+  // Compile-time pinned configuration values — the `#ifdef`/static-variability
+  // baseline (paper Fig. 1 A). Reads of a listed global lower to the constant;
+  // the variable itself still exists for ABI compatibility.
+  std::map<std::string, int64_t> defines;
+};
+
+// Compiles one translation unit. Cross-TU references use `extern`
+// declarations; the linker resolves them (paper §5: "we demand that the
+// attribute is added to the declaration").
+Result<Module> CompileToIr(std::string_view source, std::string module_name,
+                           const CompileOptions& options, DiagnosticSink* diag);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FRONTEND_FRONTEND_H_

@@ -1,0 +1,383 @@
+#include "src/frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string_view, Tok>{
+      {"void", Tok::kKwVoid},       {"bool", Tok::kKwBool},
+      {"char", Tok::kKwChar},       {"short", Tok::kKwShort},
+      {"int", Tok::kKwInt},         {"long", Tok::kKwLong},
+      {"unsigned", Tok::kKwUnsigned}, {"signed", Tok::kKwSigned},
+      {"enum", Tok::kKwEnum},       {"if", Tok::kKwIf},
+      {"else", Tok::kKwElse},       {"while", Tok::kKwWhile},
+      {"do", Tok::kKwDo},           {"for", Tok::kKwFor},
+      {"return", Tok::kKwReturn},   {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue}, {"extern", Tok::kKwExtern},
+      {"static", Tok::kKwStatic},   {"const", Tok::kKwConst},
+      {"sizeof", Tok::kKwSizeof},   {"__attribute__", Tok::kKwAttribute},
+      {"true", Tok::kKwTrue},       {"false", Tok::kKwFalse},
+      {"_Bool", Tok::kKwBool},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+const char* TokName(Tok tok) {
+  switch (tok) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kKwVoid: return "void";
+    case Tok::kKwBool: return "bool";
+    case Tok::kKwChar: return "char";
+    case Tok::kKwShort: return "short";
+    case Tok::kKwInt: return "int";
+    case Tok::kKwLong: return "long";
+    case Tok::kKwUnsigned: return "unsigned";
+    case Tok::kKwSigned: return "signed";
+    case Tok::kKwEnum: return "enum";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwWhile: return "while";
+    case Tok::kKwDo: return "do";
+    case Tok::kKwFor: return "for";
+    case Tok::kKwReturn: return "return";
+    case Tok::kKwBreak: return "break";
+    case Tok::kKwContinue: return "continue";
+    case Tok::kKwExtern: return "extern";
+    case Tok::kKwStatic: return "static";
+    case Tok::kKwConst: return "const";
+    case Tok::kKwSizeof: return "sizeof";
+    case Tok::kKwAttribute: return "__attribute__";
+    case Tok::kKwTrue: return "true";
+    case Tok::kKwFalse: return "false";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kSemi: return ";";
+    case Tok::kComma: return ",";
+    case Tok::kColon: return ":";
+    case Tok::kQuestion: return "?";
+    case Tok::kAssign: return "=";
+    case Tok::kPlusAssign: return "+=";
+    case Tok::kMinusAssign: return "-=";
+    case Tok::kStarAssign: return "*=";
+    case Tok::kSlashAssign: return "/=";
+    case Tok::kPercentAssign: return "%=";
+    case Tok::kAmpAssign: return "&=";
+    case Tok::kPipeAssign: return "|=";
+    case Tok::kCaretAssign: return "^=";
+    case Tok::kShlAssign: return "<<=";
+    case Tok::kShrAssign: return ">>=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kTilde: return "~";
+    case Tok::kBang: return "!";
+    case Tok::kAmpAmp: return "&&";
+    case Tok::kPipePipe: return "||";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kLe: return "<=";
+    case Tok::kGe: return ">=";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kPlusPlus: return "++";
+    case Tok::kMinusMinus: return "--";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, DiagnosticSink* diag)
+    : source_(source), diag_(diag) {}
+
+char Lexer::Peek(int ahead) const {
+  const size_t idx = pos_ + static_cast<size_t>(ahead);
+  return idx < source_.size() ? source_[idx] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = Peek();
+  if (c == '\0') {
+    return c;
+  }
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::Match(char expected) {
+  if (Peek() != expected) {
+    return false;
+  }
+  Advance();
+  return true;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (true) {
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (Peek() != '\n' && Peek() != '\0') {
+        Advance();
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      const SourceLoc start = Loc();
+      Advance();
+      Advance();
+      while (!(Peek() == '*' && Peek(1) == '/')) {
+        if (Peek() == '\0') {
+          diag_->Error(start, "unterminated block comment");
+          return;
+        }
+        Advance();
+      }
+      Advance();
+      Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::Make(Tok kind) {
+  Token token;
+  token.kind = kind;
+  token.loc = token_start_;
+  return token;
+}
+
+Token Lexer::LexNumber() {
+  Token token = Make(Tok::kIntLit);
+  uint64_t value = 0;
+  if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+    Advance();
+    Advance();
+    while (std::isxdigit(static_cast<unsigned char>(Peek())) != 0) {
+      const char c = Advance();
+      const int digit = std::isdigit(static_cast<unsigned char>(c)) != 0
+                            ? c - '0'
+                            : (std::tolower(c) - 'a' + 10);
+      value = value * 16 + static_cast<uint64_t>(digit);
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+      value = value * 10 + static_cast<uint64_t>(Advance() - '0');
+    }
+  }
+  // Suffixes: u, l, ul, lu (case-insensitive).
+  for (int i = 0; i < 2; ++i) {
+    if (Peek() == 'u' || Peek() == 'U') {
+      Advance();
+      token.is_unsigned = true;
+    } else if (Peek() == 'l' || Peek() == 'L') {
+      Advance();
+      token.is_long = true;
+    }
+  }
+  token.int_value = static_cast<int64_t>(value);
+  return token;
+}
+
+Token Lexer::LexIdent() {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(Peek())) != 0 || Peek() == '_') {
+    text.push_back(Advance());
+  }
+  auto it = Keywords().find(text);
+  if (it != Keywords().end()) {
+    Token token = Make(it->second);
+    token.text = std::move(text);
+    return token;
+  }
+  Token token = Make(Tok::kIdent);
+  token.text = std::move(text);
+  return token;
+}
+
+Token Lexer::LexString() {
+  Token token = Make(Tok::kStringLit);
+  Advance();  // opening quote
+  std::string text;
+  while (Peek() != '"') {
+    if (Peek() == '\0' || Peek() == '\n') {
+      diag_->Error(token.loc, "unterminated string literal");
+      break;
+    }
+    char c = Advance();
+    if (c == '\\') {
+      const char esc = Advance();
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case '0': c = '\0'; break;
+        case '\\': c = '\\'; break;
+        case '"': c = '"'; break;
+        case '\'': c = '\''; break;
+        default:
+          diag_->Error(Loc(), StrFormat("unknown escape sequence '\\%c'", esc));
+          c = esc;
+          break;
+      }
+    }
+    text.push_back(c);
+  }
+  Advance();  // closing quote
+  token.text = std::move(text);
+  return token;
+}
+
+Token Lexer::LexCharLit() {
+  Token token = Make(Tok::kIntLit);
+  Advance();  // opening quote
+  char c = Advance();
+  if (c == '\\') {
+    const char esc = Advance();
+    switch (esc) {
+      case 'n': c = '\n'; break;
+      case 't': c = '\t'; break;
+      case 'r': c = '\r'; break;
+      case '0': c = '\0'; break;
+      case '\\': c = '\\'; break;
+      case '\'': c = '\''; break;
+      case '"': c = '"'; break;
+      default:
+        diag_->Error(Loc(), StrFormat("unknown escape sequence '\\%c'", esc));
+        c = esc;
+        break;
+    }
+  }
+  if (!Match('\'')) {
+    diag_->Error(token.loc, "unterminated character literal");
+  }
+  token.int_value = static_cast<unsigned char>(c);
+  return token;
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  token_start_ = Loc();
+  const char c = Peek();
+  if (c == '\0') {
+    return Make(Tok::kEof);
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+    return LexNumber();
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+    return LexIdent();
+  }
+  if (c == '"') {
+    return LexString();
+  }
+  if (c == '\'') {
+    return LexCharLit();
+  }
+  Advance();
+  switch (c) {
+    case '(': return Make(Tok::kLParen);
+    case ')': return Make(Tok::kRParen);
+    case '{': return Make(Tok::kLBrace);
+    case '}': return Make(Tok::kRBrace);
+    case '[': return Make(Tok::kLBracket);
+    case ']': return Make(Tok::kRBracket);
+    case ';': return Make(Tok::kSemi);
+    case ',': return Make(Tok::kComma);
+    case ':': return Make(Tok::kColon);
+    case '?': return Make(Tok::kQuestion);
+    case '~': return Make(Tok::kTilde);
+    case '+':
+      if (Match('+')) return Make(Tok::kPlusPlus);
+      if (Match('=')) return Make(Tok::kPlusAssign);
+      return Make(Tok::kPlus);
+    case '-':
+      if (Match('-')) return Make(Tok::kMinusMinus);
+      if (Match('=')) return Make(Tok::kMinusAssign);
+      return Make(Tok::kMinus);
+    case '*':
+      if (Match('=')) return Make(Tok::kStarAssign);
+      return Make(Tok::kStar);
+    case '/':
+      if (Match('=')) return Make(Tok::kSlashAssign);
+      return Make(Tok::kSlash);
+    case '%':
+      if (Match('=')) return Make(Tok::kPercentAssign);
+      return Make(Tok::kPercent);
+    case '&':
+      if (Match('&')) return Make(Tok::kAmpAmp);
+      if (Match('=')) return Make(Tok::kAmpAssign);
+      return Make(Tok::kAmp);
+    case '|':
+      if (Match('|')) return Make(Tok::kPipePipe);
+      if (Match('=')) return Make(Tok::kPipeAssign);
+      return Make(Tok::kPipe);
+    case '^':
+      if (Match('=')) return Make(Tok::kCaretAssign);
+      return Make(Tok::kCaret);
+    case '!':
+      if (Match('=')) return Make(Tok::kNe);
+      return Make(Tok::kBang);
+    case '=':
+      if (Match('=')) return Make(Tok::kEq);
+      return Make(Tok::kAssign);
+    case '<':
+      if (Match('<')) {
+        if (Match('=')) return Make(Tok::kShlAssign);
+        return Make(Tok::kShl);
+      }
+      if (Match('=')) return Make(Tok::kLe);
+      return Make(Tok::kLt);
+    case '>':
+      if (Match('>')) {
+        if (Match('=')) return Make(Tok::kShrAssign);
+        return Make(Tok::kShr);
+      }
+      if (Match('=')) return Make(Tok::kGe);
+      return Make(Tok::kGt);
+    default:
+      diag_->Error(token_start_, StrFormat("unexpected character '%c'", c));
+      return Next();
+  }
+}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = Next();
+    const bool done = token.kind == Tok::kEof;
+    tokens.push_back(std::move(token));
+    if (done) {
+      break;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace mv

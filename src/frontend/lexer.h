@@ -1,0 +1,44 @@
+// Hand-written lexer for mvc.
+#ifndef MULTIVERSE_SRC_FRONTEND_LEXER_H_
+#define MULTIVERSE_SRC_FRONTEND_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/frontend/token.h"
+#include "src/support/diagnostics.h"
+
+namespace mv {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticSink* diag);
+
+  // Tokenizes the whole buffer; the last token is always kEof.
+  std::vector<Token> Tokenize();
+
+ private:
+  Token Next();
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool Match(char expected);
+  void SkipWhitespaceAndComments();
+  Token LexNumber();
+  Token LexIdent();
+  Token LexString();
+  Token LexCharLit();
+  Token Make(Tok kind);
+  SourceLoc Loc() const { return {line_, column_}; }
+
+  std::string_view source_;
+  DiagnosticSink* diag_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+  SourceLoc token_start_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FRONTEND_LEXER_H_

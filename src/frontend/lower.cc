@@ -1,0 +1,1502 @@
+// AST -> mvir lowering with integrated semantic analysis.
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/frontend/ctype.h"
+#include "src/frontend/frontend.h"
+#include "src/frontend/lexer.h"
+#include "src/frontend/parser.h"
+#include "src/mvir/builder.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+// Normalization helper shared with Convert(); mirrors opt/NormalizeValue but
+// works on a CType.
+int64_t NormalizeValueForType(int64_t value, const CType& type);
+
+namespace {
+
+class Lowerer {
+ public:
+  Lowerer(const CompileOptions& options, DiagnosticSink* diag)
+      : options_(options), diag_(diag) {}
+
+  Result<Module> Lower(const TranslationUnit& unit, std::string module_name);
+
+ private:
+  // An rvalue: an operand plus its frontend type.
+  struct RV {
+    Operand op;
+    int type = 0;
+  };
+
+  struct LV {
+    enum class Kind : uint8_t { kNone, kSlot, kGlobal, kPtr };
+    Kind kind = Kind::kNone;
+    uint32_t index = 0;   // slot or global index
+    Operand ptr;          // kPtr
+    int type = 0;         // CType of the storage
+  };
+
+  struct EnumInfo {
+    int type = 0;  // CType index
+    std::vector<std::pair<std::string, int64_t>> items;
+  };
+
+  struct FnInfo {
+    int ret = 0;
+    std::vector<int> params;
+  };
+
+  struct GlobalInfo {
+    uint32_t index = 0;
+    int type = 0;        // element CType
+    bool is_array = false;
+  };
+
+  // --- declarations ---
+  void DeclareEnum(const EnumDecl& decl);
+  void DeclareGlobal(const GlobalDecl& decl);
+  void DeclareFunction(const FunctionDecl& decl);
+  void LowerFunctionBody(const FunctionDecl& decl);
+
+  int ResolveType(const TypeSpec& spec, SourceLoc loc);
+  std::optional<int64_t> EvalConst(const Expr& expr);
+
+  // --- statements ---
+  void LowerStmt(const Stmt& stmt);
+  void LowerIf(const Stmt& stmt);
+  void LowerWhile(const Stmt& stmt);
+  void LowerDoWhile(const Stmt& stmt);
+  void LowerFor(const Stmt& stmt);
+  void LowerLocalDecl(const Stmt& stmt);
+
+  // --- expressions ---
+  RV LowerExpr(const Expr& expr);
+  LV LowerLValue(const Expr& expr);
+  RV LoadLV(const LV& lv, SourceLoc loc);
+  void StoreLV(const LV& lv, RV value, SourceLoc loc);
+  RV Convert(RV value, int to_type, SourceLoc loc);
+  RV LowerBinary(Tok op, RV lhs, RV rhs, SourceLoc loc);
+  RV LowerShortCircuit(const Expr& expr);
+  RV LowerCondExpr(const Expr& expr);
+  RV LowerCall(const Expr& expr);
+  RV LowerBuiltin(const Expr& expr);
+  RV LowerIncDec(const Expr& expr);
+  RV LowerAssign(const Expr& expr);
+  LV IndexToLValue(const Expr& expr);
+
+  int CommonType(int a, int b) const;
+  int Promote(int t) const;
+
+  // vregs are block-local (see mvir/ir.h); lowering an expression that
+  // contains ?:, && or || creates new basic blocks, invalidating any vreg
+  // operand the caller is still holding. SpillAcross stores such an operand
+  // to a fresh temp slot before the hazardous expression is lowered;
+  // ReloadSpilled brings it back in whatever block lowering ended up in.
+  static bool ExprMayBranch(const Expr& expr);
+  std::optional<uint32_t> SpillAcross(const Expr& next, RV* value) {
+    if (!value->op.is_vreg() || !ExprMayBranch(next)) {
+      return std::nullopt;
+    }
+    const uint32_t slot = fn_->AddSlot("$spill", value->op.type);
+    b_->StoreSlot(slot, value->op);
+    return slot;
+  }
+  void ReloadSpilled(const std::optional<uint32_t>& slot, RV* value) {
+    if (slot.has_value()) {
+      value->op = b_->LoadSlot(*slot);
+    }
+  }
+  std::optional<uint32_t> SpillPtrAcross(const Expr& next, LV* lv) {
+    if (lv->kind != LV::Kind::kPtr || !lv->ptr.is_vreg() || !ExprMayBranch(next)) {
+      return std::nullopt;
+    }
+    const uint32_t slot = fn_->AddSlot("$spillp", IrType::Ptr());
+    b_->StoreSlot(slot, lv->ptr);
+    return slot;
+  }
+  void ReloadSpilledPtr(const std::optional<uint32_t>& slot, LV* lv) {
+    if (slot.has_value()) {
+      lv->ptr = b_->LoadSlot(*slot);
+    }
+  }
+  RV ErrorRV() { return RV{Operand::Const(0, IrType::I32()), types_.i32()}; }
+  void Error(SourceLoc loc, std::string msg) { diag_->Error(loc, std::move(msg)); }
+
+  BinKind TokToBin(Tok op, bool is_signed) const;
+  CmpPred TokToCmp(Tok op, bool is_signed) const;
+
+  // --- scope handling ---
+  struct LocalVar {
+    uint32_t slot = 0;
+    int type = 0;
+  };
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+  const LocalVar* FindLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return &found->second;
+      }
+    }
+    return nullptr;
+  }
+
+  const CompileOptions& options_;
+  DiagnosticSink* diag_;
+  TypeTable types_;
+  Module module_;
+
+  std::map<std::string, EnumInfo> enums_;
+  std::map<std::string, std::pair<int64_t, int>> enum_consts_;  // name -> (value, type)
+  std::map<std::string, FnInfo> functions_;
+  std::map<std::string, GlobalInfo> globals_;
+
+  Function* fn_ = nullptr;          // current function
+  const FnInfo* fn_info_ = nullptr;
+  std::unique_ptr<IrBuilder> b_;
+  std::vector<std::map<std::string, LocalVar>> scopes_;
+  struct LoopCtx {
+    uint32_t continue_bb;
+    uint32_t break_bb;
+  };
+  std::vector<LoopCtx> loops_;
+  int string_counter_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Types and declarations
+
+bool Lowerer::ExprMayBranch(const Expr& expr) {
+  if (expr.kind == ExprKind::kCond) {
+    return true;
+  }
+  if (expr.kind == ExprKind::kBinary &&
+      (expr.op == Tok::kAmpAmp || expr.op == Tok::kPipePipe)) {
+    return true;
+  }
+  if (expr.lhs != nullptr && ExprMayBranch(*expr.lhs)) {
+    return true;
+  }
+  if (expr.rhs != nullptr && ExprMayBranch(*expr.rhs)) {
+    return true;
+  }
+  if (expr.third != nullptr && ExprMayBranch(*expr.third)) {
+    return true;
+  }
+  for (const ExprPtr& arg : expr.args) {
+    if (arg != nullptr && ExprMayBranch(*arg)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int Lowerer::ResolveType(const TypeSpec& spec, SourceLoc loc) {
+  if (spec.is_fnptr) {
+    FnSig sig;
+    sig.ret = ResolveType(*spec.fnptr_ret, loc);
+    for (const TypeSpec& param : spec.fnptr_params) {
+      sig.params.push_back(ResolveType(param, loc));
+    }
+    CType t;
+    t.kind = CType::Kind::kFnPtr;
+    t.bits = 64;
+    t.fnsig = types_.InternFnSig(std::move(sig));
+    return types_.Intern(t);
+  }
+  int base = types_.void_type();
+  switch (spec.base) {
+    case TypeSpec::Base::kVoid:
+      base = types_.void_type();
+      break;
+    case TypeSpec::Base::kBool:
+      base = types_.bool_type();
+      break;
+    case TypeSpec::Base::kChar:
+      base = spec.is_unsigned ? types_.u8() : types_.i8();
+      break;
+    case TypeSpec::Base::kShort:
+      base = spec.is_unsigned ? types_.u16() : types_.i16();
+      break;
+    case TypeSpec::Base::kInt:
+      base = spec.is_unsigned ? types_.u32() : types_.i32();
+      break;
+    case TypeSpec::Base::kLong:
+      base = spec.is_unsigned ? types_.u64() : types_.i64();
+      break;
+    case TypeSpec::Base::kEnum: {
+      auto it = enums_.find(spec.enum_name);
+      if (it == enums_.end()) {
+        Error(loc, StrFormat("unknown enum '%s'", spec.enum_name.c_str()));
+      } else {
+        base = it->second.type;
+      }
+      break;
+    }
+  }
+  for (int i = 0; i < spec.pointer_depth; ++i) {
+    base = types_.PointerTo(base);
+  }
+  return base;
+}
+
+void Lowerer::DeclareEnum(const EnumDecl& decl) {
+  if (enums_.count(decl.name) != 0) {
+    Error(decl.loc, StrFormat("redefinition of enum '%s'", decl.name.c_str()));
+    return;
+  }
+  CType t;
+  t.kind = CType::Kind::kInt;
+  t.bits = 32;
+  t.is_signed = true;
+  t.enum_id = static_cast<int>(enums_.size());
+  const int type = types_.Intern(t);
+  EnumInfo info;
+  info.type = type;
+  info.items = decl.items;
+  enums_.emplace(decl.name, std::move(info));
+  for (const auto& [item, value] : decl.items) {
+    if (!enum_consts_.emplace(item, std::make_pair(value, type)).second) {
+      Error(decl.loc, StrFormat("duplicate enumerator '%s'", item.c_str()));
+    }
+  }
+}
+
+std::optional<int64_t> Lowerer::EvalConst(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIntLit:
+      return expr.int_value;
+    case ExprKind::kIdent: {
+      auto it = enum_consts_.find(expr.ident);
+      if (it != enum_consts_.end()) {
+        return it->second.first;
+      }
+      auto def = options_.defines.find(expr.ident);
+      if (def != options_.defines.end()) {
+        return def->second;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::kSizeof: {
+      // Const-cast away: ResolveType may record diagnostics.
+      return types_.ByteSize(
+          const_cast<Lowerer*>(this)->ResolveType(expr.cast_type, expr.loc));
+    }
+    case ExprKind::kUnary: {
+      std::optional<int64_t> v = EvalConst(*expr.lhs);
+      if (!v.has_value()) {
+        return std::nullopt;
+      }
+      switch (expr.op) {
+        case Tok::kMinus: return -*v;
+        case Tok::kPlus: return *v;
+        case Tok::kTilde: return ~*v;
+        case Tok::kBang: return *v == 0 ? 1 : 0;
+        default: return std::nullopt;
+      }
+    }
+    case ExprKind::kBinary: {
+      std::optional<int64_t> l = EvalConst(*expr.lhs);
+      std::optional<int64_t> r = EvalConst(*expr.rhs);
+      if (!l.has_value() || !r.has_value()) {
+        return std::nullopt;
+      }
+      switch (expr.op) {
+        case Tok::kPlus: return *l + *r;
+        case Tok::kMinus: return *l - *r;
+        case Tok::kStar: return *l * *r;
+        case Tok::kSlash: return *r == 0 ? std::nullopt : std::optional<int64_t>(*l / *r);
+        case Tok::kPercent: return *r == 0 ? std::nullopt : std::optional<int64_t>(*l % *r);
+        case Tok::kShl: return *l << (*r & 63);
+        case Tok::kShr: return *l >> (*r & 63);
+        case Tok::kAmp: return *l & *r;
+        case Tok::kPipe: return *l | *r;
+        case Tok::kCaret: return *l ^ *r;
+        default: return std::nullopt;
+      }
+    }
+    case ExprKind::kCast:
+      return EvalConst(*expr.lhs);
+    default:
+      return std::nullopt;
+  }
+}
+
+void Lowerer::DeclareGlobal(const GlobalDecl& decl) {
+  auto existing = globals_.find(decl.name);
+  const int type = ResolveType(decl.type, decl.loc);
+  const CType& ct = types_.at(type);
+
+  if (existing != globals_.end()) {
+    // Re-declaration (e.g. extern after definition or vice versa): merge.
+    GlobalVar& g = module_.globals[existing->second.index];
+    if (!decl.is_extern && g.is_extern) {
+      g.is_extern = false;
+    }
+    if (decl.attr.present) {
+      g.is_multiverse = true;
+    }
+    return;
+  }
+
+  GlobalVar g;
+  g.name = decl.name;
+  g.type = types_.ToIrType(type);
+  g.is_extern = decl.is_extern;
+
+  if (decl.attr.present) {
+    g.is_multiverse = true;
+    if (ct.kind == CType::Kind::kFnPtr) {
+      g.is_fnptr_switch = true;  // paper §4: attributed function pointers
+    } else if (ct.kind != CType::Kind::kInt) {
+      Error(decl.attr.loc,
+            "multiverse configuration switches must have integer, boolean, "
+            "enumeration or function-pointer type");
+      g.is_multiverse = false;
+    } else if (!decl.attr.domain.empty()) {
+      g.domain = decl.attr.domain;  // explicit domain (paper §3 extended syntax)
+    } else if (ct.enum_id >= 0) {
+      // Default policy for enums: all declared enumeration items.
+      for (const auto& [name, info] : enums_) {
+        if (info.type == type) {
+          for (const auto& [item, value] : info.items) {
+            g.domain.push_back(value);
+          }
+        }
+      }
+    } else {
+      g.domain = {0, 1};  // default policy for integers (stdbool semantics)
+    }
+  }
+
+  if (decl.array_size.has_value()) {
+    if (*decl.array_size <= 0) {
+      Error(decl.loc, "array size must be positive");
+    } else {
+      g.count = static_cast<uint32_t>(*decl.array_size);
+    }
+    if (g.is_multiverse) {
+      Error(decl.attr.loc, "arrays cannot be configuration switches");
+      g.is_multiverse = false;
+    }
+  }
+
+  if (decl.has_init_string) {
+    if (!decl.array_size.has_value()) {
+      g.count = static_cast<uint32_t>(decl.init_string.size() + 1);
+    }
+    for (char c : decl.init_string) {
+      g.init.push_back(static_cast<unsigned char>(c));
+    }
+    g.init.push_back(0);
+  } else if (!decl.init_list.empty()) {
+    for (const ExprPtr& e : decl.init_list) {
+      std::optional<int64_t> v = EvalConst(*e);
+      if (!v.has_value()) {
+        Error(e->loc, "array initializers must be constant expressions");
+        v = 0;
+      }
+      g.init.push_back(*v);
+    }
+    if (!decl.array_size.has_value()) {
+      g.count = static_cast<uint32_t>(g.init.size());
+    }
+  } else if (decl.init != nullptr) {
+    if (ct.kind == CType::Kind::kFnPtr && decl.init->kind == ExprKind::kIdent &&
+        enum_consts_.count(decl.init->ident) == 0) {
+      g.init_symbol = decl.init->ident;
+    } else {
+      std::optional<int64_t> v = EvalConst(*decl.init);
+      if (!v.has_value()) {
+        Error(decl.init->loc, "global initializers must be constant expressions");
+        v = 0;
+      }
+      g.init.push_back(*v);
+    }
+  }
+
+  GlobalInfo info;
+  info.index = static_cast<uint32_t>(module_.globals.size());
+  info.type = type;
+  info.is_array = g.count > 1;
+  module_.globals.push_back(std::move(g));
+  globals_.emplace(decl.name, info);
+}
+
+void Lowerer::DeclareFunction(const FunctionDecl& decl) {
+  FnInfo info;
+  info.ret = ResolveType(decl.return_type, decl.loc);
+  for (const ParamDecl& p : decl.params) {
+    info.params.push_back(ResolveType(p.type, p.loc));
+  }
+  auto existing = functions_.find(decl.name);
+  if (existing != functions_.end()) {
+    if (existing->second.ret != info.ret || existing->second.params != info.params) {
+      Error(decl.loc,
+            StrFormat("conflicting declaration of function '%s'", decl.name.c_str()));
+    }
+    Function* fn = module_.FindFunction(decl.name);
+    if (fn != nullptr) {
+      if (decl.attr.present) {
+        fn->mv.is_multiverse = true;
+        fn->no_inline = true;
+      }
+      if (decl.attr.pvop) {
+        fn->pvop_convention = true;
+      }
+      if (!decl.is_extern && fn->is_extern && decl.body == nullptr) {
+        // Still only a declaration.
+      }
+    }
+    return;
+  }
+  functions_.emplace(decl.name, info);
+
+  Function fn;
+  fn.name = decl.name;
+  fn.return_type = types_.ToIrType(info.ret);
+  for (int p : info.params) {
+    fn.param_types.push_back(types_.ToIrType(p));
+  }
+  fn.is_extern = decl.body == nullptr;
+  if (decl.attr.present) {
+    // The multiverse attribute marks the function as a variation point; the
+    // generic variant must never be inlined (paper §3, §7.1).
+    fn.mv.is_multiverse = true;
+    fn.no_inline = true;
+    for (const std::string& bind : decl.attr.bind_names) {
+      auto git = globals_.find(bind);
+      if (git == globals_.end() || !module_.globals[git->second.index].is_multiverse) {
+        Error(decl.attr.loc,
+              StrFormat("'%s' in the multiverse binding list is not a "
+                        "configuration switch",
+                        bind.c_str()));
+      } else {
+        fn.mv.bind_only.push_back(git->second.index);
+      }
+    }
+  }
+  fn.pvop_convention = decl.attr.pvop;
+  module_.functions.push_back(std::move(fn));
+}
+
+// ---------------------------------------------------------------------------
+// Conversions and arithmetic
+
+int Lowerer::Promote(int t) const {
+  const CType& ct = types_.at(t);
+  if (ct.kind == CType::Kind::kInt && ct.bits < 32) {
+    return types_.i32();
+  }
+  return t;
+}
+
+int Lowerer::CommonType(int a, int b) const {
+  const CType& ca = types_.at(a);
+  const CType& cb = types_.at(b);
+  if (ca.kind != CType::Kind::kInt || cb.kind != CType::Kind::kInt) {
+    // Pointer-ish operands: keep the left type (callers handle ptr math).
+    return a;
+  }
+  const int pa = Promote(a);
+  const int pb = Promote(b);
+  const CType& ta = types_.at(pa);
+  const CType& tb = types_.at(pb);
+  if (ta.bits == tb.bits) {
+    if (ta.is_signed == tb.is_signed) {
+      return pa;
+    }
+    return ta.is_signed ? pb : pa;  // unsigned wins at equal rank
+  }
+  return ta.bits > tb.bits ? pa : pb;
+}
+
+Lowerer::RV Lowerer::Convert(RV value, int to_type, SourceLoc loc) {
+  if (value.type == to_type) {
+    return value;
+  }
+  const CType& from = types_.at(value.type);
+  const CType& to = types_.at(to_type);
+  if (to.kind == CType::Kind::kVoid) {
+    return RV{Operand::None(), to_type};
+  }
+  if (from.kind == CType::Kind::kVoid) {
+    Error(loc, "cannot use a void value");
+    return RV{Operand::Const(0, types_.ToIrType(to_type)), to_type};
+  }
+  // bool targets normalize to 0/1.
+  if (to.is_bool && !from.is_bool) {
+    Operand norm = b_->Cmp(CmpPred::kNe, value.op,
+                           Operand::Const(0, value.op.type));
+    Operand trunc = b_->Trunc(norm, types_.ToIrType(to_type));
+    return RV{trunc, to_type};
+  }
+  // Pointer <-> pointer / fnptr / 64-bit int: bit-identical.
+  const bool from_ptrish = from.kind != CType::Kind::kInt;
+  const bool to_ptrish = to.kind != CType::Kind::kInt;
+  if (to_ptrish) {
+    Operand op = value.op;
+    op.type = IrType::Ptr();
+    return RV{op, to_type};
+  }
+  if (from_ptrish) {
+    // ptr -> int: representation is a 64-bit unsigned value; narrow if needed.
+    if (to.bits < 64) {
+      return RV{b_->Trunc(value.op, types_.ToIrType(to_type)), to_type};
+    }
+    Operand op = value.op;
+    op.type = types_.ToIrType(to_type);
+    return RV{op, to_type};
+  }
+  // int -> int. Registers always hold the normalized (extended) value, so a
+  // conversion only needs work when the target is narrower or changes the
+  // interpretation of the top bits.
+  if (to.bits < 64 && (to.bits < from.bits || to.is_signed != from.is_signed)) {
+    if (value.op.is_const()) {
+      const int64_t norm = NormalizeValueForType(value.op.imm, to);
+      return RV{Operand::Const(norm, types_.ToIrType(to_type)), to_type};
+    }
+    return RV{b_->Trunc(value.op, types_.ToIrType(to_type)), to_type};
+  }
+  Operand op = value.op;
+  op.type = types_.ToIrType(to_type);
+  return RV{op, to_type};
+}
+
+BinKind Lowerer::TokToBin(Tok op, bool is_signed) const {
+  switch (op) {
+    case Tok::kPlus: case Tok::kPlusAssign: return BinKind::kAdd;
+    case Tok::kMinus: case Tok::kMinusAssign: return BinKind::kSub;
+    case Tok::kStar: case Tok::kStarAssign: return BinKind::kMul;
+    case Tok::kSlash: case Tok::kSlashAssign:
+      return is_signed ? BinKind::kSDiv : BinKind::kUDiv;
+    case Tok::kPercent: case Tok::kPercentAssign:
+      return is_signed ? BinKind::kSRem : BinKind::kURem;
+    case Tok::kAmp: case Tok::kAmpAssign: return BinKind::kAnd;
+    case Tok::kPipe: case Tok::kPipeAssign: return BinKind::kOr;
+    case Tok::kCaret: case Tok::kCaretAssign: return BinKind::kXor;
+    case Tok::kShl: case Tok::kShlAssign: return BinKind::kShl;
+    case Tok::kShr: case Tok::kShrAssign:
+      return is_signed ? BinKind::kAShr : BinKind::kLShr;
+    default:
+      return BinKind::kAdd;
+  }
+}
+
+CmpPred Lowerer::TokToCmp(Tok op, bool is_signed) const {
+  switch (op) {
+    case Tok::kEq: return CmpPred::kEq;
+    case Tok::kNe: return CmpPred::kNe;
+    case Tok::kLt: return is_signed ? CmpPred::kSLt : CmpPred::kULt;
+    case Tok::kLe: return is_signed ? CmpPred::kSLe : CmpPred::kULe;
+    case Tok::kGt: return is_signed ? CmpPred::kSGt : CmpPred::kUGt;
+    case Tok::kGe: return is_signed ? CmpPred::kSGe : CmpPred::kUGe;
+    default: return CmpPred::kEq;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LValues
+
+Lowerer::LV Lowerer::LowerLValue(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIdent: {
+      const LocalVar* local = FindLocal(expr.ident);
+      if (local != nullptr) {
+        LV lv;
+        lv.kind = LV::Kind::kSlot;
+        lv.index = local->slot;
+        lv.type = local->type;
+        return lv;
+      }
+      auto git = globals_.find(expr.ident);
+      if (git != globals_.end()) {
+        if (git->second.is_array) {
+          Error(expr.loc, StrFormat("array '%s' is not assignable", expr.ident.c_str()));
+          return LV{};
+        }
+        LV lv;
+        lv.kind = LV::Kind::kGlobal;
+        lv.index = git->second.index;
+        lv.type = git->second.type;
+        return lv;
+      }
+      Error(expr.loc, StrFormat("unknown variable '%s'", expr.ident.c_str()));
+      return LV{};
+    }
+    case ExprKind::kUnary:
+      if (expr.op == Tok::kStar) {
+        RV ptr = LowerExpr(*expr.lhs);
+        const CType& pt = types_.at(ptr.type);
+        if (pt.kind != CType::Kind::kPtr) {
+          Error(expr.loc, "cannot dereference a non-pointer");
+          return LV{};
+        }
+        LV lv;
+        lv.kind = LV::Kind::kPtr;
+        lv.ptr = ptr.op;
+        lv.type = pt.pointee;
+        return lv;
+      }
+      Error(expr.loc, "expression is not assignable");
+      return LV{};
+    case ExprKind::kIndex:
+      return IndexToLValue(expr);
+    default:
+      Error(expr.loc, "expression is not assignable");
+      return LV{};
+  }
+}
+
+Lowerer::LV Lowerer::IndexToLValue(const Expr& expr) {
+  RV base = LowerExpr(*expr.lhs);
+  const CType& bt = types_.at(base.type);
+  if (bt.kind != CType::Kind::kPtr) {
+    Error(expr.loc, "subscripted value is not a pointer or array");
+    return LV{};
+  }
+  std::optional<uint32_t> spilled = SpillAcross(*expr.rhs, &base);
+  RV index = Convert(LowerExpr(*expr.rhs), types_.i64(), expr.loc);
+  ReloadSpilled(spilled, &base);
+  const int elem_size = types_.ByteSize(bt.pointee);
+  Operand offset = index.op;
+  if (elem_size != 1) {
+    offset = b_->Bin(BinKind::kMul, offset, Operand::Const(elem_size, IrType::I64()),
+                     IrType::I64());
+  }
+  Operand addr = b_->Bin(BinKind::kAdd, base.op, offset, IrType::Ptr());
+  LV lv;
+  lv.kind = LV::Kind::kPtr;
+  lv.ptr = addr;
+  lv.type = bt.pointee;
+  return lv;
+}
+
+Lowerer::RV Lowerer::LoadLV(const LV& lv, SourceLoc loc) {
+  switch (lv.kind) {
+    case LV::Kind::kSlot:
+      return RV{b_->LoadSlot(lv.index), lv.type};
+    case LV::Kind::kGlobal: {
+      const GlobalVar& g = module_.globals[lv.index];
+      auto def = options_.defines.find(g.name);
+      if (def != options_.defines.end()) {
+        // Static variability baseline: the value was fixed at build time.
+        const int64_t norm = NormalizeValueForType(def->second, types_.at(lv.type));
+        return RV{Operand::Const(norm, types_.ToIrType(lv.type)), lv.type};
+      }
+      return RV{b_->LoadGlobal(lv.index, types_.ToIrType(lv.type)), lv.type};
+    }
+    case LV::Kind::kPtr:
+      return RV{b_->Load(lv.ptr, types_.ToIrType(lv.type)), lv.type};
+    case LV::Kind::kNone:
+      (void)loc;
+      return ErrorRV();
+  }
+  return ErrorRV();
+}
+
+void Lowerer::StoreLV(const LV& lv, RV value, SourceLoc loc) {
+  RV converted = Convert(value, lv.type, loc);
+  switch (lv.kind) {
+    case LV::Kind::kSlot:
+      b_->StoreSlot(lv.index, converted.op);
+      return;
+    case LV::Kind::kGlobal:
+      b_->StoreGlobal(lv.index, converted.op, types_.ToIrType(lv.type));
+      return;
+    case LV::Kind::kPtr:
+      b_->Store(lv.ptr, converted.op, types_.ToIrType(lv.type));
+      return;
+    case LV::Kind::kNone:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+Lowerer::RV Lowerer::LowerExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kIntLit: {
+      int type = types_.i32();
+      if (expr.lit_long || expr.int_value > INT32_MAX || expr.int_value < INT32_MIN) {
+        type = expr.lit_unsigned ? types_.u64() : types_.i64();
+      } else if (expr.lit_unsigned) {
+        type = types_.u32();
+      }
+      return RV{Operand::Const(expr.int_value, types_.ToIrType(type)), type};
+    }
+    case ExprKind::kStringLit: {
+      GlobalVar g;
+      g.name = StrFormat("%s.str.%d", module_.name.c_str(), string_counter_++);
+      g.is_const = true;  // string literals live in .rodata
+      g.type = IrType::U8();
+      g.count = static_cast<uint32_t>(expr.string_value.size() + 1);
+      for (char c : expr.string_value) {
+        g.init.push_back(static_cast<unsigned char>(c));
+      }
+      g.init.push_back(0);
+      const auto index = static_cast<uint32_t>(module_.globals.size());
+      module_.globals.push_back(std::move(g));
+      return RV{b_->GlobalAddr(index), types_.PointerTo(types_.u8())};
+    }
+    case ExprKind::kIdent: {
+      // Enumeration constants.
+      auto ec = enum_consts_.find(expr.ident);
+      if (ec != enum_consts_.end()) {
+        return RV{Operand::Const(ec->second.first, types_.ToIrType(ec->second.second)),
+                  ec->second.second};
+      }
+      const LocalVar* local = FindLocal(expr.ident);
+      if (local == nullptr) {
+        auto git = globals_.find(expr.ident);
+        if (git != globals_.end() && git->second.is_array) {
+          // Array decays to a pointer to its first element.
+          return RV{b_->GlobalAddr(git->second.index), types_.PointerTo(git->second.type)};
+        }
+        if (git == globals_.end() && functions_.count(expr.ident) != 0) {
+          // A function name used as a value: its address.
+          const FnInfo& fi = functions_.at(expr.ident);
+          FnSig sig;
+          sig.ret = fi.ret;
+          sig.params = fi.params;
+          CType t;
+          t.kind = CType::Kind::kFnPtr;
+          t.bits = 64;
+          t.fnsig = types_.InternFnSig(std::move(sig));
+          return RV{b_->FuncAddr(expr.ident), types_.Intern(t)};
+        }
+      }
+      return LoadLV(LowerLValue(expr), expr.loc);
+    }
+    case ExprKind::kUnary: {
+      switch (expr.op) {
+        case Tok::kAmp: {
+          const Expr& inner = *expr.lhs;
+          if (inner.kind == ExprKind::kIdent && FindLocal(inner.ident) == nullptr &&
+              globals_.count(inner.ident) == 0 && functions_.count(inner.ident) != 0) {
+            return LowerExpr(inner);  // &func == func
+          }
+          LV lv = LowerLValue(inner);
+          switch (lv.kind) {
+            case LV::Kind::kSlot: {
+              fn_->slots[lv.index].address_taken = true;
+              return RV{b_->SlotAddr(lv.index), types_.PointerTo(lv.type)};
+            }
+            case LV::Kind::kGlobal:
+              return RV{b_->GlobalAddr(lv.index), types_.PointerTo(lv.type)};
+            case LV::Kind::kPtr:
+              return RV{lv.ptr, types_.PointerTo(lv.type)};
+            case LV::Kind::kNone:
+              return ErrorRV();
+          }
+          return ErrorRV();
+        }
+        case Tok::kStar:
+          return LoadLV(LowerLValue(expr), expr.loc);
+        case Tok::kBang: {
+          RV v = LowerExpr(*expr.lhs);
+          Operand result =
+              b_->Cmp(CmpPred::kEq, v.op, Operand::Const(0, v.op.type));
+          return RV{result, types_.i32()};
+        }
+        case Tok::kTilde: {
+          RV v = LowerExpr(*expr.lhs);
+          const int t = Promote(v.type);
+          v = Convert(v, t, expr.loc);
+          return RV{b_->Not(v.op, types_.ToIrType(t)), t};
+        }
+        case Tok::kMinus: {
+          RV v = LowerExpr(*expr.lhs);
+          const int t = Promote(v.type);
+          v = Convert(v, t, expr.loc);
+          return RV{b_->Neg(v.op, types_.ToIrType(t)), t};
+        }
+        case Tok::kPlus:
+          return LowerExpr(*expr.lhs);
+        default:
+          Error(expr.loc, "unsupported unary operator");
+          return ErrorRV();
+      }
+    }
+    case ExprKind::kBinary:
+      if (expr.op == Tok::kAmpAmp || expr.op == Tok::kPipePipe) {
+        return LowerShortCircuit(expr);
+      }
+      {
+        RV lhs = LowerExpr(*expr.lhs);
+        std::optional<uint32_t> spilled = SpillAcross(*expr.rhs, &lhs);
+        RV rhs = LowerExpr(*expr.rhs);
+        ReloadSpilled(spilled, &lhs);
+        return LowerBinary(expr.op, lhs, rhs, expr.loc);
+      }
+    case ExprKind::kAssign:
+      return LowerAssign(expr);
+    case ExprKind::kCond:
+      return LowerCondExpr(expr);
+    case ExprKind::kCall:
+      return LowerCall(expr);
+    case ExprKind::kIndex:
+      return LoadLV(IndexToLValue(expr), expr.loc);
+    case ExprKind::kCast: {
+      const int to = ResolveType(expr.cast_type, expr.loc);
+      RV v = LowerExpr(*expr.lhs);
+      if (types_.at(to).kind == CType::Kind::kVoid) {
+        return RV{Operand::None(), to};
+      }
+      return Convert(v, to, expr.loc);
+    }
+    case ExprKind::kIncDec:
+      return LowerIncDec(expr);
+    case ExprKind::kSizeof: {
+      const int t = ResolveType(expr.cast_type, expr.loc);
+      return RV{Operand::Const(types_.ByteSize(t), IrType::U64()), types_.u64()};
+    }
+  }
+  return ErrorRV();
+}
+
+Lowerer::RV Lowerer::LowerBinary(Tok op, RV lhs, RV rhs, SourceLoc loc) {
+  const CType& lt = types_.at(lhs.type);
+  const CType& rt = types_.at(rhs.type);
+
+  // Pointer arithmetic.
+  const bool l_ptr = lt.kind == CType::Kind::kPtr;
+  const bool r_ptr = rt.kind == CType::Kind::kPtr;
+  if ((op == Tok::kPlus || op == Tok::kMinus) && (l_ptr || r_ptr)) {
+    if (l_ptr && r_ptr) {
+      if (op != Tok::kMinus) {
+        Error(loc, "cannot add two pointers");
+        return ErrorRV();
+      }
+      Operand diff = b_->Bin(BinKind::kSub, lhs.op, rhs.op, IrType::I64());
+      const int size = types_.ByteSize(lt.pointee);
+      if (size > 1) {
+        diff = b_->Bin(BinKind::kSDiv, diff, Operand::Const(size, IrType::I64()),
+                       IrType::I64());
+      }
+      return RV{diff, types_.i64()};
+    }
+    RV ptr = l_ptr ? lhs : rhs;
+    RV idx = Convert(l_ptr ? rhs : lhs, types_.i64(), loc);
+    const int size = types_.ByteSize(types_.at(ptr.type).pointee);
+    Operand scaled = idx.op;
+    if (size > 1) {
+      scaled = b_->Bin(BinKind::kMul, scaled, Operand::Const(size, IrType::I64()),
+                       IrType::I64());
+    }
+    Operand addr = b_->Bin(op == Tok::kPlus ? BinKind::kAdd : BinKind::kSub,
+                           ptr.op, scaled, IrType::Ptr());
+    return RV{addr, ptr.type};
+  }
+
+  // Comparisons.
+  if (op == Tok::kEq || op == Tok::kNe || op == Tok::kLt || op == Tok::kGt ||
+      op == Tok::kLe || op == Tok::kGe) {
+    if (l_ptr || r_ptr) {
+      Operand result = b_->Cmp(TokToCmp(op, /*is_signed=*/false), lhs.op, rhs.op);
+      return RV{result, types_.i32()};
+    }
+    const int common = CommonType(lhs.type, rhs.type);
+    RV l = Convert(lhs, common, loc);
+    RV r = Convert(rhs, common, loc);
+    const bool is_signed = types_.at(common).is_signed;
+    return RV{b_->Cmp(TokToCmp(op, is_signed), l.op, r.op), types_.i32()};
+  }
+
+  // Ordinary arithmetic.
+  const int common = CommonType(lhs.type, rhs.type);
+  RV l = Convert(lhs, common, loc);
+  RV r = Convert(rhs, common, loc);
+  const bool is_signed = types_.at(common).is_signed;
+  Operand result =
+      b_->Bin(TokToBin(op, is_signed), l.op, r.op, types_.ToIrType(common));
+  return RV{result, common};
+}
+
+Lowerer::RV Lowerer::LowerShortCircuit(const Expr& expr) {
+  const bool is_and = expr.op == Tok::kAmpAmp;
+  const uint32_t temp = fn_->AddSlot("$sc", IrType::I32());
+  const uint32_t rhs_bb = fn_->AddBlock();
+  const uint32_t short_bb = fn_->AddBlock();
+  const uint32_t join_bb = fn_->AddBlock();
+
+  RV lhs = LowerExpr(*expr.lhs);
+  if (is_and) {
+    b_->CondBr(lhs.op, rhs_bb, short_bb);
+  } else {
+    b_->CondBr(lhs.op, short_bb, rhs_bb);
+  }
+
+  b_->SetBlock(rhs_bb);
+  RV rhs = LowerExpr(*expr.rhs);
+  Operand norm = b_->Cmp(CmpPred::kNe, rhs.op, Operand::Const(0, rhs.op.type));
+  b_->StoreSlot(temp, norm);
+  b_->Br(join_bb);
+
+  b_->SetBlock(short_bb);
+  b_->StoreSlot(temp, Operand::Const(is_and ? 0 : 1, IrType::I32()));
+  b_->Br(join_bb);
+
+  b_->SetBlock(join_bb);
+  return RV{b_->LoadSlot(temp), types_.i32()};
+}
+
+Lowerer::RV Lowerer::LowerCondExpr(const Expr& expr) {
+  RV cond = LowerExpr(*expr.lhs);
+  const uint32_t then_bb = fn_->AddBlock();
+  const uint32_t else_bb = fn_->AddBlock();
+  const uint32_t join_bb = fn_->AddBlock();
+  b_->CondBr(cond.op, then_bb, else_bb);
+
+  // Lower both arms; each may itself create blocks, so remember where each
+  // arm's evaluation *ended* — stores and branches belong there.
+  b_->SetBlock(then_bb);
+  RV then_v = LowerExpr(*expr.rhs);
+  const uint32_t then_end = b_->current_block();
+  b_->SetBlock(else_bb);
+  RV else_v = LowerExpr(*expr.third);
+  const uint32_t else_end = b_->current_block();
+
+  const CType& tt = types_.at(then_v.type);
+  int common;
+  if (tt.kind == CType::Kind::kVoid) {
+    common = types_.void_type();
+  } else if (tt.kind != CType::Kind::kInt) {
+    common = then_v.type;  // pointer-ish arms: take the then-type
+  } else {
+    common = CommonType(then_v.type, else_v.type);
+  }
+
+  if (common == types_.void_type()) {
+    b_->SetBlock(then_end);
+    b_->Br(join_bb);
+    b_->SetBlock(else_end);
+    b_->Br(join_bb);
+    b_->SetBlock(join_bb);
+    return RV{Operand::None(), common};
+  }
+
+  const uint32_t temp = fn_->AddSlot("$cond", types_.ToIrType(common));
+  b_->SetBlock(then_end);
+  b_->StoreSlot(temp, Convert(then_v, common, expr.loc).op);
+  b_->Br(join_bb);
+  b_->SetBlock(else_end);
+  b_->StoreSlot(temp, Convert(else_v, common, expr.loc).op);
+  b_->Br(join_bb);
+  b_->SetBlock(join_bb);
+  return RV{b_->LoadSlot(temp), common};
+}
+
+Lowerer::RV Lowerer::LowerAssign(const Expr& expr) {
+  LV lv = LowerLValue(*expr.lhs);
+  std::optional<uint32_t> spilled = SpillPtrAcross(*expr.rhs, &lv);
+  RV value = LowerExpr(*expr.rhs);
+  ReloadSpilledPtr(spilled, &lv);
+  if (expr.op != Tok::kAssign) {
+    RV current = LoadLV(lv, expr.loc);
+    Tok bin_op;
+    switch (expr.op) {
+      case Tok::kPlusAssign: bin_op = Tok::kPlus; break;
+      case Tok::kMinusAssign: bin_op = Tok::kMinus; break;
+      case Tok::kStarAssign: bin_op = Tok::kStar; break;
+      case Tok::kSlashAssign: bin_op = Tok::kSlash; break;
+      case Tok::kPercentAssign: bin_op = Tok::kPercent; break;
+      case Tok::kAmpAssign: bin_op = Tok::kAmp; break;
+      case Tok::kPipeAssign: bin_op = Tok::kPipe; break;
+      case Tok::kCaretAssign: bin_op = Tok::kCaret; break;
+      case Tok::kShlAssign: bin_op = Tok::kShl; break;
+      case Tok::kShrAssign: bin_op = Tok::kShr; break;
+      default: bin_op = Tok::kPlus; break;
+    }
+    value = LowerBinary(bin_op, current, value, expr.loc);
+  }
+  RV converted = Convert(value, lv.type, expr.loc);
+  StoreLV(lv, converted, expr.loc);
+  return converted;
+}
+
+Lowerer::RV Lowerer::LowerIncDec(const Expr& expr) {
+  LV lv = LowerLValue(*expr.lhs);
+  RV old_value = LoadLV(lv, expr.loc);
+  const CType& t = types_.at(old_value.type);
+  int64_t delta = 1;
+  if (t.kind == CType::Kind::kPtr) {
+    delta = types_.ByteSize(t.pointee);
+  }
+  const BinKind op = expr.op == Tok::kPlusPlus ? BinKind::kAdd : BinKind::kSub;
+  Operand new_op = b_->Bin(op, old_value.op,
+                           Operand::Const(delta, old_value.op.type), old_value.op.type);
+  RV new_value{new_op, old_value.type};
+  StoreLV(lv, new_value, expr.loc);
+  return expr.is_prefix ? new_value : old_value;
+}
+
+Lowerer::RV Lowerer::LowerBuiltin(const Expr& expr) {
+  const std::string& name = expr.ident;
+  auto arg = [&](size_t i) { return LowerExpr(*expr.args[i]); };
+  auto require_args = [&](size_t n) {
+    if (expr.args.size() != n) {
+      Error(expr.loc, StrFormat("%s expects %zu argument(s)", name.c_str(), n));
+      return false;
+    }
+    return true;
+  };
+
+  if (name == "__builtin_sti") {
+    b_->Sti();
+    return RV{Operand::None(), types_.void_type()};
+  }
+  if (name == "__builtin_cli") {
+    b_->Cli();
+    return RV{Operand::None(), types_.void_type()};
+  }
+  if (name == "__builtin_pause") {
+    b_->Pause();
+    return RV{Operand::None(), types_.void_type()};
+  }
+  if (name == "__builtin_fence") {
+    b_->Fence();
+    return RV{Operand::None(), types_.void_type()};
+  }
+  if (name == "__builtin_halt") {
+    b_->Hlt();
+    return RV{Operand::None(), types_.void_type()};
+  }
+  if (name == "__builtin_rdtsc") {
+    return RV{b_->Rdtsc(), types_.u64()};
+  }
+  if (name == "__builtin_xchg") {
+    if (!require_args(2)) {
+      return ErrorRV();
+    }
+    RV ptr = arg(0);
+    RV value = Convert(arg(1), types_.u32(), expr.loc);
+    return RV{b_->Xchg(ptr.op, value.op), types_.u32()};
+  }
+  if (name == "__builtin_hypercall") {
+    if (!require_args(1)) {
+      return ErrorRV();
+    }
+    std::optional<int64_t> code = EvalConst(*expr.args[0]);
+    if (!code.has_value()) {
+      Error(expr.loc, "__builtin_hypercall requires a constant code");
+      return ErrorRV();
+    }
+    b_->Hypercall(*code);
+    return RV{Operand::None(), types_.void_type()};
+  }
+  if (name == "__builtin_vmcall") {
+    if (expr.args.empty() || expr.args.size() > 2) {
+      Error(expr.loc, "__builtin_vmcall expects 1 or 2 arguments");
+      return ErrorRV();
+    }
+    std::optional<int64_t> code = EvalConst(*expr.args[0]);
+    if (!code.has_value()) {
+      Error(expr.loc, "__builtin_vmcall requires a constant code");
+      return ErrorRV();
+    }
+    Operand payload = Operand::None();
+    if (expr.args.size() == 2) {
+      payload = Convert(arg(1), types_.i64(), expr.loc).op;
+    }
+    return RV{b_->VmCall(*code, payload), types_.i64()};
+  }
+  Error(expr.loc, StrFormat("unknown builtin '%s'", name.c_str()));
+  return ErrorRV();
+}
+
+Lowerer::RV Lowerer::LowerCall(const Expr& expr) {
+  if (StartsWith(expr.ident, "__builtin_")) {
+    return LowerBuiltin(expr);
+  }
+
+  // Indirect call through a function-pointer global or local.
+  int fnsig = -1;
+  Operand target;
+  uint32_t via_global = kNoIndex;
+  bool indirect = false;
+
+  bool args_may_branch = false;
+  for (const ExprPtr& arg : expr.args) {
+    args_may_branch |= ExprMayBranch(*arg);
+  }
+  const LocalVar* local = FindLocal(expr.ident);
+  if (local != nullptr && types_.at(local->type).kind == CType::Kind::kFnPtr) {
+    // Defer the target load until after the arguments when they may branch.
+    if (!args_may_branch) {
+      target = b_->LoadSlot(local->slot);
+    }
+    fnsig = types_.at(local->type).fnsig;
+    indirect = true;
+  } else if (local == nullptr) {
+    auto git = globals_.find(expr.ident);
+    if (git != globals_.end() && types_.at(git->second.type).kind == CType::Kind::kFnPtr) {
+      // Calls through named function-pointer globals lower to a single
+      // memory-indirect call instruction (x86 `call *mem`) that the code
+      // generator records: attributed ones become multiverse call sites
+      // (paper §4), the rest feed the paravirt baseline patcher.
+      fnsig = types_.at(git->second.type).fnsig;
+      via_global = git->second.index;
+      indirect = true;
+    }
+  }
+
+  std::vector<int> param_types;
+  int ret_type;
+  if (indirect) {
+    const FnSig& sig = types_.fnsig(fnsig);
+    param_types = sig.params;
+    ret_type = sig.ret;
+  } else {
+    auto fit = functions_.find(expr.ident);
+    if (fit == functions_.end()) {
+      Error(expr.loc, StrFormat("call to undeclared function '%s'", expr.ident.c_str()));
+      return ErrorRV();
+    }
+    param_types = fit->second.params;
+    ret_type = fit->second.ret;
+  }
+
+  if (expr.args.size() != param_types.size()) {
+    Error(expr.loc, StrFormat("'%s' expects %zu argument(s), got %zu", expr.ident.c_str(),
+                              param_types.size(), expr.args.size()));
+    return ErrorRV();
+  }
+  // Later arguments containing ?:/&&/|| invalidate earlier vreg operands;
+  // evaluate left-to-right and keep earlier arguments durable where needed.
+  bool rest_may_branch = false;
+  for (const ExprPtr& arg : expr.args) {
+    rest_may_branch |= ExprMayBranch(*arg);
+  }
+  std::vector<Operand> args;
+  std::vector<std::optional<uint32_t>> arg_slots(expr.args.size());
+  args.reserve(expr.args.size());
+  for (size_t i = 0; i < expr.args.size(); ++i) {
+    RV a = Convert(LowerExpr(*expr.args[i]), param_types[i], expr.args[i]->loc);
+    if (rest_may_branch && a.op.is_vreg()) {
+      const uint32_t slot = fn_->AddSlot("$arg", a.op.type);
+      b_->StoreSlot(slot, a.op);
+      arg_slots[i] = slot;
+    }
+    args.push_back(a.op);
+  }
+  if (rest_may_branch) {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (arg_slots[i].has_value()) {
+        args[i] = b_->LoadSlot(*arg_slots[i]);
+      }
+    }
+  }
+
+  if (indirect && via_global == kNoIndex && target.is_none()) {
+    // Deferred local fn-ptr target load (see above).
+    target = b_->LoadSlot(FindLocal(expr.ident)->slot);
+  }
+  const IrType ir_ret = types_.ToIrType(ret_type);
+  Operand result;
+  if (!indirect) {
+    result = b_->Call(expr.ident, std::move(args), ir_ret);
+  } else if (via_global != kNoIndex) {
+    result = b_->CallVia(via_global, std::move(args), ir_ret);
+  } else {
+    result = b_->CallInd(target, std::move(args), ir_ret);
+  }
+  return RV{result, ret_type};
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+void Lowerer::LowerLocalDecl(const Stmt& stmt) {
+  const int type = ResolveType(stmt.decl_type, stmt.loc);
+  if (types_.at(type).kind == CType::Kind::kVoid) {
+    Error(stmt.loc, "variables cannot have void type");
+    return;
+  }
+  const uint32_t slot = fn_->AddSlot(stmt.decl_name, types_.ToIrType(type));
+  if (!scopes_.back().emplace(stmt.decl_name, LocalVar{slot, type}).second) {
+    Error(stmt.loc, StrFormat("redefinition of '%s'", stmt.decl_name.c_str()));
+  }
+  if (stmt.decl_init != nullptr) {
+    RV value = Convert(LowerExpr(*stmt.decl_init), type, stmt.loc);
+    b_->StoreSlot(slot, value.op);
+  }
+}
+
+void Lowerer::LowerIf(const Stmt& stmt) {
+  RV cond = LowerExpr(*stmt.expr);
+  const uint32_t then_bb = fn_->AddBlock();
+  const uint32_t else_bb = stmt.else_stmt != nullptr ? fn_->AddBlock() : kNoIndex;
+  const uint32_t join_bb = fn_->AddBlock();
+  b_->CondBr(cond.op, then_bb, stmt.else_stmt != nullptr ? else_bb : join_bb);
+
+  b_->SetBlock(then_bb);
+  PushScope();
+  LowerStmt(*stmt.then_stmt);
+  PopScope();
+  if (!b_->Terminated()) {
+    b_->Br(join_bb);
+  }
+
+  if (stmt.else_stmt != nullptr) {
+    b_->SetBlock(else_bb);
+    PushScope();
+    LowerStmt(*stmt.else_stmt);
+    PopScope();
+    if (!b_->Terminated()) {
+      b_->Br(join_bb);
+    }
+  }
+  b_->SetBlock(join_bb);
+}
+
+void Lowerer::LowerWhile(const Stmt& stmt) {
+  const uint32_t cond_bb = fn_->AddBlock();
+  const uint32_t body_bb = fn_->AddBlock();
+  const uint32_t exit_bb = fn_->AddBlock();
+  b_->Br(cond_bb);
+  b_->SetBlock(cond_bb);
+  RV cond = LowerExpr(*stmt.expr);
+  b_->CondBr(cond.op, body_bb, exit_bb);
+
+  loops_.push_back({cond_bb, exit_bb});
+  b_->SetBlock(body_bb);
+  PushScope();
+  LowerStmt(*stmt.then_stmt);
+  PopScope();
+  if (!b_->Terminated()) {
+    b_->Br(cond_bb);
+  }
+  loops_.pop_back();
+  b_->SetBlock(exit_bb);
+}
+
+void Lowerer::LowerDoWhile(const Stmt& stmt) {
+  const uint32_t body_bb = fn_->AddBlock();
+  const uint32_t cond_bb = fn_->AddBlock();
+  const uint32_t exit_bb = fn_->AddBlock();
+  b_->Br(body_bb);
+  loops_.push_back({cond_bb, exit_bb});
+  b_->SetBlock(body_bb);
+  PushScope();
+  LowerStmt(*stmt.then_stmt);
+  PopScope();
+  if (!b_->Terminated()) {
+    b_->Br(cond_bb);
+  }
+  loops_.pop_back();
+  b_->SetBlock(cond_bb);
+  RV cond = LowerExpr(*stmt.expr);
+  b_->CondBr(cond.op, body_bb, exit_bb);
+  b_->SetBlock(exit_bb);
+}
+
+void Lowerer::LowerFor(const Stmt& stmt) {
+  PushScope();
+  if (stmt.init_stmt != nullptr) {
+    LowerStmt(*stmt.init_stmt);
+  }
+  const uint32_t cond_bb = fn_->AddBlock();
+  const uint32_t body_bb = fn_->AddBlock();
+  const uint32_t step_bb = fn_->AddBlock();
+  const uint32_t exit_bb = fn_->AddBlock();
+  b_->Br(cond_bb);
+  b_->SetBlock(cond_bb);
+  if (stmt.expr != nullptr) {
+    RV cond = LowerExpr(*stmt.expr);
+    b_->CondBr(cond.op, body_bb, exit_bb);
+  } else {
+    b_->Br(body_bb);
+  }
+
+  loops_.push_back({step_bb, exit_bb});
+  b_->SetBlock(body_bb);
+  PushScope();
+  LowerStmt(*stmt.then_stmt);
+  PopScope();
+  if (!b_->Terminated()) {
+    b_->Br(step_bb);
+  }
+  loops_.pop_back();
+
+  b_->SetBlock(step_bb);
+  if (stmt.step_expr != nullptr) {
+    LowerExpr(*stmt.step_expr);
+  }
+  b_->Br(cond_bb);
+  b_->SetBlock(exit_bb);
+  PopScope();
+}
+
+void Lowerer::LowerStmt(const Stmt& stmt) {
+  if (b_->Terminated() && stmt.kind != StmtKind::kEmpty) {
+    // Unreachable code after return/break/...; lower into a fresh dead block
+    // so expressions still type-check; SimplifyCfg removes it.
+    const uint32_t dead = fn_->AddBlock();
+    b_->SetBlock(dead);
+  }
+  switch (stmt.kind) {
+    case StmtKind::kExpr:
+      LowerExpr(*stmt.expr);
+      return;
+    case StmtKind::kDecl:
+      LowerLocalDecl(stmt);
+      return;
+    case StmtKind::kCompound:
+      PushScope();
+      for (const StmtPtr& child : stmt.body) {
+        LowerStmt(*child);
+      }
+      PopScope();
+      return;
+    case StmtKind::kIf:
+      LowerIf(stmt);
+      return;
+    case StmtKind::kWhile:
+      LowerWhile(stmt);
+      return;
+    case StmtKind::kDoWhile:
+      LowerDoWhile(stmt);
+      return;
+    case StmtKind::kFor:
+      LowerFor(stmt);
+      return;
+    case StmtKind::kReturn: {
+      if (stmt.expr != nullptr) {
+        RV value = LowerExpr(*stmt.expr);
+        if (fn_->return_type.is_void()) {
+          Error(stmt.loc, "void function cannot return a value");
+          b_->Ret();
+        } else {
+          RV converted = Convert(value, fn_info_->ret, stmt.loc);
+          b_->Ret(converted.op);
+        }
+      } else {
+        if (!fn_->return_type.is_void()) {
+          Error(stmt.loc, "non-void function must return a value");
+          b_->Ret(Operand::Const(0, fn_->return_type));
+        } else {
+          b_->Ret();
+        }
+      }
+      return;
+    }
+    case StmtKind::kBreak:
+      if (loops_.empty()) {
+        Error(stmt.loc, "'break' outside of a loop");
+      } else {
+        b_->Br(loops_.back().break_bb);
+      }
+      return;
+    case StmtKind::kContinue:
+      if (loops_.empty()) {
+        Error(stmt.loc, "'continue' outside of a loop");
+      } else {
+        b_->Br(loops_.back().continue_bb);
+      }
+      return;
+    case StmtKind::kEmpty:
+      return;
+  }
+}
+
+void Lowerer::LowerFunctionBody(const FunctionDecl& decl) {
+  fn_ = module_.FindFunction(decl.name);
+  fn_info_ = &functions_.at(decl.name);
+  fn_->is_extern = false;
+  fn_->blocks.clear();
+  fn_->slots.clear();
+  fn_->next_vreg = 0;
+  fn_->AddBlock();
+  b_ = std::make_unique<IrBuilder>(fn_);
+  b_->SetBlock(0);
+
+  scopes_.clear();
+  loops_.clear();
+  PushScope();
+  for (size_t i = 0; i < decl.params.size(); ++i) {
+    const int type = fn_info_->params[i];
+    const uint32_t slot =
+        fn_->AddSlot(decl.params[i].name, types_.ToIrType(type), /*is_param=*/true);
+    scopes_.back().emplace(decl.params[i].name, LocalVar{slot, type});
+  }
+
+  LowerStmt(*decl.body);
+  if (!b_->Terminated()) {
+    if (fn_->return_type.is_void()) {
+      b_->Ret();
+    } else {
+      // Missing return in a non-void function: C UB; return 0 deterministically.
+      b_->Ret(Operand::Const(0, fn_->return_type));
+    }
+  }
+  PopScope();
+  b_.reset();
+  fn_ = nullptr;
+  fn_info_ = nullptr;
+}
+
+Result<Module> Lowerer::Lower(const TranslationUnit& unit, std::string module_name) {
+  module_.name = std::move(module_name);
+
+  for (const EnumDecl& decl : unit.enums) {
+    DeclareEnum(decl);
+  }
+  for (const GlobalDecl& decl : unit.globals) {
+    DeclareGlobal(decl);
+  }
+  for (const FunctionDecl& decl : unit.functions) {
+    DeclareFunction(decl);
+  }
+  for (const FunctionDecl& decl : unit.functions) {
+    if (decl.body != nullptr) {
+      LowerFunctionBody(decl);
+    }
+  }
+  if (diag_->has_errors()) {
+    return Status::InvalidArgument("compilation failed:\n" + diag_->ToString());
+  }
+  Status verify = VerifyModule(module_);
+  if (!verify.ok()) {
+    return Status::Internal("IR verification failed: " + verify.ToString());
+  }
+  return std::move(module_);
+}
+
+}  // namespace
+
+int64_t NormalizeValueForType(int64_t value, const CType& type) {
+  if (type.kind != CType::Kind::kInt || type.bits >= 64) {
+    return value;
+  }
+  const int shift = 64 - type.bits;
+  if (type.is_signed) {
+    return (value << shift) >> shift;
+  }
+  return static_cast<int64_t>((static_cast<uint64_t>(value) << shift) >> shift);
+}
+
+Result<Module> CompileToIr(std::string_view source, std::string module_name,
+                           const CompileOptions& options, DiagnosticSink* diag) {
+  Lexer lexer(source, diag);
+  std::vector<Token> tokens = lexer.Tokenize();
+  if (diag->has_errors()) {
+    return Status::InvalidArgument("lexing failed:\n" + diag->ToString());
+  }
+  Parser parser(std::move(tokens), diag);
+  TranslationUnit unit = parser.ParseUnit();
+  if (diag->has_errors()) {
+    return Status::InvalidArgument("parsing failed:\n" + diag->ToString());
+  }
+  Lowerer lowerer(options, diag);
+  return lowerer.Lower(unit, std::move(module_name));
+}
+
+}  // namespace mv

@@ -1,0 +1,784 @@
+#include "src/frontend/parser.h"
+
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+// Binary operator precedence (C-like). Higher binds tighter.
+int BinPrecedence(Tok tok) {
+  switch (tok) {
+    case Tok::kPipePipe: return 1;
+    case Tok::kAmpAmp: return 2;
+    case Tok::kPipe: return 3;
+    case Tok::kCaret: return 4;
+    case Tok::kAmp: return 5;
+    case Tok::kEq:
+    case Tok::kNe: return 6;
+    case Tok::kLt:
+    case Tok::kGt:
+    case Tok::kLe:
+    case Tok::kGe: return 7;
+    case Tok::kShl:
+    case Tok::kShr: return 8;
+    case Tok::kPlus:
+    case Tok::kMinus: return 9;
+    case Tok::kStar:
+    case Tok::kSlash:
+    case Tok::kPercent: return 10;
+    default: return 0;
+  }
+}
+
+bool IsAssignOp(Tok tok) {
+  switch (tok) {
+    case Tok::kAssign:
+    case Tok::kPlusAssign:
+    case Tok::kMinusAssign:
+    case Tok::kStarAssign:
+    case Tok::kSlashAssign:
+    case Tok::kPercentAssign:
+    case Tok::kAmpAssign:
+    case Tok::kPipeAssign:
+    case Tok::kCaretAssign:
+    case Tok::kShlAssign:
+    case Tok::kShrAssign:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr MakeExpr(ExprKind kind, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  return e;
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticSink* diag)
+    : tokens_(std::move(tokens)), diag_(diag) {}
+
+const Token& Parser::Peek(int ahead) const {
+  const size_t idx = pos_ + static_cast<size_t>(ahead);
+  return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& token = Peek();
+  if (pos_ + 1 < tokens_.size()) {
+    ++pos_;
+  }
+  return token;
+}
+
+bool Parser::Match(Tok kind) {
+  if (!Check(kind)) {
+    return false;
+  }
+  Advance();
+  return true;
+}
+
+const Token* Parser::Expect(Tok kind, const char* context) {
+  if (Check(kind)) {
+    return &Advance();
+  }
+  diag_->Error(Peek().loc, StrFormat("expected '%s' %s, got '%s'", TokName(kind), context,
+                                     TokName(Peek().kind)));
+  return nullptr;
+}
+
+void Parser::SyncToSemi() {
+  while (!Check(Tok::kEof) && !Check(Tok::kSemi) && !Check(Tok::kRBrace)) {
+    Advance();
+  }
+  Match(Tok::kSemi);
+}
+
+bool Parser::AtTypeStart() const {
+  switch (Peek().kind) {
+    case Tok::kKwVoid:
+    case Tok::kKwBool:
+    case Tok::kKwChar:
+    case Tok::kKwShort:
+    case Tok::kKwInt:
+    case Tok::kKwLong:
+    case Tok::kKwUnsigned:
+    case Tok::kKwSigned:
+    case Tok::kKwEnum:
+    case Tok::kKwConst:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MvAttribute Parser::ParseAttribute() {
+  MvAttribute attr;
+  if (!Check(Tok::kKwAttribute)) {
+    return attr;
+  }
+  attr.loc = Peek().loc;
+  Advance();
+  Expect(Tok::kLParen, "after __attribute__");
+  Expect(Tok::kLParen, "after __attribute__(");
+  const Token* name = Expect(Tok::kIdent, "attribute name");
+  if (name != nullptr && name->text == "multiverse") {
+    attr.present = true;
+  } else if (name != nullptr && name->text == "pvop") {
+    attr.pvop = true;
+  } else if (name != nullptr) {
+    diag_->Error(name->loc, StrFormat("unknown attribute '%s'", name->text.c_str()));
+  }
+  // Optional arguments. Integers bound a variable's specialization domain
+  // (the extended syntax of paper §3); identifiers on a *function* restrict
+  // binding to the named switches (partial specialization, paper §7.1).
+  if (Match(Tok::kLParen)) {
+    while (!Check(Tok::kRParen) && !Check(Tok::kEof)) {
+      if (Check(Tok::kIdent)) {
+        attr.bind_names.push_back(Advance().text);
+      } else {
+        bool negative = Match(Tok::kMinus);
+        const Token* value = Expect(Tok::kIntLit, "in multiverse attribute");
+        if (value != nullptr) {
+          attr.domain.push_back(negative ? -value->int_value : value->int_value);
+        }
+      }
+      if (!Match(Tok::kComma)) {
+        break;
+      }
+    }
+    Expect(Tok::kRParen, "to close multiverse attribute");
+  }
+  Expect(Tok::kRParen, "to close attribute");
+  Expect(Tok::kRParen, "to close attribute");
+  return attr;
+}
+
+TypeSpec Parser::ParseTypeSpec() {
+  TypeSpec spec;
+  while (Match(Tok::kKwConst)) {
+  }
+  if (Match(Tok::kKwUnsigned)) {
+    spec.is_unsigned = true;
+    spec.base = TypeSpec::Base::kInt;
+  } else if (Match(Tok::kKwSigned)) {
+    spec.explicitly_signed = true;
+    spec.base = TypeSpec::Base::kInt;
+  }
+  switch (Peek().kind) {
+    case Tok::kKwVoid:
+      Advance();
+      spec.base = TypeSpec::Base::kVoid;
+      break;
+    case Tok::kKwBool:
+      Advance();
+      spec.base = TypeSpec::Base::kBool;
+      break;
+    case Tok::kKwChar:
+      Advance();
+      spec.base = TypeSpec::Base::kChar;
+      break;
+    case Tok::kKwShort:
+      Advance();
+      Match(Tok::kKwInt);
+      spec.base = TypeSpec::Base::kShort;
+      break;
+    case Tok::kKwInt:
+      Advance();
+      spec.base = TypeSpec::Base::kInt;
+      break;
+    case Tok::kKwLong:
+      Advance();
+      Match(Tok::kKwLong);  // `long long` == long
+      Match(Tok::kKwInt);
+      spec.base = TypeSpec::Base::kLong;
+      break;
+    case Tok::kKwEnum: {
+      Advance();
+      spec.base = TypeSpec::Base::kEnum;
+      const Token* name = Expect(Tok::kIdent, "after 'enum'");
+      if (name != nullptr) {
+        spec.enum_name = name->text;
+      }
+      break;
+    }
+    default:
+      // 'unsigned'/'signed' alone means int.
+      if (!spec.is_unsigned && !spec.explicitly_signed) {
+        diag_->Error(Peek().loc, StrFormat("expected type, got '%s'", TokName(Peek().kind)));
+      }
+      break;
+  }
+  while (Match(Tok::kKwConst)) {
+  }
+  while (Match(Tok::kStar)) {
+    ++spec.pointer_depth;
+    while (Match(Tok::kKwConst)) {
+    }
+  }
+  return spec;
+}
+
+void Parser::ParseEnumDecl(TranslationUnit* unit) {
+  EnumDecl decl;
+  decl.loc = Peek().loc;
+  Advance();  // 'enum'
+  const Token* name = Expect(Tok::kIdent, "enum name");
+  if (name != nullptr) {
+    decl.name = name->text;
+  }
+  Expect(Tok::kLBrace, "to open enum body");
+  int64_t next_value = 0;
+  while (!Check(Tok::kRBrace) && !Check(Tok::kEof)) {
+    const Token* item = Expect(Tok::kIdent, "enumerator name");
+    if (item == nullptr) {
+      SyncToSemi();
+      return;
+    }
+    int64_t value = next_value;
+    if (Match(Tok::kAssign)) {
+      const bool negative = Match(Tok::kMinus);
+      const Token* lit = Expect(Tok::kIntLit, "enumerator value");
+      if (lit != nullptr) {
+        value = negative ? -lit->int_value : lit->int_value;
+      }
+    }
+    decl.items.emplace_back(item->text, value);
+    next_value = value + 1;
+    if (!Match(Tok::kComma)) {
+      break;
+    }
+  }
+  Expect(Tok::kRBrace, "to close enum body");
+  Expect(Tok::kSemi, "after enum declaration");
+  unit->enums.push_back(std::move(decl));
+}
+
+void Parser::ParseTopLevelDecl(TranslationUnit* unit) {
+  const SourceLoc loc = Peek().loc;
+  MvAttribute attr = ParseAttribute();
+  bool is_extern = false;
+  while (Check(Tok::kKwExtern) || Check(Tok::kKwStatic)) {
+    is_extern |= Check(Tok::kKwExtern);
+    Advance();
+  }
+  if (!attr.present) {
+    MvAttribute after = ParseAttribute();
+    if (after.present) {
+      attr = std::move(after);
+    }
+  }
+  if (Check(Tok::kKwEnum) && Peek(2).kind == Tok::kLBrace) {
+    ParseEnumDecl(unit);
+    return;
+  }
+  TypeSpec type = ParseTypeSpec();
+
+  // Function-pointer declarator: `ret (*name)(param-types)`.
+  if (Check(Tok::kLParen) && Peek(1).kind == Tok::kStar) {
+    Advance();  // (
+    Advance();  // *
+    const Token* name = Expect(Tok::kIdent, "function-pointer name");
+    Expect(Tok::kRParen, "after function-pointer name");
+    Expect(Tok::kLParen, "to open function-pointer parameter list");
+    TypeSpec fnptr;
+    fnptr.is_fnptr = true;
+    fnptr.fnptr_ret = std::make_unique<TypeSpec>(std::move(type));
+    if (!Check(Tok::kRParen)) {
+      if (Check(Tok::kKwVoid) && Peek(1).kind == Tok::kRParen) {
+        Advance();
+      } else {
+        do {
+          fnptr.fnptr_params.push_back(ParseTypeSpec());
+          // Optional parameter name in the prototype.
+          if (Check(Tok::kIdent)) {
+            Advance();
+          }
+        } while (Match(Tok::kComma));
+      }
+    }
+    Expect(Tok::kRParen, "to close function-pointer parameter list");
+    ParseGlobalRest(unit, std::move(fnptr), name != nullptr ? name->text : "<error>",
+                    std::move(attr), is_extern, loc);
+    return;
+  }
+
+  const Token* name = Expect(Tok::kIdent, "declarator name");
+  if (name == nullptr) {
+    SyncToSemi();
+    return;
+  }
+  if (Check(Tok::kLParen)) {
+    ParseFunctionRest(unit, std::move(type), name->text, std::move(attr), is_extern, loc);
+  } else {
+    ParseGlobalRest(unit, std::move(type), name->text, std::move(attr), is_extern, loc);
+  }
+}
+
+void Parser::ParseFunctionRest(TranslationUnit* unit, TypeSpec ret, std::string name,
+                               MvAttribute attr, bool is_extern, SourceLoc loc) {
+  FunctionDecl fn;
+  fn.name = std::move(name);
+  fn.return_type = std::move(ret);
+  fn.attr = std::move(attr);
+  fn.loc = loc;
+  Expect(Tok::kLParen, "to open parameter list");
+  if (!Check(Tok::kRParen)) {
+    if (Check(Tok::kKwVoid) && Peek(1).kind == Tok::kRParen) {
+      Advance();
+    } else {
+      do {
+        ParamDecl param;
+        param.loc = Peek().loc;
+        param.type = ParseTypeSpec();
+        const Token* pname = Expect(Tok::kIdent, "parameter name");
+        if (pname != nullptr) {
+          param.name = pname->text;
+        }
+        fn.params.push_back(std::move(param));
+      } while (Match(Tok::kComma));
+    }
+  }
+  Expect(Tok::kRParen, "to close parameter list");
+  if (Match(Tok::kSemi)) {
+    fn.is_extern = true;
+    unit->functions.push_back(std::move(fn));
+    return;
+  }
+  fn.is_extern = is_extern && false;  // a body makes it a definition
+  fn.body = ParseCompound();
+  unit->functions.push_back(std::move(fn));
+}
+
+void Parser::ParseGlobalRest(TranslationUnit* unit, TypeSpec type, std::string name,
+                             MvAttribute attr, bool is_extern, SourceLoc loc) {
+  GlobalDecl decl;
+  decl.name = std::move(name);
+  decl.type = std::move(type);
+  decl.attr = std::move(attr);
+  decl.is_extern = is_extern;
+  decl.loc = loc;
+  if (Match(Tok::kLBracket)) {
+    if (Check(Tok::kIntLit)) {
+      decl.array_size = Advance().int_value;
+    } else if (!Check(Tok::kRBracket)) {
+      diag_->Error(Peek().loc, "array size must be an integer literal");
+    }
+    Expect(Tok::kRBracket, "to close array size");
+  }
+  if (Match(Tok::kAssign)) {
+    if (Match(Tok::kLBrace)) {
+      while (!Check(Tok::kRBrace) && !Check(Tok::kEof)) {
+        decl.init_list.push_back(ParseAssign());
+        if (!Match(Tok::kComma)) {
+          break;
+        }
+      }
+      Expect(Tok::kRBrace, "to close initializer list");
+    } else if (Check(Tok::kStringLit)) {
+      decl.init_string = Advance().text;
+      decl.has_init_string = true;
+    } else {
+      decl.init = ParseAssign();
+    }
+  }
+  Expect(Tok::kSemi, "after global declaration");
+  unit->globals.push_back(std::move(decl));
+}
+
+TranslationUnit Parser::ParseUnit() {
+  TranslationUnit unit;
+  while (!Check(Tok::kEof)) {
+    const size_t before = pos_;
+    ParseTopLevelDecl(&unit);
+    if (pos_ == before) {
+      // Defensive: never loop without progress on malformed input.
+      Advance();
+    }
+  }
+  return unit;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+StmtPtr Parser::ParseCompound() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kCompound;
+  stmt->loc = Peek().loc;
+  Expect(Tok::kLBrace, "to open block");
+  while (!Check(Tok::kRBrace) && !Check(Tok::kEof)) {
+    stmt->body.push_back(ParseStmt());
+  }
+  Expect(Tok::kRBrace, "to close block");
+  return stmt;
+}
+
+StmtPtr Parser::ParseLocalDecl() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kDecl;
+  stmt->loc = Peek().loc;
+  stmt->decl_type = ParseTypeSpec();
+  // Local function-pointer declarator: `ret (*name)(params)`.
+  if (Check(Tok::kLParen) && Peek(1).kind == Tok::kStar) {
+    Advance();  // (
+    Advance();  // *
+    const Token* fp_name = Expect(Tok::kIdent, "function-pointer name");
+    if (fp_name != nullptr) {
+      stmt->decl_name = fp_name->text;
+    }
+    Expect(Tok::kRParen, "after function-pointer name");
+    Expect(Tok::kLParen, "to open function-pointer parameter list");
+    TypeSpec fnptr;
+    fnptr.is_fnptr = true;
+    fnptr.fnptr_ret = std::make_unique<TypeSpec>(std::move(stmt->decl_type));
+    if (!Check(Tok::kRParen)) {
+      if (Check(Tok::kKwVoid) && Peek(1).kind == Tok::kRParen) {
+        Advance();
+      } else {
+        do {
+          fnptr.fnptr_params.push_back(ParseTypeSpec());
+          if (Check(Tok::kIdent)) {
+            Advance();
+          }
+        } while (Match(Tok::kComma));
+      }
+    }
+    Expect(Tok::kRParen, "to close function-pointer parameter list");
+    stmt->decl_type = std::move(fnptr);
+    if (Match(Tok::kAssign)) {
+      stmt->decl_init = ParseAssign();
+    }
+    Expect(Tok::kSemi, "after declaration");
+    return stmt;
+  }
+  const Token* name = Expect(Tok::kIdent, "local variable name");
+  if (name != nullptr) {
+    stmt->decl_name = name->text;
+  }
+  if (Check(Tok::kLBracket)) {
+    diag_->Error(Peek().loc, "local arrays are not supported in mvc; use a global");
+    SyncToSemi();
+    return stmt;
+  }
+  if (Match(Tok::kAssign)) {
+    stmt->decl_init = ParseAssign();
+  }
+  Expect(Tok::kSemi, "after declaration");
+  return stmt;
+}
+
+StmtPtr Parser::ParseStmt() {
+  const SourceLoc loc = Peek().loc;
+  switch (Peek().kind) {
+    case Tok::kLBrace:
+      return ParseCompound();
+    case Tok::kSemi: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kEmpty;
+      stmt->loc = loc;
+      return stmt;
+    }
+    case Tok::kKwIf: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kIf;
+      stmt->loc = loc;
+      Expect(Tok::kLParen, "after 'if'");
+      stmt->expr = ParseExpr();
+      Expect(Tok::kRParen, "after if condition");
+      stmt->then_stmt = ParseStmt();
+      if (Match(Tok::kKwElse)) {
+        stmt->else_stmt = ParseStmt();
+      }
+      return stmt;
+    }
+    case Tok::kKwWhile: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kWhile;
+      stmt->loc = loc;
+      Expect(Tok::kLParen, "after 'while'");
+      stmt->expr = ParseExpr();
+      Expect(Tok::kRParen, "after while condition");
+      stmt->then_stmt = ParseStmt();
+      return stmt;
+    }
+    case Tok::kKwDo: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kDoWhile;
+      stmt->loc = loc;
+      stmt->then_stmt = ParseStmt();
+      Expect(Tok::kKwWhile, "after do body");
+      Expect(Tok::kLParen, "after 'while'");
+      stmt->expr = ParseExpr();
+      Expect(Tok::kRParen, "after do-while condition");
+      Expect(Tok::kSemi, "after do-while");
+      return stmt;
+    }
+    case Tok::kKwFor: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kFor;
+      stmt->loc = loc;
+      Expect(Tok::kLParen, "after 'for'");
+      if (!Check(Tok::kSemi)) {
+        if (AtTypeStart()) {
+          stmt->init_stmt = ParseLocalDecl();  // consumes the ';'
+        } else {
+          auto init = std::make_unique<Stmt>();
+          init->kind = StmtKind::kExpr;
+          init->loc = Peek().loc;
+          init->expr = ParseExpr();
+          stmt->init_stmt = std::move(init);
+          Expect(Tok::kSemi, "after for-init");
+        }
+      } else {
+        Advance();
+      }
+      if (!Check(Tok::kSemi)) {
+        stmt->expr = ParseExpr();
+      }
+      Expect(Tok::kSemi, "after for-condition");
+      if (!Check(Tok::kRParen)) {
+        stmt->step_expr = ParseExpr();
+      }
+      Expect(Tok::kRParen, "after for-step");
+      stmt->then_stmt = ParseStmt();
+      return stmt;
+    }
+    case Tok::kKwReturn: {
+      Advance();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kReturn;
+      stmt->loc = loc;
+      if (!Check(Tok::kSemi)) {
+        stmt->expr = ParseExpr();
+      }
+      Expect(Tok::kSemi, "after return");
+      return stmt;
+    }
+    case Tok::kKwBreak: {
+      Advance();
+      Expect(Tok::kSemi, "after break");
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kBreak;
+      stmt->loc = loc;
+      return stmt;
+    }
+    case Tok::kKwContinue: {
+      Advance();
+      Expect(Tok::kSemi, "after continue");
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kContinue;
+      stmt->loc = loc;
+      return stmt;
+    }
+    default:
+      if (AtTypeStart()) {
+        return ParseLocalDecl();
+      }
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kExpr;
+      stmt->loc = loc;
+      stmt->expr = ParseExpr();
+      Expect(Tok::kSemi, "after expression statement");
+      return stmt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+ExprPtr Parser::ParseExpr() { return ParseAssign(); }
+
+ExprPtr Parser::ParseAssign() {
+  ExprPtr lhs = ParseCond();
+  if (IsAssignOp(Peek().kind)) {
+    const Tok op = Advance().kind;
+    ExprPtr value = ParseAssign();
+    auto expr = MakeExpr(ExprKind::kAssign, lhs->loc);
+    expr->op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(value);
+    return expr;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseCond() {
+  ExprPtr cond = ParseBinary(1);
+  if (Match(Tok::kQuestion)) {
+    auto expr = MakeExpr(ExprKind::kCond, cond->loc);
+    expr->lhs = std::move(cond);
+    expr->rhs = ParseAssign();
+    Expect(Tok::kColon, "in conditional expression");
+    expr->third = ParseCond();
+    return expr;
+  }
+  return cond;
+}
+
+ExprPtr Parser::ParseBinary(int min_prec) {
+  ExprPtr lhs = ParseUnary();
+  while (true) {
+    const Tok op = Peek().kind;
+    const int prec = BinPrecedence(op);
+    if (prec < min_prec || prec == 0) {
+      return lhs;
+    }
+    Advance();
+    ExprPtr rhs = ParseBinary(prec + 1);
+    auto expr = MakeExpr(ExprKind::kBinary, lhs->loc);
+    expr->op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    lhs = std::move(expr);
+  }
+}
+
+ExprPtr Parser::ParseUnary() {
+  const SourceLoc loc = Peek().loc;
+  switch (Peek().kind) {
+    case Tok::kPlusPlus:
+    case Tok::kMinusMinus: {
+      const Tok op = Advance().kind;
+      auto expr = MakeExpr(ExprKind::kIncDec, loc);
+      expr->op = op;
+      expr->is_prefix = true;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    case Tok::kBang:
+    case Tok::kTilde:
+    case Tok::kMinus:
+    case Tok::kPlus:
+    case Tok::kStar:
+    case Tok::kAmp: {
+      const Tok op = Advance().kind;
+      auto expr = MakeExpr(ExprKind::kUnary, loc);
+      expr->op = op;
+      expr->lhs = ParseUnary();
+      return expr;
+    }
+    case Tok::kKwSizeof: {
+      Advance();
+      auto expr = MakeExpr(ExprKind::kSizeof, loc);
+      Expect(Tok::kLParen, "after sizeof");
+      expr->cast_type = ParseTypeSpec();
+      Expect(Tok::kRParen, "after sizeof type");
+      return expr;
+    }
+    case Tok::kLParen:
+      // Cast: '(' starts a type.
+      if (Peek(1).kind == Tok::kKwVoid || Peek(1).kind == Tok::kKwBool ||
+          Peek(1).kind == Tok::kKwChar || Peek(1).kind == Tok::kKwShort ||
+          Peek(1).kind == Tok::kKwInt || Peek(1).kind == Tok::kKwLong ||
+          Peek(1).kind == Tok::kKwUnsigned || Peek(1).kind == Tok::kKwSigned ||
+          Peek(1).kind == Tok::kKwEnum || Peek(1).kind == Tok::kKwConst) {
+        Advance();  // (
+        auto expr = MakeExpr(ExprKind::kCast, loc);
+        expr->cast_type = ParseTypeSpec();
+        Expect(Tok::kRParen, "after cast type");
+        expr->lhs = ParseUnary();
+        return expr;
+      }
+      return ParsePostfix();
+    default:
+      return ParsePostfix();
+  }
+}
+
+ExprPtr Parser::ParsePostfix() {
+  ExprPtr expr = ParsePrimary();
+  while (true) {
+    const SourceLoc loc = Peek().loc;
+    if (Match(Tok::kLParen)) {
+      auto call = MakeExpr(ExprKind::kCall, loc);
+      if (expr->kind == ExprKind::kIdent) {
+        call->ident = expr->ident;
+      } else {
+        diag_->Error(loc, "calls are only supported through identifiers");
+      }
+      call->lhs = std::move(expr);
+      if (!Check(Tok::kRParen)) {
+        do {
+          call->args.push_back(ParseAssign());
+        } while (Match(Tok::kComma));
+      }
+      Expect(Tok::kRParen, "to close call");
+      expr = std::move(call);
+    } else if (Match(Tok::kLBracket)) {
+      auto index = MakeExpr(ExprKind::kIndex, loc);
+      index->lhs = std::move(expr);
+      index->rhs = ParseExpr();
+      Expect(Tok::kRBracket, "to close index");
+      expr = std::move(index);
+    } else if (Check(Tok::kPlusPlus) || Check(Tok::kMinusMinus)) {
+      const Tok op = Advance().kind;
+      auto incdec = MakeExpr(ExprKind::kIncDec, loc);
+      incdec->op = op;
+      incdec->is_prefix = false;
+      incdec->lhs = std::move(expr);
+      expr = std::move(incdec);
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr Parser::ParsePrimary() {
+  const Token& token = Peek();
+  switch (token.kind) {
+    case Tok::kIntLit: {
+      Advance();
+      auto expr = MakeExpr(ExprKind::kIntLit, token.loc);
+      expr->int_value = token.int_value;
+      expr->lit_unsigned = token.is_unsigned;
+      expr->lit_long = token.is_long;
+      return expr;
+    }
+    case Tok::kKwTrue:
+    case Tok::kKwFalse: {
+      Advance();
+      auto expr = MakeExpr(ExprKind::kIntLit, token.loc);
+      expr->int_value = token.kind == Tok::kKwTrue ? 1 : 0;
+      return expr;
+    }
+    case Tok::kStringLit: {
+      Advance();
+      auto expr = MakeExpr(ExprKind::kStringLit, token.loc);
+      expr->string_value = token.text;
+      return expr;
+    }
+    case Tok::kIdent: {
+      Advance();
+      auto expr = MakeExpr(ExprKind::kIdent, token.loc);
+      expr->ident = token.text;
+      return expr;
+    }
+    case Tok::kLParen: {
+      Advance();
+      ExprPtr expr = ParseExpr();
+      Expect(Tok::kRParen, "to close parenthesized expression");
+      return expr;
+    }
+    default: {
+      diag_->Error(token.loc,
+                   StrFormat("expected expression, got '%s'", TokName(token.kind)));
+      Advance();
+      auto expr = MakeExpr(ExprKind::kIntLit, token.loc);
+      expr->int_value = 0;
+      return expr;
+    }
+  }
+}
+
+}  // namespace mv

@@ -1,0 +1,59 @@
+// Recursive-descent parser for mvc.
+#ifndef MULTIVERSE_SRC_FRONTEND_PARSER_H_
+#define MULTIVERSE_SRC_FRONTEND_PARSER_H_
+
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/frontend/token.h"
+#include "src/support/diagnostics.h"
+
+namespace mv {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticSink* diag);
+
+  // Parses a whole translation unit. On syntax errors, diagnostics are
+  // recorded and a best-effort partial AST is returned; callers must check
+  // diag->has_errors().
+  TranslationUnit ParseUnit();
+
+ private:
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Check(Tok kind) const { return Peek().kind == kind; }
+  bool Match(Tok kind);
+  const Token* Expect(Tok kind, const char* context);
+  void SyncToSemi();
+
+  bool AtTypeStart() const;
+  MvAttribute ParseAttribute();
+  TypeSpec ParseTypeSpec();
+  void ParseEnumDecl(TranslationUnit* unit);
+  void ParseTopLevelDecl(TranslationUnit* unit);
+  void ParseFunctionRest(TranslationUnit* unit, TypeSpec ret, std::string name,
+                         MvAttribute attr, bool is_extern, SourceLoc loc);
+  void ParseGlobalRest(TranslationUnit* unit, TypeSpec type, std::string name,
+                       MvAttribute attr, bool is_extern, SourceLoc loc);
+
+  StmtPtr ParseStmt();
+  StmtPtr ParseCompound();
+  StmtPtr ParseLocalDecl();
+
+  ExprPtr ParseExpr();          // comma-free full expression (assignment level)
+  ExprPtr ParseAssign();
+  ExprPtr ParseCond();
+  ExprPtr ParseBinary(int min_prec);
+  ExprPtr ParseUnary();
+  ExprPtr ParsePostfix();
+  ExprPtr ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  DiagnosticSink* diag_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FRONTEND_PARSER_H_

@@ -1,0 +1,52 @@
+// Token definitions for mvc — the C subset accepted by the multiverse
+// toolchain's frontend.
+#ifndef MULTIVERSE_SRC_FRONTEND_TOKEN_H_
+#define MULTIVERSE_SRC_FRONTEND_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/diagnostics.h"
+
+namespace mv {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kStringLit,
+
+  // Keywords.
+  kKwVoid, kKwBool, kKwChar, kKwShort, kKwInt, kKwLong, kKwUnsigned, kKwSigned,
+  kKwEnum, kKwIf, kKwElse, kKwWhile, kKwDo, kKwFor, kKwReturn, kKwBreak,
+  kKwContinue, kKwExtern, kKwStatic, kKwConst, kKwSizeof, kKwAttribute,
+  kKwTrue, kKwFalse,
+
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kColon, kQuestion,
+  kAssign,            // =
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+  kAmpAssign, kPipeAssign, kCaretAssign, kShlAssign, kShrAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kAmpAmp, kPipePipe,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kShl, kShr,
+  kPlusPlus, kMinusMinus,
+};
+
+const char* TokName(Tok tok);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;      // identifier / literal spelling
+  int64_t int_value = 0; // kIntLit value
+  bool is_unsigned = false;  // literal suffix 'u'
+  bool is_long = false;      // literal suffix 'l'
+  SourceLoc loc;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FRONTEND_TOKEN_H_

@@ -1,0 +1,67 @@
+// Cycle cost model for MVISA.
+//
+// Costs are expressed in ticks; 4 ticks = 1 modelled CPU cycle. The sub-cycle
+// resolution lets NOPs and predicted branches cost fractions of a cycle, as
+// they effectively do on the out-of-order x86 cores the paper measured
+// (i5-7400 / i5-6400).
+//
+// Calibration targets (see DESIGN.md §2 and EXPERIMENTS.md):
+//  * an uncontended spinlock acquire+release pair with an atomic exchange
+//    lands near the paper's ~29 cycles,
+//  * the dynamic-variability overhead (global load + compare + predicted
+//    branch per function) lands near the paper's ~1.5 cycles per function,
+//  * a branch misprediction costs 16.5 cycles (the paper's Skylake footnote
+//    cites 16.5/19–20 cycles).
+#ifndef MULTIVERSE_SRC_ISA_COST_MODEL_H_
+#define MULTIVERSE_SRC_ISA_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/isa/isa.h"
+
+namespace mv {
+
+inline constexpr uint64_t kTicksPerCycle = 4;
+
+struct CostModel {
+  // Straight-line instruction costs (ticks).
+  uint64_t mov = 2;
+  uint64_t alu = 2;
+  uint64_t cmp = 2;
+  uint64_t setcc = 2;
+  uint64_t load = 4;          // L1 hit
+  uint64_t store = 2;         // store buffer absorbs it
+  uint64_t global_load = 4;   // rip-relative load equivalent
+  uint64_t global_store = 2;
+  uint64_t push = 2;
+  uint64_t pop = 2;
+  uint64_t nop = 1;           // 0.25 cycles
+
+  // Control flow.
+  uint64_t jmp = 2;
+  uint64_t branch_predicted = 1;
+  uint64_t branch_mispredict_penalty = 66;  // 16.5 cycles
+  uint64_t call = 6;
+  uint64_t ret = 6;
+  uint64_t call_indirect = 8;
+  uint64_t indirect_mispredict_penalty = 72;  // 18 cycles
+
+  // System-ish instructions.
+  uint64_t sti_cli_native = 8;      // 2 cycles: flag manipulation w/ serialization
+  uint64_t sti_cli_guest_trap = 600;  // 150 cycles: #GP + hypervisor emulation
+  uint64_t hypercall = 16;          // 4 cycles: paravirtual fast path
+  uint64_t xchg_atomic = 70;        // 17.5 cycles: locked read-modify-write
+  uint64_t pause = 16;
+  uint64_t fence = 20;
+  uint64_t rdtsc = 60;
+  uint64_t vmcall = 40;
+  uint64_t hlt = 0;
+};
+
+inline double TicksToCycles(uint64_t ticks) {
+  return static_cast<double>(ticks) / static_cast<double>(kTicksPerCycle);
+}
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_ISA_COST_MODEL_H_

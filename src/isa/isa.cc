@@ -1,0 +1,735 @@
+#include "src/isa/isa.h"
+
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) | (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+bool FitsI32(int64_t v) { return v >= INT32_MIN && v <= INT32_MAX; }
+bool FitsU32(int64_t v) { return v >= 0 && v <= UINT32_MAX; }
+
+enum class Layout {
+  kNone,          // [op]                           1
+  kR,             // [op][r]                        2
+  kRR,            // [op][ra][rb]                   3
+  kRImm64,        // [op][r][imm64]                 10
+  kRImm32,        // [op][r][imm32]                 6
+  kRImm8,         // [op][r][imm8]                  3
+  kMem,           // [op][r][rb][off32]             7
+  kGlobal,        // [op][r][w][abs32]              7
+  kCCR,           // [op][cc][r]                    3
+  kRel32,         // [op][rel32]                    5
+  kCCRel32,       // [op][cc][rel32]                6
+  kCallR,         // [op][r][pad][pad][pad]         5
+  kImm8,          // [op][imm8]                     2
+};
+
+Layout OpLayout(Op op) {
+  switch (op) {
+    case Op::kMovRI:
+      return Layout::kRImm64;
+    case Op::kMovRR:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kUDiv:
+    case Op::kURem:
+    case Op::kSDiv:
+    case Op::kSRem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kSar:
+    case Op::kCmp:
+    case Op::kXchg:
+      return Layout::kRR;
+    case Op::kLd8U:
+    case Op::kLd8S:
+    case Op::kLd16U:
+    case Op::kLd16S:
+    case Op::kLd32U:
+    case Op::kLd32S:
+    case Op::kLd64:
+    case Op::kSt8:
+    case Op::kSt16:
+    case Op::kSt32:
+    case Op::kSt64:
+      return Layout::kMem;
+    case Op::kLdg:
+    case Op::kStg:
+      return Layout::kGlobal;
+    case Op::kAddI:
+    case Op::kSubI:
+    case Op::kMulI:
+    case Op::kAndI:
+    case Op::kOrI:
+    case Op::kXorI:
+    case Op::kCmpI:
+      return Layout::kRImm32;
+    case Op::kShlI:
+    case Op::kShrI:
+    case Op::kSarI:
+      return Layout::kRImm8;
+    case Op::kNot:
+    case Op::kNeg:
+    case Op::kPush:
+    case Op::kPop:
+    case Op::kRdtsc:
+      return Layout::kR;
+    case Op::kSetCC:
+      return Layout::kCCR;
+    case Op::kJmp:
+    case Op::kCall:
+      return Layout::kRel32;
+    case Op::kJcc:
+      return Layout::kCCRel32;
+    case Op::kCallR:
+      return Layout::kCallR;
+    case Op::kCallM:
+      return Layout::kRel32;  // same shape: [op][imm32]
+    case Op::kRet:
+    case Op::kNop:
+    case Op::kHlt:
+    case Op::kPause:
+    case Op::kFence:
+    case Op::kSti:
+    case Op::kCli:
+      return Layout::kNone;
+    case Op::kHypercall:
+    case Op::kVmCall:
+      return Layout::kImm8;
+    case Op::kInvalid:
+      return Layout::kNone;
+  }
+  return Layout::kNone;
+}
+
+int LayoutSize(Layout layout) {
+  switch (layout) {
+    case Layout::kNone:
+      return 1;
+    case Layout::kR:
+      return 2;
+    case Layout::kRR:
+      return 3;
+    case Layout::kRImm64:
+      return 10;
+    case Layout::kRImm32:
+      return 6;
+    case Layout::kRImm8:
+      return 3;
+    case Layout::kMem:
+      return 7;
+    case Layout::kGlobal:
+      return 7;
+    case Layout::kCCR:
+      return 3;
+    case Layout::kRel32:
+      return 5;
+    case Layout::kCCRel32:
+      return 6;
+    case Layout::kCallR:
+      return 5;
+    case Layout::kImm8:
+      return 2;
+  }
+  return 1;
+}
+
+bool ValidOp(uint8_t byte) {
+  Op op = static_cast<Op>(byte);
+  switch (op) {
+    case Op::kMovRI:
+    case Op::kMovRR:
+    case Op::kLd8U:
+    case Op::kLd8S:
+    case Op::kLd16U:
+    case Op::kLd16S:
+    case Op::kLd32U:
+    case Op::kLd32S:
+    case Op::kLd64:
+    case Op::kSt8:
+    case Op::kSt16:
+    case Op::kSt32:
+    case Op::kSt64:
+    case Op::kLdg:
+    case Op::kStg:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kUDiv:
+    case Op::kURem:
+    case Op::kSDiv:
+    case Op::kSRem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kSar:
+    case Op::kAddI:
+    case Op::kSubI:
+    case Op::kMulI:
+    case Op::kAndI:
+    case Op::kOrI:
+    case Op::kXorI:
+    case Op::kShlI:
+    case Op::kShrI:
+    case Op::kSarI:
+    case Op::kNot:
+    case Op::kNeg:
+    case Op::kCmp:
+    case Op::kCmpI:
+    case Op::kSetCC:
+    case Op::kJmp:
+    case Op::kJcc:
+    case Op::kCall:
+    case Op::kCallR:
+    case Op::kCallM:
+    case Op::kRet:
+    case Op::kPush:
+    case Op::kPop:
+    case Op::kNop:
+    case Op::kHlt:
+    case Op::kPause:
+    case Op::kFence:
+    case Op::kSti:
+    case Op::kCli:
+    case Op::kXchg:
+    case Op::kRdtsc:
+    case Op::kHypercall:
+    case Op::kVmCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int GWidthBytes(GWidth w) {
+  switch (w) {
+    case GWidth::kU8:
+    case GWidth::kS8:
+      return 1;
+    case GWidth::kU16:
+    case GWidth::kS16:
+      return 2;
+    case GWidth::kU32:
+    case GWidth::kS32:
+      return 4;
+    case GWidth::kU64:
+    case GWidth::kS64:
+      return 8;
+  }
+  return 8;
+}
+
+bool GWidthSigned(GWidth w) {
+  switch (w) {
+    case GWidth::kS8:
+    case GWidth::kS16:
+    case GWidth::kS32:
+    case GWidth::kS64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<int> Encode(const Insn& insn, std::vector<uint8_t>* out) {
+  const Layout layout = OpLayout(insn.op);
+  const size_t start = out->size();
+  PutU8(out, static_cast<uint8_t>(insn.op));
+  switch (layout) {
+    case Layout::kNone:
+      break;
+    case Layout::kR:
+      PutU8(out, insn.a);
+      break;
+    case Layout::kRR:
+      PutU8(out, insn.a);
+      PutU8(out, insn.b);
+      break;
+    case Layout::kRImm64:
+      PutU8(out, insn.a);
+      PutU64(out, static_cast<uint64_t>(insn.imm));
+      break;
+    case Layout::kRImm32:
+      if (!FitsI32(insn.imm)) {
+        out->resize(start);
+        return Status::OutOfRange(StrFormat("imm32 overflow in %s", OpName(insn.op)));
+      }
+      PutU8(out, insn.a);
+      PutU32(out, static_cast<uint32_t>(static_cast<int32_t>(insn.imm)));
+      break;
+    case Layout::kRImm8:
+      if (insn.imm < 0 || insn.imm > 63) {
+        out->resize(start);
+        return Status::OutOfRange("shift amount must be in [0, 63]");
+      }
+      PutU8(out, insn.a);
+      PutU8(out, static_cast<uint8_t>(insn.imm));
+      break;
+    case Layout::kMem:
+      if (!FitsI32(insn.imm)) {
+        out->resize(start);
+        return Status::OutOfRange("mem offset overflow");
+      }
+      PutU8(out, insn.a);
+      PutU8(out, insn.b);
+      PutU32(out, static_cast<uint32_t>(static_cast<int32_t>(insn.imm)));
+      break;
+    case Layout::kGlobal:
+      if (!FitsU32(insn.imm)) {
+        out->resize(start);
+        return Status::OutOfRange("global address must fit 32 bits");
+      }
+      PutU8(out, insn.a);
+      PutU8(out, static_cast<uint8_t>(insn.gw));
+      PutU32(out, static_cast<uint32_t>(insn.imm));
+      break;
+    case Layout::kCCR:
+      PutU8(out, static_cast<uint8_t>(insn.cc));
+      PutU8(out, insn.a);
+      break;
+    case Layout::kRel32:
+      if (!FitsI32(insn.imm)) {
+        out->resize(start);
+        return Status::OutOfRange("rel32 overflow");
+      }
+      PutU32(out, static_cast<uint32_t>(static_cast<int32_t>(insn.imm)));
+      break;
+    case Layout::kCCRel32:
+      if (!FitsI32(insn.imm)) {
+        out->resize(start);
+        return Status::OutOfRange("rel32 overflow");
+      }
+      PutU8(out, static_cast<uint8_t>(insn.cc));
+      PutU32(out, static_cast<uint32_t>(static_cast<int32_t>(insn.imm)));
+      break;
+    case Layout::kCallR:
+      PutU8(out, insn.a);
+      PutU8(out, 0);
+      PutU8(out, 0);
+      PutU8(out, 0);
+      break;
+    case Layout::kImm8:
+      if (insn.imm < 0 || insn.imm > 255) {
+        out->resize(start);
+        return Status::OutOfRange("imm8 overflow");
+      }
+      PutU8(out, static_cast<uint8_t>(insn.imm));
+      break;
+  }
+  return static_cast<int>(out->size() - start);
+}
+
+Result<Insn> Decode(const uint8_t* bytes, size_t len) {
+  if (len == 0) {
+    return Status::OutOfRange("decode: empty buffer");
+  }
+  if (!ValidOp(bytes[0])) {
+    return Status::InvalidArgument(StrFormat("decode: unknown opcode 0x%02x", bytes[0]));
+  }
+  Insn insn;
+  insn.op = static_cast<Op>(bytes[0]);
+  const Layout layout = OpLayout(insn.op);
+  const int size = LayoutSize(layout);
+  if (len < static_cast<size_t>(size)) {
+    return Status::OutOfRange(StrFormat("decode: truncated %s", OpName(insn.op)));
+  }
+  insn.size = static_cast<uint8_t>(size);
+  switch (layout) {
+    case Layout::kNone:
+      break;
+    case Layout::kR:
+      insn.a = bytes[1];
+      break;
+    case Layout::kRR:
+      insn.a = bytes[1];
+      insn.b = bytes[2];
+      break;
+    case Layout::kRImm64:
+      insn.a = bytes[1];
+      insn.imm = static_cast<int64_t>(GetU64(bytes + 2));
+      break;
+    case Layout::kRImm32:
+      insn.a = bytes[1];
+      insn.imm = static_cast<int32_t>(GetU32(bytes + 2));
+      break;
+    case Layout::kRImm8:
+      insn.a = bytes[1];
+      insn.imm = bytes[2];
+      break;
+    case Layout::kMem:
+      insn.a = bytes[1];
+      insn.b = bytes[2];
+      insn.imm = static_cast<int32_t>(GetU32(bytes + 3));
+      break;
+    case Layout::kGlobal:
+      insn.a = bytes[1];
+      insn.gw = static_cast<GWidth>(bytes[2] & 0x7);
+      insn.imm = GetU32(bytes + 3);
+      break;
+    case Layout::kCCR:
+      insn.cc = static_cast<Cond>(bytes[1]);
+      insn.a = bytes[2];
+      break;
+    case Layout::kRel32:
+      insn.imm = static_cast<int32_t>(GetU32(bytes + 1));
+      break;
+    case Layout::kCCRel32:
+      insn.cc = static_cast<Cond>(bytes[1]);
+      insn.imm = static_cast<int32_t>(GetU32(bytes + 2));
+      break;
+    case Layout::kCallR:
+      insn.a = bytes[1];
+      break;
+    case Layout::kImm8:
+      insn.imm = bytes[1];
+      break;
+  }
+  const bool has_reg_a = layout == Layout::kR || layout == Layout::kRR ||
+                         layout == Layout::kRImm64 || layout == Layout::kRImm32 ||
+                         layout == Layout::kRImm8 || layout == Layout::kMem ||
+                         layout == Layout::kGlobal || layout == Layout::kCCR ||
+                         layout == Layout::kCallR;
+  if ((has_reg_a && insn.a >= kNumRegs) ||
+      ((layout == Layout::kRR || layout == Layout::kMem) && insn.b >= kNumRegs)) {
+    return Status::InvalidArgument("decode: register index out of range");
+  }
+  return insn;
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kInvalid: return "invalid";
+    case Op::kMovRI: return "mov";
+    case Op::kMovRR: return "mov";
+    case Op::kLd8U: return "ld8u";
+    case Op::kLd8S: return "ld8s";
+    case Op::kLd16U: return "ld16u";
+    case Op::kLd16S: return "ld16s";
+    case Op::kLd32U: return "ld32u";
+    case Op::kLd32S: return "ld32s";
+    case Op::kLd64: return "ld64";
+    case Op::kSt8: return "st8";
+    case Op::kSt16: return "st16";
+    case Op::kSt32: return "st32";
+    case Op::kSt64: return "st64";
+    case Op::kLdg: return "ldg";
+    case Op::kStg: return "stg";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kUDiv: return "udiv";
+    case Op::kURem: return "urem";
+    case Op::kSDiv: return "sdiv";
+    case Op::kSRem: return "srem";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kSar: return "sar";
+    case Op::kAddI: return "addi";
+    case Op::kSubI: return "subi";
+    case Op::kMulI: return "muli";
+    case Op::kAndI: return "andi";
+    case Op::kOrI: return "ori";
+    case Op::kXorI: return "xori";
+    case Op::kShlI: return "shli";
+    case Op::kShrI: return "shri";
+    case Op::kSarI: return "sari";
+    case Op::kNot: return "not";
+    case Op::kNeg: return "neg";
+    case Op::kCmp: return "cmp";
+    case Op::kCmpI: return "cmpi";
+    case Op::kSetCC: return "set";
+    case Op::kJmp: return "jmp";
+    case Op::kJcc: return "j";
+    case Op::kCall: return "call";
+    case Op::kCallR: return "callr";
+    case Op::kCallM: return "callm";
+    case Op::kRet: return "ret";
+    case Op::kPush: return "push";
+    case Op::kPop: return "pop";
+    case Op::kNop: return "nop";
+    case Op::kHlt: return "hlt";
+    case Op::kPause: return "pause";
+    case Op::kFence: return "fence";
+    case Op::kSti: return "sti";
+    case Op::kCli: return "cli";
+    case Op::kXchg: return "xchg";
+    case Op::kRdtsc: return "rdtsc";
+    case Op::kHypercall: return "hypercall";
+    case Op::kVmCall: return "vmcall";
+  }
+  return "?";
+}
+
+const char* CondName(Cond cc) {
+  switch (cc) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kLe: return "le";
+    case Cond::kGt: return "gt";
+    case Cond::kGe: return "ge";
+    case Cond::kB: return "b";
+    case Cond::kBe: return "be";
+    case Cond::kA: return "a";
+    case Cond::kAe: return "ae";
+  }
+  return "?";
+}
+
+std::string Insn::ToString() const {
+  const Layout layout = OpLayout(op);
+  switch (layout) {
+    case Layout::kNone:
+      return OpName(op);
+    case Layout::kR:
+      return StrFormat("%s r%d", OpName(op), a);
+    case Layout::kRR:
+      return StrFormat("%s r%d, r%d", OpName(op), a, b);
+    case Layout::kRImm64:
+      return StrFormat("%s r%d, %lld", OpName(op), a, (long long)imm);
+    case Layout::kRImm32:
+      return StrFormat("%s r%d, %lld", OpName(op), a, (long long)imm);
+    case Layout::kRImm8:
+      return StrFormat("%s r%d, %lld", OpName(op), a, (long long)imm);
+    case Layout::kMem:
+      if (op >= Op::kSt8 && op <= Op::kSt64) {
+        return StrFormat("%s [r%d%+lld], r%d", OpName(op), b, (long long)imm, a);
+      }
+      return StrFormat("%s r%d, [r%d%+lld]", OpName(op), a, b, (long long)imm);
+    case Layout::kGlobal:
+      if (op == Op::kStg) {
+        return StrFormat("%s [0x%llx].w%d, r%d", OpName(op), (unsigned long long)imm,
+                         GWidthBytes(gw), a);
+      }
+      return StrFormat("%s r%d, [0x%llx].w%d", OpName(op), a, (unsigned long long)imm,
+                       GWidthBytes(gw));
+    case Layout::kCCR:
+      return StrFormat("set%s r%d", CondName(cc), a);
+    case Layout::kRel32:
+      return StrFormat("%s %+lld", OpName(op), (long long)imm);
+    case Layout::kCCRel32:
+      return StrFormat("j%s %+lld", CondName(cc), (long long)imm);
+    case Layout::kCallR:
+      return StrFormat("callr r%d", a);
+    case Layout::kImm8:
+      return StrFormat("%s %lld", OpName(op), (long long)imm);
+  }
+  return OpName(op);
+}
+
+Insn MakeMovRI(uint8_t rd, int64_t imm) {
+  Insn i;
+  i.op = Op::kMovRI;
+  i.a = rd;
+  i.imm = imm;
+  return i;
+}
+Insn MakeMovRR(uint8_t rd, uint8_t rs) {
+  Insn i;
+  i.op = Op::kMovRR;
+  i.a = rd;
+  i.b = rs;
+  return i;
+}
+Insn MakeLoad(Op op, uint8_t rd, uint8_t rbase, int32_t off) {
+  Insn i;
+  i.op = op;
+  i.a = rd;
+  i.b = rbase;
+  i.imm = off;
+  return i;
+}
+Insn MakeStore(Op op, uint8_t rs, uint8_t rbase, int32_t off) {
+  Insn i;
+  i.op = op;
+  i.a = rs;
+  i.b = rbase;
+  i.imm = off;
+  return i;
+}
+Insn MakeLdg(uint8_t rd, GWidth w, uint32_t abs) {
+  Insn i;
+  i.op = Op::kLdg;
+  i.a = rd;
+  i.gw = w;
+  i.imm = abs;
+  return i;
+}
+Insn MakeStg(uint8_t rs, GWidth w, uint32_t abs) {
+  Insn i;
+  i.op = Op::kStg;
+  i.a = rs;
+  i.gw = w;
+  i.imm = abs;
+  return i;
+}
+Insn MakeAluRR(Op op, uint8_t rd, uint8_t rs) {
+  Insn i;
+  i.op = op;
+  i.a = rd;
+  i.b = rs;
+  return i;
+}
+Insn MakeAluRI(Op op, uint8_t rd, int32_t imm) {
+  Insn i;
+  i.op = op;
+  i.a = rd;
+  i.imm = imm;
+  return i;
+}
+Insn MakeShiftI(Op op, uint8_t rd, uint8_t amount) {
+  Insn i;
+  i.op = op;
+  i.a = rd;
+  i.imm = amount;
+  return i;
+}
+Insn MakeUnary(Op op, uint8_t rd) {
+  Insn i;
+  i.op = op;
+  i.a = rd;
+  return i;
+}
+Insn MakeCmp(uint8_t ra, uint8_t rb) {
+  Insn i;
+  i.op = Op::kCmp;
+  i.a = ra;
+  i.b = rb;
+  return i;
+}
+Insn MakeCmpI(uint8_t ra, int32_t imm) {
+  Insn i;
+  i.op = Op::kCmpI;
+  i.a = ra;
+  i.imm = imm;
+  return i;
+}
+Insn MakeSetCC(Cond cc, uint8_t rd) {
+  Insn i;
+  i.op = Op::kSetCC;
+  i.cc = cc;
+  i.a = rd;
+  return i;
+}
+Insn MakeJmp(int32_t rel) {
+  Insn i;
+  i.op = Op::kJmp;
+  i.imm = rel;
+  return i;
+}
+Insn MakeJcc(Cond cc, int32_t rel) {
+  Insn i;
+  i.op = Op::kJcc;
+  i.cc = cc;
+  i.imm = rel;
+  return i;
+}
+Insn MakeCall(int32_t rel) {
+  Insn i;
+  i.op = Op::kCall;
+  i.imm = rel;
+  return i;
+}
+Insn MakeCallR(uint8_t r) {
+  Insn i;
+  i.op = Op::kCallR;
+  i.a = r;
+  return i;
+}
+Insn MakeCallM(uint32_t abs) {
+  Insn i;
+  i.op = Op::kCallM;
+  i.imm = abs;
+  return i;
+}
+Insn MakeSimple(Op op) {
+  Insn i;
+  i.op = op;
+  return i;
+}
+Insn MakePush(uint8_t r) {
+  Insn i;
+  i.op = Op::kPush;
+  i.a = r;
+  return i;
+}
+Insn MakePop(uint8_t r) {
+  Insn i;
+  i.op = Op::kPop;
+  i.a = r;
+  return i;
+}
+Insn MakeRdtsc(uint8_t rd) {
+  Insn i;
+  i.op = Op::kRdtsc;
+  i.a = rd;
+  return i;
+}
+Insn MakeHypercall(uint8_t code) {
+  Insn i;
+  i.op = Op::kHypercall;
+  i.imm = code;
+  return i;
+}
+Insn MakeVmCall(uint8_t code) {
+  Insn i;
+  i.op = Op::kVmCall;
+  i.imm = code;
+  return i;
+}
+
+std::string Disassemble(const uint8_t* bytes, size_t len, uint64_t addr) {
+  std::string out;
+  size_t off = 0;
+  while (off < len) {
+    Result<Insn> insn = Decode(bytes + off, len - off);
+    if (!insn.ok()) {
+      out += StrFormat("%08llx: <%s>\n", (unsigned long long)(addr + off),
+                       insn.status().message().c_str());
+      break;
+    }
+    out += StrFormat("%08llx: %s\n", (unsigned long long)(addr + off),
+                     insn->ToString().c_str());
+    off += insn->size;
+  }
+  return out;
+}
+
+}  // namespace mv

@@ -1,0 +1,199 @@
+// The MVISA virtual instruction set.
+//
+// MVISA is an x86-flavoured register machine designed so that the multiverse
+// runtime's binary-patching operations are faithful to the paper's AMD64
+// implementation:
+//   * direct CALL and JMP are exactly 5 bytes (opcode + rel32), matching the
+//     paper's "a far-call site is 5 bytes" inlining threshold,
+//   * the indirect CALLR is padded to 5 bytes so both the paravirt baseline
+//     patcher and the multiverse function-pointer patcher can rewrite it to a
+//     direct CALL in place,
+//   * NOP is one byte, so patched-out call sites can be filled exactly.
+//
+// Encoding is little-endian byte-oriented: [opcode][operands...].
+#ifndef MULTIVERSE_SRC_ISA_ISA_H_
+#define MULTIVERSE_SRC_ISA_ISA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace mv {
+
+// 16 general-purpose registers. R15 doubles as the stack pointer.
+inline constexpr uint8_t kNumRegs = 16;
+inline constexpr uint8_t kRegSP = 15;
+
+// Standard calling convention: arguments in R0..R5, return value in R0,
+// R0..R10 caller-saved, R11..R14 callee-saved, R15 = SP.
+inline constexpr uint8_t kMaxRegArgs = 6;
+inline constexpr uint8_t kFirstCalleeSaved = 11;
+inline constexpr uint8_t kLastCalleeSaved = 14;
+
+enum class Op : uint8_t {
+  kInvalid = 0x00,
+
+  kMovRI = 0x01,   // rd <- imm64                         [op][rd][imm64]      10 B
+  kMovRR = 0x02,   // rd <- rs                            [op][rd][rs]          3 B
+
+  kLd8U = 0x03,    // rd <- zx([rb + off32])              [op][rd][rb][off32]   7 B
+  kLd8S = 0x04,
+  kLd16U = 0x05,
+  kLd16S = 0x06,
+  kLd32U = 0x07,
+  kLd32S = 0x08,
+  kLd64 = 0x09,
+  kSt8 = 0x0A,     // [rb + off32] <- low bits of rs      [op][rs][rb][off32]   7 B
+  kSt16 = 0x0B,
+  kSt32 = 0x0C,
+  kSt64 = 0x0D,
+
+  kLdg = 0x0E,     // rd <- mem[abs32] with width code    [op][rd][w][abs32]    7 B
+  kStg = 0x0F,     // mem[abs32] <- rs with width code    [op][rs][w][abs32]    7 B
+
+  kAdd = 0x10,     // rd <- rd op rs                      [op][rd][rs]          3 B
+  kSub = 0x11,
+  kMul = 0x12,
+  kUDiv = 0x13,
+  kURem = 0x14,
+  kSDiv = 0x15,
+  kSRem = 0x16,
+  kAnd = 0x17,
+  kOr = 0x18,
+  kXor = 0x19,
+  kShl = 0x1A,
+  kShr = 0x1B,
+  kSar = 0x1C,
+
+  kAddI = 0x20,    // rd <- rd op sx(imm32)               [op][rd][imm32]       6 B
+  kSubI = 0x21,
+  kMulI = 0x22,
+  kAndI = 0x23,
+  kOrI = 0x24,
+  kXorI = 0x25,
+  kShlI = 0x26,    // rd <- rd shift imm8                 [op][rd][imm8]        3 B
+  kShrI = 0x27,
+  kSarI = 0x28,
+  kNot = 0x29,     // rd <- ~rd                           [op][rd]              2 B
+  kNeg = 0x2A,     // rd <- -rd                           [op][rd]              2 B
+
+  kCmp = 0x30,     // flags <- compare(ra, rb)            [op][ra][rb]          3 B
+  kCmpI = 0x31,    // flags <- compare(r, sx(imm32))      [op][r][imm32]        6 B
+  kSetCC = 0x32,   // rd <- cc(flags) ? 1 : 0             [op][cc][rd]          3 B
+
+  kJmp = 0x40,     // pc <- next + rel32                  [op][rel32]           5 B
+  kJcc = 0x41,     // if cc(flags): pc <- next + rel32    [op][cc][rel32]       6 B
+  kCall = 0x42,    // push next; pc <- next + rel32       [op][rel32]           5 B
+  kCallR = 0x43,   // push next; pc <- r                  [op][r][pad][pad][pad] 5 B
+  kCallM = 0x47,   // push next; pc <- mem64[abs32]       [op][abs32]           5 B
+                   //   (x86 `call *mem` — the PV-Ops call-site form)
+  kRet = 0x44,     // pc <- pop                           [op]                  1 B
+  kPush = 0x45,    // sp -= 8; [sp] <- r                  [op][r]               2 B
+  kPop = 0x46,     // r <- [sp]; sp += 8                  [op][r]               2 B
+
+  kNop = 0x50,     //                                     [op]                  1 B
+  kHlt = 0x51,
+  kPause = 0x52,
+  kFence = 0x53,
+  kSti = 0x54,     // set interrupt flag (privileged: traps expensively in guest mode)
+  kCli = 0x55,     // clear interrupt flag (privileged)
+  kXchg = 0x56,    // atomically rd <-> [rs]              [op][rd][rs]          3 B
+  kRdtsc = 0x57,   // rd <- cycle counter (in ticks/4)    [op][rd]              2 B
+  kHypercall = 0x58,  // hypervisor service imm8          [op][imm8]            2 B
+  kVmCall = 0x59,     // host upcall imm8 (arg in r0)     [op][imm8]            2 B
+};
+
+// Condition codes used by kJcc / kSetCC.
+enum class Cond : uint8_t {
+  kEq = 0,
+  kNe = 1,
+  kLt = 2,   // signed
+  kLe = 3,
+  kGt = 4,
+  kGe = 5,
+  kB = 6,    // unsigned below
+  kBe = 7,
+  kA = 8,
+  kAe = 9,
+};
+
+// Width codes for kLdg / kStg.
+enum class GWidth : uint8_t {
+  kU8 = 0,
+  kS8 = 1,
+  kU16 = 2,
+  kS16 = 3,
+  kU32 = 4,
+  kS32 = 5,
+  kU64 = 6,
+  kS64 = 7,
+};
+
+// Byte size of the value a GWidth covers (1, 2, 4 or 8).
+int GWidthBytes(GWidth w);
+bool GWidthSigned(GWidth w);
+
+// A fully decoded instruction.
+struct Insn {
+  Op op = Op::kInvalid;
+  uint8_t a = 0;        // first register operand (rd / ra / rs)
+  uint8_t b = 0;        // second register operand (rs / rb / rbase)
+  Cond cc = Cond::kEq;
+  GWidth gw = GWidth::kU8;
+  int64_t imm = 0;      // imm64 / sx(imm32) / off32 / rel32 / abs32 / imm8
+  uint8_t size = 0;     // encoded size in bytes
+
+  std::string ToString() const;  // disassembly
+};
+
+// Instruction sizes that the patcher relies on.
+inline constexpr int kCallInsnSize = 5;   // CALL rel32 — the paper's inlining threshold
+inline constexpr int kJmpInsnSize = 5;    // JMP rel32 — prologue redirection
+
+// Appends the encoding of `insn` to `out`. Returns the encoded size.
+// imm fields must fit their encoded width (checked).
+Result<int> Encode(const Insn& insn, std::vector<uint8_t>* out);
+
+// Decodes one instruction at `bytes` (length `len`). Fails on truncation or
+// unknown opcode.
+Result<Insn> Decode(const uint8_t* bytes, size_t len);
+
+// Convenience builders used by the code generator and by tests.
+Insn MakeMovRI(uint8_t rd, int64_t imm);
+Insn MakeMovRR(uint8_t rd, uint8_t rs);
+Insn MakeLoad(Op op, uint8_t rd, uint8_t rbase, int32_t off);
+Insn MakeStore(Op op, uint8_t rs, uint8_t rbase, int32_t off);
+Insn MakeLdg(uint8_t rd, GWidth w, uint32_t abs);
+Insn MakeStg(uint8_t rs, GWidth w, uint32_t abs);
+Insn MakeAluRR(Op op, uint8_t rd, uint8_t rs);
+Insn MakeAluRI(Op op, uint8_t rd, int32_t imm);
+Insn MakeShiftI(Op op, uint8_t rd, uint8_t amount);
+Insn MakeUnary(Op op, uint8_t rd);
+Insn MakeCmp(uint8_t ra, uint8_t rb);
+Insn MakeCmpI(uint8_t ra, int32_t imm);
+Insn MakeSetCC(Cond cc, uint8_t rd);
+Insn MakeJmp(int32_t rel);
+Insn MakeJcc(Cond cc, int32_t rel);
+Insn MakeCall(int32_t rel);
+Insn MakeCallR(uint8_t r);
+Insn MakeCallM(uint32_t abs);
+Insn MakeSimple(Op op);
+Insn MakePush(uint8_t r);
+Insn MakePop(uint8_t r);
+Insn MakeRdtsc(uint8_t rd);
+Insn MakeHypercall(uint8_t code);
+Insn MakeVmCall(uint8_t code);
+
+// Disassembles `len` bytes starting at virtual address `addr` (used in error
+// messages and debugging dumps).
+std::string Disassemble(const uint8_t* bytes, size_t len, uint64_t addr);
+
+const char* OpName(Op op);
+const char* CondName(Cond cc);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_ISA_ISA_H_

@@ -1,0 +1,271 @@
+// Convenience builder for constructing mvir, used by the mvc lowering pass
+// and by IR-level unit tests.
+#ifndef MULTIVERSE_SRC_MVIR_BUILDER_H_
+#define MULTIVERSE_SRC_MVIR_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "src/mvir/ir.h"
+
+namespace mv {
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(Function* fn) : fn_(fn) {}
+
+  // Positions the builder at the end of block `bb`.
+  void SetBlock(uint32_t bb) { bb_ = bb; }
+  uint32_t current_block() const { return bb_; }
+
+  // True if the current block already ends in a terminator (e.g. after a
+  // `return` statement); further appends would be unreachable.
+  bool Terminated() const {
+    const BasicBlock& block = fn_->blocks[bb_];
+    return block.terminator() != nullptr;
+  }
+
+  Operand LoadSlot(uint32_t slot) {
+    Instr instr;
+    instr.op = IrOp::kLoadSlot;
+    instr.slot = slot;
+    instr.type = fn_->slots[slot].type;
+    return AppendValue(std::move(instr));
+  }
+  void StoreSlot(uint32_t slot, Operand value) {
+    Instr instr;
+    instr.op = IrOp::kStoreSlot;
+    instr.slot = slot;
+    instr.type = fn_->slots[slot].type;
+    instr.args = {value};
+    Append(std::move(instr));
+  }
+  Operand SlotAddr(uint32_t slot) {
+    Instr instr;
+    instr.op = IrOp::kSlotAddr;
+    instr.slot = slot;
+    instr.type = IrType::Ptr();
+    return AppendValue(std::move(instr));
+  }
+
+  Operand LoadGlobal(uint32_t global, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kLoadGlobal;
+    instr.global = global;
+    instr.type = type;
+    return AppendValue(std::move(instr));
+  }
+  void StoreGlobal(uint32_t global, Operand value, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kStoreGlobal;
+    instr.global = global;
+    instr.type = type;
+    instr.args = {value};
+    Append(std::move(instr));
+  }
+  Operand GlobalAddr(uint32_t global) {
+    Instr instr;
+    instr.op = IrOp::kGlobalAddr;
+    instr.global = global;
+    instr.type = IrType::Ptr();
+    return AppendValue(std::move(instr));
+  }
+
+  Operand Load(Operand ptr, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kLoad;
+    instr.type = type;
+    instr.args = {ptr};
+    return AppendValue(std::move(instr));
+  }
+  void Store(Operand ptr, Operand value, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kStore;
+    instr.type = type;
+    instr.args = {ptr, value};
+    Append(std::move(instr));
+  }
+
+  Operand Bin(BinKind kind, Operand lhs, Operand rhs, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kBin;
+    instr.bin = kind;
+    instr.type = type;
+    instr.args = {lhs, rhs};
+    return AppendValue(std::move(instr));
+  }
+  Operand Cmp(CmpPred pred, Operand lhs, Operand rhs) {
+    Instr instr;
+    instr.op = IrOp::kCmp;
+    instr.pred = pred;
+    instr.type = IrType::I32();
+    instr.args = {lhs, rhs};
+    return AppendValue(std::move(instr));
+  }
+  Operand Not(Operand value, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kNot;
+    instr.type = type;
+    instr.args = {value};
+    return AppendValue(std::move(instr));
+  }
+  Operand Neg(Operand value, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kNeg;
+    instr.type = type;
+    instr.args = {value};
+    return AppendValue(std::move(instr));
+  }
+  Operand Trunc(Operand value, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kTrunc;
+    instr.type = type;
+    instr.args = {value};
+    return AppendValue(std::move(instr));
+  }
+  Operand Sext(Operand value, int from_bits, IrType type) {
+    Instr instr;
+    instr.op = IrOp::kSext;
+    instr.imm = from_bits;
+    instr.type = type;
+    instr.args = {value};
+    return AppendValue(std::move(instr));
+  }
+
+  Operand Call(std::string callee, std::vector<Operand> args, IrType ret) {
+    Instr instr;
+    instr.op = IrOp::kCall;
+    instr.callee = std::move(callee);
+    instr.type = ret;
+    instr.args = std::move(args);
+    if (ret.is_void()) {
+      Append(std::move(instr));
+      return Operand::None();
+    }
+    return AppendValue(std::move(instr));
+  }
+  Operand CallVia(uint32_t global, std::vector<Operand> args, IrType ret) {
+    Instr instr;
+    instr.op = IrOp::kCallVia;
+    instr.global = global;
+    instr.type = ret;
+    instr.args = std::move(args);
+    if (ret.is_void()) {
+      Append(std::move(instr));
+      return Operand::None();
+    }
+    return AppendValue(std::move(instr));
+  }
+  Operand FuncAddr(std::string callee) {
+    Instr instr;
+    instr.op = IrOp::kFuncAddr;
+    instr.callee = std::move(callee);
+    instr.type = IrType::Ptr();
+    return AppendValue(std::move(instr));
+  }
+  Operand CallInd(Operand target, std::vector<Operand> args, IrType ret,
+                  uint32_t via_global = kNoIndex) {
+    Instr instr;
+    instr.op = IrOp::kCallInd;
+    instr.type = ret;
+    instr.args.push_back(target);
+    for (Operand& a : args) {
+      instr.args.push_back(a);
+    }
+    instr.via_global = via_global;
+    if (ret.is_void()) {
+      Append(std::move(instr));
+      return Operand::None();
+    }
+    return AppendValue(std::move(instr));
+  }
+
+  void Sti() { AppendSimple(IrOp::kSti); }
+  void Cli() { AppendSimple(IrOp::kCli); }
+  void Pause() { AppendSimple(IrOp::kPause); }
+  void Fence() { AppendSimple(IrOp::kFence); }
+  void Hlt() { AppendSimple(IrOp::kHlt); }
+  Operand Xchg(Operand ptr, Operand value) {
+    Instr instr;
+    instr.op = IrOp::kXchg;
+    instr.type = IrType::U32();
+    instr.args = {ptr, value};
+    return AppendValue(std::move(instr));
+  }
+  Operand Rdtsc() {
+    Instr instr;
+    instr.op = IrOp::kRdtsc;
+    instr.type = IrType::U64();
+    return AppendValue(std::move(instr));
+  }
+  void Hypercall(int64_t code) {
+    Instr instr;
+    instr.op = IrOp::kHypercall;
+    instr.imm = code;
+    Append(std::move(instr));
+  }
+  Operand VmCall(int64_t code, Operand arg) {
+    Instr instr;
+    instr.op = IrOp::kVmCall;
+    instr.imm = code;
+    instr.type = IrType::I64();
+    if (!arg.is_none()) {
+      instr.args = {arg};
+    }
+    return AppendValue(std::move(instr));
+  }
+
+  void Br(uint32_t target) {
+    Instr instr;
+    instr.op = IrOp::kBr;
+    instr.bb_then = target;
+    Append(std::move(instr));
+  }
+  void CondBr(Operand cond, uint32_t then_bb, uint32_t else_bb) {
+    Instr instr;
+    instr.op = IrOp::kCondBr;
+    instr.args = {cond};
+    instr.bb_then = then_bb;
+    instr.bb_else = else_bb;
+    Append(std::move(instr));
+  }
+  void Ret() {
+    Instr instr;
+    instr.op = IrOp::kRet;
+    Append(std::move(instr));
+  }
+  void Ret(Operand value) {
+    Instr instr;
+    instr.op = IrOp::kRet;
+    instr.args = {value};
+    instr.type = value.type;
+    Append(std::move(instr));
+  }
+
+  Function* function() { return fn_; }
+
+ private:
+  void Append(Instr instr) {
+    if (!Terminated()) {
+      fn_->blocks[bb_].instrs.push_back(std::move(instr));
+    }
+  }
+  Operand AppendValue(Instr instr) {
+    instr.result = fn_->NewVreg();
+    Operand result = Operand::Vreg(instr.result, instr.type);
+    Append(std::move(instr));
+    return result;
+  }
+  void AppendSimple(IrOp op) {
+    Instr instr;
+    instr.op = op;
+    Append(std::move(instr));
+  }
+
+  Function* fn_;
+  uint32_t bb_ = 0;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_MVIR_BUILDER_H_

@@ -1,0 +1,363 @@
+#include "src/mvir/ir.h"
+
+#include <set>
+
+#include "src/support/str.h"
+
+namespace mv {
+
+std::string IrType::ToString() const {
+  switch (kind) {
+    case Kind::kVoid:
+      return "void";
+    case Kind::kPtr:
+      return "ptr";
+    case Kind::kInt:
+      return StrFormat("%c%d", is_signed ? 'i' : 'u', bits);
+  }
+  return "?";
+}
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "<none>";
+    case Kind::kVreg:
+      return StrFormat("%%%u:%s", vreg, type.ToString().c_str());
+    case Kind::kConst:
+      return StrFormat("%lld:%s", (long long)imm, type.ToString().c_str());
+  }
+  return "?";
+}
+
+bool IrOpIsTerminator(IrOp op) {
+  return op == IrOp::kBr || op == IrOp::kCondBr || op == IrOp::kRet;
+}
+
+bool IrOpHasSideEffects(IrOp op) {
+  switch (op) {
+    case IrOp::kStoreSlot:
+    case IrOp::kStoreGlobal:
+    case IrOp::kStore:
+    case IrOp::kCall:
+    case IrOp::kCallInd:
+    case IrOp::kCallVia:
+    case IrOp::kSti:
+    case IrOp::kCli:
+    case IrOp::kXchg:
+    case IrOp::kPause:
+    case IrOp::kFence:
+    case IrOp::kRdtsc:  // reads the time-stamp counter; ordering matters
+    case IrOp::kHypercall:
+    case IrOp::kVmCall:
+    case IrOp::kHlt:
+    case IrOp::kBr:
+    case IrOp::kCondBr:
+    case IrOp::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* IrOpName(IrOp op) {
+  switch (op) {
+    case IrOp::kLoadSlot: return "loadslot";
+    case IrOp::kStoreSlot: return "storeslot";
+    case IrOp::kSlotAddr: return "slotaddr";
+    case IrOp::kLoadGlobal: return "loadglobal";
+    case IrOp::kStoreGlobal: return "storeglobal";
+    case IrOp::kGlobalAddr: return "globaladdr";
+    case IrOp::kLoad: return "load";
+    case IrOp::kStore: return "store";
+    case IrOp::kBin: return "bin";
+    case IrOp::kCmp: return "cmp";
+    case IrOp::kNot: return "not";
+    case IrOp::kNeg: return "neg";
+    case IrOp::kTrunc: return "trunc";
+    case IrOp::kSext: return "sext";
+    case IrOp::kCall: return "call";
+    case IrOp::kCallInd: return "callind";
+    case IrOp::kCallVia: return "callvia";
+    case IrOp::kFuncAddr: return "funcaddr";
+    case IrOp::kSti: return "sti";
+    case IrOp::kCli: return "cli";
+    case IrOp::kXchg: return "xchg";
+    case IrOp::kPause: return "pause";
+    case IrOp::kFence: return "fence";
+    case IrOp::kRdtsc: return "rdtsc";
+    case IrOp::kHypercall: return "hypercall";
+    case IrOp::kVmCall: return "vmcall";
+    case IrOp::kHlt: return "hlt";
+    case IrOp::kBr: return "br";
+    case IrOp::kCondBr: return "condbr";
+    case IrOp::kRet: return "ret";
+  }
+  return "?";
+}
+
+const char* BinKindName(BinKind k) {
+  switch (k) {
+    case BinKind::kAdd: return "add";
+    case BinKind::kSub: return "sub";
+    case BinKind::kMul: return "mul";
+    case BinKind::kSDiv: return "sdiv";
+    case BinKind::kUDiv: return "udiv";
+    case BinKind::kSRem: return "srem";
+    case BinKind::kURem: return "urem";
+    case BinKind::kAnd: return "and";
+    case BinKind::kOr: return "or";
+    case BinKind::kXor: return "xor";
+    case BinKind::kShl: return "shl";
+    case BinKind::kLShr: return "lshr";
+    case BinKind::kAShr: return "ashr";
+  }
+  return "?";
+}
+
+const char* CmpPredName(CmpPred p) {
+  switch (p) {
+    case CmpPred::kEq: return "eq";
+    case CmpPred::kNe: return "ne";
+    case CmpPred::kSLt: return "slt";
+    case CmpPred::kSLe: return "sle";
+    case CmpPred::kSGt: return "sgt";
+    case CmpPred::kSGe: return "sge";
+    case CmpPred::kULt: return "ult";
+    case CmpPred::kULe: return "ule";
+    case CmpPred::kUGt: return "ugt";
+    case CmpPred::kUGe: return "uge";
+  }
+  return "?";
+}
+
+std::string Instr::ToString() const {
+  std::string out;
+  if (result != kNoVreg) {
+    out += StrFormat("%%%u = ", result);
+  }
+  switch (op) {
+    case IrOp::kBin:
+      out += BinKindName(bin);
+      break;
+    case IrOp::kCmp:
+      out += StrFormat("cmp.%s", CmpPredName(pred));
+      break;
+    default:
+      out += IrOpName(op);
+      break;
+  }
+  if (slot != kNoIndex) {
+    out += StrFormat(" slot%u", slot);
+  }
+  if (global != kNoIndex) {
+    out += StrFormat(" @g%u", global);
+  }
+  if (!callee.empty()) {
+    out += " @";
+    out += callee;
+  }
+  if (via_global != kNoIndex) {
+    out += StrFormat(" via@g%u", via_global);
+  }
+  for (const Operand& arg : args) {
+    out += " ";
+    out += arg.ToString();
+  }
+  if (op == IrOp::kSext || op == IrOp::kHypercall || op == IrOp::kVmCall) {
+    out += StrFormat(" #%lld", (long long)imm);
+  }
+  if (op == IrOp::kBr) {
+    out += StrFormat(" bb%u", bb_then);
+  }
+  if (op == IrOp::kCondBr) {
+    out += StrFormat(" bb%u bb%u", bb_then, bb_else);
+  }
+  if (op == IrOp::kTrunc || (result != kNoVreg && op != IrOp::kBin && op != IrOp::kCmp)) {
+    out += StrFormat(" :%s", type.ToString().c_str());
+  }
+  return out;
+}
+
+GlobalVar* Module::FindGlobal(std::string_view gname) {
+  for (GlobalVar& g : globals) {
+    if (g.name == gname) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+const GlobalVar* Module::FindGlobal(std::string_view gname) const {
+  return const_cast<Module*>(this)->FindGlobal(gname);
+}
+
+uint32_t Module::GlobalIndex(std::string_view gname) const {
+  for (size_t i = 0; i < globals.size(); ++i) {
+    if (globals[i].name == gname) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  return kNoIndex;
+}
+
+Function* Module::FindFunction(std::string_view fname) {
+  for (Function& f : functions) {
+    if (f.name == fname) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+const Function* Module::FindFunction(std::string_view fname) const {
+  return const_cast<Module*>(this)->FindFunction(fname);
+}
+
+std::string PrintFunction(const Function& fn, const Module& module) {
+  (void)module;
+  std::string out = StrFormat("func %s(", fn.name.c_str());
+  for (size_t i = 0; i < fn.param_types.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += fn.param_types[i].ToString();
+  }
+  out += StrFormat(") -> %s", fn.return_type.ToString().c_str());
+  if (fn.mv.is_multiverse) {
+    out += " [multiverse]";
+  }
+  if (fn.mv.is_variant()) {
+    out += StrFormat(" [variant of %s:", fn.mv.generic_name.c_str());
+    for (const auto& [g, v] : fn.mv.binding) {
+      out += StrFormat(" g%u=%lld", g, (long long)v);
+    }
+    out += "]";
+  }
+  if (fn.is_extern) {
+    out += " extern;\n";
+    return out;
+  }
+  out += " {\n";
+  for (size_t i = 0; i < fn.slots.size(); ++i) {
+    out += StrFormat("  slot%zu: %s %s%s\n", i, fn.slots[i].type.ToString().c_str(),
+                     fn.slots[i].name.c_str(), fn.slots[i].is_param ? " (param)" : "");
+  }
+  for (const BasicBlock& bb : fn.blocks) {
+    out += StrFormat("bb%u:\n", bb.id);
+    for (const Instr& instr : bb.instrs) {
+      out += "  ";
+      out += instr.ToString();
+      out += "\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Module::ToString() const {
+  std::string out = StrFormat("module %s\n", name.c_str());
+  for (size_t i = 0; i < globals.size(); ++i) {
+    const GlobalVar& g = globals[i];
+    out += StrFormat("  global @g%zu %s %s", i, g.name.c_str(), g.type.ToString().c_str());
+    if (g.is_array()) {
+      out += StrFormat("[%u]", g.count);
+    }
+    if (g.is_multiverse) {
+      out += " [multiverse";
+      if (!g.domain.empty()) {
+        out += " domain={";
+        for (size_t k = 0; k < g.domain.size(); ++k) {
+          out += StrFormat("%s%lld", k == 0 ? "" : ",", (long long)g.domain[k]);
+        }
+        out += "}";
+      }
+      out += "]";
+    }
+    if (g.is_extern) {
+      out += " extern";
+    }
+    out += "\n";
+  }
+  for (const Function& fn : functions) {
+    out += PrintFunction(fn, *this);
+  }
+  return out;
+}
+
+namespace {
+
+Status VerifyInstr(const Function& fn, const Module& module, const BasicBlock& bb,
+                   const Instr& instr, std::set<uint32_t>* defined) {
+  auto err = [&](const std::string& msg) {
+    return Status::Internal(StrFormat("%s: bb%u: `%s`: %s", fn.name.c_str(), bb.id,
+                                      instr.ToString().c_str(), msg.c_str()));
+  };
+  for (const Operand& arg : instr.args) {
+    if (arg.is_vreg() && defined->count(arg.vreg) == 0) {
+      return err(StrFormat("use of %%%u before block-local definition", arg.vreg));
+    }
+  }
+  if (instr.result != kNoVreg) {
+    if (instr.result >= fn.next_vreg) {
+      return err("result vreg out of range");
+    }
+    if (!defined->insert(instr.result).second) {
+      return err("vreg redefined");
+    }
+  }
+  if (instr.slot != kNoIndex && instr.slot >= fn.slots.size()) {
+    return err("slot index out of range");
+  }
+  if (instr.global != kNoIndex && instr.global >= module.globals.size()) {
+    return err("global index out of range");
+  }
+  if (instr.op == IrOp::kBr || instr.op == IrOp::kCondBr) {
+    if (instr.bb_then >= fn.blocks.size()) {
+      return err("branch target out of range");
+    }
+    if (instr.op == IrOp::kCondBr && instr.bb_else >= fn.blocks.size()) {
+      return err("branch target out of range");
+    }
+  }
+  if ((instr.op == IrOp::kCall || instr.op == IrOp::kFuncAddr) &&
+      module.FindFunction(instr.callee) == nullptr) {
+    return err(StrFormat("call to unknown function '%s'", instr.callee.c_str()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status VerifyFunction(const Function& fn, const Module& module) {
+  if (fn.is_extern) {
+    return Status::Ok();
+  }
+  if (fn.blocks.empty()) {
+    return Status::Internal(StrFormat("%s: function has no blocks", fn.name.c_str()));
+  }
+  for (const BasicBlock& bb : fn.blocks) {
+    if (bb.instrs.empty() || !IrOpIsTerminator(bb.instrs.back().op)) {
+      return Status::Internal(
+          StrFormat("%s: bb%u is not terminated", fn.name.c_str(), bb.id));
+    }
+    std::set<uint32_t> defined;
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+      if (i + 1 < bb.instrs.size() && IrOpIsTerminator(bb.instrs[i].op)) {
+        return Status::Internal(
+            StrFormat("%s: bb%u has a terminator in the middle", fn.name.c_str(), bb.id));
+      }
+      MV_RETURN_IF_ERROR(VerifyInstr(fn, module, bb, bb.instrs[i], &defined));
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifyModule(const Module& module) {
+  for (const Function& fn : module.functions) {
+    MV_RETURN_IF_ERROR(VerifyFunction(fn, module));
+  }
+  return Status::Ok();
+}
+
+}  // namespace mv

@@ -1,0 +1,314 @@
+// mvir — the mid-level IR of the mvcc toolchain.
+//
+// Design notes relevant to multiverse:
+//  * Virtual registers are single-assignment and block-local; all values that
+//    cross basic blocks flow through named frame *slots* (like -O0 GCC
+//    locals). This keeps the optimizer and register allocator simple while
+//    still letting specialization collapse configuration-dependent control
+//    flow: the specializer replaces kLoadGlobal of a configuration switch
+//    with a constant, then constant folding + slot forwarding + CFG
+//    simplification + DCE shrink the variant (paper §3).
+//  * Reads and writes of globals are distinct opcodes (kLoadGlobal /
+//    kStoreGlobal), so "replace each read of a switch with the constant value
+//    and emit a warning if a switch is written" is a direct IR rewrite.
+//  * Indirect calls record the multiverse function-pointer global they load
+//    from (if any), so the code generator can emit call-site descriptors for
+//    committed function-pointer switches (paper §4).
+#ifndef MULTIVERSE_SRC_MVIR_IR_H_
+#define MULTIVERSE_SRC_MVIR_IR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace mv {
+
+// ---------------------------------------------------------------------------
+// Types
+
+struct IrType {
+  enum class Kind : uint8_t { kVoid, kInt, kPtr };
+
+  Kind kind = Kind::kVoid;
+  uint8_t bits = 0;       // 8/16/32/64 for kInt; 64 for kPtr
+  bool is_signed = false;
+
+  static IrType Void() { return {Kind::kVoid, 0, false}; }
+  static IrType Int(uint8_t bits, bool is_signed) { return {Kind::kInt, bits, is_signed}; }
+  static IrType I8() { return Int(8, true); }
+  static IrType U8() { return Int(8, false); }
+  static IrType I16() { return Int(16, true); }
+  static IrType U16() { return Int(16, false); }
+  static IrType I32() { return Int(32, true); }
+  static IrType U32() { return Int(32, false); }
+  static IrType I64() { return Int(64, true); }
+  static IrType U64() { return Int(64, false); }
+  static IrType Ptr() { return {Kind::kPtr, 64, false}; }
+
+  bool is_void() const { return kind == Kind::kVoid; }
+  bool is_int() const { return kind == Kind::kInt; }
+  bool is_ptr() const { return kind == Kind::kPtr; }
+  int byte_size() const { return bits / 8; }
+
+  bool operator==(const IrType& o) const {
+    return kind == o.kind && bits == o.bits && is_signed == o.is_signed;
+  }
+  bool operator!=(const IrType& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Operands
+
+inline constexpr uint32_t kNoVreg = UINT32_MAX;
+inline constexpr uint32_t kNoIndex = UINT32_MAX;
+
+struct Operand {
+  enum class Kind : uint8_t { kNone, kVreg, kConst };
+
+  Kind kind = Kind::kNone;
+  IrType type;
+  uint32_t vreg = kNoVreg;
+  int64_t imm = 0;
+
+  static Operand None() { return {}; }
+  static Operand Vreg(uint32_t v, IrType t) {
+    Operand op;
+    op.kind = Kind::kVreg;
+    op.vreg = v;
+    op.type = t;
+    return op;
+  }
+  static Operand Const(int64_t value, IrType t) {
+    Operand op;
+    op.kind = Kind::kConst;
+    op.imm = value;
+    op.type = t;
+    return op;
+  }
+
+  bool is_vreg() const { return kind == Kind::kVreg; }
+  bool is_const() const { return kind == Kind::kConst; }
+  bool is_none() const { return kind == Kind::kNone; }
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Instructions
+
+enum class IrOp : uint8_t {
+  // Slots (frame-allocated locals).
+  kLoadSlot,     // result <- slot[slot_index]            (typed)
+  kStoreSlot,    // slot[slot_index] <- args[0]
+  kSlotAddr,     // result <- &slot[slot_index]           (ptr)
+
+  // Globals.
+  kLoadGlobal,   // result <- global[global_index]        (typed; specialization point)
+  kStoreGlobal,  // global[global_index] <- args[0]
+  kGlobalAddr,   // result <- &global[global_index]       (ptr)
+
+  // Memory through pointers.
+  kLoad,         // result <- *(T*)args[0]
+  kStore,        // *(T*)args[0] <- args[1]               (type = value type)
+
+  // Arithmetic / logic.
+  kBin,          // result <- args[0] <bin> args[1]
+  kCmp,          // result <- args[0] <pred> args[1]      (i32 0/1)
+  kNot,          // result <- ~args[0]
+  kNeg,          // result <- -args[0]
+  kTrunc,        // result <- args[0] masked to type.bits
+  kSext,         // result <- sign-extend args[0] from imm bits
+
+  // Calls and function addresses.
+  kCall,         // result <- callee(args...)             (direct, symbol in callee)
+  kCallInd,      // result <- (*args[0])(args[1..])       (via_global optionally set)
+  kCallVia,      // result <- (*global)(args...)          (named fn-ptr global; lowers
+                 //   to a single patchable CALLM instruction, like x86 `call *mem`)
+  kFuncAddr,     // result <- &callee                     (ptr; symbol in callee)
+
+  // System intrinsics (map 1:1 to MVISA).
+  kSti,
+  kCli,
+  kXchg,         // result <- atomic exchange(*(u32*)args[0], args[1])
+  kPause,
+  kFence,
+  kRdtsc,        // result <- cycle counter
+  kHypercall,    // hypercall imm
+  kVmCall,       // result <- host upcall imm with args[0] in r0 (optional)
+  kHlt,
+
+  // Terminators.
+  kBr,           // goto bb_then
+  kCondBr,       // if args[0] goto bb_then else bb_else
+  kRet,          // return args[0] (optional)
+};
+
+bool IrOpIsTerminator(IrOp op);
+// True if the instruction has an effect other than producing its result
+// (may not be removed by DCE even if the result is unused).
+bool IrOpHasSideEffects(IrOp op);
+const char* IrOpName(IrOp op);
+
+enum class BinKind : uint8_t {
+  kAdd, kSub, kMul, kSDiv, kUDiv, kSRem, kURem,
+  kAnd, kOr, kXor, kShl, kLShr, kAShr,
+};
+const char* BinKindName(BinKind k);
+
+enum class CmpPred : uint8_t {
+  kEq, kNe, kSLt, kSLe, kSGt, kSGe, kULt, kULe, kUGt, kUGe,
+};
+const char* CmpPredName(CmpPred p);
+
+struct Instr {
+  IrOp op;
+  uint32_t result = kNoVreg;     // defined vreg, or kNoVreg
+  IrType type;                   // type of result (or stored value for stores)
+  std::vector<Operand> args;
+
+  BinKind bin = BinKind::kAdd;
+  CmpPred pred = CmpPred::kEq;
+  uint32_t slot = kNoIndex;      // kLoadSlot/kStoreSlot/kSlotAddr
+  uint32_t global = kNoIndex;    // kLoadGlobal/kStoreGlobal/kGlobalAddr
+  std::string callee;            // kCall
+  uint32_t via_global = kNoIndex;  // kCallInd through a multiverse fn-ptr switch
+  int64_t imm = 0;               // kSext from-bits; kHypercall/kVmCall code
+  uint32_t bb_then = kNoIndex;   // kBr/kCondBr
+  uint32_t bb_else = kNoIndex;   // kCondBr
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Function bodies
+
+struct SlotInfo {
+  std::string name;
+  IrType type;
+  bool address_taken = false;
+  bool is_param = false;
+};
+
+struct BasicBlock {
+  uint32_t id = 0;
+  std::vector<Instr> instrs;
+
+  const Instr* terminator() const {
+    return instrs.empty() || !IrOpIsTerminator(instrs.back().op) ? nullptr : &instrs.back();
+  }
+};
+
+// A guard range over one configuration switch: the variant is usable when
+// the switch value lies in [lo, hi] (paper §3: value ranges cover merged
+// variants).
+struct GuardRange {
+  uint32_t global = kNoIndex;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+// One selectable variant of a generic function (possibly shared by several
+// guard records when merged variants do not form a contiguous box).
+struct VariantRecord {
+  std::string symbol;             // the variant function's symbol name
+  std::vector<GuardRange> guards;
+};
+
+// Multiverse metadata attached to a function.
+struct MvFunctionInfo {
+  bool is_multiverse = false;
+  // For generated variants: the binding this variant was specialized for.
+  // Maps global index -> bound value. Empty for the generic function.
+  std::map<uint32_t, int64_t> binding;
+  // Name of the generic function this variant was cloned from (variants only).
+  std::string generic_name;
+  // On the generic function: all variant descriptors (paper Figure 2).
+  std::vector<VariantRecord> variants;
+  // Partial specialization (paper §7.1): when non-empty, only these switches
+  // participate in the cross product; other referenced switches stay dynamic.
+  std::vector<uint32_t> bind_only;
+  bool is_variant() const { return !generic_name.empty(); }
+};
+
+struct Function {
+  std::string name;
+  IrType return_type = IrType::Void();
+  std::vector<IrType> param_types;
+  // Parameter i is stored into slot i on entry.
+  std::vector<SlotInfo> slots;
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry block
+  uint32_t next_vreg = 0;
+  bool is_extern = false;          // declaration only
+  bool no_inline = false;          // multiverse generic functions are never inlined (§3)
+  // Custom no-scratch-register calling convention: the callee saves/restores
+  // a fixed register set (models the kernel's PV-Ops convention, §6.1).
+  bool pvop_convention = false;
+  MvFunctionInfo mv;
+
+  uint32_t AddSlot(std::string name, IrType type, bool is_param = false) {
+    slots.push_back({std::move(name), type, false, is_param});
+    return static_cast<uint32_t>(slots.size() - 1);
+  }
+  uint32_t AddBlock() {
+    BasicBlock bb;
+    bb.id = static_cast<uint32_t>(blocks.size());
+    blocks.push_back(std::move(bb));
+    return blocks.back().id;
+  }
+  uint32_t NewVreg() { return next_vreg++; }
+};
+
+// ---------------------------------------------------------------------------
+// Globals and modules
+
+struct GlobalVar {
+  std::string name;
+  IrType type;                   // scalar element type (or Ptr for fn pointers)
+  uint32_t count = 1;            // >1 for arrays
+  std::vector<int64_t> init;     // element initializers (zero-filled if empty)
+  std::string init_symbol;       // fn-ptr initializer: function name
+  bool is_extern = false;
+  bool is_const = false;         // placed in .rodata (string literals)
+
+  // Multiverse attribute state (paper §2, §3).
+  bool is_multiverse = false;
+  std::vector<int64_t> domain;   // explicit domain; empty = default policy
+  bool is_fnptr_switch = false;  // attributed function pointer (paper §4)
+
+  bool is_array() const { return count > 1; }
+  uint64_t byte_size() const { return static_cast<uint64_t>(type.byte_size()) * count; }
+};
+
+struct Module {
+  std::string name;
+  std::vector<GlobalVar> globals;
+  std::vector<Function> functions;
+
+  GlobalVar* FindGlobal(std::string_view gname);
+  const GlobalVar* FindGlobal(std::string_view gname) const;
+  uint32_t GlobalIndex(std::string_view gname) const;  // kNoIndex if absent
+  Function* FindFunction(std::string_view fname);
+  const Function* FindFunction(std::string_view fname) const;
+
+  std::string ToString() const;
+};
+
+// Pretty-printers (used by tests and --dump-ir debugging).
+std::string PrintFunction(const Function& fn, const Module& module);
+
+// Structural well-formedness checks: blocks terminated exactly once at the
+// end, vregs defined before use within their block, operand/slot/global
+// indices in range, branch targets valid.
+Status VerifyFunction(const Function& fn, const Module& module);
+Status VerifyModule(const Module& module);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_MVIR_IR_H_

@@ -1,0 +1,235 @@
+#include "src/obj/linker.h"
+
+#include <cstring>
+
+#include "src/isa/isa.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+// Merged-section layout order. Code first, then read-only descriptor and
+// string sections, then writable data.
+struct MergePlan {
+  std::vector<std::string> order;
+  std::map<std::string, uint8_t> perms;
+};
+
+MergePlan PlanSections(const std::vector<ObjectFile>& objects) {
+  MergePlan plan;
+  auto add = [&](const std::string& name, uint8_t perms) {
+    for (const std::string& existing : plan.order) {
+      if (existing == name) {
+        return;
+      }
+    }
+    plan.order.push_back(name);
+    plan.perms[name] = perms;
+  };
+  // Text always first so the base address is predictable.
+  add(".text", kPermRead | kPermExec);
+  for (const ObjectFile& obj : objects) {
+    for (const Section& section : obj.sections) {
+      if (section.is_code) {
+        add(section.name, kPermRead | kPermExec);
+      } else if (StartsWith(section.name, ".mv.") || StartsWith(section.name, ".pv.") ||
+                 section.name == ".rodata") {
+        add(section.name, kPermRead);
+      } else {
+        add(section.name, kPermRead | kPermWrite);
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<uint64_t> Image::SymbolAddress(const std::string& name) const {
+  auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    return Status::NotFound(StrFormat("symbol '%s' not found", name.c_str()));
+  }
+  return it->second;
+}
+
+Result<Image> LinkAndLoad(const std::vector<ObjectFile>& objects, const LinkOptions& options,
+                          Vm* vm) {
+  Memory& memory = vm->memory();
+  const MergePlan plan = PlanSections(objects);
+
+  // --- 1. Lay out merged sections and record per-object section bases. ---
+  Image image;
+  // object index -> section index -> absolute base address.
+  std::vector<std::map<int, uint64_t>> object_section_base(objects.size());
+
+  uint64_t cursor = options.text_base;
+  for (const std::string& name : plan.order) {
+    const uint64_t section_start = cursor;
+    for (size_t oi = 0; oi < objects.size(); ++oi) {
+      const ObjectFile& obj = objects[oi];
+      const int si = obj.FindSection(name);
+      if (si < 0) {
+        continue;
+      }
+      const Section& section = obj.sections[si];
+      cursor = AlignUp(cursor, section.align == 0 ? 1 : section.align);
+      object_section_base[oi][si] = cursor;
+      cursor += section.data.size();
+    }
+    image.sections[name] = SectionPlacement{section_start, cursor - section_start};
+    cursor = AlignUp(cursor, kPageSize);  // page-granular protections
+  }
+
+  // The halt stub: a single HLT instruction in its own executable page.
+  const uint64_t halt_addr = cursor;
+  cursor = AlignUp(cursor + 1, kPageSize);
+  image.halt_stub = halt_addr;
+
+  // Stack at the top.
+  const uint64_t stack_base = AlignUp(cursor, kPageSize);
+  const uint64_t stack_top = stack_base + options.stack_size;
+  image.stack_top = stack_top;
+  if (stack_top > memory.size()) {
+    return Status::OutOfRange(
+        StrFormat("image does not fit: need %llu bytes of VM memory, have %llu",
+                  (unsigned long long)stack_top, (unsigned long long)memory.size()));
+  }
+
+  // --- 2. Build the symbol table. ---
+  for (size_t oi = 0; oi < objects.size(); ++oi) {
+    for (const ObjSymbol& symbol : objects[oi].symbols) {
+      if (!symbol.is_defined()) {
+        continue;
+      }
+      auto base_it = object_section_base[oi].find(symbol.section);
+      if (base_it == object_section_base[oi].end()) {
+        return Status::Internal(StrFormat("symbol '%s' references missing section",
+                                          symbol.name.c_str()));
+      }
+      const uint64_t addr = base_it->second + symbol.offset;
+      auto [it, inserted] = image.symbols.emplace(symbol.name, addr);
+      if (!inserted) {
+        return Status::AlreadyExists(
+            StrFormat("duplicate symbol '%s' (defined in multiple objects)",
+                      symbol.name.c_str()));
+      }
+    }
+  }
+  image.symbols["$halt"] = halt_addr;
+
+  // --- 3. Copy section contents into VM memory. ---
+  // Temporarily make everything writable; final protections applied at the end.
+  MV_RETURN_IF_ERROR(memory.Protect(0, stack_top, kPermRead | kPermWrite));
+  for (size_t oi = 0; oi < objects.size(); ++oi) {
+    for (const auto& [si, base] : object_section_base[oi]) {
+      const Section& section = objects[oi].sections[static_cast<size_t>(si)];
+      if (!section.data.empty()) {
+        MV_RETURN_IF_ERROR(memory.WriteRaw(base, section.data.data(), section.data.size()));
+      }
+    }
+  }
+  {
+    const uint8_t hlt = static_cast<uint8_t>(Op::kHlt);
+    MV_RETURN_IF_ERROR(memory.WriteRaw(halt_addr, &hlt, 1));
+  }
+
+  // --- 4. Apply relocations. ---
+  for (size_t oi = 0; oi < objects.size(); ++oi) {
+    const ObjectFile& obj = objects[oi];
+    for (const Reloc& reloc : obj.relocs) {
+      auto sec_base = object_section_base[oi].find(reloc.section);
+      if (sec_base == object_section_base[oi].end()) {
+        return Status::Internal(StrFormat("%s: reloc in missing section", obj.name.c_str()));
+      }
+      const uint64_t field_addr = sec_base->second + reloc.offset;
+
+      uint64_t target = 0;
+      if (!reloc.symbol.empty()) {
+        auto sym = image.symbols.find(reloc.symbol);
+        if (sym == image.symbols.end()) {
+          return Status::NotFound(StrFormat("%s: undefined symbol '%s'", obj.name.c_str(),
+                                            reloc.symbol.c_str()));
+        }
+        target = sym->second;
+      } else {
+        auto tsec = object_section_base[oi].find(reloc.target_section);
+        if (tsec == object_section_base[oi].end()) {
+          return Status::Internal(
+              StrFormat("%s: section-relative reloc to missing section", obj.name.c_str()));
+        }
+        target = tsec->second;
+      }
+      target = static_cast<uint64_t>(static_cast<int64_t>(target) + reloc.addend);
+
+      switch (reloc.type) {
+        case RelocType::kAbs64: {
+          MV_RETURN_IF_ERROR(memory.WriteRaw(field_addr, &target, 8));
+          break;
+        }
+        case RelocType::kAbs32: {
+          if (target > UINT32_MAX) {
+            return Status::OutOfRange(StrFormat("%s: abs32 reloc overflow", obj.name.c_str()));
+          }
+          const auto value = static_cast<uint32_t>(target);
+          MV_RETURN_IF_ERROR(memory.WriteRaw(field_addr, &value, 4));
+          break;
+        }
+        case RelocType::kRel32: {
+          const int64_t rel =
+              static_cast<int64_t>(target) - static_cast<int64_t>(field_addr + 4);
+          if (rel > INT32_MAX || rel < INT32_MIN) {
+            return Status::OutOfRange(StrFormat("%s: rel32 reloc overflow", obj.name.c_str()));
+          }
+          const auto value = static_cast<int32_t>(rel);
+          MV_RETURN_IF_ERROR(memory.WriteRaw(field_addr, &value, 4));
+          break;
+        }
+      }
+    }
+  }
+
+  // --- 5. Final protections. ---
+  // Drop the temporary blanket mapping first: anything outside a section,
+  // the halt stub or the stack (notably the null page) must be unmapped.
+  MV_RETURN_IF_ERROR(memory.Protect(0, stack_top, kPermNone));
+  for (const auto& [name, placement] : image.sections) {
+    if (placement.size == 0) {
+      continue;
+    }
+    MV_RETURN_IF_ERROR(memory.Protect(placement.addr, placement.size, plan.perms.at(name)));
+  }
+  MV_RETURN_IF_ERROR(memory.Protect(halt_addr, 1, kPermRead | kPermExec));
+  MV_RETURN_IF_ERROR(
+      memory.Protect(stack_base, options.stack_size, kPermRead | kPermWrite));
+
+  const SectionPlacement& text = image.sections[".text"];
+  image.text_base = text.addr;
+  image.text_size = text.size;
+  vm->FlushAllIcache();
+  return image;
+}
+
+void SetupCall(const Image& image, Vm* vm, uint64_t fn_addr,
+               const std::vector<uint64_t>& args, int core_id) {
+  Core& core = vm->core(core_id);
+  core.halted = false;
+  uint64_t sp = image.stack_top - 8 * static_cast<uint64_t>(1 + core_id) * 4096;
+  sp &= ~UINT64_C(15);
+  sp -= 8;
+  uint64_t halt = image.halt_stub;
+  (void)vm->memory().WriteRaw(sp, &halt, 8);
+  core.regs[kRegSP] = sp;
+  for (size_t i = 0; i < args.size() && i < kMaxRegArgs; ++i) {
+    core.regs[i] = args[i];
+  }
+  core.pc = fn_addr;
+  core.predictor.PushRet(halt);
+}
+
+}  // namespace mv

@@ -1,0 +1,55 @@
+// Linker and loader: merges MVO objects, resolves symbols, applies
+// relocations, and installs the image into VM memory with the protections a
+// real OS would use (text R+X, rodata/descriptors R, data/stack RW).
+#ifndef MULTIVERSE_SRC_OBJ_LINKER_H_
+#define MULTIVERSE_SRC_OBJ_LINKER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obj/object.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+struct LinkOptions {
+  uint64_t text_base = 0x1000;
+  uint64_t stack_size = 256 * 1024;
+};
+
+struct SectionPlacement {
+  uint64_t addr = 0;
+  uint64_t size = 0;
+};
+
+// The loaded program image. Section placements cover the *merged* sections;
+// the multiverse runtime reads its descriptor tables directly from them.
+struct Image {
+  std::map<std::string, uint64_t> symbols;
+  std::map<std::string, SectionPlacement> sections;
+  uint64_t text_base = 0;
+  uint64_t text_size = 0;
+  uint64_t stack_top = 0;   // initial SP
+  uint64_t halt_stub = 0;   // address of a HLT; used as top-level return address
+
+  Result<uint64_t> SymbolAddress(const std::string& name) const;
+};
+
+// Links the objects and loads the result into `vm` (memory must be large
+// enough). Duplicate strong symbols and unresolved references are errors.
+Result<Image> LinkAndLoad(const std::vector<ObjectFile>& objects, const LinkOptions& options,
+                          Vm* vm);
+
+// Prepares core 0 (or `core`) of the VM to call `fn_addr` with up to 6
+// arguments: sets SP below stack_top, pushes the halt stub as return address,
+// sets the PC. Running the VM then executes the call and exits with kHalt
+// when the function returns; its return value is in r0.
+void SetupCall(const Image& image, Vm* vm, uint64_t fn_addr,
+               const std::vector<uint64_t>& args, int core = 0);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_OBJ_LINKER_H_

@@ -1,0 +1,34 @@
+#include "src/obj/object.h"
+
+namespace mv {
+
+int ObjectFile::FindOrAddSection(const std::string& section_name, bool is_code) {
+  const int found = FindSection(section_name);
+  if (found >= 0) {
+    return found;
+  }
+  Section section;
+  section.name = section_name;
+  section.is_code = is_code;
+  sections.push_back(std::move(section));
+  return static_cast<int>(sections.size() - 1);
+}
+
+int ObjectFile::FindSection(const std::string& section_name) const {
+  for (size_t i = 0; i < sections.size(); ++i) {
+    if (sections[i].name == section_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void ObjectFile::AddSymbol(std::string symbol_name, int section, uint64_t offset) {
+  ObjSymbol symbol;
+  symbol.name = std::move(symbol_name);
+  symbol.section = section;
+  symbol.offset = offset;
+  symbols.push_back(std::move(symbol));
+}
+
+}  // namespace mv

@@ -1,0 +1,63 @@
+// MVO — the relocatable object format of the mvc toolchain.
+//
+// Mirrors the ELF properties multiverse relies on (paper §5):
+//  * sections with the same name from different objects are concatenated by
+//    the linker, so descriptor arrays from all translation units form one
+//    contiguous table addressable as a regular array;
+//  * descriptors reference code and data via relocations, so the linker
+//    injects the final numeric addresses, giving relocatable /
+//    position-independent support "for free".
+#ifndef MULTIVERSE_SRC_OBJ_OBJECT_H_
+#define MULTIVERSE_SRC_OBJ_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace mv {
+
+struct Section {
+  std::string name;
+  std::vector<uint8_t> data;
+  uint32_t align = 8;
+  bool is_code = false;
+};
+
+struct ObjSymbol {
+  std::string name;
+  int section = -1;       // -1: undefined (resolved by the linker)
+  uint64_t offset = 0;
+  bool is_defined() const { return section >= 0; }
+};
+
+enum class RelocType : uint8_t {
+  kAbs64,  // 8-byte absolute address
+  kAbs32,  // 4-byte absolute address (must fit)
+  kRel32,  // 4-byte pc-relative: S + A - (P + 4), like x86 CALL/JMP rel32
+};
+
+struct Reloc {
+  int section = 0;          // section containing the field to patch
+  uint64_t offset = 0;      // offset of the field within the section
+  RelocType type = RelocType::kAbs64;
+  std::string symbol;       // target symbol; empty = section-relative
+  int target_section = -1;  // used when symbol is empty
+  int64_t addend = 0;
+};
+
+struct ObjectFile {
+  std::string name;
+  std::vector<Section> sections;
+  std::vector<ObjSymbol> symbols;
+  std::vector<Reloc> relocs;
+
+  int FindOrAddSection(const std::string& name, bool is_code = false);
+  int FindSection(const std::string& name) const;
+  void AddSymbol(std::string name, int section, uint64_t offset);
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_OBJ_OBJECT_H_

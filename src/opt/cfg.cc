@@ -1,0 +1,184 @@
+#include <unordered_map>
+#include <vector>
+
+#include "src/opt/passes.h"
+
+namespace mv {
+
+namespace {
+
+// Retargets a block id through chains of trivial forwarding blocks
+// (blocks whose only instruction is an unconditional branch).
+uint32_t ResolveForward(const Function& fn, uint32_t bb) {
+  uint32_t current = bb;
+  for (int hops = 0; hops < 64; ++hops) {  // bounded: cycles of empty blocks
+    const BasicBlock& block = fn.blocks[current];
+    if (block.instrs.size() == 1 && block.instrs[0].op == IrOp::kBr &&
+        block.instrs[0].bb_then != current) {
+      current = block.instrs[0].bb_then;
+    } else {
+      return current;
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+bool SimplifyCfg(Function& fn) {
+  if (fn.blocks.empty()) {
+    return false;
+  }
+  bool changed = false;
+
+  // 1. Thread jumps through empty forwarding blocks.
+  for (BasicBlock& bb : fn.blocks) {
+    for (Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kBr) {
+        const uint32_t target = ResolveForward(fn, instr.bb_then);
+        if (target != instr.bb_then) {
+          instr.bb_then = target;
+          changed = true;
+        }
+      } else if (instr.op == IrOp::kCondBr) {
+        const uint32_t then_t = ResolveForward(fn, instr.bb_then);
+        const uint32_t else_t = ResolveForward(fn, instr.bb_else);
+        if (then_t != instr.bb_then || else_t != instr.bb_else) {
+          instr.bb_then = then_t;
+          instr.bb_else = else_t;
+          changed = true;
+        }
+        // Both arms equal: degrade to an unconditional branch. The condition
+        // value, if otherwise unused, dies in DCE.
+        if (instr.bb_then == instr.bb_else) {
+          Instr br;
+          br.op = IrOp::kBr;
+          br.bb_then = instr.bb_then;
+          instr = std::move(br);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // 2. Compute reachability and predecessor counts.
+  std::vector<bool> reachable(fn.blocks.size(), false);
+  std::vector<uint32_t> worklist = {0};
+  reachable[0] = true;
+  while (!worklist.empty()) {
+    const uint32_t id = worklist.back();
+    worklist.pop_back();
+    const Instr* term = fn.blocks[id].terminator();
+    if (term == nullptr) {
+      continue;
+    }
+    if (term->op == IrOp::kBr || term->op == IrOp::kCondBr) {
+      for (uint32_t succ : {term->bb_then, term->bb_else}) {
+        if (succ != kNoIndex && !reachable[succ]) {
+          reachable[succ] = true;
+          worklist.push_back(succ);
+        }
+      }
+    }
+  }
+
+  std::vector<int> pred_count(fn.blocks.size(), 0);
+  for (size_t i = 0; i < fn.blocks.size(); ++i) {
+    if (!reachable[i]) {
+      continue;
+    }
+    const Instr* term = fn.blocks[i].terminator();
+    if (term != nullptr && (term->op == IrOp::kBr || term->op == IrOp::kCondBr)) {
+      ++pred_count[term->bb_then];
+      if (term->op == IrOp::kCondBr) {
+        ++pred_count[term->bb_else];
+      }
+    }
+  }
+
+  // 3. Merge single-predecessor blocks into predecessors that end in an
+  // unconditional branch to them.
+  for (size_t i = 0; i < fn.blocks.size(); ++i) {
+    if (!reachable[i]) {
+      continue;
+    }
+    BasicBlock& bb = fn.blocks[i];
+    while (true) {
+      const Instr* term = bb.terminator();
+      if (term == nullptr || term->op != IrOp::kBr) {
+        break;
+      }
+      const uint32_t succ = term->bb_then;
+      if (succ == bb.id || pred_count[succ] != 1 || succ == 0) {
+        break;
+      }
+      BasicBlock& next = fn.blocks[succ];
+      bb.instrs.pop_back();  // drop the br
+      for (Instr& instr : next.instrs) {
+        bb.instrs.push_back(std::move(instr));
+      }
+      next.instrs.clear();
+      reachable[succ] = false;
+      changed = true;
+      // Continue merging through the new terminator.
+    }
+  }
+
+  // 4. Drop unreachable blocks and renumber.
+  bool any_dead = false;
+  for (size_t i = 0; i < fn.blocks.size(); ++i) {
+    if (!reachable[i]) {
+      any_dead = true;
+      break;
+    }
+  }
+  if (any_dead) {
+    std::unordered_map<uint32_t, uint32_t> remap;
+    std::vector<BasicBlock> kept;
+    kept.reserve(fn.blocks.size());
+    for (size_t i = 0; i < fn.blocks.size(); ++i) {
+      if (reachable[i]) {
+        remap[static_cast<uint32_t>(i)] = static_cast<uint32_t>(kept.size());
+        kept.push_back(std::move(fn.blocks[i]));
+      }
+    }
+    for (size_t i = 0; i < kept.size(); ++i) {
+      kept[i].id = static_cast<uint32_t>(i);
+      for (Instr& instr : kept[i].instrs) {
+        if (instr.op == IrOp::kBr || instr.op == IrOp::kCondBr) {
+          instr.bb_then = remap.at(instr.bb_then);
+          if (instr.op == IrOp::kCondBr) {
+            instr.bb_else = remap.at(instr.bb_else);
+          }
+        }
+      }
+    }
+    fn.blocks = std::move(kept);
+    changed = true;
+  }
+
+  return changed;
+}
+
+bool RunPipeline(Function& fn, const Module& module) {
+  (void)module;
+  if (fn.is_extern) {
+    return false;
+  }
+  bool ever_changed = false;
+  for (int round = 0; round < 10; ++round) {
+    bool changed = false;
+    changed |= FoldConstants(fn);
+    changed |= ForwardSlots(fn);
+    changed |= FoldConstants(fn);
+    changed |= SimplifyCfg(fn);
+    changed |= EliminateDeadCode(fn);
+    if (!changed) {
+      break;
+    }
+    ever_changed = true;
+  }
+  return ever_changed;
+}
+
+}  // namespace mv

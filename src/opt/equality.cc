@@ -1,0 +1,132 @@
+#include <unordered_map>
+#include <vector>
+
+#include "src/opt/passes.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+// Remaps ids (vregs, slots, blocks) to dense indices in first-encounter order
+// so that two functions that differ only in numbering canonicalize equally.
+class IdMap {
+ public:
+  uint32_t Get(uint32_t id) {
+    auto [it, inserted] = map_.emplace(id, next_);
+    if (inserted) {
+      ++next_;
+    }
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<uint32_t, uint32_t> map_;
+  uint32_t next_ = 0;
+};
+
+}  // namespace
+
+std::string CanonicalizeFunction(const Function& fn) {
+  // Reverse-postorder over reachable blocks. For our structured CFGs a
+  // depth-first preorder with successors visited then-first is stable and
+  // sufficient for canonical naming.
+  std::vector<uint32_t> order;
+  std::vector<bool> visited(fn.blocks.size(), false);
+  std::vector<uint32_t> stack = {0};
+  while (!stack.empty()) {
+    const uint32_t id = stack.back();
+    stack.pop_back();
+    if (id >= fn.blocks.size() || visited[id]) {
+      continue;
+    }
+    visited[id] = true;
+    order.push_back(id);
+    const Instr* term = fn.blocks[id].terminator();
+    if (term != nullptr) {
+      if (term->op == IrOp::kCondBr) {
+        stack.push_back(term->bb_else);
+        stack.push_back(term->bb_then);
+      } else if (term->op == IrOp::kBr) {
+        stack.push_back(term->bb_then);
+      }
+    }
+  }
+
+  IdMap block_map;
+  for (uint32_t id : order) {
+    block_map.Get(id);
+  }
+  IdMap vreg_map;
+  IdMap slot_map;
+
+  std::string out;
+  out += StrFormat("sig(%s|", fn.return_type.ToString().c_str());
+  for (const IrType& t : fn.param_types) {
+    out += t.ToString();
+    out += ",";
+  }
+  out += ")\n";
+
+  for (uint32_t id : order) {
+    const BasicBlock& bb = fn.blocks[id];
+    out += StrFormat("B%u:\n", block_map.Get(id));
+    for (const Instr& instr : bb.instrs) {
+      out += " ";
+      out += IrOpName(instr.op);
+      if (instr.op == IrOp::kBin) {
+        out += ".";
+        out += BinKindName(instr.bin);
+      }
+      if (instr.op == IrOp::kCmp) {
+        out += ".";
+        out += CmpPredName(instr.pred);
+      }
+      if (instr.slot != kNoIndex) {
+        out += StrFormat(" s%u", slot_map.Get(instr.slot));
+        // Slot identity includes its type (frame layout).
+        out += ":";
+        out += fn.slots[instr.slot].type.ToString();
+      }
+      if (instr.global != kNoIndex) {
+        out += StrFormat(" g%u", instr.global);
+      }
+      if (!instr.callee.empty()) {
+        out += " @";
+        out += instr.callee;
+      }
+      if (instr.via_global != kNoIndex) {
+        out += StrFormat(" v%u", instr.via_global);
+      }
+      for (const Operand& arg : instr.args) {
+        if (arg.is_vreg()) {
+          out += StrFormat(" %%%u:%s", vreg_map.Get(arg.vreg), arg.type.ToString().c_str());
+        } else if (arg.is_const()) {
+          out += StrFormat(" $%lld:%s", (long long)arg.imm, arg.type.ToString().c_str());
+        }
+      }
+      if (instr.result != kNoVreg) {
+        out += StrFormat(" ->%%%u", vreg_map.Get(instr.result));
+      }
+      out += StrFormat(" :%s", instr.type.ToString().c_str());
+      if (instr.op == IrOp::kSext || instr.op == IrOp::kHypercall ||
+          instr.op == IrOp::kVmCall) {
+        out += StrFormat(" #%lld", (long long)instr.imm);
+      }
+      if (instr.op == IrOp::kBr) {
+        out += StrFormat(" B%u", block_map.Get(instr.bb_then));
+      } else if (instr.op == IrOp::kCondBr) {
+        out += StrFormat(" B%u B%u", block_map.Get(instr.bb_then),
+                         block_map.Get(instr.bb_else));
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+bool FunctionsEquivalent(const Function& a, const Function& b) {
+  return CanonicalizeFunction(a) == CanonicalizeFunction(b);
+}
+
+}  // namespace mv

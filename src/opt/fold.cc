@@ -1,0 +1,281 @@
+#include <unordered_map>
+
+#include "src/opt/passes.h"
+
+namespace mv {
+
+int64_t NormalizeValue(int64_t value, IrType type) {
+  if (!type.is_int() || type.bits >= 64) {
+    return value;
+  }
+  const int shift = 64 - type.bits;
+  if (type.is_signed) {
+    return (value << shift) >> shift;
+  }
+  return static_cast<int64_t>((static_cast<uint64_t>(value) << shift) >> shift);
+}
+
+std::optional<int64_t> EvalBin(BinKind kind, int64_t lhs, int64_t rhs, IrType type) {
+  const auto ul = static_cast<uint64_t>(lhs);
+  const auto ur = static_cast<uint64_t>(rhs);
+  uint64_t result = 0;
+  switch (kind) {
+    case BinKind::kAdd:
+      result = ul + ur;
+      break;
+    case BinKind::kSub:
+      result = ul - ur;
+      break;
+    case BinKind::kMul:
+      result = ul * ur;
+      break;
+    case BinKind::kSDiv:
+      if (rhs == 0 || (lhs == INT64_MIN && rhs == -1)) {
+        return std::nullopt;
+      }
+      result = static_cast<uint64_t>(lhs / rhs);
+      break;
+    case BinKind::kUDiv:
+      if (ur == 0) {
+        return std::nullopt;
+      }
+      result = ul / ur;
+      break;
+    case BinKind::kSRem:
+      if (rhs == 0 || (lhs == INT64_MIN && rhs == -1)) {
+        return std::nullopt;
+      }
+      result = static_cast<uint64_t>(lhs % rhs);
+      break;
+    case BinKind::kURem:
+      if (ur == 0) {
+        return std::nullopt;
+      }
+      result = ul % ur;
+      break;
+    case BinKind::kAnd:
+      result = ul & ur;
+      break;
+    case BinKind::kOr:
+      result = ul | ur;
+      break;
+    case BinKind::kXor:
+      result = ul ^ ur;
+      break;
+    case BinKind::kShl:
+      result = ul << (ur & 63);
+      break;
+    case BinKind::kLShr:
+      result = ul >> (ur & 63);
+      break;
+    case BinKind::kAShr:
+      result = static_cast<uint64_t>(lhs >> (ur & 63));
+      break;
+  }
+  return NormalizeValue(static_cast<int64_t>(result), type);
+}
+
+int64_t EvalCmp(CmpPred pred, int64_t lhs, int64_t rhs) {
+  const auto ul = static_cast<uint64_t>(lhs);
+  const auto ur = static_cast<uint64_t>(rhs);
+  switch (pred) {
+    case CmpPred::kEq:
+      return lhs == rhs;
+    case CmpPred::kNe:
+      return lhs != rhs;
+    case CmpPred::kSLt:
+      return lhs < rhs;
+    case CmpPred::kSLe:
+      return lhs <= rhs;
+    case CmpPred::kSGt:
+      return lhs > rhs;
+    case CmpPred::kSGe:
+      return lhs >= rhs;
+    case CmpPred::kULt:
+      return ul < ur;
+    case CmpPred::kULe:
+      return ul <= ur;
+    case CmpPred::kUGt:
+      return ul > ur;
+    case CmpPred::kUGe:
+      return ul >= ur;
+  }
+  return 0;
+}
+
+bool SubstituteGlobalReads(Function& fn, const std::map<uint32_t, int64_t>& binding,
+                           std::vector<std::string>* warnings) {
+  bool changed = false;
+  for (BasicBlock& bb : fn.blocks) {
+    for (Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kLoadGlobal) {
+        auto it = binding.find(instr.global);
+        if (it == binding.end()) {
+          continue;
+        }
+        // Turn the load into a trivially foldable binary op producing the
+        // bound constant: result = const + 0. FoldConstants then propagates
+        // it into all uses and DCE removes the definition.
+        const int64_t value = NormalizeValue(it->second, instr.type);
+        Instr replacement;
+        replacement.op = IrOp::kBin;
+        replacement.bin = BinKind::kAdd;
+        replacement.result = instr.result;
+        replacement.type = instr.type;
+        replacement.args = {Operand::Const(value, instr.type),
+                            Operand::Const(0, instr.type)};
+        instr = std::move(replacement);
+        changed = true;
+      } else if (instr.op == IrOp::kStoreGlobal && warnings != nullptr &&
+                 binding.count(instr.global) != 0) {
+        warnings->push_back(fn.name + ": write to bound configuration switch @g" +
+                            std::to_string(instr.global));
+      }
+    }
+  }
+  return changed;
+}
+
+bool FoldConstants(Function& fn) {
+  bool changed = false;
+  for (BasicBlock& bb : fn.blocks) {
+    std::unordered_map<uint32_t, int64_t> known;   // vreg -> constant value
+    std::unordered_map<uint32_t, Operand> copies;  // vreg -> forwarded operand
+    for (Instr& instr : bb.instrs) {
+      // Rewrite known-constant and copied vreg operands in place.
+      for (Operand& arg : instr.args) {
+        if (arg.is_vreg()) {
+          auto it = known.find(arg.vreg);
+          if (it != known.end()) {
+            arg = Operand::Const(NormalizeValue(it->second, arg.type), arg.type);
+            changed = true;
+            continue;
+          }
+          auto cp = copies.find(arg.vreg);
+          if (cp != copies.end()) {
+            Operand repl = cp->second;
+            repl.type = arg.type;
+            arg = repl;
+            changed = true;
+          }
+        }
+      }
+      switch (instr.op) {
+        case IrOp::kBin: {
+          if (instr.args[0].is_const() && instr.args[1].is_const()) {
+            std::optional<int64_t> value =
+                EvalBin(instr.bin, instr.args[0].imm, instr.args[1].imm, instr.type);
+            if (value.has_value()) {
+              known[instr.result] = *value;
+            }
+            break;
+          }
+          // Algebraic identities with one constant operand. Only those that
+          // hold for every width/signedness combination are applied.
+          const bool lhs_const = instr.args[0].is_const();
+          const Operand const_op = lhs_const ? instr.args[0] : instr.args[1];
+          const Operand var_op = lhs_const ? instr.args[1] : instr.args[0];
+          if (!const_op.is_const() || !var_op.is_vreg()) {
+            break;
+          }
+          const int64_t c = const_op.imm;
+          bool becomes_var = false;   // result == var_op
+          bool becomes_zero = false;  // result == 0
+          switch (instr.bin) {
+            case BinKind::kAdd:
+              becomes_var = c == 0;
+              break;
+            case BinKind::kSub:
+              becomes_var = !lhs_const && c == 0;  // x - 0
+              break;
+            case BinKind::kMul:
+              becomes_var = c == 1 && instr.type.bits >= 64;
+              becomes_zero = c == 0;
+              break;
+            case BinKind::kAnd:
+              becomes_var = c == -1;
+              becomes_zero = c == 0;
+              break;
+            case BinKind::kOr:
+            case BinKind::kXor:
+              becomes_var = c == 0;
+              break;
+            case BinKind::kShl:
+            case BinKind::kLShr:
+            case BinKind::kAShr:
+              becomes_var = !lhs_const && c == 0 && instr.type.bits >= 64;
+              break;
+            default:
+              break;
+          }
+          if (becomes_zero) {
+            known[instr.result] = 0;
+          } else if (becomes_var) {
+            // Rewrite into a copy: result = var + 0 of the result type, which
+            // later folding/DCE propagates. Only safe when the operand type
+            // already matches the result type (no implicit re-normalization).
+            if (var_op.type == instr.type) {
+              const bool already_canonical =
+                  instr.bin == BinKind::kAdd && !lhs_const && const_op.imm == 0;
+              if (!already_canonical) {
+                Instr copy;
+                copy.op = IrOp::kBin;
+                copy.bin = BinKind::kAdd;
+                copy.result = instr.result;
+                copy.type = instr.type;
+                copy.args = {var_op, Operand::Const(0, instr.type)};
+                instr = std::move(copy);
+                changed = true;
+              }
+              // A plain copy: propagate the source operand into later uses.
+              copies[instr.result] = var_op;
+            }
+          }
+          break;
+        }
+        case IrOp::kCmp:
+          if (instr.args[0].is_const() && instr.args[1].is_const()) {
+            known[instr.result] = EvalCmp(instr.pred, instr.args[0].imm, instr.args[1].imm);
+          }
+          break;
+        case IrOp::kNot:
+          if (instr.args[0].is_const()) {
+            known[instr.result] = NormalizeValue(~instr.args[0].imm, instr.type);
+          }
+          break;
+        case IrOp::kNeg:
+          if (instr.args[0].is_const()) {
+            known[instr.result] = NormalizeValue(-instr.args[0].imm, instr.type);
+          }
+          break;
+        case IrOp::kTrunc:
+          if (instr.args[0].is_const()) {
+            known[instr.result] = NormalizeValue(instr.args[0].imm, instr.type);
+          }
+          break;
+        case IrOp::kSext:
+          if (instr.args[0].is_const()) {
+            const int shift = 64 - static_cast<int>(instr.imm);
+            known[instr.result] =
+                NormalizeValue((instr.args[0].imm << shift) >> shift, instr.type);
+          }
+          break;
+        case IrOp::kCondBr:
+          if (instr.args[0].is_const()) {
+            const uint32_t target = instr.args[0].imm != 0 ? instr.bb_then : instr.bb_else;
+            Instr br;
+            br.op = IrOp::kBr;
+            br.bb_then = target;
+            instr = std::move(br);
+            changed = true;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace mv

@@ -1,0 +1,70 @@
+// Optimizer passes for mvir.
+//
+// The multiverse specializer (src/core/specializer.h) substitutes constant
+// values for configuration-switch reads and then relies on this pipeline to
+// specialize the clone — mirroring the paper's use of GCC's constant
+// propagation, constant folding and dead-code elimination (§3). Variants that
+// become structurally equal after optimization are detected via
+// CanonicalizeFunction/FunctionsEquivalent and merged by the specializer.
+#ifndef MULTIVERSE_SRC_OPT_PASSES_H_
+#define MULTIVERSE_SRC_OPT_PASSES_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/mvir/ir.h"
+
+namespace mv {
+
+// Normalizes a 64-bit raw value to the representation the VM keeps in a
+// register for a value of type `type` (sign- or zero-extended from its width).
+int64_t NormalizeValue(int64_t value, IrType type);
+
+// Constant evaluation used by the folding pass and by tests. Returns nullopt
+// for division by zero (left to trap at run time).
+std::optional<int64_t> EvalBin(BinKind kind, int64_t lhs, int64_t rhs, IrType type);
+int64_t EvalCmp(CmpPred pred, int64_t lhs, int64_t rhs);
+
+// --- Individual passes. Each returns true if it changed the function. ---
+
+// Replaces reads of the given globals with constants; the heart of variant
+// generation. Appends a warning string per write to a bound switch
+// (paper §3: "emit a warning if a switch is written").
+bool SubstituteGlobalReads(Function& fn, const std::map<uint32_t, int64_t>& binding,
+                           std::vector<std::string>* warnings);
+
+// Block-local constant folding and copy propagation; folds kCondBr with a
+// constant condition into kBr.
+bool FoldConstants(Function& fn);
+
+// Store-to-load forwarding for frame slots within a block, plus whole-
+// function promotion of single-store constant slots whose address is never
+// taken.
+bool ForwardSlots(Function& fn);
+
+// Removes unreachable blocks, threads trivial jump-only blocks, merges
+// single-predecessor blocks into their unique predecessor.
+bool SimplifyCfg(Function& fn);
+
+// Removes instructions whose results are unused and which have no side
+// effects; removes stores to slots that are never read and never addressed.
+bool EliminateDeadCode(Function& fn);
+
+// Runs the full pipeline to a fixpoint (bounded). Returns true if anything
+// changed.
+bool RunPipeline(Function& fn, const Module& module);
+
+// --- Structural equality (variant merging, paper §3) ---
+
+// Canonical serialization: blocks in reverse-postorder, vregs and slots
+// renumbered in first-use order. Two functions with equal canonical forms
+// have identical behaviour and identical generated code shape.
+std::string CanonicalizeFunction(const Function& fn);
+
+bool FunctionsEquivalent(const Function& a, const Function& b);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_OPT_PASSES_H_

@@ -1,0 +1,201 @@
+#include <unordered_map>
+#include <vector>
+
+#include "src/opt/passes.h"
+
+namespace mv {
+
+namespace {
+
+// True if the instruction can invalidate forwarded slot values: anything that
+// may write memory a slot address could have escaped into.
+bool MayClobberAddressedSlots(const Instr& instr) {
+  switch (instr.op) {
+    case IrOp::kStore:
+    case IrOp::kCall:
+    case IrOp::kCallInd:
+    case IrOp::kXchg:
+    case IrOp::kVmCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool ForwardSlots(Function& fn) {
+  bool changed = false;
+
+  // Recompute address_taken flags (clones inherit the generic's flags; DCE
+  // may have removed the kSlotAddr).
+  for (SlotInfo& slot : fn.slots) {
+    slot.address_taken = false;
+  }
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kSlotAddr) {
+        fn.slots[instr.slot].address_taken = true;
+      }
+    }
+  }
+
+  // --- Block-local store-to-load forwarding. ---
+  for (BasicBlock& bb : fn.blocks) {
+    // slot -> forwarded operand (constant or vreg defined in this block).
+    std::unordered_map<uint32_t, Operand> forwarded;
+    // vreg -> replacement operand (from forwarded loads).
+    std::unordered_map<uint32_t, Operand> replace;
+    for (Instr& instr : bb.instrs) {
+      for (Operand& arg : instr.args) {
+        if (arg.is_vreg()) {
+          auto it = replace.find(arg.vreg);
+          if (it != replace.end()) {
+            // Preserve the use-site type: a forwarded value was stored with
+            // the slot's type, which the load would have produced too.
+            Operand repl = it->second;
+            repl.type = arg.type;
+            arg = repl;
+            changed = true;
+          }
+        }
+      }
+      switch (instr.op) {
+        case IrOp::kStoreSlot:
+          if (!fn.slots[instr.slot].address_taken) {
+            forwarded[instr.slot] = instr.args[0];
+          }
+          break;
+        case IrOp::kLoadSlot: {
+          auto it = forwarded.find(instr.slot);
+          if (it != forwarded.end()) {
+            replace[instr.result] = it->second;
+          } else if (!fn.slots[instr.slot].address_taken) {
+            // The load itself becomes the forwarded value for later loads.
+            forwarded[instr.slot] = Operand::Vreg(instr.result, instr.type);
+          }
+          break;
+        }
+        default:
+          if (MayClobberAddressedSlots(instr)) {
+            // Conservatively drop forwarding for addressed slots only; the
+            // map holds only non-addressed slots, which cannot be clobbered
+            // through pointers, so nothing to do. Calls also cannot touch
+            // them (slots are function-private).
+          }
+          break;
+      }
+    }
+  }
+
+  // --- Whole-function single-store constant promotion. ---
+  // A non-addressed, non-parameter slot with exactly one store, located in
+  // the entry block before any entry-block load, whose stored value is a
+  // constant: every load anywhere yields that constant.
+  const size_t num_slots = fn.slots.size();
+  std::vector<int> store_count(num_slots, 0);
+  std::vector<int64_t> store_value(num_slots, 0);
+  std::vector<bool> store_is_const(num_slots, false);
+  std::vector<bool> store_in_entry(num_slots, false);
+  std::vector<bool> load_before_store_in_entry(num_slots, false);
+
+  for (const BasicBlock& bb : fn.blocks) {
+    std::vector<bool> stored_here(num_slots, false);
+    for (const Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kStoreSlot) {
+        const uint32_t s = instr.slot;
+        ++store_count[s];
+        store_is_const[s] = instr.args[0].is_const();
+        store_value[s] = instr.args[0].is_const() ? instr.args[0].imm : 0;
+        store_in_entry[s] = bb.id == 0;
+        stored_here[s] = true;
+      } else if (instr.op == IrOp::kLoadSlot && bb.id == 0 && !stored_here[instr.slot]) {
+        load_before_store_in_entry[instr.slot] = true;
+      }
+    }
+  }
+
+  std::vector<bool> promotable(num_slots, false);
+  bool any_promotable = false;
+  for (size_t s = 0; s < num_slots; ++s) {
+    if (!fn.slots[s].address_taken && !fn.slots[s].is_param && store_count[s] == 1 &&
+        store_is_const[s] && store_in_entry[s] && !load_before_store_in_entry[s]) {
+      promotable[s] = true;
+      any_promotable = true;
+    }
+  }
+  if (any_promotable) {
+    for (BasicBlock& bb : fn.blocks) {
+      std::unordered_map<uint32_t, int64_t> replace;  // vreg -> const
+      for (Instr& instr : bb.instrs) {
+        for (Operand& arg : instr.args) {
+          if (arg.is_vreg()) {
+            auto it = replace.find(arg.vreg);
+            if (it != replace.end()) {
+              arg = Operand::Const(NormalizeValue(it->second, arg.type), arg.type);
+              changed = true;
+            }
+          }
+        }
+        if (instr.op == IrOp::kLoadSlot && promotable[instr.slot]) {
+          replace[instr.result] = NormalizeValue(store_value[instr.slot], instr.type);
+        }
+      }
+    }
+  }
+
+  return changed;
+}
+
+bool EliminateDeadCode(Function& fn) {
+  bool changed = false;
+
+  // Which slots are ever loaded or addressed?
+  std::vector<bool> slot_live(fn.slots.size(), false);
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Instr& instr : bb.instrs) {
+      if ((instr.op == IrOp::kLoadSlot || instr.op == IrOp::kSlotAddr) &&
+          instr.slot != kNoIndex) {
+        slot_live[instr.slot] = true;
+      }
+    }
+  }
+
+  for (BasicBlock& bb : fn.blocks) {
+    // vregs are block-local, so liveness is a backward scan over the block.
+    std::vector<bool> keep(bb.instrs.size(), false);
+    std::unordered_map<uint32_t, bool> used;
+    for (size_t i = bb.instrs.size(); i-- > 0;) {
+      const Instr& instr = bb.instrs[i];
+      bool live = IrOpHasSideEffects(instr.op);
+      if (instr.op == IrOp::kStoreSlot && !slot_live[instr.slot] &&
+          !fn.slots[instr.slot].address_taken) {
+        live = false;  // dead store to a never-read slot
+      }
+      if (instr.result != kNoVreg && used.count(instr.result) != 0) {
+        live = true;
+      }
+      if (live) {
+        keep[i] = true;
+        for (const Operand& arg : instr.args) {
+          if (arg.is_vreg()) {
+            used[arg.vreg] = true;
+          }
+        }
+      }
+    }
+    std::vector<Instr> kept;
+    kept.reserve(bb.instrs.size());
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+      if (keep[i]) {
+        kept.push_back(std::move(bb.instrs[i]));
+      } else {
+        changed = true;
+      }
+    }
+    bb.instrs = std::move(kept);
+  }
+  return changed;
+}
+
+}  // namespace mv

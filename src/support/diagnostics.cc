@@ -1,0 +1,54 @@
+#include "src/support/diagnostics.h"
+
+#include <utility>
+
+namespace mv {
+
+std::string SourceLoc::ToString() const {
+  if (!valid()) {
+    return "<unknown>";
+  }
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = loc.ToString();
+  switch (severity) {
+    case DiagSeverity::kNote:
+      out += ": note: ";
+      break;
+    case DiagSeverity::kWarning:
+      out += ": warning: ";
+      break;
+    case DiagSeverity::kError:
+      out += ": error: ";
+      break;
+  }
+  out += message;
+  return out;
+}
+
+void DiagnosticSink::Error(SourceLoc loc, std::string message) {
+  diagnostics_.push_back({DiagSeverity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticSink::Warning(SourceLoc loc, std::string message) {
+  diagnostics_.push_back({DiagSeverity::kWarning, loc, std::move(message)});
+  ++warning_count_;
+}
+
+void DiagnosticSink::Note(SourceLoc loc, std::string message) {
+  diagnostics_.push_back({DiagSeverity::kNote, loc, std::move(message)});
+}
+
+std::string DiagnosticSink::ToString() const {
+  std::string out;
+  for (const Diagnostic& diag : diagnostics_) {
+    out += diag.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mv

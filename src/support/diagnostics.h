@@ -1,0 +1,55 @@
+// Source locations and diagnostic collection for the mvc frontend.
+#ifndef MULTIVERSE_SRC_SUPPORT_DIAGNOSTICS_H_
+#define MULTIVERSE_SRC_SUPPORT_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mv {
+
+// A position inside an mvc source buffer. Lines and columns are 1-based.
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  bool valid() const { return line != 0; }
+  std::string ToString() const;
+};
+
+enum class DiagSeverity : uint8_t { kNote, kWarning, kError };
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Accumulates diagnostics across lexing, parsing, semantic analysis and the
+// specializer (e.g. the paper-mandated warning for writes to a configuration
+// switch inside a specialized variant).
+class DiagnosticSink {
+ public:
+  void Error(SourceLoc loc, std::string message);
+  void Warning(SourceLoc loc, std::string message);
+  void Note(SourceLoc loc, std::string message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  size_t error_count() const { return error_count_; }
+  size_t warning_count() const { return warning_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // All diagnostics, one per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+  size_t warning_count_ = 0;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_SUPPORT_DIAGNOSTICS_H_

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for workload data and
+// property tests. xoshiro256** — small, fast, reproducible across platforms.
+#ifndef MULTIVERSE_SRC_SUPPORT_RNG_H_
+#define MULTIVERSE_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace mv {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (uint64_t& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform value in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,126 @@
+// Lightweight status / result types used across the multiverse toolchain.
+//
+// We deliberately avoid exceptions in the substrate layers (VM, linker, runtime
+// patcher): faults and failures are part of the modelled domain and must be
+// inspectable values, not control flow.
+#ifndef MULTIVERSE_SRC_SUPPORT_STATUS_H_
+#define MULTIVERSE_SRC_SUPPORT_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mv {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code ("ok", "invalid-argument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional message. The empty-message kOk status is
+// cheap to construct and copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error status (never an OK status).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(data_);
+  }
+
+  T& value() { return std::get<T>(data_); }
+  const T& value() const { return std::get<T>(data_); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace mv
+
+// Propagates an error status from an expression producing a Status.
+#define MV_RETURN_IF_ERROR(expr)        \
+  do {                                  \
+    ::mv::Status _mv_status = (expr);   \
+    if (!_mv_status.ok()) {             \
+      return _mv_status;                \
+    }                                   \
+  } while (0)
+
+// Assigns the value of a Result<T> expression to `lhs`, or returns its status.
+#define MV_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto MV_CONCAT_(_mv_result_, __LINE__) = (expr);          \
+  if (!MV_CONCAT_(_mv_result_, __LINE__).ok()) {            \
+    return MV_CONCAT_(_mv_result_, __LINE__).status();      \
+  }                                                         \
+  lhs = std::move(MV_CONCAT_(_mv_result_, __LINE__).value())
+
+#define MV_CONCAT_INNER_(a, b) a##b
+#define MV_CONCAT_(a, b) MV_CONCAT_INNER_(a, b)
+
+#endif  // MULTIVERSE_SRC_SUPPORT_STATUS_H_

@@ -1,0 +1,32 @@
+// Small string helpers shared by the printer, disassembler and benchmarks.
+#ifndef MULTIVERSE_SRC_SUPPORT_STR_H_
+#define MULTIVERSE_SRC_SUPPORT_STR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mv {
+
+// Formats like snprintf but returns a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins parts with a separator.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Hex string "0x..." of a 64-bit value.
+std::string HexString(uint64_t value);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// FNV-1a over arbitrary bytes; used for structural hashing of function bodies.
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed = 0xcbf29ce484222325ULL);
+
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return HashBytes(&v, sizeof(v), h);
+}
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_SUPPORT_STR_H_

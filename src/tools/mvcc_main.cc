@@ -1,0 +1,274 @@
+// mvcc — the multiverse C compiler driver.
+//
+// Compiles .mvc translation units through the full pipeline (frontend ->
+// specializer -> optimizer -> codegen -> linker), optionally dumps the IR,
+// the disassembly or the descriptor tables, and can load and run the result
+// in the VM with or without a multiverse commit.
+//
+//   mvcc [options] file.mvc...
+//     -D name=value        pin a global at compile time (static variability)
+//     --no-specialize      disable the multiverse plugin
+//     --dump-ir            print the optimized IR of every module
+//     --dump-asm           disassemble the linked text segment
+//     --dump-descriptors   print the parsed multiverse descriptor tables
+//     --stats              print specializer statistics
+//     --run entry [-- a b ...]   call `entry` and print r0 and cycle count
+//     --commit             multiverse_commit() before --run
+//     --set name=value     write a global before commit/run (may repeat)
+//     --guest              run as a paravirtualized guest
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/descriptors.h"
+#include "src/core/program.h"
+#include "src/isa/isa.h"
+#include "src/support/str.h"
+#include "src/workloads/harness.h"
+
+namespace mv {
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> files;
+  std::map<std::string, int64_t> defines;
+  std::vector<std::pair<std::string, int64_t>> sets;
+  bool specialize = true;
+  bool dump_ir = false;
+  bool dump_asm = false;
+  bool dump_descriptors = false;
+  bool stats = false;
+  bool commit = false;
+  bool guest = false;
+  uint64_t trace = 0;
+  std::string run_entry;
+  std::vector<uint64_t> run_args;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: mvcc [options] file.mvc...\n"
+               "  -D name=value      compile-time pinned configuration value\n"
+               "  --set name=value   write a global after load (repeatable)\n"
+               "  --no-specialize    disable multiverse variant generation\n"
+               "  --dump-ir          print optimized IR\n"
+               "  --dump-asm         disassemble the linked text segment\n"
+               "  --dump-descriptors print multiverse descriptor tables\n"
+               "  --stats            print specializer statistics\n"
+               "  --commit           multiverse_commit() before running\n"
+               "  --guest            run as a paravirtualized guest\n"
+               "  --trace N          print the first N executed instructions\n"
+               "  --run entry [-- args...]  call entry() and report r0/cycles\n");
+}
+
+bool ParseKeyValue(const char* text, std::string* key, int64_t* value) {
+  const char* eq = std::strchr(text, '=');
+  if (eq == nullptr) {
+    return false;
+  }
+  *key = std::string(text, eq);
+  *value = std::strtoll(eq + 1, nullptr, 0);
+  return !key->empty();
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "-D" && i + 1 < argc) {
+      std::string key;
+      int64_t value = 0;
+      if (!ParseKeyValue(argv[++i], &key, &value)) {
+        std::fprintf(stderr, "mvcc: bad -D argument '%s'\n", argv[i]);
+        return 2;
+      }
+      options.defines[key] = value;
+    } else if (arg == "--set" && i + 1 < argc) {
+      std::string key;
+      int64_t value = 0;
+      if (!ParseKeyValue(argv[++i], &key, &value)) {
+        std::fprintf(stderr, "mvcc: bad --set argument '%s'\n", argv[i]);
+        return 2;
+      }
+      options.sets.emplace_back(key, value);
+    } else if (arg == "--no-specialize") {
+      options.specialize = false;
+    } else if (arg == "--dump-ir") {
+      options.dump_ir = true;
+    } else if (arg == "--dump-asm") {
+      options.dump_asm = true;
+    } else if (arg == "--dump-descriptors") {
+      options.dump_descriptors = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--commit") {
+      options.commit = true;
+    } else if (arg == "--guest") {
+      options.guest = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      options.trace = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--run" && i + 1 < argc) {
+      options.run_entry = argv[++i];
+    } else if (arg == "--") {
+      for (++i; i < argc; ++i) {
+        options.run_args.push_back(std::strtoull(argv[i], nullptr, 0));
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mvcc: unknown option '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty()) {
+    std::fprintf(stderr, "mvcc: no input files\n");
+    Usage();
+    return 2;
+  }
+
+  std::vector<ProgramSource> sources;
+  for (const std::string& path : options.files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "mvcc: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string name = path;
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) {
+      name = name.substr(slash + 1);
+    }
+    sources.push_back({name, text.str()});
+  }
+
+  BuildOptions build;
+  build.frontend.defines = options.defines;
+  build.specialize = options.specialize;
+  build.hypervisor_guest = options.guest;
+  Result<std::unique_ptr<Program>> built = Program::Build(sources, build);
+  if (!built.ok()) {
+    std::fprintf(stderr, "mvcc: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  Program& program = **built;
+
+  if (options.stats) {
+    const SpecializeStats& stats = program.specialize_stats();
+    std::printf("specializer: %zu function(s), %zu variant(s) generated, %zu merged, "
+                "%zu kept\n",
+                stats.functions_specialized, stats.variants_generated,
+                stats.variants_merged, stats.variants_kept);
+    for (const std::string& warning : stats.warnings) {
+      std::printf("warning: %s\n", warning.c_str());
+    }
+  }
+
+  if (options.dump_ir) {
+    for (const Module& module : program.modules()) {
+      std::fputs(module.ToString().c_str(), stdout);
+    }
+  }
+
+  if (options.dump_asm) {
+    const uint64_t base = program.image().text_base;
+    const uint64_t size = program.image().text_size;
+    std::vector<uint8_t> text(size);
+    if (program.vm().memory().ReadRaw(base, text.data(), size).ok()) {
+      std::fputs(Disassemble(text.data(), text.size(), base).c_str(), stdout);
+    }
+  }
+
+  if (options.dump_descriptors) {
+    const DescriptorTable& table = program.runtime().table();
+    std::printf("multiverse.variables (%zu):\n", table.variables.size());
+    for (const RtVariable& v : table.variables) {
+      std::printf("  %-24s addr=0x%llx width=%u %s%s\n", v.name.c_str(),
+                  (unsigned long long)v.addr, v.width, v.is_signed ? "signed" : "unsigned",
+                  v.is_fnptr ? " fnptr" : "");
+    }
+    std::printf("multiverse.functions (%zu):\n", table.functions.size());
+    for (const RtFunction& fn : table.functions) {
+      std::printf("  %-24s generic=0x%llx variants=%zu\n", fn.name.c_str(),
+                  (unsigned long long)fn.generic_addr, fn.variants.size());
+      for (const RtVariant& variant : fn.variants) {
+        std::printf("    variant 0x%llx guards:", (unsigned long long)variant.fn_addr);
+        for (const RtGuard& guard : variant.guards) {
+          const RtVariable* var = table.FindVariable(guard.var_addr);
+          std::printf(" %s in [%d, %d]", var != nullptr ? var->name.c_str() : "?",
+                      guard.lo, guard.hi);
+        }
+        std::printf("\n");
+      }
+    }
+    std::printf("multiverse.callsites (%zu):\n", table.callsites.size());
+    for (const RtCallsite& site : table.callsites) {
+      std::printf("  site=0x%llx callee=0x%llx\n", (unsigned long long)site.site_addr,
+                  (unsigned long long)site.callee_addr);
+    }
+  }
+
+  for (const auto& [name, value] : options.sets) {
+    Status status = program.WriteGlobal(name, value, 8);
+    if (!status.ok()) {
+      std::fprintf(stderr, "mvcc: --set %s: %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (options.commit) {
+    Result<PatchStats> stats = program.runtime().Commit();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "mvcc: commit failed: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("commit: %d committed, %d fallbacks, %d sites patched, %d inlined\n",
+                stats->functions_committed, stats->generic_fallbacks,
+                stats->callsites_patched, stats->callsites_inlined);
+  }
+
+  if (!options.run_entry.empty()) {
+    uint64_t traced = 0;
+    if (options.trace > 0) {
+      program.vm().set_trace_hook([&](const Vm::TraceEntry& entry) {
+        if (traced++ < options.trace) {
+          std::printf("trace %08llx: %s\n", (unsigned long long)entry.pc,
+                      entry.insn.ToString().c_str());
+        }
+      });
+    }
+    Core& core = program.vm().core(0);
+    const uint64_t before = core.ticks;
+    Result<uint64_t> result = program.Call(options.run_entry, options.run_args);
+    if (!result.ok()) {
+      std::fprintf(stderr, "mvcc: run failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    if (!program.output().empty()) {
+      std::fputs(program.output().c_str(), stdout);
+      if (program.output().back() != '\n') {
+        std::fputc('\n', stdout);
+      }
+    }
+    std::printf("%s() = %llu (0x%llx), %.2f cycles\n", options.run_entry.c_str(),
+                (unsigned long long)*result, (unsigned long long)*result,
+                TicksToCycles(core.ticks - before));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mv
+
+int main(int argc, char** argv) { return mv::Main(argc, argv); }

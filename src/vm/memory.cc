@@ -1,0 +1,143 @@
+#include "src/vm/memory.h"
+
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace mv {
+
+std::string Fault::ToString() const {
+  const char* kind_name = "none";
+  switch (kind) {
+    case FaultKind::kNone:
+      kind_name = "none";
+      break;
+    case FaultKind::kUnmapped:
+      kind_name = "unmapped";
+      break;
+    case FaultKind::kReadProtection:
+      kind_name = "read-protection";
+      break;
+    case FaultKind::kWriteProtection:
+      kind_name = "write-protection";
+      break;
+    case FaultKind::kExecProtection:
+      kind_name = "exec-protection";
+      break;
+    case FaultKind::kBadOpcode:
+      kind_name = "bad-opcode";
+      break;
+    case FaultKind::kDivByZero:
+      kind_name = "div-by-zero";
+      break;
+    case FaultKind::kStackOverflow:
+      kind_name = "stack-overflow";
+      break;
+  }
+  return StrFormat("fault{%s addr=0x%llx pc=0x%llx}", kind_name, (unsigned long long)addr,
+                   (unsigned long long)pc);
+}
+
+Memory::Memory(uint64_t size) {
+  const uint64_t rounded = (size + kPageSize - 1) & ~(kPageSize - 1);
+  bytes_.resize(rounded, 0);
+  page_perms_.resize(rounded / kPageSize, kPermNone);
+}
+
+Fault Memory::Read(uint64_t addr, int width, uint64_t* out) const {
+  if (!InBounds(addr, static_cast<uint64_t>(width))) {
+    return Fault{FaultKind::kUnmapped, addr, 0};
+  }
+  for (uint64_t page = addr / kPageSize; page <= (addr + width - 1) / kPageSize; ++page) {
+    if ((page_perms_[page] & kPermRead) == 0) {
+      const FaultKind kind =
+          page_perms_[page] == kPermNone ? FaultKind::kUnmapped : FaultKind::kReadProtection;
+      return Fault{kind, addr, 0};
+    }
+  }
+  uint64_t value = 0;
+  std::memcpy(&value, bytes_.data() + addr, static_cast<size_t>(width));
+  *out = value;
+  return Fault{};
+}
+
+Fault Memory::Write(uint64_t addr, int width, uint64_t value) {
+  if (!InBounds(addr, static_cast<uint64_t>(width))) {
+    return Fault{FaultKind::kUnmapped, addr, 0};
+  }
+  for (uint64_t page = addr / kPageSize; page <= (addr + width - 1) / kPageSize; ++page) {
+    if ((page_perms_[page] & kPermWrite) == 0) {
+      const FaultKind kind =
+          page_perms_[page] == kPermNone ? FaultKind::kUnmapped : FaultKind::kWriteProtection;
+      return Fault{kind, addr, 0};
+    }
+  }
+  std::memcpy(bytes_.data() + addr, &value, static_cast<size_t>(width));
+  return Fault{};
+}
+
+Fault Memory::CheckExec(uint64_t addr, uint64_t len) const {
+  if (!InBounds(addr, len)) {
+    return Fault{FaultKind::kUnmapped, addr, addr};
+  }
+  for (uint64_t page = addr / kPageSize; page <= (addr + len - 1) / kPageSize; ++page) {
+    if ((page_perms_[page] & kPermExec) == 0) {
+      const FaultKind kind =
+          page_perms_[page] == kPermNone ? FaultKind::kUnmapped : FaultKind::kExecProtection;
+      return Fault{kind, addr, addr};
+    }
+  }
+  return Fault{};
+}
+
+Status Memory::ReadRaw(uint64_t addr, void* out, uint64_t len) const {
+  if (!InBounds(addr, len)) {
+    return Status::OutOfRange(StrFormat("ReadRaw out of bounds at 0x%llx+%llu",
+                                        (unsigned long long)addr, (unsigned long long)len));
+  }
+  std::memcpy(out, bytes_.data() + addr, static_cast<size_t>(len));
+  return Status::Ok();
+}
+
+Status Memory::WriteRaw(uint64_t addr, const void* data, uint64_t len) {
+  if (!InBounds(addr, len)) {
+    return Status::OutOfRange(StrFormat("WriteRaw out of bounds at 0x%llx+%llu",
+                                        (unsigned long long)addr, (unsigned long long)len));
+  }
+  std::memcpy(bytes_.data() + addr, data, static_cast<size_t>(len));
+  return Status::Ok();
+}
+
+Status Memory::Protect(uint64_t addr, uint64_t len, uint8_t perms) {
+  if (len == 0) {
+    return Status::Ok();
+  }
+  if (!InBounds(addr, len)) {
+    return Status::OutOfRange("Protect out of bounds");
+  }
+  for (uint64_t page = addr / kPageSize; page <= (addr + len - 1) / kPageSize; ++page) {
+    page_perms_[page] = perms;
+  }
+  return Status::Ok();
+}
+
+uint8_t Memory::PermsAt(uint64_t addr) const {
+  if (addr >= bytes_.size()) {
+    return kPermNone;
+  }
+  return page_perms_[addr / kPageSize];
+}
+
+bool Memory::Writable(uint64_t addr, uint64_t len) const {
+  if (len == 0 || !InBounds(addr, len)) {
+    return false;
+  }
+  for (uint64_t page = addr / kPageSize; page <= (addr + len - 1) / kPageSize; ++page) {
+    if ((page_perms_[page] & kPermWrite) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mv

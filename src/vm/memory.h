@@ -1,0 +1,87 @@
+// Paged guest memory with R/W/X protections.
+//
+// The multiverse runtime patches the text segment, so the memory model must
+// enforce what a real OS enforces: text pages are readable and executable but
+// not writable; the patcher must change the protection, write, and restore it
+// (paper §4, §7.2). Guest accesses go through the checked Read/Write/Fetch
+// paths; the host-side loader and patcher use the Raw paths plus explicit
+// protection changes via Protect(), mirroring mprotect(2).
+#ifndef MULTIVERSE_SRC_VM_MEMORY_H_
+#define MULTIVERSE_SRC_VM_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace mv {
+
+inline constexpr uint64_t kPageSize = 4096;
+
+enum PagePerm : uint8_t {
+  kPermNone = 0,
+  kPermRead = 1,
+  kPermWrite = 2,
+  kPermExec = 4,
+};
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kUnmapped,
+  kReadProtection,
+  kWriteProtection,
+  kExecProtection,
+  kBadOpcode,
+  kDivByZero,
+  kStackOverflow,
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t addr = 0;  // faulting data address (or pc for exec faults)
+  uint64_t pc = 0;    // pc of the faulting instruction
+
+  bool ok() const { return kind == FaultKind::kNone; }
+  std::string ToString() const;
+};
+
+class Memory {
+ public:
+  explicit Memory(uint64_t size);
+
+  uint64_t size() const { return bytes_.size(); }
+
+  // Guest-visible accesses (permission-checked). Loads return zero-extended
+  // values; the VM applies sign extension per instruction.
+  Fault Read(uint64_t addr, int width, uint64_t* out) const;
+  Fault Write(uint64_t addr, int width, uint64_t value);
+  // Instruction fetch window check: every byte of [addr, addr+len) must be
+  // mapped executable.
+  Fault CheckExec(uint64_t addr, uint64_t len) const;
+
+  // Host accesses: bounds-checked but not permission-checked (the runtime
+  // patcher models mprotect explicitly via Protect()).
+  Status ReadRaw(uint64_t addr, void* out, uint64_t len) const;
+  Status WriteRaw(uint64_t addr, const void* data, uint64_t len);
+  const uint8_t* raw(uint64_t addr) const { return bytes_.data() + addr; }
+
+  // Changes the protection of all pages overlapping [addr, addr+len).
+  Status Protect(uint64_t addr, uint64_t len, uint8_t perms);
+  uint8_t PermsAt(uint64_t addr) const;
+
+  // True if a *guest* write to [addr, addr+len) would be allowed. The
+  // multiverse runtime uses the same check before patching.
+  bool Writable(uint64_t addr, uint64_t len) const;
+
+ private:
+  bool InBounds(uint64_t addr, uint64_t len) const {
+    return addr <= bytes_.size() && len <= bytes_.size() - addr;
+  }
+
+  std::vector<uint8_t> bytes_;
+  std::vector<uint8_t> page_perms_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_VM_MEMORY_H_

@@ -1,0 +1,89 @@
+// Branch prediction model: a 2-bit-counter conditional predictor, a
+// branch-target buffer for indirect calls, and a return-stack buffer.
+//
+// This is the piece of the substrate that gives dynamic variability its cost:
+// the paper's argument (§1) is that an `if (config)` check is nearly free in
+// a warm microbenchmark loop but pays 15–20 cycles whenever the branch is
+// mispredicted on real execution paths. Flush() models the cold-predictor
+// case (bench_ablation_btb).
+#ifndef MULTIVERSE_SRC_VM_PREDICTOR_H_
+#define MULTIVERSE_SRC_VM_PREDICTOR_H_
+
+#include <array>
+#include <cstdint>
+
+namespace mv {
+
+class BranchPredictor {
+ public:
+  BranchPredictor() { Flush(); }
+
+  // Conditional branches: 2-bit saturating counters, direct-mapped.
+  bool PredictCond(uint64_t pc) const { return counters_[CondIndex(pc)] >= 2; }
+
+  void UpdateCond(uint64_t pc, bool taken) {
+    uint8_t& c = counters_[CondIndex(pc)];
+    if (taken) {
+      if (c < 3) {
+        ++c;
+      }
+    } else if (c > 0) {
+      --c;
+    }
+  }
+
+  // Indirect calls/jumps: BTB holds the last target per site. Returns true if
+  // the prediction matched `actual_target`; always records the actual target.
+  bool PredictAndUpdateIndirect(uint64_t pc, uint64_t actual_target) {
+    BtbEntry& entry = btb_[BtbIndex(pc)];
+    const bool hit = entry.pc == pc && entry.target == actual_target;
+    entry.pc = pc;
+    entry.target = actual_target;
+    return hit;
+  }
+
+  // Return-stack buffer. PushRet on call; PopRetMatches on ret — returns
+  // false (mispredict) when the RSB is empty or disagrees.
+  void PushRet(uint64_t return_addr) {
+    rsb_[rsb_top_ % kRsbDepth] = return_addr;
+    ++rsb_top_;
+  }
+
+  bool PopRetMatches(uint64_t actual) {
+    if (rsb_top_ == 0) {
+      return false;
+    }
+    --rsb_top_;
+    return rsb_[rsb_top_ % kRsbDepth] == actual;
+  }
+
+  // Clears all predictor state (cold-start / context-switch pollution model).
+  void Flush() {
+    counters_.fill(1);  // weakly not-taken
+    btb_.fill(BtbEntry{});
+    rsb_.fill(0);
+    rsb_top_ = 0;
+  }
+
+ private:
+  static constexpr size_t kCondEntries = 4096;
+  static constexpr size_t kBtbEntries = 512;
+  static constexpr size_t kRsbDepth = 64;
+
+  struct BtbEntry {
+    uint64_t pc = 0;
+    uint64_t target = 0;
+  };
+
+  static size_t CondIndex(uint64_t pc) { return pc % kCondEntries; }
+  static size_t BtbIndex(uint64_t pc) { return pc % kBtbEntries; }
+
+  std::array<uint8_t, kCondEntries> counters_;
+  std::array<BtbEntry, kBtbEntries> btb_;
+  std::array<uint64_t, kRsbDepth> rsb_;
+  size_t rsb_top_ = 0;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_VM_PREDICTOR_H_

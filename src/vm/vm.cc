@@ -1,0 +1,580 @@
+#include "src/vm/vm.h"
+
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+int64_t SignExtend(uint64_t value, int width) {
+  switch (width) {
+    case 1:
+      return static_cast<int8_t>(value);
+    case 2:
+      return static_cast<int16_t>(value);
+    case 4:
+      return static_cast<int32_t>(value);
+    default:
+      return static_cast<int64_t>(value);
+  }
+}
+
+}  // namespace
+
+std::string VmExit::ToString() const {
+  switch (kind) {
+    case Kind::kHalt:
+      return "exit{halt}";
+    case Kind::kVmCall:
+      return StrFormat("exit{vmcall %u}", vmcall_code);
+    case Kind::kFault:
+      return StrFormat("exit{%s}", fault.ToString().c_str());
+    case Kind::kStepLimit:
+      return "exit{step-limit}";
+  }
+  return "exit{?}";
+}
+
+Vm::Vm(uint64_t mem_size, int num_cores) : memory_(mem_size) {
+  cores_.resize(static_cast<size_t>(num_cores));
+}
+
+void Vm::FlushIcache(uint64_t addr, uint64_t len) {
+  // Instructions are at most 10 bytes; anything starting within
+  // [addr - 9, addr + len) may overlap the modified range.
+  const uint64_t lo = addr >= 9 ? addr - 9 : 0;
+  for (uint64_t a = lo; a < addr + len; ++a) {
+    icache_.erase(a);
+  }
+}
+
+void Vm::FlushPredictors() {
+  for (Core& core : cores_) {
+    core.predictor.Flush();
+  }
+}
+
+bool Vm::EvalCond(const Core& core, Cond cc) const {
+  switch (cc) {
+    case Cond::kEq:
+      return core.zf;
+    case Cond::kNe:
+      return !core.zf;
+    case Cond::kLt:
+      return core.lt_signed;
+    case Cond::kLe:
+      return core.lt_signed || core.zf;
+    case Cond::kGt:
+      return !(core.lt_signed || core.zf);
+    case Cond::kGe:
+      return !core.lt_signed;
+    case Cond::kB:
+      return core.lt_unsigned;
+    case Cond::kBe:
+      return core.lt_unsigned || core.zf;
+    case Cond::kA:
+      return !(core.lt_unsigned || core.zf);
+    case Cond::kAe:
+      return !core.lt_unsigned;
+  }
+  return false;
+}
+
+std::optional<VmExit> Vm::Step(int core_id) {
+  Core& core = cores_[static_cast<size_t>(core_id)];
+  if (core.halted) {
+    VmExit exit;
+    exit.kind = VmExit::Kind::kHalt;
+    return exit;
+  }
+
+  const uint64_t pc = core.pc;
+
+  // Fetch: consult the decoded-instruction cache first. A cache hit skips the
+  // memory read entirely — this is what makes un-flushed self-modification
+  // visible as stale execution.
+  const CachedInsn* cached = nullptr;
+  auto it = icache_.find(pc);
+  if (it != icache_.end()) {
+    cached = &it->second;
+  }
+  Insn insn;
+  if (cached != nullptr) {
+    insn = cached->insn;
+  } else {
+    // Permission check happens on the fill path, like a hardware ifetch.
+    Fault exec_fault = memory_.CheckExec(pc, 1);
+    if (exec_fault.ok()) {
+      Result<Insn> decoded = Decode(memory_.raw(pc), memory_.size() - pc);
+      if (!decoded.ok()) {
+        exec_fault = Fault{FaultKind::kBadOpcode, pc, pc};
+      } else {
+        exec_fault = memory_.CheckExec(pc, decoded->size);
+        if (exec_fault.ok()) {
+          insn = *decoded;
+          icache_.emplace(pc, CachedInsn{insn});
+        }
+      }
+    }
+    if (!exec_fault.ok()) {
+      exec_fault.pc = pc;
+      VmExit exit;
+      exit.kind = VmExit::Kind::kFault;
+      exit.fault = exec_fault;
+      return exit;
+    }
+  }
+
+  if (trace_hook_) {
+    trace_hook_(TraceEntry{core_id, pc, insn, core.ticks});
+  }
+
+  std::optional<VmExit> exit = Execute(core, insn);
+  if (!exit.has_value() || exit->kind == VmExit::Kind::kVmCall ||
+      exit->kind == VmExit::Kind::kHalt) {
+    ++core.instret;
+  }
+  return exit;
+}
+
+VmExit Vm::Run(int core_id, uint64_t max_steps) {
+  for (uint64_t i = 0; i < max_steps; ++i) {
+    std::optional<VmExit> exit = Step(core_id);
+    if (exit.has_value()) {
+      return *exit;
+    }
+  }
+  VmExit exit;
+  exit.kind = VmExit::Kind::kStepLimit;
+  return exit;
+}
+
+std::optional<VmExit> Vm::Execute(Core& core, const Insn& insn) {
+  const CostModel& cm = cost_model_;
+  const uint64_t next = core.pc + insn.size;
+  uint64_t* regs = core.regs;
+
+  auto fault_exit = [&](Fault f) {
+    f.pc = core.pc;
+    VmExit exit;
+    exit.kind = VmExit::Kind::kFault;
+    exit.fault = f;
+    return exit;
+  };
+
+  switch (insn.op) {
+    case Op::kMovRI:
+      regs[insn.a] = static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.mov;
+      break;
+    case Op::kMovRR:
+      regs[insn.a] = regs[insn.b];
+      core.ticks += cm.mov;
+      break;
+
+    case Op::kLd8U:
+    case Op::kLd8S:
+    case Op::kLd16U:
+    case Op::kLd16S:
+    case Op::kLd32U:
+    case Op::kLd32S:
+    case Op::kLd64: {
+      int width = 8;
+      bool sign = false;
+      switch (insn.op) {
+        case Op::kLd8U: width = 1; break;
+        case Op::kLd8S: width = 1; sign = true; break;
+        case Op::kLd16U: width = 2; break;
+        case Op::kLd16S: width = 2; sign = true; break;
+        case Op::kLd32U: width = 4; break;
+        case Op::kLd32S: width = 4; sign = true; break;
+        default: break;
+      }
+      const uint64_t addr = regs[insn.b] + static_cast<uint64_t>(insn.imm);
+      uint64_t value = 0;
+      Fault f = memory_.Read(addr, width, &value);
+      if (!f.ok()) {
+        return fault_exit(f);
+      }
+      regs[insn.a] = sign ? static_cast<uint64_t>(SignExtend(value, width)) : value;
+      core.ticks += cm.load;
+      break;
+    }
+    case Op::kSt8:
+    case Op::kSt16:
+    case Op::kSt32:
+    case Op::kSt64: {
+      int width = 8;
+      switch (insn.op) {
+        case Op::kSt8: width = 1; break;
+        case Op::kSt16: width = 2; break;
+        case Op::kSt32: width = 4; break;
+        default: break;
+      }
+      const uint64_t addr = regs[insn.b] + static_cast<uint64_t>(insn.imm);
+      Fault f = memory_.Write(addr, width, regs[insn.a]);
+      if (!f.ok()) {
+        return fault_exit(f);
+      }
+      core.ticks += cm.store;
+      break;
+    }
+
+    case Op::kLdg: {
+      const int width = GWidthBytes(insn.gw);
+      uint64_t value = 0;
+      Fault f = memory_.Read(static_cast<uint64_t>(insn.imm), width, &value);
+      if (!f.ok()) {
+        return fault_exit(f);
+      }
+      regs[insn.a] = GWidthSigned(insn.gw)
+                         ? static_cast<uint64_t>(SignExtend(value, width))
+                         : value;
+      core.ticks += cm.global_load;
+      break;
+    }
+    case Op::kStg: {
+      const int width = GWidthBytes(insn.gw);
+      Fault f = memory_.Write(static_cast<uint64_t>(insn.imm), width, regs[insn.a]);
+      if (!f.ok()) {
+        return fault_exit(f);
+      }
+      core.ticks += cm.global_store;
+      break;
+    }
+
+    case Op::kAdd:
+      regs[insn.a] += regs[insn.b];
+      core.ticks += cm.alu;
+      break;
+    case Op::kSub:
+      regs[insn.a] -= regs[insn.b];
+      core.ticks += cm.alu;
+      break;
+    case Op::kMul:
+      regs[insn.a] *= regs[insn.b];
+      core.ticks += cm.alu;
+      break;
+    case Op::kUDiv:
+      if (regs[insn.b] == 0) {
+        return fault_exit(Fault{FaultKind::kDivByZero, 0, 0});
+      }
+      regs[insn.a] /= regs[insn.b];
+      core.ticks += cm.alu;
+      break;
+    case Op::kURem:
+      if (regs[insn.b] == 0) {
+        return fault_exit(Fault{FaultKind::kDivByZero, 0, 0});
+      }
+      regs[insn.a] %= regs[insn.b];
+      core.ticks += cm.alu;
+      break;
+    case Op::kSDiv: {
+      if (regs[insn.b] == 0) {
+        return fault_exit(Fault{FaultKind::kDivByZero, 0, 0});
+      }
+      const auto lhs = static_cast<int64_t>(regs[insn.a]);
+      const auto rhs = static_cast<int64_t>(regs[insn.b]);
+      regs[insn.a] = (lhs == INT64_MIN && rhs == -1) ? static_cast<uint64_t>(lhs)
+                                                     : static_cast<uint64_t>(lhs / rhs);
+      core.ticks += cm.alu;
+      break;
+    }
+    case Op::kSRem: {
+      if (regs[insn.b] == 0) {
+        return fault_exit(Fault{FaultKind::kDivByZero, 0, 0});
+      }
+      const auto lhs = static_cast<int64_t>(regs[insn.a]);
+      const auto rhs = static_cast<int64_t>(regs[insn.b]);
+      regs[insn.a] = (lhs == INT64_MIN && rhs == -1) ? 0 : static_cast<uint64_t>(lhs % rhs);
+      core.ticks += cm.alu;
+      break;
+    }
+    case Op::kAnd:
+      regs[insn.a] &= regs[insn.b];
+      core.ticks += cm.alu;
+      break;
+    case Op::kOr:
+      regs[insn.a] |= regs[insn.b];
+      core.ticks += cm.alu;
+      break;
+    case Op::kXor:
+      regs[insn.a] ^= regs[insn.b];
+      core.ticks += cm.alu;
+      break;
+    case Op::kShl:
+      regs[insn.a] <<= (regs[insn.b] & 63);
+      core.ticks += cm.alu;
+      break;
+    case Op::kShr:
+      regs[insn.a] >>= (regs[insn.b] & 63);
+      core.ticks += cm.alu;
+      break;
+    case Op::kSar:
+      regs[insn.a] = static_cast<uint64_t>(static_cast<int64_t>(regs[insn.a]) >>
+                                           (regs[insn.b] & 63));
+      core.ticks += cm.alu;
+      break;
+
+    case Op::kAddI:
+      regs[insn.a] += static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.alu;
+      break;
+    case Op::kSubI:
+      regs[insn.a] -= static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.alu;
+      break;
+    case Op::kMulI:
+      regs[insn.a] *= static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.alu;
+      break;
+    case Op::kAndI:
+      regs[insn.a] &= static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.alu;
+      break;
+    case Op::kOrI:
+      regs[insn.a] |= static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.alu;
+      break;
+    case Op::kXorI:
+      regs[insn.a] ^= static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.alu;
+      break;
+    case Op::kShlI:
+      regs[insn.a] <<= insn.imm;
+      core.ticks += cm.alu;
+      break;
+    case Op::kShrI:
+      regs[insn.a] >>= insn.imm;
+      core.ticks += cm.alu;
+      break;
+    case Op::kSarI:
+      regs[insn.a] =
+          static_cast<uint64_t>(static_cast<int64_t>(regs[insn.a]) >> insn.imm);
+      core.ticks += cm.alu;
+      break;
+    case Op::kNot:
+      regs[insn.a] = ~regs[insn.a];
+      core.ticks += cm.alu;
+      break;
+    case Op::kNeg:
+      regs[insn.a] = ~regs[insn.a] + 1;
+      core.ticks += cm.alu;
+      break;
+
+    case Op::kCmp: {
+      const uint64_t a = regs[insn.a];
+      const uint64_t b = regs[insn.b];
+      core.zf = a == b;
+      core.lt_signed = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+      core.lt_unsigned = a < b;
+      core.ticks += cm.cmp;
+      break;
+    }
+    case Op::kCmpI: {
+      const uint64_t a = regs[insn.a];
+      const auto b = static_cast<uint64_t>(insn.imm);
+      core.zf = a == b;
+      core.lt_signed = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+      core.lt_unsigned = a < b;
+      core.ticks += cm.cmp;
+      break;
+    }
+    case Op::kSetCC:
+      regs[insn.a] = EvalCond(core, insn.cc) ? 1 : 0;
+      core.ticks += cm.setcc;
+      break;
+
+    case Op::kJmp:
+      core.pc = next + static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.jmp;
+      return std::nullopt;
+    case Op::kJcc: {
+      const bool taken = EvalCond(core, insn.cc);
+      const bool predicted = core.predictor.PredictCond(core.pc);
+      core.predictor.UpdateCond(core.pc, taken);
+      ++core.cond_branches;
+      core.ticks += cm.branch_predicted;
+      if (predicted != taken) {
+        core.ticks += cm.branch_mispredict_penalty;
+        ++core.cond_mispredicts;
+      }
+      core.pc = taken ? next + static_cast<uint64_t>(insn.imm) : next;
+      return std::nullopt;
+    }
+    case Op::kCall: {
+      regs[kRegSP] -= 8;
+      Fault f = memory_.Write(regs[kRegSP], 8, next);
+      if (!f.ok()) {
+        regs[kRegSP] += 8;
+        return fault_exit(f);
+      }
+      core.predictor.PushRet(next);
+      core.pc = next + static_cast<uint64_t>(insn.imm);
+      core.ticks += cm.call;
+      return std::nullopt;
+    }
+    case Op::kCallR: {
+      const uint64_t target = regs[insn.a];
+      regs[kRegSP] -= 8;
+      Fault f = memory_.Write(regs[kRegSP], 8, next);
+      if (!f.ok()) {
+        regs[kRegSP] += 8;
+        return fault_exit(f);
+      }
+      core.predictor.PushRet(next);
+      ++core.indirect_calls;
+      core.ticks += cm.call_indirect;
+      if (!core.predictor.PredictAndUpdateIndirect(core.pc, target)) {
+        core.ticks += cm.indirect_mispredict_penalty;
+        ++core.indirect_mispredicts;
+      }
+      core.pc = target;
+      return std::nullopt;
+    }
+    case Op::kCallM: {
+      uint64_t target = 0;
+      Fault lf = memory_.Read(static_cast<uint64_t>(insn.imm), 8, &target);
+      if (!lf.ok()) {
+        return fault_exit(lf);
+      }
+      regs[kRegSP] -= 8;
+      Fault f = memory_.Write(regs[kRegSP], 8, next);
+      if (!f.ok()) {
+        regs[kRegSP] += 8;
+        return fault_exit(f);
+      }
+      core.predictor.PushRet(next);
+      ++core.indirect_calls;
+      core.ticks += cm.call_indirect;
+      if (!core.predictor.PredictAndUpdateIndirect(core.pc, target)) {
+        core.ticks += cm.indirect_mispredict_penalty;
+        ++core.indirect_mispredicts;
+      }
+      core.pc = target;
+      return std::nullopt;
+    }
+    case Op::kRet: {
+      uint64_t target = 0;
+      Fault f = memory_.Read(regs[kRegSP], 8, &target);
+      if (!f.ok()) {
+        return fault_exit(f);
+      }
+      regs[kRegSP] += 8;
+      core.ticks += cm.ret;
+      if (!core.predictor.PopRetMatches(target)) {
+        core.ticks += cm.branch_mispredict_penalty;
+        ++core.ret_mispredicts;
+      }
+      core.pc = target;
+      return std::nullopt;
+    }
+    case Op::kPush: {
+      regs[kRegSP] -= 8;
+      Fault f = memory_.Write(regs[kRegSP], 8, regs[insn.a]);
+      if (!f.ok()) {
+        regs[kRegSP] += 8;
+        return fault_exit(f);
+      }
+      core.ticks += cm.push;
+      break;
+    }
+    case Op::kPop: {
+      uint64_t value = 0;
+      Fault f = memory_.Read(regs[kRegSP], 8, &value);
+      if (!f.ok()) {
+        return fault_exit(f);
+      }
+      regs[insn.a] = value;
+      regs[kRegSP] += 8;
+      core.ticks += cm.pop;
+      break;
+    }
+
+    case Op::kNop:
+      core.ticks += cm.nop;
+      break;
+    case Op::kHlt: {
+      core.halted = true;
+      core.ticks += cm.hlt;
+      core.pc = next;
+      VmExit exit;
+      exit.kind = VmExit::Kind::kHalt;
+      return exit;
+    }
+    case Op::kPause:
+      core.ticks += cm.pause;
+      break;
+    case Op::kFence:
+      core.ticks += cm.fence;
+      break;
+    case Op::kSti:
+      core.interrupts_enabled = true;
+      if (hypervisor_guest_) {
+        core.ticks += cm.sti_cli_guest_trap;
+        ++core.priv_traps;
+      } else {
+        core.ticks += cm.sti_cli_native;
+      }
+      break;
+    case Op::kCli:
+      core.interrupts_enabled = false;
+      if (hypervisor_guest_) {
+        core.ticks += cm.sti_cli_guest_trap;
+        ++core.priv_traps;
+      } else {
+        core.ticks += cm.sti_cli_native;
+      }
+      break;
+    case Op::kXchg: {
+      const uint64_t addr = regs[insn.b];
+      uint64_t old = 0;
+      Fault f = memory_.Read(addr, 4, &old);
+      if (!f.ok()) {
+        return fault_exit(f);
+      }
+      f = memory_.Write(addr, 4, regs[insn.a]);
+      if (!f.ok()) {
+        return fault_exit(f);
+      }
+      regs[insn.a] = old;
+      ++core.atomic_ops;
+      core.ticks += cm.xchg_atomic;
+      break;
+    }
+    case Op::kRdtsc:
+      regs[insn.a] = core.ticks / kTicksPerCycle;
+      core.ticks += cm.rdtsc;
+      break;
+    case Op::kHypercall: {
+      // Hypercall ABI: 0 = enable virtual interrupts, 1 = disable.
+      switch (insn.imm) {
+        case 0:
+          core.interrupts_enabled = true;
+          break;
+        case 1:
+          core.interrupts_enabled = false;
+          break;
+        default:
+          break;
+      }
+      core.ticks += cm.hypercall;
+      break;
+    }
+    case Op::kVmCall: {
+      core.ticks += cm.vmcall;
+      core.pc = next;
+      VmExit exit;
+      exit.kind = VmExit::Kind::kVmCall;
+      exit.vmcall_code = static_cast<uint8_t>(insn.imm);
+      return exit;
+    }
+    case Op::kInvalid:
+      return fault_exit(Fault{FaultKind::kBadOpcode, core.pc, core.pc});
+  }
+
+  core.pc = next;
+  return std::nullopt;
+}
+
+}  // namespace mv

@@ -1,0 +1,135 @@
+// The MVISA virtual machine: fetch/decode/execute with a cycle cost model,
+// an instruction cache that must be flushed after self-modification, page
+// protections, a branch predictor per core, and host upcalls (VMCALL).
+//
+// Multiple cores share memory and are stepped round-robin by host harnesses;
+// instruction execution is atomic at instruction granularity, which makes
+// XCHG a correct atomic exchange.
+#ifndef MULTIVERSE_SRC_VM_VM_H_
+#define MULTIVERSE_SRC_VM_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/isa/cost_model.h"
+#include "src/isa/isa.h"
+#include "src/support/status.h"
+#include "src/vm/memory.h"
+#include "src/vm/predictor.h"
+
+namespace mv {
+
+// Per-core architectural + microarchitectural state and counters.
+struct Core {
+  uint64_t regs[kNumRegs] = {};
+  uint64_t pc = 0;
+  // Flags set by CMP/CMPI.
+  bool zf = false;
+  bool lt_signed = false;
+  bool lt_unsigned = false;
+  bool interrupts_enabled = true;
+  bool halted = false;
+
+  BranchPredictor predictor;
+
+  // Counters.
+  uint64_t ticks = 0;        // quarter-cycles; see cost_model.h
+  uint64_t instret = 0;      // retired instructions
+  uint64_t cond_branches = 0;
+  uint64_t cond_mispredicts = 0;
+  uint64_t indirect_calls = 0;
+  uint64_t indirect_mispredicts = 0;
+  uint64_t ret_mispredicts = 0;
+  uint64_t atomic_ops = 0;
+  uint64_t priv_traps = 0;   // STI/CLI executed while in hypervisor-guest mode
+
+  double cycles() const { return TicksToCycles(ticks); }
+};
+
+struct VmExit {
+  enum class Kind : uint8_t {
+    kHalt,       // HLT retired
+    kVmCall,     // VMCALL retired; code in vmcall_code, arg in core regs
+    kFault,      // see fault
+    kStepLimit,  // max_steps exhausted
+  };
+
+  Kind kind = Kind::kHalt;
+  uint8_t vmcall_code = 0;
+  Fault fault;
+
+  std::string ToString() const;
+};
+
+class Vm {
+ public:
+  explicit Vm(uint64_t mem_size, int num_cores = 1);
+
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+  Core& core(int i) { return cores_[static_cast<size_t>(i)]; }
+  const Core& core(int i) const { return cores_[static_cast<size_t>(i)]; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  CostModel& cost_model() { return cost_model_; }
+
+  // When true, STI/CLI executed by the guest trap into the hypervisor
+  // (expensive), and HYPERCALL provides the cheap paravirtual path —
+  // modelling a Xen PV guest (paper §6.1).
+  void set_hypervisor_guest(bool v) { hypervisor_guest_ = v; }
+  bool hypervisor_guest() const { return hypervisor_guest_; }
+
+  // Executes instructions on `core_id` until HLT, VMCALL, a fault, or
+  // `max_steps` retired instructions.
+  VmExit Run(int core_id, uint64_t max_steps);
+
+  // Executes exactly one instruction; returns nullopt if the core keeps
+  // running, or the exit otherwise. Used for multi-core interleaving tests.
+  std::optional<VmExit> Step(int core_id);
+
+  // Invalidate cached decoded instructions overlapping [addr, addr+len).
+  // Self-modifying code that is not flushed keeps executing stale bytes —
+  // exactly the hazard the multiverse runtime library must handle (paper §4).
+  void FlushIcache(uint64_t addr, uint64_t len);
+  void FlushAllIcache() { icache_.clear(); }
+  uint64_t icache_entries() const { return icache_.size(); }
+
+  // Clears branch predictor state on all cores (cold-path ablation).
+  void FlushPredictors();
+
+  // Optional per-instruction trace hook, invoked after fetch/decode and
+  // before execution. Used by `mvcc --trace` and debugging tests; costs one
+  // predictable branch per step when unset.
+  struct TraceEntry {
+    int core = 0;
+    uint64_t pc = 0;
+    Insn insn;
+    uint64_t ticks = 0;  // core tick counter before execution
+  };
+  using TraceHook = std::function<void(const TraceEntry&)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+ private:
+  struct CachedInsn {
+    Insn insn;
+  };
+
+  std::optional<VmExit> Execute(Core& core, const Insn& insn);
+  bool EvalCond(const Core& core, Cond cc) const;
+
+  Memory memory_;
+  std::vector<Core> cores_;
+  CostModel cost_model_;
+  bool hypervisor_guest_ = false;
+  TraceHook trace_hook_;
+
+  // Decoded-instruction cache keyed by address. Deliberately not coherent
+  // with memory writes; see FlushIcache().
+  std::unordered_map<uint64_t, CachedInsn> icache_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_VM_VM_H_

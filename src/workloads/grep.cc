@@ -1,0 +1,121 @@
+#include "src/workloads/grep.h"
+
+#include "src/workloads/harness.h"
+
+namespace mv {
+
+namespace {
+
+// Matcher for the pattern "a.a" (first/last byte 'a', any middle byte except
+// newline), structured like grep's inner loop: a fast skip scan for the first
+// pattern byte, then candidate validation — where the multibyte mode matters.
+constexpr char kGrepSource[] = R"(
+__attribute__((multiverse)) int mb_cur_max;
+
+unsigned char gbuf[1048576];
+long match_count;
+
+__attribute__((multiverse))
+long grep_execute(long len) {
+  long i;
+  long count;
+  count = 0;
+  i = 0;
+  while (i + 2 < len) {
+    unsigned char c;
+    c = gbuf[i];
+    if (c != 'a') {
+      i = i + 1;
+      continue;
+    }
+    if (mb_cur_max > 1) {
+      // Multibyte handling: reject candidates inside a multi-byte sequence
+      // and re-synchronize (stand-in for grep's mbrlen() bookkeeping).
+      if (gbuf[i] > 127) {
+        i = i + 2;
+        continue;
+      }
+      if (i > 0) {
+        if (gbuf[i - 1] > 193) {
+          i = i + 1;
+          continue;
+        }
+      }
+    }
+    if (gbuf[i + 1] != 10) {
+      if (gbuf[i + 2] == 'a') {
+        count = count + 1;
+      }
+    }
+    i = i + 1;
+  }
+  match_count = count;
+  return count;
+}
+
+void grep_set_mode_commit(long mode) {
+  mb_cur_max = (int)mode;
+  __builtin_vmcall(2, 0);  // multiverse_commit() after locale setup
+}
+
+void grep_set_mode_nocommit(long mode) {
+  mb_cur_max = (int)mode;
+}
+
+long bench_grep(long passes) {
+  long i;
+  long total;
+  total = 0;
+  for (i = 0; i < passes; i = i + 1) {
+    total = total + grep_execute(1048576);
+  }
+  return total;
+}
+)";
+
+}  // namespace
+
+std::string GrepSource() { return kGrepSource; }
+
+Result<std::unique_ptr<Program>> BuildGrep(uint64_t seed) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program =
+      Program::Build({{"mini_grep", kGrepSource}}, options);
+  if (!program.ok()) {
+    return program.status();
+  }
+  MV_RETURN_IF_ERROR(FillHexText(program->get(), "gbuf", kGrepBufferSize, seed));
+  return program;
+}
+
+Status SetGrepMode(Program* program, int mb_cur_max, bool commit) {
+  const char* setter = commit ? "grep_set_mode_commit" : "grep_set_mode_nocommit";
+  Result<uint64_t> result = program->Call(setter, {static_cast<uint64_t>(mb_cur_max)});
+  if (!result.ok()) {
+    return result.status();
+  }
+  if (!commit) {
+    Result<PatchStats> revert = program->runtime().Revert();
+    if (!revert.ok()) {
+      return revert.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<GrepRunResult> RunGrep(Program* program, uint64_t len, int passes) {
+  (void)len;
+  GrepRunResult result;
+  Core& core = program->vm().core(0);
+  const uint64_t before = core.ticks;
+  Result<uint64_t> matches =
+      program->Call("bench_grep", {static_cast<uint64_t>(passes)}, 4'000'000'000ull);
+  if (!matches.ok()) {
+    return matches.status();
+  }
+  result.cycles = TicksToCycles(core.ticks - before);
+  result.matches = *matches;
+  return result;
+}
+
+}  // namespace mv

@@ -1,0 +1,42 @@
+// The GNU-grep case study (paper §6.2.3): the multibyte-mode variable in the
+// inner matching loop.
+//
+// grep decides once at startup — from the locale and the pattern — whether
+// the matcher must handle multi-byte characters, then checks that mode inside
+// the match loop forever after. The workload searches for the paper's
+// pattern "a.a" in hexadecimal-formatted random text; committing
+// mb_cur_max = 1 specializes the multibyte checks away.
+#ifndef MULTIVERSE_SRC_WORKLOADS_GREP_H_
+#define MULTIVERSE_SRC_WORKLOADS_GREP_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/program.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+inline constexpr uint64_t kGrepBufferSize = 1 << 20;  // scaled from the paper's 2 GiB
+
+std::string GrepSource();
+
+// Builds the grep program and fills its buffer with hex text.
+Result<std::unique_ptr<Program>> BuildGrep(uint64_t seed = 42);
+
+// Sets the (locale-derived) multibyte mode; with `commit` the specialized
+// matcher is installed, matching the paper's startup-time commit.
+Status SetGrepMode(Program* program, int mb_cur_max, bool commit);
+
+// Runs the matcher over `len` bytes `passes` times; returns total cycles and
+// the match count (for correctness cross-checks).
+struct GrepRunResult {
+  double cycles = 0;
+  uint64_t matches = 0;
+};
+Result<GrepRunResult> RunGrep(Program* program, uint64_t len = kGrepBufferSize,
+                              int passes = 4);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_WORKLOADS_GREP_H_

@@ -1,0 +1,50 @@
+#include "src/workloads/harness.h"
+
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace mv {
+
+Result<double> MeasureCallCycles(Program* program, const std::string& loop_fn,
+                                 uint64_t iterations, uint64_t max_steps) {
+  Core& core = program->vm().core(0);
+  const uint64_t before = core.ticks;
+  Result<uint64_t> result = program->Call(loop_fn, {iterations}, max_steps);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return TicksToCycles(core.ticks - before);
+}
+
+Result<double> MeasurePerOpCycles(Program* program, const std::string& loop_fn,
+                                  const std::string& empty_fn, uint64_t iterations) {
+  // Warm-up pass: fills the branch predictors and the icache, like the
+  // paper's repeated-sample methodology.
+  MV_ASSIGN_OR_RETURN(double warmup, MeasureCallCycles(program, loop_fn, iterations / 10 + 1));
+  (void)warmup;
+  MV_ASSIGN_OR_RETURN(double loop, MeasureCallCycles(program, loop_fn, iterations));
+  MV_ASSIGN_OR_RETURN(double empty_warm,
+                      MeasureCallCycles(program, empty_fn, iterations / 10 + 1));
+  (void)empty_warm;
+  MV_ASSIGN_OR_RETURN(double empty, MeasureCallCycles(program, empty_fn, iterations));
+  return (loop - empty) / static_cast<double>(iterations);
+}
+
+Status FillHexText(Program* program, const std::string& buffer_symbol, uint64_t len,
+                   uint64_t seed) {
+  MV_ASSIGN_OR_RETURN(const uint64_t addr, program->SymbolAddress(buffer_symbol));
+  static const char kHex[] = "0123456789abcdef";
+  Rng rng(seed);
+  std::vector<uint8_t> text(len);
+  for (uint64_t i = 0; i < len; ++i) {
+    if ((i + 1) % 64 == 0) {
+      text[i] = '\n';
+    } else {
+      text[i] = static_cast<uint8_t>(kHex[rng.NextBelow(16)]);
+    }
+  }
+  return program->vm().memory().WriteRaw(addr, text.data(), len);
+}
+
+}  // namespace mv

@@ -1,0 +1,46 @@
+// Shared measurement harness for the case-study workloads.
+//
+// Measurements mirror the paper's methodology (§6.1, §7.5): a high-resolution
+// cycle counter (our deterministic VM tick counter plays the role of the
+// TSC), tight-loop microbenchmarks with warmed predictors, and loop-overhead
+// subtraction. Unlike the paper we need no outlier filtering — the simulator
+// is deterministic.
+#ifndef MULTIVERSE_SRC_WORKLOADS_HARNESS_H_
+#define MULTIVERSE_SRC_WORKLOADS_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/program.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+// Nominal clock for converting modelled cycles to wall-clock figures
+// (the paper's machines: i5-7400 @ 3.0 GHz, i5-6400 @ 2.7 GHz burst ~3.3).
+inline constexpr double kNominalGHz = 3.0;
+
+// Calls `loop_fn(iterations)` in the guest and returns the total modelled
+// cycles consumed by the call.
+Result<double> MeasureCallCycles(Program* program, const std::string& loop_fn,
+                                 uint64_t iterations,
+                                 uint64_t max_steps = 4'000'000'000ull);
+
+// Per-iteration cost of `loop_fn` with the cost of `empty_fn` (same loop,
+// empty body) subtracted — the paper's "mean run-time (cycles)" per
+// operation.
+Result<double> MeasurePerOpCycles(Program* program, const std::string& loop_fn,
+                                  const std::string& empty_fn, uint64_t iterations);
+
+// Fills `buffer_symbol` (a global byte array of at least `len` bytes) with
+// hexadecimal-formatted pseudo-random text, newline every 64 characters —
+// the grep workload's input (§6.2.3).
+Status FillHexText(Program* program, const std::string& buffer_symbol, uint64_t len,
+                   uint64_t seed);
+
+inline double CyclesToMs(double cycles) { return cycles / (kNominalGHz * 1e6); }
+inline double CyclesToSeconds(double cycles) { return cycles / (kNominalGHz * 1e9); }
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_WORKLOADS_HARNESS_H_

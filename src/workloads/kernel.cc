@@ -1,0 +1,249 @@
+#include "src/workloads/kernel.h"
+
+#include "src/support/str.h"
+#include "src/workloads/harness.h"
+
+namespace mv {
+
+namespace {
+
+// The spinlock implementation, modelled on the (slightly simplified) Linux
+// spinlock of paper Figure 1: interrupt disabling, preemption accounting,
+// and — in SMP mode — an atomic test-and-set acquisition loop.
+//
+// %s placeholders: [0] attribute for config_smp, [1]/[2] attributes for the
+// two lock functions, [3] the lock-elision condition blocks.
+constexpr char kSpinlockTemplate[] = R"(
+%s int config_smp;
+int lock_word;
+int preempt_count;
+
+%s
+void spin_lock_irq(int* lock) {
+  __builtin_cli();
+  preempt_count = preempt_count + 1;
+%s
+}
+
+%s
+void spin_unlock_irq(int* lock) {
+  preempt_count = preempt_count - 1;
+%s
+  __builtin_sti();
+}
+
+void bench_pair(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+    spin_lock_irq(&lock_word);
+    spin_unlock_irq(&lock_word);
+  }
+}
+
+void bench_empty(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+  }
+}
+)";
+
+constexpr char kLockAlways[] = R"(
+  while (__builtin_xchg(lock, 1)) {
+    __builtin_pause();
+  })";
+
+constexpr char kLockGuarded[] = R"(
+  if (config_smp) {
+    while (__builtin_xchg(lock, 1)) {
+      __builtin_pause();
+    }
+  })";
+
+constexpr char kUnlockAlways[] = R"(
+  *lock = 0;)";
+
+constexpr char kUnlockGuarded[] = R"(
+  if (config_smp) {
+    *lock = 0;
+  })";
+
+}  // namespace
+
+const char* SpinBindingName(SpinBinding binding) {
+  switch (binding) {
+    case SpinBinding::kNoElision: return "no-elision (mainline SMP)";
+    case SpinBinding::kDynamicIf: return "lock elision [if]";
+    case SpinBinding::kMultiverse: return "lock elision [multiverse]";
+    case SpinBinding::kStaticUp: return "lock elision [ifdef off]";
+    case SpinBinding::kStaticSmp: return "static [ifdef SMP]";
+  }
+  return "?";
+}
+
+std::string SpinlockKernelSource(SpinBinding binding) {
+  const bool guarded = binding != SpinBinding::kNoElision;
+  const char* mv_attr =
+      binding == SpinBinding::kMultiverse ? "__attribute__((multiverse))" : "";
+  return StrFormat(kSpinlockTemplate, mv_attr, mv_attr,
+                   guarded ? kLockGuarded : kLockAlways, mv_attr,
+                   guarded ? kUnlockGuarded : kUnlockAlways);
+}
+
+Result<std::unique_ptr<Program>> BuildSpinlockKernel(SpinBinding binding) {
+  BuildOptions options;
+  switch (binding) {
+    case SpinBinding::kStaticUp:
+      options.frontend.defines["config_smp"] = 0;
+      break;
+    case SpinBinding::kStaticSmp:
+      options.frontend.defines["config_smp"] = 1;
+      break;
+    default:
+      break;
+  }
+  return Program::Build({{"spinlock_kernel", SpinlockKernelSource(binding)}}, options);
+}
+
+Status SetSmpMode(Program* program, SpinBinding binding, bool smp) {
+  switch (binding) {
+    case SpinBinding::kNoElision:
+    case SpinBinding::kStaticUp:
+    case SpinBinding::kStaticSmp:
+      return Status::Ok();
+    case SpinBinding::kDynamicIf:
+      return program->WriteGlobal("config_smp", smp ? 1 : 0, 4);
+    case SpinBinding::kMultiverse: {
+      MV_RETURN_IF_ERROR(program->WriteGlobal("config_smp", smp ? 1 : 0, 4));
+      // Hotplug-style reconfiguration (paper §2): write, then commit.
+      Result<PatchStats> stats = program->runtime().Commit();
+      if (!stats.ok()) {
+        return stats.status();
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<double> MeasureSpinlockPair(Program* program, uint64_t iterations) {
+  return MeasurePerOpCycles(program, "bench_pair", "bench_empty", iterations);
+}
+
+// ---------------------------------------------------------------------------
+// PV-Ops
+
+namespace {
+
+// %s placeholders: [0] attribute for the two pvop pointers (multiverse or
+// none), [1] the body of irq_toggle (indirect pvop calls or direct native
+// calls).
+constexpr char kPvopsTemplate[] = R"(
+%s void (*pv_irq_enable)(void);
+%s void (*pv_irq_disable)(void);
+
+void native_irq_enable() { __builtin_sti(); }
+void native_irq_disable() { __builtin_cli(); }
+
+// Xen adaptors. Under the baseline mechanism these use the kernel's custom
+// no-scratch-register calling convention (pvop attribute); the multiversed
+// kernel compiles them with the standard convention (paper §6.1).
+%s void xen_irq_enable() { __builtin_hypercall(0); }
+%s void xen_irq_disable() { __builtin_hypercall(1); }
+
+void irq_toggle() {
+%s
+}
+
+void bench_toggle(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+    irq_toggle();
+  }
+}
+
+void bench_empty(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+  }
+}
+)";
+
+constexpr char kToggleIndirect[] = R"(
+  pv_irq_enable();
+  pv_irq_disable();)";
+
+constexpr char kToggleDirect[] = R"(
+  native_irq_enable();
+  native_irq_disable();)";
+
+}  // namespace
+
+const char* PvBindingName(PvBinding binding) {
+  switch (binding) {
+    case PvBinding::kCurrent: return "PV-Op patching [current]";
+    case PvBinding::kMultiverse: return "PV-Op patching [multiverse]";
+    case PvBinding::kStaticOff: return "PV-Op disabled [ifdef]";
+  }
+  return "?";
+}
+
+std::string PvopsKernelSource(PvBinding binding) {
+  const char* ptr_attr =
+      binding == PvBinding::kMultiverse ? "__attribute__((multiverse))" : "";
+  const char* xen_attr =
+      binding == PvBinding::kCurrent ? "__attribute__((pvop))" : "";
+  const char* body =
+      binding == PvBinding::kStaticOff ? kToggleDirect : kToggleIndirect;
+  return StrFormat(kPvopsTemplate, ptr_attr, ptr_attr, xen_attr, xen_attr, body);
+}
+
+Result<PvopsKernel> BuildPvopsKernel(PvBinding binding, bool xen_guest) {
+  BuildOptions options;
+  options.hypervisor_guest = xen_guest;
+  Result<std::unique_ptr<Program>> program =
+      Program::Build({{"pvops_kernel", PvopsKernelSource(binding)}}, options);
+  if (!program.ok()) {
+    return program.status();
+  }
+  PvopsKernel kernel;
+  kernel.program = std::move(*program);
+
+  if (binding != PvBinding::kStaticOff) {
+    // Boot-time pvop assignment for the detected environment.
+    const char* enable_impl = xen_guest ? "xen_irq_enable" : "native_irq_enable";
+    const char* disable_impl = xen_guest ? "xen_irq_disable" : "native_irq_disable";
+    MV_ASSIGN_OR_RETURN(const uint64_t enable_addr,
+                        kernel.program->SymbolAddress(enable_impl));
+    MV_ASSIGN_OR_RETURN(const uint64_t disable_addr,
+                        kernel.program->SymbolAddress(disable_impl));
+    MV_RETURN_IF_ERROR(kernel.program->WriteGlobal(
+        "pv_irq_enable", static_cast<int64_t>(enable_addr), 8));
+    MV_RETURN_IF_ERROR(kernel.program->WriteGlobal(
+        "pv_irq_disable", static_cast<int64_t>(disable_addr), 8));
+
+    if (binding == PvBinding::kCurrent) {
+      Result<ParavirtPatcher> patcher =
+          ParavirtPatcher::Attach(&kernel.program->vm(), kernel.program->image());
+      if (!patcher.ok()) {
+        return patcher.status();
+      }
+      kernel.baseline = std::make_unique<ParavirtPatcher>(std::move(*patcher));
+      Result<PvPatchStats> stats = kernel.baseline->PatchAll();
+      if (!stats.ok()) {
+        return stats.status();
+      }
+    } else {
+      Result<PatchStats> stats = kernel.program->runtime().Commit();
+      if (!stats.ok()) {
+        return stats.status();
+      }
+    }
+  }
+  return kernel;
+}
+
+Result<double> MeasurePvopPair(Program* program, uint64_t iterations) {
+  return MeasurePerOpCycles(program, "bench_toggle", "bench_empty", iterations);
+}
+
+}  // namespace mv

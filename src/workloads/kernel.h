@@ -1,0 +1,80 @@
+// Kernel case studies (paper §6.1): spinlock lock elision and paravirtual
+// operations, on the simulated kernel substrate.
+//
+// The spinlock workload reproduces Figure 1 and the left half of Figure 4:
+// the same lock/unlock implementation built with four bindings —
+//   * kNoElision   — mainline SMP kernel, lock always taken
+//   * kDynamicIf   — lock elision via a run-time `if (config_smp)` branch
+//   * kMultiverse  — lock elision via multiverse commit
+//   * kStaticUp/kStaticSmp — compile-time binding (the #ifdef kernel)
+//
+// The pvops workload reproduces the right half of Figure 4: interrupt
+// enable/disable either through the baseline paravirt patching mechanism
+// (indirect calls recorded manually, custom no-scratch calling convention)
+// or through multiversed function-pointer switches, on native hardware and
+// inside a (simulated) Xen guest.
+#ifndef MULTIVERSE_SRC_WORKLOADS_KERNEL_H_
+#define MULTIVERSE_SRC_WORKLOADS_KERNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baseline/paravirt.h"
+#include "src/core/program.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+// --- Spinlock / lock elision -----------------------------------------------
+
+enum class SpinBinding {
+  kNoElision,   // mainline: no config_smp check, lock always taken
+  kDynamicIf,   // dynamic variability: branch on config_smp
+  kMultiverse,  // multiversed config_smp + commit
+  kStaticUp,    // compile-time config_smp = 0
+  kStaticSmp,   // compile-time config_smp = 1
+};
+
+const char* SpinBindingName(SpinBinding binding);
+
+// mvc source of the spinlock kernel for a given binding (exposed for tests).
+std::string SpinlockKernelSource(SpinBinding binding);
+
+// Builds the kernel; for dynamic bindings config_smp starts at 0.
+Result<std::unique_ptr<Program>> BuildSpinlockKernel(SpinBinding binding);
+
+// Sets the SMP mode: writes config_smp (where it exists) and, for the
+// multiverse kernel, re-commits. No-op for static/no-elision kernels.
+Status SetSmpMode(Program* program, SpinBinding binding, bool smp);
+
+// Mean cycles for one spin_lock_irq + spin_unlock_irq pair (warm predictors,
+// loop overhead subtracted) — the Figure 1 / Figure 4 metric.
+Result<double> MeasureSpinlockPair(Program* program, uint64_t iterations = 200'000);
+
+// --- Paravirtual operations -------------------------------------------------
+
+enum class PvBinding {
+  kCurrent,     // baseline PV-Ops patching (indirect -> direct, pvop convention)
+  kMultiverse,  // multiversed function-pointer switches, standard convention
+  kStaticOff,   // paravirtualization compiled out: direct native calls
+};
+
+const char* PvBindingName(PvBinding binding);
+
+std::string PvopsKernelSource(PvBinding binding);
+
+struct PvopsKernel {
+  std::unique_ptr<Program> program;
+  std::unique_ptr<ParavirtPatcher> baseline;  // only for kCurrent
+};
+
+// Builds the pvops kernel and performs "boot": assigns the pvop pointers for
+// the environment (native vs. Xen guest) and runs the respective patcher.
+Result<PvopsKernel> BuildPvopsKernel(PvBinding binding, bool xen_guest);
+
+// Mean cycles for one sti+cli pair through the pvop layer.
+Result<double> MeasurePvopPair(Program* program, uint64_t iterations = 200'000);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_WORKLOADS_KERNEL_H_

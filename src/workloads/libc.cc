@@ -1,0 +1,241 @@
+#include "src/workloads/libc.h"
+
+#include "src/workloads/harness.h"
+
+namespace mv {
+
+namespace {
+
+// The mini musl. Lock functions follow musl's structure: __lock/__unlock are
+// owner-less spinlocks, __lockfile/__unlockfile guard the FILE object; all
+// are skipped when only one thread runs (threads_minus_1 == 0).
+constexpr char kLibcSource[] = R"(
+__attribute__((multiverse)) int threads_minus_1;
+
+int malloc_lock_word;
+int rand_lock_word;
+int file_lock_word;
+
+__attribute__((multiverse))
+void libc_lock(int* l) {
+  if (threads_minus_1) {
+    while (__builtin_xchg(l, 1)) {
+      __builtin_pause();
+    }
+  }
+}
+
+__attribute__((multiverse))
+void libc_unlock(int* l) {
+  if (threads_minus_1) {
+    *l = 0;
+  }
+}
+
+__attribute__((multiverse))
+void lockfile() {
+  if (threads_minus_1) {
+    while (__builtin_xchg(&file_lock_word, 1)) {
+      __builtin_pause();
+    }
+  }
+}
+
+__attribute__((multiverse))
+void unlockfile() {
+  if (threads_minus_1) {
+    file_lock_word = 0;
+  }
+}
+
+// --- malloc: LIFO free list with a bump-allocated arena ---------------------
+// chunk layout: [size:8][next:8] header, payload afterwards.
+
+unsigned char heap[262144];
+long heap_brk;
+long free_head;
+
+long malloc_(long n) {
+  long cur;
+  long result;
+  libc_lock(&malloc_lock_word);
+  if (n == 0) {
+    // malloc(0) may return NULL (the paper benchmarks it separately).
+    libc_unlock(&malloc_lock_word);
+    return 0;
+  }
+  n = (n + 15) & ~15;
+  cur = free_head;
+  if (cur != 0) {
+    long* c = (long*)cur;
+    if (c[0] >= n) {
+      // Fast path: reuse the most recently freed chunk.
+      free_head = c[1];
+      libc_unlock(&malloc_lock_word);
+      return cur + 16;
+    }
+  }
+  // Slow path: first-fit walk, then bump allocation.
+  {
+    long prev = 0;
+    cur = free_head;
+    while (cur != 0) {
+      long* c = (long*)cur;
+      if (c[0] >= n) {
+        if (prev != 0) {
+          ((long*)prev)[1] = c[1];
+        } else {
+          free_head = c[1];
+        }
+        libc_unlock(&malloc_lock_word);
+        return cur + 16;
+      }
+      prev = cur;
+      cur = c[1];
+    }
+  }
+  if (heap_brk + n + 16 > 262144) {
+    libc_unlock(&malloc_lock_word);
+    return 0;
+  }
+  result = (long)heap + heap_brk;
+  heap_brk = heap_brk + n + 16;
+  ((long*)result)[0] = n;
+  libc_unlock(&malloc_lock_word);
+  return result + 16;
+}
+
+void free_(long p) {
+  long* c;
+  if (p == 0) {
+    return;
+  }
+  libc_lock(&malloc_lock_word);
+  c = (long*)(p - 16);
+  c[1] = free_head;
+  free_head = p - 16;
+  libc_unlock(&malloc_lock_word);
+}
+
+// --- random(): locked 64-bit LCG --------------------------------------------
+
+unsigned long rand_state = 1;
+
+long random_() {
+  long r;
+  libc_lock(&rand_lock_word);
+  rand_state = rand_state * 6364136223846793005ul + 1442695040888963407ul;
+  r = (long)(rand_state >> 33);
+  libc_unlock(&rand_lock_word);
+  return r;
+}
+
+// --- fputc(): buffered byte output with FILE locking -------------------------
+
+unsigned char fbuf[8192];
+long fpos;
+long flush_count;
+
+long fputc_(long c) {
+  lockfile();
+  fbuf[fpos & 8191] = (unsigned char)c;
+  fpos = fpos + 1;
+  if ((fpos & 8191) == 0) {
+    flush_count = flush_count + 1;
+  }
+  unlockfile();
+  return c;
+}
+
+// --- thread accounting (pthread_create/exit keep threads_minus_1 current) ---
+
+void set_threads_commit(long n) {
+  threads_minus_1 = (int)n;
+  __builtin_vmcall(2, 0);  // multiverse_commit()
+}
+
+void set_threads_nocommit(long n) {
+  threads_minus_1 = (int)n;
+}
+
+// --- benchmark loops ---------------------------------------------------------
+
+void bench_random(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+    random_();
+  }
+}
+
+void bench_malloc0(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+    free_(malloc_(0));
+  }
+}
+
+void bench_malloc1(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+    free_(malloc_(1));
+  }
+}
+
+void bench_fputc(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+    fputc_('a');
+  }
+}
+
+void bench_empty(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+  }
+}
+)";
+
+}  // namespace
+
+std::string LibcSource() { return kLibcSource; }
+
+Result<std::unique_ptr<Program>> BuildLibc() {
+  BuildOptions options;
+  return Program::Build({{"mini_musl", kLibcSource}}, options);
+}
+
+Status SetThreadMode(Program* program, int threads_minus_1, bool commit) {
+  const char* setter = commit ? "set_threads_commit" : "set_threads_nocommit";
+  Result<uint64_t> result =
+      program->Call(setter, {static_cast<uint64_t>(threads_minus_1)});
+  if (!result.ok()) {
+    return result.status();
+  }
+  if (!commit) {
+    // The unmodified baseline must run fully generic code.
+    Result<PatchStats> revert = program->runtime().Revert();
+    if (!revert.ok()) {
+      return revert.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<LibcBenchResult> MeasureLibc(Program* program, uint64_t iterations) {
+  LibcBenchResult result;
+  MV_ASSIGN_OR_RETURN(
+      result.random_cycles,
+      MeasurePerOpCycles(program, "bench_random", "bench_empty", iterations));
+  MV_ASSIGN_OR_RETURN(
+      result.malloc0_cycles,
+      MeasurePerOpCycles(program, "bench_malloc0", "bench_empty", iterations));
+  MV_ASSIGN_OR_RETURN(
+      result.malloc1_cycles,
+      MeasurePerOpCycles(program, "bench_malloc1", "bench_empty", iterations));
+  MV_ASSIGN_OR_RETURN(
+      result.fputc_cycles,
+      MeasurePerOpCycles(program, "bench_fputc", "bench_empty", iterations));
+  return result;
+}
+
+}  // namespace mv

@@ -1,0 +1,42 @@
+// The musl-libc case study (paper §6.2.2): single-thread lock elision.
+//
+// A miniature C library written in mvc: an owner-less spinlock (musl's
+// __lock), a stdio file lock (__lockfile), a free-list malloc/free, an
+// LCG random(), and a buffered fputc(). The `threads_minus_1` switch —
+// maintained at (simulated) thread creation/exit — gates every lock; with
+// multiverse the locks are committed away entirely in single-threaded mode
+// (the empty variant bodies are NOP-inlined into the call sites).
+#ifndef MULTIVERSE_SRC_WORKLOADS_LIBC_H_
+#define MULTIVERSE_SRC_WORKLOADS_LIBC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/program.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+// The full mvc source of the mini libc (exposed for tests).
+std::string LibcSource();
+
+Result<std::unique_ptr<Program>> BuildLibc();
+
+// Enters single-/multi-threaded mode. With `commit`, the guest calls the
+// in-guest multiverse_commit() after updating threads_minus_1 (the paper's
+// integration at pthread_create/exit); without, the switch is evaluated
+// dynamically on every lock (the unmodified-musl baseline).
+Status SetThreadMode(Program* program, int threads_minus_1, bool commit);
+
+// The four benchmarked functions of Figure 5. `iterations` calls each.
+struct LibcBenchResult {
+  double random_cycles = 0;   // per call
+  double malloc0_cycles = 0;  // malloc(0) (+ free(NULL))
+  double malloc1_cycles = 0;  // malloc(1) + free
+  double fputc_cycles = 0;    // fputc('a')
+};
+Result<LibcBenchResult> MeasureLibc(Program* program, uint64_t iterations = 100'000);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_WORKLOADS_LIBC_H_

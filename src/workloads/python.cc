@@ -1,0 +1,90 @@
+#include "src/workloads/python.h"
+
+#include "src/workloads/harness.h"
+
+namespace mv {
+
+namespace {
+
+constexpr char kPythonGcSource[] = R"(
+__attribute__((multiverse)) int gc_enabled = 1;
+
+unsigned char obj_arena[1048576];
+long obj_brk;
+long gc_head;
+long gc_count;
+
+// _PyObject_GC_Alloc: allocate an object with a GC head; when the collector
+// is enabled, link it into the generation-0 list and bump the counter.
+__attribute__((multiverse))
+long pyobject_gc_alloc(long basicsize) {
+  long total;
+  long p;
+  total = (basicsize + 31) & ~15;   // 16-byte GC head + alignment
+  if (obj_brk + total > 1048576) {
+    obj_brk = 0;                     // arena wrap (benchmark-friendly epoch)
+    gc_head = 0;
+    gc_count = 0;
+  }
+  p = (long)obj_arena + obj_brk;
+  obj_brk = obj_brk + total;
+  if (gc_enabled) {
+    ((long*)p)[0] = gc_head;         // _gc_next
+    gc_head = p;
+    gc_count = gc_count + 1;
+  }
+  return p + 16;
+}
+
+void gc_set_enabled_commit(long enabled) {
+  gc_enabled = (int)enabled;
+  __builtin_vmcall(2, 0);  // multiverse_commit() inside gc.enable()/disable()
+}
+
+void gc_set_enabled_nocommit(long enabled) {
+  gc_enabled = (int)enabled;
+}
+
+void bench_alloc(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+    pyobject_gc_alloc(32);
+  }
+}
+
+void bench_empty(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+  }
+}
+)";
+
+}  // namespace
+
+std::string PythonGcSource() { return kPythonGcSource; }
+
+Result<std::unique_ptr<Program>> BuildPythonGc() {
+  BuildOptions options;
+  return Program::Build({{"mini_cpython", kPythonGcSource}}, options);
+}
+
+Status SetGcEnabled(Program* program, bool enabled, bool commit) {
+  const char* setter = commit ? "gc_set_enabled_commit" : "gc_set_enabled_nocommit";
+  Result<uint64_t> result = program->Call(setter, {enabled ? 1ull : 0ull});
+  if (!result.ok()) {
+    return result.status();
+  }
+  if (!commit) {
+    Result<PatchStats> revert = program->runtime().Revert();
+    if (!revert.ok()) {
+      return revert.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Result<double> MeasureGcAlloc(Program* program, uint64_t iterations) {
+  return MeasurePerOpCycles(program, "bench_alloc", "bench_empty", iterations);
+}
+
+}  // namespace mv

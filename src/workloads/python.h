@@ -1,0 +1,32 @@
+// The cPython case study (paper §6.2.1): the garbage collector's enable flag
+// on the object-allocation path (_PyObject_GC_Alloc).
+//
+// The flag only changes through gc.enable()/gc.disable() API calls, making it
+// an ideal configuration switch. The paper could not measure a significant
+// effect on real hardware due to jitter; our deterministic simulator can, so
+// the benchmark reports the (small) effect and records the paper's null
+// result alongside.
+#ifndef MULTIVERSE_SRC_WORKLOADS_PYTHON_H_
+#define MULTIVERSE_SRC_WORKLOADS_PYTHON_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/program.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+std::string PythonGcSource();
+
+Result<std::unique_ptr<Program>> BuildPythonGc();
+
+// gc.enable()/gc.disable(); with `commit`, the allocation path is re-bound.
+Status SetGcEnabled(Program* program, bool enabled, bool commit);
+
+// Mean cycles per _PyObject_GC_Alloc-equivalent call.
+Result<double> MeasureGcAlloc(Program* program, uint64_t iterations = 100'000);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_WORKLOADS_PYTHON_H_

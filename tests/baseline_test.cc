@@ -1,0 +1,158 @@
+// Tests for the comparator mechanisms in src/baseline: the PV-Ops patcher
+// and the `alternative` instruction-site patcher.
+#include <gtest/gtest.h>
+
+#include "src/baseline/alternatives.h"
+#include "src/baseline/paravirt.h"
+#include "src/core/program.h"
+
+namespace mv {
+namespace {
+
+TEST(AlternativesTest, CollectsAndPatchesMarkedInstructions) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> built = Program::Build(
+      {{"alt", R"(
+long count;
+void toggle() {
+  __builtin_fence();
+  count = count + 1;
+  __builtin_fence();
+}
+)"}},
+      options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Program& program = **built;
+
+  AlternativesPatcher patcher(&program.vm());
+  const uint64_t addr = program.SymbolAddress("toggle").value();
+  const uint64_t size = program.FunctionSize("toggle").value();
+  ASSERT_TRUE(patcher.CollectSites(addr, size, Op::kFence).ok());
+  EXPECT_EQ(patcher.num_sites(), 2u);
+
+  const double before = [&] {
+    Core& core = program.vm().core(0);
+    const uint64_t t = core.ticks;
+    EXPECT_TRUE(program.Call("toggle").ok());
+    return TicksToCycles(core.ticks - t);
+  }();
+
+  Result<int> patched = patcher.Apply();
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  EXPECT_EQ(*patched, 2);
+
+  const double after = [&] {
+    Core& core = program.vm().core(0);
+    const uint64_t t = core.ticks;
+    EXPECT_TRUE(program.Call("toggle").ok());
+    return TicksToCycles(core.ticks - t);
+  }();
+  EXPECT_LT(after, before) << "NOPed fences must be cheaper";
+  EXPECT_EQ(program.ReadGlobal("count").value(), 2) << "behaviour preserved";
+
+  // Restore brings the original bytes (and cost) back.
+  Result<int> restored = patcher.Restore();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, 2);
+  const double restored_cost = [&] {
+    Core& core = program.vm().core(0);
+    const uint64_t t = core.ticks;
+    EXPECT_TRUE(program.Call("toggle").ok());
+    return TicksToCycles(core.ticks - t);
+  }();
+  EXPECT_DOUBLE_EQ(restored_cost, before);
+}
+
+TEST(AlternativesTest, ReplacementMustFitTheSite) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> built = Program::Build(
+      {{"alt", "void f() { __builtin_fence(); }"}}, options);
+  ASSERT_TRUE(built.ok());
+  Program& program = **built;
+  AlternativesPatcher patcher(&program.vm());
+  ASSERT_TRUE(patcher
+                  .CollectSites(program.SymbolAddress("f").value(),
+                                program.FunctionSize("f").value(), Op::kFence)
+                  .ok());
+  ASSERT_EQ(patcher.num_sites(), 1u);
+  // FENCE is 1 byte; a 2-byte replacement cannot fit.
+  const std::vector<uint8_t> too_big = {static_cast<uint8_t>(Op::kNop),
+                                        static_cast<uint8_t>(Op::kNop)};
+  EXPECT_FALSE(patcher.Apply(too_big).ok());
+  // A same-size replacement works (swap FENCE for PAUSE).
+  const std::vector<uint8_t> pause = {static_cast<uint8_t>(Op::kPause)};
+  Result<int> patched = patcher.Apply(pause);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(*patched, 1);
+  EXPECT_TRUE(program.Call("f").ok());
+}
+
+TEST(AlternativesTest, RestoreWithoutApplyIsNoop) {
+  Vm vm(1 << 20);
+  AlternativesPatcher patcher(&vm);
+  Result<int> restored = patcher.Restore();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, 0);
+}
+
+TEST(ParavirtTest, AttachWithoutSectionIsEmpty) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"p", "long f() { return 0; }"}}, options);
+  ASSERT_TRUE(built.ok());
+  Result<ParavirtPatcher> patcher =
+      ParavirtPatcher::Attach(&(*built)->vm(), (*built)->image());
+  ASSERT_TRUE(patcher.ok());
+  EXPECT_EQ(patcher->num_sites(), 0u);
+  Result<PvPatchStats> stats = patcher->PatchAll();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->sites_patched + stats->sites_inlined, 0);
+}
+
+TEST(ParavirtTest, PatchRestoreRoundTripPreservesBehaviour) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> built = Program::Build(
+      {{"pv", R"(
+long (*op)(long);
+long dbl(long x) { return 2 * x; }
+long run(long x) { return op(x); }
+)"}},
+      options);
+  ASSERT_TRUE(built.ok());
+  Program& program = **built;
+  const uint64_t dbl = program.SymbolAddress("dbl").value();
+  ASSERT_TRUE(program.WriteGlobal("op", static_cast<int64_t>(dbl), 8).ok());
+
+  Result<ParavirtPatcher> patcher = ParavirtPatcher::Attach(&program.vm(), program.image());
+  ASSERT_TRUE(patcher.ok());
+  ASSERT_EQ(patcher->num_sites(), 1u);
+
+  EXPECT_EQ(*program.Call("run", {21}), 42u);
+  Result<PvPatchStats> stats = patcher->PatchAll();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->sites_patched, 1);
+  EXPECT_EQ(*program.Call("run", {21}), 42u);
+  ASSERT_TRUE(patcher->RestoreAll().ok());
+  EXPECT_EQ(*program.Call("run", {21}), 42u);
+}
+
+TEST(ParavirtTest, NullPointersAreSkipped) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> built = Program::Build(
+      {{"pv", R"(
+void (*hook)(void);
+void run() { hook(); }
+)"}},
+      options);
+  ASSERT_TRUE(built.ok());
+  Result<ParavirtPatcher> patcher =
+      ParavirtPatcher::Attach(&(*built)->vm(), (*built)->image());
+  ASSERT_TRUE(patcher.ok());
+  Result<PvPatchStats> stats = patcher->PatchAll();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->sites_skipped, 1);
+  EXPECT_EQ(stats->sites_patched, 0);
+}
+
+}  // namespace
+}  // namespace mv

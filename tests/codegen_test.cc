@@ -1,0 +1,206 @@
+// Backend-specific tests: properties of the emitted machine code that the
+// runtime patcher and the cost model rely on.
+#include <gtest/gtest.h>
+
+#include "src/codegen/codegen.h"
+#include "src/core/patching.h"
+#include "src/core/program.h"
+#include "src/frontend/frontend.h"
+#include "src/isa/isa.h"
+
+namespace mv {
+namespace {
+
+std::unique_ptr<Program> Build(const std::string& source) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build({{"cg", source}}, options);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? std::move(*program) : nullptr;
+}
+
+// Decodes the code of a defined function into instructions.
+std::vector<Insn> DecodeFunction(Program* program, const std::string& name) {
+  const uint64_t addr = program->SymbolAddress(name).value();
+  const uint64_t size = program->FunctionSize(name).value();
+  std::vector<Insn> insns;
+  uint64_t off = 0;
+  while (off < size) {
+    Result<Insn> insn =
+        Decode(program->vm().memory().raw(addr + off), static_cast<size_t>(size - off));
+    if (!insn.ok()) {
+      ADD_FAILURE() << "decode failed at +" << off << ": " << insn.status().ToString();
+      break;
+    }
+    insns.push_back(*insn);
+    off += insn->size;
+  }
+  return insns;
+}
+
+TEST(CodegenTest, LeafWithoutLocalsHasNoFrame) {
+  std::unique_ptr<Program> program = Build("void leaf() { __builtin_cli(); }");
+  ASSERT_NE(program, nullptr);
+  const std::vector<Insn> insns = DecodeFunction(program.get(), "leaf");
+  ASSERT_EQ(insns.size(), 2u);
+  EXPECT_EQ(insns[0].op, Op::kCli);
+  EXPECT_EQ(insns[1].op, Op::kRet);
+}
+
+TEST(CodegenTest, EmptyFunctionIsJustRet) {
+  std::unique_ptr<Program> program = Build("void nothing() {}");
+  ASSERT_NE(program, nullptr);
+  const std::vector<Insn> insns = DecodeFunction(program.get(), "nothing");
+  ASSERT_EQ(insns.size(), 1u);
+  EXPECT_EQ(insns[0].op, Op::kRet);
+}
+
+TEST(CodegenTest, TinyLeafQualifiesForInlining) {
+  std::unique_ptr<Program> program = Build("void leaf() { __builtin_sti(); }");
+  ASSERT_NE(program, nullptr);
+  const uint64_t addr = program->SymbolAddress("leaf").value();
+  std::optional<std::vector<uint8_t>> body =
+      ExtractTinyBody(program->vm().memory(), addr);
+  ASSERT_TRUE(body.has_value());
+  ASSERT_EQ(body->size(), 1u);
+  EXPECT_EQ((*body)[0], static_cast<uint8_t>(Op::kSti));
+}
+
+TEST(CodegenTest, FunctionWithLocalsDoesNotQualify) {
+  std::unique_ptr<Program> program =
+      Build("long f(long a) { long x = a + 1; return x; }");
+  ASSERT_NE(program, nullptr);
+  const uint64_t addr = program->SymbolAddress("f").value();
+  EXPECT_FALSE(ExtractTinyBody(program->vm().memory(), addr).has_value());
+  // Its prologue must be a frame setup (SubI on SP).
+  const std::vector<Insn> insns = DecodeFunction(program.get(), "f");
+  ASSERT_FALSE(insns.empty());
+  EXPECT_EQ(insns[0].op, Op::kSubI);
+  EXPECT_EQ(insns[0].a, kRegSP);
+}
+
+TEST(CodegenTest, PvopConventionSavesAndRestoresRegisters) {
+  std::unique_ptr<Program> program =
+      Build("__attribute__((pvop)) void thunk() { __builtin_hypercall(0); }");
+  ASSERT_NE(program, nullptr);
+  const std::vector<Insn> insns = DecodeFunction(program.get(), "thunk");
+  int pushes = 0;
+  int pops = 0;
+  for (const Insn& insn : insns) {
+    pushes += insn.op == Op::kPush ? 1 : 0;
+    pops += insn.op == Op::kPop ? 1 : 0;
+  }
+  EXPECT_EQ(pushes, 4);
+  EXPECT_EQ(pops, 4);
+  EXPECT_EQ(insns.back().op, Op::kRet);
+  // And the convention makes the body non-inlinable.
+  const uint64_t addr = program->SymbolAddress("thunk").value();
+  EXPECT_FALSE(ExtractTinyBody(program->vm().memory(), addr).has_value());
+}
+
+TEST(CodegenTest, FnPtrCallsUseSingleCallMInstruction) {
+  std::unique_ptr<Program> program = Build(R"(
+void (*hook)(void);
+void fire() { hook(); }
+)");
+  ASSERT_NE(program, nullptr);
+  const std::vector<Insn> insns = DecodeFunction(program.get(), "fire");
+  int callm = 0;
+  for (const Insn& insn : insns) {
+    callm += insn.op == Op::kCallM ? 1 : 0;
+    EXPECT_NE(insn.op, Op::kCallR) << "global fn-ptr calls must not use CALLR";
+    EXPECT_NE(insn.op, Op::kLdg) << "no separate pointer load before the call";
+  }
+  EXPECT_EQ(callm, 1);
+}
+
+TEST(CodegenTest, CmpBranchFusionAvoidsSetcc) {
+  std::unique_ptr<Program> program = Build(R"(
+long f(long a) {
+  if (a < 10) { return 1; }
+  return 2;
+}
+)");
+  ASSERT_NE(program, nullptr);
+  const std::vector<Insn> insns = DecodeFunction(program.get(), "f");
+  for (const Insn& insn : insns) {
+    EXPECT_NE(insn.op, Op::kSetCC)
+        << "a compare feeding only a branch must fuse into CMP+Jcc";
+  }
+}
+
+TEST(CodegenTest, ComparisonAsValueUsesSetcc) {
+  std::unique_ptr<Program> program = Build("long f(long a, long b) { return a < b; }");
+  ASSERT_NE(program, nullptr);
+  const std::vector<Insn> insns = DecodeFunction(program.get(), "f");
+  bool has_setcc = false;
+  for (const Insn& insn : insns) {
+    has_setcc |= insn.op == Op::kSetCC;
+  }
+  EXPECT_TRUE(has_setcc);
+}
+
+TEST(CodegenTest, MultiversedCallSitesAreExactlyCallRel32) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) int flag;
+__attribute__((multiverse)) void f() { if (flag) { __builtin_fence(); } }
+void a() { f(); }
+void b() { f(); f(); }
+)");
+  ASSERT_NE(program, nullptr);
+  const DescriptorTable& table = program->runtime().table();
+  ASSERT_EQ(table.callsites.size(), 3u);
+  const uint64_t generic = program->SymbolAddress("f").value();
+  for (const RtCallsite& site : table.callsites) {
+    Result<Insn> insn = Decode(program->vm().memory().raw(site.site_addr), 5);
+    ASSERT_TRUE(insn.ok());
+    EXPECT_EQ(insn->op, Op::kCall);
+    EXPECT_EQ(insn->size, kCallInsnSize);
+    // The rel32 must resolve to the generic function.
+    EXPECT_EQ(site.site_addr + 5 + static_cast<uint64_t>(insn->imm), generic);
+  }
+}
+
+TEST(CodegenTest, VariantSymbolsAreEmitted) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) int flag;
+long out;
+__attribute__((multiverse)) void f() { if (flag) { out = 1; } }
+)");
+  ASSERT_NE(program, nullptr);
+  // The variants exist as linker-visible symbols, like the paper's
+  // multi.A=1.B=0 naming scheme (Figure 2).
+  EXPECT_TRUE(program->SymbolAddress("f.flag=0").ok());
+  EXPECT_TRUE(program->SymbolAddress("f.flag=1").ok());
+  EXPECT_GT(program->FunctionSize("f").value(),
+            program->FunctionSize("f.flag=0").value());
+}
+
+TEST(CodegenTest, DeepCallChainPreservesValues) {
+  // Values live across calls must be spilled and reloaded correctly.
+  std::unique_ptr<Program> program = Build(R"(
+long id(long x) { return x; }
+long f(long a, long b, long c) {
+  long r1 = id(a);
+  long r2 = id(b);
+  long r3 = id(c);
+  return r1 * 100 + r2 * 10 + r3 + id(r1);
+}
+)");
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(*program->Call("f", {1, 2, 3}), 124u);
+}
+
+TEST(CodegenTest, SixtySlotsStillWork) {
+  // Frame addressing with many locals (stress for slot offsets).
+  std::string source = "long f(long a) {\n";
+  for (int i = 0; i < 60; ++i) {
+    source += "  long v" + std::to_string(i) + " = a + " + std::to_string(i) + ";\n";
+  }
+  source += "  return v0 + v30 + v59;\n}\n";
+  std::unique_ptr<Program> program = Build(source);
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(*program->Call("f", {100}), 100u + 130u + 159u);
+}
+
+}  // namespace
+}  // namespace mv

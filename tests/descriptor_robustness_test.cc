@@ -1,0 +1,110 @@
+// Robustness of the descriptor parser and the patcher against malformed or
+// adversarial descriptor data: the runtime must fail cleanly, never crash or
+// patch through bogus metadata.
+#include <gtest/gtest.h>
+
+#include "src/core/descriptors.h"
+#include "src/core/program.h"
+#include "src/core/runtime.h"
+
+namespace mv {
+namespace {
+
+std::unique_ptr<Program> BuildSample() {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build(
+      {{"d", R"(
+__attribute__((multiverse)) int flag;
+long out;
+__attribute__((multiverse)) void f() { if (flag) { out = 1; } }
+void caller() { f(); }
+)"}},
+      options);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? std::move(*program) : nullptr;
+}
+
+TEST(DescriptorRobustnessTest, TruncatedVariableSectionRejected) {
+  std::unique_ptr<Program> program = BuildSample();
+  ASSERT_NE(program, nullptr);
+  Image image = program->image();
+  image.sections[".mv.variables"].size -= 8;  // no longer a multiple of 32
+  Result<DescriptorTable> table = DescriptorTable::Parse(program->vm().memory(), image);
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(DescriptorRobustnessTest, TruncatedFunctionSectionRejected) {
+  std::unique_ptr<Program> program = BuildSample();
+  ASSERT_NE(program, nullptr);
+  Image image = program->image();
+  image.sections[".mv.functions"].size += 4;
+  EXPECT_FALSE(DescriptorTable::Parse(program->vm().memory(), image).ok());
+}
+
+TEST(DescriptorRobustnessTest, TruncatedCallsiteSectionRejected) {
+  std::unique_ptr<Program> program = BuildSample();
+  ASSERT_NE(program, nullptr);
+  Image image = program->image();
+  image.sections[".mv.callsites"].size = 8;
+  EXPECT_FALSE(DescriptorTable::Parse(program->vm().memory(), image).ok());
+}
+
+TEST(DescriptorRobustnessTest, MissingSectionsMeanEmptyTables) {
+  std::unique_ptr<Program> program = BuildSample();
+  ASSERT_NE(program, nullptr);
+  Image image = program->image();
+  image.sections.erase(".mv.variables");
+  image.sections.erase(".mv.functions");
+  image.sections.erase(".mv.callsites");
+  Result<DescriptorTable> table = DescriptorTable::Parse(program->vm().memory(), image);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_TRUE(table->variables.empty());
+  EXPECT_TRUE(table->functions.empty());
+  EXPECT_TRUE(table->callsites.empty());
+}
+
+TEST(DescriptorRobustnessTest, DanglingPointersInDescriptorsFailParse) {
+  std::unique_ptr<Program> program = BuildSample();
+  ASSERT_NE(program, nullptr);
+  // Corrupt the variants pointer of the first function record (offset 24)
+  // to point far outside memory.
+  const SectionPlacement& fns = program->image().sections.at(".mv.functions");
+  const uint64_t bogus = program->vm().memory().size() + 0x1000;
+  ASSERT_TRUE(program->vm().memory().WriteRaw(fns.addr + 24, &bogus, 8).ok());
+  Result<DescriptorTable> table =
+      DescriptorTable::Parse(program->vm().memory(), program->image());
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(DescriptorRobustnessTest, GuardAgainstUnknownVariableFailsCommit) {
+  std::unique_ptr<Program> program = BuildSample();
+  ASSERT_NE(program, nullptr);
+  // Corrupt the first guard's variable address after attach: re-attach a
+  // fresh runtime so it parses the corrupted table.
+  const SectionPlacement& guards = program->image().sections.at(".mv.guards");
+  ASSERT_GT(guards.size, 0u);
+  const uint64_t bogus = 0x4242;
+  ASSERT_TRUE(program->vm().memory().WriteRaw(guards.addr, &bogus, 8).ok());
+  Result<MultiverseRuntime> runtime =
+      MultiverseRuntime::Attach(&program->vm(), program->image());
+  ASSERT_TRUE(runtime.ok());
+  Result<PatchStats> commit = runtime->Commit();
+  EXPECT_FALSE(commit.ok());
+  EXPECT_EQ(commit.status().code(), StatusCode::kInternal);
+}
+
+TEST(DescriptorRobustnessTest, UnterminatedNameStringRejected) {
+  std::unique_ptr<Program> program = BuildSample();
+  ASSERT_NE(program, nullptr);
+  // Point the variable name reference at the very end of memory, where no
+  // NUL terminator can follow.
+  const SectionPlacement& vars = program->image().sections.at(".mv.variables");
+  const uint64_t end = program->vm().memory().size() - 1;
+  const uint8_t non_nul = 'x';
+  ASSERT_TRUE(program->vm().memory().WriteRaw(end, &non_nul, 1).ok());
+  ASSERT_TRUE(program->vm().memory().WriteRaw(vars.addr + 16, &end, 8).ok());
+  EXPECT_FALSE(DescriptorTable::Parse(program->vm().memory(), program->image()).ok());
+}
+
+}  // namespace
+}  // namespace mv

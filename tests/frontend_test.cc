@@ -1,0 +1,486 @@
+// Frontend tests: lexing/parsing diagnostics plus execution-backed semantics —
+// mvc snippets are compiled through the full pipeline and run in the VM, so
+// every case checks lexer, parser, lowering, optimizer, codegen, linker and
+// VM at once.
+#include <gtest/gtest.h>
+
+#include "src/core/program.h"
+#include "src/frontend/frontend.h"
+#include "src/frontend/lexer.h"
+
+namespace mv {
+namespace {
+
+// Compiles a full program and calls `fn`; returns r0.
+uint64_t Exec(const std::string& source, const std::string& fn,
+              std::vector<uint64_t> args = {}) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build({{"t", source}}, options);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  if (!program.ok()) {
+    return 0xDEAD;
+  }
+  Result<uint64_t> result = (*program)->Call(fn, args);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : 0xDEAD;
+}
+
+// Expects compilation to fail and the diagnostic text to mention `expect`.
+void ExpectCompileError(const std::string& source, const std::string& expect) {
+  DiagnosticSink diag;
+  Result<Module> module = CompileToIr(source, "t", {}, &diag);
+  EXPECT_FALSE(module.ok()) << "compilation unexpectedly succeeded";
+  EXPECT_NE(diag.ToString().find(expect), std::string::npos)
+      << "diagnostics were:\n"
+      << diag.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Lexer.
+
+TEST(LexerTest, NumbersAndSuffixes) {
+  DiagnosticSink diag;
+  Lexer lexer("42 0x2A 1u 2l 3ul '\\n' 'a'", &diag);
+  std::vector<Token> tokens = lexer.Tokenize();
+  ASSERT_FALSE(diag.has_errors());
+  ASSERT_EQ(tokens.size(), 8u);  // 7 literals + eof
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_TRUE(tokens[2].is_unsigned);
+  EXPECT_TRUE(tokens[3].is_long);
+  EXPECT_TRUE(tokens[4].is_unsigned);
+  EXPECT_TRUE(tokens[4].is_long);
+  EXPECT_EQ(tokens[5].int_value, '\n');
+  EXPECT_EQ(tokens[6].int_value, 'a');
+}
+
+TEST(LexerTest, CommentsAndOperators) {
+  DiagnosticSink diag;
+  Lexer lexer("a /* block */ += b // line\n << c", &diag);
+  std::vector<Token> tokens = lexer.Tokenize();
+  ASSERT_FALSE(diag.has_errors());
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[1].kind, Tok::kPlusAssign);
+  EXPECT_EQ(tokens[3].kind, Tok::kShl);
+}
+
+TEST(LexerTest, StringEscapes) {
+  DiagnosticSink diag;
+  Lexer lexer(R"("a\tb\0")", &diag);
+  std::vector<Token> tokens = lexer.Tokenize();
+  ASSERT_FALSE(diag.has_errors());
+  EXPECT_EQ(tokens[0].text, std::string("a\tb\0", 4));
+}
+
+TEST(LexerTest, ReportsUnterminatedString) {
+  DiagnosticSink diag;
+  Lexer lexer("\"abc", &diag);
+  (void)lexer.Tokenize();
+  EXPECT_TRUE(diag.has_errors());
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  DiagnosticSink diag;
+  Lexer lexer("a\n  b", &diag);
+  std::vector<Token> tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Execution-backed expression/statement semantics.
+
+struct ExprCase {
+  const char* name;
+  const char* body;       // body of `long f(long a, long b)`
+  uint64_t a;
+  uint64_t b;
+  uint64_t expected;
+};
+
+class ExprSemanticsTest : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(ExprSemanticsTest, Evaluates) {
+  const ExprCase& c = GetParam();
+  const std::string source =
+      std::string("long f(long a, long b) {\n") + c.body + "\n}\n";
+  EXPECT_EQ(Exec(source, "f", {c.a, c.b}), c.expected) << c.body;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExprSemanticsTest,
+    ::testing::Values(
+        ExprCase{"add", "return a + b;", 2, 3, 5},
+        ExprCase{"sub", "return a - b;", 2, 3, static_cast<uint64_t>(-1)},
+        ExprCase{"mul", "return a * b;", 7, 6, 42},
+        ExprCase{"div", "return a / b;", 100, 7, 14},
+        ExprCase{"mod", "return a % b;", 100, 7, 2},
+        ExprCase{"neg_div", "return a / b;", static_cast<uint64_t>(-100), 7,
+                 static_cast<uint64_t>(-14)},
+        ExprCase{"shift_left", "return a << b;", 3, 4, 48},
+        ExprCase{"shift_right_signed", "return a >> b;", static_cast<uint64_t>(-64), 3,
+                 static_cast<uint64_t>(-8)},
+        ExprCase{"bitand", "return a & b;", 0xFF, 0x0F, 0x0F},
+        ExprCase{"bitor", "return a | b;", 0xF0, 0x0F, 0xFF},
+        ExprCase{"bitxor", "return a ^ b;", 0xFF, 0x0F, 0xF0},
+        ExprCase{"bitnot", "return ~a;", 0, 0, static_cast<uint64_t>(-1)},
+        ExprCase{"unary_minus", "return -a;", 5, 0, static_cast<uint64_t>(-5)},
+        ExprCase{"lognot", "return !a;", 0, 0, 1},
+        ExprCase{"lognot2", "return !a;", 3, 0, 0},
+        ExprCase{"precedence", "return a + b * 2;", 1, 3, 7},
+        ExprCase{"parens", "return (a + b) * 2;", 1, 3, 8},
+        ExprCase{"compare_lt", "return a < b;", 1, 2, 1},
+        ExprCase{"compare_signed", "return a < b;", static_cast<uint64_t>(-1), 0, 1},
+        ExprCase{"ternary_then", "return a ? 10 : 20;", 1, 0, 10},
+        ExprCase{"ternary_else", "return a ? 10 : 20;", 0, 0, 20},
+        ExprCase{"comma_free_assign", "long x; x = a; x += b; return x;", 4, 5, 9},
+        ExprCase{"compound_shift", "long x = a; x <<= 2; x |= 1; return x;", 2, 0, 9},
+        ExprCase{"pre_increment", "long x = a; long y = ++x; return y * 100 + x;", 5, 0,
+                 606},
+        ExprCase{"post_increment", "long x = a; long y = x++; return y * 100 + x;", 5, 0,
+                 506},
+        ExprCase{"pre_decrement", "long x = a; --x; return x;", 5, 0, 4}),
+    [](const ::testing::TestParamInfo<ExprCase>& info) { return info.param.name; });
+
+INSTANTIATE_TEST_SUITE_P(
+    ShortCircuit, ExprSemanticsTest,
+    ::testing::Values(
+        ExprCase{"and_tt", "return a && b;", 2, 3, 1},
+        ExprCase{"and_tf", "return a && b;", 2, 0, 0},
+        ExprCase{"and_ft", "return a && b;", 0, 3, 0},
+        ExprCase{"or_ff", "return a || b;", 0, 0, 0},
+        ExprCase{"or_ft", "return a || b;", 0, 3, 1},
+        ExprCase{"mixed", "return a && b || !a;", 0, 0, 1}),
+    [](const ::testing::TestParamInfo<ExprCase>& info) { return info.param.name; });
+
+INSTANTIATE_TEST_SUITE_P(
+    ControlFlow, ExprSemanticsTest,
+    ::testing::Values(
+        ExprCase{"while_sum", "long s = 0; long i = 0; while (i < a) { s += i; i += 1; } "
+                              "return s;",
+                 10, 0, 45},
+        ExprCase{"for_sum", "long s = 0; long i; for (i = 1; i <= a; i = i + 1) s += i; "
+                            "return s;",
+                 10, 0, 55},
+        ExprCase{"for_decl_scope", "long s = 0; for (long i = 0; i < a; ++i) { s += 2; } "
+                                   "return s;",
+                 4, 0, 8},
+        ExprCase{"do_while", "long i = 0; do { i += 1; } while (i < a); return i;", 5, 0,
+                 5},
+        ExprCase{"do_while_once", "long i = 0; do { i += 1; } while (i < a); return i;",
+                 0, 0, 1},
+        ExprCase{"break_stmt", "long i = 0; while (1) { if (i == a) break; i += 1; } "
+                               "return i;",
+                 7, 0, 7},
+        ExprCase{"continue_stmt",
+                 "long s = 0; long i; for (i = 0; i < a; ++i) { if (i % 2) continue; s "
+                 "+= i; } return s;",
+                 10, 0, 20},
+        ExprCase{"nested_if", "if (a) { if (b) return 3; return 2; } return 1;", 1, 1, 3},
+        ExprCase{"else_chain", "if (a == 0) return 10; else if (a == 1) return 11; else "
+                               "return 12;",
+                 1, 0, 11},
+        ExprCase{"early_return_unreachable", "return a; b = 99; return b;", 4, 0, 4}),
+    [](const ::testing::TestParamInfo<ExprCase>& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Integer conversion semantics (C-like narrowing, signedness).
+
+struct ConvCase {
+  const char* name;
+  const char* source;  // must define `long f(long a, long b)`
+  uint64_t a;
+  uint64_t expected;
+};
+
+class ConversionTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConversionTest, Evaluates) {
+  const ConvCase& c = GetParam();
+  EXPECT_EQ(Exec(c.source, "f", {c.a, 0}), c.expected) << c.source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConversionTest,
+    ::testing::Values(
+        ConvCase{"char_wraps", "long f(long a, long b) { char c = (char)a; return c; }",
+                 300, 44},
+        ConvCase{"uchar_wraps",
+                 "long f(long a, long b) { unsigned char c = (unsigned char)a; return c; "
+                 "}",
+                 300, 44},
+        ConvCase{"char_sign_extends",
+                 "long f(long a, long b) { char c = (char)a; return c; }", 255,
+                 static_cast<uint64_t>(-1)},
+        ConvCase{"short_narrow",
+                 "long f(long a, long b) { short s = (short)a; return s; }", 0x18000,
+                 static_cast<uint64_t>(-32768)},
+        ConvCase{"int_wraps", "long f(long a, long b) { int i = (int)a; return i; }",
+                 0x100000001ull, 1},
+        ConvCase{"uint_zero_extends",
+                 "long f(long a, long b) { unsigned int u = (unsigned int)a; return u; }",
+                 0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFull},
+        ConvCase{"bool_normalizes",
+                 "long f(long a, long b) { bool t = a; return t; }", 42, 1},
+        ConvCase{"bool_zero", "long f(long a, long b) { bool t = a; return t; }", 0, 0},
+        ConvCase{"unsigned_compare",
+                 "long f(long a, long b) { unsigned int x = (unsigned int)a; return x > "
+                 "2000000000u; }",
+                 0xF0000000ull, 1},
+        ConvCase{"narrow_arith_wraps",
+                 "long f(long a, long b) { unsigned char c = 200; c = c + 100; return c; "
+                 "}",
+                 0, 44},
+        ConvCase{"int_overflow_wraps",
+                 "long f(long a, long b) { int x = 2147483647; x = x + 1; return x; }", 0,
+                 static_cast<uint64_t>(INT32_MIN)},
+        ConvCase{"sizeof_values",
+                 "long f(long a, long b) { return sizeof(char) + sizeof(short) + "
+                 "sizeof(int) + sizeof(long) + sizeof(int*); }",
+                 0, 1 + 2 + 4 + 8 + 8}),
+    [](const ::testing::TestParamInfo<ConvCase>& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Pointers, arrays, globals, strings, enums, functions.
+
+TEST(FrontendTest, PointerArithmeticAndDeref) {
+  const char* source = R"(
+long arr[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+long f(long i) {
+  long* p = arr;
+  p = p + i;
+  return *p + p[1];
+}
+)";
+  EXPECT_EQ(Exec(source, "f", {2}), 30u + 40u);
+}
+
+TEST(FrontendTest, AddressOfLocalAndWriteThrough) {
+  const char* source = R"(
+void bump(long* p) { *p = *p + 1; }
+long f(long a) {
+  long x = a;
+  bump(&x);
+  bump(&x);
+  return x;
+}
+)";
+  EXPECT_EQ(Exec(source, "f", {40}), 42u);
+}
+
+TEST(FrontendTest, PointerDifferenceScaled) {
+  const char* source = R"(
+long arr[8];
+long f(long i) {
+  long* p = arr;
+  long* q = &arr[i];
+  return q - p;
+}
+)";
+  EXPECT_EQ(Exec(source, "f", {5}), 5u);
+}
+
+TEST(FrontendTest, StringLiteralContents) {
+  const char* source = R"mvc(
+long f(long i) {
+  unsigned char* s = (unsigned char*)"abc";
+  return s[i];
+}
+)mvc";
+  EXPECT_EQ(Exec(source, "f", {1}), static_cast<uint64_t>('b'));
+  EXPECT_EQ(Exec(source, "f", {3}), 0u);  // NUL terminator
+}
+
+TEST(FrontendTest, GlobalArrayInitializerAndByteAccess) {
+  const char* source = R"(
+unsigned char bytes[4] = {1, 2, 3, 4};
+int scalar = -7;
+long f(long i) { return bytes[i] + scalar; }
+)";
+  EXPECT_EQ(Exec(source, "f", {3}), static_cast<uint64_t>(4 - 7));
+}
+
+TEST(FrontendTest, EnumConstantsAndTypes) {
+  const char* source = R"(
+enum Mode { MODE_A, MODE_B = 5, MODE_C };
+enum Mode current;
+long f(long x) {
+  current = (enum Mode)x;
+  if (current == MODE_B) return 100;
+  return MODE_C;
+}
+)";
+  EXPECT_EQ(Exec(source, "f", {5}), 100u);
+  EXPECT_EQ(Exec(source, "f", {0}), 6u);
+}
+
+TEST(FrontendTest, RecursionWorks) {
+  const char* source = R"(
+long fib(long n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+)";
+  EXPECT_EQ(Exec(source, "fib", {10}), 55u);
+}
+
+TEST(FrontendTest, MutualRecursionAcrossDeclarations) {
+  const char* source = R"(
+long is_odd(long n);
+long is_even(long n) { if (n == 0) return 1; return is_odd(n - 1); }
+long is_odd(long n) { if (n == 0) return 0; return is_even(n - 1); }
+)";
+  EXPECT_EQ(Exec(source, "is_even", {10}), 1u);
+  EXPECT_EQ(Exec(source, "is_odd", {10}), 0u);
+}
+
+TEST(FrontendTest, FunctionPointerLocals) {
+  const char* source = R"(
+long twice(long x) { return 2 * x; }
+long thrice(long x) { return 3 * x; }
+long (*pick)(long);
+long f(long which) {
+  pick = which ? twice : thrice;
+  return pick(10);
+}
+)";
+  EXPECT_EQ(Exec(source, "f", {1}), 20u);
+  EXPECT_EQ(Exec(source, "f", {0}), 30u);
+}
+
+TEST(FrontendTest, StaticDefinesPinGlobalReads) {
+  const char* source = R"(
+int feature;
+long f(long a) {
+  if (feature) return a * 2;
+  return a;
+}
+)";
+  BuildOptions options;
+  options.frontend.defines["feature"] = 1;
+  Result<std::unique_ptr<Program>> program = Program::Build({{"t", source}}, options);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // Even with feature==0 in memory, reads were pinned to 1 at compile time.
+  ASSERT_TRUE((*program)->WriteGlobal("feature", 0, 4).ok());
+  Result<uint64_t> result = (*program)->Call("f", {21});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42u);
+}
+
+TEST(FrontendTest, MultipleTranslationUnits) {
+  const char* config = R"(
+__attribute__((multiverse)) int mode;
+int shared_counter;
+)";
+  const char* logic = R"(
+extern __attribute__((multiverse)) int mode;
+extern int shared_counter;
+__attribute__((multiverse))
+long step(long x) {
+  if (mode) { shared_counter = shared_counter + 1; }
+  return x + 1;
+}
+)";
+  const char* app = R"(
+extern long step(long x);
+long run(long n) {
+  long i;
+  long v = 0;
+  for (i = 0; i < n; ++i) { v = step(v); }
+  return v;
+}
+)";
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program =
+      Program::Build({{"config", config}, {"logic", logic}, {"app", app}}, options);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_TRUE((*program)->WriteGlobal("mode", 1, 4).ok());
+  Result<uint64_t> result = (*program)->Call("run", {5});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, 5u);
+  EXPECT_EQ((*program)->ReadGlobal("shared_counter", 4).value(), 5);
+  // Commit across translation units must work, too.
+  Result<PatchStats> commit = (*program)->runtime().Commit();
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(commit->functions_committed, 1);
+  EXPECT_EQ(*(*program)->Call("run", {5}), 5u);
+}
+
+TEST(FrontendTest, BuiltinsLowerAndRun) {
+  const char* source = R"(
+int lock;
+long f(long v) {
+  long old = __builtin_xchg(&lock, (int)v);
+  __builtin_fence();
+  __builtin_pause();
+  return old + lock;
+}
+)";
+  EXPECT_EQ(Exec(source, "f", {9}), 9u);  // old 0 + new 9
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics.
+
+TEST(FrontendErrorTest, UnknownVariable) {
+  ExpectCompileError("long f() { return nope; }", "unknown variable");
+}
+
+TEST(FrontendErrorTest, UndeclaredFunction) {
+  ExpectCompileError("long f() { return g(); }", "undeclared function");
+}
+
+TEST(FrontendErrorTest, ArityMismatch) {
+  ExpectCompileError("long g(long a) { return a; } long f() { return g(1, 2); }",
+                     "expects 1 argument");
+}
+
+TEST(FrontendErrorTest, BreakOutsideLoop) {
+  ExpectCompileError("void f() { break; }", "outside of a loop");
+}
+
+TEST(FrontendErrorTest, LocalArrayUnsupported) {
+  ExpectCompileError("void f() { int a[4]; }", "local arrays are not supported");
+}
+
+TEST(FrontendErrorTest, MultiverseOnPointerVariable) {
+  ExpectCompileError("__attribute__((multiverse)) int* p;",
+                     "configuration switches must have integer");
+}
+
+TEST(FrontendErrorTest, MultiverseOnArray) {
+  ExpectCompileError("__attribute__((multiverse)) int a[4];",
+                     "arrays cannot be configuration switches");
+}
+
+TEST(FrontendErrorTest, VoidReturnWithValue) {
+  ExpectCompileError("void f() { return 1; }", "void function cannot return a value");
+}
+
+TEST(FrontendErrorTest, MissingReturnValue) {
+  ExpectCompileError("long f() { return; }", "must return a value");
+}
+
+TEST(FrontendErrorTest, DerefNonPointer) {
+  ExpectCompileError("long f(long a) { return *a; }", "dereference a non-pointer");
+}
+
+TEST(FrontendErrorTest, RedefinedLocal) {
+  ExpectCompileError("void f() { long x; long x; }", "redefinition");
+}
+
+TEST(FrontendErrorTest, UnknownAttribute) {
+  ExpectCompileError("__attribute__((sparkly)) int x;", "unknown attribute");
+}
+
+TEST(FrontendErrorTest, ConflictingFunctionDeclaration) {
+  ExpectCompileError("long f(long a); int f(long a) { return 0; }",
+                     "conflicting declaration");
+}
+
+TEST(FrontendErrorTest, SyntaxErrorRecoversWithDiagnostic) {
+  ExpectCompileError("long f( { return 0; }", "expected");
+}
+
+}  // namespace
+}  // namespace mv

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/cost_model.h"
+#include "src/isa/isa.h"
+
+namespace mv {
+namespace {
+
+// --- Parameterized encode/decode round-trip over every instruction form. ---
+
+struct RoundTripCase {
+  const char* name;
+  Insn insn;
+};
+
+class EncodeDecodeTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(EncodeDecodeTest, RoundTrips) {
+  const Insn& original = GetParam().insn;
+  std::vector<uint8_t> bytes;
+  Result<int> size = Encode(original, &bytes);
+  ASSERT_TRUE(size.ok()) << size.status().ToString();
+  EXPECT_EQ(static_cast<size_t>(*size), bytes.size());
+
+  Result<Insn> decoded = Decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, original.op);
+  EXPECT_EQ(decoded->a, original.a);
+  EXPECT_EQ(decoded->size, bytes.size());
+  EXPECT_EQ(decoded->imm, original.imm) << GetParam().name;
+  // Disassembly must never be empty.
+  EXPECT_FALSE(decoded->ToString().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForms, EncodeDecodeTest,
+    ::testing::Values(
+        RoundTripCase{"mov_ri", MakeMovRI(3, -123456789012345)},
+        RoundTripCase{"mov_ri_max", MakeMovRI(0, INT64_MAX)},
+        RoundTripCase{"mov_rr", MakeMovRR(4, 5)},
+        RoundTripCase{"ld8u", MakeLoad(Op::kLd8U, 1, 2, -16)},
+        RoundTripCase{"ld8s", MakeLoad(Op::kLd8S, 1, 2, 0)},
+        RoundTripCase{"ld16u", MakeLoad(Op::kLd16U, 1, 2, 4)},
+        RoundTripCase{"ld16s", MakeLoad(Op::kLd16S, 1, 2, 4)},
+        RoundTripCase{"ld32u", MakeLoad(Op::kLd32U, 1, 2, 4)},
+        RoundTripCase{"ld32s", MakeLoad(Op::kLd32S, 1, 2, 4)},
+        RoundTripCase{"ld64", MakeLoad(Op::kLd64, 1, 2, 1 << 20)},
+        RoundTripCase{"st8", MakeStore(Op::kSt8, 1, 2, 3)},
+        RoundTripCase{"st16", MakeStore(Op::kSt16, 1, 2, 3)},
+        RoundTripCase{"st32", MakeStore(Op::kSt32, 1, 2, 3)},
+        RoundTripCase{"st64", MakeStore(Op::kSt64, 1, 2, -8)},
+        RoundTripCase{"ldg", MakeLdg(7, GWidth::kS32, 0x1234)},
+        RoundTripCase{"stg", MakeStg(7, GWidth::kU16, 0x4321)},
+        RoundTripCase{"add", MakeAluRR(Op::kAdd, 1, 2)},
+        RoundTripCase{"sub", MakeAluRR(Op::kSub, 1, 2)},
+        RoundTripCase{"mul", MakeAluRR(Op::kMul, 1, 2)},
+        RoundTripCase{"udiv", MakeAluRR(Op::kUDiv, 1, 2)},
+        RoundTripCase{"urem", MakeAluRR(Op::kURem, 1, 2)},
+        RoundTripCase{"sdiv", MakeAluRR(Op::kSDiv, 1, 2)},
+        RoundTripCase{"srem", MakeAluRR(Op::kSRem, 1, 2)},
+        RoundTripCase{"and", MakeAluRR(Op::kAnd, 1, 2)},
+        RoundTripCase{"or", MakeAluRR(Op::kOr, 1, 2)},
+        RoundTripCase{"xor", MakeAluRR(Op::kXor, 1, 2)},
+        RoundTripCase{"shl", MakeAluRR(Op::kShl, 1, 2)},
+        RoundTripCase{"shr", MakeAluRR(Op::kShr, 1, 2)},
+        RoundTripCase{"sar", MakeAluRR(Op::kSar, 1, 2)},
+        RoundTripCase{"addi", MakeAluRI(Op::kAddI, 1, -100)},
+        RoundTripCase{"subi", MakeAluRI(Op::kSubI, 1, 100)},
+        RoundTripCase{"muli", MakeAluRI(Op::kMulI, 1, 7)},
+        RoundTripCase{"andi", MakeAluRI(Op::kAndI, 1, 0xff)},
+        RoundTripCase{"ori", MakeAluRI(Op::kOrI, 1, 0x10)},
+        RoundTripCase{"xori", MakeAluRI(Op::kXorI, 1, -1)},
+        RoundTripCase{"shli", MakeShiftI(Op::kShlI, 1, 63)},
+        RoundTripCase{"shri", MakeShiftI(Op::kShrI, 1, 1)},
+        RoundTripCase{"sari", MakeShiftI(Op::kSarI, 1, 32)},
+        RoundTripCase{"not", MakeUnary(Op::kNot, 9)},
+        RoundTripCase{"neg", MakeUnary(Op::kNeg, 9)},
+        RoundTripCase{"cmp", MakeCmp(1, 2)},
+        RoundTripCase{"cmpi", MakeCmpI(1, -5)},
+        RoundTripCase{"setcc", MakeSetCC(Cond::kLe, 4)},
+        RoundTripCase{"jmp", MakeJmp(-1000)},
+        RoundTripCase{"jcc", MakeJcc(Cond::kA, 2000)},
+        RoundTripCase{"call", MakeCall(123)},
+        RoundTripCase{"callr", MakeCallR(11)},
+        RoundTripCase{"callm", MakeCallM(0x2040)},
+        RoundTripCase{"ret", MakeSimple(Op::kRet)},
+        RoundTripCase{"push", MakePush(14)},
+        RoundTripCase{"pop", MakePop(14)},
+        RoundTripCase{"nop", MakeSimple(Op::kNop)},
+        RoundTripCase{"hlt", MakeSimple(Op::kHlt)},
+        RoundTripCase{"pause", MakeSimple(Op::kPause)},
+        RoundTripCase{"fence", MakeSimple(Op::kFence)},
+        RoundTripCase{"sti", MakeSimple(Op::kSti)},
+        RoundTripCase{"cli", MakeSimple(Op::kCli)},
+        RoundTripCase{"xchg", MakeAluRR(Op::kXchg, 0, 1)},
+        RoundTripCase{"rdtsc", MakeRdtsc(6)},
+        RoundTripCase{"hypercall", MakeHypercall(1)},
+        RoundTripCase{"vmcall", MakeVmCall(200)}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return info.param.name;
+    });
+
+// --- Properties the binary patcher depends on. ---
+
+TEST(IsaSizeTest, PatchableInstructionsAreFiveBytes) {
+  for (const Insn& insn :
+       {MakeCall(0), MakeJmp(0), MakeCallR(3), MakeCallM(0x1000)}) {
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(Encode(insn, &bytes).ok());
+    EXPECT_EQ(bytes.size(), 5u) << OpName(insn.op);
+  }
+  EXPECT_EQ(kCallInsnSize, 5);
+  EXPECT_EQ(kJmpInsnSize, 5);
+}
+
+TEST(IsaSizeTest, NopIsOneByte) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(Encode(MakeSimple(Op::kNop), &bytes).ok());
+  EXPECT_EQ(bytes.size(), 1u);
+}
+
+TEST(IsaErrorTest, DecodeRejectsUnknownOpcode) {
+  const uint8_t bad[] = {0xEE};
+  EXPECT_FALSE(Decode(bad, 1).ok());
+}
+
+TEST(IsaErrorTest, DecodeRejectsTruncation) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(Encode(MakeMovRI(0, 42), &bytes).ok());
+  EXPECT_FALSE(Decode(bytes.data(), bytes.size() - 1).ok());
+  EXPECT_FALSE(Decode(bytes.data(), 0).ok());
+}
+
+TEST(IsaErrorTest, DecodeRejectsBadRegister) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(Encode(MakeMovRR(1, 2), &bytes).ok());
+  bytes[1] = 16;  // register out of range
+  EXPECT_FALSE(Decode(bytes.data(), bytes.size()).ok());
+}
+
+TEST(IsaErrorTest, EncodeRejectsOutOfRangeImmediates) {
+  std::vector<uint8_t> bytes;
+  EXPECT_FALSE(Encode(MakeShiftI(Op::kShlI, 0, 64), &bytes).ok());
+  Insn addi = MakeAluRI(Op::kAddI, 0, 0);
+  addi.imm = int64_t{1} << 40;
+  EXPECT_FALSE(Encode(addi, &bytes).ok());
+  Insn vmcall = MakeVmCall(0);
+  vmcall.imm = 300;
+  EXPECT_FALSE(Encode(vmcall, &bytes).ok());
+}
+
+TEST(IsaTest, GWidthProperties) {
+  EXPECT_EQ(GWidthBytes(GWidth::kU8), 1);
+  EXPECT_EQ(GWidthBytes(GWidth::kS16), 2);
+  EXPECT_EQ(GWidthBytes(GWidth::kU32), 4);
+  EXPECT_EQ(GWidthBytes(GWidth::kS64), 8);
+  EXPECT_TRUE(GWidthSigned(GWidth::kS8));
+  EXPECT_FALSE(GWidthSigned(GWidth::kU64));
+}
+
+TEST(IsaTest, DisassembleSequence) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(Encode(MakeMovRI(0, 7), &bytes).ok());
+  ASSERT_TRUE(Encode(MakeSimple(Op::kRet), &bytes).ok());
+  const std::string text = Disassemble(bytes.data(), bytes.size(), 0x1000);
+  EXPECT_NE(text.find("mov r0, 7"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+  EXPECT_NE(text.find("00001000:"), std::string::npos);
+}
+
+TEST(CostModelTest, TicksPerCycleConversion) {
+  EXPECT_DOUBLE_EQ(TicksToCycles(4), 1.0);
+  EXPECT_DOUBLE_EQ(TicksToCycles(66), 16.5);  // the Skylake mispredict penalty
+}
+
+}  // namespace
+}  // namespace mv

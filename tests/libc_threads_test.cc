@@ -1,0 +1,131 @@
+// Multi-threaded mini-musl integration: the paper commits the single-thread
+// variant only while exactly one thread runs and re-commits the locking
+// variants when a second thread is spawned (pthread_create) or exits
+// (pthread_exit). These tests drive that life cycle on a 2-core VM with
+// instruction-level interleaving and verify that the heap stays consistent.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/program.h"
+#include "src/support/rng.h"
+#include "src/workloads/libc.h"
+
+namespace mv {
+namespace {
+
+// The mini musl plus a worker that hammers malloc/free and records every
+// returned chunk for overlap checking.
+std::string ThreadedLibcSource() {
+  return LibcSource() + R"(
+long observed[2048];
+long completed[2];
+
+// Each worker records into its own region of `observed`, so no extra
+// synchronization is needed for the bookkeeping itself.
+void worker(long rounds, long slot) {
+  long i;
+  for (i = 0; i < rounds; ++i) {
+    long p = malloc_(24);
+    if (p == 0) { return; }
+    // Write a signature into the chunk and verify it before freeing: a racy
+    // allocator handing the same chunk to both cores would trip this.
+    ((long*)p)[0] = p ^ slot;
+    ((long*)p)[1] = i;
+    if (((long*)p)[0] != (p ^ slot)) { return; }
+    observed[(slot * 1024 + i) & 2047] = p;
+    free_(p);
+  }
+  completed[slot & 1] = rounds;
+}
+)";
+}
+
+TEST(LibcThreadsTest, ThreadLifecycleCommitsAndReverts) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"musl_mt", ThreadedLibcSource()}}, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Program& libc = **built;
+  const uint64_t lock_fn = libc.SymbolAddress("libc_lock").value();
+
+  // Boot: single-threaded, committed -> the empty lock variant is installed.
+  ASSERT_TRUE(SetThreadMode(&libc, 0, /*commit=*/true).ok());
+  EXPECT_NE(libc.runtime().InstalledVariant(lock_fn), 0u);
+
+  // pthread_create: threads_minus_1 = 1, commit -> locking variant installed.
+  ASSERT_TRUE(SetThreadMode(&libc, 1, /*commit=*/true).ok());
+  const uint64_t mt_variant = libc.runtime().InstalledVariant(lock_fn);
+  EXPECT_NE(mt_variant, 0u);
+
+  // pthread_exit of the second thread: back to the single-thread variant.
+  ASSERT_TRUE(SetThreadMode(&libc, 0, /*commit=*/true).ok());
+  EXPECT_NE(libc.runtime().InstalledVariant(lock_fn), 0u);
+  EXPECT_NE(libc.runtime().InstalledVariant(lock_fn), mt_variant);
+}
+
+TEST(LibcThreadsTest, ConcurrentMallocFreeKeepsHeapConsistent) {
+  BuildOptions options;
+  options.vm_cores = 2;
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"musl_mt", ThreadedLibcSource()}}, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Program& libc = **built;
+
+  // Two threads running: multi-threaded mode, committed (locks active).
+  ASSERT_TRUE(SetThreadMode(&libc, 1, /*commit=*/true).ok());
+
+  const uint64_t worker = libc.SymbolAddress("worker").value();
+  constexpr uint64_t kRounds = 150;
+  SetupCall(libc.image(), &libc.vm(), worker, {kRounds, 0}, 0);
+  SetupCall(libc.image(), &libc.vm(), worker, {kRounds, 1}, 1);
+
+  Rng rng(4242);
+  bool done0 = false;
+  bool done1 = false;
+  for (uint64_t step = 0; step < 20'000'000 && !(done0 && done1); ++step) {
+    const int core = rng.NextBool() ? 1 : 0;
+    if (core == 0 && !done0) {
+      std::optional<VmExit> exit = libc.vm().Step(0);
+      if (exit.has_value()) {
+        ASSERT_EQ(exit->kind, VmExit::Kind::kHalt) << exit->ToString();
+        done0 = true;
+      }
+    } else if (core == 1 && !done1) {
+      std::optional<VmExit> exit = libc.vm().Step(1);
+      if (exit.has_value()) {
+        ASSERT_EQ(exit->kind, VmExit::Kind::kHalt) << exit->ToString();
+        done1 = true;
+      }
+    }
+  }
+  ASSERT_TRUE(done0 && done1) << "workers did not finish";
+
+  // The malloc lock must be free, both workers must have completed all
+  // rounds (an allocator race trips their signature check and aborts early),
+  // and the heap must still serve allocations.
+  EXPECT_EQ(libc.ReadGlobal("malloc_lock_word", 4).value(), 0);
+  const uint64_t completed = libc.SymbolAddress("completed").value();
+  int64_t done_rounds[2] = {0, 0};
+  ASSERT_TRUE(libc.vm().memory().ReadRaw(completed, done_rounds, 16).ok());
+  EXPECT_EQ(done_rounds[0], static_cast<int64_t>(kRounds));
+  EXPECT_EQ(done_rounds[1], static_cast<int64_t>(kRounds));
+  const uint64_t p = *libc.Call("malloc_", {64});
+  EXPECT_NE(p, 0u);
+
+  // Free-list sanity: walk it; every chunk header must be inside the heap
+  // and the list must be acyclic.
+  const uint64_t heap = libc.SymbolAddress("heap").value();
+  const int64_t brk = libc.ReadGlobal("heap_brk").value();
+  uint64_t node = static_cast<uint64_t>(libc.ReadGlobal("free_head").value());
+  std::set<uint64_t> seen;
+  while (node != 0) {
+    ASSERT_GE(node, heap);
+    ASSERT_LT(node, heap + static_cast<uint64_t>(brk));
+    ASSERT_TRUE(seen.insert(node).second) << "cycle in the free list";
+    ASSERT_TRUE(libc.vm().memory().ReadRaw(node + 8, &node, 8).ok());
+  }
+}
+
+}  // namespace
+}  // namespace mv

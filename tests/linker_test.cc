@@ -1,0 +1,226 @@
+// Linker, loader and object-format tests: symbol resolution, relocation,
+// section concatenation across translation units, image protections.
+#include <gtest/gtest.h>
+
+#include "src/codegen/codegen.h"
+#include "src/core/descriptors.h"
+#include "src/core/program.h"
+#include "src/frontend/frontend.h"
+#include "src/obj/linker.h"
+
+namespace mv {
+namespace {
+
+Result<ObjectFile> CompileObject(const std::string& source, const std::string& name) {
+  DiagnosticSink diag;
+  MV_ASSIGN_OR_RETURN(Module module, CompileToIr(source, name, {}, &diag));
+  ObjectFile obj;
+  obj.name = name;
+  MV_ASSIGN_OR_RETURN(CodegenInfo info, GenerateObject(module, &obj));
+  MV_RETURN_IF_ERROR(EmitDescriptors(module, info, &obj));
+  return obj;
+}
+
+TEST(LinkerTest, ResolvesCrossObjectCallsAndGlobals) {
+  Result<ObjectFile> lib = CompileObject(R"(
+int counter;
+long bump(long by) { counter = counter + (int)by; return counter; }
+)",
+                                         "lib");
+  Result<ObjectFile> app = CompileObject(R"(
+extern int counter;
+extern long bump(long by);
+long run() { bump(2); bump(3); return counter; }
+)",
+                                         "app");
+  ASSERT_TRUE(lib.ok()) << lib.status().ToString();
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*lib, *app}, LinkOptions{}, &vm);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  SetupCall(*image, &vm, image->SymbolAddress("run").value(), {});
+  const VmExit exit = vm.Run(0, 1000000);
+  ASSERT_EQ(exit.kind, VmExit::Kind::kHalt) << exit.ToString();
+  EXPECT_EQ(vm.core(0).regs[0], 5u);
+}
+
+TEST(LinkerTest, DuplicateSymbolIsAnError) {
+  Result<ObjectFile> a = CompileObject("long f() { return 1; }", "a");
+  Result<ObjectFile> b = CompileObject("long f() { return 2; }", "b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*a, *b}, LinkOptions{}, &vm);
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(image.status().message().find("'f'"), std::string::npos);
+}
+
+TEST(LinkerTest, UndefinedSymbolIsAnError) {
+  Result<ObjectFile> a =
+      CompileObject("extern long missing(); long f() { return missing(); }", "a");
+  ASSERT_TRUE(a.ok());
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*a}, LinkOptions{}, &vm);
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kNotFound);
+}
+
+TEST(LinkerTest, DescriptorSectionsConcatenateAcrossObjects) {
+  // Each TU defines one switch and one multiversed function; the merged
+  // .mv.variables section must hold both records back to back (paper §5).
+  Result<ObjectFile> a = CompileObject(R"(
+__attribute__((multiverse)) int sa;
+long oa;
+__attribute__((multiverse)) void fa() { if (sa) { oa = 1; } }
+)",
+                                       "a");
+  Result<ObjectFile> b = CompileObject(R"(
+__attribute__((multiverse)) int sb;
+long ob;
+__attribute__((multiverse)) void fb() { if (sb) { ob = 1; } }
+)",
+                                       "b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*a, *b}, LinkOptions{}, &vm);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  Result<DescriptorTable> table = DescriptorTable::Parse(vm.memory(), *image);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->variables.size(), 2u);
+  EXPECT_EQ(table->variables[0].name, "sa");
+  EXPECT_EQ(table->variables[1].name, "sb");
+  ASSERT_EQ(table->functions.size(), 2u);
+  EXPECT_EQ(table->functions[0].name, "fa");
+  EXPECT_EQ(table->functions[1].name, "fb");
+  EXPECT_EQ(table->functions[0].generic_addr, image->SymbolAddress("fa").value());
+}
+
+TEST(LinkerTest, ImageProtectionsAreWXExclusive) {
+  Result<ObjectFile> obj = CompileObject(R"(
+int data_word = 5;
+long f() { return data_word; }
+)",
+                                         "obj");
+  ASSERT_TRUE(obj.ok());
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*obj}, LinkOptions{}, &vm);
+  ASSERT_TRUE(image.ok());
+
+  const uint64_t text = image->text_base;
+  EXPECT_EQ(vm.memory().PermsAt(text), kPermRead | kPermExec);
+  EXPECT_FALSE(vm.memory().Writable(text, 1));
+
+  const uint64_t data = image->SymbolAddress("data_word").value();
+  EXPECT_EQ(vm.memory().PermsAt(data), kPermRead | kPermWrite);
+
+  auto mv_vars = image->sections.find(".mv.variables");
+  if (mv_vars != image->sections.end() && mv_vars->second.size > 0) {
+    EXPECT_EQ(vm.memory().PermsAt(mv_vars->second.addr), kPermRead);
+  }
+}
+
+TEST(LinkerTest, StringLiteralsAreReadOnly) {
+  Result<ObjectFile> obj = CompileObject(R"mvc(
+unsigned char* get() { return (unsigned char*)"immutable"; }
+long poke() {
+  unsigned char* s = (unsigned char*)"immutable2";
+  s[0] = 'X';   // must fault: string literals live in .rodata
+  return s[0];
+}
+)mvc",
+                                         "ro");
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*obj}, LinkOptions{}, &vm);
+  ASSERT_TRUE(image.ok());
+  auto rodata = image->sections.find(".rodata");
+  ASSERT_NE(rodata, image->sections.end());
+  ASSERT_GT(rodata->second.size, 0u);
+  EXPECT_EQ(vm.memory().PermsAt(rodata->second.addr), kPermRead);
+
+  // Reading works...
+  SetupCall(*image, &vm, image->SymbolAddress("get").value(), {});
+  ASSERT_EQ(vm.Run(0, 10000).kind, VmExit::Kind::kHalt);
+  const uint64_t ptr = vm.core(0).regs[0];
+  char first = 0;
+  ASSERT_TRUE(vm.memory().ReadRaw(ptr, &first, 1).ok());
+  EXPECT_EQ(first, 'i');
+
+  // ...writing faults.
+  SetupCall(*image, &vm, image->SymbolAddress("poke").value(), {});
+  const VmExit exit = vm.Run(0, 10000);
+  ASSERT_EQ(exit.kind, VmExit::Kind::kFault);
+  EXPECT_EQ(exit.fault.kind, FaultKind::kWriteProtection);
+}
+
+TEST(LinkerTest, HaltStubReturnsControl) {
+  Result<ObjectFile> obj = CompileObject("long f() { return 7; }", "obj");
+  ASSERT_TRUE(obj.ok());
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*obj}, LinkOptions{}, &vm);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->symbols.count("$halt"), 1u);
+  SetupCall(*image, &vm, image->SymbolAddress("f").value(), {});
+  const VmExit exit = vm.Run(0, 10000);
+  EXPECT_EQ(exit.kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(vm.core(0).regs[0], 7u);
+}
+
+TEST(LinkerTest, SetupCallPassesSixArguments) {
+  Result<ObjectFile> obj = CompileObject(
+      "long f(long a, long b, long c, long d, long e, long g) { return a + 10*b + "
+      "100*c + 1000*d + 10000*e + 100000*g; }",
+      "obj");
+  ASSERT_TRUE(obj.ok());
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*obj}, LinkOptions{}, &vm);
+  ASSERT_TRUE(image.ok());
+  SetupCall(*image, &vm, image->SymbolAddress("f").value(), {1, 2, 3, 4, 5, 6});
+  ASSERT_EQ(vm.Run(0, 10000).kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(vm.core(0).regs[0], 654321u);
+}
+
+TEST(LinkerTest, TooSmallMemoryFailsCleanly) {
+  Result<ObjectFile> obj = CompileObject("long f() { return 1; }", "obj");
+  ASSERT_TRUE(obj.ok());
+  Vm vm(8 * 1024);  // far too small for text + stack
+  Result<Image> image = LinkAndLoad({*obj}, LinkOptions{}, &vm);
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LinkerTest, FunctionsAreAlignedAndPadded) {
+  Result<ObjectFile> obj = CompileObject(R"(
+void tiny1() {}
+void tiny2() {}
+long f() { tiny1(); tiny2(); return 0; }
+)",
+                                         "obj");
+  ASSERT_TRUE(obj.ok());
+  Vm vm(16 << 20);
+  Result<Image> image = LinkAndLoad({*obj}, LinkOptions{}, &vm);
+  ASSERT_TRUE(image.ok());
+  const uint64_t t1 = image->SymbolAddress("tiny1").value();
+  const uint64_t t2 = image->SymbolAddress("tiny2").value();
+  EXPECT_EQ(t1 % 16, 0u);
+  EXPECT_EQ(t2 % 16, 0u);
+  // Even a ret-only function occupies >= 8 bytes, so prologue patching
+  // (5 bytes) cannot reach the next function.
+  EXPECT_GE(t2 - t1, 8u);
+}
+
+TEST(ObjectTest, SectionHelpers) {
+  ObjectFile obj;
+  const int text = obj.FindOrAddSection(".text", true);
+  EXPECT_EQ(obj.FindOrAddSection(".text"), text);
+  EXPECT_EQ(obj.FindSection(".data"), -1);
+  obj.AddSymbol("sym", text, 4);
+  EXPECT_EQ(obj.symbols.size(), 1u);
+  EXPECT_TRUE(obj.symbols[0].is_defined());
+}
+
+}  // namespace
+}  // namespace mv

@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include "src/mvir/builder.h"
+#include "src/mvir/ir.h"
+#include "src/opt/passes.h"
+
+namespace mv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Constant evaluation semantics.
+
+TEST(NormalizeTest, SignedAndUnsignedWidths) {
+  EXPECT_EQ(NormalizeValue(0x1FF, IrType::U8()), 0xFF);
+  EXPECT_EQ(NormalizeValue(0xFF, IrType::I8()), -1);
+  EXPECT_EQ(NormalizeValue(0x18000, IrType::I16()), -32768);
+  EXPECT_EQ(NormalizeValue(0xFFFFFFFF, IrType::U32()), 0xFFFFFFFF);
+  EXPECT_EQ(NormalizeValue(0xFFFFFFFF, IrType::I32()), -1);
+  EXPECT_EQ(NormalizeValue(-1, IrType::I64()), -1);
+  EXPECT_EQ(NormalizeValue(12345, IrType::Ptr()), 12345);
+}
+
+struct EvalBinCase {
+  const char* name;
+  BinKind kind;
+  int64_t lhs;
+  int64_t rhs;
+  IrType type;
+  std::optional<int64_t> expected;
+};
+
+class EvalBinTest : public ::testing::TestWithParam<EvalBinCase> {};
+
+TEST_P(EvalBinTest, Evaluates) {
+  const EvalBinCase& c = GetParam();
+  EXPECT_EQ(EvalBin(c.kind, c.lhs, c.rhs, c.type), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EvalBinTest,
+    ::testing::Values(
+        EvalBinCase{"add", BinKind::kAdd, 2, 3, IrType::I32(), 5},
+        EvalBinCase{"add_wrap_u32", BinKind::kAdd, 0xFFFFFFFF, 1, IrType::U32(), 0},
+        EvalBinCase{"add_wrap_i32", BinKind::kAdd, INT32_MAX, 1, IrType::I32(),
+                    INT32_MIN},
+        EvalBinCase{"sub", BinKind::kSub, 2, 3, IrType::I64(), -1},
+        EvalBinCase{"mul_trunc_u8", BinKind::kMul, 16, 17, IrType::U8(), 16},
+        EvalBinCase{"sdiv", BinKind::kSDiv, -7, 2, IrType::I32(), -3},
+        EvalBinCase{"sdiv_zero", BinKind::kSDiv, 1, 0, IrType::I32(), std::nullopt},
+        EvalBinCase{"sdiv_overflow", BinKind::kSDiv, INT64_MIN, -1, IrType::I64(),
+                    std::nullopt},
+        EvalBinCase{"udiv", BinKind::kUDiv, -1, 2, IrType::U64(),
+                    static_cast<int64_t>(UINT64_MAX / 2)},
+        EvalBinCase{"srem", BinKind::kSRem, -7, 2, IrType::I32(), -1},
+        EvalBinCase{"urem_zero", BinKind::kURem, 5, 0, IrType::U32(), std::nullopt},
+        EvalBinCase{"and", BinKind::kAnd, 0xFF, 0x0F, IrType::I32(), 0x0F},
+        EvalBinCase{"shl_narrow", BinKind::kShl, 1, 9, IrType::U8(), 0},
+        EvalBinCase{"lshr", BinKind::kLShr, -1, 63, IrType::U64(), 1},
+        EvalBinCase{"ashr", BinKind::kAShr, -16, 2, IrType::I64(), -4}),
+    [](const ::testing::TestParamInfo<EvalBinCase>& info) { return info.param.name; });
+
+TEST(EvalCmpTest, SignedVsUnsigned) {
+  EXPECT_EQ(EvalCmp(CmpPred::kSLt, -1, 1), 1);
+  EXPECT_EQ(EvalCmp(CmpPred::kULt, -1, 1), 0);
+  EXPECT_EQ(EvalCmp(CmpPred::kEq, 5, 5), 1);
+  EXPECT_EQ(EvalCmp(CmpPred::kNe, 5, 5), 0);
+  EXPECT_EQ(EvalCmp(CmpPred::kUGe, -1, 0), 1);
+  EXPECT_EQ(EvalCmp(CmpPred::kSGe, -1, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// IR pass behaviour on hand-built functions.
+
+// Builds: fn() { if (LOAD g0) { store g1 <- 1 } else { store g1 <- 2 } ret }
+Module MakeBranchyModule() {
+  Module module;
+  module.name = "test";
+  GlobalVar g0;
+  g0.name = "cfg";
+  g0.type = IrType::I32();
+  g0.is_multiverse = true;
+  g0.domain = {0, 1};
+  module.globals.push_back(g0);
+  GlobalVar g1;
+  g1.name = "out";
+  g1.type = IrType::I32();
+  module.globals.push_back(g1);
+
+  Function fn;
+  fn.name = "branchy";
+  fn.mv.is_multiverse = true;
+  const uint32_t entry = fn.AddBlock();
+  const uint32_t then_bb = fn.AddBlock();
+  const uint32_t else_bb = fn.AddBlock();
+  const uint32_t exit_bb = fn.AddBlock();
+  IrBuilder b(&fn);
+  b.SetBlock(entry);
+  Operand cond = b.LoadGlobal(0, IrType::I32());
+  b.CondBr(cond, then_bb, else_bb);
+  b.SetBlock(then_bb);
+  b.StoreGlobal(1, Operand::Const(1, IrType::I32()), IrType::I32());
+  b.Br(exit_bb);
+  b.SetBlock(else_bb);
+  b.StoreGlobal(1, Operand::Const(2, IrType::I32()), IrType::I32());
+  b.Br(exit_bb);
+  b.SetBlock(exit_bb);
+  b.Ret();
+  module.functions.push_back(std::move(fn));
+  EXPECT_TRUE(VerifyModule(module).ok());
+  return module;
+}
+
+TEST(SubstituteTest, ReplacesReadsAndWarnsOnWrites) {
+  Module module = MakeBranchyModule();
+  Function& fn = module.functions[0];
+  // Add a write to the switch to provoke the warning.
+  Instr write;
+  write.op = IrOp::kStoreGlobal;
+  write.global = 0;
+  write.type = IrType::I32();
+  write.args = {Operand::Const(9, IrType::I32())};
+  fn.blocks[0].instrs.insert(fn.blocks[0].instrs.begin(), write);
+
+  std::vector<std::string> warnings;
+  EXPECT_TRUE(SubstituteGlobalReads(fn, {{0, 1}}, &warnings));
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("write to bound configuration switch"), std::string::npos);
+  // No kLoadGlobal of g0 remains.
+  for (const BasicBlock& bb : fn.blocks) {
+    for (const Instr& instr : bb.instrs) {
+      EXPECT_FALSE(instr.op == IrOp::kLoadGlobal && instr.global == 0);
+    }
+  }
+}
+
+TEST(PipelineTest, SpecializedBranchCollapses) {
+  for (int64_t value : {0, 1}) {
+    Module module = MakeBranchyModule();
+    Function& fn = module.functions[0];
+    SubstituteGlobalReads(fn, {{0, value}}, nullptr);
+    EXPECT_TRUE(RunPipeline(fn, module));
+    ASSERT_TRUE(VerifyFunction(fn, module).ok());
+    // A single block remains: store of the selected constant + ret.
+    ASSERT_EQ(fn.blocks.size(), 1u);
+    ASSERT_EQ(fn.blocks[0].instrs.size(), 2u);
+    const Instr& store = fn.blocks[0].instrs[0];
+    EXPECT_EQ(store.op, IrOp::kStoreGlobal);
+    EXPECT_EQ(store.args[0].imm, value != 0 ? 1 : 2);
+  }
+}
+
+TEST(PipelineTest, DifferentBindingsCanonicalizeDifferently) {
+  Module m0 = MakeBranchyModule();
+  Module m1 = MakeBranchyModule();
+  SubstituteGlobalReads(m0.functions[0], {{0, 0}}, nullptr);
+  SubstituteGlobalReads(m1.functions[0], {{0, 1}}, nullptr);
+  RunPipeline(m0.functions[0], m0);
+  RunPipeline(m1.functions[0], m1);
+  EXPECT_FALSE(FunctionsEquivalent(m0.functions[0], m1.functions[0]));
+}
+
+TEST(CanonicalizeTest, InvariantUnderRenumbering) {
+  // Same computation, built with different vreg/block numbering gaps.
+  auto build = [](bool with_gap) {
+    Function fn;
+    fn.name = "f";
+    fn.AddBlock();
+    IrBuilder b(&fn);
+    b.SetBlock(0);
+    if (with_gap) {
+      fn.NewVreg();  // burn a vreg id
+      fn.NewVreg();
+    }
+    Operand x = b.Bin(BinKind::kAdd, Operand::Const(1, IrType::I64()),
+                      Operand::Const(2, IrType::I64()), IrType::I64());
+    b.Ret(x);
+    return fn;
+  };
+  const Function a = build(false);
+  const Function c = build(true);
+  EXPECT_TRUE(FunctionsEquivalent(a, c));
+}
+
+TEST(SlotForwardingTest, ForwardsWithinBlock) {
+  Function fn;
+  fn.name = "f";
+  const uint32_t slot = fn.AddSlot("x", IrType::I64());
+  fn.AddBlock();
+  IrBuilder b(&fn);
+  b.SetBlock(0);
+  b.StoreSlot(slot, Operand::Const(7, IrType::I64()));
+  Operand loaded = b.LoadSlot(slot);
+  b.Ret(loaded);
+  Module module;
+  module.functions.push_back(fn);
+
+  Function& f = module.functions[0];
+  EXPECT_TRUE(ForwardSlots(f));
+  FoldConstants(f);
+  EliminateDeadCode(f);
+  // ret should now return the constant directly; the load is gone.
+  const Instr& ret = f.blocks[0].instrs.back();
+  ASSERT_EQ(ret.op, IrOp::kRet);
+  ASSERT_TRUE(ret.args[0].is_const());
+  EXPECT_EQ(ret.args[0].imm, 7);
+}
+
+TEST(SlotForwardingTest, AddressTakenBlocksPromotion) {
+  Function fn;
+  fn.name = "f";
+  const uint32_t slot = fn.AddSlot("x", IrType::I64());
+  fn.AddBlock();
+  IrBuilder b(&fn);
+  b.SetBlock(0);
+  b.StoreSlot(slot, Operand::Const(7, IrType::I64()));
+  Operand addr = b.SlotAddr(slot);
+  b.Store(addr, Operand::Const(9, IrType::I64()), IrType::I64());
+  Operand loaded = b.LoadSlot(slot);
+  b.Ret(loaded);
+  Module module;
+  module.functions.push_back(fn);
+
+  Function& f = module.functions[0];
+  RunPipeline(f, module);
+  const Instr& ret = f.blocks[0].instrs.back();
+  ASSERT_EQ(ret.op, IrOp::kRet);
+  // Must NOT be folded to 7: the slot was modified through its address.
+  EXPECT_FALSE(ret.args[0].is_const());
+}
+
+TEST(SlotForwardingTest, SingleStoreConstantPromotesAcrossBlocks) {
+  Function fn;
+  fn.name = "f";
+  const uint32_t slot = fn.AddSlot("x", IrType::I64());
+  const uint32_t entry = fn.AddBlock();
+  const uint32_t next = fn.AddBlock();
+  IrBuilder b(&fn);
+  b.SetBlock(entry);
+  b.StoreSlot(slot, Operand::Const(5, IrType::I64()));
+  b.Br(next);
+  b.SetBlock(next);
+  Operand loaded = b.LoadSlot(slot);
+  Operand sum = b.Bin(BinKind::kAdd, loaded, Operand::Const(1, IrType::I64()),
+                      IrType::I64());
+  b.Ret(sum);
+  Module module;
+  module.functions.push_back(fn);
+
+  Function& f = module.functions[0];
+  RunPipeline(f, module);
+  ASSERT_EQ(f.blocks.size(), 1u);  // merged
+  const Instr& ret = f.blocks[0].instrs.back();
+  ASSERT_TRUE(ret.args[0].is_const());
+  EXPECT_EQ(ret.args[0].imm, 6);
+}
+
+TEST(CfgTest, RemovesUnreachableBlocks) {
+  Function fn;
+  fn.name = "f";
+  const uint32_t entry = fn.AddBlock();
+  const uint32_t dead = fn.AddBlock();
+  const uint32_t exit_bb = fn.AddBlock();
+  IrBuilder b(&fn);
+  b.SetBlock(entry);
+  b.Br(exit_bb);
+  b.SetBlock(dead);
+  b.StoreGlobal(0, Operand::Const(1, IrType::I32()), IrType::I32());
+  b.Br(exit_bb);
+  b.SetBlock(exit_bb);
+  b.Ret();
+  Module module;
+  GlobalVar g;
+  g.name = "g";
+  g.type = IrType::I32();
+  module.globals.push_back(g);
+  module.functions.push_back(fn);
+
+  Function& f = module.functions[0];
+  EXPECT_TRUE(SimplifyCfg(f));
+  ASSERT_TRUE(VerifyFunction(f, module).ok());
+  EXPECT_EQ(f.blocks.size(), 1u);
+}
+
+TEST(CfgTest, SelfLoopSurvives) {
+  Function fn;
+  fn.name = "f";
+  const uint32_t entry = fn.AddBlock();
+  const uint32_t loop = fn.AddBlock();
+  IrBuilder b(&fn);
+  b.SetBlock(entry);
+  b.Br(loop);
+  b.SetBlock(loop);
+  b.Fence();  // side effect so DCE keeps it
+  b.Br(loop);
+  Module module;
+  module.functions.push_back(fn);
+  Function& f = module.functions[0];
+  SimplifyCfg(f);
+  ASSERT_TRUE(VerifyFunction(f, module).ok());
+  // The infinite loop must still exist.
+  bool has_self_loop = false;
+  for (const BasicBlock& bb : f.blocks) {
+    const Instr* term = bb.terminator();
+    if (term != nullptr && term->op == IrOp::kBr && term->bb_then == bb.id) {
+      has_self_loop = true;
+    }
+  }
+  EXPECT_TRUE(has_self_loop);
+}
+
+TEST(DceTest, KeepsSideEffectsDropsDeadValues) {
+  Function fn;
+  fn.name = "f";
+  fn.AddSlot("never_read", IrType::I64());
+  fn.AddBlock();
+  IrBuilder b(&fn);
+  b.SetBlock(0);
+  b.Bin(BinKind::kAdd, Operand::Const(1, IrType::I64()), Operand::Const(2, IrType::I64()),
+        IrType::I64());                                        // dead value
+  b.StoreSlot(0, Operand::Const(3, IrType::I64()));            // dead store
+  b.StoreGlobal(0, Operand::Const(4, IrType::I32()), IrType::I32());  // side effect
+  b.Ret();
+  Module module;
+  GlobalVar g;
+  g.name = "g";
+  g.type = IrType::I32();
+  module.globals.push_back(g);
+  module.functions.push_back(fn);
+
+  Function& f = module.functions[0];
+  EXPECT_TRUE(EliminateDeadCode(f));
+  ASSERT_EQ(f.blocks[0].instrs.size(), 2u);
+  EXPECT_EQ(f.blocks[0].instrs[0].op, IrOp::kStoreGlobal);
+  EXPECT_EQ(f.blocks[0].instrs[1].op, IrOp::kRet);
+}
+
+// Algebraic identities must agree with plain evaluation for random operands.
+struct IdentityCase {
+  const char* name;
+  BinKind kind;
+  int64_t c;
+  bool const_on_lhs;
+};
+
+class AlgebraicIdentityTest : public ::testing::TestWithParam<IdentityCase> {};
+
+TEST_P(AlgebraicIdentityTest, FoldedFormMatchesEvaluation) {
+  const IdentityCase& c = GetParam();
+  // Build: fn(slot x) { v = load x; r = v OP c (or c OP v); store g <- r }
+  Module module;
+  GlobalVar g;
+  g.name = "out";
+  g.type = IrType::I64();
+  module.globals.push_back(g);
+  Function fn;
+  fn.name = "f";
+  const uint32_t slot = fn.AddSlot("x", IrType::I64(), /*is_param=*/true);
+  fn.param_types.push_back(IrType::I64());
+  fn.AddBlock();
+  IrBuilder b(&fn);
+  b.SetBlock(0);
+  Operand x = b.LoadSlot(slot);
+  Operand lhs = c.const_on_lhs ? Operand::Const(c.c, IrType::I64()) : x;
+  Operand rhs = c.const_on_lhs ? x : Operand::Const(c.c, IrType::I64());
+  Operand r = b.Bin(c.kind, lhs, rhs, IrType::I64());
+  b.StoreGlobal(0, r, IrType::I64());
+  b.Ret();
+  module.functions.push_back(std::move(fn));
+  ASSERT_TRUE(VerifyModule(module).ok());
+
+  Function& f = module.functions[0];
+  RunPipeline(f, module);
+  ASSERT_TRUE(VerifyFunction(f, module).ok());
+  // The binary operation must have been simplified away.
+  int bin_count = 0;
+  for (const BasicBlock& bb : f.blocks) {
+    for (const Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kBin) {
+        ++bin_count;
+      }
+    }
+  }
+  EXPECT_EQ(bin_count, 0) << "identity was not simplified";
+  // And the store must receive either the loaded value or the constant 0.
+  const Instr* store = nullptr;
+  for (const BasicBlock& bb : f.blocks) {
+    for (const Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kStoreGlobal) {
+        store = &instr;
+      }
+    }
+  }
+  ASSERT_NE(store, nullptr);
+  const std::optional<int64_t> direct = EvalBin(c.kind, 123, c.c, IrType::I64());
+  const std::optional<int64_t> swapped = EvalBin(c.kind, c.c, 123, IrType::I64());
+  const int64_t expected = c.const_on_lhs ? *swapped : *direct;
+  if (store->args[0].is_const()) {
+    EXPECT_EQ(store->args[0].imm, expected);
+  } else {
+    EXPECT_EQ(expected, 123) << "non-constant result must be the identity value";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Identities, AlgebraicIdentityTest,
+    ::testing::Values(IdentityCase{"add0", BinKind::kAdd, 0, false},
+                      IdentityCase{"add0_lhs", BinKind::kAdd, 0, true},
+                      IdentityCase{"sub0", BinKind::kSub, 0, false},
+                      IdentityCase{"mul1", BinKind::kMul, 1, false},
+                      IdentityCase{"mul0", BinKind::kMul, 0, false},
+                      IdentityCase{"mul0_lhs", BinKind::kMul, 0, true},
+                      IdentityCase{"and_allones", BinKind::kAnd, -1, false},
+                      IdentityCase{"and0", BinKind::kAnd, 0, false},
+                      IdentityCase{"or0", BinKind::kOr, 0, false},
+                      IdentityCase{"xor0", BinKind::kXor, 0, false},
+                      IdentityCase{"shl0", BinKind::kShl, 0, false},
+                      IdentityCase{"ashr0", BinKind::kAShr, 0, false}),
+    [](const ::testing::TestParamInfo<IdentityCase>& info) { return info.param.name; });
+
+TEST(VerifierTest, CatchesMalformedFunctions) {
+  Module module;
+  Function fn;
+  fn.name = "bad";
+  fn.AddBlock();  // unterminated
+  module.functions.push_back(fn);
+  EXPECT_FALSE(VerifyModule(module).ok());
+
+  module.functions[0].blocks[0].instrs.push_back([] {
+    Instr ret;
+    ret.op = IrOp::kRet;
+    return ret;
+  }());
+  EXPECT_TRUE(VerifyModule(module).ok());
+
+  // Use-before-def within a block.
+  Instr use;
+  use.op = IrOp::kBin;
+  use.bin = BinKind::kAdd;
+  use.result = 1;
+  use.type = IrType::I64();
+  use.args = {Operand::Vreg(0, IrType::I64()), Operand::Const(1, IrType::I64())};
+  module.functions[0].next_vreg = 2;
+  module.functions[0].blocks[0].instrs.insert(
+      module.functions[0].blocks[0].instrs.begin(), use);
+  EXPECT_FALSE(VerifyModule(module).ok());
+}
+
+}  // namespace
+}  // namespace mv

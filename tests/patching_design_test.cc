@@ -1,0 +1,193 @@
+// Tests for the low-level patching utilities and the §7.1 design-space
+// artifacts: tiny-body extraction rules, body patching (the rejected
+// alternative), and the VM trace hook used for patching forensics.
+#include <gtest/gtest.h>
+
+#include "src/core/patching.h"
+#include "src/core/program.h"
+#include "src/isa/isa.h"
+
+namespace mv {
+namespace {
+
+std::unique_ptr<Program> Build(const std::string& source) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build({{"pd", source}}, options);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? std::move(*program) : nullptr;
+}
+
+TEST(TinyBodyTest, EmptyBodyExtractsToZeroBytes) {
+  std::unique_ptr<Program> program = Build("void f() {}");
+  ASSERT_NE(program, nullptr);
+  std::optional<std::vector<uint8_t>> body =
+      ExtractTinyBody(program->vm().memory(), program->SymbolAddress("f").value());
+  ASSERT_TRUE(body.has_value());
+  EXPECT_TRUE(body->empty());
+}
+
+TEST(TinyBodyTest, CallsDisqualify) {
+  std::unique_ptr<Program> program = Build(R"(
+void g() {}
+void f() { g(); }
+)");
+  ASSERT_NE(program, nullptr);
+  EXPECT_FALSE(ExtractTinyBody(program->vm().memory(),
+                               program->SymbolAddress("f").value())
+                   .has_value());
+}
+
+TEST(TinyBodyTest, MultipleTinyInstructionsFit) {
+  std::unique_ptr<Program> program = Build(R"(
+void f() {
+  __builtin_cli();
+  __builtin_sti();
+  __builtin_pause();
+}
+)");
+  ASSERT_NE(program, nullptr);
+  std::optional<std::vector<uint8_t>> body =
+      ExtractTinyBody(program->vm().memory(), program->SymbolAddress("f").value());
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(body->size(), 3u);
+}
+
+TEST(BodyPatchTest, StraightLineVariantIsApplicable) {
+  std::unique_ptr<Program> program = Build(R"(
+long a_val;
+void generic_like() {
+  a_val = a_val + 1;
+  a_val = a_val * 3;
+}
+void variant_like() {
+  a_val = a_val + 7;
+}
+long probe() { generic_like(); return a_val; }
+)");
+  ASSERT_NE(program, nullptr);
+  ASSERT_TRUE(program->WriteGlobal("a_val", 0, 8).ok());
+  EXPECT_EQ(*program->Call("probe"), 3u);  // (0+1)*3
+
+  Result<bool> patched = TryBodyPatch(
+      &program->vm(), program->SymbolAddress("generic_like").value(),
+      program->FunctionSize("generic_like").value(),
+      program->SymbolAddress("variant_like").value(),
+      program->FunctionSize("variant_like").value());
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  EXPECT_TRUE(*patched);
+
+  ASSERT_TRUE(program->WriteGlobal("a_val", 0, 8).ok());
+  EXPECT_EQ(*program->Call("probe"), 7u) << "generic body must now behave like variant";
+}
+
+TEST(BodyPatchTest, PcRelativeInstructionsAreRefused) {
+  std::unique_ptr<Program> program = Build(R"(
+long a_val;
+void helper() { a_val = a_val + 1; }
+void generic_like() {
+  a_val = a_val + 1;
+  a_val = a_val + 2;
+  a_val = a_val + 3;
+  a_val = a_val + 4;
+}
+void variant_with_call() { helper(); }
+void variant_with_branch(long n) {
+  while (n > 0) { n = n - 1; }
+}
+)");
+  ASSERT_NE(program, nullptr);
+  const uint64_t gaddr = program->SymbolAddress("generic_like").value();
+  const uint64_t gsize = program->FunctionSize("generic_like").value();
+
+  Result<bool> with_call =
+      TryBodyPatch(&program->vm(), gaddr, gsize,
+                   program->SymbolAddress("variant_with_call").value(),
+                   program->FunctionSize("variant_with_call").value());
+  ASSERT_TRUE(with_call.ok());
+  EXPECT_FALSE(*with_call) << "bodies containing CALL rel32 need relocation";
+
+  Result<bool> with_branch =
+      TryBodyPatch(&program->vm(), gaddr, gsize,
+                   program->SymbolAddress("variant_with_branch").value(),
+                   program->FunctionSize("variant_with_branch").value());
+  ASSERT_TRUE(with_branch.ok());
+  EXPECT_FALSE(*with_branch) << "bodies containing Jcc need relocation";
+}
+
+TEST(BodyPatchTest, OversizedVariantIsRefused) {
+  std::unique_ptr<Program> program = Build(R"(
+long a_val;
+void small_generic() { a_val = 1; }
+void big_variant() {
+  a_val = a_val + 1;
+  a_val = a_val + 2;
+  a_val = a_val + 3;
+  a_val = a_val + 4;
+  a_val = a_val + 5;
+  a_val = a_val + 6;
+}
+)");
+  ASSERT_NE(program, nullptr);
+  Result<bool> patched = TryBodyPatch(
+      &program->vm(), program->SymbolAddress("small_generic").value(),
+      program->FunctionSize("small_generic").value(),
+      program->SymbolAddress("big_variant").value(),
+      program->FunctionSize("big_variant").value());
+  ASSERT_TRUE(patched.ok());
+  EXPECT_FALSE(*patched);
+}
+
+TEST(TraceHookTest, ObservesExecutedInstructions) {
+  std::unique_ptr<Program> program = Build(R"(
+void f() {
+  __builtin_cli();
+  __builtin_sti();
+}
+)");
+  ASSERT_NE(program, nullptr);
+  std::vector<Op> executed;
+  program->vm().set_trace_hook(
+      [&](const Vm::TraceEntry& entry) { executed.push_back(entry.insn.op); });
+  ASSERT_TRUE(program->Call("f").ok());
+  // cli, sti, ret, plus the halt stub.
+  ASSERT_GE(executed.size(), 4u);
+  EXPECT_EQ(executed[0], Op::kCli);
+  EXPECT_EQ(executed[1], Op::kSti);
+  EXPECT_EQ(executed[2], Op::kRet);
+  EXPECT_EQ(executed.back(), Op::kHlt);
+
+  // Clearing the hook stops tracing.
+  program->vm().set_trace_hook(nullptr);
+  const size_t count = executed.size();
+  ASSERT_TRUE(program->Call("f").ok());
+  EXPECT_EQ(executed.size(), count);
+}
+
+TEST(TraceHookTest, TraceSeesPatchedCode) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) int flag;
+__attribute__((multiverse))
+void toggle() {
+  if (flag) {
+    __builtin_cli();
+  }
+}
+void enter() { toggle(); }
+)");
+  ASSERT_NE(program, nullptr);
+  ASSERT_TRUE(program->WriteGlobal("flag", 0, 4).ok());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  // flag=0: the call site is NOPed; the trace must show NOPs, not a CALL.
+  int nops = 0;
+  int calls = 0;
+  program->vm().set_trace_hook([&](const Vm::TraceEntry& entry) {
+    nops += entry.insn.op == Op::kNop ? 1 : 0;
+    calls += entry.insn.op == Op::kCall ? 1 : 0;
+  });
+  ASSERT_TRUE(program->Call("enter").ok());
+  EXPECT_EQ(nops, 5);
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace mv

@@ -1,0 +1,162 @@
+// Tests for the Program driver facade: build orchestration, the VMCALL
+// bridge, guest output, user handlers, error reporting, and multi-core use.
+#include <gtest/gtest.h>
+
+#include "src/core/abi.h"
+#include "src/core/program.h"
+
+namespace mv {
+namespace {
+
+TEST(ProgramTest, BuildErrorsSurfaceDiagnostics) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> bad =
+      Program::Build({{"bad", "long f( { return 0; }"}}, options);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("error"), std::string::npos);
+}
+
+TEST(ProgramTest, UnknownSymbolErrors) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program =
+      Program::Build({{"p", "long f() { return 1; }"}}, options);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ((*program)->Call("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*program)->ReadGlobal("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProgramTest, StepLimitIsReported) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program =
+      Program::Build({{"p", "void spin() { while (1) { } }"}}, options);
+  ASSERT_TRUE(program.ok());
+  Result<uint64_t> result = (*program)->Call("spin", {}, /*max_steps=*/1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("step limit"), std::string::npos);
+}
+
+TEST(ProgramTest, GuestFaultIsReported) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build(
+      {{"p", "long f() { long* p = (long*)0; return *p; }"}}, options);
+  ASSERT_TRUE(program.ok());
+  Result<uint64_t> result = (*program)->Call("f");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("fault"), std::string::npos);
+}
+
+TEST(ProgramTest, UserVmCallHandlerReceivesCodeAndArg) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build(
+      {{"p", "long f(long x) { return __builtin_vmcall(20, x); }"}}, options);
+  ASSERT_TRUE(program.ok());
+  uint8_t seen_code = 0;
+  uint64_t seen_arg = 0;
+  (*program)->set_vmcall_handler([&](uint8_t code, uint64_t arg) -> int64_t {
+    seen_code = code;
+    seen_arg = arg;
+    return static_cast<int64_t>(arg * 3);
+  });
+  Result<uint64_t> result = (*program)->Call("f", {14});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(seen_code, 20);
+  EXPECT_EQ(seen_arg, 14u);
+  EXPECT_EQ(*result, 42u);
+}
+
+TEST(ProgramTest, UnhandledUserVmCallErrors) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build(
+      {{"p", "long f() { return __builtin_vmcall(20, 0); }"}}, options);
+  ASSERT_TRUE(program.ok());
+  Result<uint64_t> result = (*program)->Call("f");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ProgramTest, OutputAccumulatesAndClears) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build(
+      {{"p", R"(
+void put(long c) { __builtin_vmcall(1, c); }
+void hello() { put('h'); put('e'); put('y'); }
+)"}},
+      options);
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE((*program)->Call("hello").ok());
+  EXPECT_EQ((*program)->output(), "hey");
+  ASSERT_TRUE((*program)->Call("hello").ok());
+  EXPECT_EQ((*program)->output(), "heyhey");
+  (*program)->ClearOutput();
+  EXPECT_EQ((*program)->output(), "");
+}
+
+TEST(ProgramTest, ReadWriteGlobalWidths) {
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build(
+      {{"p", R"(
+char c8;
+short s16;
+int i32;
+long l64;
+long f() { return 0; }
+)"}},
+      options);
+  ASSERT_TRUE(program.ok());
+  Program& p = **program;
+  ASSERT_TRUE(p.WriteGlobal("c8", -1, 1).ok());
+  ASSERT_TRUE(p.WriteGlobal("s16", -2, 2).ok());
+  ASSERT_TRUE(p.WriteGlobal("i32", -3, 4).ok());
+  ASSERT_TRUE(p.WriteGlobal("l64", -4, 8).ok());
+  EXPECT_EQ(p.ReadGlobal("c8", 1).value(), -1);
+  EXPECT_EQ(p.ReadGlobal("s16", 2).value(), -2);
+  EXPECT_EQ(p.ReadGlobal("i32", 4).value(), -3);
+  EXPECT_EQ(p.ReadGlobal("l64", 8).value(), -4);
+}
+
+TEST(ProgramTest, SpecializationCanBeDisabled) {
+  const char* source = R"(
+__attribute__((multiverse)) int flag;
+__attribute__((multiverse)) void f() { if (flag) { __builtin_fence(); } }
+)";
+  BuildOptions options;
+  options.specialize = false;
+  Result<std::unique_ptr<Program>> program = Program::Build({{"p", source}}, options);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ((*program)->specialize_stats().variants_generated, 0u);
+  EXPECT_TRUE((*program)->runtime().table().functions.empty() ||
+              (*program)->runtime().table().functions[0].variants.empty());
+  // Commit is a harmless no-op / fallback.
+  Result<PatchStats> commit = (*program)->runtime().Commit();
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->functions_committed, 0);
+}
+
+TEST(ProgramTest, SeparateCoresRunIndependently) {
+  BuildOptions options;
+  options.vm_cores = 2;
+  Result<std::unique_ptr<Program>> program = Program::Build(
+      {{"p", R"(
+long shared;
+long add(long v) { shared = shared + v; return shared; }
+)"}},
+      options);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(*(*program)->Call("add", {5}, 100000, /*core=*/0), 5u);
+  EXPECT_EQ(*(*program)->Call("add", {7}, 100000, /*core=*/1), 12u)
+      << "cores must share the data segment";
+}
+
+TEST(ProgramTest, WarningsFlowThroughSpecializeStats) {
+  const char* source = R"(
+__attribute__((multiverse)) int flag;
+__attribute__((multiverse)) void f() { flag = 1 - flag; if (flag) { } }
+)";
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> program = Program::Build({{"p", source}}, options);
+  ASSERT_TRUE(program.ok());
+  ASSERT_FALSE((*program)->specialize_stats().warnings.empty());
+}
+
+}  // namespace
+}  // namespace mv

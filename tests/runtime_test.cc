@@ -1,0 +1,469 @@
+// Tests for the multiverse runtime library (paper §4): descriptor parsing,
+// variant selection through guards, call-site patching, prologue redirection
+// (completeness), tiny-body inlining, W^X handling, revert fidelity, and the
+// constrained API variants of Table 1.
+#include <gtest/gtest.h>
+
+#include "src/core/abi.h"
+#include "src/core/descriptors.h"
+#include "src/core/program.h"
+#include "src/isa/isa.h"
+#include "src/support/rng.h"
+
+namespace mv {
+namespace {
+
+std::unique_ptr<Program> Build(const std::string& source,
+                               BuildOptions options = BuildOptions()) {
+  Result<std::unique_ptr<Program>> program = Program::Build({{"rt", source}}, options);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? std::move(*program) : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor tables.
+
+TEST(DescriptorTest, ParsedTablesMatchSource) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) bool a;
+__attribute__((multiverse(3, 9))) int b;
+long out;
+__attribute__((multiverse)) void f() { if (a) { out = b; } }
+void caller1() { f(); }
+void caller2() { f(); f(); }
+)");
+  ASSERT_NE(program, nullptr);
+  const DescriptorTable& table = program->runtime().table();
+
+  ASSERT_EQ(table.variables.size(), 2u);
+  EXPECT_EQ(table.variables[0].name, "a");
+  EXPECT_EQ(table.variables[0].width, 1u);
+  EXPECT_FALSE(table.variables[0].is_signed);
+  EXPECT_EQ(table.variables[1].name, "b");
+  EXPECT_EQ(table.variables[1].width, 4u);
+  EXPECT_TRUE(table.variables[1].is_signed);
+
+  ASSERT_EQ(table.functions.size(), 1u);
+  EXPECT_EQ(table.functions[0].name, "f");
+  EXPECT_EQ(table.functions[0].generic_addr,
+            program->SymbolAddress("f").value());
+  // 2 x 2 cross product; a=0 merges over b: 3 kept bodies.
+  EXPECT_EQ(table.functions[0].variants.size(), 3u);
+
+  EXPECT_EQ(table.callsites.size(), 3u);
+  for (const RtCallsite& site : table.callsites) {
+    EXPECT_EQ(site.callee_addr, table.functions[0].generic_addr);
+  }
+}
+
+TEST(DescriptorTest, SizeFormulaMatchesPaper) {
+  EXPECT_EQ(DescriptorSectionBytes(1, 0, {}, {}), 32u);
+  EXPECT_EQ(DescriptorSectionBytes(0, 3, {}, {}), 48u);
+  // One function, two variants with 1 and 2 guards:
+  // 48 + (32 + 16) + (32 + 32) = 160.
+  EXPECT_EQ(DescriptorSectionBytes(0, 0, {2}, {1, 2}), 160u);
+}
+
+TEST(DescriptorTest, SectionsMatchFormulaExactly) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) bool a;
+long out;
+__attribute__((multiverse)) void f() { if (a) { out = 1; } }
+void c1() { f(); }
+)");
+  ASSERT_NE(program, nullptr);
+  const DescriptorTable& table = program->runtime().table();
+  std::vector<size_t> variants;
+  std::vector<size_t> guards;
+  for (const RtFunction& fn : table.functions) {
+    variants.push_back(fn.variants.size());
+    for (const RtVariant& v : fn.variants) {
+      guards.push_back(v.guards.size());
+    }
+  }
+  uint64_t actual = 0;
+  for (const char* name :
+       {".mv.variables", ".mv.functions", ".mv.variants", ".mv.guards", ".mv.callsites"}) {
+    auto it = program->image().sections.find(name);
+    if (it != program->image().sections.end()) {
+      actual += it->second.size;
+    }
+  }
+  EXPECT_EQ(actual, DescriptorSectionBytes(table.variables.size(), table.callsites.size(),
+                                           variants, guards));
+}
+
+// ---------------------------------------------------------------------------
+// Commit / revert semantics.
+
+constexpr char kGuardedSource[] = R"(
+__attribute__((multiverse(0, 1, 2, 3))) int mode;
+long out;
+__attribute__((multiverse))
+void apply() {
+  if (mode >= 2) {
+    out = out + 100;
+  } else {
+    if (mode == 1) {
+      out = out + 10;
+    } else {
+      out = out + 1;
+    }
+  }
+}
+void run() { apply(); }
+)";
+
+TEST(RuntimeTest, CommitSelectsVariantByGuards) {
+  std::unique_ptr<Program> program = Build(kGuardedSource);
+  ASSERT_NE(program, nullptr);
+  const uint64_t generic = program->SymbolAddress("apply").value();
+
+  for (int64_t mode = 0; mode <= 3; ++mode) {
+    ASSERT_TRUE(program->WriteGlobal("mode", mode, 4).ok());
+    Result<PatchStats> commit = program->runtime().Commit();
+    ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+    EXPECT_EQ(commit->generic_fallbacks, 0);
+    EXPECT_NE(program->runtime().InstalledVariant(generic), 0u);
+
+    ASSERT_TRUE(program->WriteGlobal("out", 0, 8).ok());
+    ASSERT_TRUE(program->Call("run").ok());
+    const int64_t expected = mode >= 2 ? 100 : (mode == 1 ? 10 : 1);
+    EXPECT_EQ(program->ReadGlobal("out").value(), expected) << "mode=" << mode;
+  }
+}
+
+TEST(RuntimeTest, MergedRangeGuardCoversBothValues) {
+  std::unique_ptr<Program> program = Build(kGuardedSource);
+  ASSERT_NE(program, nullptr);
+  const uint64_t generic = program->SymbolAddress("apply").value();
+  // mode=2 and mode=3 produce the same body; committing either must install
+  // the same variant address.
+  ASSERT_TRUE(program->WriteGlobal("mode", 2, 4).ok());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  const uint64_t v2 = program->runtime().InstalledVariant(generic);
+  ASSERT_TRUE(program->WriteGlobal("mode", 3, 4).ok());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  const uint64_t v3 = program->runtime().InstalledVariant(generic);
+  EXPECT_EQ(v2, v3);
+  EXPECT_NE(v2, 0u);
+}
+
+TEST(RuntimeTest, RevertRestoresExactBytes) {
+  std::unique_ptr<Program> program = Build(kGuardedSource);
+  ASSERT_NE(program, nullptr);
+
+  // Snapshot the whole text segment before committing.
+  const uint64_t text_base = program->image().text_base;
+  const uint64_t text_size = program->image().text_size;
+  std::vector<uint8_t> before(text_size);
+  ASSERT_TRUE(program->vm().memory().ReadRaw(text_base, before.data(), text_size).ok());
+
+  ASSERT_TRUE(program->WriteGlobal("mode", 1, 4).ok());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  std::vector<uint8_t> committed(text_size);
+  ASSERT_TRUE(
+      program->vm().memory().ReadRaw(text_base, committed.data(), text_size).ok());
+  EXPECT_NE(before, committed) << "commit must actually patch the text";
+
+  ASSERT_TRUE(program->runtime().Revert().ok());
+  std::vector<uint8_t> after(text_size);
+  ASSERT_TRUE(program->vm().memory().ReadRaw(text_base, after.data(), text_size).ok());
+  EXPECT_EQ(before, after) << "revert must restore the pristine text bytes";
+}
+
+TEST(RuntimeTest, OutOfDomainSignalsAndReverts) {
+  std::unique_ptr<Program> program = Build(kGuardedSource);
+  ASSERT_NE(program, nullptr);
+  const uint64_t generic = program->SymbolAddress("apply").value();
+
+  ASSERT_TRUE(program->WriteGlobal("mode", 1, 4).ok());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  ASSERT_NE(program->runtime().InstalledVariant(generic), 0u);
+
+  // Out-of-domain value: must fall back to generic and signal.
+  ASSERT_TRUE(program->WriteGlobal("mode", 77, 4).ok());
+  Result<PatchStats> commit = program->runtime().Commit();
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->generic_fallbacks, 1);
+  EXPECT_EQ(program->runtime().InstalledVariant(generic), 0u);
+
+  // Generic behaviour is still correct for the odd value (mode >= 2 branch).
+  ASSERT_TRUE(program->WriteGlobal("out", 0, 8).ok());
+  ASSERT_TRUE(program->Call("run").ok());
+  EXPECT_EQ(program->ReadGlobal("out").value(), 100);
+}
+
+TEST(RuntimeTest, CompletenessPrologueCapturesUntrackedCallers) {
+  // Call the multiversed function through a *local* function pointer: the
+  // call site is not recorded, so only the generic-prologue JMP can redirect
+  // it (paper §7.4 completeness).
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) int fast;
+long calls_fast;
+long calls_slow;
+__attribute__((multiverse))
+void work() {
+  if (fast) { calls_fast = calls_fast + 1; } else { calls_slow = calls_slow + 1; }
+}
+long via_pointer() {
+  void (*fp)(void);
+  fp = work;
+  fp();
+  return 0;
+}
+)");
+  ASSERT_NE(program, nullptr);
+  ASSERT_TRUE(program->WriteGlobal("fast", 1, 4).ok());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  ASSERT_TRUE(program->Call("via_pointer").ok());
+  EXPECT_EQ(program->ReadGlobal("calls_fast").value(), 1);
+
+  // After revert, the generic prologue must be back in place.
+  ASSERT_TRUE(program->WriteGlobal("fast", 0, 4).ok());
+  ASSERT_TRUE(program->runtime().Revert().ok());
+  ASSERT_TRUE(program->Call("via_pointer").ok());
+  EXPECT_EQ(program->ReadGlobal("calls_slow").value(), 1);
+}
+
+TEST(RuntimeTest, TinyBodiesAreInlinedAndEmptyBodiesNopped) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) bool irq_hard;
+__attribute__((multiverse))
+void irq_off() {
+  if (irq_hard) {
+    __builtin_cli();
+  }
+}
+void enter() { irq_off(); }
+)");
+  ASSERT_NE(program, nullptr);
+
+  // irq_hard=1 -> variant body is a single CLI: inlined.
+  ASSERT_TRUE(program->WriteGlobal("irq_hard", 1, 1).ok());
+  Result<PatchStats> commit = program->runtime().Commit();
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->callsites_inlined, 1);
+  EXPECT_EQ(commit->callsites_patched, 0);
+  program->vm().core(0).interrupts_enabled = true;
+  ASSERT_TRUE(program->Call("enter").ok());
+  EXPECT_FALSE(program->vm().core(0).interrupts_enabled)
+      << "inlined CLI must still execute";
+
+  // irq_hard=0 -> empty body: the call site becomes pure NOPs (Fig. 3 c).
+  ASSERT_TRUE(program->WriteGlobal("irq_hard", 0, 1).ok());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  const uint64_t site = program->runtime().table().callsites[0].site_addr;
+  std::array<uint8_t, 5> bytes{};
+  ASSERT_TRUE(program->vm().memory().ReadRaw(site, bytes.data(), 5).ok());
+  for (uint8_t b : bytes) {
+    EXPECT_EQ(b, static_cast<uint8_t>(Op::kNop));
+  }
+  program->vm().core(0).interrupts_enabled = true;
+  ASSERT_TRUE(program->Call("enter").ok());
+  EXPECT_TRUE(program->vm().core(0).interrupts_enabled);
+}
+
+TEST(RuntimeTest, TextSegmentProtectedAfterPatching) {
+  std::unique_ptr<Program> program = Build(kGuardedSource);
+  ASSERT_NE(program, nullptr);
+  ASSERT_TRUE(program->WriteGlobal("mode", 1, 4).ok());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  // After patching, guest writes to the text segment must still fault:
+  // protection was restored (W^X discipline, paper §7.2).
+  const uint64_t site = program->runtime().table().callsites[0].site_addr;
+  EXPECT_FALSE(program->vm().memory().Writable(site, 5));
+}
+
+TEST(RuntimeTest, ForeignModificationDetected) {
+  std::unique_ptr<Program> program = Build(kGuardedSource);
+  ASSERT_NE(program, nullptr);
+  const uint64_t site = program->runtime().table().callsites[0].site_addr;
+  // Someone else scribbles on the call site...
+  const uint8_t garbage[5] = {0x50, 0x50, 0x50, 0x50, 0x50};
+  ASSERT_TRUE(program->vm().memory().WriteRaw(site, garbage, 5).ok());
+  // ...and the verifying patcher refuses to touch it.
+  ASSERT_TRUE(program->WriteGlobal("mode", 1, 4).ok());
+  Result<PatchStats> commit = program->runtime().Commit();
+  EXPECT_FALSE(commit.ok());
+  EXPECT_EQ(commit.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RuntimeTest, CommitFnAffectsOnlyThatFunction) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) int flag;
+long out_a;
+long out_b;
+__attribute__((multiverse)) void fa() { if (flag) { out_a = out_a + 1; } }
+__attribute__((multiverse)) void fb() { if (flag) { out_b = out_b + 1; } }
+void run() { fa(); fb(); }
+)");
+  ASSERT_NE(program, nullptr);
+  const uint64_t fa = program->SymbolAddress("fa").value();
+  const uint64_t fb = program->SymbolAddress("fb").value();
+  ASSERT_TRUE(program->WriteGlobal("flag", 1, 4).ok());
+  Result<PatchStats> commit = program->runtime().CommitFn(fa);
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->functions_committed, 1);
+  EXPECT_NE(program->runtime().InstalledVariant(fa), 0u);
+  EXPECT_EQ(program->runtime().InstalledVariant(fb), 0u);
+
+  // Name-based API resolves the same function.
+  Result<PatchStats> revert = program->runtime().RevertFn(std::string("fa"));
+  ASSERT_TRUE(revert.ok());
+  EXPECT_EQ(program->runtime().InstalledVariant(fa), 0u);
+}
+
+TEST(RuntimeTest, CommitRefsAffectsOnlyReferencingFunctions) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) int alpha;
+__attribute__((multiverse)) int beta;
+long out_a;
+long out_b;
+__attribute__((multiverse)) void fa() { if (alpha) { out_a = out_a + 1; } }
+__attribute__((multiverse)) void fb() { if (beta) { out_b = out_b + 1; } }
+)");
+  ASSERT_NE(program, nullptr);
+  const uint64_t fa = program->SymbolAddress("fa").value();
+  const uint64_t fb = program->SymbolAddress("fb").value();
+  ASSERT_TRUE(program->runtime().CommitRefs(std::string("alpha")).ok());
+  EXPECT_NE(program->runtime().InstalledVariant(fa), 0u);
+  EXPECT_EQ(program->runtime().InstalledVariant(fb), 0u);
+  ASSERT_TRUE(program->runtime().RevertRefs(std::string("alpha")).ok());
+  EXPECT_EQ(program->runtime().InstalledVariant(fa), 0u);
+}
+
+TEST(RuntimeTest, UnknownAddressesReturnNotFound) {
+  std::unique_ptr<Program> program = Build(kGuardedSource);
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(program->runtime().CommitFn(uint64_t{0x1234}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(program->runtime().CommitRefs(uint64_t{0x1234}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(program->runtime().CommitFn(std::string("nope")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Function-pointer switches (paper §4).
+
+constexpr char kFnPtrSource[] = R"(
+__attribute__((multiverse)) long (*op)(long);
+long twice(long x) { return 2 * x; }
+long inc(long x) { return x + 1; }
+long run(long x) { return op(x); }
+)";
+
+TEST(RuntimeTest, FnPtrCommitPatchesToDirectCall) {
+  std::unique_ptr<Program> program = Build(kFnPtrSource);
+  ASSERT_NE(program, nullptr);
+  const uint64_t twice = program->SymbolAddress("twice").value();
+  const uint64_t inc = program->SymbolAddress("inc").value();
+
+  ASSERT_TRUE(program->WriteGlobal("op", static_cast<int64_t>(twice), 8).ok());
+  EXPECT_EQ(*program->Call("run", {21}), 42u);
+
+  Result<PatchStats> commit = program->runtime().CommitRefs(std::string("op"));
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->callsites_patched, 1);
+  EXPECT_EQ(*program->Call("run", {21}), 42u);
+
+  // The call site must now be a direct CALL instruction.
+  const uint64_t site = program->runtime().table().callsites[0].site_addr;
+  Result<Insn> insn =
+      Decode(program->vm().memory().raw(site), 5);
+  ASSERT_TRUE(insn.ok());
+  EXPECT_EQ(insn->op, Op::kCall);
+
+  // Committed semantics: updating the pointer without re-commit changes
+  // nothing (the binding is fixed until the next commit).
+  ASSERT_TRUE(program->WriteGlobal("op", static_cast<int64_t>(inc), 8).ok());
+  EXPECT_EQ(*program->Call("run", {21}), 42u) << "stale binding must stay";
+  ASSERT_TRUE(program->runtime().CommitRefs(std::string("op")).ok());
+  EXPECT_EQ(*program->Call("run", {21}), 22u);
+
+  // Revert restores the indirect call: now the pointer value matters again.
+  ASSERT_TRUE(program->runtime().RevertRefs(std::string("op")).ok());
+  ASSERT_TRUE(program->WriteGlobal("op", static_cast<int64_t>(twice), 8).ok());
+  EXPECT_EQ(*program->Call("run", {21}), 42u);
+}
+
+TEST(RuntimeTest, NullFnPtrCommitSkipsAndSignals) {
+  std::unique_ptr<Program> program = Build(kFnPtrSource);
+  ASSERT_NE(program, nullptr);
+  Result<PatchStats> commit = program->runtime().CommitRefs(std::string("op"));
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->generic_fallbacks, 1);
+  EXPECT_EQ(commit->callsites_patched, 0);
+}
+
+// ---------------------------------------------------------------------------
+// In-guest API (vmcall bridge).
+
+TEST(RuntimeTest, GuestCommitViaVmCall) {
+  std::unique_ptr<Program> program = Build(R"(
+__attribute__((multiverse)) int flag;
+long out;
+__attribute__((multiverse)) void f() { if (flag) { out = out + 1; } }
+long reconfigure(long v) {
+  flag = (int)v;
+  return __builtin_vmcall(2, 0);   // multiverse_commit()
+}
+void run() { f(); }
+)");
+  ASSERT_NE(program, nullptr);
+  Result<uint64_t> committed = program->Call("reconfigure", {1});
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_EQ(*committed, 1u);  // one function committed
+  const uint64_t generic = program->SymbolAddress("f").value();
+  EXPECT_NE(program->runtime().InstalledVariant(generic), 0u);
+  ASSERT_TRUE(program->Call("run").ok());
+  EXPECT_EQ(program->ReadGlobal("out").value(), 1);
+}
+
+TEST(RuntimeTest, GuestPutCharCollectsOutput) {
+  std::unique_ptr<Program> program = Build(R"(
+void say() {
+  __builtin_vmcall(1, 'h');
+  __builtin_vmcall(1, 'i');
+}
+)");
+  ASSERT_NE(program, nullptr);
+  ASSERT_TRUE(program->Call("say").ok());
+  EXPECT_EQ(program->output(), "hi");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interleaving property: any sequence of commit/revert/value
+// changes keeps behaviour equal to the generic reference.
+
+TEST(RuntimeTest, RandomCommitRevertInterleavingStaysSound) {
+  std::unique_ptr<Program> program = Build(kGuardedSource);
+  ASSERT_NE(program, nullptr);
+  Rng rng(2026);
+  int64_t reference_out = 0;
+  ASSERT_TRUE(program->WriteGlobal("out", 0, 8).ok());
+  for (int step = 0; step < 60; ++step) {
+    const int64_t mode = rng.NextInRange(0, 4);  // 4 is out-of-domain
+    ASSERT_TRUE(program->WriteGlobal("mode", mode, 4).ok());
+    switch (rng.NextBelow(3)) {
+      case 0:
+        ASSERT_TRUE(program->runtime().Commit().ok());
+        break;
+      case 1:
+        ASSERT_TRUE(program->runtime().Revert().ok());
+        break;
+      default:
+        break;  // leave the current binding stale: value changed, no commit
+    }
+    // IMPORTANT: a stale binding uses the *bound* value, not the current one.
+    // To keep a computable reference, re-commit before every call.
+    ASSERT_TRUE(program->runtime().Commit().ok());
+    ASSERT_TRUE(program->Call("run").ok());
+    reference_out += mode >= 2 ? 100 : (mode == 1 ? 10 : 1);
+    ASSERT_EQ(program->ReadGlobal("out").value(), reference_out) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace mv

@@ -1,0 +1,270 @@
+// The paper's soundness property (§7.4), as a parameterized sweep:
+//
+//   "the resulting functions have, for the respective assignment, the same
+//    functionality as the original function"
+//
+// For every test program, every assignment of its configuration switches
+// (including out-of-domain values) and every binding state (generic vs
+// committed), running the program must produce identical observable state:
+// return values, output, and the values of all observable globals.
+#include <gtest/gtest.h>
+
+#include "src/core/program.h"
+#include "src/support/str.h"
+
+namespace mv {
+namespace {
+
+struct SwitchSpec {
+  const char* name;
+  int width;
+  std::vector<int64_t> values;  // includes out-of-domain probes
+};
+
+struct ProgramSpec {
+  const char* name;
+  const char* source;
+  std::vector<SwitchSpec> switches;
+  const char* entry;                      // long entry(long seed)
+  std::vector<const char*> observables;   // globals to compare
+};
+
+class SoundnessTest : public ::testing::TestWithParam<ProgramSpec> {};
+
+struct Observation {
+  uint64_t ret = 0;
+  std::string output;
+  std::vector<int64_t> globals;
+
+  bool operator==(const Observation& o) const {
+    return ret == o.ret && output == o.output && globals == o.globals;
+  }
+};
+
+Observation Observe(Program* program, const ProgramSpec& spec, uint64_t seed) {
+  Observation obs;
+  program->ClearOutput();
+  Result<uint64_t> ret = program->Call(spec.entry, {seed}, 500'000'000ull);
+  EXPECT_TRUE(ret.ok()) << ret.status().ToString();
+  obs.ret = ret.ok() ? *ret : 0xDEAD;
+  obs.output = program->output();
+  for (const char* name : spec.observables) {
+    obs.globals.push_back(program->ReadGlobal(name).value());
+  }
+  return obs;
+}
+
+void ResetObservables(Program* program, const ProgramSpec& spec) {
+  for (const char* name : spec.observables) {
+    ASSERT_TRUE(program->WriteGlobal(name, 0, 8).ok());
+  }
+}
+
+TEST_P(SoundnessTest, CommittedEqualsGenericForEveryAssignment) {
+  const ProgramSpec& spec = GetParam();
+
+  BuildOptions options;
+  Result<std::unique_ptr<Program>> built = Program::Build({{spec.name, spec.source}}, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Program* program = built->get();
+
+  // Enumerate the cross product of all probe values.
+  std::vector<std::vector<int64_t>> assignments(1);
+  for (const SwitchSpec& sw : spec.switches) {
+    std::vector<std::vector<int64_t>> next;
+    for (const auto& partial : assignments) {
+      for (int64_t value : sw.values) {
+        auto extended = partial;
+        extended.push_back(value);
+        next.push_back(std::move(extended));
+      }
+    }
+    assignments = std::move(next);
+  }
+
+  for (const auto& assignment : assignments) {
+    std::string label;
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      label += StrFormat("%s=%lld ", spec.switches[i].name, (long long)assignment[i]);
+    }
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      ASSERT_TRUE(program->WriteGlobal(spec.switches[i].name, assignment[i],
+                                       spec.switches[i].width)
+                      .ok());
+    }
+
+    // Reference: generic execution.
+    ASSERT_TRUE(program->runtime().Revert().ok());
+    ResetObservables(program, spec);
+    const Observation generic = Observe(program, spec, 17);
+
+    // Committed execution.
+    Result<PatchStats> commit = program->runtime().Commit();
+    ASSERT_TRUE(commit.ok()) << label << commit.status().ToString();
+    ResetObservables(program, spec);
+    const Observation committed = Observe(program, spec, 17);
+
+    EXPECT_EQ(generic.ret, committed.ret) << label;
+    EXPECT_EQ(generic.output, committed.output) << label;
+    EXPECT_EQ(generic.globals, committed.globals) << label;
+
+    // And after reverting again, still the generic behaviour.
+    ASSERT_TRUE(program->runtime().Revert().ok());
+    ResetObservables(program, spec);
+    EXPECT_TRUE(Observe(program, spec, 17) == generic) << label << "(post-revert)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The program corpus.
+
+constexpr char kFig2[] = R"(
+__attribute__((multiverse)) bool A;
+__attribute__((multiverse)) int B;
+long calc_calls;
+long log_calls;
+void calc() { calc_calls = calc_calls + 1; }
+void log_event() { log_calls = log_calls + 1; }
+__attribute__((multiverse))
+void multi() {
+  if (A) {
+    calc();
+    if (B) { log_event(); }
+  }
+}
+long drive(long n) {
+  long i;
+  for (i = 0; i < n; ++i) { multi(); }
+  return calc_calls * 1000 + log_calls;
+}
+)";
+
+constexpr char kArithmetic[] = R"(
+__attribute__((multiverse(0, 1, 2, 3))) int scale;
+long acc;
+__attribute__((multiverse))
+long transform(long x) {
+  long v = x;
+  if (scale == 0) { return v; }
+  v = v << scale;
+  if (scale >= 2) { v = v + (x % (scale + 1)); }
+  return v - scale;
+}
+long drive(long seed) {
+  long i;
+  for (i = 0; i < 50; ++i) {
+    acc = acc + transform(seed + i * 13);
+  }
+  return acc;
+}
+)";
+
+constexpr char kLocking[] = R"(
+__attribute__((multiverse)) int threads;
+int lockword;
+long ops;
+__attribute__((multiverse))
+void lock_it() {
+  if (threads) {
+    while (__builtin_xchg(&lockword, 1)) { __builtin_pause(); }
+  }
+}
+__attribute__((multiverse))
+void unlock_it() {
+  if (threads) { lockword = 0; }
+}
+long drive(long n) {
+  long i;
+  for (i = 0; i < n; ++i) {
+    lock_it();
+    ops = ops + 1;
+    unlock_it();
+  }
+  return ops + lockword;
+}
+)";
+
+constexpr char kTwoSwitchOutput[] = R"(
+__attribute__((multiverse)) bool verbose;
+__attribute__((multiverse(1, 2, 4))) int stride;
+long sum;
+__attribute__((multiverse))
+void step(long i) {
+  if (i % stride == 0) {
+    sum = sum + i;
+    if (verbose) { __builtin_vmcall(1, '.'); }
+  }
+}
+long drive(long n) {
+  long i;
+  for (i = 0; i < 16; ++i) { step(i + n); }
+  return sum;
+}
+)";
+
+constexpr char kPartialDomain[] = R"(
+// Only half the domain gets variants; the rest exercises the generic
+// fallback while committed state is active for the other function.
+__attribute__((multiverse(5))) int special;
+long a_out;
+long b_out;
+__attribute__((multiverse)) void fa() { a_out = a_out + special; }
+long drive(long n) {
+  long i;
+  for (i = 0; i < n % 7 + 1; ++i) { fa(); }
+  b_out = a_out * 2;
+  return a_out;
+}
+)";
+
+constexpr char kPartialBind[] = R"(
+__attribute__((multiverse)) bool hot;
+__attribute__((multiverse(0, 1, 2))) int level;
+long out;
+// Partial specialization: only `hot` is bound; `level` stays dynamic.
+__attribute__((multiverse(hot)))
+void f() {
+  if (hot) {
+    out = out + level + 1;
+  } else {
+    out = out + 1;
+  }
+}
+long drive(long n) {
+  long i;
+  for (i = 0; i < n % 5 + 1; ++i) { f(); }
+  return out;
+}
+)";
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SoundnessTest,
+    ::testing::Values(
+        ProgramSpec{"fig2", kFig2,
+                    {{"A", 1, {0, 1, 2}}, {"B", 4, {0, 1, -1, 7}}},
+                    "drive",
+                    {"calc_calls", "log_calls"}},
+        ProgramSpec{"arithmetic", kArithmetic,
+                    {{"scale", 4, {0, 1, 2, 3, 9}}},
+                    "drive",
+                    {"acc"}},
+        ProgramSpec{"locking", kLocking,
+                    {{"threads", 4, {0, 1}}},
+                    "drive",
+                    {"ops"}},
+        ProgramSpec{"two_switch_output", kTwoSwitchOutput,
+                    {{"verbose", 1, {0, 1}}, {"stride", 4, {1, 2, 4, 3}}},
+                    "drive",
+                    {"sum"}},
+        ProgramSpec{"partial_domain", kPartialDomain,
+                    {{"special", 4, {5, 6, 0}}},
+                    "drive",
+                    {"a_out", "b_out"}},
+        ProgramSpec{"partial_bind", kPartialBind,
+                    {{"hot", 1, {0, 1}}, {"level", 4, {0, 1, 2, 9}}},
+                    "drive",
+                    {"out"}}),
+    [](const ::testing::TestParamInfo<ProgramSpec>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace mv

@@ -1,0 +1,290 @@
+// Tests for ahead-of-time variant generation (paper §3): domains, cross
+// products, merging with guard ranges, warnings, and the explosion cap.
+#include <gtest/gtest.h>
+
+#include "src/core/specializer.h"
+#include "src/frontend/frontend.h"
+
+namespace mv {
+namespace {
+
+Module Compile(const std::string& source) {
+  DiagnosticSink diag;
+  Result<Module> module = CompileToIr(source, "spec", {}, &diag);
+  EXPECT_TRUE(module.ok()) << module.status().ToString();
+  return std::move(module.value());
+}
+
+const Function* FindVariant(const Module& module, const std::string& name) {
+  for (const Function& fn : module.functions) {
+    if (fn.name == name && fn.mv.is_variant()) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+TEST(SpecializerTest, DefaultIntDomainIsBool) {
+  Module module = Compile(R"(
+__attribute__((multiverse)) int flag;
+__attribute__((multiverse)) void f() { if (flag) { __builtin_fence(); } }
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->variants_generated, 2u);  // {0, 1}
+  EXPECT_NE(FindVariant(module, "f.flag=0"), nullptr);
+  EXPECT_NE(FindVariant(module, "f.flag=1"), nullptr);
+}
+
+TEST(SpecializerTest, EnumDomainCoversAllItems) {
+  Module module = Compile(R"(
+enum Level { L0, L1, L2 };
+__attribute__((multiverse)) enum Level level;
+int out;
+__attribute__((multiverse)) void f() { if (level == L2) { out = 1; } }
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->variants_generated, 3u);
+  // L0 and L1 variants are both empty and merge into one box [0,1].
+  EXPECT_EQ(stats->variants_merged, 1u);
+  EXPECT_EQ(stats->variants_kept, 2u);
+  EXPECT_NE(FindVariant(module, "f.level=0-1"), nullptr);
+}
+
+TEST(SpecializerTest, ExplicitDomainRespected) {
+  Module module = Compile(R"(
+__attribute__((multiverse(4, 16, 64))) int block_size;
+long f_out;
+__attribute__((multiverse)) void f() { f_out = block_size * 2; }
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->variants_generated, 3u);
+  EXPECT_EQ(stats->variants_merged, 0u);
+  EXPECT_NE(FindVariant(module, "f.block_size=16"), nullptr);
+}
+
+TEST(SpecializerTest, CrossProductOfTwoSwitches) {
+  Module module = Compile(R"(
+__attribute__((multiverse)) bool a;
+__attribute__((multiverse(0, 1, 2))) int b;
+long out;
+__attribute__((multiverse)) void f() { if (a) { out = b; } }
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->variants_generated, 6u);  // 2 x 3
+  // a=0 collapses for all three b values into one variant with a box guard.
+  EXPECT_EQ(stats->variants_merged, 2u);
+  EXPECT_EQ(stats->variants_kept, 4u);
+
+  const Function* generic = module.FindFunction("f");
+  ASSERT_NE(generic, nullptr);
+  ASSERT_EQ(generic->mv.variants.size(), 4u);
+  // Find the merged record and check its guard ranges.
+  bool found_box = false;
+  for (const VariantRecord& record : generic->mv.variants) {
+    for (const GuardRange& guard : record.guards) {
+      if (guard.lo == 0 && guard.hi == 2) {
+        found_box = true;
+        // The other guard must pin a=0.
+        for (const GuardRange& other : record.guards) {
+          if (&other != &guard) {
+            EXPECT_EQ(other.lo, 0);
+            EXPECT_EQ(other.hi, 0);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_box) << "merged variant should carry a [0,2] range guard";
+}
+
+TEST(SpecializerTest, NonContiguousMergeSharesBodyWithSeparateGuards) {
+  // f depends only on parity-ish structure: values 0 and 2 behave equally,
+  // value 1 differs — 0 and 2 merge but [0,2] would wrongly cover 1.
+  Module module = Compile(R"(
+__attribute__((multiverse(0, 1, 2))) int mode;
+long out;
+__attribute__((multiverse)) void f() { if (mode == 1) { out = 111; } }
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->variants_generated, 3u);
+  EXPECT_EQ(stats->variants_kept, 2u);
+  const Function* generic = module.FindFunction("f");
+  ASSERT_NE(generic, nullptr);
+  // Three guard records but only two distinct bodies; the merged group emits
+  // its members consecutively: [mode=0, mode=2] share a body, mode=1 differs.
+  ASSERT_EQ(generic->mv.variants.size(), 3u);
+  for (const VariantRecord& record : generic->mv.variants) {
+    ASSERT_EQ(record.guards.size(), 1u);
+    EXPECT_EQ(record.guards[0].lo, record.guards[0].hi)
+        << "non-box merges must keep exact single-value guards";
+  }
+  EXPECT_EQ(generic->mv.variants[0].symbol, generic->mv.variants[1].symbol);
+  EXPECT_NE(generic->mv.variants[0].symbol, generic->mv.variants[2].symbol);
+  EXPECT_EQ(generic->mv.variants[0].guards[0].lo, 0);
+  EXPECT_EQ(generic->mv.variants[1].guards[0].lo, 2);
+  EXPECT_EQ(generic->mv.variants[2].guards[0].lo, 1);
+}
+
+TEST(SpecializerTest, WarnsOnWriteToBoundSwitch) {
+  Module module = Compile(R"(
+__attribute__((multiverse)) int flag;
+__attribute__((multiverse)) void f() { if (flag) { flag = 0; } }
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_FALSE(stats->warnings.empty());
+  EXPECT_NE(stats->warnings[0].find("write to bound configuration switch"),
+            std::string::npos);
+}
+
+TEST(SpecializerTest, WarnsWhenNoSwitchReferenced) {
+  Module module = Compile(R"(
+__attribute__((multiverse)) void f() { __builtin_fence(); }
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->variants_generated, 0u);
+  ASSERT_EQ(stats->warnings.size(), 1u);
+  EXPECT_NE(stats->warnings[0].find("references no configuration switch"),
+            std::string::npos);
+}
+
+TEST(SpecializerTest, ExplosionCapSkipsFunction) {
+  Module module = Compile(R"(
+__attribute__((multiverse(0,1,2,3,4,5,6,7))) int a;
+__attribute__((multiverse(0,1,2,3,4,5,6,7))) int b;
+__attribute__((multiverse(0,1,2,3,4,5,6,7))) int c;
+long out;
+__attribute__((multiverse)) void f() { out = a + b + c; }
+)");
+  SpecializeOptions options;
+  options.max_variants_per_function = 64;  // 8^3 = 512 >> 64
+  Result<SpecializeStats> stats = SpecializeModule(&module, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->variants_generated, 0u);
+  ASSERT_EQ(stats->warnings.size(), 1u);
+  EXPECT_NE(stats->warnings[0].find("exceed the per-function cap"), std::string::npos);
+  // The generic function must remain intact and unspecialized.
+  const Function* generic = module.FindFunction("f");
+  ASSERT_NE(generic, nullptr);
+  EXPECT_TRUE(generic->mv.variants.empty());
+}
+
+TEST(SpecializerTest, GenericBodyKeepsDynamicChecks) {
+  Module module = Compile(R"(
+__attribute__((multiverse)) int flag;
+long out;
+__attribute__((multiverse)) void f() { if (flag) { out = 1; } }
+)");
+  ASSERT_TRUE(SpecializeModule(&module).ok());
+  const Function* generic = module.FindFunction("f");
+  ASSERT_NE(generic, nullptr);
+  bool loads_switch = false;
+  for (const BasicBlock& bb : generic->blocks) {
+    for (const Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kLoadGlobal) {
+        loads_switch = true;
+      }
+    }
+  }
+  EXPECT_TRUE(loads_switch) << "the generic variant must still read the switch";
+  EXPECT_TRUE(generic->no_inline);
+}
+
+TEST(SpecializerTest, VariantsCarryBindingMetadata) {
+  Module module = Compile(R"(
+__attribute__((multiverse)) int flag;
+long out;
+__attribute__((multiverse)) void f() { if (flag) { out = 1; } }
+)");
+  ASSERT_TRUE(SpecializeModule(&module).ok());
+  const Function* v1 = FindVariant(module, "f.flag=1");
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->mv.generic_name, "f");
+  ASSERT_EQ(v1->mv.binding.size(), 1u);
+  EXPECT_EQ(v1->mv.binding.begin()->second, 1);
+}
+
+TEST(SpecializerTest, FnPtrSwitchesAreNotValueSwitches) {
+  Module module = Compile(R"(
+__attribute__((multiverse)) void (*handler)(void);
+void noop() {}
+__attribute__((multiverse)) int flag;
+__attribute__((multiverse)) void f() {
+  if (flag) { handler(); }
+}
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  // Only `flag` participates in the cross product, not the fn pointer.
+  EXPECT_EQ(stats->variants_generated, 2u);
+}
+
+TEST(SpecializerTest, PartialSpecializationBindsOnlyListedSwitches) {
+  // Paper §7.1: "multiverse supports partially specialized function variants
+  // in which only some of the referenced configuration variables are fixed".
+  Module module = Compile(R"(
+__attribute__((multiverse)) bool hot;
+__attribute__((multiverse(0,1,2,3,4,5,6,7))) int level;
+long out;
+__attribute__((multiverse(hot)))
+void f() {
+  if (hot) {
+    out = out + level;
+  }
+}
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  // Only `hot` participates: 2 variants instead of 2 x 8 = 16.
+  EXPECT_EQ(stats->variants_generated, 2u);
+  // The hot=1 variant must still read `level` dynamically.
+  const Function* v1 = FindVariant(module, "f.hot=1");
+  ASSERT_NE(v1, nullptr);
+  bool reads_level = false;
+  for (const BasicBlock& bb : v1->blocks) {
+    for (const Instr& instr : bb.instrs) {
+      if (instr.op == IrOp::kLoadGlobal) {
+        reads_level = true;
+      }
+    }
+  }
+  EXPECT_TRUE(reads_level);
+  // Guards only mention the bound switch.
+  const Function* generic = module.FindFunction("f");
+  ASSERT_NE(generic, nullptr);
+  for (const VariantRecord& record : generic->mv.variants) {
+    EXPECT_EQ(record.guards.size(), 1u);
+  }
+}
+
+TEST(SpecializerTest, PartialSpecializationUnknownNameIsAnError) {
+  DiagnosticSink diag;
+  Result<Module> module = CompileToIr(R"(
+__attribute__((multiverse)) int a;
+__attribute__((multiverse(nonexistent)))
+void f() { if (a) { } }
+)",
+                                      "spec", {}, &diag);
+  EXPECT_FALSE(module.ok());
+  EXPECT_NE(diag.ToString().find("not a configuration switch"), std::string::npos);
+}
+
+TEST(SpecializerTest, ExternMultiverseFunctionsSkipped) {
+  Module module = Compile(R"(
+extern __attribute__((multiverse)) void f();
+void g() { f(); }
+)");
+  Result<SpecializeStats> stats = SpecializeModule(&module);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->functions_specialized, 0u);
+  EXPECT_TRUE(stats->warnings.empty());
+}
+
+}  // namespace
+}  // namespace mv

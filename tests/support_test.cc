@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostics.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/str.h"
+
+namespace mv {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("thing missing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "thing missing");
+  EXPECT_EQ(status.ToString(), "not-found: thing missing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (uint8_t c = 0; c <= static_cast<uint8_t>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::Internal("boom"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> v = std::move(result.value());
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  MV_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  Result<int> err = Doubler(Status::OutOfRange("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StrTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StrTest, HexString) { EXPECT_EQ(HexString(0xdeadbeef), "0xdeadbeef"); }
+
+TEST(StrTest, StartsWith) {
+  EXPECT_TRUE(StartsWith(".mv.variables", ".mv."));
+  EXPECT_FALSE(StartsWith(".m", ".mv."));
+}
+
+TEST(StrTest, HashStableAndSensitive) {
+  const uint64_t h1 = HashBytes("hello", 5);
+  EXPECT_EQ(h1, HashBytes("hello", 5));
+  EXPECT_NE(h1, HashBytes("hellp", 5));
+  EXPECT_NE(h1, HashBytes("hello", 4));
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  Rng c(124);
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) {
+      all_equal_c = false;
+    }
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(16), 16u);
+    const int64_t v = rng.NextInRange(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(DiagnosticsTest, CountsAndFormats) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(sink.has_errors());
+  sink.Warning({2, 5}, "odd");
+  sink.Error({3, 1}, "bad");
+  sink.Note({0, 0}, "context");
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.warning_count(), 1u);
+  const std::string text = sink.ToString();
+  EXPECT_NE(text.find("2:5: warning: odd"), std::string::npos);
+  EXPECT_NE(text.find("3:1: error: bad"), std::string::npos);
+  EXPECT_NE(text.find("<unknown>: note: context"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mv

@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/isa.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+namespace {
+
+constexpr uint64_t kText = 0x1000;
+constexpr uint64_t kData = 0x8000;
+constexpr uint64_t kStackTop = 0x20000;
+
+// Builds a VM with text at kText (R+X), data at kData (R+W) and a stack.
+class VmHarness {
+ public:
+  explicit VmHarness(int cores = 1) : vm_(0x40000, cores) {
+    EXPECT_TRUE(vm_.memory().Protect(kText, 0x4000, kPermRead | kPermExec).ok());
+    EXPECT_TRUE(vm_.memory().Protect(kData, 0x4000, kPermRead | kPermWrite).ok());
+    EXPECT_TRUE(
+        vm_.memory().Protect(0x10000, kStackTop - 0x10000, kPermRead | kPermWrite).ok());
+  }
+
+  // Assembles instructions at `addr` (default: append at kText).
+  uint64_t Assemble(const std::vector<Insn>& insns, uint64_t addr) {
+    std::vector<uint8_t> bytes;
+    for (const Insn& insn : insns) {
+      Result<int> size = Encode(insn, &bytes);
+      EXPECT_TRUE(size.ok()) << size.status().ToString();
+    }
+    EXPECT_TRUE(vm_.memory().WriteRaw(addr, bytes.data(), bytes.size()).ok());
+    vm_.FlushIcache(addr, bytes.size());
+    return addr + bytes.size();
+  }
+
+  // Runs core `core` from kText until halt; returns the exit.
+  VmExit Run(int core = 0, uint64_t pc = kText, uint64_t max_steps = 100000) {
+    Core& c = vm_.core(core);
+    c.pc = pc;
+    c.halted = false;
+    c.regs[kRegSP] = kStackTop - 16 - 0x1000 * static_cast<uint64_t>(core);
+    return vm_.Run(core, max_steps);
+  }
+
+  Vm& vm() { return vm_; }
+  uint64_t reg(int r, int core = 0) { return vm_.core(core).regs[r]; }
+
+ private:
+  Vm vm_;
+};
+
+// ---------------------------------------------------------------------------
+// ALU semantics, parameterized.
+
+struct AluCase {
+  const char* name;
+  Op op;
+  uint64_t lhs;
+  uint64_t rhs;
+  uint64_t expected;
+};
+
+class VmAluTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(VmAluTest, ComputesExpected) {
+  const AluCase& c = GetParam();
+  VmHarness harness;
+  harness.Assemble(
+      {MakeMovRI(0, static_cast<int64_t>(c.lhs)), MakeMovRI(1, static_cast<int64_t>(c.rhs)),
+       MakeAluRR(c.op, 0, 1), MakeSimple(Op::kHlt)},
+      kText);
+  const VmExit exit = harness.Run();
+  ASSERT_EQ(exit.kind, VmExit::Kind::kHalt) << exit.ToString();
+  EXPECT_EQ(harness.reg(0), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, VmAluTest,
+    ::testing::Values(
+        AluCase{"add", Op::kAdd, 7, 8, 15},
+        AluCase{"add_wrap", Op::kAdd, UINT64_MAX, 1, 0},
+        AluCase{"sub", Op::kSub, 7, 9, static_cast<uint64_t>(-2)},
+        AluCase{"mul", Op::kMul, 6, 7, 42},
+        AluCase{"udiv", Op::kUDiv, 100, 7, 14},
+        AluCase{"urem", Op::kURem, 100, 7, 2},
+        AluCase{"sdiv_neg", Op::kSDiv, static_cast<uint64_t>(-100), 7,
+                static_cast<uint64_t>(-14)},
+        AluCase{"srem_neg", Op::kSRem, static_cast<uint64_t>(-100), 7,
+                static_cast<uint64_t>(-2)},
+        AluCase{"sdiv_min_neg1", Op::kSDiv, static_cast<uint64_t>(INT64_MIN),
+                static_cast<uint64_t>(-1), static_cast<uint64_t>(INT64_MIN)},
+        AluCase{"and", Op::kAnd, 0xF0F0, 0xFF00, 0xF000},
+        AluCase{"or", Op::kOr, 0xF0F0, 0x0F0F, 0xFFFF},
+        AluCase{"xor", Op::kXor, 0xFF, 0x0F, 0xF0},
+        AluCase{"shl", Op::kShl, 1, 40, uint64_t{1} << 40},
+        AluCase{"shl_mask", Op::kShl, 1, 65, 2},  // shift amounts mask to 6 bits
+        AluCase{"shr", Op::kShr, uint64_t{1} << 40, 40, 1},
+        AluCase{"sar", Op::kSar, static_cast<uint64_t>(-256), 4,
+                static_cast<uint64_t>(-16)}),
+    [](const ::testing::TestParamInfo<AluCase>& info) { return info.param.name; });
+
+TEST(VmTest, DivisionByZeroFaults) {
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(0, 1), MakeMovRI(1, 0), MakeAluRR(Op::kUDiv, 0, 1),
+                    MakeSimple(Op::kHlt)},
+                   kText);
+  const VmExit exit = harness.Run();
+  ASSERT_EQ(exit.kind, VmExit::Kind::kFault);
+  EXPECT_EQ(exit.fault.kind, FaultKind::kDivByZero);
+}
+
+// ---------------------------------------------------------------------------
+// Conditions: all ten, on signed/unsigned boundary values.
+
+struct CondCase {
+  const char* name;
+  Cond cc;
+  int64_t lhs;
+  int64_t rhs;
+  bool expected;
+};
+
+class VmCondTest : public ::testing::TestWithParam<CondCase> {};
+
+TEST_P(VmCondTest, SetccMatches) {
+  const CondCase& c = GetParam();
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(0, c.lhs), MakeMovRI(1, c.rhs), MakeCmp(0, 1),
+                    MakeSetCC(c.cc, 2), MakeSimple(Op::kHlt)},
+                   kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(2), c.expected ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConds, VmCondTest,
+    ::testing::Values(
+        CondCase{"eq_true", Cond::kEq, 5, 5, true},
+        CondCase{"eq_false", Cond::kEq, 5, 6, false},
+        CondCase{"ne_true", Cond::kNe, 5, 6, true},
+        CondCase{"lt_signed", Cond::kLt, -1, 0, true},
+        CondCase{"lt_signed_false", Cond::kLt, 0, -1, false},
+        CondCase{"le_eq", Cond::kLe, 3, 3, true},
+        CondCase{"gt_signed", Cond::kGt, 0, -1, true},
+        CondCase{"ge_eq", Cond::kGe, 3, 3, true},
+        CondCase{"b_unsigned", Cond::kB, 1, -1 /* big unsigned */, true},
+        CondCase{"b_unsigned_false", Cond::kB, -1, 1, false},
+        CondCase{"be_eq", Cond::kBe, 7, 7, true},
+        CondCase{"a_unsigned", Cond::kA, -1, 1, true},
+        CondCase{"ae_eq", Cond::kAe, 7, 7, true}),
+    [](const ::testing::TestParamInfo<CondCase>& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Memory: widths, sign extension, protection faults.
+
+TEST(VmTest, LoadStoreWidthsAndSignExtension) {
+  VmHarness harness;
+  harness.Assemble(
+      {
+          MakeMovRI(1, kData),
+          MakeMovRI(0, -2),  // 0xFFFF...FE
+          MakeStore(Op::kSt8, 0, 1, 0),
+          MakeLoad(Op::kLd8U, 2, 1, 0),   // 0xFE
+          MakeLoad(Op::kLd8S, 3, 1, 0),   // -2
+          MakeMovRI(0, 0x12345678),
+          MakeStore(Op::kSt32, 0, 1, 8),
+          MakeLoad(Op::kLd16U, 4, 1, 8),  // 0x5678
+          MakeLoad(Op::kLd32S, 5, 1, 8),
+          MakeSimple(Op::kHlt),
+      },
+      kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(2), 0xFEu);
+  EXPECT_EQ(harness.reg(3), static_cast<uint64_t>(-2));
+  EXPECT_EQ(harness.reg(4), 0x5678u);
+  EXPECT_EQ(harness.reg(5), 0x12345678u);
+}
+
+TEST(VmTest, GlobalLoadStoreAbsolute) {
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(0, -5), MakeStg(0, GWidth::kU32, kData + 4),
+                    MakeLdg(1, GWidth::kS32, kData + 4), MakeLdg(2, GWidth::kU32, kData + 4),
+                    MakeSimple(Op::kHlt)},
+                   kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(1), static_cast<uint64_t>(-5));
+  EXPECT_EQ(harness.reg(2), 0xFFFFFFFBu);
+}
+
+TEST(VmTest, WriteToTextFaults) {
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(1, kText), MakeMovRI(0, 0), MakeStore(Op::kSt8, 0, 1, 0),
+                    MakeSimple(Op::kHlt)},
+                   kText);
+  const VmExit exit = harness.Run();
+  ASSERT_EQ(exit.kind, VmExit::Kind::kFault);
+  EXPECT_EQ(exit.fault.kind, FaultKind::kWriteProtection);
+  EXPECT_EQ(exit.fault.addr, kText);
+}
+
+TEST(VmTest, ExecOfDataFaults) {
+  VmHarness harness;
+  const VmExit exit = harness.Run(0, kData);
+  ASSERT_EQ(exit.kind, VmExit::Kind::kFault);
+  EXPECT_EQ(exit.fault.kind, FaultKind::kExecProtection);
+}
+
+TEST(VmTest, UnmappedAccessFaults) {
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(1, 0x0), MakeLoad(Op::kLd64, 0, 1, 0), MakeSimple(Op::kHlt)},
+                   kText);
+  const VmExit exit = harness.Run();
+  ASSERT_EQ(exit.kind, VmExit::Kind::kFault);
+  EXPECT_EQ(exit.fault.kind, FaultKind::kUnmapped);
+}
+
+TEST(VmTest, BadOpcodeFaults) {
+  VmHarness harness;
+  const uint8_t bad = 0xEE;
+  ASSERT_TRUE(harness.vm().memory().WriteRaw(kText, &bad, 1).ok());
+  const VmExit exit = harness.Run();
+  ASSERT_EQ(exit.kind, VmExit::Kind::kFault);
+  EXPECT_EQ(exit.fault.kind, FaultKind::kBadOpcode);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow, calls, stack.
+
+TEST(VmTest, CallAndReturn) {
+  VmHarness harness;
+  // callee at kText+0x100: r0 = r0 + 1; ret
+  harness.Assemble({MakeAluRI(Op::kAddI, 0, 1), MakeSimple(Op::kRet)}, kText + 0x100);
+  // caller: r0 = 41; call +...; hlt
+  const int32_t rel = static_cast<int32_t>((kText + 0x100) - (kText + 10 + 5));
+  harness.Assemble({MakeMovRI(0, 41), MakeCall(rel), MakeSimple(Op::kHlt)}, kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(0), 42u);
+}
+
+TEST(VmTest, IndirectCallThroughRegisterAndMemory) {
+  VmHarness harness;
+  harness.Assemble({MakeAluRI(Op::kAddI, 0, 5), MakeSimple(Op::kRet)}, kText + 0x100);
+  // Store the target into data, then CALLM through it; also CALLR.
+  uint64_t target = kText + 0x100;
+  ASSERT_TRUE(harness.vm().memory().WriteRaw(kData + 32, &target, 8).ok());
+  harness.Assemble({MakeMovRI(0, 0), MakeCallM(kData + 32), MakeMovRI(11, kText + 0x100),
+                    MakeCallR(11), MakeSimple(Op::kHlt)},
+                   kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(0), 10u);
+}
+
+TEST(VmTest, PushPopRoundTrip) {
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(0, 111), MakeMovRI(1, 222), MakePush(0), MakePush(1),
+                    MakePop(2), MakePop(3), MakeSimple(Op::kHlt)},
+                   kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(2), 222u);
+  EXPECT_EQ(harness.reg(3), 111u);
+}
+
+TEST(VmTest, BackwardLoopExecutes) {
+  VmHarness harness;
+  // r0 = 10; loop: r0 -= 1; cmp r0,0; jne loop; hlt
+  harness.Assemble(
+      {
+          MakeMovRI(0, 10),            // 10 bytes
+          MakeAluRI(Op::kSubI, 0, 1),  // 6 bytes at +10
+          MakeCmpI(0, 0),              // 6 bytes at +16
+          MakeJcc(Cond::kNe, -18),     // 6 bytes at +22: back to +10
+          MakeSimple(Op::kHlt),
+      },
+      kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Branch prediction and cost accounting.
+
+TEST(VmTest, WarmLoopHasFewMispredicts) {
+  VmHarness harness;
+  harness.Assemble(
+      {
+          MakeMovRI(0, 1000),
+          MakeAluRI(Op::kSubI, 0, 1),
+          MakeCmpI(0, 0),
+          MakeJcc(Cond::kNe, -18),
+          MakeSimple(Op::kHlt),
+      },
+      kText);
+  ASSERT_EQ(harness.Run(0, kText, 100000).kind, VmExit::Kind::kHalt);
+  const Core& core = harness.vm().core(0);
+  EXPECT_EQ(core.cond_branches, 1000u);
+  // Only the warm-up transitions and the final not-taken mispredict.
+  EXPECT_LE(core.cond_mispredicts, 4u);
+}
+
+TEST(VmTest, FlushedPredictorsMispredictAgain) {
+  VmHarness harness;
+  harness.Assemble(
+      {
+          MakeMovRI(0, 8),
+          MakeAluRI(Op::kSubI, 0, 1),
+          MakeCmpI(0, 0),
+          MakeJcc(Cond::kNe, -18),
+          MakeSimple(Op::kHlt),
+      },
+      kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  const uint64_t first = harness.vm().core(0).cond_mispredicts;
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);  // warm second run
+  const uint64_t second = harness.vm().core(0).cond_mispredicts - first;
+  harness.vm().FlushPredictors();
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  const uint64_t cold =
+      harness.vm().core(0).cond_mispredicts - first - second;
+  EXPECT_GT(cold, second);
+}
+
+TEST(VmTest, MispredictCostsCycles) {
+  VmHarness harness;
+  // An alternating branch pattern defeats the 2-bit counter.
+  harness.Assemble(
+      {
+          MakeMovRI(0, 100),
+          MakeMovRI(1, 0),
+          // loop:
+          MakeAluRI(Op::kXorI, 1, 1),   // r1 ^= 1 (at +20, 6 bytes)
+          MakeCmpI(1, 0),               // +26
+          MakeJcc(Cond::kNe, 0),        // +32: taken every other iteration (fall through)
+          MakeAluRI(Op::kSubI, 0, 1),   // +38
+          MakeCmpI(0, 0),               // +44
+          MakeJcc(Cond::kNe, -36),      // +50: back to +20
+          MakeSimple(Op::kHlt),
+      },
+      kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  const Core& core = harness.vm().core(0);
+  EXPECT_GT(core.cond_mispredicts, 20u);  // the alternating branch hurts
+}
+
+// ---------------------------------------------------------------------------
+// Icache incoherence: the property the patcher must respect.
+
+TEST(VmTest, StaleIcacheExecutesOldCodeUntilFlushed) {
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(0, 1), MakeSimple(Op::kHlt)}, kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(0), 1u);
+
+  // Overwrite the immediate directly in memory, without flushing.
+  std::vector<uint8_t> patched;
+  ASSERT_TRUE(Encode(MakeMovRI(0, 2), &patched).ok());
+  ASSERT_TRUE(harness.vm().memory().WriteRaw(kText, patched.data(), patched.size()).ok());
+
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(0), 1u) << "stale decoded instruction should still execute";
+
+  harness.vm().FlushIcache(kText, patched.size());
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(0), 2u) << "flush must make the new code visible";
+}
+
+// ---------------------------------------------------------------------------
+// System instructions.
+
+TEST(VmTest, StiCliToggleInterruptFlag) {
+  VmHarness harness;
+  harness.Assemble({MakeSimple(Op::kCli), MakeSimple(Op::kHlt)}, kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_FALSE(harness.vm().core(0).interrupts_enabled);
+  harness.Assemble({MakeSimple(Op::kSti), MakeSimple(Op::kHlt)}, kText);
+  harness.vm().FlushIcache(kText, 16);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_TRUE(harness.vm().core(0).interrupts_enabled);
+}
+
+TEST(VmTest, GuestModeMakesPrivilegedOpsExpensive) {
+  VmHarness native;
+  native.Assemble({MakeSimple(Op::kSti), MakeSimple(Op::kCli), MakeSimple(Op::kHlt)},
+                  kText);
+  ASSERT_EQ(native.Run().kind, VmExit::Kind::kHalt);
+  const uint64_t native_ticks = native.vm().core(0).ticks;
+  EXPECT_EQ(native.vm().core(0).priv_traps, 0u);
+
+  VmHarness guest;
+  guest.vm().set_hypervisor_guest(true);
+  guest.Assemble({MakeSimple(Op::kSti), MakeSimple(Op::kCli), MakeSimple(Op::kHlt)},
+                 kText);
+  ASSERT_EQ(guest.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(guest.vm().core(0).priv_traps, 2u);
+  EXPECT_GT(guest.vm().core(0).ticks, native_ticks * 10);
+}
+
+TEST(VmTest, HypercallTogglesInterruptsCheaply) {
+  VmHarness guest;
+  guest.vm().set_hypervisor_guest(true);
+  guest.Assemble({MakeHypercall(1), MakeSimple(Op::kHlt)}, kText);
+  ASSERT_EQ(guest.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_FALSE(guest.vm().core(0).interrupts_enabled);
+  EXPECT_EQ(guest.vm().core(0).priv_traps, 0u);
+}
+
+TEST(VmTest, VmCallExitsWithCodeAndResumes) {
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(0, 99), MakeVmCall(7), MakeAluRI(Op::kAddI, 0, 1),
+                    MakeSimple(Op::kHlt)},
+                   kText);
+  Core& core = harness.vm().core(0);
+  core.pc = kText;
+  core.regs[kRegSP] = kStackTop - 16;
+  VmExit exit = harness.vm().Run(0, 1000);
+  ASSERT_EQ(exit.kind, VmExit::Kind::kVmCall);
+  EXPECT_EQ(exit.vmcall_code, 7);
+  EXPECT_EQ(core.regs[0], 99u);
+  core.regs[0] = 5;  // host writes the result
+  exit = harness.vm().Run(0, 1000);
+  ASSERT_EQ(exit.kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(core.regs[0], 6u);
+}
+
+TEST(VmTest, RdtscIsMonotonic) {
+  VmHarness harness;
+  harness.Assemble({MakeRdtsc(1), MakeRdtsc(2), MakeSimple(Op::kHlt)}, kText);
+  ASSERT_EQ(harness.Run().kind, VmExit::Kind::kHalt);
+  EXPECT_GT(harness.reg(2), harness.reg(1));
+}
+
+TEST(VmTest, StepLimitExit) {
+  VmHarness harness;
+  harness.Assemble({MakeJmp(-5)}, kText);  // infinite loop
+  const VmExit exit = harness.Run(0, kText, 100);
+  EXPECT_EQ(exit.kind, VmExit::Kind::kStepLimit);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-core: shared memory, per-core state, atomic exchange.
+
+TEST(VmTest, CoresShareMemoryButNotRegisters) {
+  VmHarness harness(2);
+  harness.Assemble({MakeMovRI(0, 1), MakeMovRI(1, kData), MakeStore(Op::kSt64, 0, 1, 0),
+                    MakeSimple(Op::kHlt)},
+                   kText);
+  harness.Assemble({MakeMovRI(1, kData), MakeLoad(Op::kLd64, 2, 1, 0),
+                    MakeSimple(Op::kHlt)},
+                   kText + 0x200);
+  ASSERT_EQ(harness.Run(0, kText).kind, VmExit::Kind::kHalt);
+  ASSERT_EQ(harness.Run(1, kText + 0x200).kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.reg(2, 1), 1u);
+  EXPECT_EQ(harness.reg(2, 0), 0u);  // core 0 never wrote r2
+}
+
+TEST(VmTest, XchgIsAtomicPerInstruction) {
+  // Two cores race XCHG on one word; exactly one of them must win each time.
+  VmHarness harness(2);
+  // Each core: r0=1; xchg r0,[kData]; hlt  -> r0 holds the previous value.
+  harness.Assemble({MakeMovRI(0, 1), MakeMovRI(1, kData), MakeAluRR(Op::kXchg, 0, 1),
+                    MakeSimple(Op::kHlt)},
+                   kText);
+  for (int core = 0; core < 2; ++core) {
+    Core& c = harness.vm().core(core);
+    c.pc = kText;
+    c.halted = false;
+    c.regs[kRegSP] = kStackTop - 16 - 0x1000 * static_cast<uint64_t>(core);
+  }
+  // Interleave single steps.
+  bool done0 = false;
+  bool done1 = false;
+  for (int i = 0; i < 100 && !(done0 && done1); ++i) {
+    if (!done0) {
+      done0 = harness.vm().Step(0).has_value();
+    }
+    if (!done1) {
+      done1 = harness.vm().Step(1).has_value();
+    }
+  }
+  ASSERT_TRUE(done0 && done1);
+  // Exactly one core observed the initial 0; the other observed 1.
+  const uint64_t sum = harness.reg(0, 0) + harness.reg(0, 1);
+  EXPECT_EQ(sum, 1u);
+}
+
+}  // namespace
+}  // namespace mv

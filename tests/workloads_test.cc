@@ -1,0 +1,359 @@
+// Correctness tests for the case-study workloads: the benchmarks are only
+// meaningful if the simulated kernel/libc/grep/python substrates behave
+// correctly in every binding mode.
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+#include "src/workloads/grep.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/kernel.h"
+#include "src/workloads/libc.h"
+#include "src/workloads/python.h"
+
+namespace mv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spinlock kernel.
+
+class SpinBindingTest : public ::testing::TestWithParam<SpinBinding> {};
+
+TEST_P(SpinBindingTest, LockUnlockKeepsInvariants) {
+  const SpinBinding binding = GetParam();
+  Result<std::unique_ptr<Program>> kernel = BuildSpinlockKernel(binding);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  for (bool smp : {false, true}) {
+    if (binding == SpinBinding::kStaticUp && smp) {
+      continue;  // the UP kernel cannot run SMP
+    }
+    ASSERT_TRUE(SetSmpMode(kernel->get(), binding, smp).ok());
+    ASSERT_TRUE((*kernel)->Call("bench_pair", {1000}).ok());
+    // The lock must be free and preemption balanced afterwards.
+    EXPECT_EQ((*kernel)->ReadGlobal("lock_word", 4).value(), 0);
+    EXPECT_EQ((*kernel)->ReadGlobal("preempt_count", 4).value(), 0);
+    // Interrupts re-enabled by the last unlock.
+    EXPECT_TRUE((*kernel)->vm().core(0).interrupts_enabled);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBindings, SpinBindingTest,
+                         ::testing::Values(SpinBinding::kNoElision,
+                                           SpinBinding::kDynamicIf,
+                                           SpinBinding::kMultiverse,
+                                           SpinBinding::kStaticUp,
+                                           SpinBinding::kStaticSmp),
+                         [](const ::testing::TestParamInfo<SpinBinding>& info) {
+                           switch (info.param) {
+                             case SpinBinding::kNoElision: return "no_elision";
+                             case SpinBinding::kDynamicIf: return "dynamic_if";
+                             case SpinBinding::kMultiverse: return "multiverse";
+                             case SpinBinding::kStaticUp: return "static_up";
+                             case SpinBinding::kStaticSmp: return "static_smp";
+                           }
+                           return "unknown";
+                         });
+
+TEST(SpinlockTest, SmpLockActuallyExcludesSecondCore) {
+  // Two cores contend on the SMP spinlock; instruction-level interleaving
+  // must never let both into the critical section.
+  Result<std::unique_ptr<Program>> built = BuildSpinlockKernel(SpinBinding::kMultiverse);
+  ASSERT_TRUE(built.ok());
+  Program& kernel = **built;
+  ASSERT_TRUE(SetSmpMode(&kernel, SpinBinding::kMultiverse, /*smp=*/true).ok());
+
+  // Rebuild a 2-core VM is not possible post-hoc; instead run the mutual
+  // exclusion check on a dedicated 2-core build.
+  BuildOptions options;
+  options.vm_cores = 2;
+  Result<std::unique_ptr<Program>> built2 = Program::Build(
+      {{"mutex", R"(
+__attribute__((multiverse)) int config_smp;
+int lock_word;
+long in_critical;
+long max_in_critical;
+__attribute__((multiverse))
+void spin_lock(int* lock) {
+  if (config_smp) {
+    while (__builtin_xchg(lock, 1)) { __builtin_pause(); }
+  }
+}
+__attribute__((multiverse))
+void spin_unlock(int* lock) {
+  if (config_smp) { *lock = 0; }
+}
+void worker(long rounds) {
+  long i;
+  for (i = 0; i < rounds; ++i) {
+    spin_lock(&lock_word);
+    in_critical = in_critical + 1;
+    if (in_critical > max_in_critical) { max_in_critical = in_critical; }
+    in_critical = in_critical - 1;
+    spin_unlock(&lock_word);
+  }
+}
+)"}},
+      options);
+  ASSERT_TRUE(built2.ok()) << built2.status().ToString();
+  Program& mutex = **built2;
+  ASSERT_TRUE(mutex.WriteGlobal("config_smp", 1, 4).ok());
+  ASSERT_TRUE(mutex.runtime().Commit().ok());
+
+  const uint64_t worker = mutex.SymbolAddress("worker").value();
+  SetupCall(mutex.image(), &mutex.vm(), worker, {200}, 0);
+  SetupCall(mutex.image(), &mutex.vm(), worker, {200}, 1);
+  // Interleave with an uneven pattern to shake out races.
+  Rng rng(99);
+  bool done0 = false;
+  bool done1 = false;
+  for (uint64_t step = 0; step < 3'000'000 && !(done0 && done1); ++step) {
+    const int core = rng.NextBool() ? 1 : 0;
+    if (core == 0 && !done0) {
+      done0 = mutex.vm().Step(0).has_value();
+    } else if (core == 1 && !done1) {
+      done1 = mutex.vm().Step(1).has_value();
+    }
+  }
+  ASSERT_TRUE(done0 && done1) << "workers did not finish";
+  EXPECT_EQ(mutex.ReadGlobal("max_in_critical").value(), 1)
+      << "mutual exclusion violated";
+  EXPECT_EQ(mutex.ReadGlobal("lock_word", 4).value(), 0);
+}
+
+TEST(SpinlockTest, MultiverseUpIsFasterThanDynamicIf) {
+  Result<std::unique_ptr<Program>> dynamic = BuildSpinlockKernel(SpinBinding::kDynamicIf);
+  Result<std::unique_ptr<Program>> multiverse =
+      BuildSpinlockKernel(SpinBinding::kMultiverse);
+  ASSERT_TRUE(dynamic.ok() && multiverse.ok());
+  ASSERT_TRUE(SetSmpMode(dynamic->get(), SpinBinding::kDynamicIf, false).ok());
+  ASSERT_TRUE(SetSmpMode(multiverse->get(), SpinBinding::kMultiverse, false).ok());
+  const double dyn = MeasureSpinlockPair(dynamic->get(), 20000).value();
+  const double mv = MeasureSpinlockPair(multiverse->get(), 20000).value();
+  EXPECT_LT(mv, dyn);
+}
+
+// ---------------------------------------------------------------------------
+// PV-Ops kernel.
+
+TEST(PvopsTest, AllBindingsToggleInterruptsCorrectly) {
+  for (PvBinding binding :
+       {PvBinding::kCurrent, PvBinding::kMultiverse, PvBinding::kStaticOff}) {
+    for (bool xen : {false, true}) {
+      Result<PvopsKernel> kernel = BuildPvopsKernel(binding, xen);
+      ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+      Program& program = *kernel->program;
+      program.vm().core(0).interrupts_enabled = false;
+      ASSERT_TRUE(program.Call("bench_toggle", {3}).ok());
+      // The pair ends with a disable.
+      EXPECT_FALSE(program.vm().core(0).interrupts_enabled)
+          << PvBindingName(binding) << (xen ? " xen" : " native");
+    }
+  }
+}
+
+TEST(PvopsTest, BaselinePatcherInlinesNativeBodies) {
+  Result<PvopsKernel> kernel = BuildPvopsKernel(PvBinding::kCurrent, /*xen=*/false);
+  ASSERT_TRUE(kernel.ok());
+  ASSERT_NE(kernel->baseline, nullptr);
+  EXPECT_EQ(kernel->baseline->num_sites(), 2u);
+  // Restore and re-patch to read the stats directly.
+  ASSERT_TRUE(kernel->baseline->RestoreAll().ok());
+  Result<PvPatchStats> stats = kernel->baseline->PatchAll();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->sites_inlined, 2);  // sti/cli bodies fit into the call site
+  EXPECT_EQ(stats->sites_patched, 0);
+}
+
+TEST(PvopsTest, XenThunksAreNotInlinedUnderCustomConvention) {
+  Result<PvopsKernel> kernel = BuildPvopsKernel(PvBinding::kCurrent, /*xen=*/true);
+  ASSERT_TRUE(kernel.ok());
+  ASSERT_TRUE(kernel->baseline->RestoreAll().ok());
+  Result<PvPatchStats> stats = kernel->baseline->PatchAll();
+  ASSERT_TRUE(stats.ok());
+  // The pvop-convention thunks push/pop registers: too big to inline.
+  EXPECT_EQ(stats->sites_inlined, 0);
+  EXPECT_EQ(stats->sites_patched, 2);
+}
+
+TEST(PvopsTest, MultiverseBeatsBaselineInGuest) {
+  Result<PvopsKernel> current = BuildPvopsKernel(PvBinding::kCurrent, /*xen=*/true);
+  Result<PvopsKernel> multiverse = BuildPvopsKernel(PvBinding::kMultiverse, /*xen=*/true);
+  ASSERT_TRUE(current.ok() && multiverse.ok());
+  const double cur = MeasurePvopPair(current->program.get(), 20000).value();
+  const double mv = MeasurePvopPair(multiverse->program.get(), 20000).value();
+  EXPECT_LT(mv, cur);
+}
+
+// ---------------------------------------------------------------------------
+// Mini musl.
+
+class LibcModeTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(LibcModeTest, MallocFreeRandomFputcBehave) {
+  const int threads = std::get<0>(GetParam());
+  const bool commit = std::get<1>(GetParam());
+  Result<std::unique_ptr<Program>> built = BuildLibc();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Program& libc = **built;
+  ASSERT_TRUE(SetThreadMode(&libc, threads, commit).ok());
+
+  // malloc returns distinct, aligned, writable chunks; free recycles them.
+  const uint64_t p1 = *libc.Call("malloc_", {32});
+  const uint64_t p2 = *libc.Call("malloc_", {32});
+  ASSERT_NE(p1, 0u);
+  ASSERT_NE(p2, 0u);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(p1 % 8, 0u);
+  ASSERT_TRUE(libc.vm().memory().Writable(p1, 32));
+  ASSERT_TRUE(libc.Call("free_", {p1}).ok());
+  const uint64_t p3 = *libc.Call("malloc_", {16});
+  EXPECT_EQ(p3, p1) << "LIFO free list must recycle the last freed chunk";
+
+  // malloc(0) may return NULL and free(NULL) must be a no-op.
+  EXPECT_EQ(*libc.Call("malloc_", {0}), 0u);
+  EXPECT_TRUE(libc.Call("free_", {0}).ok());
+
+  // random() produces a deterministic, advancing sequence.
+  const uint64_t r1 = *libc.Call("random_");
+  const uint64_t r2 = *libc.Call("random_");
+  EXPECT_NE(r1, r2);
+
+  // fputc buffers bytes and returns its argument.
+  EXPECT_EQ(*libc.Call("fputc_", {'x'}), static_cast<uint64_t>('x'));
+  EXPECT_EQ(*libc.Call("fputc_", {'y'}), static_cast<uint64_t>('y'));
+  EXPECT_EQ(libc.ReadGlobal("fpos").value(), 2);
+  uint64_t fbuf = libc.SymbolAddress("fbuf").value();
+  char two[2];
+  ASSERT_TRUE(libc.vm().memory().ReadRaw(fbuf, two, 2).ok());
+  EXPECT_EQ(two[0], 'x');
+  EXPECT_EQ(two[1], 'y');
+
+  // No lock may be left behind in any mode.
+  EXPECT_EQ(libc.ReadGlobal("malloc_lock_word", 4).value(), 0);
+  EXPECT_EQ(libc.ReadGlobal("file_lock_word", 4).value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, LibcModeTest,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return std::string(std::get<0>(info.param) == 0 ? "single" : "multi") +
+             (std::get<1>(info.param) ? "_committed" : "_generic");
+    });
+
+TEST(LibcTest, MallocExhaustionReturnsNull) {
+  Result<std::unique_ptr<Program>> built = BuildLibc();
+  ASSERT_TRUE(built.ok());
+  Program& libc = **built;
+  ASSERT_TRUE(SetThreadMode(&libc, 0, true).ok());
+  // The arena is 256 KiB; a 300 KiB request must fail cleanly.
+  EXPECT_EQ(*libc.Call("malloc_", {300 * 1024}), 0u);
+  EXPECT_EQ(libc.ReadGlobal("malloc_lock_word", 4).value(), 0);
+}
+
+TEST(LibcTest, SingleThreadCommitSpeedsUpEveryFunction) {
+  Result<std::unique_ptr<Program>> generic_build = BuildLibc();
+  Result<std::unique_ptr<Program>> committed_build = BuildLibc();
+  ASSERT_TRUE(generic_build.ok() && committed_build.ok());
+  ASSERT_TRUE(SetThreadMode(generic_build->get(), 0, false).ok());
+  ASSERT_TRUE(SetThreadMode(committed_build->get(), 0, true).ok());
+  const LibcBenchResult generic = MeasureLibc(generic_build->get(), 20000).value();
+  const LibcBenchResult committed = MeasureLibc(committed_build->get(), 20000).value();
+  EXPECT_LT(committed.random_cycles, generic.random_cycles);
+  EXPECT_LT(committed.malloc0_cycles, generic.malloc0_cycles);
+  EXPECT_LT(committed.malloc1_cycles, generic.malloc1_cycles);
+  EXPECT_LT(committed.fputc_cycles, generic.fputc_cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Mini grep.
+
+TEST(GrepTest, MatchCountAgreesWithHostReference) {
+  Result<std::unique_ptr<Program>> built = BuildGrep(/*seed=*/7);
+  ASSERT_TRUE(built.ok());
+  Program& grep = **built;
+
+  // Host-side reference count over the same buffer.
+  const uint64_t buf = grep.SymbolAddress("gbuf").value();
+  std::vector<uint8_t> text(kGrepBufferSize);
+  ASSERT_TRUE(grep.vm().memory().ReadRaw(buf, text.data(), text.size()).ok());
+  uint64_t expected = 0;
+  for (size_t i = 0; i + 2 < text.size(); ++i) {
+    if (text[i] == 'a' && text[i + 1] != '\n' && text[i + 2] == 'a') {
+      ++expected;
+    }
+  }
+
+  for (bool commit : {false, true}) {
+    ASSERT_TRUE(SetGrepMode(&grep, 1, commit).ok());
+    Result<GrepRunResult> run = RunGrep(&grep, kGrepBufferSize, 1);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->matches, expected) << (commit ? "committed" : "generic");
+  }
+}
+
+TEST(GrepTest, MultibyteModeFiltersHighBytes) {
+  Result<std::unique_ptr<Program>> built = BuildGrep();
+  ASSERT_TRUE(built.ok());
+  Program& grep = **built;
+  // Plant a multi-byte lead before an 'a' candidate: "?a.a" with ? > 193.
+  const uint64_t buf = grep.SymbolAddress("gbuf").value();
+  const uint8_t planted[] = {0xC8, 'a', 'x', 'a'};
+  ASSERT_TRUE(grep.vm().memory().WriteRaw(buf, planted, 4).ok());
+
+  ASSERT_TRUE(SetGrepMode(&grep, 1, true).ok());
+  const uint64_t sb = RunGrep(&grep, kGrepBufferSize, 1)->matches;
+  ASSERT_TRUE(SetGrepMode(&grep, 4, true).ok());
+  const uint64_t mb = RunGrep(&grep, kGrepBufferSize, 1)->matches;
+  EXPECT_EQ(sb, mb + 1) << "the planted candidate must only count in single-byte mode";
+}
+
+TEST(GrepTest, CommitDoesNotChangeMatchesButSavesCycles) {
+  Result<std::unique_ptr<Program>> a = BuildGrep();
+  Result<std::unique_ptr<Program>> b = BuildGrep();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(SetGrepMode(a->get(), 1, false).ok());
+  ASSERT_TRUE(SetGrepMode(b->get(), 1, true).ok());
+  Result<GrepRunResult> generic = RunGrep(a->get(), kGrepBufferSize, 1);
+  Result<GrepRunResult> committed = RunGrep(b->get(), kGrepBufferSize, 1);
+  ASSERT_TRUE(generic.ok() && committed.ok());
+  EXPECT_EQ(generic->matches, committed->matches);
+  EXPECT_LT(committed->cycles, generic->cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Mini cPython GC.
+
+TEST(PythonGcTest, TrackingFollowsTheFlag) {
+  Result<std::unique_ptr<Program>> built = BuildPythonGc();
+  ASSERT_TRUE(built.ok());
+  Program& python = **built;
+
+  ASSERT_TRUE(SetGcEnabled(&python, true, true).ok());
+  ASSERT_TRUE(python.Call("bench_alloc", {10}).ok());
+  EXPECT_EQ(python.ReadGlobal("gc_count").value(), 10);
+
+  const int64_t before = python.ReadGlobal("gc_count").value();
+  ASSERT_TRUE(SetGcEnabled(&python, false, true).ok());
+  ASSERT_TRUE(python.Call("bench_alloc", {10}).ok());
+  EXPECT_EQ(python.ReadGlobal("gc_count").value(), before)
+      << "disabled GC must not track";
+}
+
+TEST(PythonGcTest, GcListIsWellFormed) {
+  Result<std::unique_ptr<Program>> built = BuildPythonGc();
+  ASSERT_TRUE(built.ok());
+  Program& python = **built;
+  ASSERT_TRUE(SetGcEnabled(&python, true, true).ok());
+  ASSERT_TRUE(python.Call("bench_alloc", {5}).ok());
+  // Walk the linked list from gc_head; it must contain exactly gc_count nodes.
+  uint64_t node = static_cast<uint64_t>(python.ReadGlobal("gc_head").value());
+  int nodes = 0;
+  while (node != 0 && nodes < 100) {
+    ++nodes;
+    ASSERT_TRUE(python.vm().memory().ReadRaw(node, &node, 8).ok());
+  }
+  EXPECT_EQ(nodes, python.ReadGlobal("gc_count").value());
+}
+
+}  // namespace
+}  // namespace mv

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_btb.dir/bench_ablation_btb.cc.o"
+  "CMakeFiles/bench_ablation_btb.dir/bench_ablation_btb.cc.o.d"
+  "bench_ablation_btb"
+  "bench_ablation_btb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_btb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_patching.dir/bench_ablation_patching.cc.o"
+  "CMakeFiles/bench_ablation_patching.dir/bench_ablation_patching.cc.o.d"
+  "bench_ablation_patching"
+  "bench_ablation_patching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_patching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

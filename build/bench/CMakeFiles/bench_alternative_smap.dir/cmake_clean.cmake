@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alternative_smap.dir/bench_alternative_smap.cc.o"
+  "CMakeFiles/bench_alternative_smap.dir/bench_alternative_smap.cc.o.d"
+  "bench_alternative_smap"
+  "bench_alternative_smap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alternative_smap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpython_gc.dir/bench_cpython_gc.cc.o"
+  "CMakeFiles/bench_cpython_gc.dir/bench_cpython_gc.cc.o.d"
+  "bench_cpython_gc"
+  "bench_cpython_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpython_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pvops.dir/bench_fig4_pvops.cc.o"
+  "CMakeFiles/bench_fig4_pvops.dir/bench_fig4_pvops.cc.o.d"
+  "bench_fig4_pvops"
+  "bench_fig4_pvops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pvops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_spinlock.dir/bench_fig4_spinlock.cc.o"
+  "CMakeFiles/bench_fig4_spinlock.dir/bench_fig4_spinlock.cc.o.d"
+  "bench_fig4_spinlock"
+  "bench_fig4_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_musl.dir/bench_fig5_musl.cc.o"
+  "CMakeFiles/bench_fig5_musl.dir/bench_fig5_musl.cc.o.d"
+  "bench_fig5_musl"
+  "bench_fig5_musl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_musl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

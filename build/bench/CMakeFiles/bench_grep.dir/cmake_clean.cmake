@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grep.dir/bench_grep.cc.o"
+  "CMakeFiles/bench_grep.dir/bench_grep.cc.o.d"
+  "bench_grep"
+  "bench_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

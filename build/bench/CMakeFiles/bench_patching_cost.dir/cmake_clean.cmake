@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_patching_cost.dir/bench_patching_cost.cc.o"
+  "CMakeFiles/bench_patching_cost.dir/bench_patching_cost.cc.o.d"
+  "bench_patching_cost"
+  "bench_patching_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patching_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variant_scaling.dir/bench_variant_scaling.cc.o"
+  "CMakeFiles/bench_variant_scaling.dir/bench_variant_scaling.cc.o.d"
+  "bench_variant_scaling"
+  "bench_variant_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variant_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_flags.dir/feature_flags.cpp.o"
+  "CMakeFiles/feature_flags.dir/feature_flags.cpp.o.d"
+  "feature_flags"
+  "feature_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

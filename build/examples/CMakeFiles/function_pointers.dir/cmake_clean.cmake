@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_pointers.dir/function_pointers.cpp.o"
+  "CMakeFiles/function_pointers.dir/function_pointers.cpp.o.d"
+  "function_pointers"
+  "function_pointers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_hotplug.dir/kernel_hotplug.cpp.o"
+  "CMakeFiles/kernel_hotplug.dir/kernel_hotplug.cpp.o.d"
+  "kernel_hotplug"
+  "kernel_hotplug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_hotplug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_pattern.dir/transaction_pattern.cpp.o"
+  "CMakeFiles/transaction_pattern.dir/transaction_pattern.cpp.o.d"
+  "transaction_pattern"
+  "transaction_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

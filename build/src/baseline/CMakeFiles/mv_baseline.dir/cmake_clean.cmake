@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_baseline.dir/alternatives.cc.o"
+  "CMakeFiles/mv_baseline.dir/alternatives.cc.o.d"
+  "CMakeFiles/mv_baseline.dir/paravirt.cc.o"
+  "CMakeFiles/mv_baseline.dir/paravirt.cc.o.d"
+  "libmv_baseline.a"
+  "libmv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

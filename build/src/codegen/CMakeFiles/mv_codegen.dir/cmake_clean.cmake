@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_codegen.dir/codegen.cc.o"
+  "CMakeFiles/mv_codegen.dir/codegen.cc.o.d"
+  "libmv_codegen.a"
+  "libmv_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_core.dir/descriptors.cc.o"
+  "CMakeFiles/mv_core.dir/descriptors.cc.o.d"
+  "CMakeFiles/mv_core.dir/patching.cc.o"
+  "CMakeFiles/mv_core.dir/patching.cc.o.d"
+  "CMakeFiles/mv_core.dir/program.cc.o"
+  "CMakeFiles/mv_core.dir/program.cc.o.d"
+  "CMakeFiles/mv_core.dir/runtime.cc.o"
+  "CMakeFiles/mv_core.dir/runtime.cc.o.d"
+  "CMakeFiles/mv_core.dir/specializer.cc.o"
+  "CMakeFiles/mv_core.dir/specializer.cc.o.d"
+  "libmv_core.a"
+  "libmv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

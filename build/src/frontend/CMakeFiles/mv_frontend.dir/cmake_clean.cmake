@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_frontend.dir/ctype.cc.o"
+  "CMakeFiles/mv_frontend.dir/ctype.cc.o.d"
+  "CMakeFiles/mv_frontend.dir/lexer.cc.o"
+  "CMakeFiles/mv_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/mv_frontend.dir/lower.cc.o"
+  "CMakeFiles/mv_frontend.dir/lower.cc.o.d"
+  "CMakeFiles/mv_frontend.dir/parser.cc.o"
+  "CMakeFiles/mv_frontend.dir/parser.cc.o.d"
+  "libmv_frontend.a"
+  "libmv_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_isa.dir/isa.cc.o"
+  "CMakeFiles/mv_isa.dir/isa.cc.o.d"
+  "libmv_isa.a"
+  "libmv_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_mvir.dir/ir.cc.o"
+  "CMakeFiles/mv_mvir.dir/ir.cc.o.d"
+  "libmv_mvir.a"
+  "libmv_mvir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_mvir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obj/linker.cc" "src/obj/CMakeFiles/mv_obj.dir/linker.cc.o" "gcc" "src/obj/CMakeFiles/mv_obj.dir/linker.cc.o.d"
+  "/root/repo/src/obj/object.cc" "src/obj/CMakeFiles/mv_obj.dir/object.cc.o" "gcc" "src/obj/CMakeFiles/mv_obj.dir/object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/mv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_obj.dir/linker.cc.o"
+  "CMakeFiles/mv_obj.dir/linker.cc.o.d"
+  "CMakeFiles/mv_obj.dir/object.cc.o"
+  "CMakeFiles/mv_obj.dir/object.cc.o.d"
+  "libmv_obj.a"
+  "libmv_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cfg.cc" "src/opt/CMakeFiles/mv_opt.dir/cfg.cc.o" "gcc" "src/opt/CMakeFiles/mv_opt.dir/cfg.cc.o.d"
+  "/root/repo/src/opt/equality.cc" "src/opt/CMakeFiles/mv_opt.dir/equality.cc.o" "gcc" "src/opt/CMakeFiles/mv_opt.dir/equality.cc.o.d"
+  "/root/repo/src/opt/fold.cc" "src/opt/CMakeFiles/mv_opt.dir/fold.cc.o" "gcc" "src/opt/CMakeFiles/mv_opt.dir/fold.cc.o.d"
+  "/root/repo/src/opt/slots.cc" "src/opt/CMakeFiles/mv_opt.dir/slots.cc.o" "gcc" "src/opt/CMakeFiles/mv_opt.dir/slots.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mvir/CMakeFiles/mv_mvir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

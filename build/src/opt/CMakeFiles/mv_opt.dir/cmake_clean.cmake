@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_opt.dir/cfg.cc.o"
+  "CMakeFiles/mv_opt.dir/cfg.cc.o.d"
+  "CMakeFiles/mv_opt.dir/equality.cc.o"
+  "CMakeFiles/mv_opt.dir/equality.cc.o.d"
+  "CMakeFiles/mv_opt.dir/fold.cc.o"
+  "CMakeFiles/mv_opt.dir/fold.cc.o.d"
+  "CMakeFiles/mv_opt.dir/slots.cc.o"
+  "CMakeFiles/mv_opt.dir/slots.cc.o.d"
+  "libmv_opt.a"
+  "libmv_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

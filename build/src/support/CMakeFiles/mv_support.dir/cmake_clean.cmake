@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_support.dir/diagnostics.cc.o"
+  "CMakeFiles/mv_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/mv_support.dir/status.cc.o"
+  "CMakeFiles/mv_support.dir/status.cc.o.d"
+  "CMakeFiles/mv_support.dir/str.cc.o"
+  "CMakeFiles/mv_support.dir/str.cc.o.d"
+  "libmv_support.a"
+  "libmv_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcc.dir/mvcc_main.cc.o"
+  "CMakeFiles/mvcc.dir/mvcc_main.cc.o.d"
+  "mvcc"
+  "mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_vm.dir/memory.cc.o"
+  "CMakeFiles/mv_vm.dir/memory.cc.o.d"
+  "CMakeFiles/mv_vm.dir/vm.cc.o"
+  "CMakeFiles/mv_vm.dir/vm.cc.o.d"
+  "libmv_vm.a"
+  "libmv_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

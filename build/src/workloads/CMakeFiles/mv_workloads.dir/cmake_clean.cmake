@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_workloads.dir/grep.cc.o"
+  "CMakeFiles/mv_workloads.dir/grep.cc.o.d"
+  "CMakeFiles/mv_workloads.dir/harness.cc.o"
+  "CMakeFiles/mv_workloads.dir/harness.cc.o.d"
+  "CMakeFiles/mv_workloads.dir/kernel.cc.o"
+  "CMakeFiles/mv_workloads.dir/kernel.cc.o.d"
+  "CMakeFiles/mv_workloads.dir/libc.cc.o"
+  "CMakeFiles/mv_workloads.dir/libc.cc.o.d"
+  "CMakeFiles/mv_workloads.dir/python.cc.o"
+  "CMakeFiles/mv_workloads.dir/python.cc.o.d"
+  "libmv_workloads.a"
+  "libmv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

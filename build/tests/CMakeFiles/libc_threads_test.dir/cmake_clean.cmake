@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libc_threads_test.dir/libc_threads_test.cc.o"
+  "CMakeFiles/libc_threads_test.dir/libc_threads_test.cc.o.d"
+  "libc_threads_test"
+  "libc_threads_test.pdb"
+  "libc_threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libc_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patching_design_test.dir/patching_design_test.cc.o"
+  "CMakeFiles/patching_design_test.dir/patching_design_test.cc.o.d"
+  "patching_design_test"
+  "patching_design_test.pdb"
+  "patching_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patching_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

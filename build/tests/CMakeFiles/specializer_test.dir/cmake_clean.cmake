@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specializer_test.dir/specializer_test.cc.o"
+  "CMakeFiles/specializer_test.dir/specializer_test.cc.o.d"
+  "specializer_test"
+  "specializer_test.pdb"
+  "specializer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

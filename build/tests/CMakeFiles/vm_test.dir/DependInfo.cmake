@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm_test.cc" "tests/CMakeFiles/vm_test.dir/vm_test.cc.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/mv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mv_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/mv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/mv_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/mv_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mv_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvir/CMakeFiles/mv_mvir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mv_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

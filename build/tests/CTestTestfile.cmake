@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/e2e_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/specializer_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/linker_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_property_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_random_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/descriptor_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/patching_design_test[1]_include.cmake")
+include("/root/repo/build/tests/libc_threads_test[1]_include.cmake")
+add_test(mvcc_cli_smoke "/root/repo/build/src/tools/mvcc" "/root/repo/build/tests/cli_demo.mvc" "--stats" "--set" "feature=1" "--commit" "--run" "run" "--" "10")
+set_tests_properties(mvcc_cli_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "run\\(\\) = 20" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")

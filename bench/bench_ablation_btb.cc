@@ -59,6 +59,10 @@ void Run() {
     const double cold = MeasureColdPair(program.get(), 64);
     std::printf("  %-28s warm: %7.2f cyc/pair   cold predictors: %7.2f cyc/pair\n",
                 SpinBindingName(binding), warm, cold);
+    JsonMetric(std::string(SpinBindingName(binding)) + " warm", warm,
+               "cycles/pair");
+    JsonMetric(std::string(SpinBindingName(binding)) + " cold", cold,
+               "cycles/pair");
   }
   PrintNote("");
   PrintNote("Expected shape: with cold predictors the dynamic-if kernel pays");
@@ -71,7 +75,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

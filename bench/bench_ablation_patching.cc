@@ -47,6 +47,8 @@ void Run() {
 
     std::printf("  committed, call sites patched:      %7.2f cyc/pair\n", direct);
     std::printf("  committed, prologue JMP only:       %7.2f cyc/pair\n", through_jmp);
+    JsonMetric("call sites patched", direct, "cycles/pair");
+    JsonMetric("prologue JMP only", through_jmp, "cycles/pair");
     std::printf("  -> call-site patching saves %.2f cyc/pair; the prologue JMP is\n",
                 through_jmp - direct);
     std::printf("     what guarantees completeness for untracked callers (7.4)\n");
@@ -77,6 +79,8 @@ void Run() {
 
     std::printf("\n  pvops committed, bodies inlined:    %7.2f cyc/pair\n", inlined);
     std::printf("  pvops committed, direct calls only: %7.2f cyc/pair\n", direct_call);
+    JsonMetric("pvops bodies inlined", inlined, "cycles/pair");
+    JsonMetric("pvops direct calls only", direct_call, "cycles/pair");
     std::printf("  -> inlining 1-instruction bodies saves %.2f cyc/pair (the reason\n",
                 direct_call - inlined);
     std::printf("     both patching mechanisms reach ifdef-level speed natively)\n");
@@ -108,6 +112,8 @@ void Run() {
         }
       }
     }
+    JsonMetric("body patching applicable", applicable);
+    JsonMetric("body patching refused", refused);
     std::printf("\n  body patching (the rejected 7.1 design) on the spinlock kernel's\n");
     std::printf("  variants: %d applicable, %d refused (pc-relative instructions or\n",
                 applicable, refused);
@@ -119,7 +125,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -163,6 +163,14 @@ void Run() {
   const double ifdef_on = Measure(false, true, true);
   std::printf("  %-44s %6.2f cyc %6.2f cyc\n",
               "ideal compile-time binding (ifdef)", ifdef_off, ifdef_on);
+  JsonMetric("dynamic check SMAP off", dyn_off, "cycles");
+  JsonMetric("dynamic check SMAP on", dyn_on, "cycles");
+  JsonMetric("multiverse SMAP off", mv_off, "cycles");
+  JsonMetric("multiverse SMAP on", mv_on, "cycles");
+  JsonMetric("alternative SMAP off", alt_off, "cycles");
+  JsonMetric("alternative SMAP on", alt_on, "cycles");
+  JsonMetric("ifdef SMAP off", ifdef_off, "cycles");
+  JsonMetric("ifdef SMAP on", ifdef_on, "cycles");
 
   PrintNote("");
   PrintNote("Expected shape: committed multiverse matches (or beats, thanks to");
@@ -174,7 +182,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

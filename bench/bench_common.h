@@ -13,18 +13,119 @@
 
 namespace mv {
 
+// Machine-readable results. Every bench main goes through BenchMain(), which
+// parses `--json <path>`; when given, all PrintRow values plus any metrics
+// recorded with JsonMetric (cycles, ticks, icache flushes, patch counts, ...)
+// are written to `path` as one JSON document at exit, so the per-PR
+// BENCH_*.json perf trajectory can accumulate.
+class BenchReport {
+ public:
+  static BenchReport& Instance() {
+    static BenchReport report;
+    return report;
+  }
+
+  void Init(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+        ++i;
+      }
+    }
+  }
+
+  void SetExperiment(const std::string& name, const std::string& paper_ref) {
+    if (experiment_.empty()) {
+      experiment_ = name;
+      paper_ref_ = paper_ref;
+    }
+  }
+
+  void Add(const std::string& label, double value, const std::string& unit) {
+    metrics_.push_back(Metric{label, unit, value});
+  }
+
+  void Write() const {
+    if (path_.empty()) {
+      return;
+    }
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open --json path '%s'\n", path_.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"experiment\": \"%s\",\n", Escaped(experiment_).c_str());
+    std::fprintf(f, "  \"paper_ref\": \"%s\",\n", Escaped(paper_ref_).c_str());
+    std::fprintf(f, "  \"metrics\": [\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f, "    {\"label\": \"%s\", \"value\": %.10g, \"unit\": \"%s\"}%s\n",
+                   Escaped(m.label).c_str(), m.value, Escaped(m.unit).c_str(),
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Metric {
+    std::string label;
+    std::string unit;
+    double value = 0;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::string experiment_;
+  std::string paper_ref_;
+  std::vector<Metric> metrics_;
+};
+
 inline void PrintHeader(const char* experiment, const char* paper_ref) {
   std::printf("\n==============================================================\n");
   std::printf("%s\n(reproduces %s)\n", experiment, paper_ref);
   std::printf("==============================================================\n");
+  BenchReport::Instance().SetExperiment(experiment, paper_ref);
 }
 
 inline void PrintRow(const std::string& label, double value, const char* unit,
                      const char* note = "") {
   std::printf("  %-44s %10.2f %-8s %s\n", label.c_str(), value, unit, note);
+  BenchReport::Instance().Add(label, value, unit);
 }
 
 inline void PrintNote(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+// Records a value into the --json report without printing it — for benches
+// whose table layout does not go through PrintRow.
+inline void JsonMetric(const std::string& label, double value,
+                       const std::string& unit = "") {
+  BenchReport::Instance().Add(label, value, unit);
+}
+
+// Uniform bench entry point: parses common flags (--json <path>), runs the
+// benchmark body, and writes the report.
+inline int BenchMain(int argc, char** argv, void (*run)()) {
+  BenchReport::Instance().Init(argc, argv);
+  run();
+  BenchReport::Instance().Write();
+  return 0;
+}
 
 // Benchmarks abort on infrastructure errors — a failed build is a bug, not a
 // data point.

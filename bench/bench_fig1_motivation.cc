@@ -47,6 +47,8 @@ void Run() {
     const double smp = Measure(col.binding, /*smp=*/true);
     std::printf("  %-30s %8.2f cyc %12.2f cyc   (paper: %5.2f / %5.2f)\n", col.name, up,
                 smp, col.paper_up, col.paper_smp);
+    JsonMetric(std::string(col.name) + " SMP=false", up, "cycles");
+    JsonMetric(std::string(col.name) + " SMP=true", smp, "cycles");
   }
   PrintNote("");
   PrintNote("Expected shape: in the UP case A < C < B (multiverse removes the");
@@ -57,7 +59,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

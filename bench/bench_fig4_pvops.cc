@@ -38,6 +38,9 @@ void Run() {
   for (const Row& row : rows) {
     const double native = Measure(row.binding, /*xen=*/false);
     const double xen = Measure(row.binding, /*xen=*/true);
+    JsonMetric(std::string(PvBindingName(row.binding)) + " native", native,
+               "cycles");
+    JsonMetric(std::string(PvBindingName(row.binding)) + " xen", xen, "cycles");
     if (row.paper_xen < 0) {
       std::printf("  %-34s %8.2f cyc %10.2f cyc   (paper: ~%.1f / not shown)\n",
                   PvBindingName(row.binding), native, xen, row.paper_native);
@@ -60,7 +63,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -35,6 +35,8 @@ void Run() {
     CheckOk(SetSmpMode(up_kernel.get(), row.binding, /*smp=*/false), "set UP");
     const double up = CheckOk(MeasureSpinlockPair(up_kernel.get()), "measure UP");
 
+    JsonMetric(std::string(SpinBindingName(row.binding)) + " unicore", up,
+               "cycles");
     if (row.paper_smp < 0) {
       std::printf("  %-34s %8.2f cyc %12s   (paper: ~%.1f / n/a)\n",
                   SpinBindingName(row.binding), up, "n/a", row.paper_up);
@@ -46,6 +48,8 @@ void Run() {
     const double smp = CheckOk(MeasureSpinlockPair(smp_kernel.get()), "measure SMP");
     std::printf("  %-34s %8.2f cyc %8.2f cyc   (paper: ~%.1f / ~%.1f)\n",
                 SpinBindingName(row.binding), up, smp, row.paper_up, row.paper_smp);
+    JsonMetric(std::string(SpinBindingName(row.binding)) + " multicore", smp,
+               "cycles");
   }
 
   PrintNote("");
@@ -58,7 +62,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -47,6 +47,9 @@ void PrintMode(const char* mode, const LibcBenchResult& without,
       std::printf("    %-12s %10.2f cyc %10.2f cyc %+9.1f%% %11s\n", row.name, row.a,
                   row.b, delta(row.a, row.b), "~0%");
     }
+    const std::string prefix = std::string(mode) + " " + row.name;
+    JsonMetric(prefix + " w/o multiverse", row.a, "cycles");
+    JsonMetric(prefix + " w/ multiverse", row.b, "cycles");
   }
 }
 
@@ -70,6 +73,8 @@ void Run() {
   std::printf("  fputc bandwidth @%.1f GHz: %.0f MiB/s -> %.0f MiB/s (x%.2f; paper: 124 "
               "-> 264 MiB/s, x2.13)\n",
               kNominalGHz, bw_without, bw_with, bw_with / bw_without);
+  JsonMetric("fputc bandwidth w/o multiverse", bw_without, "MiB/s");
+  JsonMetric("fputc bandwidth w/ multiverse", bw_with, "MiB/s");
   PrintNote("");
   PrintNote("Expected shape: large single-threaded wins (the committed empty");
   PrintNote("lock bodies are NOP-inlined into the call sites), minor impact in");
@@ -79,7 +84,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

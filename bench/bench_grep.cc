@@ -39,6 +39,10 @@ void Run() {
   std::printf("  w/  multiverse: %12.0f cycles  (%.3f s scaled @%.1f GHz)\n",
               committed.cycles, CyclesToSeconds(committed.cycles), kNominalGHz);
   std::printf("  delta: %+.2f %%   (paper: -2.73 %%, 7.84 s -> 7.63 s)\n", delta);
+  JsonMetric("matches", static_cast<double>(base.matches));
+  JsonMetric("w/o multiverse", base.cycles, "cycles");
+  JsonMetric("w/ multiverse", committed.cycles, "cycles");
+  JsonMetric("delta", delta, "%");
 
   // Cross-check: the multibyte mode still works after revert.
   std::unique_ptr<Program> mb = CheckOk(BuildGrep(), "build grep");
@@ -46,6 +50,7 @@ void Run() {
   const GrepRunResult mb_run = CheckOk(RunGrep(mb.get()), "run grep mb");
   std::printf("\n  multibyte locale (mb_cur_max=4, committed): %llu matches, %.0f cycles\n",
               (unsigned long long)mb_run.matches, mb_run.cycles);
+  JsonMetric("multibyte committed", mb_run.cycles, "cycles");
   PrintNote("");
   PrintNote("Expected shape: a small single-digit-percent end-to-end win — the");
   PrintNote("mode check is a small fraction of a well-optimized inner loop.");
@@ -54,7 +59,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -94,6 +94,11 @@ void Run() {
   std::printf("   the host patcher writes simulated memory, so it is faster)\n");
   std::printf("  per-commit: %d sites patched, %d inlined, %d prologues\n",
               last.callsites_patched, last.callsites_inlined, last.prologues_patched);
+  JsonMetric("recorded call sites", static_cast<double>(table.callsites.size()));
+  JsonMetric("commit+revert round-trip", ms_per_cycle, "ms");
+  JsonMetric("callsites patched", last.callsites_patched);
+  JsonMetric("callsites inlined", last.callsites_inlined);
+  JsonMetric("prologues patched", last.prologues_patched);
 
   // --- Descriptor size accounting (the paper's §5 formula). ---
   std::vector<size_t> variants_per_function;
@@ -120,6 +125,8 @@ void Run() {
               (unsigned long long)formula);
   std::printf("  actual descriptor sections:                           %llu bytes %s\n",
               (unsigned long long)actual, formula == actual ? "(exact match)" : "(MISMATCH!)");
+  JsonMetric("descriptor bytes (formula)", static_cast<double>(formula), "bytes");
+  JsonMetric("descriptor bytes (actual)", static_cast<double>(actual), "bytes");
   if (formula != actual) {
     std::abort();
   }
@@ -128,7 +135,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -74,6 +74,10 @@ void Run() {
     std::printf("    %-10d %10zu %8zu %9llu B %7llu B\n", n, row.generated, row.kept,
                 (unsigned long long)row.descriptor_bytes,
                 (unsigned long long)row.text_bytes);
+    JsonMetric("full cross product n=" + std::to_string(n) + " variants kept",
+               static_cast<double>(row.kept));
+    JsonMetric("full cross product n=" + std::to_string(n) + " text",
+               static_cast<double>(row.text_bytes), "bytes");
   }
 
   std::printf("\n  partial specialization (6 switches referenced, k bound):\n");
@@ -84,6 +88,10 @@ void Run() {
     std::printf("    %-10d %10zu %8zu %9llu B %7llu B\n", k, row.generated, row.kept,
                 (unsigned long long)row.descriptor_bytes,
                 (unsigned long long)row.text_bytes);
+    JsonMetric("partial specialization k=" + std::to_string(k) + " variants kept",
+               static_cast<double>(row.kept));
+    JsonMetric("partial specialization k=" + std::to_string(k) + " text",
+               static_cast<double>(row.text_bytes), "bytes");
   }
 
   PrintNote("");
@@ -96,7 +104,4 @@ void Run() {
 }  // namespace
 }  // namespace mv
 
-int main() {
-  mv::Run();
-  return 0;
-}
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -1,0 +1,59 @@
+#include "src/core/livepatch_session.h"
+
+namespace mv {
+
+Result<PatchStats> LivePatchSession::RunPlanned(
+    Result<PatchStats> (MultiverseRuntime::*fn)()) {
+  plan_.clear();
+  runtime_->BeginPlan(&plan_);
+  Result<PatchStats> stats = (runtime_->*fn)();
+  runtime_->EndPlan();
+  return stats;
+}
+
+Result<PatchStats> LivePatchSession::PlanCommit() {
+  return RunPlanned(&MultiverseRuntime::Commit);
+}
+
+Result<PatchStats> LivePatchSession::PlanRevert() {
+  return RunPlanned(&MultiverseRuntime::Revert);
+}
+
+Result<PatchStats> LivePatchSession::PlanCommitFn(const std::string& name) {
+  plan_.clear();
+  runtime_->BeginPlan(&plan_);
+  Result<PatchStats> stats = runtime_->CommitFn(name);
+  runtime_->EndPlan();
+  return stats;
+}
+
+Result<PatchStats> LivePatchSession::PlanCommitRefs(const std::string& var_name) {
+  plan_.clear();
+  runtime_->BeginPlan(&plan_);
+  Result<PatchStats> stats = runtime_->CommitRefs(var_name);
+  runtime_->EndPlan();
+  return stats;
+}
+
+std::vector<CodeRange> LivePatchSession::UnsafeRanges() const {
+  std::vector<CodeRange> ranges;
+  ranges.reserve(plan_.size());
+  for (const PatchOp& op : plan_) {
+    ranges.push_back(CodeRange{op.addr, op.new_bytes.size()});
+  }
+  return ranges;
+}
+
+Status LivePatchSession::ApplyOp(Vm* vm, size_t index, bool flush) const {
+  const PatchOp& op = plan_[index];
+  return WriteCodeBytes(vm, op.addr, op.new_bytes.data(), op.new_bytes.size(), flush);
+}
+
+Status LivePatchSession::ApplyAll(Vm* vm, bool flush) const {
+  for (size_t i = 0; i < plan_.size(); ++i) {
+    MV_RETURN_IF_ERROR(ApplyOp(vm, i, flush));
+  }
+  return Status::Ok();
+}
+
+}  // namespace mv

@@ -1,0 +1,62 @@
+// LivePatchSession — batches the per-function patch plans that
+// MultiverseRuntime/patching.cc produce into one atomic unit of work.
+//
+// The paper's runtime applies each 5-byte write immediately and performs no
+// cross-modification synchronization (§2/§7.3). A live commit instead first
+// *plans* the whole commit (recording every write the Table 1 operation
+// would perform, without touching guest memory) and then hands the batch to
+// a livepatch protocol (src/livepatch) that applies it safely while other
+// VM cores execute: quiescence/stop-machine or breakpoint
+// cross-modification.
+#ifndef MULTIVERSE_SRC_CORE_LIVEPATCH_SESSION_H_
+#define MULTIVERSE_SRC_CORE_LIVEPATCH_SESSION_H_
+
+#include <vector>
+
+#include "src/core/patching.h"
+#include "src/core/runtime.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+class LivePatchSession {
+ public:
+  explicit LivePatchSession(MultiverseRuntime* runtime) : runtime_(runtime) {}
+  ~LivePatchSession() { runtime_->EndPlan(); }
+
+  LivePatchSession(const LivePatchSession&) = delete;
+  LivePatchSession& operator=(const LivePatchSession&) = delete;
+
+  // Runs the corresponding Table 1 operation in planning mode: the runtime's
+  // bookkeeping advances, the returned stats describe the would-be commit,
+  // and every code write is recorded into plan() instead of applied. After a
+  // successful Plan*, the plan MUST be applied (ApplyAll or per-op ApplyOp)
+  // or guest memory and runtime bookkeeping diverge.
+  Result<PatchStats> PlanCommit();
+  Result<PatchStats> PlanRevert();
+  Result<PatchStats> PlanCommitFn(const std::string& name);
+  Result<PatchStats> PlanCommitRefs(const std::string& var_name);
+
+  const PatchPlan& plan() const { return plan_; }
+
+  // The code ranges the plan writes — the unsafe regions for safe-point
+  // queries (Vm::AtSafePoint).
+  std::vector<CodeRange> UnsafeRanges() const;
+
+  // Applies one recorded op / the whole plan to guest memory under W^X
+  // discipline. `flush = false` suppresses the icache invalidation (the
+  // fault-injection mode of the livepatch tests).
+  Status ApplyOp(Vm* vm, size_t index, bool flush = true) const;
+  Status ApplyAll(Vm* vm, bool flush = true) const;
+
+ private:
+  Result<PatchStats> RunPlanned(Result<PatchStats> (MultiverseRuntime::*fn)());
+
+  MultiverseRuntime* runtime_;
+  PatchPlan plan_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_LIVEPATCH_SESSION_H_

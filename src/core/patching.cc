@@ -6,14 +6,21 @@
 
 namespace mv {
 
-Status PatchCode(Vm* vm, uint64_t addr, const std::array<uint8_t, 5>& bytes) {
+Status WriteCodeBytes(Vm* vm, uint64_t addr, const uint8_t* data, uint64_t len,
+                      bool flush) {
   Memory& memory = vm->memory();
   const uint8_t old_perms = memory.PermsAt(addr);
-  MV_RETURN_IF_ERROR(memory.Protect(addr, 5, old_perms | kPermWrite));
-  MV_RETURN_IF_ERROR(memory.WriteRaw(addr, bytes.data(), 5));
-  MV_RETURN_IF_ERROR(memory.Protect(addr, 5, old_perms));
-  vm->FlushIcache(addr, 5);
+  MV_RETURN_IF_ERROR(memory.Protect(addr, len, old_perms | kPermWrite));
+  MV_RETURN_IF_ERROR(memory.WriteRaw(addr, data, len));
+  MV_RETURN_IF_ERROR(memory.Protect(addr, len, old_perms));
+  if (flush) {
+    vm->FlushIcache(addr, len);
+  }
   return Status::Ok();
+}
+
+Status PatchCode(Vm* vm, uint64_t addr, const std::array<uint8_t, 5>& bytes) {
+  return WriteCodeBytes(vm, addr, bytes.data(), bytes.size());
 }
 
 Result<std::array<uint8_t, 5>> EncodeCallBytes(uint64_t site_addr, uint64_t target) {

@@ -14,9 +14,28 @@
 
 namespace mv {
 
+// Writes `len` bytes of code at `addr`: temporarily adds write permission,
+// writes, restores the previous protection, and — unless `flush` is false —
+// flushes the icache range on every core. `flush = false` is the livepatch
+// fault-injection hook: it models a buggy patcher that forgets the
+// invalidation, which the VM's stale-fetch detector must catch.
+Status WriteCodeBytes(Vm* vm, uint64_t addr, const uint8_t* data, uint64_t len,
+                      bool flush = true);
+
 // Writes 5 bytes of code at `addr`: temporarily adds write permission,
 // writes, restores the previous protection, and flushes the icache range.
 Status PatchCode(Vm* vm, uint64_t addr, const std::array<uint8_t, 5>& bytes);
+
+// One deferred 5-byte code write, recorded by MultiverseRuntime when a live
+// patch plan is active (see runtime.h BeginPlan): the batched unit the
+// livepatch protocols apply with quiescence or breakpoint cross-modification.
+struct PatchOp {
+  uint64_t addr = 0;
+  std::array<uint8_t, 5> old_bytes{};  // bytes in memory when planned
+  std::array<uint8_t, 5> new_bytes{};
+};
+
+using PatchPlan = std::vector<PatchOp>;
 
 // Encodes a 5-byte `CALL rel32` at `site_addr` targeting `target`.
 Result<std::array<uint8_t, 5>> EncodeCallBytes(uint64_t site_addr, uint64_t target);

@@ -160,6 +160,12 @@ Result<uint64_t> Program::CallAt(uint64_t fn_addr, const std::vector<uint64_t>& 
         return Status::Internal(
             StrFormat("guest exceeded the step limit of %llu",
                       (unsigned long long)max_steps));
+      case VmExit::Kind::kBreakpoint:
+        // No livepatch commit is in flight on this path: a BKPT reaching a
+        // plain Call() means a torn or half-applied patch.
+        return Status::Internal(
+            StrFormat("guest hit a stray breakpoint at 0x%llx",
+                      (unsigned long long)vm_->core(core).pc));
     }
     remaining = max_steps;  // each resume gets a fresh budget
   }

@@ -89,6 +89,17 @@ uint64_t MultiverseRuntime::InstalledVariant(uint64_t generic_addr) const {
 // Low-level patching
 
 Status MultiverseRuntime::PatchBytes(uint64_t addr, const std::array<uint8_t, 5>& bytes) {
+  if (plan_ != nullptr) {
+    // Live-patch planning: defer the write. Within one commit every site and
+    // prologue is written at most once, so recording the current memory
+    // bytes as old_bytes is exact.
+    PatchOp op;
+    op.addr = addr;
+    MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(addr, op.old_bytes.data(), 5));
+    op.new_bytes = bytes;
+    plan_->push_back(op);
+    return Status::Ok();
+  }
   // W^X discipline and icache flushing live in PatchCode (§7.2).
   return PatchCode(vm_, addr, bytes);
 }

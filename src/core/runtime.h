@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/core/descriptors.h"
+#include "src/core/patching.h"
 #include "src/obj/linker.h"
 #include "src/support/status.h"
 #include "src/vm/vm.h"
@@ -84,6 +85,16 @@ class MultiverseRuntime {
   // Reads a configuration switch's current value through its descriptor.
   Result<int64_t> ReadSwitch(const RtVariable& variable) const;
 
+  // --- Live-patch planning (src/core/livepatch_session.h, src/livepatch) ---
+  // While a plan is active, every 5-byte code write that a commit/revert
+  // would perform is recorded into `*plan` instead of mutating guest memory.
+  // The runtime's bookkeeping (site states, installed variants) advances as
+  // if the writes had happened, so the caller MUST apply the recorded ops to
+  // memory afterwards — that is the livepatch protocols' job.
+  void BeginPlan(PatchPlan* plan) { plan_ = plan; }
+  void EndPlan() { plan_ = nullptr; }
+  bool planning() const { return plan_ != nullptr; }
+
  private:
   MultiverseRuntime(Vm* vm) : vm_(vm) {}
 
@@ -130,6 +141,7 @@ class MultiverseRuntime {
   Result<PatchStats> RevertFnPtr(FnPtrState* state);
 
   Vm* vm_;
+  PatchPlan* plan_ = nullptr;  // non-null while planning a live commit
   DescriptorTable table_;
   std::vector<Site> sites_;
   std::map<uint64_t, FnState> fns_;      // keyed by generic address

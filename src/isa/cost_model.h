@@ -56,6 +56,17 @@ struct CostModel {
   uint64_t rdtsc = 60;
   uint64_t vmcall = 40;
   uint64_t hlt = 0;
+
+  // Live-patching costs (src/livepatch). bkpt_trap is charged to the core
+  // that fetches a BKPT (x86 #BP: trap entry + handler dispatch). The host
+  // patcher costs advance the live-commit engine's virtual patch clock:
+  // patch_write models one W^X-disciplined text poke (mprotect pair + store),
+  // icache_flush_ipi one cross-core invalidation broadcast, and
+  // stop_machine_ipi the per-core cost of a stop-machine rendezvous.
+  uint64_t bkpt_trap = 400;         // 100 cycles
+  uint64_t patch_write = 800;       // 200 cycles
+  uint64_t icache_flush_ipi = 400;  // 100 cycles
+  uint64_t stop_machine_ipi = 400;  // 100 cycles per stopped core
 };
 
 inline double TicksToCycles(uint64_t ticks) {

@@ -122,6 +122,7 @@ Layout OpLayout(Op op) {
     case Op::kFence:
     case Op::kSti:
     case Op::kCli:
+    case Op::kBkpt:
       return Layout::kNone;
     case Op::kHypercall:
     case Op::kVmCall:
@@ -227,6 +228,7 @@ bool ValidOp(uint8_t byte) {
     case Op::kRdtsc:
     case Op::kHypercall:
     case Op::kVmCall:
+    case Op::kBkpt:
       return true;
     default:
       return false;
@@ -493,6 +495,7 @@ const char* OpName(Op op) {
     case Op::kRdtsc: return "rdtsc";
     case Op::kHypercall: return "hypercall";
     case Op::kVmCall: return "vmcall";
+    case Op::kBkpt: return "bkpt";
   }
   return "?";
 }

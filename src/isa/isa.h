@@ -104,6 +104,7 @@ enum class Op : uint8_t {
   kRdtsc = 0x57,   // rd <- cycle counter (in ticks/4)    [op][rd]              2 B
   kHypercall = 0x58,  // hypervisor service imm8          [op][imm8]            2 B
   kVmCall = 0x59,     // host upcall imm8 (arg in r0)     [op][imm8]            2 B
+  kBkpt = 0x5A,       // breakpoint trap (x86 INT3)       [op]                  1 B
 };
 
 // Condition codes used by kJcc / kSetCC.
@@ -152,6 +153,11 @@ struct Insn {
 // Instruction sizes that the patcher relies on.
 inline constexpr int kCallInsnSize = 5;   // CALL rel32 — the paper's inlining threshold
 inline constexpr int kJmpInsnSize = 5;    // JMP rel32 — prologue redirection
+
+// BKPT is a single byte, like x86 INT3 (0xCC): the breakpoint-based
+// cross-modification protocol overwrites exactly the first byte of a 5-byte
+// patchable site with it, which is atomic with respect to instruction fetch.
+inline constexpr uint8_t kBkptByte = static_cast<uint8_t>(Op::kBkpt);
 
 // Appends the encoding of `insn` to `out`. Returns the encoded size.
 // imm fields must fit their encoded width (checked).

@@ -1,0 +1,325 @@
+#include "src/livepatch/livepatch.h"
+
+#include <algorithm>
+
+#include "src/core/patching.h"
+#include "src/isa/isa.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+const char* CommitProtocolName(CommitProtocol protocol) {
+  switch (protocol) {
+    case CommitProtocol::kUnsafe:
+      return "unsafe";
+    case CommitProtocol::kQuiescence:
+      return "quiescence";
+    case CommitProtocol::kBreakpoint:
+      return "breakpoint";
+  }
+  return "?";
+}
+
+Result<CommitProtocol> ParseCommitProtocol(const std::string& name) {
+  if (name == "unsafe") {
+    return CommitProtocol::kUnsafe;
+  }
+  if (name == "quiescence" || name == "stop-machine") {
+    return CommitProtocol::kQuiescence;
+  }
+  if (name == "breakpoint" || name == "bkpt") {
+    return CommitProtocol::kBreakpoint;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown live-commit protocol '%s' "
+                "(expected unsafe|quiescence|breakpoint)",
+                name.c_str()));
+}
+
+namespace {
+
+struct Mutator {
+  int core = 0;
+  bool done = false;       // halted
+  bool parked = false;     // trapped on an in-flight BKPT site
+  uint64_t park_site = 0;  // site address the core is parked at
+};
+
+// The protocol engine for one live commit: owns the plan, the virtual host
+// patch clock, and the mutator bookkeeping.
+class Engine {
+ public:
+  Engine(Vm* vm, MultiverseRuntime* runtime, const LiveCommitOptions& options)
+      : vm_(vm), options_(options), session_(runtime) {
+    for (int core : options.mutator_cores) {
+      Mutator m;
+      m.core = core;
+      m.done = vm_->core(core).halted;
+      mutators_.push_back(m);
+    }
+  }
+
+  Result<LiveCommitStats> Run() {
+    MV_ASSIGN_OR_RETURN(stats_.patch, session_.PlanCommit());
+
+    // The host starts patching "now": at the time of the furthest-ahead
+    // mutator. Cores that are behind execute work they would have done
+    // anyway, concurrently with the patching.
+    host_clock_ = 0;
+    for (const Mutator& m : mutators_) {
+      host_clock_ = std::max(host_clock_, vm_->core(m.core).ticks);
+    }
+    const uint64_t start_clock = host_clock_;
+
+    Status status = Status::Ok();
+    switch (options_.protocol) {
+      case CommitProtocol::kUnsafe:
+        status = RunUnsafe();
+        break;
+      case CommitProtocol::kQuiescence:
+        status = RunQuiescence();
+        break;
+      case CommitProtocol::kBreakpoint:
+        status = RunBreakpoint();
+        break;
+    }
+    MV_RETURN_IF_ERROR(status);
+
+    stats_.commit_ticks = host_clock_ - start_clock;
+    stats_.ops_applied = static_cast<int>(session_.plan().size());
+    return stats_;
+  }
+
+ private:
+  // --- mutator co-simulation -----------------------------------------------
+
+  // Single-steps one mutator, classifying the exit. `inflight` is the set of
+  // site addresses where a BKPT is currently legitimate.
+  Status StepMutator(Mutator* m, const std::vector<uint64_t>& inflight) {
+    std::optional<VmExit> exit = vm_->Step(m->core);
+    if (!exit.has_value()) {
+      return Status::Ok();
+    }
+    switch (exit->kind) {
+      case VmExit::Kind::kHalt:
+        m->done = true;
+        ++stats_.mutators_finished;
+        return Status::Ok();
+      case VmExit::Kind::kBreakpoint: {
+        const uint64_t pc = vm_->core(m->core).pc;
+        if (std::find(inflight.begin(), inflight.end(), pc) != inflight.end()) {
+          m->parked = true;
+          m->park_site = pc;
+          ++stats_.bkpt_traps;
+          return Status::Ok();
+        }
+        return Status::Internal(
+            StrFormat("core %d trapped on a breakpoint at 0x%llx outside any "
+                      "in-flight patch site",
+                      m->core, (unsigned long long)pc));
+      }
+      case VmExit::Kind::kFault:
+        return Status::Internal(
+            StrFormat("core %d faulted during live commit: %s", m->core,
+                      exit->fault.ToString().c_str()));
+      case VmExit::Kind::kVmCall:
+        return Status::Internal(StrFormat(
+            "core %d issued a VMCALL during live commit (unsupported)", m->core));
+      case VmExit::Kind::kStepLimit:
+        return Status::Internal("unexpected step-limit exit");
+    }
+    return Status::Internal("unhandled VM exit");
+  }
+
+  // Runs every runnable mutator until its tick clock catches up with the
+  // host patch clock — the "mutators execute while the host patches" half of
+  // the co-simulation.
+  Status RunMutatorsToHostClock(const std::vector<uint64_t>& inflight) {
+    for (Mutator& m : mutators_) {
+      while (!m.done && !m.parked && vm_->core(m.core).ticks < host_clock_) {
+        MV_RETURN_IF_ERROR(StepMutator(&m, inflight));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Single-steps `m` until `pred(pc)` no longer holds (bounded).
+  template <typename Pred>
+  Status StepOutOf(Mutator* m, const std::vector<uint64_t>& inflight, Pred pred,
+                   const char* what) {
+    uint64_t steps = 0;
+    while (!m->done && !m->parked && pred(vm_->core(m->core).pc)) {
+      if (++steps > options_.max_rendezvous_steps) {
+        return Status::Internal(StrFormat("core %d could not be stepped %s "
+                                          "within %llu instructions",
+                                          m->core, what,
+                                          (unsigned long long)options_.max_rendezvous_steps));
+      }
+      MV_RETURN_IF_ERROR(StepMutator(m, inflight));
+      ++stats_.rendezvous_steps;
+    }
+    return Status::Ok();
+  }
+
+  // --- host patch actions --------------------------------------------------
+
+  Status HostWrite(uint64_t addr, const uint8_t* data, uint64_t len) {
+    MV_RETURN_IF_ERROR(WriteCodeBytes(vm_, addr, data, len, options_.flush_icache));
+    host_clock_ += vm_->cost_model().patch_write;
+    if (options_.flush_icache) {
+      host_clock_ += vm_->cost_model().icache_flush_ipi;
+      ++stats_.icache_flushes;
+    }
+    return Status::Ok();
+  }
+
+  // --- protocols -----------------------------------------------------------
+
+  Status RunUnsafe() {
+    // The paper's semantics: write each site atomically, flush, never look
+    // at the other cores. Because there is no synchronization, the relative
+    // order of the host's writes and the mutators' progress is arbitrary on
+    // real hardware; the co-simulation models the adversarial case — the
+    // mutators stand wherever the caller's schedule left them for the whole
+    // patch window. A core whose pc is inside a rewritten multi-instruction
+    // site therefore resumes in the middle of the new encoding.
+    const PatchPlan& plan = session_.plan();
+    for (const PatchOp& op : plan) {
+      MV_RETURN_IF_ERROR(HostWrite(op.addr, op.new_bytes.data(), op.new_bytes.size()));
+    }
+    return Status::Ok();
+  }
+
+  Status RunQuiescence() {
+    const std::vector<CodeRange> ranges = session_.UnsafeRanges();
+
+    // Let everyone catch up with the host, then rendezvous: step each core
+    // to an instruction boundary outside every to-be-patched range.
+    MV_RETURN_IF_ERROR(RunMutatorsToHostClock({}));
+    for (Mutator& m : mutators_) {
+      MV_RETURN_IF_ERROR(StepOutOf(
+          &m, {},
+          [&](uint64_t pc) {
+            return std::any_of(ranges.begin(), ranges.end(),
+                               [pc](const CodeRange& r) { return r.Contains(pc); });
+          },
+          "to a quiescence safe point"));
+    }
+
+    // Stop machine: every active core is frozen from here to the release.
+    int active = 0;
+    for (const Mutator& m : mutators_) {
+      if (!m.done) {
+        host_clock_ = std::max(host_clock_, vm_->core(m.core).ticks);
+        ++active;
+      }
+    }
+    host_clock_ += vm_->cost_model().stop_machine_ipi * static_cast<uint64_t>(active);
+
+    const PatchPlan& plan = session_.plan();
+    for (size_t i = 0; i < plan.size(); ++i) {
+      MV_RETURN_IF_ERROR(
+          HostWrite(plan[i].addr, plan[i].new_bytes.data(), plan[i].new_bytes.size()));
+    }
+
+    // Release: the frozen cores resume at the host clock; the difference is
+    // the per-core disturbance the stop-machine caused.
+    for (const Mutator& m : mutators_) {
+      if (m.done) {
+        continue;
+      }
+      Core& core = vm_->core(m.core);
+      if (core.ticks < host_clock_) {
+        stats_.stopped_ticks += host_clock_ - core.ticks;
+        core.ticks = host_clock_;
+      }
+      ++stats_.cores_stopped;
+    }
+    return Status::Ok();
+  }
+
+  Status RunBreakpoint() {
+    // Batched text_poke_bp: every site traps before any site changes shape,
+    // so each mutator crosses from old text to new text at most once. During
+    // the whole window a site is old, trapping, or new — and no core can
+    // reach an old site after executing a new one (phase 1/2 have no new
+    // sites; phase 3/4 have no old ones). That one-way switch is what keeps
+    // cross-site invariants intact, e.g. a lock acquired through a new
+    // callsite can never be "released" through a raw-old one. The residual
+    // old-before-park -> new-after-release mix is why live commits must move
+    // in the strict->stricter direction (UP -> SMP); see INTERNALS.md §9.
+    const PatchPlan& plan = session_.plan();
+    std::vector<uint64_t> inflight;
+    inflight.reserve(plan.size());
+    for (const PatchOp& op : plan) {
+      inflight.push_back(op.addr);
+    }
+
+    // 1. BKPT over every first byte: from here on, no core can *enter* any
+    //    site — sequential or jump entry fetches the trap and parks.
+    for (const PatchOp& op : plan) {
+      MV_RETURN_IF_ERROR(HostWrite(op.addr, &kBkptByte, 1));
+      MV_RETURN_IF_ERROR(RunMutatorsToHostClock(inflight));
+    }
+
+    // 2. Evict cores sitting *inside* a site (mid-way through a
+    //    NOP-eradicated body): step them to its end before the tail bytes
+    //    change under their feet. They cannot re-enter past the BKPTs.
+    for (const PatchOp& op : plan) {
+      for (Mutator& m : mutators_) {
+        MV_RETURN_IF_ERROR(StepOutOf(
+            &m, inflight,
+            [&op](uint64_t pc) { return pc > op.addr && pc < op.addr + 5; },
+            "out of an in-flight patch site"));
+      }
+    }
+
+    // 3. All tail bytes while every first byte still traps (text_poke_bp
+    //    order).
+    for (const PatchOp& op : plan) {
+      MV_RETURN_IF_ERROR(HostWrite(op.addr + 1, op.new_bytes.data() + 1, 4));
+      MV_RETURN_IF_ERROR(RunMutatorsToHostClock(inflight));
+    }
+
+    // 4. Final first bytes; unpark as each site completes. A released core
+    //    refetches the finished site, and every other site is by now either
+    //    finished or still trapping — raw-old text is unreachable.
+    for (const PatchOp& op : plan) {
+      MV_RETURN_IF_ERROR(HostWrite(op.addr, op.new_bytes.data(), 1));
+      for (Mutator& m : mutators_) {
+        if (m.parked && m.park_site == op.addr) {
+          Core& core = vm_->core(m.core);
+          if (core.ticks < host_clock_) {
+            stats_.parked_ticks += host_clock_ - core.ticks;
+            core.ticks = host_clock_;
+          }
+          m.parked = false;
+        }
+      }
+      MV_RETURN_IF_ERROR(RunMutatorsToHostClock(inflight));
+    }
+    return RunMutatorsToHostClock({});
+  }
+
+  Vm* vm_;
+  const LiveCommitOptions& options_;
+  LivePatchSession session_;
+  std::vector<Mutator> mutators_;
+  LiveCommitStats stats_;
+  uint64_t host_clock_ = 0;
+};
+
+}  // namespace
+
+Result<LiveCommitStats> LivePatcher::Commit(const LiveCommitOptions& options) {
+  Engine engine(vm_, runtime_, options);
+  return engine.Run();
+}
+
+Result<LiveCommitStats> multiverse_commit_live(Vm* vm, MultiverseRuntime* runtime,
+                                               const LiveCommitOptions& options) {
+  LivePatcher patcher(vm, runtime);
+  return patcher.Commit(options);
+}
+
+}  // namespace mv

@@ -1,0 +1,117 @@
+// Live patching: making multiverse_commit() safe while other VM cores
+// execute.
+//
+// The paper's runtime performs no cross-modification synchronization
+// (§2/§7.3): consistency is the caller's contract. That is untenable once
+// switches flip under load (thread create/exit in the musl workload, CPU
+// hotplug in the kernel workload), so this subsystem provides two protocols
+// layered on the batched patch plans of src/core/livepatch_session.h:
+//
+//  * kQuiescence — stop-machine: rendezvous every mutator core at a safe
+//    point (an instruction boundary outside every to-be-patched range),
+//    freeze them, apply the whole plan, flush, release. Commit latency is
+//    paid once; every core is disturbed for the full patch window. This is
+//    the Linux stop_machine() lineage used by the `alternative` macros the
+//    paper subsumes (§1.1).
+//
+//  * kBreakpoint — INT3-style cross-modification (Linux text_poke_bp): for
+//    each 5-byte site, write a 1-byte BKPT over the first byte, flush, write
+//    the four tail bytes, flush, then the final first byte, flush. A core
+//    that fetches the in-flight site traps (VmExit::kBreakpoint) and is
+//    parked until the site is complete; cores executing elsewhere are never
+//    stopped. Cores parked *inside* a multi-instruction site (possible for
+//    NOP-eradicated call sites) are single-stepped out before the tail
+//    write.
+//
+//  * kUnsafe — the paper's semantics, kept as the baseline: apply each op
+//    immediately with no safe-point checks. Under load this can tear: a core
+//    resuming inside a rewritten site decodes operand bytes as opcodes.
+//
+// The engine co-simulates host and guest deterministically: each host patch
+// action advances a virtual patch clock (cost_model.h patch_write /
+// icache_flush_ipi / stop_machine_ipi), and mutator cores execute until
+// their own tick clocks catch up — so commit latency and per-core
+// disturbance are measurable in modelled cycles (bench_commit_under_load).
+#ifndef MULTIVERSE_SRC_LIVEPATCH_LIVEPATCH_H_
+#define MULTIVERSE_SRC_LIVEPATCH_LIVEPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/livepatch_session.h"
+#include "src/core/runtime.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+enum class CommitProtocol {
+  kUnsafe,      // the paper's unsynchronized commit (baseline)
+  kQuiescence,  // stop-machine rendezvous
+  kBreakpoint,  // BKPT cross-modification
+};
+
+const char* CommitProtocolName(CommitProtocol protocol);
+Result<CommitProtocol> ParseCommitProtocol(const std::string& name);
+
+struct LiveCommitOptions {
+  CommitProtocol protocol = CommitProtocol::kQuiescence;
+  // Cores that are executing guest code while the commit runs. The engine
+  // steps them itself, interleaved with the patch writes. Cores not listed
+  // must not be executing (the caller's contract, as in the paper).
+  std::vector<int> mutator_cores;
+  // Fault injection: when false, no icache invalidations are issued after
+  // the patch writes. Combine with Vm::set_stale_fetch_detection(true) to
+  // assert that stale execution is detected rather than silent.
+  bool flush_icache = true;
+  // Bound on the single-steps used to move one core to a safe point /
+  // out of an in-flight site. Exceeding it is an error (a core looping
+  // inside a 5-byte patch range).
+  uint64_t max_rendezvous_steps = 1000;
+};
+
+struct LiveCommitStats {
+  PatchStats patch;            // what the underlying commit did (Table 1)
+  int ops_applied = 0;         // 5-byte patch ops written to guest memory
+  uint64_t commit_ticks = 0;   // host patch clock: start-to-finish latency
+  uint64_t icache_flushes = 0;
+
+  // Disturbance of the mutator cores.
+  int cores_stopped = 0;          // cores frozen by the quiescence protocol
+  uint64_t stopped_ticks = 0;     // total ticks cores spent frozen
+  uint64_t rendezvous_steps = 0;  // single-steps to reach safe points
+  int bkpt_traps = 0;             // cores that trapped on an in-flight site
+  uint64_t parked_ticks = 0;      // total ticks cores spent parked at a BKPT
+  int mutators_finished = 0;      // mutators that ran to completion mid-commit
+
+  double CommitCycles() const { return TicksToCycles(commit_ticks); }
+  double DisturbanceCycles() const {
+    return TicksToCycles(stopped_ticks + parked_ticks);
+  }
+};
+
+class LivePatcher {
+ public:
+  LivePatcher(Vm* vm, MultiverseRuntime* runtime) : vm_(vm), runtime_(runtime) {}
+
+  // Plans a full multiverse_commit() and applies it with the selected
+  // protocol. On error (a mutator faulted, trapped unexpectedly, or could
+  // not be brought to a safe point) guest code may be partially patched —
+  // exactly the torn state a real system would be in; callers must treat the
+  // program as lost. With an empty mutator list this degrades to a batched
+  // (but still protocol-shaped) multiverse_commit().
+  Result<LiveCommitStats> Commit(const LiveCommitOptions& options);
+
+ private:
+  Vm* vm_;
+  MultiverseRuntime* runtime_;
+};
+
+// The Table 1-style entry point: multiverse_commit(), made safe under
+// concurrency. Layered on LivePatcher.
+Result<LiveCommitStats> multiverse_commit_live(Vm* vm, MultiverseRuntime* runtime,
+                                               const LiveCommitOptions& options);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_LIVEPATCH_LIVEPATCH_H_

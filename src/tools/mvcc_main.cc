@@ -14,6 +14,8 @@
 //     --stats              print specializer statistics
 //     --run entry [-- a b ...]   call `entry` and print r0 and cycle count
 //     --commit             multiverse_commit() before --run
+//     --live protocol      commit via the live-patching subsystem
+//                          (unsafe | quiescence | breakpoint)
 //     --set name=value     write a global before commit/run (may repeat)
 //     --guest              run as a paravirtualized guest
 #include <cstdio>
@@ -27,6 +29,7 @@
 #include "src/core/descriptors.h"
 #include "src/core/program.h"
 #include "src/isa/isa.h"
+#include "src/livepatch/livepatch.h"
 #include "src/support/str.h"
 #include "src/workloads/harness.h"
 
@@ -43,6 +46,8 @@ struct CliOptions {
   bool dump_descriptors = false;
   bool stats = false;
   bool commit = false;
+  bool live = false;
+  CommitProtocol live_protocol = CommitProtocol::kQuiescence;
   bool guest = false;
   uint64_t trace = 0;
   std::string run_entry;
@@ -60,6 +65,8 @@ void Usage() {
                "  --dump-descriptors print multiverse descriptor tables\n"
                "  --stats            print specializer statistics\n"
                "  --commit           multiverse_commit() before running\n"
+               "  --live protocol    commit through the live-patching subsystem\n"
+               "                     (unsafe | quiescence | breakpoint); implies --commit\n"
                "  --guest            run as a paravirtualized guest\n"
                "  --trace N          print the first N executed instructions\n"
                "  --run entry [-- args...]  call entry() and report r0/cycles\n");
@@ -110,6 +117,15 @@ int Main(int argc, char** argv) {
     } else if (arg == "--stats") {
       options.stats = true;
     } else if (arg == "--commit") {
+      options.commit = true;
+    } else if (arg == "--live" && i + 1 < argc) {
+      Result<CommitProtocol> protocol = ParseCommitProtocol(argv[++i]);
+      if (!protocol.ok()) {
+        std::fprintf(stderr, "mvcc: %s\n", protocol.status().ToString().c_str());
+        return 2;
+      }
+      options.live = true;
+      options.live_protocol = *protocol;
       options.commit = true;
     } else if (arg == "--guest") {
       options.guest = true;
@@ -227,7 +243,27 @@ int Main(int argc, char** argv) {
     }
   }
 
-  if (options.commit) {
+  if (options.live) {
+    // No guest code runs yet, so the mutator set is empty — this exercises
+    // the protocol machinery (plan, BKPT/stop-machine sequencing, flushes)
+    // and reports the modelled commit latency.
+    LiveCommitOptions live;
+    live.protocol = options.live_protocol;
+    Result<LiveCommitStats> stats =
+        multiverse_commit_live(&program.vm(), &program.runtime(), live);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "mvcc: live commit failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("live commit [%s]: %d committed, %d fallbacks, %d sites patched, "
+                "%d inlined; %d ops, %llu flushes, %.2f cycles\n",
+                CommitProtocolName(options.live_protocol),
+                stats->patch.functions_committed, stats->patch.generic_fallbacks,
+                stats->patch.callsites_patched, stats->patch.callsites_inlined,
+                stats->ops_applied, (unsigned long long)stats->icache_flushes,
+                stats->CommitCycles());
+  } else if (options.commit) {
     Result<PatchStats> stats = program.runtime().Commit();
     if (!stats.ok()) {
       std::fprintf(stderr, "mvcc: commit failed: %s\n", stats.status().ToString().c_str());

@@ -33,6 +33,9 @@ std::string Fault::ToString() const {
     case FaultKind::kStackOverflow:
       kind_name = "stack-overflow";
       break;
+    case FaultKind::kStaleFetch:
+      kind_name = "stale-fetch";
+      break;
   }
   return StrFormat("fault{%s addr=0x%llx pc=0x%llx}", kind_name, (unsigned long long)addr,
                    (unsigned long long)pc);

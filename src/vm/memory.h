@@ -34,6 +34,10 @@ enum class FaultKind : uint8_t {
   kBadOpcode,
   kDivByZero,
   kStackOverflow,
+  // A core's decoded-instruction cache served an entry whose backing bytes
+  // have since been modified without an icache flush. Only raised when the
+  // VM's stale-fetch detection is enabled (livepatch fault-injection tests).
+  kStaleFetch,
 };
 
 struct Fault {

@@ -1,5 +1,7 @@
 #include "src/vm/vm.h"
 
+#include <cstring>
+
 #include "src/support/str.h"
 
 namespace mv {
@@ -31,21 +33,52 @@ std::string VmExit::ToString() const {
       return StrFormat("exit{%s}", fault.ToString().c_str());
     case Kind::kStepLimit:
       return "exit{step-limit}";
+    case Kind::kBreakpoint:
+      return "exit{breakpoint}";
   }
   return "exit{?}";
 }
 
 Vm::Vm(uint64_t mem_size, int num_cores) : memory_(mem_size) {
   cores_.resize(static_cast<size_t>(num_cores));
+  icaches_.resize(static_cast<size_t>(num_cores));
 }
 
 void Vm::FlushIcache(uint64_t addr, uint64_t len) {
   // Instructions are at most 10 bytes; anything starting within
   // [addr - 9, addr + len) may overlap the modified range.
   const uint64_t lo = addr >= 9 ? addr - 9 : 0;
-  for (uint64_t a = lo; a < addr + len; ++a) {
-    icache_.erase(a);
+  for (auto& icache : icaches_) {
+    for (uint64_t a = lo; a < addr + len; ++a) {
+      icache.erase(a);
+    }
   }
+  ++icache_flushes_;
+}
+
+void Vm::FlushAllIcache() {
+  for (auto& icache : icaches_) {
+    icache.clear();
+  }
+  ++icache_flushes_;
+}
+
+uint64_t Vm::icache_entries() const {
+  uint64_t total = 0;
+  for (const auto& icache : icaches_) {
+    total += icache.size();
+  }
+  return total;
+}
+
+bool Vm::AtSafePoint(int core_id, const std::vector<CodeRange>& ranges) const {
+  const uint64_t pc = cores_[static_cast<size_t>(core_id)].pc;
+  for (const CodeRange& range : ranges) {
+    if (range.Contains(pc)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void Vm::FlushPredictors() {
@@ -90,16 +123,25 @@ std::optional<VmExit> Vm::Step(int core_id) {
 
   const uint64_t pc = core.pc;
 
-  // Fetch: consult the decoded-instruction cache first. A cache hit skips the
-  // memory read entirely — this is what makes un-flushed self-modification
-  // visible as stale execution.
+  // Fetch: consult this core's decoded-instruction cache first. A cache hit
+  // skips the memory read entirely — this is what makes un-flushed
+  // self-modification visible as stale execution, per core.
+  auto& icache = icaches_[static_cast<size_t>(core_id)];
   const CachedInsn* cached = nullptr;
-  auto it = icache_.find(pc);
-  if (it != icache_.end()) {
+  auto it = icache.find(pc);
+  if (it != icache.end()) {
     cached = &it->second;
   }
   Insn insn;
   if (cached != nullptr) {
+    if (stale_fetch_detection_ &&
+        std::memcmp(cached->bytes.data(), memory_.raw(pc), cached->insn.size) != 0) {
+      ++core.stale_fetches;
+      VmExit exit;
+      exit.kind = VmExit::Kind::kFault;
+      exit.fault = Fault{FaultKind::kStaleFetch, pc, pc};
+      return exit;
+    }
     insn = cached->insn;
   } else {
     // Permission check happens on the fill path, like a hardware ifetch.
@@ -112,7 +154,9 @@ std::optional<VmExit> Vm::Step(int core_id) {
         exec_fault = memory_.CheckExec(pc, decoded->size);
         if (exec_fault.ok()) {
           insn = *decoded;
-          icache_.emplace(pc, CachedInsn{insn});
+          CachedInsn entry{insn, {}};
+          std::memcpy(entry.bytes.data(), memory_.raw(pc), insn.size);
+          icache.emplace(pc, entry);
         }
       }
     }
@@ -567,6 +611,16 @@ std::optional<VmExit> Vm::Execute(Core& core, const Insn& insn) {
       VmExit exit;
       exit.kind = VmExit::Kind::kVmCall;
       exit.vmcall_code = static_cast<uint8_t>(insn.imm);
+      return exit;
+    }
+    case Op::kBkpt: {
+      // Trap to the host without retiring: pc stays at the BKPT byte, so a
+      // resumed core refetches the (by then rewritten) site. The trap entry
+      // cost is charged to the trapping core, as on x86 #BP.
+      core.ticks += cm.bkpt_trap;
+      ++core.bkpt_traps;
+      VmExit exit;
+      exit.kind = VmExit::Kind::kBreakpoint;
       return exit;
     }
     case Op::kInvalid:

@@ -8,8 +8,10 @@
 #ifndef MULTIVERSE_SRC_VM_VM_H_
 #define MULTIVERSE_SRC_VM_VM_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -44,16 +46,20 @@ struct Core {
   uint64_t ret_mispredicts = 0;
   uint64_t atomic_ops = 0;
   uint64_t priv_traps = 0;   // STI/CLI executed while in hypervisor-guest mode
+  uint64_t bkpt_traps = 0;   // BKPT instructions fetched (livepatch protocol)
+  uint64_t stale_fetches = 0;  // stale icache hits detected (see Vm)
 
   double cycles() const { return TicksToCycles(ticks); }
 };
 
 struct VmExit {
   enum class Kind : uint8_t {
-    kHalt,       // HLT retired
-    kVmCall,     // VMCALL retired; code in vmcall_code, arg in core regs
-    kFault,      // see fault
-    kStepLimit,  // max_steps exhausted
+    kHalt,        // HLT retired
+    kVmCall,      // VMCALL retired; code in vmcall_code, arg in core regs
+    kFault,       // see fault
+    kStepLimit,   // max_steps exhausted
+    kBreakpoint,  // BKPT fetched: pc still points at the BKPT byte; the host
+                  // trap handler decides whether to park or redirect the core
   };
 
   Kind kind = Kind::kHalt;
@@ -61,6 +67,14 @@ struct VmExit {
   Fault fault;
 
   std::string ToString() const;
+};
+
+// A half-open byte range of code, [addr, addr + len).
+struct CodeRange {
+  uint64_t addr = 0;
+  uint64_t len = 0;
+
+  bool Contains(uint64_t pc) const { return pc >= addr && pc < addr + len; }
 };
 
 class Vm {
@@ -89,12 +103,37 @@ class Vm {
   // running, or the exit otherwise. Used for multi-core interleaving tests.
   std::optional<VmExit> Step(int core_id);
 
-  // Invalidate cached decoded instructions overlapping [addr, addr+len).
-  // Self-modifying code that is not flushed keeps executing stale bytes —
-  // exactly the hazard the multiverse runtime library must handle (paper §4).
+  // Invalidate cached decoded instructions overlapping [addr, addr+len) on
+  // every core (the cross-core invalidation an x86 text_poke performs with an
+  // IPI broadcast). Self-modifying code that is not flushed keeps executing
+  // stale bytes — exactly the hazard the multiverse runtime library and the
+  // livepatch protocols must handle (paper §4, §7.3).
   void FlushIcache(uint64_t addr, uint64_t len);
-  void FlushAllIcache() { icache_.clear(); }
-  uint64_t icache_entries() const { return icache_.size(); }
+  void FlushAllIcache();
+  uint64_t icache_entries() const;
+  uint64_t icache_entries(int core_id) const {
+    return icaches_[static_cast<size_t>(core_id)].size();
+  }
+  // Number of FlushIcache/FlushAllIcache calls since construction.
+  uint64_t icache_flushes() const { return icache_flushes_; }
+
+  // When enabled, an icache hit whose backing memory bytes have changed since
+  // the entry was filled raises a kStaleFetch fault instead of silently
+  // executing the stale decode. This is the livepatch fault-injection
+  // detector; it costs a memcmp per cached fetch, so it is off by default.
+  void set_stale_fetch_detection(bool v) { stale_fetch_detection_ = v; }
+  bool stale_fetch_detection() const { return stale_fetch_detection_; }
+
+  // Safe-point queries for the livepatch protocols: a core is at a safe point
+  // with respect to a set of patch ranges iff its next fetch does not start
+  // inside any of them. (Instruction execution is atomic, so every step
+  // boundary is "between instructions"; the residual hazard is a pc parked
+  // inside a multi-instruction patch range, e.g. mid-way through a
+  // NOP-eradicated call site.)
+  bool PcInRange(int core_id, const CodeRange& range) const {
+    return range.Contains(cores_[static_cast<size_t>(core_id)].pc);
+  }
+  bool AtSafePoint(int core_id, const std::vector<CodeRange>& ranges) const;
 
   // Clears branch predictor state on all cores (cold-path ablation).
   void FlushPredictors();
@@ -114,6 +153,8 @@ class Vm {
  private:
   struct CachedInsn {
     Insn insn;
+    // Raw encoding at fill time, for stale-fetch detection.
+    std::array<uint8_t, 10> bytes{};
   };
 
   std::optional<VmExit> Execute(Core& core, const Insn& insn);
@@ -123,11 +164,15 @@ class Vm {
   std::vector<Core> cores_;
   CostModel cost_model_;
   bool hypervisor_guest_ = false;
+  bool stale_fetch_detection_ = false;
+  uint64_t icache_flushes_ = 0;
   TraceHook trace_hook_;
 
-  // Decoded-instruction cache keyed by address. Deliberately not coherent
-  // with memory writes; see FlushIcache().
-  std::unordered_map<uint64_t, CachedInsn> icache_;
+  // Per-core decoded-instruction caches keyed by address, one per core like
+  // hardware L1i. Deliberately not coherent with memory writes: a code write
+  // leaves every core's old entries in place until the explicit FlushIcache
+  // broadcast; see FlushIcache().
+  std::vector<std::unordered_map<uint64_t, CachedInsn>> icaches_;
 };
 
 }  // namespace mv

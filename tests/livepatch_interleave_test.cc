@@ -1,0 +1,364 @@
+// Multi-core interleaving property test for the livepatch protocols: N
+// mutator cores single-step through the spinlock workload while the host
+// issues a live commit at EVERY possible interleaving point (every prefix
+// length of the deterministic round-robin schedule). For each commit point ×
+// protocol the test asserts
+//   * soundness: the run completes with the generic-behaviour results
+//     (per-worker counters, lock released, preemption balanced) — committing
+//     must never change what the program computes, only how fast;
+//   * no torn or stale retirement: the stale-fetch detector is armed for the
+//     whole run, so a single stale icache hit fails the sweep.
+// A fault-injection variant drops the icache flushes and asserts the
+// detector fires (instead of stale bytes executing silently), and the
+// paper's unsafe baseline is swept to demonstrate the motivating anomaly:
+// at some commit point a core resumes inside a rewritten site and tears.
+//
+// The workload extends the multiverse spinlock kernel with a multiversed
+// debug hook whose off-variant is empty — its call sites are NOP-eradicated
+// by the boot commit, so mutator pcs can legitimately sit *inside* a 5-byte
+// patch range: the torn-execution hazard the protocols must handle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/program.h"
+#include "src/livepatch/livepatch.h"
+#include "src/obj/linker.h"
+#include "src/workloads/kernel.h"
+
+namespace mv {
+namespace {
+
+// Rounds per worker. The every-point sweeps use a short workload (the sweep
+// is quadratic in its length); the fault-injection sweep needs one long
+// enough to outlive the whole patch window, or the workers halt before ever
+// re-fetching a patched site and there is legitimately nothing stale.
+constexpr uint64_t kShortRounds = 2;
+constexpr uint64_t kLongRounds = 16;
+
+std::string InterleaveSource() {
+  return SpinlockKernelSource(SpinBinding::kMultiverse) + R"(
+long c0; long c1;
+long done0; long done1;
+long dbg_hits;
+__attribute__((multiverse)) int debug_on;
+
+__attribute__((multiverse))
+void dbg_hook() { if (debug_on) { dbg_hits = dbg_hits + 1; } }
+
+void worker(long rounds, long slot) {
+  long i;
+  for (i = 0; i < rounds; ++i) {
+    spin_lock_irq(&lock_word);
+    if (slot) { c1 = c1 + 1; } else { c0 = c0 + 1; }
+    spin_unlock_irq(&lock_word);
+    dbg_hook();
+  }
+  if (slot) { done1 = 1; } else { done0 = 1; }
+}
+)";
+}
+
+enum class RunOutcome {
+  kClean,     // completed with generic-behaviour results
+  kDetected,  // the stale-fetch detector fired (fault-injection success)
+  kAnomaly,   // torn execution / wrong results / unexpected exit
+};
+
+struct SweepResult {
+  int points = 0;
+  int clean = 0;
+  int detected = 0;
+  int anomaly = 0;
+  // Protocol activity accumulated over the sweep.
+  uint64_t bkpt_traps = 0;
+  uint64_t cores_stopped = 0;
+  uint64_t parked_ticks = 0;
+  uint64_t stopped_ticks = 0;
+  std::string first_anomaly;
+};
+
+class InterleaveFixture {
+ public:
+  InterleaveFixture(int num_mutators, bool detect, uint64_t rounds)
+      : num_mutators_(num_mutators), detect_(detect), rounds_(rounds) {
+    Rebuild();
+  }
+
+  Program& program() { return *program_; }
+
+  std::vector<int> MutatorCores() const {
+    std::vector<int> cores;
+    for (int i = 0; i < num_mutators_; ++i) {
+      cores.push_back(i + 1);
+    }
+    return cores;
+  }
+
+  void Rebuild() {
+    BuildOptions options;
+    options.vm_cores = 1 + num_mutators_;
+    Result<std::unique_ptr<Program>> built =
+        Program::Build({{"interleave", InterleaveSource()}}, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    program_ = std::move(*built);
+    program_->vm().set_stale_fetch_detection(detect_);
+    worker_ = *program_->SymbolAddress("worker");
+    Boot();
+  }
+
+  // Restores boot state on the same program: generic text, zeroed globals,
+  // boot commit, workers re-armed. Only valid after a clean run (text and
+  // runtime bookkeeping consistent).
+  void Reset() {
+    ASSERT_TRUE(program_->runtime().Revert().ok());
+    program_->vm().FlushAllIcache();
+    Boot();
+  }
+
+  // Flips the multiverse configuration the way a hotplug would and asks for
+  // the live commit.
+  void RaiseConfig() {
+    ASSERT_TRUE(program_->WriteGlobal("config_smp", 1, 4).ok());
+    ASSERT_TRUE(program_->WriteGlobal("debug_on", 1, 4).ok());
+  }
+
+  // Advances the deterministic round-robin schedule by one single step.
+  // Returns false once every worker has halted. Outcome degrades to
+  // kAnomaly if a worker exits any way other than HLT.
+  bool StepSchedule(RunOutcome* outcome) {
+    for (int attempt = 0; attempt < num_mutators_; ++attempt) {
+      const int core = 1 + (rr_++ % num_mutators_);
+      Core& c = program_->vm().core(core);
+      if (c.halted) {
+        continue;
+      }
+      std::optional<VmExit> exit = program_->vm().Step(core);
+      if (exit.has_value() && exit->kind != VmExit::Kind::kHalt) {
+        *outcome = exit->kind == VmExit::Kind::kFault &&
+                           exit->fault.kind == FaultKind::kStaleFetch
+                       ? RunOutcome::kDetected
+                       : RunOutcome::kAnomaly;
+        return false;
+      }
+      return true;
+    }
+    return false;  // all halted
+  }
+
+  // Runs the remaining schedule to completion and classifies the run.
+  RunOutcome Drain(std::string* why) {
+    RunOutcome outcome = RunOutcome::kClean;
+    for (uint64_t step = 0; step < 1'000'000; ++step) {
+      if (!StepSchedule(&outcome)) {
+        if (outcome != RunOutcome::kClean) {
+          *why = "mutator exit during drain";
+          return outcome;
+        }
+        return CheckFinalState(why);
+      }
+    }
+    *why = "workers did not finish (livelock)";
+    return RunOutcome::kAnomaly;
+  }
+
+  // The soundness oracle: the generic program (uncommitted, same config)
+  // deterministically produces exactly these per-core values, so a committed
+  // run that deviates has changed behaviour. Deliberately NOT checked:
+  // preempt_count — the Figure 1 code updates it outside the critical
+  // section, so its final value is interleaving-dependent with >1 core in
+  // generic and committed code alike.
+  RunOutcome CheckFinalState(std::string* why) {
+    const int64_t c0 = *program_->ReadGlobal("c0");
+    const int64_t c1 = num_mutators_ > 1 ? *program_->ReadGlobal("c1") : 0;
+    const int64_t expect1 = num_mutators_ > 1 ? static_cast<int64_t>(rounds_) : 0;
+    if (c0 != static_cast<int64_t>(rounds_) || c1 != expect1) {
+      *why = "worker counters diverged from generic behaviour";
+      return RunOutcome::kAnomaly;
+    }
+    if (*program_->ReadGlobal("done0") != 1 ||
+        (num_mutators_ > 1 && *program_->ReadGlobal("done1") != 1)) {
+      *why = "a worker did not reach its completion flag";
+      return RunOutcome::kAnomaly;
+    }
+    if (*program_->ReadGlobal("lock_word", 4) != 0) {
+      *why = "lock still held after all workers finished";
+      return RunOutcome::kAnomaly;
+    }
+    return RunOutcome::kClean;
+  }
+
+ private:
+  void Boot() {
+    for (const char* name : {"c0", "c1", "done0", "done1", "dbg_hits"}) {
+      ASSERT_TRUE(program_->WriteGlobal(name, 0, 8).ok());
+    }
+    for (const char* name : {"config_smp", "debug_on", "lock_word", "preempt_count"}) {
+      ASSERT_TRUE(program_->WriteGlobal(name, 0, 4).ok());
+    }
+    // Boot commit: UP spinlocks, debug hook compiled out (NOP-eradicated
+    // call sites — the interior-pc hazard material).
+    Result<PatchStats> stats = program_->runtime().Commit();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    for (int i = 0; i < num_mutators_; ++i) {
+      SetupCall(program_->image(), &program_->vm(), worker_,
+                {rounds_, static_cast<uint64_t>(i)}, i + 1);
+    }
+    rr_ = 0;
+  }
+
+  int num_mutators_;
+  bool detect_;
+  uint64_t rounds_;
+  std::unique_ptr<Program> program_;
+  uint64_t worker_ = 0;
+  int rr_ = 0;
+};
+
+// Counts the schedule length of an undisturbed run (= the number of commit
+// points to sweep).
+int ScheduleLength(int num_mutators, uint64_t rounds) {
+  InterleaveFixture fixture(num_mutators, /*detect=*/true, rounds);
+  RunOutcome outcome = RunOutcome::kClean;
+  int steps = 0;
+  while (fixture.StepSchedule(&outcome)) {
+    ++steps;
+    EXPECT_LT(steps, 1'000'000) << "dry run did not terminate";
+  }
+  EXPECT_EQ(outcome, RunOutcome::kClean);
+  std::string why;
+  EXPECT_EQ(fixture.CheckFinalState(&why), RunOutcome::kClean) << why;
+  return steps;
+}
+
+// Sweeps a live commit across the schedule's interleaving points: every
+// `stride`-th prefix length of the round-robin schedule gets one fresh run
+// with the commit issued at that point.
+SweepResult Sweep(CommitProtocol protocol, int num_mutators, bool flush_icache,
+                  uint64_t rounds = kShortRounds, int stride = 1) {
+  const int total_steps = ScheduleLength(num_mutators, rounds);
+  EXPECT_GT(total_steps, 0);
+
+  SweepResult result;
+  InterleaveFixture fixture(num_mutators, /*detect=*/true, rounds);
+  for (int k = 0; k <= total_steps; k += stride) {
+    ++result.points;
+    RunOutcome outcome = RunOutcome::kClean;
+    std::string why;
+
+    for (int step = 0; step < k && outcome == RunOutcome::kClean; ++step) {
+      fixture.StepSchedule(&outcome);
+    }
+    if (outcome == RunOutcome::kClean) {
+      fixture.RaiseConfig();
+      LiveCommitOptions options;
+      options.protocol = protocol;
+      options.mutator_cores = fixture.MutatorCores();
+      options.flush_icache = flush_icache;
+      Result<LiveCommitStats> stats = multiverse_commit_live(
+          &fixture.program().vm(), &fixture.program().runtime(), options);
+      if (stats.ok()) {
+        result.bkpt_traps += static_cast<uint64_t>(stats->bkpt_traps);
+        result.cores_stopped += static_cast<uint64_t>(stats->cores_stopped);
+        result.parked_ticks += stats->parked_ticks;
+        result.stopped_ticks += stats->stopped_ticks;
+        if (protocol == CommitProtocol::kBreakpoint) {
+          // The headline property: no stop-machine, ever.
+          EXPECT_EQ(stats->cores_stopped, 0)
+              << "breakpoint protocol stopped cores at commit point " << k;
+        }
+        outcome = fixture.Drain(&why);
+      } else {
+        const bool stale =
+            stats.status().ToString().find("stale-fetch") != std::string::npos;
+        outcome = stale ? RunOutcome::kDetected : RunOutcome::kAnomaly;
+        why = stats.status().ToString();
+      }
+    } else {
+      why = "pre-commit schedule failed";
+    }
+
+    switch (outcome) {
+      case RunOutcome::kClean:
+        ++result.clean;
+        fixture.Reset();
+        break;
+      case RunOutcome::kDetected:
+        ++result.detected;
+        fixture.Rebuild();
+        break;
+      case RunOutcome::kAnomaly:
+        ++result.anomaly;
+        if (result.first_anomaly.empty()) {
+          result.first_anomaly =
+              "commit point " + std::to_string(k) + ": " + why;
+        }
+        fixture.Rebuild();
+        break;
+    }
+  }
+  return result;
+}
+
+// --- the property, per protocol × mutator count -----------------------------
+
+class LivepatchInterleaveTest
+    : public ::testing::TestWithParam<std::tuple<CommitProtocol, int>> {};
+
+TEST_P(LivepatchInterleaveTest, EveryCommitPointIsSoundAndStaleFree) {
+  const auto [protocol, mutators] = GetParam();
+  const SweepResult result = Sweep(protocol, mutators, /*flush_icache=*/true);
+  EXPECT_EQ(result.anomaly, 0) << result.first_anomaly;
+  EXPECT_EQ(result.detected, 0) << "stale fetch under a flushing protocol";
+  EXPECT_EQ(result.clean, result.points);
+  if (protocol == CommitProtocol::kQuiescence) {
+    EXPECT_GT(result.cores_stopped, 0u) << "stop-machine never engaged";
+  }
+}
+
+TEST_P(LivepatchInterleaveTest, SuppressedIcacheFlushIsDetectedNotSilent) {
+  const auto [protocol, mutators] = GetParam();
+  // The breakpoint protocol co-executes mutators during the patch window, so a
+  // short workload can halt before ever re-fetching a patched site — nothing
+  // would be stale. Use a long workload (strided to keep the sweep cheap) so
+  // the mutators outlive the commit and revisit patched sites.
+  const SweepResult result = Sweep(protocol, mutators, /*flush_icache=*/false,
+                                   kLongRounds, /*stride=*/9);
+  // Every commit point either stays coherent by luck (cold caches) or the
+  // detector fires; stale bytes must never retire silently — a silent stale
+  // execution would corrupt the counters and show up as an anomaly.
+  EXPECT_EQ(result.anomaly, 0) << result.first_anomaly;
+  EXPECT_GT(result.detected, 0)
+      << "dropping the icache flush was never detected across "
+      << result.points << " commit points";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, LivepatchInterleaveTest,
+    ::testing::Combine(::testing::Values(CommitProtocol::kQuiescence,
+                                         CommitProtocol::kBreakpoint),
+                       ::testing::Values(1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<CommitProtocol, int>>& info) {
+      return std::string(CommitProtocolName(std::get<0>(info.param))) +
+             "_x" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- the motivating baseline ------------------------------------------------
+
+TEST(LivepatchInterleaveUnsafeTest, UnsafeBaselineTearsAtSomeCommitPoint) {
+  // The paper's unsynchronized commit, swept over the same commit points: at
+  // least one interleaving must tear (a core resumes inside a rewritten
+  // NOP-eradicated site and decodes garbage) — the reason this subsystem
+  // exists. Clean points also exist (e.g. commits after the workers halt).
+  const SweepResult result = Sweep(CommitProtocol::kUnsafe, 2, /*flush_icache=*/true);
+  EXPECT_GT(result.anomaly, 0)
+      << "the unsafe baseline never tore; the hazard this subsystem guards "
+         "against has disappeared from the workload";
+  EXPECT_GT(result.clean, 0);
+}
+
+}  // namespace
+}  // namespace mv

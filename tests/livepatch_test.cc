@@ -1,0 +1,361 @@
+// Unit tests for the live-patching subsystem: the BKPT trap, the per-core
+// instruction caches with stale-fetch detection, the batched
+// LivePatchSession plans, and multiverse_commit_live() on an otherwise idle
+// machine (where every protocol must degrade to a plain commit).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/livepatch_session.h"
+#include "src/core/patching.h"
+#include "src/core/program.h"
+#include "src/isa/isa.h"
+#include "src/livepatch/livepatch.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+namespace {
+
+constexpr uint64_t kText = 0x1000;
+constexpr uint64_t kStackTop = 0x20000;
+
+class VmHarness {
+ public:
+  explicit VmHarness(int cores = 1) : vm_(0x40000, cores) {
+    EXPECT_TRUE(vm_.memory().Protect(kText, 0x4000, kPermRead | kPermExec).ok());
+    EXPECT_TRUE(
+        vm_.memory().Protect(0x10000, kStackTop - 0x10000, kPermRead | kPermWrite).ok());
+  }
+
+  uint64_t Assemble(const std::vector<Insn>& insns, uint64_t addr) {
+    std::vector<uint8_t> bytes;
+    for (const Insn& insn : insns) {
+      Result<int> size = Encode(insn, &bytes);
+      EXPECT_TRUE(size.ok()) << size.status().ToString();
+    }
+    EXPECT_TRUE(vm_.memory().WriteRaw(addr, bytes.data(), bytes.size()).ok());
+    vm_.FlushIcache(addr, bytes.size());
+    return addr + bytes.size();
+  }
+
+  void Start(int core, uint64_t pc = kText) {
+    Core& c = vm_.core(core);
+    c.pc = pc;
+    c.halted = false;
+    c.regs[kRegSP] = kStackTop - 16 - 0x1000 * static_cast<uint64_t>(core);
+  }
+
+  Vm& vm() { return vm_; }
+
+ private:
+  Vm vm_;
+};
+
+// --- BKPT instruction -------------------------------------------------------
+
+TEST(BkptTest, EncodesToOneByteAndRoundTrips) {
+  std::vector<uint8_t> bytes;
+  Result<int> size = Encode(MakeSimple(Op::kBkpt), &bytes);
+  ASSERT_TRUE(size.ok()) << size.status().ToString();
+  EXPECT_EQ(*size, 1);
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], kBkptByte);
+
+  Result<Insn> decoded = Decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, Op::kBkpt);
+  EXPECT_EQ(decoded->size, 1);
+}
+
+TEST(BkptTest, ExitsWithPcStillAtTheBreakpoint) {
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(0, 7), MakeSimple(Op::kBkpt), MakeMovRI(0, 9),
+                    MakeSimple(Op::kHlt)},
+                   kText);
+  harness.Start(0);
+  const VmExit exit = harness.vm().Run(0, 1000);
+  ASSERT_EQ(exit.kind, VmExit::Kind::kBreakpoint) << exit.ToString();
+
+  Core& core = harness.vm().core(0);
+  const uint64_t bkpt_pc = core.pc;
+  EXPECT_EQ(core.regs[0], 7u);  // first insn retired, the BKPT did not
+  EXPECT_EQ(core.bkpt_traps, 1u);
+
+  uint8_t byte = 0;
+  ASSERT_TRUE(harness.vm().memory().ReadRaw(bkpt_pc, &byte, 1).ok());
+  EXPECT_EQ(byte, kBkptByte);
+
+  // The host trap handler's view: replace the BKPT, flush, resume — the core
+  // re-executes from the same pc.
+  const uint8_t nop = static_cast<uint8_t>(Op::kNop);
+  ASSERT_TRUE(WriteCodeBytes(&harness.vm(), bkpt_pc, &nop, 1).ok());
+  const VmExit resumed = harness.vm().Run(0, 1000);
+  ASSERT_EQ(resumed.kind, VmExit::Kind::kHalt) << resumed.ToString();
+  EXPECT_EQ(core.regs[0], 9u);
+}
+
+// --- Per-core instruction caches -------------------------------------------
+
+TEST(IcacheTest, CachesAreSeparatePerCore) {
+  VmHarness harness(2);
+  harness.Assemble({MakeMovRI(0, 1), MakeSimple(Op::kHlt)}, kText);
+  harness.vm().FlushAllIcache();
+
+  harness.Start(0);
+  ASSERT_EQ(harness.vm().Run(0, 100).kind, VmExit::Kind::kHalt);
+  EXPECT_GT(harness.vm().icache_entries(0), 0u);
+  EXPECT_EQ(harness.vm().icache_entries(1), 0u);
+
+  harness.Start(1);
+  ASSERT_EQ(harness.vm().Run(1, 100).kind, VmExit::Kind::kHalt);
+  EXPECT_GT(harness.vm().icache_entries(1), 0u);
+  EXPECT_EQ(harness.vm().icache_entries(),
+            harness.vm().icache_entries(0) + harness.vm().icache_entries(1));
+}
+
+TEST(IcacheTest, FlushInvalidatesEveryCore) {
+  VmHarness harness(2);
+  const uint64_t end = harness.Assemble({MakeMovRI(0, 1), MakeSimple(Op::kHlt)}, kText);
+  harness.vm().FlushAllIcache();
+  for (int core = 0; core < 2; ++core) {
+    harness.Start(core);
+    ASSERT_EQ(harness.vm().Run(core, 100).kind, VmExit::Kind::kHalt);
+  }
+  const uint64_t flushes_before = harness.vm().icache_flushes();
+  harness.vm().FlushIcache(kText, end - kText);
+  EXPECT_EQ(harness.vm().icache_entries(0), 0u);
+  EXPECT_EQ(harness.vm().icache_entries(1), 0u);
+  EXPECT_EQ(harness.vm().icache_flushes(), flushes_before + 1);
+}
+
+TEST(IcacheTest, UnflushedWriteExecutesStaleBytesUndetected) {
+  // Without the detector, a code write that skips the flush keeps executing
+  // the old decode from the icache — the silent hazard (paper §7.3).
+  VmHarness harness;
+  harness.Assemble({MakeMovRI(0, 1), MakeSimple(Op::kHlt)}, kText);
+  harness.Start(0);
+  ASSERT_EQ(harness.vm().Run(0, 100).kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.vm().core(0).regs[0], 1u);
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(Encode(MakeMovRI(0, 2), &bytes).ok());
+  ASSERT_TRUE(
+      WriteCodeBytes(&harness.vm(), kText, bytes.data(), bytes.size(), /*flush=*/false)
+          .ok());
+  harness.Start(0);
+  ASSERT_EQ(harness.vm().Run(0, 100).kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.vm().core(0).regs[0], 1u);  // stale!
+  EXPECT_EQ(harness.vm().core(0).stale_fetches, 0u);
+}
+
+TEST(IcacheTest, StaleFetchDetectorFaultsInsteadOfExecutingStaleBytes) {
+  VmHarness harness;
+  harness.vm().set_stale_fetch_detection(true);
+  harness.Assemble({MakeMovRI(0, 1), MakeSimple(Op::kHlt)}, kText);
+  harness.Start(0);
+  ASSERT_EQ(harness.vm().Run(0, 100).kind, VmExit::Kind::kHalt);
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(Encode(MakeMovRI(0, 2), &bytes).ok());
+  ASSERT_TRUE(
+      WriteCodeBytes(&harness.vm(), kText, bytes.data(), bytes.size(), /*flush=*/false)
+          .ok());
+  harness.Start(0);
+  const VmExit exit = harness.vm().Run(0, 100);
+  ASSERT_EQ(exit.kind, VmExit::Kind::kFault) << exit.ToString();
+  EXPECT_EQ(exit.fault.kind, FaultKind::kStaleFetch);
+  EXPECT_EQ(harness.vm().core(0).stale_fetches, 1u);
+
+  // After the flush the new bytes execute.
+  harness.vm().FlushIcache(kText, bytes.size());
+  harness.Start(0);
+  ASSERT_EQ(harness.vm().Run(0, 100).kind, VmExit::Kind::kHalt);
+  EXPECT_EQ(harness.vm().core(0).regs[0], 2u);
+}
+
+TEST(IcacheTest, SafePointQueries) {
+  VmHarness harness;
+  harness.Start(0, kText + 2);
+  const CodeRange range{kText, 5};
+  EXPECT_TRUE(harness.vm().PcInRange(0, range));
+  EXPECT_FALSE(harness.vm().AtSafePoint(0, {range}));
+  EXPECT_TRUE(harness.vm().AtSafePoint(0, {CodeRange{kText + 16, 5}}));
+  harness.Start(0, kText + 5);  // one past the end: safe
+  EXPECT_TRUE(harness.vm().AtSafePoint(0, {range}));
+}
+
+// --- LivePatchSession -------------------------------------------------------
+
+constexpr char kMultiverseSource[] = R"(
+__attribute__((multiverse)) bool feature;
+long count;
+__attribute__((multiverse))
+void tick() { if (feature) { count = count + 2; } else { count = count + 1; } }
+long run(long n) { long i; for (i = 0; i < n; ++i) { tick(); } return count; }
+)";
+
+std::unique_ptr<Program> BuildMultiverse(int cores = 1) {
+  BuildOptions options;
+  options.vm_cores = cores;
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"mv_demo", kMultiverseSource}}, options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(*built);
+}
+
+TEST(LivePatchSessionTest, PlanRecordsWritesWithoutApplyingThem) {
+  std::unique_ptr<Program> program = BuildMultiverse();
+  ASSERT_TRUE(program->WriteGlobal("feature", 1, 1).ok());
+
+  // Snapshot the text segment, plan a commit, and verify nothing changed.
+  const uint64_t base = program->image().text_base;
+  const uint64_t size = program->image().text_size;
+  std::vector<uint8_t> before(size);
+  ASSERT_TRUE(program->vm().memory().ReadRaw(base, before.data(), size).ok());
+
+  LivePatchSession session(&program->runtime());
+  Result<PatchStats> stats = session.PlanCommit();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->functions_committed, 0);
+  ASSERT_FALSE(session.plan().empty());
+
+  std::vector<uint8_t> after(size);
+  ASSERT_TRUE(program->vm().memory().ReadRaw(base, after.data(), size).ok());
+  EXPECT_EQ(before, after) << "planning must not touch guest memory";
+
+  // Every op records the bytes currently in memory as old_bytes and a
+  // different 5-byte sequence as new_bytes, within the text segment.
+  for (const PatchOp& op : session.plan()) {
+    EXPECT_GE(op.addr, base);
+    EXPECT_LE(op.addr + 5, base + size);
+    uint8_t current[5];
+    ASSERT_TRUE(program->vm().memory().ReadRaw(op.addr, current, 5).ok());
+    EXPECT_EQ(std::memcmp(current, op.old_bytes.data(), 5), 0);
+    EXPECT_NE(std::memcmp(op.old_bytes.data(), op.new_bytes.data(), 5), 0);
+  }
+  const std::vector<CodeRange> ranges = session.UnsafeRanges();
+  ASSERT_EQ(ranges.size(), session.plan().size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].addr, session.plan()[i].addr);
+    EXPECT_EQ(ranges[i].len, 5u);
+  }
+
+  // Applying the plan yields the committed behaviour.
+  ASSERT_TRUE(session.ApplyAll(&program->vm()).ok());
+  Result<uint64_t> result = program->Call("run", {10});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, 20u);
+}
+
+TEST(LivePatchSessionTest, PlannedCommitMatchesPlainCommit) {
+  // Twin programs: one committed through a plan + ApplyAll, one through the
+  // paper's immediate Commit(). The resulting text segments must be
+  // byte-identical.
+  std::unique_ptr<Program> planned = BuildMultiverse();
+  std::unique_ptr<Program> plain = BuildMultiverse();
+  ASSERT_TRUE(planned->WriteGlobal("feature", 1, 1).ok());
+  ASSERT_TRUE(plain->WriteGlobal("feature", 1, 1).ok());
+
+  {
+    LivePatchSession session(&planned->runtime());
+    ASSERT_TRUE(session.PlanCommit().ok());
+    ASSERT_TRUE(session.ApplyAll(&planned->vm()).ok());
+  }
+  ASSERT_TRUE(plain->runtime().Commit().ok());
+
+  const uint64_t size = planned->image().text_size;
+  ASSERT_EQ(size, plain->image().text_size);
+  std::vector<uint8_t> a(size), b(size);
+  ASSERT_TRUE(
+      planned->vm().memory().ReadRaw(planned->image().text_base, a.data(), size).ok());
+  ASSERT_TRUE(plain->vm().memory().ReadRaw(plain->image().text_base, b.data(), size).ok());
+  EXPECT_EQ(a, b);
+}
+
+// --- multiverse_commit_live on an idle machine ------------------------------
+
+class LiveCommitIdleTest : public ::testing::TestWithParam<CommitProtocol> {};
+
+TEST_P(LiveCommitIdleTest, MatchesPlainCommitSemantics) {
+  std::unique_ptr<Program> program = BuildMultiverse();
+  ASSERT_TRUE(program->WriteGlobal("feature", 1, 1).ok());
+
+  LiveCommitOptions options;
+  options.protocol = GetParam();
+  Result<LiveCommitStats> stats =
+      multiverse_commit_live(&program->vm(), &program->runtime(), options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->patch.functions_committed, 0);
+  EXPECT_GT(stats->ops_applied, 0);
+  EXPECT_GT(stats->commit_ticks, 0u);
+  EXPECT_GT(stats->icache_flushes, 0u);
+  // Nothing was running: nobody to stop, trap, or park.
+  EXPECT_EQ(stats->cores_stopped, 0);
+  EXPECT_EQ(stats->bkpt_traps, 0);
+  EXPECT_EQ(stats->stopped_ticks, 0u);
+  EXPECT_EQ(stats->parked_ticks, 0u);
+
+  Result<uint64_t> result = program->Call("run", {10});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, 20u);
+
+  // No BKPT byte may survive a completed breakpoint-protocol commit.
+  const uint64_t base = program->image().text_base;
+  std::vector<uint8_t> text(program->image().text_size);
+  ASSERT_TRUE(program->vm().memory().ReadRaw(base, text.data(), text.size()).ok());
+  const std::string disasm = Disassemble(text.data(), text.size(), base);
+  EXPECT_EQ(disasm.find("bkpt"), std::string::npos);
+}
+
+TEST_P(LiveCommitIdleTest, BreakpointCostsMoreThanQuiescenceWhenIdle) {
+  // Sanity of the cost model: per-op flushes (breakpoint) must not be cheaper
+  // than the single batched apply (quiescence). Run under the same plan.
+  std::unique_ptr<Program> program = BuildMultiverse();
+  ASSERT_TRUE(program->WriteGlobal("feature", 1, 1).ok());
+  LiveCommitOptions options;
+  options.protocol = GetParam();
+  Result<LiveCommitStats> stats =
+      multiverse_commit_live(&program->vm(), &program->runtime(), options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  if (GetParam() == CommitProtocol::kBreakpoint) {
+    // 3 writes + 3 flushes per op.
+    EXPECT_GE(stats->icache_flushes, 3u * static_cast<uint64_t>(stats->ops_applied));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, LiveCommitIdleTest,
+                         ::testing::Values(CommitProtocol::kUnsafe,
+                                           CommitProtocol::kQuiescence,
+                                           CommitProtocol::kBreakpoint),
+                         [](const ::testing::TestParamInfo<CommitProtocol>& info) {
+                           return std::string(CommitProtocolName(info.param));
+                         });
+
+TEST(LiveCommitTest, ProtocolNamesRoundTrip) {
+  for (CommitProtocol p : {CommitProtocol::kUnsafe, CommitProtocol::kQuiescence,
+                           CommitProtocol::kBreakpoint}) {
+    Result<CommitProtocol> parsed = ParseCommitProtocol(CommitProtocolName(p));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_TRUE(ParseCommitProtocol("stop-machine").ok());
+  EXPECT_TRUE(ParseCommitProtocol("bkpt").ok());
+  EXPECT_FALSE(ParseCommitProtocol("yolo").ok());
+}
+
+TEST(LiveCommitTest, StrayBreakpointReachingProgramCallIsAnError) {
+  std::unique_ptr<Program> program = BuildMultiverse();
+  // Plant a BKPT over the entry of run() without any commit in flight.
+  const uint64_t run_addr = *program->SymbolAddress("run");
+  ASSERT_TRUE(WriteCodeBytes(&program->vm(), run_addr, &kBkptByte, 1).ok());
+  Result<uint64_t> result = program->Call("run", {1});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("breakpoint"), std::string::npos)
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace mv

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/support/status.h"
+#include "src/vm/superblock.h"
 
 namespace mv {
 
@@ -27,9 +28,25 @@ class BenchReport {
 
   void Init(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
-      if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      const std::string arg = argv[i];
+      std::string engine_name;
+      if (arg == "--json" && i + 1 < argc) {
         path_ = argv[i + 1];
         ++i;
+      } else if (arg == "--dispatch" && i + 1 < argc) {
+        engine_name = argv[i + 1];
+        ++i;
+      } else if (arg.rfind("--dispatch=", 0) == 0) {
+        engine_name = arg.substr(std::string("--dispatch=").size());
+      }
+      if (!engine_name.empty()) {
+        Result<DispatchEngine> engine = ParseDispatchEngine(engine_name);
+        if (!engine.ok()) {
+          std::fprintf(stderr, "bench: %s\n", engine.status().ToString().c_str());
+          std::exit(2);
+        }
+        // Newly constructed Vms (one per Program::Build) inherit this.
+        SetDefaultDispatchEngine(*engine);
       }
     }
   }
@@ -57,6 +74,8 @@ class BenchReport {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"experiment\": \"%s\",\n", Escaped(experiment_).c_str());
     std::fprintf(f, "  \"paper_ref\": \"%s\",\n", Escaped(paper_ref_).c_str());
+    std::fprintf(f, "  \"dispatch\": \"%s\",\n",
+                 DispatchEngineName(DefaultDispatchEngine()));
     std::fprintf(f, "  \"metrics\": [\n");
     for (size_t i = 0; i < metrics_.size(); ++i) {
       const Metric& m = metrics_[i];

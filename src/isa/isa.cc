@@ -432,6 +432,24 @@ Result<Insn> Decode(const uint8_t* bytes, size_t len) {
   return insn;
 }
 
+bool EndsSuperblock(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kJcc:
+    case Op::kCall:
+    case Op::kCallR:
+    case Op::kCallM:
+    case Op::kRet:
+    case Op::kHlt:
+    case Op::kVmCall:
+    case Op::kBkpt:
+    case Op::kInvalid:
+      return true;
+    default:
+      return false;
+  }
+}
+
 const char* OpName(Op op) {
   switch (op) {
     case Op::kInvalid: return "invalid";

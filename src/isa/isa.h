@@ -167,6 +167,11 @@ Result<int> Encode(const Insn& insn, std::vector<uint8_t>* out);
 // unknown opcode.
 Result<Insn> Decode(const uint8_t* bytes, size_t len);
 
+// True when `op` terminates a straight-line decode trace (a superblock, see
+// src/vm/superblock.h): it can redirect pc or exit the VM, so nothing after
+// it is guaranteed to execute next.
+bool EndsSuperblock(Op op);
+
 // Convenience builders used by the code generator and by tests.
 Insn MakeMovRI(uint8_t rd, int64_t imm);
 Insn MakeMovRR(uint8_t rd, uint8_t rs);

@@ -18,6 +18,7 @@
 //                          (unsafe | quiescence | breakpoint)
 //     --set name=value     write a global before commit/run (may repeat)
 //     --guest              run as a paravirtualized guest
+//     --dispatch engine    VM dispatch engine (legacy | superblock)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +50,7 @@ struct CliOptions {
   bool live = false;
   CommitProtocol live_protocol = CommitProtocol::kQuiescence;
   bool guest = false;
+  DispatchEngine dispatch = DispatchEngine::kLegacy;
   uint64_t trace = 0;
   std::string run_entry;
   std::vector<uint64_t> run_args;
@@ -68,6 +70,7 @@ void Usage() {
                "  --live protocol    commit through the live-patching subsystem\n"
                "                     (unsafe | quiescence | breakpoint); implies --commit\n"
                "  --guest            run as a paravirtualized guest\n"
+               "  --dispatch engine  VM dispatch engine (legacy | superblock)\n"
                "  --trace N          print the first N executed instructions\n"
                "  --run entry [-- args...]  call entry() and report r0/cycles\n");
 }
@@ -129,6 +132,13 @@ int Main(int argc, char** argv) {
       options.commit = true;
     } else if (arg == "--guest") {
       options.guest = true;
+    } else if (arg == "--dispatch" && i + 1 < argc) {
+      Result<DispatchEngine> engine = ParseDispatchEngine(argv[++i]);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "mvcc: %s\n", engine.status().ToString().c_str());
+        return 2;
+      }
+      options.dispatch = *engine;
     } else if (arg == "--trace" && i + 1 < argc) {
       options.trace = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--run" && i + 1 < argc) {
@@ -178,6 +188,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   Program& program = **built;
+  program.vm().SetDispatchEngine(options.dispatch);
 
   if (options.stats) {
     const SpecializeStats& stats = program.specialize_stats();

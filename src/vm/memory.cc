@@ -1,5 +1,6 @@
 #include "src/vm/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/support/str.h"
@@ -45,6 +46,20 @@ Memory::Memory(uint64_t size) {
   const uint64_t rounded = (size + kPageSize - 1) & ~(kPageSize - 1);
   bytes_.resize(rounded, 0);
   page_perms_.resize(rounded / kPageSize, kPermNone);
+  code_marked_.resize(rounded / kPageSize, 0);
+}
+
+void Memory::MarkCodePages(uint64_t addr, uint64_t len) {
+  if (len == 0 || !InBounds(addr, len)) {
+    return;
+  }
+  for (uint64_t page = addr / kPageSize; page <= (addr + len - 1) / kPageSize; ++page) {
+    code_marked_[page] = 1;
+  }
+}
+
+void Memory::ClearCodePageMarks() {
+  std::fill(code_marked_.begin(), code_marked_.end(), 0);
 }
 
 Fault Memory::Read(uint64_t addr, int width, uint64_t* out) const {
@@ -76,6 +91,7 @@ Fault Memory::Write(uint64_t addr, int width, uint64_t value) {
     }
   }
   std::memcpy(bytes_.data() + addr, &value, static_cast<size_t>(width));
+  NotifyCodeWrite(addr, static_cast<uint64_t>(width));
   return Fault{};
 }
 
@@ -108,6 +124,7 @@ Status Memory::WriteRaw(uint64_t addr, const void* data, uint64_t len) {
                                         (unsigned long long)addr, (unsigned long long)len));
   }
   std::memcpy(bytes_.data() + addr, data, static_cast<size_t>(len));
+  NotifyCodeWrite(addr, len);
   return Status::Ok();
 }
 
@@ -121,6 +138,9 @@ Status Memory::Protect(uint64_t addr, uint64_t len, uint8_t perms) {
   for (uint64_t page = addr / kPageSize; page <= (addr + len - 1) / kPageSize; ++page) {
     page_perms_[page] = perms;
   }
+  // A protection change over cached text (the W^X dance around a patch write)
+  // must evict the covering decode traces like a write would.
+  NotifyCodeWrite(addr, len);
   return Status::Ok();
 }
 

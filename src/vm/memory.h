@@ -10,6 +10,7 @@
 #define MULTIVERSE_SRC_VM_MEMORY_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/support/status.h"
@@ -77,13 +78,48 @@ class Memory {
   // multiverse runtime uses the same check before patching.
   bool Writable(uint64_t addr, uint64_t len) const;
 
+  // Code-modification tracking for the superblock dispatch engine (vm.h):
+  // the VM marks pages that back cached decoded traces, and every successful
+  // Write/WriteRaw plus every Protect that touches a marked page reports the
+  // affected range to the observer so overlapping traces can be evicted.
+  // Unmarked pages (all data pages in practice) cost one bitmap probe per
+  // store; nothing is reported while no pages are marked, so the legacy
+  // engine is unaffected.
+  using CodeWriteObserver = std::function<void(uint64_t addr, uint64_t len)>;
+  void set_code_write_observer(CodeWriteObserver observer) {
+    code_write_observer_ = std::move(observer);
+  }
+  void MarkCodePages(uint64_t addr, uint64_t len);
+  void ClearCodePageMarks();
+
  private:
+  bool AnyCodePageMarked(uint64_t addr, uint64_t len) const {
+    if (len == 0) {
+      return false;
+    }
+    for (uint64_t page = addr / kPageSize; page <= (addr + len - 1) / kPageSize;
+         ++page) {
+      if (code_marked_[page] != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void NotifyCodeWrite(uint64_t addr, uint64_t len) {
+    if (code_write_observer_ && AnyCodePageMarked(addr, len)) {
+      code_write_observer_(addr, len);
+    }
+  }
+
   bool InBounds(uint64_t addr, uint64_t len) const {
     return addr <= bytes_.size() && len <= bytes_.size() - addr;
   }
 
   std::vector<uint8_t> bytes_;
   std::vector<uint8_t> page_perms_;
+  std::vector<uint8_t> code_marked_;  // per page: backs a cached decode trace
+  CodeWriteObserver code_write_observer_;
 };
 
 }  // namespace mv

@@ -1,0 +1,37 @@
+#include "src/vm/superblock.h"
+
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+DispatchEngine g_default_engine = DispatchEngine::kLegacy;
+}  // namespace
+
+const char* DispatchEngineName(DispatchEngine engine) {
+  switch (engine) {
+    case DispatchEngine::kLegacy:
+      return "legacy";
+    case DispatchEngine::kSuperblock:
+      return "superblock";
+  }
+  return "?";
+}
+
+Result<DispatchEngine> ParseDispatchEngine(const std::string& name) {
+  if (name == "legacy") {
+    return DispatchEngine::kLegacy;
+  }
+  if (name == "superblock" || name == "sb") {
+    return DispatchEngine::kSuperblock;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown dispatch engine '%s' (expected legacy|superblock)",
+                name.c_str()));
+}
+
+void SetDefaultDispatchEngine(DispatchEngine engine) { g_default_engine = engine; }
+
+DispatchEngine DefaultDispatchEngine() { return g_default_engine; }
+
+}  // namespace mv

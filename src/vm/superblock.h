@@ -1,0 +1,96 @@
+// Superblock dispatch: per-core caches of decoded straight-line traces.
+//
+// A superblock is the run of instructions from an entry pc to the first
+// control transfer (branch, call, ret, BKPT, VMCALL — see EndsSuperblock) or
+// page boundary, decoded once and dispatched with a single cache lookup per
+// block instead of one icache probe per instruction. It is purely a decode
+// cache: execution still advances one instruction per Vm::Step, so multi-core
+// round-robin interleaving is exactly as fine-grained as under the legacy
+// engine, and the cycle accounting (quarter-cycle ticks included) is
+// bit-identical because every instruction retires through the same Execute
+// path with its precomputed decode.
+//
+// Equivalence with the legacy per-instruction engine is maintained by two
+// rules (see Vm for the enforcement):
+//  * blocks are built by consulting the legacy per-core icache first — a
+//    stale icache entry (unflushed self-modification) flows into the block
+//    unchanged, so stale execution and kStaleFetch verdicts are preserved;
+//    instructions decoded fresh during a build fill the icache only when
+//    first dispatched, which is exactly the legacy fill moment;
+//  * any byte or protection change to memory backing a cached block evicts
+//    every overlapping block (on all cores), so a block never outlives the
+//    bytes it decoded; the rebuild re-consults the icache and recovers the
+//    legacy engine's state exactly.
+#ifndef MULTIVERSE_SRC_VM_SUPERBLOCK_H_
+#define MULTIVERSE_SRC_VM_SUPERBLOCK_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+enum class DispatchEngine : uint8_t {
+  kLegacy,      // one icache probe per instruction (the original engine)
+  kSuperblock,  // one block-cache probe per straight-line trace
+};
+
+const char* DispatchEngineName(DispatchEngine engine);
+Result<DispatchEngine> ParseDispatchEngine(const std::string& name);
+
+// Process-wide default applied to newly constructed Vms — the hook for the
+// bench/tool `--dispatch` flags, so every Program built afterwards inherits
+// the selected engine.
+void SetDefaultDispatchEngine(DispatchEngine engine);
+DispatchEngine DefaultDispatchEngine();
+
+// Upper bound on instructions per superblock, so a pathological straight-line
+// run (e.g. a NOP slide) cannot build unbounded traces.
+inline constexpr size_t kMaxSuperblockInsns = 64;
+
+struct SuperblockInsn {
+  Insn insn;
+  uint64_t pc = 0;
+  // Encoding snapshot: the legacy icache entry's fill-time bytes for
+  // icache-sourced elements (stale-fetch comparisons use these), or the
+  // build-time memory bytes for freshly decoded ones.
+  std::array<uint8_t, 10> bytes{};
+  bool from_icache = false;  // mirrors a legacy icache hit: stale-checkable
+  bool filled = false;       // the per-insn icache already holds this pc
+  // Precomputed memory-access shape for load/store ops (width in bytes and
+  // signedness of the extension), so the block-walk fast path pays no
+  // per-dispatch op decoding. Zero for non-memory ops.
+  uint8_t mem_width = 0;
+  bool mem_sign = false;
+};
+
+struct Superblock {
+  uint64_t entry = 0;
+  uint64_t end = 0;  // one past the last byte the trace decoded
+  std::vector<SuperblockInsn> insns;
+
+  // Successor hint (block chaining): the block control last transferred to
+  // from this block's end, so steady-state loops skip the cache probe
+  // entirely. Valid only while succ_epoch matches the VM's eviction epoch —
+  // any eviction invalidates every hint at once without a sweep.
+  Superblock* succ = nullptr;
+  uint64_t succ_pc = 0;
+  uint64_t succ_epoch = 0;
+
+  bool Overlaps(uint64_t lo, uint64_t hi) const { return entry < hi && lo < end; }
+};
+
+// Per-core fall-through cursor: while execution stays inside a block, the
+// next dispatch is an array index instead of a hash probe.
+struct SuperblockCursor {
+  Superblock* block = nullptr;
+  size_t index = 0;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_VM_SUPERBLOCK_H_

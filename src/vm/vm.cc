@@ -21,6 +21,33 @@ int64_t SignExtend(uint64_t value, int width) {
   }
 }
 
+// Precomputes the memory-access shape (superblock.h) so the block-walk fast
+// path does not re-derive width/signedness on every dispatch.
+void PrecomputeMemShape(SuperblockInsn* el) {
+  switch (el->insn.op) {
+    case Op::kLd8U: el->mem_width = 1; break;
+    case Op::kLd8S: el->mem_width = 1; el->mem_sign = true; break;
+    case Op::kLd16U: el->mem_width = 2; break;
+    case Op::kLd16S: el->mem_width = 2; el->mem_sign = true; break;
+    case Op::kLd32U: el->mem_width = 4; break;
+    case Op::kLd32S: el->mem_width = 4; el->mem_sign = true; break;
+    case Op::kLd64: el->mem_width = 8; break;
+    case Op::kSt8: el->mem_width = 1; break;
+    case Op::kSt16: el->mem_width = 2; break;
+    case Op::kSt32: el->mem_width = 4; break;
+    case Op::kSt64: el->mem_width = 8; break;
+    case Op::kLdg:
+      el->mem_width = static_cast<uint8_t>(GWidthBytes(el->insn.gw));
+      el->mem_sign = GWidthSigned(el->insn.gw);
+      break;
+    case Op::kStg:
+      el->mem_width = static_cast<uint8_t>(GWidthBytes(el->insn.gw));
+      break;
+    default:
+      break;
+  }
+}
+
 }  // namespace
 
 std::string VmExit::ToString() const {
@@ -39,9 +66,14 @@ std::string VmExit::ToString() const {
   return "exit{?}";
 }
 
-Vm::Vm(uint64_t mem_size, int num_cores) : memory_(mem_size) {
+Vm::Vm(uint64_t mem_size, int num_cores)
+    : memory_(mem_size), dispatch_engine_(DefaultDispatchEngine()) {
   cores_.resize(static_cast<size_t>(num_cores));
   icaches_.resize(static_cast<size_t>(num_cores));
+  sb_caches_.resize(static_cast<size_t>(num_cores));
+  sb_cursors_.resize(static_cast<size_t>(num_cores));
+  memory_.set_code_write_observer(
+      [this](uint64_t addr, uint64_t len) { OnCodeModified(addr, len); });
 }
 
 void Vm::FlushIcache(uint64_t addr, uint64_t len) {
@@ -53,6 +85,10 @@ void Vm::FlushIcache(uint64_t addr, uint64_t len) {
       icache.erase(a);
     }
   }
+  // Every erased icache key inside a cached block lies within that block's
+  // byte span, so byte-overlap eviction over the same widened range keeps
+  // block contents in lockstep with the icache.
+  EvictSuperblocks(lo, addr + len);
   ++icache_flushes_;
 }
 
@@ -60,7 +96,63 @@ void Vm::FlushAllIcache() {
   for (auto& icache : icaches_) {
     icache.clear();
   }
+  ClearSuperblocks();
   ++icache_flushes_;
+}
+
+void Vm::SetDispatchEngine(DispatchEngine engine) {
+  if (engine == dispatch_engine_) {
+    return;
+  }
+  dispatch_engine_ = engine;
+  // The per-insn icache carries the architectural staleness state across the
+  // switch; only the (always-coherent) acceleration structures are dropped.
+  ClearSuperblocks();
+}
+
+uint64_t Vm::superblock_entries() const {
+  uint64_t total = 0;
+  for (const auto& cache : sb_caches_) {
+    total += cache.size();
+  }
+  return total;
+}
+
+void Vm::OnCodeModified(uint64_t addr, uint64_t len) {
+  EvictSuperblocks(addr, addr + len);
+}
+
+void Vm::EvictSuperblocks(uint64_t lo, uint64_t hi) {
+  bool evicted = false;
+  for (auto& cache : sb_caches_) {
+    for (auto it = cache.begin(); it != cache.end();) {
+      if (it->second->Overlaps(lo, hi)) {
+        it = cache.erase(it);
+        ++sb_evicted_;
+        evicted = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (evicted) {
+    for (SuperblockCursor& cursor : sb_cursors_) {
+      cursor.block = nullptr;
+    }
+    ++sb_epoch_;
+  }
+}
+
+void Vm::ClearSuperblocks() {
+  for (auto& cache : sb_caches_) {
+    sb_evicted_ += cache.size();
+    cache.clear();
+  }
+  for (SuperblockCursor& cursor : sb_cursors_) {
+    cursor.block = nullptr;
+  }
+  ++sb_epoch_;
+  memory_.ClearCodePageMarks();
 }
 
 uint64_t Vm::icache_entries() const {
@@ -114,6 +206,13 @@ bool Vm::EvalCond(const Core& core, Cond cc) const {
 }
 
 std::optional<VmExit> Vm::Step(int core_id) {
+  if (dispatch_engine_ == DispatchEngine::kSuperblock) {
+    return StepSuperblock(core_id);
+  }
+  return StepLegacy(core_id);
+}
+
+std::optional<VmExit> Vm::StepLegacy(int core_id) {
   Core& core = cores_[static_cast<size_t>(core_id)];
   if (core.halted) {
     VmExit exit;
@@ -182,8 +281,11 @@ std::optional<VmExit> Vm::Step(int core_id) {
 }
 
 VmExit Vm::Run(int core_id, uint64_t max_steps) {
+  if (dispatch_engine_ == DispatchEngine::kSuperblock) {
+    return RunSuperblock(core_id, max_steps);
+  }
   for (uint64_t i = 0; i < max_steps; ++i) {
-    std::optional<VmExit> exit = Step(core_id);
+    std::optional<VmExit> exit = StepLegacy(core_id);
     if (exit.has_value()) {
       return *exit;
     }
@@ -191,6 +293,736 @@ VmExit Vm::Run(int core_id, uint64_t max_steps) {
   VmExit exit;
   exit.kind = VmExit::Kind::kStepLimit;
   return exit;
+}
+
+Superblock* Vm::LookupOrBuildSuperblock(int core_id, uint64_t pc,
+                                        VmExit* fault_exit) {
+  auto& cache = sb_caches_[static_cast<size_t>(core_id)];
+  auto it = cache.find(pc);
+  if (it != cache.end()) {
+    return it->second.get();
+  }
+
+  auto& icache = icaches_[static_cast<size_t>(core_id)];
+  auto block = std::make_unique<Superblock>();
+  block->entry = pc;
+  const uint64_t entry_page = pc / kPageSize;
+
+  uint64_t p = pc;
+  while (block->insns.size() < kMaxSuperblockInsns) {
+    SuperblockInsn el;
+    el.pc = p;
+    auto hit = icache.find(p);
+    if (hit != icache.end()) {
+      // Legacy hit path: use the cached decode verbatim — if it is stale,
+      // the block inherits the staleness (and its fill-time bytes for the
+      // detector), exactly like the per-instruction engine would.
+      el.insn = hit->second.insn;
+      el.bytes = hit->second.bytes;
+      el.from_icache = true;
+      el.filled = true;
+    } else {
+      // Legacy miss path, minus the icache fill: permission check, decode,
+      // full-width permission check. The fill happens lazily at the first
+      // dispatch of this element so icache contents evolve exactly as they
+      // would under the legacy engine.
+      Fault exec_fault = memory_.CheckExec(p, 1);
+      if (exec_fault.ok()) {
+        Result<Insn> decoded = Decode(memory_.raw(p), memory_.size() - p);
+        if (!decoded.ok()) {
+          exec_fault = Fault{FaultKind::kBadOpcode, p, p};
+        } else {
+          exec_fault = memory_.CheckExec(p, decoded->size);
+          if (exec_fault.ok()) {
+            el.insn = *decoded;
+            std::memcpy(el.bytes.data(), memory_.raw(p), el.insn.size);
+          }
+        }
+      }
+      if (!exec_fault.ok()) {
+        if (block->insns.empty()) {
+          // Fault on the entry instruction: report it now, build nothing.
+          exec_fault.pc = p;
+          fault_exit->kind = VmExit::Kind::kFault;
+          fault_exit->fault = exec_fault;
+          return nullptr;
+        }
+        // Mid-trace fault: truncate the block here; the fault is raised (or
+        // not — control may never fall through) when dispatch reaches p.
+        break;
+      }
+    }
+    const uint64_t next = p + el.insn.size;
+    const bool ends = EndsSuperblock(el.insn.op);
+    PrecomputeMemShape(&el);
+    block->insns.push_back(el);
+    p = next;
+    if (ends || next / kPageSize != entry_page) {
+      break;
+    }
+  }
+
+  block->end = p;
+  memory_.MarkCodePages(block->entry, block->end - block->entry);
+  ++sb_built_;
+  Superblock* raw = block.get();
+  cache.emplace(pc, std::move(block));
+  return raw;
+}
+
+std::optional<VmExit> Vm::DispatchSuperblockInsn(int core_id, Core& core,
+                                                 Superblock* block, size_t index,
+                                                 bool* block_live) {
+  SuperblockInsn& el = block->insns[index];
+  const uint64_t pc = el.pc;
+
+  if (el.from_icache) {
+    // Mirrors the legacy hit path: the eviction invariant guarantees memory
+    // under the block is unchanged since build time, so comparing against the
+    // element's fill-time bytes gives the same verdict as a fresh icache
+    // probe would.
+    if (stale_fetch_detection_ &&
+        std::memcmp(el.bytes.data(), memory_.raw(pc), el.insn.size) != 0) {
+      ++core.stale_fetches;
+      VmExit exit;
+      exit.kind = VmExit::Kind::kFault;
+      exit.fault = Fault{FaultKind::kStaleFetch, pc, pc};
+      return exit;
+    }
+  } else if (!el.filled) {
+    // Legacy fill moment: the first fetch of a freshly decoded instruction
+    // populates the per-instruction icache.
+    CachedInsn entry{el.insn, el.bytes};
+    icaches_[static_cast<size_t>(core_id)].emplace(pc, entry);
+    el.filled = true;
+  }
+
+  if (trace_hook_) {
+    trace_hook_(TraceEntry{core_id, pc, el.insn, core.ticks});
+  }
+
+  // Copy out before Execute: a store into this block's own text evicts the
+  // block (deleting `el`) while the instruction is still executing.
+  const Insn insn = el.insn;
+  const uint64_t epoch = sb_epoch_;
+  std::optional<VmExit> exit = Execute(core, insn);
+  if (!exit.has_value() || exit->kind == VmExit::Kind::kVmCall ||
+      exit->kind == VmExit::Kind::kHalt) {
+    ++core.instret;
+  }
+  *block_live = sb_epoch_ == epoch;
+  return exit;
+}
+
+std::optional<VmExit> Vm::StepSuperblock(int core_id) {
+  Core& core = cores_[static_cast<size_t>(core_id)];
+  if (core.halted) {
+    VmExit exit;
+    exit.kind = VmExit::Kind::kHalt;
+    return exit;
+  }
+
+  SuperblockCursor& cursor = sb_cursors_[static_cast<size_t>(core_id)];
+  Superblock* block = nullptr;
+  size_t index = 0;
+  if (cursor.block != nullptr && cursor.index < cursor.block->insns.size() &&
+      cursor.block->insns[cursor.index].pc == core.pc) {
+    block = cursor.block;
+    index = cursor.index;
+  } else {
+    VmExit fault_exit;
+    block = LookupOrBuildSuperblock(core_id, core.pc, &fault_exit);
+    if (block == nullptr) {
+      cursor.block = nullptr;
+      return fault_exit;
+    }
+    index = 0;
+  }
+
+  bool block_live = true;
+  std::optional<VmExit> exit =
+      DispatchSuperblockInsn(core_id, core, block, index, &block_live);
+
+  // Leave the cursor at the fall-through successor when execution stayed
+  // inside the block; otherwise the next step re-resolves via the cache.
+  if (!exit.has_value() && block_live && index + 1 < block->insns.size() &&
+      block->insns[index + 1].pc == core.pc) {
+    cursor.block = block;
+    cursor.index = index + 1;
+  } else if (block_live) {
+    cursor.block = nullptr;
+  }
+  return exit;
+}
+
+VmExit Vm::RunSuperblock(int core_id, uint64_t max_steps) {
+  Core& core = cores_[static_cast<size_t>(core_id)];
+  SuperblockCursor& cursor = sb_cursors_[static_cast<size_t>(core_id)];
+  uint64_t steps = 0;
+  // The block whose walk just ended, for successor chaining. Only valid while
+  // no eviction has happened since it was set (the walk clears it otherwise).
+  Superblock* prev = nullptr;
+
+  while (true) {
+    // Budget before halt, like the legacy Run loop: an exhausted budget wins
+    // even on a halted core.
+    if (steps >= max_steps) {
+      VmExit exit;
+      exit.kind = VmExit::Kind::kStepLimit;
+      return exit;
+    }
+    if (core.halted) {
+      VmExit exit;
+      exit.kind = VmExit::Kind::kHalt;
+      return exit;
+    }
+
+    Superblock* block = nullptr;
+    size_t index = 0;
+    if (cursor.block != nullptr && cursor.index < cursor.block->insns.size() &&
+        cursor.block->insns[cursor.index].pc == core.pc) {
+      block = cursor.block;
+      index = cursor.index;
+    } else if (prev != nullptr && prev->succ != nullptr &&
+               prev->succ_epoch == sb_epoch_ && prev->succ_pc == core.pc) {
+      // Chained successor: steady-state loops resolve without a cache probe.
+      block = prev->succ;
+    } else {
+      VmExit fault_exit;
+      block = LookupOrBuildSuperblock(core_id, core.pc, &fault_exit);
+      if (block == nullptr) {
+        cursor.block = nullptr;
+        return fault_exit;
+      }
+      if (prev != nullptr) {
+        prev->succ = block;
+        prev->succ_pc = core.pc;
+        prev->succ_epoch = sb_epoch_;
+      }
+    }
+    cursor.block = nullptr;
+
+    const size_t n = block->insns.size();
+
+    // Generic walk, when any per-instruction observation is active: one
+    // budget check and one dispatch per instruction, no hash probes.
+    if (stale_fetch_detection_ || trace_hook_) {
+      bool evicted = false;
+      while (index < n && block->insns[index].pc == core.pc) {
+        if (steps >= max_steps) {
+          // Park the cursor so a later Run/Step resumes without a probe.
+          cursor.block = block;
+          cursor.index = index;
+          VmExit exit;
+          exit.kind = VmExit::Kind::kStepLimit;
+          return exit;
+        }
+        bool block_live = true;
+        std::optional<VmExit> exit =
+            DispatchSuperblockInsn(core_id, core, block, index, &block_live);
+        ++steps;
+        if (exit.has_value()) {
+          return *exit;
+        }
+        if (!block_live) {
+          evicted = true;
+          break;  // the instruction evicted its own block; re-resolve
+        }
+        ++index;
+      }
+      prev = evicted ? nullptr : block;
+      continue;
+    }
+
+    // Fast walk: the common ops are interpreted inline, mirroring Execute()
+    // case for case (same tick charges, same operation order, same fault
+    // construction — the differential suite pins this). Everything rare or
+    // exit-producing falls back to Execute() in the default case. Within a
+    // block, consecutive elements are fall-through by construction, so no
+    // per-instruction pc check is needed: only block-ending ops redirect pc,
+    // and they are always the last element. The Insn is copied out before any
+    // memory write because a store into this block's own text evicts it; ops
+    // that can write memory re-check sb_epoch_ and leave the walk when their
+    // own block died.
+    {
+      auto& icache = icaches_[static_cast<size_t>(core_id)];
+      const CostModel& cm = cost_model_;
+      uint64_t* regs = core.regs;
+      const uint64_t epoch = sb_epoch_;
+      bool evicted = false;
+      auto fault_exit = [&](Fault f) {
+        f.pc = core.pc;
+        VmExit exit;
+        exit.kind = VmExit::Kind::kFault;
+        exit.fault = f;
+        return exit;
+      };
+      while (index < n) {
+        if (steps >= max_steps) {
+          cursor.block = block;
+          cursor.index = index;
+          VmExit exit;
+          exit.kind = VmExit::Kind::kStepLimit;
+          return exit;
+        }
+        SuperblockInsn& el = block->insns[index];
+        if (!el.filled) {
+          // Legacy fill moment: the first fetch of a freshly decoded
+          // instruction populates the per-instruction icache.
+          icache.emplace(el.pc, CachedInsn{el.insn, el.bytes});
+          el.filled = true;
+        }
+        const Insn insn = el.insn;
+        const int mem_width = el.mem_width;
+        const bool mem_sign = el.mem_sign;
+        const uint64_t next = core.pc + insn.size;
+        bool leave = false;
+        switch (insn.op) {
+          case Op::kMovRI:
+            regs[insn.a] = static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.mov;
+            core.pc = next;
+            break;
+          case Op::kMovRR:
+            regs[insn.a] = regs[insn.b];
+            core.ticks += cm.mov;
+            core.pc = next;
+            break;
+          case Op::kLd8U:
+          case Op::kLd8S:
+          case Op::kLd16U:
+          case Op::kLd16S:
+          case Op::kLd32U:
+          case Op::kLd32S:
+          case Op::kLd64: {
+            const uint64_t addr = regs[insn.b] + static_cast<uint64_t>(insn.imm);
+            uint64_t value = 0;
+            Fault f = memory_.Read(addr, mem_width, &value);
+            if (!f.ok()) {
+              return fault_exit(f);
+            }
+            regs[insn.a] = mem_sign
+                               ? static_cast<uint64_t>(SignExtend(value, mem_width))
+                               : value;
+            core.ticks += cm.load;
+            core.pc = next;
+            break;
+          }
+          case Op::kSt8:
+          case Op::kSt16:
+          case Op::kSt32:
+          case Op::kSt64: {
+            const uint64_t addr = regs[insn.b] + static_cast<uint64_t>(insn.imm);
+            Fault f = memory_.Write(addr, mem_width, regs[insn.a]);
+            if (!f.ok()) {
+              return fault_exit(f);
+            }
+            core.ticks += cm.store;
+            core.pc = next;
+            leave = sb_epoch_ != epoch;
+            break;
+          }
+          case Op::kLdg: {
+            uint64_t value = 0;
+            Fault f = memory_.Read(static_cast<uint64_t>(insn.imm), mem_width, &value);
+            if (!f.ok()) {
+              return fault_exit(f);
+            }
+            regs[insn.a] = mem_sign
+                               ? static_cast<uint64_t>(SignExtend(value, mem_width))
+                               : value;
+            core.ticks += cm.global_load;
+            core.pc = next;
+            break;
+          }
+          case Op::kStg: {
+            Fault f =
+                memory_.Write(static_cast<uint64_t>(insn.imm), mem_width, regs[insn.a]);
+            if (!f.ok()) {
+              return fault_exit(f);
+            }
+            core.ticks += cm.global_store;
+            core.pc = next;
+            leave = sb_epoch_ != epoch;
+            break;
+          }
+          case Op::kAdd:
+            regs[insn.a] += regs[insn.b];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kSub:
+            regs[insn.a] -= regs[insn.b];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kMul:
+            regs[insn.a] *= regs[insn.b];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kUDiv:
+            if (regs[insn.b] == 0) {
+              return fault_exit(Fault{FaultKind::kDivByZero, 0, 0});
+            }
+            regs[insn.a] /= regs[insn.b];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kURem:
+            if (regs[insn.b] == 0) {
+              return fault_exit(Fault{FaultKind::kDivByZero, 0, 0});
+            }
+            regs[insn.a] %= regs[insn.b];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kSDiv: {
+            if (regs[insn.b] == 0) {
+              return fault_exit(Fault{FaultKind::kDivByZero, 0, 0});
+            }
+            const auto lhs = static_cast<int64_t>(regs[insn.a]);
+            const auto rhs = static_cast<int64_t>(regs[insn.b]);
+            regs[insn.a] = (lhs == INT64_MIN && rhs == -1)
+                               ? static_cast<uint64_t>(lhs)
+                               : static_cast<uint64_t>(lhs / rhs);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          }
+          case Op::kSRem: {
+            if (regs[insn.b] == 0) {
+              return fault_exit(Fault{FaultKind::kDivByZero, 0, 0});
+            }
+            const auto lhs = static_cast<int64_t>(regs[insn.a]);
+            const auto rhs = static_cast<int64_t>(regs[insn.b]);
+            regs[insn.a] =
+                (lhs == INT64_MIN && rhs == -1) ? 0 : static_cast<uint64_t>(lhs % rhs);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          }
+          case Op::kAnd:
+            regs[insn.a] &= regs[insn.b];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kOr:
+            regs[insn.a] |= regs[insn.b];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kXor:
+            regs[insn.a] ^= regs[insn.b];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kShl:
+            regs[insn.a] <<= (regs[insn.b] & 63);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kShr:
+            regs[insn.a] >>= (regs[insn.b] & 63);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kSar:
+            regs[insn.a] = static_cast<uint64_t>(static_cast<int64_t>(regs[insn.a]) >>
+                                                 (regs[insn.b] & 63));
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kAddI:
+            regs[insn.a] += static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kSubI:
+            regs[insn.a] -= static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kMulI:
+            regs[insn.a] *= static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kAndI:
+            regs[insn.a] &= static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kOrI:
+            regs[insn.a] |= static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kXorI:
+            regs[insn.a] ^= static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kShlI:
+            regs[insn.a] <<= insn.imm;
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kShrI:
+            regs[insn.a] >>= insn.imm;
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kSarI:
+            regs[insn.a] =
+                static_cast<uint64_t>(static_cast<int64_t>(regs[insn.a]) >> insn.imm);
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kNot:
+            regs[insn.a] = ~regs[insn.a];
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kNeg:
+            regs[insn.a] = ~regs[insn.a] + 1;
+            core.ticks += cm.alu;
+            core.pc = next;
+            break;
+          case Op::kCmp: {
+            const uint64_t a = regs[insn.a];
+            const uint64_t b = regs[insn.b];
+            core.zf = a == b;
+            core.lt_signed = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+            core.lt_unsigned = a < b;
+            core.ticks += cm.cmp;
+            core.pc = next;
+            break;
+          }
+          case Op::kCmpI: {
+            const uint64_t a = regs[insn.a];
+            const auto b = static_cast<uint64_t>(insn.imm);
+            core.zf = a == b;
+            core.lt_signed = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+            core.lt_unsigned = a < b;
+            core.ticks += cm.cmp;
+            core.pc = next;
+            break;
+          }
+          case Op::kSetCC:
+            regs[insn.a] = EvalCond(core, insn.cc) ? 1 : 0;
+            core.ticks += cm.setcc;
+            core.pc = next;
+            break;
+          case Op::kJmp:
+            core.pc = next + static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.jmp;
+            break;
+          case Op::kJcc: {
+            const bool taken = EvalCond(core, insn.cc);
+            const bool predicted = core.predictor.PredictCond(core.pc);
+            core.predictor.UpdateCond(core.pc, taken);
+            ++core.cond_branches;
+            core.ticks += cm.branch_predicted;
+            if (predicted != taken) {
+              core.ticks += cm.branch_mispredict_penalty;
+              ++core.cond_mispredicts;
+            }
+            core.pc = taken ? next + static_cast<uint64_t>(insn.imm) : next;
+            break;
+          }
+          case Op::kCall: {
+            regs[kRegSP] -= 8;
+            Fault f = memory_.Write(regs[kRegSP], 8, next);
+            if (!f.ok()) {
+              regs[kRegSP] += 8;
+              return fault_exit(f);
+            }
+            core.predictor.PushRet(next);
+            core.pc = next + static_cast<uint64_t>(insn.imm);
+            core.ticks += cm.call;
+            // A stack push can land on a marked code page and evict this
+            // block; `leave` keeps `prev` from caching a dead pointer.
+            leave = sb_epoch_ != epoch;
+            break;
+          }
+          case Op::kCallR: {
+            const uint64_t target = regs[insn.a];
+            regs[kRegSP] -= 8;
+            Fault f = memory_.Write(regs[kRegSP], 8, next);
+            if (!f.ok()) {
+              regs[kRegSP] += 8;
+              return fault_exit(f);
+            }
+            core.predictor.PushRet(next);
+            ++core.indirect_calls;
+            core.ticks += cm.call_indirect;
+            if (!core.predictor.PredictAndUpdateIndirect(core.pc, target)) {
+              core.ticks += cm.indirect_mispredict_penalty;
+              ++core.indirect_mispredicts;
+            }
+            core.pc = target;
+            leave = sb_epoch_ != epoch;
+            break;
+          }
+          case Op::kCallM: {
+            uint64_t target = 0;
+            Fault lf = memory_.Read(static_cast<uint64_t>(insn.imm), 8, &target);
+            if (!lf.ok()) {
+              return fault_exit(lf);
+            }
+            regs[kRegSP] -= 8;
+            Fault f = memory_.Write(regs[kRegSP], 8, next);
+            if (!f.ok()) {
+              regs[kRegSP] += 8;
+              return fault_exit(f);
+            }
+            core.predictor.PushRet(next);
+            ++core.indirect_calls;
+            core.ticks += cm.call_indirect;
+            if (!core.predictor.PredictAndUpdateIndirect(core.pc, target)) {
+              core.ticks += cm.indirect_mispredict_penalty;
+              ++core.indirect_mispredicts;
+            }
+            core.pc = target;
+            leave = sb_epoch_ != epoch;
+            break;
+          }
+          case Op::kRet: {
+            uint64_t target = 0;
+            Fault f = memory_.Read(regs[kRegSP], 8, &target);
+            if (!f.ok()) {
+              return fault_exit(f);
+            }
+            regs[kRegSP] += 8;
+            core.ticks += cm.ret;
+            if (!core.predictor.PopRetMatches(target)) {
+              core.ticks += cm.branch_mispredict_penalty;
+              ++core.ret_mispredicts;
+            }
+            core.pc = target;
+            break;
+          }
+          case Op::kPush: {
+            regs[kRegSP] -= 8;
+            Fault f = memory_.Write(regs[kRegSP], 8, regs[insn.a]);
+            if (!f.ok()) {
+              regs[kRegSP] += 8;
+              return fault_exit(f);
+            }
+            core.ticks += cm.push;
+            core.pc = next;
+            leave = sb_epoch_ != epoch;
+            break;
+          }
+          case Op::kPop: {
+            uint64_t value = 0;
+            Fault f = memory_.Read(regs[kRegSP], 8, &value);
+            if (!f.ok()) {
+              return fault_exit(f);
+            }
+            regs[insn.a] = value;
+            regs[kRegSP] += 8;
+            core.ticks += cm.pop;
+            core.pc = next;
+            break;
+          }
+          case Op::kNop:
+            core.ticks += cm.nop;
+            core.pc = next;
+            break;
+          case Op::kPause:
+            core.ticks += cm.pause;
+            core.pc = next;
+            break;
+          case Op::kFence:
+            core.ticks += cm.fence;
+            core.pc = next;
+            break;
+          case Op::kSti:
+            core.interrupts_enabled = true;
+            if (hypervisor_guest_) {
+              core.ticks += cm.sti_cli_guest_trap;
+              ++core.priv_traps;
+            } else {
+              core.ticks += cm.sti_cli_native;
+            }
+            core.pc = next;
+            break;
+          case Op::kCli:
+            core.interrupts_enabled = false;
+            if (hypervisor_guest_) {
+              core.ticks += cm.sti_cli_guest_trap;
+              ++core.priv_traps;
+            } else {
+              core.ticks += cm.sti_cli_native;
+            }
+            core.pc = next;
+            break;
+          case Op::kXchg: {
+            const uint64_t addr = regs[insn.b];
+            uint64_t old = 0;
+            Fault f = memory_.Read(addr, 4, &old);
+            if (!f.ok()) {
+              return fault_exit(f);
+            }
+            f = memory_.Write(addr, 4, regs[insn.a]);
+            if (!f.ok()) {
+              return fault_exit(f);
+            }
+            regs[insn.a] = old;
+            ++core.atomic_ops;
+            core.ticks += cm.xchg_atomic;
+            core.pc = next;
+            leave = sb_epoch_ != epoch;
+            break;
+          }
+          case Op::kRdtsc:
+            regs[insn.a] = core.ticks / kTicksPerCycle;
+            core.ticks += cm.rdtsc;
+            core.pc = next;
+            break;
+          case Op::kHypercall:
+            switch (insn.imm) {
+              case 0:
+                core.interrupts_enabled = true;
+                break;
+              case 1:
+                core.interrupts_enabled = false;
+                break;
+              default:
+                break;
+            }
+            core.ticks += cm.hypercall;
+            core.pc = next;
+            break;
+          default: {
+            // Rare / exit-producing / faultable-complex ops (divisions,
+            // indirect calls, HLT, VMCALL, BKPT, invalid): the shared
+            // Execute() switch is the single source of truth for these.
+            std::optional<VmExit> exit = Execute(core, insn);
+            if (exit.has_value()) {
+              if (exit->kind == VmExit::Kind::kVmCall ||
+                  exit->kind == VmExit::Kind::kHalt) {
+                ++core.instret;
+              }
+              return *exit;
+            }
+            leave = sb_epoch_ != epoch;
+            break;
+          }
+        }
+        ++core.instret;
+        ++steps;
+        ++index;
+        if (leave) {
+          evicted = true;
+          break;  // a store evicted this block; re-resolve
+        }
+      }
+      prev = evicted ? nullptr : block;
+    }
+  }
 }
 
 std::optional<VmExit> Vm::Execute(Core& core, const Insn& insn) {

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "src/support/status.h"
 #include "src/vm/memory.h"
 #include "src/vm/predictor.h"
+#include "src/vm/superblock.h"
 
 namespace mv {
 
@@ -81,6 +83,10 @@ class Vm {
  public:
   explicit Vm(uint64_t mem_size, int num_cores = 1);
 
+  // The memory write observer captures `this`; pin the object.
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
   Memory& memory() { return memory_; }
   const Memory& memory() const { return memory_; }
   Core& core(int i) { return cores_[static_cast<size_t>(i)]; }
@@ -88,6 +94,20 @@ class Vm {
   int num_cores() const { return static_cast<int>(cores_.size()); }
 
   CostModel& cost_model() { return cost_model_; }
+
+  // Selects the fetch/decode dispatch engine (see src/vm/superblock.h). Both
+  // engines are bit-identical in architectural state, fault streams and cycle
+  // accounting; the superblock engine trades memory for wall-clock speed.
+  // Switching drops the superblock caches; the per-instruction icache (the
+  // architectural one, with its deliberate non-coherence) is shared by both
+  // engines, so a mid-run switch preserves staleness semantics.
+  void SetDispatchEngine(DispatchEngine engine);
+  DispatchEngine dispatch_engine() const { return dispatch_engine_; }
+
+  // Superblock engine observability (bench/tests).
+  uint64_t superblocks_built() const { return sb_built_; }
+  uint64_t superblock_evictions() const { return sb_evicted_; }
+  uint64_t superblock_entries() const;
 
   // When true, STI/CLI executed by the guest trap into the hypervisor
   // (expensive), and HYPERCALL provides the cheap paravirtual path —
@@ -160,6 +180,24 @@ class Vm {
   std::optional<VmExit> Execute(Core& core, const Insn& insn);
   bool EvalCond(const Core& core, Cond cc) const;
 
+  // Legacy engine: one icache probe per instruction.
+  std::optional<VmExit> StepLegacy(int core_id);
+
+  // Superblock engine (see superblock.h for the equivalence argument).
+  std::optional<VmExit> StepSuperblock(int core_id);
+  VmExit RunSuperblock(int core_id, uint64_t max_steps);
+  Superblock* LookupOrBuildSuperblock(int core_id, uint64_t pc, VmExit* fault_exit);
+  // Dispatches block->insns[index]; `core.pc` must equal that element's pc.
+  // Sets *block_live to false when the instruction evicted its own block
+  // (store into cached text) — the caller must then re-resolve and touch
+  // neither `block` nor the cursor.
+  std::optional<VmExit> DispatchSuperblockInsn(int core_id, Core& core,
+                                               Superblock* block, size_t index,
+                                               bool* block_live);
+  void OnCodeModified(uint64_t addr, uint64_t len);
+  void EvictSuperblocks(uint64_t lo, uint64_t hi);
+  void ClearSuperblocks();
+
   Memory memory_;
   std::vector<Core> cores_;
   CostModel cost_model_;
@@ -171,8 +209,21 @@ class Vm {
   // Per-core decoded-instruction caches keyed by address, one per core like
   // hardware L1i. Deliberately not coherent with memory writes: a code write
   // leaves every core's old entries in place until the explicit FlushIcache
-  // broadcast; see FlushIcache().
+  // broadcast; see FlushIcache(). Shared by both dispatch engines — it is
+  // the source of truth for staleness semantics.
   std::vector<std::unordered_map<uint64_t, CachedInsn>> icaches_;
+
+  // Superblock engine state. Unlike the icache, the block caches are kept
+  // strictly coherent (writes, W^X changes and flushes evict), which is what
+  // lets a block dispatch skip the per-instruction probe without changing
+  // observable behaviour. sb_epoch_ increments on every eviction so dispatch
+  // loops can detect that an instruction invalidated its own block.
+  DispatchEngine dispatch_engine_;
+  std::vector<std::unordered_map<uint64_t, std::unique_ptr<Superblock>>> sb_caches_;
+  std::vector<SuperblockCursor> sb_cursors_;
+  uint64_t sb_epoch_ = 0;
+  uint64_t sb_built_ = 0;
+  uint64_t sb_evicted_ = 0;
 };
 
 }  // namespace mv

@@ -1,0 +1,602 @@
+// Dual-engine differential tests: every scenario runs once under the legacy
+// per-instruction engine and once under the superblock engine, and the two
+// runs must produce byte-identical transcripts — final architectural state of
+// every core (registers, pc, flags), exit reasons, fault streams, simulated
+// cycle counts (quarter-cycle ticks, so rounding cannot hide a divergence),
+// retired-instruction counts, predictor counters and RDTSC readings.
+//
+// This is the proof obligation for src/vm/superblock.h: the superblock
+// engine is allowed to be faster on the host, and nothing else.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/program.h"
+#include "src/isa/isa.h"
+#include "src/support/str.h"
+#include "src/vm/superblock.h"
+#include "src/vm/vm.h"
+#include "src/workloads/grep.h"
+#include "src/workloads/harness.h"
+#include "src/workloads/kernel.h"
+#include "src/workloads/libc.h"
+
+namespace mv {
+namespace {
+
+constexpr uint64_t kText = 0x1000;
+constexpr uint64_t kData = 0x8000;
+constexpr uint64_t kStackTop = 0x20000;
+
+// Serializes everything an engine could plausibly get wrong: architectural
+// registers and flags, plus every microarchitectural counter the cost model
+// maintains. Ticks (not cycles) so quarter-cycle drift is visible.
+std::string CoreTranscript(const Vm& vm) {
+  std::string out;
+  for (int i = 0; i < vm.num_cores(); ++i) {
+    const Core& c = vm.core(i);
+    out += StrFormat("core %d: pc=%llx halted=%d zf=%d lts=%d ltu=%d int=%d\n", i,
+                     (unsigned long long)c.pc, c.halted ? 1 : 0, c.zf ? 1 : 0,
+                     c.lt_signed ? 1 : 0, c.lt_unsigned ? 1 : 0,
+                     c.interrupts_enabled ? 1 : 0);
+    out += "  regs:";
+    for (int r = 0; r < kNumRegs; ++r) {
+      out += StrFormat(" %llx", (unsigned long long)c.regs[r]);
+    }
+    out += StrFormat(
+        "\n  ticks=%llu instret=%llu condbr=%llu condmiss=%llu icall=%llu "
+        "icallmiss=%llu retmiss=%llu atomics=%llu privtraps=%llu bkpts=%llu "
+        "stale=%llu\n",
+        (unsigned long long)c.ticks, (unsigned long long)c.instret,
+        (unsigned long long)c.cond_branches, (unsigned long long)c.cond_mispredicts,
+        (unsigned long long)c.indirect_calls,
+        (unsigned long long)c.indirect_mispredicts,
+        (unsigned long long)c.ret_mispredicts, (unsigned long long)c.atomic_ops,
+        (unsigned long long)c.priv_traps, (unsigned long long)c.bkpt_traps,
+        (unsigned long long)c.stale_fetches);
+  }
+  return out;
+}
+
+std::string ExitTranscript(const VmExit& exit) {
+  std::string out = "exit " + exit.ToString();
+  if (exit.kind == VmExit::Kind::kFault) {
+    out += StrFormat(" [kind=%d pc=%llx addr=%llx]", static_cast<int>(exit.fault.kind),
+                     (unsigned long long)exit.fault.pc,
+                     (unsigned long long)exit.fault.addr);
+  }
+  return out + "\n";
+}
+
+// A scenario maps an engine to a transcript. Each test runs the scenario
+// twice and diffs the transcripts; gtest's string diff pinpoints the first
+// divergent line.
+using ScenarioFn = std::function<std::string(DispatchEngine)>;
+
+void ExpectEngineAgreement(const ScenarioFn& scenario) {
+  const std::string legacy = scenario(DispatchEngine::kLegacy);
+  const std::string superblock = scenario(DispatchEngine::kSuperblock);
+  EXPECT_EQ(legacy, superblock);
+}
+
+// Raw-VM harness mirroring tests/vm_test.cc, plus an unflushed-write knob
+// for the staleness scenarios.
+class RawVm {
+ public:
+  explicit RawVm(DispatchEngine engine, int cores = 1) : vm_(0x40000, cores) {
+    vm_.SetDispatchEngine(engine);
+    EXPECT_TRUE(vm_.memory().Protect(kText, 0x4000, kPermRead | kPermExec).ok());
+    EXPECT_TRUE(vm_.memory().Protect(kData, 0x4000, kPermRead | kPermWrite).ok());
+    EXPECT_TRUE(
+        vm_.memory().Protect(0x10000, kStackTop - 0x10000, kPermRead | kPermWrite).ok());
+  }
+
+  uint64_t Assemble(const std::vector<Insn>& insns, uint64_t addr, bool flush = true) {
+    std::vector<uint8_t> bytes;
+    for (const Insn& insn : insns) {
+      Result<int> size = Encode(insn, &bytes);
+      EXPECT_TRUE(size.ok()) << size.status().ToString();
+    }
+    EXPECT_TRUE(vm_.memory().WriteRaw(addr, bytes.data(), bytes.size()).ok());
+    if (flush) {
+      vm_.FlushIcache(addr, bytes.size());
+    }
+    return addr + bytes.size();
+  }
+
+  void Reset(int core = 0, uint64_t pc = kText) {
+    Core& c = vm_.core(core);
+    c.pc = pc;
+    c.halted = false;
+    c.regs[kRegSP] = kStackTop - 16 - 0x1000 * static_cast<uint64_t>(core);
+  }
+
+  VmExit Run(int core = 0, uint64_t max_steps = 100000) {
+    return vm_.Run(core, max_steps);
+  }
+
+  Vm& vm() { return vm_; }
+
+ private:
+  Vm vm_;
+};
+
+// ---------------------------------------------------------------------------
+// Straight-line and looping code: registers, flags, predictor counters.
+
+TEST(DispatchDifferentialTest, WarmLoopWithCallsAndStack) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    RawVm raw(engine);
+    // Callee at kText+0x100: r0 += r1; ret.
+    raw.Assemble({MakeAluRR(Op::kAdd, 0, 1), MakeSimple(Op::kRet)}, kText + 0x100);
+    // Loop 200 times: call callee (rel and indirect), push/pop, xchg.
+    const int32_t rel = static_cast<int32_t>((kText + 0x100) - (kText + 20 + 5));
+    raw.Assemble(
+        {
+            MakeMovRI(2, 200),           // 10 bytes
+            MakeMovRI(3, kText + 0x100),  // 10 bytes at +10
+            MakeCall(rel),               // 5 bytes at +20
+            MakeCallR(3),                // 2 bytes at +25
+            MakePush(0),                 // 2 bytes at +27
+            MakePop(4),                  // 2 bytes at +29
+            MakeMovRI(5, kData),         // 10 bytes at +31
+            MakeAluRR(Op::kXchg, 4, 5),  // 3 bytes at +41
+            MakeAluRI(Op::kSubI, 2, 1),  // 6 bytes at +44
+            MakeCmpI(2, 0),              // 6 bytes at +50
+            MakeJcc(Cond::kNe, -41),     // 6 bytes at +56: back to +20
+            MakeSimple(Op::kHlt),
+        },
+        kText);
+    raw.Reset();
+    const VmExit exit = raw.Run();
+    std::string transcript = ExitTranscript(exit) + CoreTranscript(raw.vm());
+    if (engine == DispatchEngine::kSuperblock) {
+      EXPECT_GT(raw.vm().superblocks_built(), 0u);
+    }
+    return transcript;
+  });
+}
+
+TEST(DispatchDifferentialTest, AluAndMemoryWidths) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    RawVm raw(engine);
+    raw.Assemble(
+        {
+            MakeMovRI(0, -123456789), MakeMovRI(1, kData),
+            MakeStore(Op::kSt64, 0, 1, 0), MakeStore(Op::kSt32, 0, 1, 8),
+            MakeStore(Op::kSt16, 0, 1, 12), MakeStore(Op::kSt8, 0, 1, 14),
+            MakeLoad(Op::kLd64, 2, 1, 0), MakeLoad(Op::kLd32U, 3, 1, 8),
+            MakeLoad(Op::kLd32S, 4, 1, 8), MakeLoad(Op::kLd16U, 5, 1, 12),
+            MakeLoad(Op::kLd16S, 6, 1, 12), MakeLoad(Op::kLd8U, 7, 1, 14),
+            MakeLoad(Op::kLd8S, 8, 1, 14), MakeAluRR(Op::kMul, 2, 4),
+            MakeAluRR(Op::kSDiv, 2, 5), MakeAluRR(Op::kXor, 3, 6),
+            MakeShiftI(Op::kShlI, 7, 3), MakeShiftI(Op::kSarI, 4, 2),
+            MakeUnary(Op::kNot, 3), MakeUnary(Op::kNeg, 5),
+            MakeCmp(2, 3), MakeSetCC(Cond::kLt, 9),
+            MakeSimple(Op::kHlt),
+        },
+        kText);
+    raw.Reset();
+    const VmExit exit = raw.Run();
+    return ExitTranscript(exit) + CoreTranscript(raw.vm());
+  });
+}
+
+TEST(DispatchDifferentialTest, RdtscReadsIdenticalMidLoop) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    RawVm raw(engine);
+    // Store one RDTSC reading per iteration; the readings depend on the tick
+    // counter at the exact instruction boundary, so any accounting skew in
+    // the block walk shows up as a different value in memory.
+    raw.Assemble(
+        {
+            MakeMovRI(0, 8),              // iterations, 10 bytes
+            MakeMovRI(1, kData),          // 10 bytes at +10
+            MakeRdtsc(2),                 // 2 bytes at +20
+            MakeStore(Op::kSt64, 2, 1, 0),  // 6 bytes at +22
+            MakeAluRI(Op::kAddI, 1, 8),   // 6 bytes at +28
+            MakeAluRI(Op::kSubI, 0, 1),   // 6 bytes at +34
+            MakeCmpI(0, 0),               // 6 bytes at +40
+            MakeJcc(Cond::kNe, -31),      // 6 bytes at +46: back to +20
+            MakeSimple(Op::kHlt),
+        },
+        kText);
+    raw.Reset();
+    const VmExit exit = raw.Run();
+    std::string transcript = ExitTranscript(exit);
+    for (int i = 0; i < 8; ++i) {
+      uint64_t value = 0;
+      EXPECT_TRUE(raw.vm().memory().ReadRaw(kData + 8 * static_cast<uint64_t>(i), &value, 8).ok());
+      transcript += StrFormat("rdtsc[%d]=%llu\n", i, (unsigned long long)value);
+    }
+    return transcript + CoreTranscript(raw.vm());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Exit reasons and fault streams.
+
+TEST(DispatchDifferentialTest, FaultStreams) {
+  // Each program faults mid-superblock; the fault pc, address and the state
+  // at the fault (pc unadvanced, no ticks charged for the faulting insn)
+  // must agree. Faults are resumable: skip the faulting instruction and keep
+  // going so one scenario observes a *stream* of faults, not just the first.
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    RawVm raw(engine);
+    raw.Assemble(
+        {
+            MakeMovRI(0, 100),            // 10 bytes
+            MakeMovRI(1, 0),              // 10 bytes at +10
+            MakeAluRR(Op::kUDiv, 0, 1),   // div by zero, 3 bytes at +20
+            MakeMovRI(2, 0x3f000),        // unmapped, 10 bytes at +23
+            MakeLoad(Op::kLd64, 3, 2, 0),  // access fault, 6 bytes at +33
+            MakeStore(Op::kSt64, 3, 2, 0),  // access fault, 6 bytes at +39
+            MakeSimple(Op::kHlt),
+        },
+        kText);
+    raw.Reset();
+    std::string transcript;
+    for (int i = 0; i < 8; ++i) {
+      const VmExit exit = raw.Run();
+      transcript += ExitTranscript(exit);
+      transcript += CoreTranscript(raw.vm());
+      if (exit.kind != VmExit::Kind::kFault) {
+        break;
+      }
+      // Resume past the faulting instruction (re-decode to get its size).
+      uint8_t bytes[10] = {};
+      EXPECT_TRUE(raw.vm().memory().ReadRaw(exit.fault.pc, bytes, sizeof(bytes)).ok());
+      Result<Insn> insn = Decode(bytes, sizeof(bytes));
+      EXPECT_TRUE(insn.ok());
+      raw.vm().core(0).pc = exit.fault.pc + insn->size;
+    }
+    return transcript;
+  });
+}
+
+TEST(DispatchDifferentialTest, BreakpointVmcallAndStepLimitExits) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    std::string transcript;
+    {
+      // BKPT parks pc on the breakpoint byte — the livepatch protocols
+      // depend on the exact pc.
+      RawVm raw(engine);
+      raw.Assemble({MakeMovRI(0, 7), MakeSimple(Op::kBkpt), MakeSimple(Op::kHlt)},
+                   kText);
+      raw.Reset();
+      transcript += ExitTranscript(raw.Run()) + CoreTranscript(raw.vm());
+    }
+    {
+      RawVm raw(engine);
+      raw.Assemble({MakeMovRI(0, 42), MakeVmCall(9), MakeSimple(Op::kHlt)}, kText);
+      raw.Reset();
+      const VmExit exit = raw.Run();
+      transcript += ExitTranscript(exit);
+      transcript += StrFormat("vmcall_code=%d\n", exit.vmcall_code);
+      transcript += CoreTranscript(raw.vm());
+    }
+    {
+      // Step limit must land on the same instruction boundary even when the
+      // budget runs out in the middle of a superblock.
+      RawVm raw(engine);
+      raw.Assemble({MakeJmp(-5)}, kText);
+      raw.Reset();
+      transcript += ExitTranscript(raw.Run(0, 173)) + CoreTranscript(raw.vm());
+      // Resuming after a mid-block step-limit exit must also agree.
+      transcript += ExitTranscript(raw.Run(0, 40)) + CoreTranscript(raw.vm());
+    }
+    {
+      // Zero-budget run on a halted core: legacy reports kStepLimit.
+      RawVm raw(engine);
+      raw.Assemble({MakeSimple(Op::kHlt)}, kText);
+      raw.Reset();
+      transcript += ExitTranscript(raw.Run());
+      transcript += ExitTranscript(raw.Run(0, 0));
+      transcript += ExitTranscript(raw.Run(0, 10));  // halted: kHalt again
+      transcript += CoreTranscript(raw.vm());
+    }
+    return transcript;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Multi-core round-robin interleaving: the superblock engine must not change
+// step granularity — Step retires exactly one instruction per call.
+
+TEST(DispatchDifferentialTest, TwoCoreRoundRobinStepTrace) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    RawVm raw(engine, 2);
+    // Core 0 increments [kData] 50 times; core 1 spins XCHG-ing a flag and
+    // accumulating reads of the shared counter, so the exact interleaving is
+    // visible in its register file.
+    raw.Assemble(
+        {
+            MakeMovRI(0, 50),             // 10
+            MakeMovRI(1, kData),          // 10 at +10
+            MakeLoad(Op::kLd64, 2, 1, 0),  // 6 at +20
+            MakeAluRI(Op::kAddI, 2, 1),   // 6 at +26
+            MakeStore(Op::kSt64, 2, 1, 0),  // 6 at +32
+            MakeAluRI(Op::kSubI, 0, 1),   // 6 at +38
+            MakeCmpI(0, 0),               // 6 at +44
+            MakeJcc(Cond::kNe, -36),      // 6 at +50: back to +20
+            MakeSimple(Op::kHlt),
+        },
+        kText);
+    raw.Assemble(
+        {
+            MakeMovRI(0, 40),             // 10
+            MakeMovRI(1, kData),          // 10 at +10
+            MakeMovRI(3, 1),              // 10 at +20
+            MakeAluRR(Op::kXchg, 3, 1),   // 3 at +30 (atomic, counts atomics)
+            MakeLoad(Op::kLd64, 2, 1, 0),  // 6 at +33
+            MakeAluRR(Op::kAdd, 4, 2),    // 3 at +39
+            MakeAluRI(Op::kSubI, 0, 1),   // 6 at +42
+            MakeCmpI(0, 0),               // 6 at +48
+            MakeJcc(Cond::kNe, -29),      // 6 at +54: back to +30
+            MakeSimple(Op::kHlt),
+        },
+        kText + 0x200);
+    raw.Reset(0, kText);
+    raw.Reset(1, kText + 0x200);
+    std::string transcript;
+    bool done[2] = {false, false};
+    for (int iter = 0; iter < 2000 && !(done[0] && done[1]); ++iter) {
+      for (int core = 0; core < 2; ++core) {
+        if (done[core]) {
+          continue;
+        }
+        std::optional<VmExit> exit = raw.vm().Step(core);
+        const Core& c = raw.vm().core(core);
+        // Per-step trace: any granularity change diverges immediately.
+        transcript += StrFormat("c%d pc=%llx t=%llu\n", core,
+                                (unsigned long long)c.pc, (unsigned long long)c.ticks);
+        if (exit.has_value()) {
+          transcript += ExitTranscript(*exit);
+          done[core] = true;
+        }
+      }
+    }
+    return transcript + CoreTranscript(raw.vm());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Staleness semantics: the icache is deliberately non-coherent, and the
+// superblock engine must reproduce its hazards exactly — including the
+// kStaleFetch verdicts when detection is armed.
+
+TEST(DispatchDifferentialTest, SuppressedFlushKeepsStaleDecode) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    RawVm raw(engine);
+    // v1: r0 = 111. Execute to warm the caches.
+    raw.Assemble({MakeMovRI(0, 111), MakeSimple(Op::kHlt)}, kText);
+    raw.Reset();
+    std::string transcript = ExitTranscript(raw.Run());
+    // Patch to r0 = 222 WITHOUT flushing: both engines must keep executing
+    // the stale 111 decode.
+    raw.Assemble({MakeMovRI(0, 222), MakeSimple(Op::kHlt)}, kText, /*flush=*/false);
+    raw.Reset();
+    transcript += ExitTranscript(raw.Run());
+    transcript += CoreTranscript(raw.vm());
+    // After the flush broadcast, the new bytes take effect on both engines.
+    raw.vm().FlushIcache(kText, 16);
+    raw.Reset();
+    transcript += ExitTranscript(raw.Run());
+    return transcript + CoreTranscript(raw.vm());
+  });
+}
+
+TEST(DispatchDifferentialTest, StaleFetchDetectionFiresMidSuperblock) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    RawVm raw(engine);
+    raw.vm().set_stale_fetch_detection(true);
+    // Three-instruction straight line; patch only the MIDDLE instruction
+    // without a flush, so under the superblock engine the stale fetch fires
+    // on the second element of a cached block, not at block entry.
+    raw.Assemble(
+        {MakeMovRI(0, 1), MakeMovRI(1, 2), MakeMovRI(2, 3), MakeSimple(Op::kHlt)},
+        kText);
+    raw.Reset();
+    std::string transcript = ExitTranscript(raw.Run());
+    raw.Assemble({MakeMovRI(1, 99)}, kText + 10, /*flush=*/false);
+    raw.Reset();
+    const VmExit exit = raw.Run();
+    transcript += ExitTranscript(exit);
+    transcript += CoreTranscript(raw.vm());
+    // The detector reports and keeps reporting on every re-fetch.
+    raw.Reset();
+    transcript += ExitTranscript(raw.Run());
+    transcript += CoreTranscript(raw.vm());
+    // A flush heals it; the patched instruction then executes.
+    raw.vm().FlushIcache(kText + 10, 10);
+    raw.Reset();
+    transcript += ExitTranscript(raw.Run());
+    return transcript + CoreTranscript(raw.vm());
+  });
+}
+
+TEST(DispatchDifferentialTest, PartialFlushDetectsOnlyUnflushedRange) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    RawVm raw(engine);
+    raw.vm().set_stale_fetch_detection(true);
+    raw.Assemble(
+        {MakeMovRI(0, 1), MakeMovRI(1, 2), MakeMovRI(2, 3), MakeSimple(Op::kHlt)},
+        kText);
+    raw.Reset();
+    std::string transcript = ExitTranscript(raw.Run());
+    // Patch insns at +0 and +10, but flush only the first: the verdict must
+    // fire exactly once, at +10, under both engines.
+    raw.Assemble({MakeMovRI(0, 77), MakeMovRI(1, 88)}, kText, /*flush=*/false);
+    raw.vm().FlushIcache(kText, 10);
+    raw.Reset();
+    transcript += ExitTranscript(raw.Run());
+    return transcript + CoreTranscript(raw.vm());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run engine switches: the icache carries staleness across a switch, so
+// switching engines mid-run must behave exactly like never switching.
+
+TEST(DispatchDifferentialTest, MidRunEngineSwitchMatchesPureRuns) {
+  // Reference: the whole scenario under one engine.
+  auto scenario = [](Vm& vm, RawVm& raw, const std::function<void()>& at_midpoint) {
+    raw.Reset();
+    std::string transcript;
+    // Run 60 steps of a 10-iteration loop, switch (or not), finish.
+    transcript += ExitTranscript(raw.Run(0, 37));
+    at_midpoint();
+    transcript += ExitTranscript(raw.Run(0, 100000));
+    transcript += CoreTranscript(vm);
+    return transcript;
+  };
+  auto build = [](RawVm& raw) {
+    raw.Assemble(
+        {
+            MakeMovRI(0, 10),
+            MakeMovRI(3, 0),
+            MakeAluRI(Op::kAddI, 3, 7),   // at +20
+            MakeAluRI(Op::kSubI, 0, 1),
+            MakeCmpI(0, 0),
+            MakeJcc(Cond::kNe, -24),      // back to +20
+            MakeSimple(Op::kHlt),
+        },
+        kText);
+  };
+
+  RawVm pure(DispatchEngine::kLegacy);
+  build(pure);
+  const std::string reference = scenario(pure.vm(), pure, [] {});
+
+  for (DispatchEngine start :
+       {DispatchEngine::kLegacy, DispatchEngine::kSuperblock}) {
+    const DispatchEngine other = start == DispatchEngine::kLegacy
+                                     ? DispatchEngine::kSuperblock
+                                     : DispatchEngine::kLegacy;
+    RawVm switched(start);
+    build(switched);
+    const std::string transcript = scenario(
+        switched.vm(), switched, [&] { switched.vm().SetDispatchEngine(other); });
+    EXPECT_EQ(reference, transcript)
+        << "switch " << DispatchEngineName(start) << " -> "
+        << DispatchEngineName(other);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-toolchain programs: compile mvc source, run under both engines.
+
+TEST(DispatchDifferentialTest, Fig2ProgramAllSwitchAssignments) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    constexpr char kSource[] = R"(
+__attribute__((multiverse)) bool A;
+__attribute__((multiverse)) int B;
+
+int calc_calls;
+int log_calls;
+
+void calc() { calc_calls = calc_calls + 1; }
+void log_event() { log_calls = log_calls + 1; }
+
+__attribute__((multiverse))
+void multi() {
+  if (A) {
+    calc();
+    if (B) {
+      log_event();
+    }
+  }
+}
+
+void foo() {
+  multi();
+}
+)";
+    BuildOptions options;
+    Result<std::unique_ptr<Program>> built =
+        Program::Build({{"fig2", kSource}}, options);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    std::unique_ptr<Program> program = std::move(*built);
+    program->vm().SetDispatchEngine(engine);
+    std::string transcript;
+    for (int64_t a = 0; a <= 1; ++a) {
+      for (int64_t b = 0; b <= 1; ++b) {
+        EXPECT_TRUE(program->WriteGlobal("A", a, 1).ok());
+        EXPECT_TRUE(program->WriteGlobal("B", b, 4).ok());
+        Result<uint64_t> result = program->Call("foo");
+        EXPECT_TRUE(result.ok()) << result.status().ToString();
+        transcript += StrFormat(
+            "a=%lld b=%lld calc=%lld log=%lld\n", (long long)a, (long long)b,
+            (long long)program->ReadGlobal("calc_calls", 4).value(),
+            (long long)program->ReadGlobal("log_calls", 4).value());
+      }
+    }
+    return transcript + CoreTranscript(program->vm());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// The paper's case-study workloads, end to end. These push millions of
+// instructions through both engines, covering the compiled-code idioms the
+// raw scenarios cannot (multiverse dispatch, runtime commit, livepatching).
+
+TEST(DispatchDifferentialTest, SpinlockKernelWorkload) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    Result<std::unique_ptr<Program>> built =
+        BuildSpinlockKernel(SpinBinding::kDynamicIf);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    std::unique_ptr<Program> program = std::move(*built);
+    program->vm().SetDispatchEngine(engine);
+    std::string transcript;
+    for (bool smp : {false, true}) {
+      Status status = SetSmpMode(program.get(), SpinBinding::kDynamicIf, smp);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      Result<double> pair = MeasureSpinlockPair(program.get());
+      EXPECT_TRUE(pair.ok()) << pair.status().ToString();
+      transcript += StrFormat("smp=%d pair=%.17g\n", smp ? 1 : 0, pair.value());
+    }
+    return transcript + CoreTranscript(program->vm());
+  });
+}
+
+TEST(DispatchDifferentialTest, GrepWorkload) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    Result<std::unique_ptr<Program>> built = BuildGrep();
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    std::unique_ptr<Program> program = std::move(*built);
+    program->vm().SetDispatchEngine(engine);
+    std::string transcript;
+    for (bool commit : {false, true}) {
+      Status status = SetGrepMode(program.get(), 1, commit);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      Result<GrepRunResult> result = RunGrep(program.get());
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      transcript += StrFormat("commit=%d cycles=%.17g matches=%llu\n", commit ? 1 : 0,
+                              result->cycles, (unsigned long long)result->matches);
+    }
+    return transcript + CoreTranscript(program->vm());
+  });
+}
+
+TEST(DispatchDifferentialTest, MuslLibcWorkload) {
+  ExpectEngineAgreement([](DispatchEngine engine) {
+    Result<std::unique_ptr<Program>> built = BuildLibc();
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    std::unique_ptr<Program> program = std::move(*built);
+    program->vm().SetDispatchEngine(engine);
+    Status status = SetThreadMode(program.get(), 0, /*commit=*/true);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    Result<LibcBenchResult> result = MeasureLibc(program.get());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::string transcript =
+        StrFormat("random=%.17g malloc0=%.17g malloc1=%.17g fputc=%.17g\n",
+                  result->random_cycles, result->malloc0_cycles,
+                  result->malloc1_cycles, result->fputc_cycles);
+    return transcript + CoreTranscript(program->vm());
+  });
+}
+
+}  // namespace
+}  // namespace mv

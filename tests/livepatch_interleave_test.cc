@@ -83,8 +83,10 @@ struct SweepResult {
 
 class InterleaveFixture {
  public:
-  InterleaveFixture(int num_mutators, bool detect, uint64_t rounds)
-      : num_mutators_(num_mutators), detect_(detect), rounds_(rounds) {
+  InterleaveFixture(int num_mutators, bool detect, uint64_t rounds,
+                    DispatchEngine engine = DispatchEngine::kLegacy)
+      : num_mutators_(num_mutators), detect_(detect), rounds_(rounds),
+        engine_(engine) {
     Rebuild();
   }
 
@@ -105,6 +107,7 @@ class InterleaveFixture {
         Program::Build({{"interleave", InterleaveSource()}}, options);
     ASSERT_TRUE(built.ok()) << built.status().ToString();
     program_ = std::move(*built);
+    program_->vm().SetDispatchEngine(engine_);
     program_->vm().set_stale_fetch_detection(detect_);
     worker_ = *program_->SymbolAddress("worker");
     Boot();
@@ -213,6 +216,7 @@ class InterleaveFixture {
   int num_mutators_;
   bool detect_;
   uint64_t rounds_;
+  DispatchEngine engine_;
   std::unique_ptr<Program> program_;
   uint64_t worker_ = 0;
   int rr_ = 0;
@@ -220,8 +224,8 @@ class InterleaveFixture {
 
 // Counts the schedule length of an undisturbed run (= the number of commit
 // points to sweep).
-int ScheduleLength(int num_mutators, uint64_t rounds) {
-  InterleaveFixture fixture(num_mutators, /*detect=*/true, rounds);
+int ScheduleLength(int num_mutators, uint64_t rounds, DispatchEngine engine) {
+  InterleaveFixture fixture(num_mutators, /*detect=*/true, rounds, engine);
   RunOutcome outcome = RunOutcome::kClean;
   int steps = 0;
   while (fixture.StepSchedule(&outcome)) {
@@ -238,12 +242,13 @@ int ScheduleLength(int num_mutators, uint64_t rounds) {
 // `stride`-th prefix length of the round-robin schedule gets one fresh run
 // with the commit issued at that point.
 SweepResult Sweep(CommitProtocol protocol, int num_mutators, bool flush_icache,
+                  DispatchEngine engine = DispatchEngine::kLegacy,
                   uint64_t rounds = kShortRounds, int stride = 1) {
-  const int total_steps = ScheduleLength(num_mutators, rounds);
+  const int total_steps = ScheduleLength(num_mutators, rounds, engine);
   EXPECT_GT(total_steps, 0);
 
   SweepResult result;
-  InterleaveFixture fixture(num_mutators, /*detect=*/true, rounds);
+  InterleaveFixture fixture(num_mutators, /*detect=*/true, rounds, engine);
   for (int k = 0; k <= total_steps; k += stride) {
     ++result.points;
     RunOutcome outcome = RunOutcome::kClean;
@@ -303,14 +308,20 @@ SweepResult Sweep(CommitProtocol protocol, int num_mutators, bool flush_icache,
   return result;
 }
 
-// --- the property, per protocol × mutator count -----------------------------
+// --- the property, per protocol × mutator count × dispatch engine ----------
+//
+// The dispatch-engine axis pins the livepatch protocols against the
+// superblock engine: quiescence/breakpoint safety and stale-fetch verdicts
+// must be preserved verbatim when whole decoded traces are cached instead of
+// single instructions (see src/vm/superblock.h for the equivalence rules).
 
 class LivepatchInterleaveTest
-    : public ::testing::TestWithParam<std::tuple<CommitProtocol, int>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<CommitProtocol, int, DispatchEngine>> {};
 
 TEST_P(LivepatchInterleaveTest, EveryCommitPointIsSoundAndStaleFree) {
-  const auto [protocol, mutators] = GetParam();
-  const SweepResult result = Sweep(protocol, mutators, /*flush_icache=*/true);
+  const auto [protocol, mutators, engine] = GetParam();
+  const SweepResult result = Sweep(protocol, mutators, /*flush_icache=*/true, engine);
   EXPECT_EQ(result.anomaly, 0) << result.first_anomaly;
   EXPECT_EQ(result.detected, 0) << "stale fetch under a flushing protocol";
   EXPECT_EQ(result.clean, result.points);
@@ -320,13 +331,13 @@ TEST_P(LivepatchInterleaveTest, EveryCommitPointIsSoundAndStaleFree) {
 }
 
 TEST_P(LivepatchInterleaveTest, SuppressedIcacheFlushIsDetectedNotSilent) {
-  const auto [protocol, mutators] = GetParam();
+  const auto [protocol, mutators, engine] = GetParam();
   // The breakpoint protocol co-executes mutators during the patch window, so a
   // short workload can halt before ever re-fetching a patched site — nothing
   // would be stale. Use a long workload (strided to keep the sweep cheap) so
   // the mutators outlive the commit and revisit patched sites.
   const SweepResult result = Sweep(protocol, mutators, /*flush_icache=*/false,
-                                   kLongRounds, /*stride=*/9);
+                                   engine, kLongRounds, /*stride=*/9);
   // Every commit point either stays coherent by luck (cold caches) or the
   // detector fires; stale bytes must never retire silently — a silent stale
   // execution would corrupt the counters and show up as an anomaly.
@@ -340,10 +351,14 @@ INSTANTIATE_TEST_SUITE_P(
     Protocols, LivepatchInterleaveTest,
     ::testing::Combine(::testing::Values(CommitProtocol::kQuiescence,
                                          CommitProtocol::kBreakpoint),
-                       ::testing::Values(1, 2)),
-    [](const ::testing::TestParamInfo<std::tuple<CommitProtocol, int>>& info) {
-      return std::string(CommitProtocolName(std::get<0>(info.param))) +
-             "_x" + std::to_string(std::get<1>(info.param));
+                       ::testing::Values(1, 2),
+                       ::testing::Values(DispatchEngine::kLegacy,
+                                         DispatchEngine::kSuperblock)),
+    [](const ::testing::TestParamInfo<std::tuple<CommitProtocol, int, DispatchEngine>>&
+           info) {
+      return std::string(CommitProtocolName(std::get<0>(info.param))) + "_x" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             DispatchEngineName(std::get<2>(info.param));
     });
 
 // --- the motivating baseline ------------------------------------------------
@@ -353,11 +368,19 @@ TEST(LivepatchInterleaveUnsafeTest, UnsafeBaselineTearsAtSomeCommitPoint) {
   // least one interleaving must tear (a core resumes inside a rewritten
   // NOP-eradicated site and decodes garbage) — the reason this subsystem
   // exists. Clean points also exist (e.g. commits after the workers halt).
-  const SweepResult result = Sweep(CommitProtocol::kUnsafe, 2, /*flush_icache=*/true);
-  EXPECT_GT(result.anomaly, 0)
-      << "the unsafe baseline never tore; the hazard this subsystem guards "
-         "against has disappeared from the workload";
-  EXPECT_GT(result.clean, 0);
+  // The hazard must survive the superblock engine unchanged: block caching
+  // may never make the unsafe baseline accidentally safe (or differently
+  // unsafe) — that would mean the engine altered fetch semantics.
+  for (DispatchEngine engine :
+       {DispatchEngine::kLegacy, DispatchEngine::kSuperblock}) {
+    const SweepResult result =
+        Sweep(CommitProtocol::kUnsafe, 2, /*flush_icache=*/true, engine);
+    EXPECT_GT(result.anomaly, 0)
+        << DispatchEngineName(engine)
+        << ": the unsafe baseline never tore; the hazard this subsystem "
+           "guards against has disappeared from the workload";
+    EXPECT_GT(result.clean, 0) << DispatchEngineName(engine);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+// Commit recovery: rollback and recovery latency of the transactional
+// commit (src/core/txn.h) under injected faults (src/support/faultpoint.h) —
+// beyond the paper, whose soundness argument (§7.4) covers only the happy
+// path.
+//
+// Scenario: a multiverse program whose commit rewrites a handful of call
+// sites and prologues. For each instrumented primitive of the patching stack
+// (patch-write, mprotect, icache-flush) one mid-commit occurrence is armed to
+// fail; the transactional driver rolls the attempt back (or repairs it at
+// seal, for a suppressed invalidation) and retries. Reported per fault site:
+//   (a) recovery latency in modelled cycles (undo writes + re-flushes),
+//   (b) ops rolled back / re-flushed, attempts until the commit stuck, and
+//   (c) the same commit driven through a live-patch protocol, where the
+//       recovery shows up on the host patch clock.
+// The --json header's top-level rollbacks/retries fields record that this
+// bench exercised recovery on purpose.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/core/program.h"
+#include "src/isa/cost_model.h"
+#include "src/livepatch/livepatch.h"
+#include "src/support/faultpoint.h"
+
+namespace mv {
+namespace {
+
+// Three multiversed functions (two specializable bodies and one empty-variant
+// hook that NOP-eradicates its call site) give the commit a multi-op plan:
+// call-site rewrites, inlined sites, and generic-prologue JMPs.
+constexpr char kSource[] = R"(
+__attribute__((multiverse)) bool feature;
+__attribute__((multiverse)) int debug_on;
+long acc;
+long dbg_hits;
+
+__attribute__((multiverse))
+void tick() { if (feature) { acc = acc + 2; } else { acc = acc + 1; } }
+
+__attribute__((multiverse))
+void dbg_hook() { if (debug_on) { dbg_hits = dbg_hits + 1; } }
+
+long run(long n) {
+  long i;
+  for (i = 0; i < n; ++i) { tick(); dbg_hook(); }
+  return acc;
+}
+)";
+
+std::unique_ptr<Program> Build() {
+  std::unique_ptr<Program> program =
+      CheckOk(Program::Build({{"recovery", kSource}}, BuildOptions{}),
+              "build recovery program");
+  CheckOk(program->WriteGlobal("feature", 1, 1), "set feature");
+  CheckOk(program->WriteGlobal("debug_on", 0, 4), "set debug_on");
+  return program;
+}
+
+void VerifyCommitted(Program* program) {
+  const uint64_t result = CheckOk(program->Call("run", {10}), "run committed");
+  CheckOk(result == 20 ? Status::Ok()
+                       : Status::Internal("committed program computed " +
+                                          std::to_string(result)),
+          "committed behaviour");
+}
+
+void RunFault(FaultSite site, uint64_t probe_count) {
+  const std::string name = FaultSiteName(site);
+  std::unique_ptr<Program> program = Build();
+
+  // Kill the middle occurrence of the primitive: deep enough that real work
+  // must be undone, early enough that work remains after the fault.
+  ScopedFault fault(site, probe_count / 2);
+  CheckOk(program->runtime().Commit().status(), "recovered commit");
+  const TxnStats& txn = program->runtime().last_txn();
+  RecordTxnOutcome(txn.rollbacks, txn.retries);
+
+  PrintRow(name + ": recovery latency", TicksToCycles(txn.recovery_ticks),
+           "cycles", txn.rollbacks > 0 ? "rollback + reverse-order undo"
+                                       : "seal repair, no rollback");
+  PrintRow(name + ": attempts", txn.attempts, "");
+  PrintRow(name + ": ops rolled back", txn.ops_rolled_back, "ops");
+  JsonMetric(name + ": rollbacks", txn.rollbacks);
+  JsonMetric(name + ": retries", txn.retries);
+  JsonMetric(name + ": reflushes", txn.reflushes);
+  VerifyCommitted(program.get());
+}
+
+void RunLiveRecovery() {
+  // The same fault under a live-patch protocol: the retry and the undo
+  // writes land on the host patch clock, so recovery is visible as commit
+  // latency.
+  std::unique_ptr<Program> clean = Build();
+  LiveCommitOptions options;
+  options.protocol = CommitProtocol::kQuiescence;
+  const LiveCommitStats base = CheckOk(
+      multiverse_commit_live(&clean->vm(), &clean->runtime(), options),
+      "clean live commit");
+
+  std::unique_ptr<Program> program = Build();
+  ScopedFault fault(FaultSite::kPatchWrite, base.ops_applied > 1
+                                                ? static_cast<uint64_t>(
+                                                      base.ops_applied / 2)
+                                                : 0);
+  const LiveCommitStats stats = CheckOk(
+      multiverse_commit_live(&program->vm(), &program->runtime(), options),
+      "recovered live commit");
+  RecordTxnOutcome(stats.txn.rollbacks, stats.txn.retries);
+
+  PrintRow("live quiescence: clean commit latency", base.CommitCycles(),
+           "cycles");
+  PrintRow("live quiescence: recovered commit latency", stats.CommitCycles(),
+           "cycles", "includes rollback + backoff + retry");
+  PrintRow("live quiescence: recovery latency",
+           TicksToCycles(stats.txn.recovery_ticks), "cycles");
+  JsonMetric("live quiescence: rollbacks", stats.txn.rollbacks);
+  JsonMetric("live quiescence: retries", stats.txn.retries);
+  VerifyCommitted(program.get());
+}
+
+void Run() {
+  PrintHeader("Commit recovery: rollback latency under injected faults",
+              "beyond-paper robustness; failure model of INTERNALS.md §11");
+  PrintNote("One mid-commit primitive is armed to fail (faultpoint.h); the");
+  PrintNote("transactional driver rolls back in reverse order (or repairs a");
+  PrintNote("suppressed icache flush at seal) and retries with backoff.");
+
+  // Baseline + probe: a clean commit, counting how often each primitive runs.
+  uint64_t probe[kFaultSiteCount] = {};
+  {
+    std::unique_ptr<Program> program = Build();
+    FaultInjector& injector = FaultInjector::Instance();
+    uint64_t before[kFaultSiteCount];
+    for (size_t s = 0; s < kFaultSiteCount; ++s) {
+      before[s] = injector.Count(static_cast<FaultSite>(s));
+    }
+    CheckOk(program->runtime().Commit().status(), "clean commit");
+    const TxnStats& txn = program->runtime().last_txn();
+    RecordTxnOutcome(txn.rollbacks, txn.retries);
+    for (size_t s = 0; s < kFaultSiteCount; ++s) {
+      probe[s] = injector.Count(static_cast<FaultSite>(s)) - before[s];
+    }
+    PrintRow("clean commit: ops applied", txn.ops_applied, "ops");
+    PrintRow("clean commit: rollbacks", txn.rollbacks, "");
+    VerifyCommitted(program.get());
+  }
+
+  RunFault(FaultSite::kPatchWrite, probe[0]);
+  RunFault(FaultSite::kProtect, probe[1]);
+  RunFault(FaultSite::kIcacheFlush, probe[2]);
+  RunLiveRecovery();
+}
+
+}  // namespace
+}  // namespace mv
+
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -62,6 +62,14 @@ class BenchReport {
     metrics_.push_back(Metric{label, unit, value});
   }
 
+  // Accumulates transactional-commit accounting (txn.h TxnStats) into the
+  // report header: every --json document carries top-level "rollbacks" and
+  // "retries" so the perf trajectory shows when a bench run had to recover.
+  void RecordTxn(int rollbacks, int retries) {
+    rollbacks_ += rollbacks;
+    retries_ += retries;
+  }
+
   void Write() const {
     if (path_.empty()) {
       return;
@@ -76,6 +84,8 @@ class BenchReport {
     std::fprintf(f, "  \"paper_ref\": \"%s\",\n", Escaped(paper_ref_).c_str());
     std::fprintf(f, "  \"dispatch\": \"%s\",\n",
                  DispatchEngineName(DefaultDispatchEngine()));
+    std::fprintf(f, "  \"rollbacks\": %d,\n", rollbacks_);
+    std::fprintf(f, "  \"retries\": %d,\n", retries_);
     std::fprintf(f, "  \"metrics\": [\n");
     for (size_t i = 0; i < metrics_.size(); ++i) {
       const Metric& m = metrics_[i];
@@ -113,7 +123,14 @@ class BenchReport {
   std::string experiment_;
   std::string paper_ref_;
   std::vector<Metric> metrics_;
+  int rollbacks_ = 0;
+  int retries_ = 0;
 };
+
+// Convenience forwarder for bench bodies.
+inline void RecordTxnOutcome(int rollbacks, int retries) {
+  BenchReport::Instance().RecordTxn(rollbacks, retries);
+}
 
 inline void PrintHeader(const char* experiment, const char* paper_ref) {
   std::printf("\n==============================================================\n");

@@ -1,7 +1,10 @@
 #include "src/core/descriptors.h"
 
+#include <algorithm>
 #include <cstring>
+#include <set>
 
+#include "src/isa/isa.h"
 #include "src/support/str.h"
 
 namespace mv {
@@ -170,9 +173,17 @@ Status EmitDescriptors(const Module& module, const CodegenInfo& info, ObjectFile
 
 namespace {
 
-Result<std::string> ReadCString(const Memory& memory, uint64_t addr) {
+// Reads a NUL-terminated string, scanning at most `limit` bytes and never
+// past `end` (the enclosing section's end in paranoid mode, memory size
+// otherwise) — a corrupt name pointer must not trigger an unbounded walk.
+Result<std::string> ReadCString(const Memory& memory, uint64_t addr, uint64_t end,
+                                uint64_t limit) {
   std::string out;
-  for (uint64_t a = addr; a < memory.size(); ++a) {
+  const uint64_t stop = end < memory.size() ? end : memory.size();
+  for (uint64_t a = addr; a < stop; ++a) {
+    if (out.size() >= limit) {
+      return Status::OutOfRange("descriptor string exceeds length cap");
+    }
     char c = 0;
     MV_RETURN_IF_ERROR(memory.ReadRaw(a, &c, 1));
     if (c == '\0') {
@@ -188,6 +199,28 @@ Result<T> ReadScalar(const Memory& memory, uint64_t addr) {
   T value{};
   MV_RETURN_IF_ERROR(memory.ReadRaw(addr, &value, sizeof(T)));
   return value;
+}
+
+// Paranoid containment: `count` records of `rec_size` bytes starting at
+// `addr` must lie inside `sec` and be record-aligned relative to its start.
+Status CheckRecordArray(const char* what, uint64_t addr, uint64_t count,
+                        uint64_t rec_size, const char* sec_name,
+                        const SectionPlacement& sec) {
+  const uint64_t bytes = count * rec_size;
+  if (addr < sec.addr || addr > sec.addr + sec.size ||
+      bytes > sec.addr + sec.size - addr) {
+    return Status::FailedPrecondition(
+        StrFormat("descriptor validation: %s pointer 0x%llx (%llu records) "
+                  "outside %s",
+                  what, (unsigned long long)addr, (unsigned long long)count,
+                  sec_name));
+  }
+  if ((addr - sec.addr) % rec_size != 0) {
+    return Status::FailedPrecondition(
+        StrFormat("descriptor validation: %s pointer 0x%llx misaligned within %s",
+                  what, (unsigned long long)addr, sec_name));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -211,11 +244,33 @@ const RtFunction* DescriptorTable::FindFunction(uint64_t generic_addr) const {
 }
 
 Result<DescriptorTable> DescriptorTable::Parse(const Memory& memory, const Image& image) {
+  return Parse(memory, image, ParseOptions{});
+}
+
+Result<DescriptorTable> DescriptorTable::Parse(const Memory& memory, const Image& image,
+                                               const ParseOptions& options) {
   DescriptorTable table;
 
   auto section = [&](const char* name) -> SectionPlacement {
     auto it = image.sections.find(name);
     return it == image.sections.end() ? SectionPlacement{} : it->second;
+  };
+  const SectionPlacement strings = section(".mv.strings");
+  const SectionPlacement variants_sec = section(".mv.variants");
+  const SectionPlacement guards_sec = section(".mv.guards");
+
+  // Name pointers are untrusted: in paranoid mode they must land inside
+  // .mv.strings, and the scan never leaves that section either way.
+  auto read_name = [&](uint64_t name_addr) -> Result<std::string> {
+    if (options.paranoid &&
+        (name_addr < strings.addr || name_addr >= strings.addr + strings.size)) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: name pointer 0x%llx outside .mv.strings",
+                    (unsigned long long)name_addr));
+    }
+    const uint64_t end =
+        options.paranoid ? strings.addr + strings.size : memory.size();
+    return ReadCString(memory, name_addr, end, options.max_name_length);
   };
 
   const SectionPlacement vars = section(".mv.variables");
@@ -233,7 +288,7 @@ Result<DescriptorTable> DescriptorTable::Parse(const Memory& memory, const Image
     v.is_fnptr = (flags & kVarFlagFnPtr) != 0;
     uint64_t name_addr = 0;
     MV_ASSIGN_OR_RETURN(name_addr, ReadScalar<uint64_t>(memory, rec + 16));
-    MV_ASSIGN_OR_RETURN(v.name, ReadCString(memory, name_addr));
+    MV_ASSIGN_OR_RETURN(v.name, read_name(name_addr));
     table.variables.push_back(std::move(v));
   }
 
@@ -247,11 +302,22 @@ Result<DescriptorTable> DescriptorTable::Parse(const Memory& memory, const Image
     MV_ASSIGN_OR_RETURN(f.generic_addr, ReadScalar<uint64_t>(memory, rec));
     uint64_t name_addr = 0;
     MV_ASSIGN_OR_RETURN(name_addr, ReadScalar<uint64_t>(memory, rec + 8));
-    MV_ASSIGN_OR_RETURN(f.name, ReadCString(memory, name_addr));
+    MV_ASSIGN_OR_RETURN(f.name, read_name(name_addr));
     uint32_t n_variants = 0;
     MV_ASSIGN_OR_RETURN(n_variants, ReadScalar<uint32_t>(memory, rec + 16));
     uint64_t variants_addr = 0;
     MV_ASSIGN_OR_RETURN(variants_addr, ReadScalar<uint64_t>(memory, rec + 24));
+    if (options.paranoid) {
+      if (n_variants > options.max_variants_per_function) {
+        return Status::FailedPrecondition(
+            StrFormat("descriptor validation: function '%s' claims %u variants "
+                      "(cap %u)",
+                      f.name.c_str(), n_variants, options.max_variants_per_function));
+      }
+      MV_RETURN_IF_ERROR(CheckRecordArray("variants", variants_addr, n_variants,
+                                          kVariantDescSize, ".mv.variants",
+                                          variants_sec));
+    }
     for (uint32_t vi = 0; vi < n_variants; ++vi) {
       const uint64_t vrec = variants_addr + vi * kVariantDescSize;
       RtVariant variant;
@@ -260,6 +326,17 @@ Result<DescriptorTable> DescriptorTable::Parse(const Memory& memory, const Image
       MV_ASSIGN_OR_RETURN(n_guards, ReadScalar<uint32_t>(memory, vrec + 8));
       uint64_t guards_addr = 0;
       MV_ASSIGN_OR_RETURN(guards_addr, ReadScalar<uint64_t>(memory, vrec + 16));
+      if (options.paranoid) {
+        if (n_guards > options.max_guards_per_variant) {
+          return Status::FailedPrecondition(
+              StrFormat("descriptor validation: variant of '%s' claims %u guards "
+                        "(cap %u)",
+                        f.name.c_str(), n_guards, options.max_guards_per_variant));
+        }
+        MV_RETURN_IF_ERROR(CheckRecordArray("guards", guards_addr, n_guards,
+                                            kGuardDescSize, ".mv.guards",
+                                            guards_sec));
+      }
       for (uint32_t gi = 0; gi < n_guards; ++gi) {
         const uint64_t grec = guards_addr + gi * kGuardDescSize;
         RtGuard guard;
@@ -286,6 +363,144 @@ Result<DescriptorTable> DescriptorTable::Parse(const Memory& memory, const Image
   }
 
   return table;
+}
+
+Status ValidateDescriptorTable(const DescriptorTable& table, const Memory& memory,
+                               const Image& image) {
+  const uint64_t text_lo = image.text_base;
+  const uint64_t text_hi = image.text_base + image.text_size;
+  auto in_text = [&](uint64_t addr, uint64_t len) {
+    return addr >= text_lo && addr <= text_hi && len <= text_hi - addr;
+  };
+
+  std::set<uint64_t> symbol_addrs;
+  for (const auto& [name, addr] : image.symbols) {
+    symbol_addrs.insert(addr);
+  }
+
+  for (const RtVariable& var : table.variables) {
+    if (var.width != 1 && var.width != 2 && var.width != 4 && var.width != 8) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: switch '%s' has invalid width %u",
+                    var.name.c_str(), var.width));
+    }
+    if (var.is_fnptr && var.width != 8) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: function-pointer switch '%s' must be "
+                    "8 bytes wide, not %u",
+                    var.name.c_str(), var.width));
+    }
+    if (var.addr >= memory.size() || var.width > memory.size() - var.addr) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: switch '%s' storage at 0x%llx outside "
+                    "guest memory",
+                    var.name.c_str(), (unsigned long long)var.addr));
+    }
+    if (var.addr < text_hi && var.addr + var.width > text_lo) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: switch '%s' storage at 0x%llx overlaps "
+                    "the text segment",
+                    var.name.c_str(), (unsigned long long)var.addr));
+    }
+  }
+
+  for (const RtFunction& fn : table.functions) {
+    if (!in_text(fn.generic_addr, kCallInsnSize)) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: generic entry of '%s' at 0x%llx "
+                    "outside the text segment",
+                    fn.name.c_str(), (unsigned long long)fn.generic_addr));
+    }
+    if (symbol_addrs.count(fn.generic_addr) == 0) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: generic entry of '%s' at 0x%llx does "
+                    "not match any image symbol",
+                    fn.name.c_str(), (unsigned long long)fn.generic_addr));
+    }
+    for (const RtVariant& variant : fn.variants) {
+      if (!in_text(variant.fn_addr, 1) || symbol_addrs.count(variant.fn_addr) == 0) {
+        return Status::FailedPrecondition(
+            StrFormat("descriptor validation: variant of '%s' at 0x%llx is not an "
+                      "image symbol in the text segment",
+                      fn.name.c_str(), (unsigned long long)variant.fn_addr));
+      }
+      for (const RtGuard& guard : variant.guards) {
+        if (table.FindVariable(guard.var_addr) == nullptr) {
+          return Status::FailedPrecondition(
+              StrFormat("descriptor validation: guard of '%s' references unknown "
+                        "configuration switch 0x%llx",
+                        fn.name.c_str(), (unsigned long long)guard.var_addr));
+        }
+      }
+    }
+  }
+
+  std::vector<uint64_t> site_addrs;
+  site_addrs.reserve(table.callsites.size());
+  for (const RtCallsite& site : table.callsites) {
+    if (!in_text(site.site_addr, kCallInsnSize)) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: call site at 0x%llx outside the text "
+                    "segment",
+                    (unsigned long long)site.site_addr));
+    }
+    const RtVariable* fnptr_var = table.FindVariable(site.callee_addr);
+    const bool fnptr_callee = fnptr_var != nullptr && fnptr_var->is_fnptr;
+    if (!fnptr_callee && table.FindFunction(site.callee_addr) == nullptr) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: call site at 0x%llx references "
+                    "unknown callee 0x%llx",
+                    (unsigned long long)site.site_addr,
+                    (unsigned long long)site.callee_addr));
+    }
+    // The pristine site must decode as the call form the compiler emits:
+    // CALL rel32 targeting the generic callee, or an indirect call for a
+    // function-pointer switch — CALLM through the switch's own storage (the
+    // PV-Ops form), or CALLR through a register. Anything else means the
+    // site address is corrupt — patching it would destroy an unrelated
+    // instruction.
+    Result<Insn> insn =
+        Decode(memory.raw(site.site_addr), memory.size() - site.site_addr);
+    if (!insn.ok()) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: call site at 0x%llx does not decode "
+                    "(%s)",
+                    (unsigned long long)site.site_addr,
+                    insn.status().message().c_str()));
+    }
+    if (fnptr_callee) {
+      const bool callm_through_switch =
+          insn->op == Op::kCallM &&
+          static_cast<uint64_t>(insn->imm) == site.callee_addr;
+      if (insn->op != Op::kCallR && !callm_through_switch) {
+        return Status::FailedPrecondition(
+            StrFormat("descriptor validation: call site at 0x%llx for "
+                      "function-pointer switch '%s' is not an indirect call "
+                      "through its storage",
+                      (unsigned long long)site.site_addr, fnptr_var->name.c_str()));
+      }
+    } else if (insn->op != Op::kCall ||
+               site.site_addr + kCallInsnSize + static_cast<uint64_t>(insn->imm) !=
+                   site.callee_addr) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: call site at 0x%llx does not call its "
+                    "declared callee 0x%llx",
+                    (unsigned long long)site.site_addr,
+                    (unsigned long long)site.callee_addr));
+    }
+    site_addrs.push_back(site.site_addr);
+  }
+  std::sort(site_addrs.begin(), site_addrs.end());
+  for (size_t i = 1; i < site_addrs.size(); ++i) {
+    if (site_addrs[i] < site_addrs[i - 1] + kCallInsnSize) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: call sites at 0x%llx and 0x%llx "
+                    "overlap",
+                    (unsigned long long)site_addrs[i - 1],
+                    (unsigned long long)site_addrs[i]));
+    }
+  }
+  return Status::Ok();
 }
 
 uint64_t DescriptorSectionBytes(size_t n_variables, size_t n_callsites,

@@ -85,10 +85,35 @@ struct DescriptorTable {
   const RtVariable* FindVariable(uint64_t addr) const;
   const RtFunction* FindFunction(uint64_t generic_addr) const;
 
+  // Parsing hardening knobs. The paranoid mode (on by default, `mvcc
+  // --no-paranoid` to disable) treats the descriptor sections as untrusted
+  // input: every cross-section reference (variants pointer, guards pointer,
+  // name string) must land inside its own section with record alignment, and
+  // counts are capped — a flipped bit yields a structured diagnostic, never a
+  // wild read or an unbounded scan.
+  struct ParseOptions {
+    bool paranoid = true;
+    uint32_t max_variants_per_function = 1024;
+    uint32_t max_guards_per_variant = 1024;
+    uint64_t max_name_length = 4096;
+  };
+
   // Parses the descriptor sections of a loaded image (paper §5: "we only
   // inspect the descriptors of the binary itself").
   static Result<DescriptorTable> Parse(const Memory& memory, const Image& image);
+  static Result<DescriptorTable> Parse(const Memory& memory, const Image& image,
+                                       const ParseOptions& options);
 };
+
+// Semantic validation of a parsed table against the loaded image (the
+// `--paranoid` pass, on by default in MultiverseRuntime::Attach): switch
+// widths and storage, generic/variant entries resolving to real image
+// symbols inside the text segment, guards referencing known switches, call
+// sites that decode as the expected CALL/CALLR and do not overlap each
+// other. Rejecting here turns a corrupt table into a diagnostic instead of a
+// runtime that patches garbage addresses.
+Status ValidateDescriptorTable(const DescriptorTable& table, const Memory& memory,
+                               const Image& image);
 
 // Byte-size accounting used by the size benchmarks and tests: exactly the
 // paper's formula from §5.

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/isa/isa.h"
+#include "src/support/faultpoint.h"
 
 namespace mv {
 
@@ -11,6 +12,16 @@ Status WriteCodeBytes(Vm* vm, uint64_t addr, const uint8_t* data, uint64_t len,
   Memory& memory = vm->memory();
   const uint8_t old_perms = memory.PermsAt(addr);
   MV_RETURN_IF_ERROR(memory.Protect(addr, len, old_perms | kPermWrite));
+  // Fault point: the adversarial partial write — one byte lands, then the
+  // patcher dies. The page is deliberately left writable: a crashed patcher
+  // restores nothing, so recovery must fix both the bytes *and* the W^X
+  // state.
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kPatchWrite)) {
+    if (len > 0) {
+      (void)memory.WriteRaw(addr, data, 1);
+    }
+    return Status::Internal("patch write torn after 1 byte (injected fault)");
+  }
   MV_RETURN_IF_ERROR(memory.WriteRaw(addr, data, len));
   MV_RETURN_IF_ERROR(memory.Protect(addr, len, old_perms));
   if (flush) {

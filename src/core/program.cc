@@ -65,7 +65,7 @@ Result<std::unique_ptr<Program>> Program::Build(const std::vector<ProgramSource>
   program->image_ = std::move(*image);
 
   Result<MultiverseRuntime> runtime =
-      MultiverseRuntime::Attach(program->vm_.get(), program->image_);
+      MultiverseRuntime::Attach(program->vm_.get(), program->image_, options.attach);
   if (!runtime.ok()) {
     return runtime.status();
   }

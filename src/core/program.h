@@ -32,6 +32,9 @@ struct BuildOptions {
   uint64_t vm_memory = 64ull << 20;   // 64 MiB
   int vm_cores = 1;
   bool hypervisor_guest = false;      // run as a paravirtualized guest
+  // Runtime attach options: paranoid descriptor validation (`mvcc
+  // --no-paranoid` to disable) and transactional-commit tuning.
+  AttachOptions attach;
 };
 
 class Program {

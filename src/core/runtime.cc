@@ -16,8 +16,21 @@ constexpr uint8_t kNopByte = static_cast<uint8_t>(Op::kNop);
 }  // namespace
 
 Result<MultiverseRuntime> MultiverseRuntime::Attach(Vm* vm, const Image& image) {
+  return Attach(vm, image, AttachOptions{});
+}
+
+Result<MultiverseRuntime> MultiverseRuntime::Attach(Vm* vm, const Image& image,
+                                                    const AttachOptions& options) {
   MultiverseRuntime runtime(vm);
-  MV_ASSIGN_OR_RETURN(runtime.table_, DescriptorTable::Parse(vm->memory(), image));
+  runtime.image_ = image;
+  runtime.txn_options_ = options.txn;
+  DescriptorTable::ParseOptions parse_options;
+  parse_options.paranoid = options.paranoid;
+  MV_ASSIGN_OR_RETURN(runtime.table_,
+                      DescriptorTable::Parse(vm->memory(), image, parse_options));
+  if (options.paranoid) {
+    MV_RETURN_IF_ERROR(ValidateDescriptorTable(runtime.table_, vm->memory(), image));
+  }
 
   // Snapshot the pristine call sites.
   for (const RtCallsite& desc : runtime.table_.callsites) {
@@ -104,9 +117,26 @@ Status MultiverseRuntime::PatchBytes(uint64_t addr, const std::array<uint8_t, 5>
   return PatchCode(vm_, addr, bytes);
 }
 
+Status MultiverseRuntime::ReadEffective(uint64_t addr,
+                                        std::array<uint8_t, 5>* out) const {
+  MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(addr, out->data(), out->size()));
+  if (plan_ == nullptr) {
+    return Status::Ok();
+  }
+  for (const PatchOp& op : *plan_) {
+    for (size_t i = 0; i < out->size(); ++i) {
+      const uint64_t a = addr + i;
+      if (a >= op.addr && a < op.addr + op.new_bytes.size()) {
+        (*out)[i] = op.new_bytes[a - op.addr];
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status MultiverseRuntime::VerifySite(const Site& site) const {
   std::array<uint8_t, 5> now{};
-  MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(site.desc.site_addr, now.data(), 5));
+  MV_RETURN_IF_ERROR(ReadEffective(site.desc.site_addr, &now));
   if (now != site.current) {
     return Status::FailedPrecondition(
         StrFormat("call site at 0x%llx does not contain the expected bytes "
@@ -135,7 +165,9 @@ Status MultiverseRuntime::PatchSiteToCall(Site* site, uint64_t target, PatchStat
   SiteState new_state;
   if (tiny.has_value()) {
     bytes.fill(kNopByte);
-    std::memcpy(bytes.data(), tiny->data(), tiny->size());
+    if (!tiny->empty()) {  // an empty (eradicated) body is pure NOPs
+      std::memcpy(bytes.data(), tiny->data(), tiny->size());
+    }
     new_state = SiteState::kInlined;
   } else {
     MV_ASSIGN_OR_RETURN(bytes, MakeCallBytes(site->desc.site_addr, target));
@@ -159,7 +191,22 @@ Status MultiverseRuntime::RestoreSite(Site* site, PatchStats* stats) {
   if (site->state == SiteState::kOriginal) {
     return Status::Ok();
   }
-  MV_RETURN_IF_ERROR(VerifySite(*site));
+  std::array<uint8_t, 5> now{};
+  MV_RETURN_IF_ERROR(ReadEffective(site->desc.site_addr, &now));
+  if (now != site->current) {
+    if (now == site->original) {
+      // An overlapping undo already put the pristine bytes back (a call site
+      // aliasing a patched generic prologue restores to identical content);
+      // reconcile the bookkeeping without another write.
+      site->current = site->original;
+      site->state = SiteState::kOriginal;
+      return Status::Ok();
+    }
+    return Status::FailedPrecondition(
+        StrFormat("call site at 0x%llx does not contain the expected bytes "
+                  "(foreign modification?)",
+                  (unsigned long long)site->desc.site_addr));
+  }
   MV_RETURN_IF_ERROR(PatchBytes(site->desc.site_addr, site->original));
   site->current = site->original;
   site->state = SiteState::kOriginal;
@@ -204,14 +251,18 @@ Result<PatchStats> MultiverseRuntime::InstallVariant(FnState* fn, uint64_t varia
 
 Result<PatchStats> MultiverseRuntime::RevertFnState(FnState* fn) {
   PatchStats stats;
+  // Undo in reverse apply order (InstallVariant patches sites first, the
+  // prologue last): the prologue comes off first, then the sites from last
+  // to first, so overlapping windows — a recorded call site inside a patched
+  // prologue range, tiny-body-inlined or not — un-layer exactly.
   if (fn->prologue_patched) {
     const RtFunction& desc = table_.functions[fn->desc_index];
     MV_RETURN_IF_ERROR(PatchBytes(desc.generic_addr, fn->saved_prologue));
     fn->prologue_patched = false;
     ++stats.prologues_patched;
   }
-  for (size_t si : fn->sites) {
-    MV_RETURN_IF_ERROR(RestoreSite(&sites_[si], &stats));
+  for (auto it = fn->sites.rbegin(); it != fn->sites.rend(); ++it) {
+    MV_RETURN_IF_ERROR(RestoreSite(&sites_[*it], &stats));
   }
   if (fn->installed != 0) {
     fn->installed = 0;
@@ -262,6 +313,15 @@ Result<PatchStats> MultiverseRuntime::CommitFnPtr(FnPtrState* state) {
     ++stats.generic_fallbacks;
     return stats;
   }
+  // The pointer value is runtime data, not compiler-emitted metadata — it
+  // can hold anything. Refuse to burn a direct call to an address outside
+  // the text segment into the image.
+  if (target < image_.text_base || target >= image_.text_base + image_.text_size) {
+    return Status::FailedPrecondition(
+        StrFormat("function-pointer switch '%s' holds 0x%llx, outside the text "
+                  "segment — refusing to commit",
+                  var.name.c_str(), (unsigned long long)target));
+  }
   for (size_t si : state->sites) {
     MV_RETURN_IF_ERROR(PatchSiteToCall(&sites_[si], target, &stats));
   }
@@ -272,8 +332,8 @@ Result<PatchStats> MultiverseRuntime::CommitFnPtr(FnPtrState* state) {
 
 Result<PatchStats> MultiverseRuntime::RevertFnPtr(FnPtrState* state) {
   PatchStats stats;
-  for (size_t si : state->sites) {
-    MV_RETURN_IF_ERROR(RestoreSite(&sites_[si], &stats));
+  for (auto it = state->sites.rbegin(); it != state->sites.rend(); ++it) {
+    MV_RETURN_IF_ERROR(RestoreSite(&sites_[*it], &stats));
   }
   if (state->installed != 0) {
     state->installed = 0;
@@ -283,9 +343,68 @@ Result<PatchStats> MultiverseRuntime::RevertFnPtr(FnPtrState* state) {
 }
 
 // ---------------------------------------------------------------------------
+// Transactional wrapper + logical-state snapshots (src/core/txn.h)
+
+struct MultiverseRuntime::SavedState {
+  std::vector<Site> sites;
+  std::map<uint64_t, FnState> fns;
+  std::map<uint64_t, FnPtrState> fnptrs;
+};
+
+std::shared_ptr<const MultiverseRuntime::SavedState> MultiverseRuntime::SaveState()
+    const {
+  auto saved = std::make_shared<SavedState>();
+  saved->sites = sites_;
+  saved->fns = fns_;
+  saved->fnptrs = fnptrs_;
+  return saved;
+}
+
+void MultiverseRuntime::RestoreState(const SavedState& saved) {
+  sites_ = saved.sites;
+  fns_ = saved.fns;
+  fnptrs_ = saved.fnptrs;
+}
+
+Result<PatchStats> MultiverseRuntime::RunTransactional(
+    const std::function<Result<PatchStats>()>& op) {
+  if (plan_ != nullptr) {
+    return op();  // a livepatch session owns atomicity for the whole plan
+  }
+  std::shared_ptr<const SavedState> saved = SaveState();
+  PatchStats patch_stats;
+  PatchPlan plan;
+
+  TxnHooks hooks;
+  hooks.plan = [&]() -> Result<PatchPlan> {
+    RestoreState(*saved);
+    plan.clear();
+    BeginPlan(&plan);
+    Result<PatchStats> planned = op();
+    EndPlan();
+    if (!planned.ok()) {
+      RestoreState(*saved);
+      return planned.status();
+    }
+    patch_stats = *planned;
+    return plan;
+  };
+  hooks.apply = [&](PatchJournal* journal) -> Status {
+    for (size_t i = 0; i < journal->size(); ++i) {
+      MV_RETURN_IF_ERROR(journal->ApplyOp(i, txn_options_));
+    }
+    return Status::Ok();
+  };
+  hooks.restore = [&]() { RestoreState(*saved); };
+
+  MV_RETURN_IF_ERROR(RunCommitTxn(vm_, &image_, txn_options_, hooks, &last_txn_));
+  return patch_stats;
+}
+
+// ---------------------------------------------------------------------------
 // Public API (paper Table 1)
 
-Result<PatchStats> MultiverseRuntime::Commit() {
+Result<PatchStats> MultiverseRuntime::CommitImpl() {
   PatchStats total;
   for (auto& [addr, fn] : fns_) {
     MV_ASSIGN_OR_RETURN(PatchStats stats, CommitFnState(&fn));
@@ -298,38 +417,59 @@ Result<PatchStats> MultiverseRuntime::Commit() {
   return total;
 }
 
-Result<PatchStats> MultiverseRuntime::Revert() {
+Result<PatchStats> MultiverseRuntime::RevertImpl() {
+  // Reverse commit order (CommitImpl patches functions, then fn-ptr
+  // switches; map iteration ascending), so a full revert un-layers every
+  // overlapping window exactly.
   PatchStats total;
-  for (auto& [addr, fn] : fns_) {
-    MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnState(&fn));
+  for (auto it = fnptrs_.rbegin(); it != fnptrs_.rend(); ++it) {
+    MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnPtr(&it->second));
     total.Accumulate(stats);
   }
-  for (auto& [addr, state] : fnptrs_) {
-    MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnPtr(&state));
+  for (auto it = fns_.rbegin(); it != fns_.rend(); ++it) {
+    MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnState(&it->second));
     total.Accumulate(stats);
   }
   return total;
 }
 
+Result<PatchStats> MultiverseRuntime::Commit() {
+  return RunTransactional([this] { return CommitImpl(); });
+}
+
+Result<PatchStats> MultiverseRuntime::Revert() {
+  return RunTransactional([this] { return RevertImpl(); });
+}
+
 Result<PatchStats> MultiverseRuntime::CommitFn(uint64_t generic_addr) {
-  auto it = fns_.find(generic_addr);
-  if (it == fns_.end()) {
-    return Status::NotFound(
-        StrFormat("no multiversed function at 0x%llx", (unsigned long long)generic_addr));
-  }
-  return CommitFnState(&it->second);
+  return RunTransactional([this, generic_addr]() -> Result<PatchStats> {
+    auto it = fns_.find(generic_addr);
+    if (it == fns_.end()) {
+      return Status::NotFound(StrFormat("no multiversed function at 0x%llx",
+                                        (unsigned long long)generic_addr));
+    }
+    return CommitFnState(&it->second);
+  });
 }
 
 Result<PatchStats> MultiverseRuntime::RevertFn(uint64_t generic_addr) {
-  auto it = fns_.find(generic_addr);
-  if (it == fns_.end()) {
-    return Status::NotFound(
-        StrFormat("no multiversed function at 0x%llx", (unsigned long long)generic_addr));
-  }
-  return RevertFnState(&it->second);
+  return RunTransactional([this, generic_addr]() -> Result<PatchStats> {
+    auto it = fns_.find(generic_addr);
+    if (it == fns_.end()) {
+      return Status::NotFound(StrFormat("no multiversed function at 0x%llx",
+                                        (unsigned long long)generic_addr));
+    }
+    return RevertFnState(&it->second);
+  });
 }
 
 Result<PatchStats> MultiverseRuntime::CommitRefs(uint64_t var_addr) {
+  return RunTransactional([this, var_addr]() -> Result<PatchStats> {
+    return CommitRefsImpl(var_addr);
+  });
+}
+
+Result<PatchStats> MultiverseRuntime::CommitRefsImpl(uint64_t var_addr) {
   auto fp = fnptrs_.find(var_addr);
   if (fp != fnptrs_.end()) {
     return CommitFnPtr(&fp->second);
@@ -364,6 +504,12 @@ Result<PatchStats> MultiverseRuntime::CommitRefs(uint64_t var_addr) {
 }
 
 Result<PatchStats> MultiverseRuntime::RevertRefs(uint64_t var_addr) {
+  return RunTransactional([this, var_addr]() -> Result<PatchStats> {
+    return RevertRefsImpl(var_addr);
+  });
+}
+
+Result<PatchStats> MultiverseRuntime::RevertRefsImpl(uint64_t var_addr) {
   auto fp = fnptrs_.find(var_addr);
   if (fp != fnptrs_.end()) {
     return RevertFnPtr(&fp->second);

@@ -25,12 +25,15 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/descriptors.h"
 #include "src/core/patching.h"
+#include "src/core/txn.h"
 #include "src/obj/linker.h"
 #include "src/support/status.h"
 #include "src/vm/vm.h"
@@ -56,11 +59,23 @@ struct PatchStats {
   }
 };
 
+struct AttachOptions {
+  // Treat the descriptor tables as untrusted input: harden parsing
+  // (cross-section containment, count caps) and run the semantic validation
+  // pass (ValidateDescriptorTable) before any site is snapshotted. The
+  // `mvcc --paranoid` flag, on by default.
+  bool paranoid = true;
+  // Transactional-commit tuning for the plain (non-livepatch) API paths.
+  TxnOptions txn;
+};
+
 class MultiverseRuntime {
  public:
   // Parses the image's descriptor sections and snapshots the pristine bytes
   // of every call site and generic prologue.
   static Result<MultiverseRuntime> Attach(Vm* vm, const Image& image);
+  static Result<MultiverseRuntime> Attach(Vm* vm, const Image& image,
+                                          const AttachOptions& options);
 
   // --- The multiverse API (paper Table 1) ---
   Result<PatchStats> Commit();
@@ -95,6 +110,24 @@ class MultiverseRuntime {
   void EndPlan() { plan_ = nullptr; }
   bool planning() const { return plan_ != nullptr; }
 
+  // --- Transactional commit (src/core/txn.h) ---
+  // Outside a live-patch plan, every Table 1 operation above runs as one
+  // transaction: plan -> validate -> apply -> seal, rolled back in reverse
+  // order on any mid-commit failure, with bounded retry for transient
+  // faults. last_txn() reports what the most recent operation went through.
+  const TxnStats& last_txn() const { return last_txn_; }
+  const TxnOptions& txn_options() const { return txn_options_; }
+  void set_txn_options(const TxnOptions& options) { txn_options_ = options; }
+  const Image& image() const { return image_; }
+
+  // Opaque copy of the runtime's logical patch state (site states, installed
+  // variants, prologue flags). The livepatch engine saves before planning a
+  // live commit and restores after a rollback so bookkeeping and guest text
+  // stay in lockstep.
+  struct SavedState;
+  std::shared_ptr<const SavedState> SaveState() const;
+  void RestoreState(const SavedState& saved);
+
  private:
   MultiverseRuntime(Vm* vm) : vm_(vm) {}
 
@@ -123,6 +156,10 @@ class MultiverseRuntime {
 
   // Writes 5 bytes at `addr` with W^X handling and icache flush.
   Status PatchBytes(uint64_t addr, const std::array<uint8_t, 5>& bytes);
+  // Reads 5 bytes as they will be once the active plan (if any) is applied:
+  // guest memory overlaid with the pending plan ops. During planning,
+  // verification must see the logical state, not the stale physical bytes.
+  Status ReadEffective(uint64_t addr, std::array<uint8_t, 5>* out) const;
   // Verifies that the site still contains what we believe it contains.
   Status VerifySite(const Site& site) const;
   Status PatchSiteToCall(Site* site, uint64_t target, PatchStats* stats);
@@ -140,9 +177,22 @@ class MultiverseRuntime {
   Result<PatchStats> CommitFnPtr(FnPtrState* state);
   Result<PatchStats> RevertFnPtr(FnPtrState* state);
 
+  Result<PatchStats> CommitImpl();
+  Result<PatchStats> RevertImpl();
+  Result<PatchStats> CommitRefsImpl(uint64_t var_addr);
+  Result<PatchStats> RevertRefsImpl(uint64_t var_addr);
+
+  // Runs `op` as one transaction when no live-patch plan is active (see
+  // txn.h); inside a plan it is a passthrough — the livepatch engine owns
+  // atomicity for the whole batched plan.
+  Result<PatchStats> RunTransactional(const std::function<Result<PatchStats>()>& op);
+
   Vm* vm_;
   PatchPlan* plan_ = nullptr;  // non-null while planning a live commit
+  Image image_;
   DescriptorTable table_;
+  TxnOptions txn_options_;
+  TxnStats last_txn_;
   std::vector<Site> sites_;
   std::map<uint64_t, FnState> fns_;      // keyed by generic address
   std::map<uint64_t, FnPtrState> fnptrs_;  // keyed by variable address

@@ -1,0 +1,302 @@
+#include "src/core/txn.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/isa/cost_model.h"
+#include "src/vm/memory.h"
+
+namespace mv {
+
+namespace {
+
+constexpr uint64_t kOpSize = 5;  // every PatchOp rewrites one 5-byte window
+
+std::string Hex(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string OpDesc(size_t index, const PatchOp& op) {
+  return "op " + std::to_string(index) + " at " + Hex(op.addr);
+}
+
+bool OpsOverlap(const PatchOp& a, const PatchOp& b) {
+  return a.addr < b.addr + kOpSize && b.addr < a.addr + kOpSize;
+}
+
+}  // namespace
+
+Result<PatchJournal> PatchJournal::Begin(Vm* vm, const Image* image,
+                                         const PatchPlan& plan, bool validate) {
+  PatchJournal journal(vm, image);
+  journal.plan_ = plan;
+  journal.entries_.resize(plan.size());
+  journal.touch_order_.reserve(plan.size());
+  journal.flushes_at_begin_ = vm->icache_flushes();
+
+  const Memory& memory = vm->memory();
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const PatchOp& op = plan[i];
+    // Bounds are checked unconditionally: the perms snapshot below (the undo
+    // record for protections) is meaningless for an unmapped address.
+    if (op.addr >= memory.size() || kOpSize > memory.size() - op.addr) {
+      return Status::OutOfRange("journal: " + OpDesc(i, op) +
+                                " outside guest memory");
+    }
+    journal.entries_[i].perms = memory.PermsAt(op.addr);
+    for (size_t j = 0; j < i; ++j) {
+      if (OpsOverlap(op, plan[j])) {
+        journal.entries_[i].overlaps_earlier = true;
+        break;
+      }
+    }
+  }
+  if (validate) {
+    Status status = journal.Validate();
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  return journal;
+}
+
+Status PatchJournal::Validate() const {
+  const Memory& memory = vm_->memory();
+  for (size_t i = 0; i < plan_.size(); ++i) {
+    const PatchOp& op = plan_[i];
+    if (image_ != nullptr &&
+        (op.addr < image_->text_base ||
+         op.addr + kOpSize > image_->text_base + image_->text_size)) {
+      return Status::FailedPrecondition(
+          "journal: " + OpDesc(i, op) + " outside the image text segment [" +
+          Hex(image_->text_base) + ", " +
+          Hex(image_->text_base + image_->text_size) + ")");
+    }
+    // An op may straddle a page boundary; both ends must be executable and
+    // W^X-clean (a page already writable means some earlier patch never
+    // restored its protection — committing on top would mask that bug).
+    for (uint64_t end : {op.addr, op.addr + kOpSize - 1}) {
+      const uint8_t perms = memory.PermsAt(end);
+      if (!(perms & kPermExec)) {
+        return Status::FailedPrecondition("journal: " + OpDesc(i, op) +
+                                          " targets a non-executable page");
+      }
+      if (perms & kPermWrite) {
+        return Status::FailedPrecondition(
+            "journal: " + OpDesc(i, op) +
+            " targets a writable text page (W^X violated before commit)");
+      }
+    }
+    // Expected-bytes check. Ops overlapping an earlier op in the same plan
+    // recorded old bytes that are only valid pre-commit as a set (applying
+    // the earlier op changes the later op's window), so the in-memory
+    // comparison is only meaningful for non-overlapping ops — which at
+    // Begin() time, before any apply, is every op that doesn't alias a plan
+    // sibling.
+    if (!entries_[i].overlaps_earlier) {
+      std::array<uint8_t, kOpSize> current{};
+      MV_RETURN_IF_ERROR(memory.ReadRaw(op.addr, current.data(), kOpSize));
+      if (current != op.old_bytes) {
+        return Status::FailedPrecondition(
+            "journal: " + OpDesc(i, op) +
+            " expected bytes not present (text modified since planning)");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void PatchJournal::MarkTouched(size_t index) {
+  if (index >= entries_.size() || entries_[index].touched) {
+    return;
+  }
+  entries_[index].touched = true;
+  touch_order_.push_back(index);
+}
+
+Status PatchJournal::ApplyOp(size_t index, const TxnOptions& options) {
+  if (index >= plan_.size()) {
+    return Status::OutOfRange("journal: apply of op " + std::to_string(index) +
+                              " beyond plan size " + std::to_string(plan_.size()));
+  }
+  const PatchOp& op = plan_[index];
+  MarkTouched(index);
+  ExpectFlush();
+  MV_RETURN_IF_ERROR(WriteCodeBytes(vm_, op.addr, op.new_bytes.data(),
+                                    op.new_bytes.size(), /*flush=*/true));
+  if (options.verify_writes) {
+    std::array<uint8_t, kOpSize> readback{};
+    MV_RETURN_IF_ERROR(
+        vm_->memory().ReadRaw(op.addr, readback.data(), readback.size()));
+    if (readback != op.new_bytes) {
+      return Status::Internal("journal: torn write detected at " +
+                              OpDesc(index, op) + " (read-back mismatch)");
+    }
+  }
+  return Status::Ok();
+}
+
+Status PatchJournal::Seal(TxnStats* stats) {
+  const Memory& memory = vm_->memory();
+  for (size_t pos = 0; pos < touch_order_.size(); ++pos) {
+    const size_t index = touch_order_[pos];
+    const PatchOp& op = plan_[index];
+    std::array<uint8_t, kOpSize> current{};
+    MV_RETURN_IF_ERROR(memory.ReadRaw(op.addr, current.data(), kOpSize));
+    if (current != op.new_bytes) {
+      // An op touched later may legitimately rewrite part of this window (a
+      // call site aliasing a patched prologue); only fault when nothing
+      // shadowed it.
+      bool shadowed = false;
+      for (size_t p2 = pos + 1; p2 < touch_order_.size(); ++p2) {
+        if (OpsOverlap(plan_[touch_order_[p2]], op)) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (!shadowed) {
+        return Status::Internal("seal: " + OpDesc(index, op) +
+                                " bytes not committed");
+      }
+    }
+    const uint8_t perms = memory.PermsAt(op.addr);
+    if (perms & kPermWrite) {
+      return Status::Internal("seal: " + OpDesc(index, op) +
+                              " page left writable (W^X violated)");
+    }
+    if (perms != entries_[index].perms) {
+      return Status::Internal("seal: " + OpDesc(index, op) +
+                              " page protection not restored");
+    }
+  }
+
+  // Flush accounting: every ExpectFlush() promise must be backed by an
+  // observed FlushIcache call. A shortfall is the forgotten-invalidation bug;
+  // it is repairable in place (the writes themselves are good) by re-issuing
+  // the invalidation for every touched range — bounded rounds because a
+  // repair flush can itself be suppressed by a still-armed injector.
+  int repair_rounds = 0;
+  while (vm_->icache_flushes() - flushes_at_begin_ < expected_flushes_) {
+    const uint64_t missing =
+        expected_flushes_ - (vm_->icache_flushes() - flushes_at_begin_);
+    if (++repair_rounds > 4) {
+      return Status::Internal(
+          "seal: " + std::to_string(missing) +
+          " icache flush obligation(s) still unmet after repair");
+    }
+    if (stats != nullptr) {
+      stats->reflushes += static_cast<int>(missing);
+      stats->recovery_ticks += missing * vm_->cost_model().icache_flush_ipi;
+    }
+    for (size_t index : touch_order_) {
+      vm_->FlushIcache(plan_[index].addr, kOpSize);
+    }
+  }
+  return Status::Ok();
+}
+
+Status PatchJournal::Rollback(TxnStats* stats) {
+  Memory& memory = vm_->memory();
+  Status first_error = Status::Ok();
+  // Reverse touch order: overlapping windows (a call site aliasing a patched
+  // prologue) un-layer exactly because the last write is undone first.
+  for (auto it = touch_order_.rbegin(); it != touch_order_.rend(); ++it) {
+    const size_t index = *it;
+    const PatchOp& op = plan_[index];
+    const Entry& entry = entries_[index];
+    Status status = Status::Ok();
+    const uint8_t perms_now = memory.PermsAt(op.addr);
+    if (!(perms_now & kPermWrite)) {
+      status = memory.Protect(op.addr, kOpSize, entry.perms | kPermWrite);
+    }
+    if (status.ok()) {
+      status = memory.WriteRaw(op.addr, op.old_bytes.data(), kOpSize);
+    }
+    if (status.ok()) {
+      status = memory.Protect(op.addr, kOpSize, entry.perms);
+    }
+    vm_->FlushIcache(op.addr, kOpSize);
+    if (stats != nullptr) {
+      ++stats->ops_rolled_back;
+      stats->recovery_ticks +=
+          vm_->cost_model().patch_write + vm_->cost_model().icache_flush_ipi;
+    }
+    if (!status.ok() && first_error.ok()) {
+      first_error = Status(status.code(), "rollback of " + OpDesc(index, op) +
+                                              " failed: " + status.message());
+    }
+  }
+  return first_error;
+}
+
+Status RunCommitTxn(Vm* vm, const Image* image, const TxnOptions& options,
+                    const TxnHooks& hooks, TxnStats* stats) {
+  TxnStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  *stats = TxnStats{};
+
+  const int max_attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  uint64_t backoff = options.backoff_ticks;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++stats->attempts;
+
+    // Plan. A failure here means nothing was applied and the hook has already
+    // restored its own bookkeeping: a configuration/descriptor error, never
+    // retried.
+    Result<PatchPlan> plan = hooks.plan();
+    if (!plan.ok()) {
+      stats->last_failure = plan.status().ToString();
+      return plan.status();
+    }
+
+    // Validate.
+    Result<PatchJournal> journal =
+        PatchJournal::Begin(vm, image, *plan, options.validate);
+    if (!journal.ok()) {
+      hooks.restore();
+      stats->last_failure = journal.status().ToString();
+      return Status(journal.status().code(),
+                    "commit validation failed: " + journal.status().message());
+    }
+
+    // Apply + seal.
+    Status failed = hooks.apply(&journal.value());
+    if (failed.ok()) {
+      failed = journal->Seal(stats);
+    }
+    if (failed.ok()) {
+      stats->ops_applied = static_cast<int>(journal->size());
+      return Status::Ok();
+    }
+
+    // Roll back this attempt: bytes first (reverse order), then the caller's
+    // logical bookkeeping.
+    ++stats->rollbacks;
+    stats->last_failure = failed.ToString();
+    Status undo = journal->Rollback(stats);
+    hooks.restore();
+    if (!undo.ok()) {
+      return Status::Internal("commit rollback failed — image may be torn: " +
+                              undo.message());
+    }
+
+    const bool retryable = hooks.retryable ? hooks.retryable(failed) : true;
+    if (!retryable || attempt >= max_attempts) {
+      return Status(failed.code(),
+                    "commit rolled back after " + std::to_string(attempt) +
+                        " attempt(s): " + failed.ToString());
+    }
+    ++stats->retries;
+    if (hooks.backoff) {
+      hooks.backoff(backoff);
+    }
+    backoff *= 2;
+  }
+  return Status::Internal("commit retry loop exited unexpectedly");
+}
+
+}  // namespace mv

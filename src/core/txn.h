@@ -1,0 +1,177 @@
+// Transactional commit: the write-ahead patch journal that makes every
+// multiverse commit path atomic and recoverable (docs/INTERNALS.md §11).
+//
+// The paper's runtime declares consistency "the caller's contract" (§2/§7.3)
+// and its soundness property (§7.4) only covers the happy path: a commit that
+// dies after rewriting 500 of 1161 call sites leaves an image that is neither
+// generic nor committed — torn. This module closes that hole:
+//
+//   plan      the Table 1 operation runs in planning mode (runtime.h
+//             BeginPlan), producing the batched PatchPlan without touching
+//             guest memory; the runtime bookkeeping snapshot taken first is
+//             the undo record for the *logical* state;
+//   validate  every op is checked against the loaded image before the first
+//             byte moves: expected bytes still present, target inside the
+//             text segment, pages executable and W^X-clean;
+//   apply     ops are written (directly, or by a livepatch protocol) through
+//             the journal, which records per-op undo state — old bytes,
+//             original protections, icache-flush obligations — before any
+//             byte of that op changes;
+//   seal      the post-state is audited: new bytes in memory, protections
+//             restored to X-not-W, every promised icache invalidation
+//             observed (a suppressed flush is detected by counter accounting
+//             and repaired in place by re-issuing the invalidation).
+//
+// On any mid-commit failure — a torn code write, a refused mprotect, a core
+// that never reaches a safe point — the journal rolls the touched ops back in
+// reverse order, restores protections, flushes every touched range on every
+// core, and the caller restores the bookkeeping snapshot: the image degrades
+// gracefully to its pre-commit (generic-behaving) state with a structured
+// error. Transient failures are retried with bounded exponential backoff.
+//
+// The recovery invariant, asserted exhaustively by the fault-injection sweep
+// (tests/faultpoint_sweep_test.cc): after any single fault at any fault point
+// at any op index under any protocol and either dispatch engine, the workload
+// transcript is bit-identical to fully-generic or fully-committed execution —
+// never a mixture.
+#ifndef MULTIVERSE_SRC_CORE_TXN_H_
+#define MULTIVERSE_SRC_CORE_TXN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/patching.h"
+#include "src/obj/linker.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+struct TxnOptions {
+  // Total plan->apply->seal attempts; 1 disables retry. Each failed attempt
+  // is rolled back before the next one starts.
+  int max_attempts = 3;
+  // Modelled backoff after a rolled-back attempt, doubling per retry
+  // (reported through the caller's backoff hook so protocol engines can
+  // charge it to their virtual patch clock).
+  uint64_t backoff_ticks = 256;
+  // Pre-apply validation of the plan against the loaded image. Off only for
+  // tests that need to drive the journal into states validation would refuse.
+  bool validate = true;
+  // Read back every op after a direct (non-protocol) apply and fail on
+  // mismatch — catches torn writes at the op that tore, not at seal.
+  bool verify_writes = true;
+};
+
+// Outcome accounting for one transactional commit (possibly several
+// attempts). Carried in LiveCommitStats and MultiverseRuntime::last_txn().
+struct TxnStats {
+  int attempts = 0;
+  int rollbacks = 0;        // attempts that were rolled back
+  int retries = 0;          // rolled-back attempts that were re-tried
+  int ops_applied = 0;      // ops live in the final committed image
+  int ops_rolled_back = 0;  // undo records replayed across all rollbacks
+  int reflushes = 0;        // suppressed icache flushes repaired at seal
+  uint64_t recovery_ticks = 0;  // modelled time spent undoing + re-flushing
+  std::string last_failure;     // one-line cause of the most recent rollback
+};
+
+// The write-ahead journal for one attempt: per-op undo records plus the
+// validate/seal/rollback machinery. Appliers must call MarkTouched(i) (or use
+// ApplyOp, which does) before modifying any byte of op i.
+class PatchJournal {
+ public:
+  // Snapshots undo state for `plan` and, when `validate`, rejects plans the
+  // recovery machinery could not safely undo: ops out of guest memory or
+  // outside the image's text segment, targets on non-executable or writable
+  // (W^X-violating) pages, and ops whose expected old bytes are no longer in
+  // memory (foreign modification between plan and apply). Ops overlapping an
+  // earlier op in the same plan are legal (e.g. a call site at a generic
+  // entry that is also prologue-patched); reverse-order undo restores them
+  // exactly, but their expected-bytes check is only meaningful pre-apply.
+  static Result<PatchJournal> Begin(Vm* vm, const Image* image,
+                                    const PatchPlan& plan, bool validate);
+
+  const PatchPlan& plan() const { return plan_; }
+  size_t size() const { return plan_.size(); }
+
+  // Declares that op `index` is about to have bytes modified. Idempotent;
+  // records the undo order.
+  void MarkTouched(size_t index);
+  bool touched(size_t index) const { return entries_[index].touched; }
+
+  // Promises that one icache invalidation will be issued; Seal() verifies the
+  // VM's flush counter advanced by at least the promised total.
+  void ExpectFlush() { ++expected_flushes_; }
+
+  // Direct apply of op `index`: W^X dance, full write, optional read-back
+  // verify, icache flush. The plain (non-protocol) commit path.
+  Status ApplyOp(size_t index, const TxnOptions& options);
+
+  // Audits the committed state: every touched op's new bytes present, pages
+  // back to executable-not-writable, flush obligations met. Missing flushes
+  // are repaired in place (re-issued per touched op, counted in
+  // stats->reflushes) — a suppressed invalidation is recoverable without
+  // undoing the writes. Any other discrepancy is an error (caller must roll
+  // back).
+  Status Seal(TxnStats* stats);
+
+  // Replays undo records in reverse touch order: force-writable, restore old
+  // bytes, restore the pre-txn protection, flush the range on every core.
+  // Best effort — keeps undoing past individual failures and reports the
+  // first error (a failed rollback is a torn image; the sweep asserts it
+  // never happens under the single-fault model).
+  Status Rollback(TxnStats* stats);
+
+ private:
+  struct Entry {
+    uint8_t perms = 0;          // page protection to restore on undo/seal
+    bool touched = false;
+    bool overlaps_earlier = false;  // shares bytes with an earlier plan op
+  };
+
+  PatchJournal(Vm* vm, const Image* image) : vm_(vm), image_(image) {}
+
+  Status Validate() const;
+
+  Vm* vm_;
+  const Image* image_;  // may be null: bounds/perms checks only
+  PatchPlan plan_;
+  std::vector<Entry> entries_;
+  std::vector<size_t> touch_order_;
+  uint64_t flushes_at_begin_ = 0;
+  uint64_t expected_flushes_ = 0;
+};
+
+// Hooks that let one driver serve both commit paths (the plain runtime apply
+// and the livepatch protocol engines).
+struct TxnHooks {
+  // Snapshots caller bookkeeping and produces the batched plan. A failure
+  // here is a configuration/descriptor error: nothing was applied, nothing is
+  // retried; the caller must already have restored its bookkeeping.
+  std::function<Result<PatchPlan>()> plan;
+  // Applies the whole plan through the journal. Any error fails the attempt.
+  std::function<Status(PatchJournal*)> apply;
+  // Restores the bookkeeping snapshot taken by `plan` (called after every
+  // rollback, including before a retry).
+  std::function<void()> restore;
+  // Optional: returns false for failures retry cannot fix (e.g. a mutator
+  // core faulted and is wedged). Default: everything is transient.
+  std::function<bool(const Status&)> retryable;
+  // Optional: charge `ticks` of backoff to the caller's modelled clock.
+  std::function<void(uint64_t ticks)> backoff;
+};
+
+// Runs plan -> validate -> apply -> seal with bounded retry + backoff,
+// rolling back on every failure. `*stats` is always populated (also on
+// error — callers report rollbacks/retries either way). On final failure the
+// returned status is the structured one-line commit diagnostic and the image
+// + caller bookkeeping are back in their pre-commit state.
+Status RunCommitTxn(Vm* vm, const Image* image, const TxnOptions& options,
+                    const TxnHooks& hooks, TxnStats* stats);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_TXN_H_

@@ -1,8 +1,10 @@
 #include "src/livepatch/livepatch.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/core/patching.h"
+#include "src/core/txn.h"
 #include "src/isa/isa.h"
 #include "src/support/str.h"
 
@@ -50,7 +52,7 @@ struct Mutator {
 class Engine {
  public:
   Engine(Vm* vm, MultiverseRuntime* runtime, const LiveCommitOptions& options)
-      : vm_(vm), options_(options), session_(runtime) {
+      : vm_(vm), runtime_(runtime), options_(options), session_(runtime) {
     for (int core : options.mutator_cores) {
       Mutator m;
       m.core = core;
@@ -60,8 +62,6 @@ class Engine {
   }
 
   Result<LiveCommitStats> Run() {
-    MV_ASSIGN_OR_RETURN(stats_.patch, session_.PlanCommit());
-
     // The host starts patching "now": at the time of the furthest-ahead
     // mutator. Cores that are behind execute work they would have done
     // anyway, concurrently with the patching.
@@ -71,19 +71,56 @@ class Engine {
     }
     const uint64_t start_clock = host_clock_;
 
-    Status status = Status::Ok();
-    switch (options_.protocol) {
-      case CommitProtocol::kUnsafe:
-        status = RunUnsafe();
-        break;
-      case CommitProtocol::kQuiescence:
-        status = RunQuiescence();
-        break;
-      case CommitProtocol::kBreakpoint:
-        status = RunBreakpoint();
-        break;
-    }
-    MV_RETURN_IF_ERROR(status);
+    // The whole live commit is one transaction (txn.h): each attempt
+    // re-plans against restored bookkeeping, the protocol applies through
+    // the journal, and a failed attempt is rolled back — original bytes,
+    // protections, flushes — before a bounded retry.
+    std::shared_ptr<const MultiverseRuntime::SavedState> saved;
+    TxnHooks hooks;
+    hooks.plan = [&]() -> Result<PatchPlan> {
+      saved = runtime_->SaveState();
+      Result<PatchStats> planned = session_.PlanCommit();
+      if (!planned.ok()) {
+        runtime_->RestoreState(*saved);
+        return planned.status();
+      }
+      stats_.patch = *planned;
+      return session_.plan();
+    };
+    hooks.apply = [&](PatchJournal* journal) -> Status {
+      journal_ = journal;
+      Status status = Status::Ok();
+      switch (options_.protocol) {
+        case CommitProtocol::kUnsafe:
+          status = RunUnsafe();
+          break;
+        case CommitProtocol::kQuiescence:
+          status = RunQuiescence();
+          break;
+        case CommitProtocol::kBreakpoint:
+          status = RunBreakpoint();
+          break;
+      }
+      journal_ = nullptr;
+      return status;
+    };
+    hooks.restore = [&]() {
+      runtime_->RestoreState(*saved);
+      // The rollback restored and flushed the original bytes under any
+      // parked core; release it — it refetches the pristine site.
+      for (Mutator& m : mutators_) {
+        m.parked = false;
+        m.park_site = 0;
+      }
+      // Charge the undo writes + flushes to the host patch clock.
+      host_clock_ += stats_.txn.recovery_ticks - recovery_charged_;
+      recovery_charged_ = stats_.txn.recovery_ticks;
+    };
+    hooks.retryable = [&](const Status&) { return !mutator_wedged_; };
+    hooks.backoff = [&](uint64_t ticks) { host_clock_ += ticks; };
+
+    MV_RETURN_IF_ERROR(RunCommitTxn(vm_, &runtime_->image(), options_.txn,
+                                    hooks, &stats_.txn));
 
     stats_.commit_ticks = host_clock_ - start_clock;
     stats_.ops_applied = static_cast<int>(session_.plan().size());
@@ -113,21 +150,28 @@ class Engine {
           ++stats_.bkpt_traps;
           return Status::Ok();
         }
+        mutator_wedged_ = true;
         return Status::Internal(
             StrFormat("core %d trapped on a breakpoint at 0x%llx outside any "
                       "in-flight patch site",
                       m->core, (unsigned long long)pc));
       }
       case VmExit::Kind::kFault:
+        // The core is stopped at the fault: rolling back the text cannot
+        // resurrect it, so the transaction must not retry.
+        mutator_wedged_ = true;
         return Status::Internal(
             StrFormat("core %d faulted during live commit: %s", m->core,
                       exit->fault.ToString().c_str()));
       case VmExit::Kind::kVmCall:
+        mutator_wedged_ = true;
         return Status::Internal(StrFormat(
             "core %d issued a VMCALL during live commit (unsupported)", m->core));
       case VmExit::Kind::kStepLimit:
+        mutator_wedged_ = true;
         return Status::Internal("unexpected step-limit exit");
     }
+    mutator_wedged_ = true;
     return Status::Internal("unhandled VM exit");
   }
 
@@ -163,7 +207,15 @@ class Engine {
 
   // --- host patch actions --------------------------------------------------
 
-  Status HostWrite(uint64_t addr, const uint8_t* data, uint64_t len) {
+  // Writes bytes belonging to plan op `op_index`, journaling the touch (so a
+  // rollback knows to undo it) and the flush obligation (so seal detects a
+  // suppressed invalidation) before the first byte changes.
+  Status HostWrite(size_t op_index, uint64_t addr, const uint8_t* data,
+                   uint64_t len) {
+    journal_->MarkTouched(op_index);
+    if (options_.flush_icache) {
+      journal_->ExpectFlush();
+    }
     MV_RETURN_IF_ERROR(WriteCodeBytes(vm_, addr, data, len, options_.flush_icache));
     host_clock_ += vm_->cost_model().patch_write;
     if (options_.flush_icache) {
@@ -184,8 +236,9 @@ class Engine {
     // patch window. A core whose pc is inside a rewritten multi-instruction
     // site therefore resumes in the middle of the new encoding.
     const PatchPlan& plan = session_.plan();
-    for (const PatchOp& op : plan) {
-      MV_RETURN_IF_ERROR(HostWrite(op.addr, op.new_bytes.data(), op.new_bytes.size()));
+    for (size_t i = 0; i < plan.size(); ++i) {
+      MV_RETURN_IF_ERROR(HostWrite(i, plan[i].addr, plan[i].new_bytes.data(),
+                                   plan[i].new_bytes.size()));
     }
     return Status::Ok();
   }
@@ -193,17 +246,50 @@ class Engine {
   Status RunQuiescence() {
     const std::vector<CodeRange> ranges = session_.UnsafeRanges();
 
-    // Let everyone catch up with the host, then rendezvous: step each core
-    // to an instruction boundary outside every to-be-patched range.
+    // Let everyone catch up with the host, then rendezvous. A core is at a
+    // safe point when it sits on an instruction boundary outside every
+    // to-be-patched range AND can take the stop-machine IPI — a core in an
+    // interrupts-disabled critical section is unreachable until it STIs.
+    // The not-yet-safe cores are stepped round-robin (one instruction each
+    // per round) under a shared budget: stepping them together lets a core
+    // spinning on a lock observe its holder's progress, where stepping one
+    // core to exhaustion before the next would deadlock the rendezvous.
     MV_RETURN_IF_ERROR(RunMutatorsToHostClock({}));
-    for (Mutator& m : mutators_) {
-      MV_RETURN_IF_ERROR(StepOutOf(
-          &m, {},
-          [&](uint64_t pc) {
-            return std::any_of(ranges.begin(), ranges.end(),
-                               [pc](const CodeRange& r) { return r.Contains(pc); });
-          },
-          "to a quiescence safe point"));
+    const auto at_safe_point = [&](const Mutator& m) {
+      if (m.done) {
+        return true;
+      }
+      const Core& core = vm_->core(m.core);
+      if (!core.interrupts_enabled) {
+        return false;
+      }
+      return std::none_of(ranges.begin(), ranges.end(), [&core](const CodeRange& r) {
+        return r.Contains(core.pc);
+      });
+    };
+    const uint64_t budget = options_.max_rendezvous_steps *
+                            std::max<uint64_t>(1, mutators_.size());
+    uint64_t steps = 0;
+    for (;;) {
+      bool all_safe = true;
+      for (Mutator& m : mutators_) {
+        if (at_safe_point(m)) {
+          continue;
+        }
+        all_safe = false;
+        if (++steps > budget) {
+          return Status::Internal(StrFormat(
+              "core %d did not reach a quiescence safe point within %llu "
+              "instructions (spinning in a patch range or an "
+              "interrupts-disabled critical section)",
+              m.core, (unsigned long long)budget));
+        }
+        MV_RETURN_IF_ERROR(StepMutator(&m, {}));
+        ++stats_.rendezvous_steps;
+      }
+      if (all_safe) {
+        break;
+      }
     }
 
     // Stop machine: every active core is frozen from here to the release.
@@ -218,8 +304,8 @@ class Engine {
 
     const PatchPlan& plan = session_.plan();
     for (size_t i = 0; i < plan.size(); ++i) {
-      MV_RETURN_IF_ERROR(
-          HostWrite(plan[i].addr, plan[i].new_bytes.data(), plan[i].new_bytes.size()));
+      MV_RETURN_IF_ERROR(HostWrite(i, plan[i].addr, plan[i].new_bytes.data(),
+                                   plan[i].new_bytes.size()));
     }
 
     // Release: the frozen cores resume at the host clock; the difference is
@@ -257,8 +343,8 @@ class Engine {
 
     // 1. BKPT over every first byte: from here on, no core can *enter* any
     //    site — sequential or jump entry fetches the trap and parks.
-    for (const PatchOp& op : plan) {
-      MV_RETURN_IF_ERROR(HostWrite(op.addr, &kBkptByte, 1));
+    for (size_t i = 0; i < plan.size(); ++i) {
+      MV_RETURN_IF_ERROR(HostWrite(i, plan[i].addr, &kBkptByte, 1));
       MV_RETURN_IF_ERROR(RunMutatorsToHostClock(inflight));
     }
 
@@ -276,16 +362,18 @@ class Engine {
 
     // 3. All tail bytes while every first byte still traps (text_poke_bp
     //    order).
-    for (const PatchOp& op : plan) {
-      MV_RETURN_IF_ERROR(HostWrite(op.addr + 1, op.new_bytes.data() + 1, 4));
+    for (size_t i = 0; i < plan.size(); ++i) {
+      MV_RETURN_IF_ERROR(
+          HostWrite(i, plan[i].addr + 1, plan[i].new_bytes.data() + 1, 4));
       MV_RETURN_IF_ERROR(RunMutatorsToHostClock(inflight));
     }
 
     // 4. Final first bytes; unpark as each site completes. A released core
     //    refetches the finished site, and every other site is by now either
     //    finished or still trapping — raw-old text is unreachable.
-    for (const PatchOp& op : plan) {
-      MV_RETURN_IF_ERROR(HostWrite(op.addr, op.new_bytes.data(), 1));
+    for (size_t i = 0; i < plan.size(); ++i) {
+      const PatchOp& op = plan[i];
+      MV_RETURN_IF_ERROR(HostWrite(i, op.addr, op.new_bytes.data(), 1));
       for (Mutator& m : mutators_) {
         if (m.parked && m.park_site == op.addr) {
           Core& core = vm_->core(m.core);
@@ -302,11 +390,15 @@ class Engine {
   }
 
   Vm* vm_;
+  MultiverseRuntime* runtime_;
   const LiveCommitOptions& options_;
   LivePatchSession session_;
   std::vector<Mutator> mutators_;
   LiveCommitStats stats_;
   uint64_t host_clock_ = 0;
+  PatchJournal* journal_ = nullptr;  // live during hooks.apply
+  bool mutator_wedged_ = false;      // a mutator core faulted: do not retry
+  uint64_t recovery_charged_ = 0;    // recovery_ticks already on host_clock_
 };
 
 }  // namespace

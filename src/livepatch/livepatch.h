@@ -40,6 +40,7 @@
 
 #include "src/core/livepatch_session.h"
 #include "src/core/runtime.h"
+#include "src/core/txn.h"
 #include "src/support/status.h"
 #include "src/vm/vm.h"
 
@@ -65,9 +66,14 @@ struct LiveCommitOptions {
   // assert that stale execution is detected rather than silent.
   bool flush_icache = true;
   // Bound on the single-steps used to move one core to a safe point /
-  // out of an in-flight site. Exceeding it is an error (a core looping
-  // inside a 5-byte patch range).
+  // out of an in-flight site. The quiescence rendezvous gets this budget
+  // per mutator core, shared round-robin, so one core spinning on a lock
+  // held by a not-yet-safe peer cannot starve the rendezvous. Exceeding
+  // the budget fails the attempt (rolled back, then retried with backoff —
+  // a core in an interrupts-disabled critical section may re-enable them).
   uint64_t max_rendezvous_steps = 1000;
+  // Transactional-commit tuning: retry budget, backoff, validation (txn.h).
+  TxnOptions txn;
 };
 
 struct LiveCommitStats {
@@ -84,6 +90,11 @@ struct LiveCommitStats {
   uint64_t parked_ticks = 0;      // total ticks cores spent parked at a BKPT
   int mutators_finished = 0;      // mutators that ran to completion mid-commit
 
+  // Transactional accounting: attempts, rollbacks, retries, seal repairs
+  // (txn.h). rollbacks > 0 with an Ok() result means a transient failure was
+  // recovered by retry.
+  TxnStats txn;
+
   double CommitCycles() const { return TicksToCycles(commit_ticks); }
   double DisturbanceCycles() const {
     return TicksToCycles(stopped_ticks + parked_ticks);
@@ -95,11 +106,15 @@ class LivePatcher {
   LivePatcher(Vm* vm, MultiverseRuntime* runtime) : vm_(vm), runtime_(runtime) {}
 
   // Plans a full multiverse_commit() and applies it with the selected
-  // protocol. On error (a mutator faulted, trapped unexpectedly, or could
-  // not be brought to a safe point) guest code may be partially patched —
-  // exactly the torn state a real system would be in; callers must treat the
-  // program as lost. With an empty mutator list this degrades to a batched
-  // (but still protocol-shaped) multiverse_commit().
+  // protocol, as one transaction (src/core/txn.h): on a mid-commit failure
+  // (a mutator faulted, trapped unexpectedly, or could not be brought to a
+  // safe point) the applied ops are rolled back in reverse order, the
+  // runtime bookkeeping is restored, and — for transient causes — the
+  // commit is retried with backoff. On final error the image behaves as if
+  // the commit was never issued; a wedged mutator core (it faulted on torn
+  // or stale text) is the one thing rollback cannot repair, and the error
+  // says so. With an empty mutator list this degrades to a batched (but
+  // still protocol-shaped, still transactional) multiverse_commit().
   Result<LiveCommitStats> Commit(const LiveCommitOptions& options);
 
  private:

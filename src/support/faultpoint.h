@@ -1,0 +1,125 @@
+// Deterministic fault injection for the transactional patching stack.
+//
+// The commit failure model (docs/INTERNALS.md §11) enumerates the ways a
+// low-level patch operation can die on real hardware: a code-byte write that
+// lands partially, an mprotect toggle the kernel refuses, an icache
+// invalidation IPI that never reaches the other cores. Each such primitive is
+// instrumented with a named fault point; a test arms the injector to kill the
+// N-th occurrence of one point and the recovery machinery (src/core/txn.h)
+// must bring the image back to a consistent state.
+//
+// The injector is deliberately a process-wide singleton with *counted*,
+// one-shot triggers: every occurrence of a site advances that site's hit
+// counter whether or not the injector is armed, so a sweep can first probe a
+// commit to learn how many fault points it crosses and then re-run it once
+// per (site, index) pair. Counting costs one branch and one increment per
+// instrumented primitive; production builds pay nothing else.
+#ifndef MULTIVERSE_SRC_SUPPORT_FAULTPOINT_H_
+#define MULTIVERSE_SRC_SUPPORT_FAULTPOINT_H_
+
+#include <array>
+#include <cstdint>
+
+namespace mv {
+
+// The instrumented primitives of the patching stack.
+enum class FaultSite : uint8_t {
+  kPatchWrite = 0,  // code-byte write (WriteCodeBytes): fails after writing a
+                    // torn 1-byte prefix — the adversarial partial write
+  kProtect,         // Memory::Protect (mprotect): fails, perms unchanged
+  kIcacheFlush,     // Vm::FlushIcache: silently suppressed (no error — the
+                    // classic forgotten-invalidation bug; recovery must
+                    // *detect* it via flush accounting, not be told)
+  kSiteCount,
+};
+
+inline constexpr size_t kFaultSiteCount = static_cast<size_t>(FaultSite::kSiteCount);
+
+inline const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPatchWrite:
+      return "patch-write";
+    case FaultSite::kProtect:
+      return "mprotect";
+    case FaultSite::kIcacheFlush:
+      return "icache-flush";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "?";
+}
+
+class FaultInjector {
+ public:
+  static FaultInjector& Instance() {
+    static FaultInjector injector;
+    return injector;
+  }
+
+  // Arms the injector: the `hit`-th future occurrence (0-based, counted from
+  // this call) of `site` fails. One-shot — the trigger disarms itself when it
+  // fires, so a bounded retry of the same commit succeeds (the transient-fault
+  // model). Re-arm for persistent faults.
+  void Arm(FaultSite site, uint64_t hit) {
+    armed_ = true;
+    armed_site_ = site;
+    trigger_at_ = Count(site) + hit;
+  }
+
+  void Disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  // Called by each instrumented primitive. Advances the site's hit counter
+  // and reports whether this occurrence must fail.
+  bool ShouldFail(FaultSite site) {
+    const uint64_t hit = counts_[static_cast<size_t>(site)]++;
+    if (armed_ && site == armed_site_ && hit == trigger_at_) {
+      armed_ = false;  // one-shot
+      ++injected_;
+      return true;
+    }
+    return false;
+  }
+
+  // Occurrences of `site` observed since construction / ResetCounts(). A
+  // probe run (disarmed commit) between two readings yields the number of
+  // fault points a sweep must cover.
+  uint64_t Count(FaultSite site) const {
+    return counts_[static_cast<size_t>(site)];
+  }
+
+  // Total faults actually injected (test bookkeeping).
+  uint64_t injected() const { return injected_; }
+
+  void ResetCounts() {
+    counts_.fill(0);
+    armed_ = false;
+  }
+
+ private:
+  FaultInjector() { counts_.fill(0); }
+
+  std::array<uint64_t, kFaultSiteCount> counts_{};
+  bool armed_ = false;
+  FaultSite armed_site_ = FaultSite::kPatchWrite;
+  uint64_t trigger_at_ = 0;
+  uint64_t injected_ = 0;
+};
+
+// Convenience RAII guard: arms on construction, disarms on destruction (so a
+// test that ASSERTs out mid-sweep cannot leak an armed trigger into the next
+// test).
+class ScopedFault {
+ public:
+  ScopedFault(FaultSite site, uint64_t hit) {
+    FaultInjector::Instance().Arm(site, hit);
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_SUPPORT_FAULTPOINT_H_

@@ -19,6 +19,10 @@
 //     --set name=value     write a global before commit/run (may repeat)
 //     --guest              run as a paravirtualized guest
 //     --dispatch engine    VM dispatch engine (legacy | superblock)
+//     --no-paranoid        trust the descriptor sections (skip validation)
+//
+// Exit codes: 0 success, 1 build/run error, 2 usage error, 3 commit failed
+// and was rolled back (the image is back in its pre-commit state).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +54,7 @@ struct CliOptions {
   bool live = false;
   CommitProtocol live_protocol = CommitProtocol::kQuiescence;
   bool guest = false;
+  bool paranoid = true;
   DispatchEngine dispatch = DispatchEngine::kLegacy;
   uint64_t trace = 0;
   std::string run_entry;
@@ -70,6 +75,8 @@ void Usage() {
                "  --live protocol    commit through the live-patching subsystem\n"
                "                     (unsafe | quiescence | breakpoint); implies --commit\n"
                "  --guest            run as a paravirtualized guest\n"
+               "  --paranoid         validate descriptor tables at attach (default)\n"
+               "  --no-paranoid      trust the descriptor sections as emitted\n"
                "  --dispatch engine  VM dispatch engine (legacy | superblock)\n"
                "  --trace N          print the first N executed instructions\n"
                "  --run entry [-- args...]  call entry() and report r0/cycles\n");
@@ -132,6 +139,10 @@ int Main(int argc, char** argv) {
       options.commit = true;
     } else if (arg == "--guest") {
       options.guest = true;
+    } else if (arg == "--paranoid") {
+      options.paranoid = true;
+    } else if (arg == "--no-paranoid") {
+      options.paranoid = false;
     } else if (arg == "--dispatch" && i + 1 < argc) {
       Result<DispatchEngine> engine = ParseDispatchEngine(argv[++i]);
       if (!engine.ok()) {
@@ -182,6 +193,7 @@ int Main(int argc, char** argv) {
   build.frontend.defines = options.defines;
   build.specialize = options.specialize;
   build.hypervisor_guest = options.guest;
+  build.attach.paranoid = options.paranoid;
   Result<std::unique_ptr<Program>> built = Program::Build(sources, build);
   if (!built.ok()) {
     std::fprintf(stderr, "mvcc: %s\n", built.status().ToString().c_str());
@@ -263,9 +275,15 @@ int Main(int argc, char** argv) {
     Result<LiveCommitStats> stats =
         multiverse_commit_live(&program.vm(), &program.runtime(), live);
     if (!stats.ok()) {
-      std::fprintf(stderr, "mvcc: live commit failed: %s\n",
+      // The transactional driver's diagnostic is a structured one-liner; a
+      // rolled-back commit leaves the image in its pre-commit state.
+      const bool rolled_back =
+          stats.status().ToString().find("rolled back") != std::string::npos;
+      std::fprintf(stderr, "mvcc: error: live commit [%s] %s: %s\n",
+                   CommitProtocolName(options.live_protocol),
+                   rolled_back ? "rolled back" : "failed",
                    stats.status().ToString().c_str());
-      return 1;
+      return rolled_back ? 3 : 1;
     }
     std::printf("live commit [%s]: %d committed, %d fallbacks, %d sites patched, "
                 "%d inlined; %d ops, %llu flushes, %.2f cycles\n",
@@ -274,15 +292,30 @@ int Main(int argc, char** argv) {
                 stats->patch.callsites_patched, stats->patch.callsites_inlined,
                 stats->ops_applied, (unsigned long long)stats->icache_flushes,
                 stats->CommitCycles());
+    if (stats->txn.rollbacks > 0) {
+      std::printf("live commit recovery: %d attempt(s), %d rollback(s), "
+                  "%d retries, last failure: %s\n",
+                  stats->txn.attempts, stats->txn.rollbacks, stats->txn.retries,
+                  stats->txn.last_failure.c_str());
+    }
   } else if (options.commit) {
     Result<PatchStats> stats = program.runtime().Commit();
+    const TxnStats& txn = program.runtime().last_txn();
     if (!stats.ok()) {
-      std::fprintf(stderr, "mvcc: commit failed: %s\n", stats.status().ToString().c_str());
-      return 1;
+      std::fprintf(stderr,
+                   "mvcc: error: commit %s after %d attempt(s), %d rollback(s): %s\n",
+                   txn.rollbacks > 0 ? "rolled back" : "failed", txn.attempts,
+                   txn.rollbacks, stats.status().ToString().c_str());
+      return txn.rollbacks > 0 ? 3 : 1;
     }
     std::printf("commit: %d committed, %d fallbacks, %d sites patched, %d inlined\n",
                 stats->functions_committed, stats->generic_fallbacks,
                 stats->callsites_patched, stats->callsites_inlined);
+    if (txn.rollbacks > 0) {
+      std::printf("commit recovery: %d attempt(s), %d rollback(s), %d retries, "
+                  "last failure: %s\n",
+                  txn.attempts, txn.rollbacks, txn.retries, txn.last_failure.c_str());
+    }
   }
 
   if (!options.run_entry.empty()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/support/faultpoint.h"
 #include "src/support/str.h"
 
 namespace mv {
@@ -134,6 +135,12 @@ Status Memory::Protect(uint64_t addr, uint64_t len, uint8_t perms) {
   }
   if (!InBounds(addr, len)) {
     return Status::OutOfRange("Protect out of bounds");
+  }
+  // Fault point: models mprotect(2) refusing the change (ENOMEM on split VMA
+  // accounting, a locked-down kernel, ...). Perms are left exactly as they
+  // were — the caller's W^X dance dies mid-flight.
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kProtect)) {
+    return Status::Internal("mprotect refused (injected fault)");
   }
   for (uint64_t page = addr / kPageSize; page <= (addr + len - 1) / kPageSize; ++page) {
     page_perms_[page] = perms;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/support/faultpoint.h"
 #include "src/support/str.h"
 
 namespace mv {
@@ -77,6 +78,14 @@ Vm::Vm(uint64_t mem_size, int num_cores)
 }
 
 void Vm::FlushIcache(uint64_t addr, uint64_t len) {
+  // Fault point: the invalidation IPI broadcast is silently lost — no error,
+  // no counter increment, every core's stale entries stay live. Recovery must
+  // *detect* this via flush accounting (txn.h Seal) or stale-fetch detection;
+  // nothing tells it. (Superblock caches stay coherent regardless: the write
+  // itself evicts them through the memory observer.)
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kIcacheFlush)) {
+    return;
+  }
   // Instructions are at most 10 bytes; anything starting within
   // [addr - 9, addr + len) may overlap the modified range.
   const uint64_t lo = addr >= 9 ? addr - 9 : 0;

@@ -85,10 +85,21 @@ TEST(DescriptorRobustnessTest, GuardAgainstUnknownVariableFailsCommit) {
   ASSERT_GT(guards.size, 0u);
   const uint64_t bogus = 0x4242;
   ASSERT_TRUE(program->vm().memory().WriteRaw(guards.addr, &bogus, 8).ok());
+  // Paranoid attach (the default) rejects the corrupt guard up front with a
+  // structured diagnostic.
   Result<MultiverseRuntime> runtime =
       MultiverseRuntime::Attach(&program->vm(), program->image());
-  ASSERT_TRUE(runtime.ok());
-  Result<PatchStats> commit = runtime->Commit();
+  ASSERT_FALSE(runtime.ok());
+  EXPECT_EQ(runtime.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(runtime.status().ToString().find("unknown"), std::string::npos)
+      << runtime.status().ToString();
+  // With validation off, the corruption surfaces later, at commit time.
+  AttachOptions trusting;
+  trusting.paranoid = false;
+  Result<MultiverseRuntime> lax =
+      MultiverseRuntime::Attach(&program->vm(), program->image(), trusting);
+  ASSERT_TRUE(lax.ok());
+  Result<PatchStats> commit = lax->Commit();
   EXPECT_FALSE(commit.ok());
   EXPECT_EQ(commit.status().code(), StatusCode::kInternal);
 }

@@ -1,0 +1,186 @@
+// Liveness of the live-commit protocols when a mutator core is pinned inside
+// a CLI critical section: the quiescence rendezvous must time out (bounded
+// wait), roll the attempt back, retry with backoff, and finally fail with a
+// structured error and a pristine image — never hang, never tear. The
+// breakpoint protocol has no safe-point requirement and must commit right
+// through the critical section.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/program.h"
+#include "src/livepatch/livepatch.h"
+#include "src/obj/linker.h"
+#include "src/support/faultpoint.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+namespace {
+
+// `hold()` disables interrupts and spins until the host releases `lock` —
+// the shape of a spinlock-protected critical section (src/workloads/kernel.cc)
+// reduced to its liveness-relevant core.
+constexpr char kSource[] = R"(
+__attribute__((multiverse)) bool feature;
+long count;
+long lock;
+__attribute__((multiverse))
+void tick() { if (feature) { count = count + 2; } else { count = count + 1; } }
+long run(long n) { long i; for (i = 0; i < n; ++i) { tick(); } return count; }
+void hold() {
+  __builtin_cli();
+  while (lock) { __builtin_pause(); }
+  __builtin_sti();
+}
+)";
+
+class LivenessHarness {
+ public:
+  LivenessHarness() {
+    BuildOptions options;
+    options.vm_cores = 2;
+    Result<std::unique_ptr<Program>> built =
+        Program::Build({{"liveness", kSource}}, options);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    program_ = std::move(*built);
+    EXPECT_TRUE(program_->WriteGlobal("feature", 1, 1).ok());
+  }
+
+  // Parks core 1 inside hold()'s interrupts-disabled spin loop.
+  void PinCoreInCriticalSection() {
+    ASSERT_TRUE(program_->WriteGlobal("lock", 1, 8).ok());
+    Result<uint64_t> hold = program_->SymbolAddress("hold");
+    ASSERT_TRUE(hold.ok());
+    SetupCall(program_->image(), &program_->vm(), *hold, {}, /*core=*/1);
+    for (int steps = 0; steps < 200; ++steps) {
+      if (!program_->vm().core(1).interrupts_enabled) {
+        return;
+      }
+      program_->vm().Step(1);
+    }
+    FAIL() << "core 1 never executed CLI";
+  }
+
+  void ReleaseLock() { ASSERT_TRUE(program_->WriteGlobal("lock", 0, 8).ok()); }
+
+  std::vector<uint8_t> TextSnapshot() {
+    std::vector<uint8_t> text(program_->image().text_size);
+    EXPECT_TRUE(program_->vm()
+                    .memory()
+                    .ReadRaw(program_->image().text_base, text.data(), text.size())
+                    .ok());
+    return text;
+  }
+
+  Result<LiveCommitStats> Commit(CommitProtocol protocol, int max_attempts) {
+    LiveCommitOptions options;
+    options.protocol = protocol;
+    options.mutator_cores = {1};
+    options.max_rendezvous_steps = 200;  // bounded: the spinner must time out
+    options.txn.max_attempts = max_attempts;
+    options.txn.backoff_ticks = 64;
+    return multiverse_commit_live(&program_->vm(), &program_->runtime(), options);
+  }
+
+  // Behaviour discriminator: run with `feature` flipped to 0 — the generic
+  // image follows the switch (10), an image committed to the feature=1
+  // variant ignores it (20). `feature` is restored afterwards.
+  uint64_t Transcript() {
+    EXPECT_TRUE(program_->WriteGlobal("count", 0, 8).ok());
+    EXPECT_TRUE(program_->WriteGlobal("feature", 0, 1).ok());
+    Result<uint64_t> result = program_->Call("run", {10});
+    EXPECT_TRUE(program_->WriteGlobal("feature", 1, 1).ok());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : 0;
+  }
+
+  Program& program() { return *program_; }
+
+ private:
+  std::unique_ptr<Program> program_;
+};
+
+TEST(LivenessTest, QuiescenceTimesOutRollsBackAndReportsAfterBoundedRetry) {
+  LivenessHarness h;
+  h.PinCoreInCriticalSection();
+  const std::vector<uint8_t> pristine = h.TextSnapshot();
+
+  Result<LiveCommitStats> stats = h.Commit(CommitProtocol::kQuiescence, 2);
+  ASSERT_FALSE(stats.ok()) << "rendezvous with a pinned core must not succeed";
+  const std::string error = stats.status().ToString();
+  EXPECT_NE(error.find("rolled back after 2 attempt(s)"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("safe point"), std::string::npos) << error;
+
+  // Graceful degradation: the image is exactly pre-commit and the pinned core
+  // is still alive in its critical section.
+  EXPECT_EQ(h.TextSnapshot(), pristine);
+  EXPECT_FALSE(h.program().vm().core(1).interrupts_enabled);
+  EXPECT_FALSE(h.program().vm().core(1).halted);
+
+  EXPECT_EQ(h.Transcript(), 10u);  // still generic behaviour, not torn
+}
+
+TEST(LivenessTest, QuiescenceSucceedsOnceTheCriticalSectionEnds) {
+  LivenessHarness h;
+  h.PinCoreInCriticalSection();
+
+  Result<LiveCommitStats> blocked = h.Commit(CommitProtocol::kQuiescence, 1);
+  ASSERT_FALSE(blocked.ok());
+
+  // Release the lock: the retry's rendezvous steps the spinner out of the
+  // loop (it STIs and returns), so the same commit now goes through.
+  h.ReleaseLock();
+  Result<LiveCommitStats> stats = h.Commit(CommitProtocol::kQuiescence, 2);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->txn.rollbacks, 0);
+  EXPECT_GT(stats->ops_applied, 0);
+
+  EXPECT_EQ(h.Transcript(), 20u);
+}
+
+TEST(LivenessTest, BreakpointProtocolCommitsThroughACriticalSection) {
+  // No stop-the-world rendezvous: a core that never leaves its critical
+  // section (and never fetches an in-flight site) is simply not disturbed.
+  LivenessHarness h;
+  h.PinCoreInCriticalSection();
+
+  Result<LiveCommitStats> stats = h.Commit(CommitProtocol::kBreakpoint, 2);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->txn.rollbacks, 0);
+  EXPECT_FALSE(h.program().vm().core(1).interrupts_enabled);
+
+  EXPECT_EQ(h.Transcript(), 20u);
+
+  // Let the spinner finish cleanly once released.
+  h.ReleaseLock();
+  for (int steps = 0; steps < 1000 && !h.program().vm().core(1).halted; ++steps) {
+    h.program().vm().Step(1);
+  }
+  EXPECT_TRUE(h.program().vm().core(1).halted);
+}
+
+// The quiescence timeout must also hold when the spin is *outside* any CLI
+// region but inside a to-be-patched range — the other starvation mode. A
+// faulted (wedged) mutator, by contrast, must not be retried at all.
+TEST(LivenessTest, WedgedMutatorIsNotRetried) {
+  LivenessHarness h;
+  // Pin core 1 at a non-executable pc with interrupts disabled: the
+  // rendezvous cannot treat it as safe, and the first single-step faults.
+  Core& core = h.program().vm().core(1);
+  core.pc = 0;  // before the text base: not executable
+  core.halted = false;
+  core.interrupts_enabled = false;
+
+  Result<LiveCommitStats> stats = h.Commit(CommitProtocol::kQuiescence, 3);
+  ASSERT_FALSE(stats.ok());
+  const std::string error = stats.status().ToString();
+  EXPECT_NE(error.find("rolled back after 1 attempt(s)"), std::string::npos)
+      << error;  // non-retryable: one attempt despite max_attempts = 3
+  EXPECT_NE(error.find("faulted"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace mv

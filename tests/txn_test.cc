@@ -1,0 +1,549 @@
+// Unit tests for the transactional commit machinery (src/core/txn.h): the
+// write-ahead PatchJournal (validate / apply / seal / rollback), the
+// RunCommitTxn retry driver, and the runtime-level integration — every
+// Table 1 operation recovering from injected faults (src/support/faultpoint.h)
+// with bounded retry, and degrading to the pre-commit image when retry is
+// exhausted.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/patching.h"
+#include "src/core/program.h"
+#include "src/core/txn.h"
+#include "src/isa/cost_model.h"
+#include "src/support/faultpoint.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+namespace {
+
+constexpr uint64_t kText = 0x1000;
+constexpr uint64_t kTextSize = 0x4000;
+
+// Raw-VM harness: a text segment with a recognizable byte pattern, no
+// decodable program needed (the journal audits bytes and protections, it
+// never decodes).
+class JournalHarness {
+ public:
+  JournalHarness() : vm_(0x40000, 1) {
+    EXPECT_TRUE(vm_.memory().Protect(kText, kTextSize, kPermRead | kPermExec).ok());
+    EXPECT_TRUE(
+        vm_.memory().Protect(0x10000, 0x10000, kPermRead | kPermWrite).ok());
+    std::vector<uint8_t> pattern(kTextSize);
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<uint8_t>(0xA0 + (i % 16));
+    }
+    EXPECT_TRUE(vm_.memory().WriteRaw(kText, pattern.data(), pattern.size()).ok());
+    vm_.FlushAllIcache();
+  }
+
+  // A plan op whose old_bytes are read from memory and whose new_bytes are
+  // `fill` repeated.
+  PatchOp MakeOp(uint64_t addr, uint8_t fill) {
+    PatchOp op;
+    op.addr = addr;
+    EXPECT_TRUE(vm_.memory().ReadRaw(addr, op.old_bytes.data(), 5).ok());
+    op.new_bytes.fill(fill);
+    return op;
+  }
+
+  std::vector<uint8_t> Snapshot(uint64_t addr, uint64_t len) {
+    std::vector<uint8_t> bytes(len);
+    EXPECT_TRUE(vm_.memory().ReadRaw(addr, bytes.data(), len).ok());
+    return bytes;
+  }
+
+  Vm& vm() { return vm_; }
+
+ private:
+  Vm vm_;
+};
+
+// --- Begin / Validate -------------------------------------------------------
+
+TEST(PatchJournalTest, BeginRejectsOpOutsideGuestMemory) {
+  JournalHarness h;
+  PatchOp op;
+  op.addr = h.vm().memory().size() - 2;  // 5-byte window runs off the end
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, {op}, /*validate=*/false);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(journal.status().ToString().find("outside guest memory"),
+            std::string::npos);
+}
+
+TEST(PatchJournalTest, ValidateRejectsOpOutsideImageText) {
+  JournalHarness h;
+  Image image;
+  image.text_base = kText;
+  image.text_size = 0x100;
+  PatchOp op = h.MakeOp(kText + 0x200, 0x11);  // mapped, but past image text
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), &image, {op}, /*validate=*/true);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_NE(journal.status().ToString().find("outside the image text segment"),
+            std::string::npos);
+}
+
+TEST(PatchJournalTest, ValidateRejectsNonExecutablePage) {
+  JournalHarness h;
+  PatchOp op = h.MakeOp(0x10000, 0x11);  // the RW data region
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, {op}, /*validate=*/true);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_NE(journal.status().ToString().find("non-executable"), std::string::npos);
+}
+
+TEST(PatchJournalTest, ValidateRejectsPreViolatedWX) {
+  JournalHarness h;
+  ASSERT_TRUE(h.vm()
+                  .memory()
+                  .Protect(kText, kPageSize, kPermRead | kPermWrite | kPermExec)
+                  .ok());
+  PatchOp op = h.MakeOp(kText + 8, 0x11);
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, {op}, /*validate=*/true);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_NE(journal.status().ToString().find("W^X violated"), std::string::npos);
+}
+
+TEST(PatchJournalTest, ValidateRejectsStaleExpectedBytes) {
+  JournalHarness h;
+  PatchOp op = h.MakeOp(kText, 0x11);
+  op.old_bytes[2] ^= 0xFF;  // planner's view no longer matches memory
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, {op}, /*validate=*/true);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_NE(journal.status().ToString().find("expected bytes not present"),
+            std::string::npos);
+
+  // The same plan passes with validation off (the escape hatch tests use).
+  EXPECT_TRUE(PatchJournal::Begin(&h.vm(), nullptr, {op}, /*validate=*/false).ok());
+}
+
+// --- Apply / Seal -----------------------------------------------------------
+
+TEST(PatchJournalTest, ApplySealRoundTripPreservesWX) {
+  JournalHarness h;
+  const PatchPlan plan = {h.MakeOp(kText, 0x11), h.MakeOp(kText + 0x20, 0x22)};
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, plan, /*validate=*/true);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+
+  const uint64_t flushes_before = h.vm().icache_flushes();
+  TxnOptions options;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    ASSERT_TRUE(journal->ApplyOp(i, options).ok());
+    EXPECT_TRUE(journal->touched(i));
+  }
+  EXPECT_GE(h.vm().icache_flushes(), flushes_before + plan.size());
+
+  TxnStats stats;
+  ASSERT_TRUE(journal->Seal(&stats).ok());
+  EXPECT_EQ(stats.reflushes, 0);
+  for (const PatchOp& op : plan) {
+    std::array<uint8_t, 5> current{};
+    ASSERT_TRUE(h.vm().memory().ReadRaw(op.addr, current.data(), 5).ok());
+    EXPECT_EQ(current, op.new_bytes);
+    EXPECT_EQ(h.vm().memory().PermsAt(op.addr), kPermRead | kPermExec);
+  }
+}
+
+TEST(PatchJournalTest, SealDetectsForeignOverwrite) {
+  JournalHarness h;
+  const PatchPlan plan = {h.MakeOp(kText, 0x11)};
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, plan, /*validate=*/true);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->ApplyOp(0, TxnOptions{}).ok());
+
+  const uint8_t garbage[5] = {0xDE, 0xAD, 0xBE, 0xEF, 0x99};
+  ASSERT_TRUE(h.vm().memory().WriteRaw(kText, garbage, 5).ok());
+  TxnStats stats;
+  Status sealed = journal->Seal(&stats);
+  ASSERT_FALSE(sealed.ok());
+  EXPECT_NE(sealed.ToString().find("bytes not committed"), std::string::npos);
+}
+
+TEST(PatchJournalTest, SealDetectsPageLeftWritable) {
+  JournalHarness h;
+  const PatchPlan plan = {h.MakeOp(kText, 0x11)};
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, plan, /*validate=*/true);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->ApplyOp(0, TxnOptions{}).ok());
+  ASSERT_TRUE(h.vm()
+                  .memory()
+                  .Protect(kText, kPageSize, kPermRead | kPermWrite | kPermExec)
+                  .ok());
+  TxnStats stats;
+  Status sealed = journal->Seal(&stats);
+  ASSERT_FALSE(sealed.ok());
+  EXPECT_NE(sealed.ToString().find("left writable"), std::string::npos);
+}
+
+TEST(PatchJournalTest, SealRepairsSuppressedFlushInPlace) {
+  JournalHarness h;
+  const PatchPlan plan = {h.MakeOp(kText, 0x11)};
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, plan, /*validate=*/true);
+  ASSERT_TRUE(journal.ok());
+
+  // A "forgotten invalidation": the applier writes the bytes and promises a
+  // flush, but never issues it. Seal must detect the shortfall by counter
+  // accounting and repair it by re-flushing the touched range.
+  journal->MarkTouched(0);
+  journal->ExpectFlush();
+  Memory& memory = h.vm().memory();
+  ASSERT_TRUE(memory.Protect(kText, 5, kPermRead | kPermWrite | kPermExec).ok());
+  ASSERT_TRUE(memory.WriteRaw(kText, plan[0].new_bytes.data(), 5).ok());
+  ASSERT_TRUE(memory.Protect(kText, 5, kPermRead | kPermExec).ok());
+
+  const uint64_t flushes_before = h.vm().icache_flushes();
+  TxnStats stats;
+  ASSERT_TRUE(journal->Seal(&stats).ok());
+  EXPECT_EQ(stats.reflushes, 1);
+  EXPECT_EQ(stats.recovery_ticks, h.vm().cost_model().icache_flush_ipi);
+  EXPECT_GT(h.vm().icache_flushes(), flushes_before);
+}
+
+// --- Rollback ---------------------------------------------------------------
+
+TEST(PatchJournalTest, RollbackRestoresBytesAndProtections) {
+  JournalHarness h;
+  const std::vector<uint8_t> pristine = h.Snapshot(kText, 0x40);
+  const PatchPlan plan = {h.MakeOp(kText, 0x11), h.MakeOp(kText + 0x20, 0x22)};
+  Result<PatchJournal> journal =
+      PatchJournal::Begin(&h.vm(), nullptr, plan, /*validate=*/true);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->ApplyOp(0, TxnOptions{}).ok());
+  ASSERT_TRUE(journal->ApplyOp(1, TxnOptions{}).ok());
+
+  TxnStats stats;
+  ASSERT_TRUE(journal->Rollback(&stats).ok());
+  EXPECT_EQ(stats.ops_rolled_back, 2);
+  const CostModel& cost = h.vm().cost_model();
+  EXPECT_EQ(stats.recovery_ticks, 2 * (cost.patch_write + cost.icache_flush_ipi));
+  EXPECT_EQ(h.Snapshot(kText, 0x40), pristine);
+  EXPECT_EQ(h.vm().memory().PermsAt(kText), kPermRead | kPermExec);
+}
+
+TEST(PatchJournalTest, OverlappingOpsLayerAtSealAndUnlayerOnRollback) {
+  // A call site aliasing a patched prologue: op 1's window shares bytes with
+  // op 0's. Applied in order the later write shadows part of the earlier one
+  // (legal — Seal tolerates shadowed windows); reverse-order undo must
+  // restore the original bytes exactly.
+  JournalHarness h;
+  const std::vector<uint8_t> pristine = h.Snapshot(kText, 16);
+  PatchPlan plan = {h.MakeOp(kText, 0x11), h.MakeOp(kText + 2, 0x22)};
+  {
+    Result<PatchJournal> journal =
+        PatchJournal::Begin(&h.vm(), nullptr, plan, /*validate=*/true);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    ASSERT_TRUE(journal->ApplyOp(0, TxnOptions{}).ok());
+    ASSERT_TRUE(journal->ApplyOp(1, TxnOptions{}).ok());
+    TxnStats stats;
+    ASSERT_TRUE(journal->Seal(&stats).ok());
+    const std::vector<uint8_t> layered = h.Snapshot(kText, 16);
+    EXPECT_EQ(layered[0], 0x11);  // op 0 prefix survives
+    EXPECT_EQ(layered[1], 0x11);
+    for (int i = 2; i < 7; ++i) {
+      EXPECT_EQ(layered[i], 0x22);  // op 1 shadows the tail
+    }
+  }
+  {
+    // Fresh journal over the same (already-layered) state cannot validate;
+    // roll back the original one instead.
+    Result<PatchJournal> journal =
+        PatchJournal::Begin(&h.vm(), nullptr, plan, /*validate=*/false);
+    ASSERT_TRUE(journal.ok());
+    journal->MarkTouched(0);
+    journal->MarkTouched(1);
+    TxnStats stats;
+    ASSERT_TRUE(journal->Rollback(&stats).ok());
+    EXPECT_EQ(h.Snapshot(kText, 16), pristine);
+  }
+}
+
+// --- RunCommitTxn (driver) --------------------------------------------------
+
+struct HookHarness {
+  JournalHarness h;
+  PatchPlan plan;
+  int plans = 0;
+  int applies = 0;
+  int restores = 0;
+  int fail_first_n = 0;  // apply attempts 1..n fail
+  std::vector<uint64_t> backoffs;
+  TxnHooks hooks;
+
+  HookHarness() {
+    plan = {h.MakeOp(kText, 0x11)};
+    hooks.plan = [this]() -> Result<PatchPlan> {
+      ++plans;
+      return plan;
+    };
+    hooks.apply = [this](PatchJournal* journal) -> Status {
+      if (++applies <= fail_first_n) {
+        return Status::Internal("induced apply failure");
+      }
+      return journal->ApplyOp(0, TxnOptions{});
+    };
+    hooks.restore = [this]() { ++restores; };
+    hooks.backoff = [this](uint64_t ticks) { backoffs.push_back(ticks); };
+  }
+};
+
+TEST(RunCommitTxnTest, TransientFailureIsRolledBackAndRetried) {
+  HookHarness hh;
+  hh.fail_first_n = 1;
+  TxnOptions options;
+  options.max_attempts = 3;
+  options.backoff_ticks = 64;
+  TxnStats stats;
+  Status status = RunCommitTxn(&hh.h.vm(), nullptr, options, hh.hooks, &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.rollbacks, 1);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(stats.ops_applied, 1);
+  EXPECT_EQ(hh.restores, 1);  // restore follows every rollback
+  ASSERT_EQ(hh.backoffs.size(), 1u);
+  EXPECT_EQ(hh.backoffs[0], 64u);
+  EXPECT_NE(stats.last_failure.find("induced apply failure"), std::string::npos);
+}
+
+TEST(RunCommitTxnTest, ExhaustedAttemptsReportStructuredError) {
+  HookHarness hh;
+  hh.fail_first_n = 100;  // never succeeds
+  TxnOptions options;
+  options.max_attempts = 2;
+  TxnStats stats;
+  Status status = RunCommitTxn(&hh.h.vm(), nullptr, options, hh.hooks, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("rolled back after 2 attempt(s)"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(stats.attempts, 2);
+  EXPECT_EQ(stats.rollbacks, 2);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(hh.restores, 2);
+}
+
+TEST(RunCommitTxnTest, NonRetryableFailureStopsAfterOneAttempt) {
+  HookHarness hh;
+  hh.fail_first_n = 100;
+  hh.hooks.retryable = [](const Status&) { return false; };
+  TxnOptions options;
+  options.max_attempts = 5;
+  TxnStats stats;
+  Status status = RunCommitTxn(&hh.h.vm(), nullptr, options, hh.hooks, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("rolled back after 1 attempt(s)"),
+            std::string::npos);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, 0);
+}
+
+TEST(RunCommitTxnTest, PlanFailurePassesThroughWithoutRollback) {
+  HookHarness hh;
+  hh.hooks.plan = []() -> Result<PatchPlan> {
+    return Status::NotFound("no such descriptor");
+  };
+  TxnStats stats;
+  Status status = RunCommitTxn(&hh.h.vm(), nullptr, TxnOptions{}, hh.hooks, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("no such descriptor"), std::string::npos);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.rollbacks, 0);
+  EXPECT_EQ(hh.restores, 0);  // plan hook restores its own bookkeeping
+}
+
+TEST(RunCommitTxnTest, ValidationFailureRestoresBookkeeping) {
+  HookHarness hh;
+  hh.plan[0].old_bytes[0] ^= 0xFF;  // will fail the expected-bytes check
+  TxnStats stats;
+  Status status = RunCommitTxn(&hh.h.vm(), nullptr, TxnOptions{}, hh.hooks, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("commit validation failed"), std::string::npos);
+  EXPECT_EQ(hh.restores, 1);
+  EXPECT_EQ(hh.applies, 0);  // nothing was applied
+}
+
+// --- Runtime integration: Table 1 operations recover from faults ------------
+
+constexpr char kMultiverseSource[] = R"(
+__attribute__((multiverse)) bool feature;
+long count;
+__attribute__((multiverse))
+void tick() { if (feature) { count = count + 2; } else { count = count + 1; } }
+long run(long n) { long i; for (i = 0; i < n; ++i) { tick(); } return count; }
+)";
+
+std::unique_ptr<Program> BuildMultiverse() {
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"txn_demo", kMultiverseSource}}, BuildOptions{});
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  std::unique_ptr<Program> program = std::move(*built);
+  EXPECT_TRUE(program->WriteGlobal("feature", 1, 1).ok());
+  return program;
+}
+
+std::vector<uint8_t> TextSnapshot(Program* program) {
+  std::vector<uint8_t> text(program->image().text_size);
+  EXPECT_TRUE(program->vm()
+                  .memory()
+                  .ReadRaw(program->image().text_base, text.data(), text.size())
+                  .ok());
+  return text;
+}
+
+// Behaviour discriminator: with `feature` flipped to 0 the *generic* code
+// follows the switch (ticks of 1 -> 10), while a commit bound to the
+// feature=1 variant ignores it (ticks of 2 -> 20). `feature` is restored to
+// 1 afterwards so subsequent commits keep selecting the same variant.
+void ExpectBehaviour(Program* program, uint64_t expected) {
+  ASSERT_TRUE(program->WriteGlobal("count", 0, 8).ok());
+  ASSERT_TRUE(program->WriteGlobal("feature", 0, 1).ok());
+  Result<uint64_t> result = program->Call("run", {10});
+  ASSERT_TRUE(program->WriteGlobal("feature", 1, 1).ok());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, expected);
+}
+
+// Occurrences of `site` a clean Commit() crosses, measured on a twin program.
+uint64_t ProbeSite(FaultSite site) {
+  std::unique_ptr<Program> probe = BuildMultiverse();
+  const uint64_t before = FaultInjector::Instance().Count(site);
+  EXPECT_TRUE(probe->runtime().Commit().ok());
+  return FaultInjector::Instance().Count(site) - before;
+}
+
+class RuntimeTxnTest : public ::testing::TestWithParam<FaultSite> {};
+
+TEST_P(RuntimeTxnTest, TransientMidCommitFaultIsRecovered) {
+  const FaultSite site = GetParam();
+  const uint64_t occurrences = ProbeSite(site);
+  ASSERT_GT(occurrences, 0u);
+
+  std::unique_ptr<Program> program = BuildMultiverse();
+  ScopedFault fault(site, occurrences / 2);  // mid-commit
+  Result<PatchStats> stats = program->runtime().Commit();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  const TxnStats& txn = program->runtime().last_txn();
+  if (site == FaultSite::kIcacheFlush) {
+    // A suppressed invalidation is repaired at seal, not rolled back.
+    EXPECT_EQ(txn.attempts, 1);
+    EXPECT_EQ(txn.rollbacks, 0);
+    EXPECT_GE(txn.reflushes, 1);
+  } else {
+    EXPECT_EQ(txn.attempts, 2);
+    EXPECT_EQ(txn.rollbacks, 1);
+    EXPECT_EQ(txn.retries, 1);
+    EXPECT_GT(txn.ops_rolled_back, 0);
+  }
+  EXPECT_GT(txn.recovery_ticks, 0u);
+  ExpectBehaviour(program.get(), 20);  // fully committed, never torn
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSites, RuntimeTxnTest,
+                         ::testing::Values(FaultSite::kPatchWrite,
+                                           FaultSite::kProtect,
+                                           FaultSite::kIcacheFlush),
+                         [](const ::testing::TestParamInfo<FaultSite>& info) {
+                           std::string name = FaultSiteName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(RuntimeTxnTest, ExhaustedRetryDegradesToGenericImage) {
+  const uint64_t occurrences = ProbeSite(FaultSite::kPatchWrite);
+  std::unique_ptr<Program> program = BuildMultiverse();
+  const std::vector<uint8_t> pristine = TextSnapshot(program.get());
+
+  TxnOptions txn;
+  txn.max_attempts = 1;  // no retry: the one fault is fatal
+  program->runtime().set_txn_options(txn);
+  {
+    ScopedFault fault(FaultSite::kPatchWrite, occurrences / 2);
+    Result<PatchStats> stats = program->runtime().Commit();
+    ASSERT_FALSE(stats.ok());
+    EXPECT_NE(stats.status().ToString().find("rolled back after 1 attempt(s)"),
+              std::string::npos)
+        << stats.status().ToString();
+  }
+  EXPECT_EQ(program->runtime().last_txn().rollbacks, 1);
+  EXPECT_EQ(TextSnapshot(program.get()), pristine);
+  ExpectBehaviour(program.get(), 10);  // generic behaviour, not torn
+
+  // Regression (revert after a partial, rolled-back commit): Revert() must
+  // see pristine bookkeeping — nothing to undo, nothing corrupted.
+  Result<PatchStats> reverted = program->runtime().Revert();
+  ASSERT_TRUE(reverted.ok()) << reverted.status().ToString();
+  EXPECT_EQ(reverted->functions_reverted, 0);
+  EXPECT_EQ(TextSnapshot(program.get()), pristine);
+
+  // And with the injector disarmed the same commit goes through.
+  Result<PatchStats> committed = program->runtime().Commit();
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  ExpectBehaviour(program.get(), 20);
+}
+
+TEST(RuntimeTxnTest, RevertIsTransactionalToo) {
+  std::unique_ptr<Program> program = BuildMultiverse();
+  const std::vector<uint8_t> pristine = TextSnapshot(program.get());
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  const std::vector<uint8_t> committed = TextSnapshot(program.get());
+
+  // Probe how many patch writes a revert performs (on a twin).
+  uint64_t occurrences = 0;
+  {
+    std::unique_ptr<Program> twin = BuildMultiverse();
+    ASSERT_TRUE(twin->runtime().Commit().ok());
+    const uint64_t before = FaultInjector::Instance().Count(FaultSite::kPatchWrite);
+    ASSERT_TRUE(twin->runtime().Revert().ok());
+    occurrences = FaultInjector::Instance().Count(FaultSite::kPatchWrite) - before;
+  }
+  ASSERT_GT(occurrences, 0u);
+
+  TxnOptions txn;
+  txn.max_attempts = 1;
+  program->runtime().set_txn_options(txn);
+  {
+    ScopedFault fault(FaultSite::kPatchWrite, occurrences / 2);
+    Result<PatchStats> stats = program->runtime().Revert();
+    ASSERT_FALSE(stats.ok());
+    EXPECT_NE(stats.status().ToString().find("rolled back"), std::string::npos);
+  }
+  // The failed revert rolled back to the *committed* image.
+  EXPECT_EQ(TextSnapshot(program.get()), committed);
+  ExpectBehaviour(program.get(), 20);
+
+  Result<PatchStats> reverted = program->runtime().Revert();
+  ASSERT_TRUE(reverted.ok()) << reverted.status().ToString();
+  EXPECT_EQ(TextSnapshot(program.get()), pristine);
+  ExpectBehaviour(program.get(), 10);
+}
+
+TEST(RuntimeTxnTest, LastTxnReportsCleanCommit) {
+  std::unique_ptr<Program> program = BuildMultiverse();
+  ASSERT_TRUE(program->runtime().Commit().ok());
+  const TxnStats& txn = program->runtime().last_txn();
+  EXPECT_EQ(txn.attempts, 1);
+  EXPECT_EQ(txn.rollbacks, 0);
+  EXPECT_EQ(txn.retries, 0);
+  EXPECT_EQ(txn.reflushes, 0);
+  EXPECT_GT(txn.ops_applied, 0);
+  EXPECT_EQ(txn.recovery_ticks, 0u);
+}
+
+}  // namespace
+}  // namespace mv

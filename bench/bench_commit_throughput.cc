@@ -1,0 +1,221 @@
+// Commit throughput on recurring configurations (docs/EXPERIMENTS.md S3).
+//
+// The paper's workloads flip between a small set of configurations (UP<->SMP,
+// GC on/off), so commit latency is dominated by repeat commits of states the
+// runtime has already seen. This bench measures exactly that: A<->B flip laps
+// over a synthetic kernel, cold (first visit to each pre-state/config pair,
+// full selection + planning) vs warm (plan-cache hit: validate -> apply ->
+// seal only), and asserts the fast path is both faster and bit-identical.
+//
+// A twin program attached with the plan cache disabled is driven through the
+// identical flip schedule; after every flip the full text segment and a probe
+// execution transcript must match the cached program exactly — the cache may
+// only ever change how fast the text gets there, never what it says.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/program.h"
+#include "src/support/str.h"
+
+namespace mv {
+namespace {
+
+// Two configuration switches, two multiversed lock functions, plus a probe
+// entry whose result depends on which variants are burnt in.
+std::string FlipSource(int callers) {
+  std::string source = R"(
+__attribute__((multiverse)) int config_smp;
+__attribute__((multiverse)) int config_preempt;
+int lock_word;
+int preempt_count;
+
+__attribute__((multiverse))
+void spin_lock(int* lock) {
+  if (config_preempt) {
+    preempt_count = preempt_count + 1;
+  }
+  if (config_smp) {
+    while (__builtin_xchg(lock, 1)) {
+      __builtin_pause();
+    }
+  }
+}
+
+__attribute__((multiverse))
+void spin_unlock(int* lock) {
+  if (config_smp) {
+    *lock = 0;
+  }
+  if (config_preempt) {
+    preempt_count = preempt_count - 1;
+  }
+}
+
+int probe() {
+  spin_lock(&lock_word);
+  int held = lock_word;
+  spin_unlock(&lock_word);
+  return held * 2 + preempt_count;
+}
+)";
+  for (int i = 0; i < callers; ++i) {
+    source += StrFormat(
+        "void subsystem_%d() { spin_lock(&lock_word); spin_unlock(&lock_word); }\n", i);
+  }
+  return source;
+}
+
+struct Config {
+  int64_t smp;
+  int64_t preempt;
+};
+
+void SetConfig(Program* program, const Config& config) {
+  CheckOk(program->WriteGlobal("config_smp", config.smp, 4), "write config_smp");
+  CheckOk(program->WriteGlobal("config_preempt", config.preempt, 4),
+          "write config_preempt");
+}
+
+std::vector<uint8_t> TextBytes(Program* program) {
+  std::vector<uint8_t> text(program->image().text_size);
+  CheckOk(program->vm().memory().ReadRaw(program->image().text_base, text.data(),
+                                         text.size()),
+          "read text segment");
+  return text;
+}
+
+void Run() {
+  PrintHeader("Commit throughput: cold vs plan-cache-warm A<->B flips",
+              "Section 6.1 (commit latency), this repo's fast path");
+
+  constexpr int kCallers = 96;
+  BuildOptions cached_options;
+  std::unique_ptr<Program> cached = CheckOk(
+      Program::Build({{"flip", FlipSource(kCallers)}}, cached_options),
+      "build cached program");
+  BuildOptions uncached_options;
+  uncached_options.attach.plan_cache = false;
+  std::unique_ptr<Program> uncached = CheckOk(
+      Program::Build({{"flip", FlipSource(kCallers)}}, uncached_options),
+      "build uncached twin");
+
+  const Config kA{0, 1};
+  const Config kB{1, 0};
+
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto us_since = [](std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  // Drives both programs through one flip to `config` — only the cached
+  // program's commit is timed (the twin and the bit-identity checks are the
+  // referee, not the contestant) — and verifies the cached program's text
+  // and probe transcript are bit-identical to the twin's.
+  const auto flip_both = [&](const Config& config) -> double {
+    SetConfig(cached.get(), config);
+    const auto start = now();
+    CheckOk(cached->runtime().Commit(), "cached commit");
+    const double us = us_since(start);
+    SetConfig(uncached.get(), config);
+    CheckOk(uncached->runtime().Commit(), "uncached commit");
+    if (TextBytes(cached.get()) != TextBytes(uncached.get())) {
+      std::fprintf(stderr, "FATAL: text diverged between cached and uncached\n");
+      std::abort();
+    }
+    const uint64_t got = CheckOk(cached->Call("probe", {}), "cached probe");
+    const uint64_t want = CheckOk(uncached->Call("probe", {}), "uncached probe");
+    if (got != want) {
+      std::fprintf(stderr,
+                   "FATAL: probe transcript diverged: cached=%llu uncached=%llu\n",
+                   (unsigned long long)got, (unsigned long long)want);
+      std::abort();
+    }
+    return us;
+  };
+
+  // Cold lap: every commit is a first visit to its (pre-state, config) pair,
+  // so each one runs full selection + planning.
+  const double cold_us = (flip_both(kA) + flip_both(kB)) / 2.0;
+
+  // One more untimed lap: B->A from pre-state B is still cold (the first A
+  // commit ran from the fully-generic state); after this lap the A<->B cycle
+  // is closed and every further flip is a cache hit.
+  flip_both(kA);
+  flip_both(kB);
+
+  const CommitFastPathStats& fast = cached->runtime().fast_stats();
+  const uint64_t hits_before = fast.plan_cache_hits;
+  const uint64_t mprotect_before = fast.mprotect_calls;
+  const uint64_t flush_before = fast.flush_ranges;
+  const uint64_t pages_before = fast.pages_touched;
+  const uint64_t reeval_before = fast.fns_reevaluated;
+
+  constexpr int kWarmLaps = 100;
+  double warm_total_us = 0;
+  for (int i = 0; i < kWarmLaps; ++i) {
+    warm_total_us += flip_both(kA);
+    warm_total_us += flip_both(kB);
+  }
+  const double warm_us = warm_total_us / (2.0 * kWarmLaps);
+
+  const uint64_t warm_commits = 2 * kWarmLaps;
+  const uint64_t hits = fast.plan_cache_hits - hits_before;
+  const double warm_mprotect =
+      static_cast<double>(fast.mprotect_calls - mprotect_before) / warm_commits;
+  const double warm_flushes =
+      static_cast<double>(fast.flush_ranges - flush_before) / warm_commits;
+  const double warm_pages =
+      static_cast<double>(fast.pages_touched - pages_before) / warm_commits;
+  const double speedup = cold_us / warm_us;
+
+  std::printf("  flip corpus: %d callers, 2 switches, %zu call sites\n", kCallers,
+              cached->runtime().table().callsites.size());
+  std::printf("  cold commit (full selection + planning): %10.2f us\n", cold_us);
+  std::printf("  warm commit (plan-cache hit):            %10.2f us\n", warm_us);
+  std::printf("  speedup:                                 %10.2fx\n", speedup);
+  std::printf("  warm flips: %llu/%llu cache hits, %llu functions re-evaluated\n",
+              (unsigned long long)hits, (unsigned long long)warm_commits,
+              (unsigned long long)(fast.fns_reevaluated - reeval_before));
+  std::printf("  per warm commit: %.2f mprotects, %.2f flush ranges, %.2f pages\n",
+              warm_mprotect, warm_flushes, warm_pages);
+
+  JsonMetric("cold_commit_us", cold_us, "us");
+  JsonMetric("warm_commit_us", warm_us, "us");
+  JsonMetric("warm_speedup", speedup, "x");
+  JsonMetric("warm_cache_hits", static_cast<double>(hits));
+  JsonMetric("warm_commits", static_cast<double>(warm_commits));
+  JsonMetric("warm_mprotect_calls", warm_mprotect);
+  JsonMetric("warm_flush_ranges", warm_flushes);
+  JsonMetric("warm_pages_touched", warm_pages);
+  RecordTxnOutcome(cached->runtime().last_txn().rollbacks,
+                   cached->runtime().last_txn().retries);
+
+  if (hits != warm_commits) {
+    std::fprintf(stderr, "FATAL: expected every warm flip to hit the plan cache "
+                         "(%llu/%llu)\n",
+                 (unsigned long long)hits, (unsigned long long)warm_commits);
+    std::abort();
+  }
+  // Page coalescing: at most one W^X toggle up + one down per touched page.
+  if (warm_mprotect > 2.0 * warm_pages) {
+    std::fprintf(stderr, "FATAL: warm mprotect calls (%.2f) exceed 2x pages (%.2f)\n",
+                 warm_mprotect, warm_pages);
+    std::abort();
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FATAL: warm commits only %.2fx faster than cold "
+                         "(acceptance floor: 2x)\n",
+                 speedup);
+    std::abort();
+  }
+}
+
+}  // namespace
+}  // namespace mv
+
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

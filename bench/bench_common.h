@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/plan_cache.h"
 #include "src/support/status.h"
 #include "src/vm/superblock.h"
 
@@ -86,6 +87,21 @@ class BenchReport {
                  DispatchEngineName(DefaultDispatchEngine()));
     std::fprintf(f, "  \"rollbacks\": %d,\n", rollbacks_);
     std::fprintf(f, "  \"retries\": %d,\n", retries_);
+    // Commit fast-path accounting (plan_cache.h), process-wide so every bench
+    // document carries the counters regardless of how many runtimes it built.
+    const CommitFastPathStats& fast = GlobalCommitCounters::Instance().totals;
+    std::fprintf(f, "  \"plan_cache_hits\": %llu,\n",
+                 (unsigned long long)fast.plan_cache_hits);
+    std::fprintf(f, "  \"plan_cache_misses\": %llu,\n",
+                 (unsigned long long)fast.plan_cache_misses);
+    std::fprintf(f, "  \"mprotect_calls\": %llu,\n",
+                 (unsigned long long)fast.mprotect_calls);
+    std::fprintf(f, "  \"flush_ranges\": %llu,\n",
+                 (unsigned long long)fast.flush_ranges);
+    std::fprintf(f, "  \"fns_reevaluated\": %llu,\n",
+                 (unsigned long long)fast.fns_reevaluated);
+    std::fprintf(f, "  \"fns_skipped\": %llu,\n",
+                 (unsigned long long)fast.fns_skipped);
     std::fprintf(f, "  \"metrics\": [\n");
     for (size_t i = 0; i < metrics_.size(); ++i) {
       const Metric& m = metrics_[i];

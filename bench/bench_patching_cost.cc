@@ -73,8 +73,37 @@ void Run() {
               table.functions.size(), table.variables.size());
 
   CheckOk(program->WriteGlobal("config_smp", 0, 4), "write switch");
-  // Warm-up commit/revert (first run decodes variant bodies).
-  CheckOk(program->runtime().Commit(), "warmup commit");
+  // Warm-up commit/revert (first run decodes variant bodies). The warm-up
+  // commit is also the cold coalescing measurement: one plan-cache miss with
+  // the page-coalesced apply layer, against the per-site baseline of two
+  // mprotects and one flush IPI per 5-byte op.
+  const CommitFastPathStats& fast = program->runtime().fast_stats();
+  const uint64_t mprotect_before = fast.mprotect_calls;
+  const uint64_t flush_before = fast.flush_ranges;
+  const uint64_t pages_before = fast.pages_touched;
+  PatchStats cold = CheckOk(program->runtime().Commit(), "warmup commit");
+  const uint64_t cold_mprotect = fast.mprotect_calls - mprotect_before;
+  const uint64_t cold_flushes = fast.flush_ranges - flush_before;
+  const uint64_t cold_pages = fast.pages_touched - pages_before;
+  const uint64_t cold_ops = static_cast<uint64_t>(
+      cold.callsites_patched + cold.callsites_inlined + cold.prologues_patched);
+  std::printf("  coalesced cold commit: %llu ops -> %llu mprotects (baseline %llu), "
+              "%llu flush ranges (baseline %llu), %llu pages\n",
+              (unsigned long long)cold_ops, (unsigned long long)cold_mprotect,
+              (unsigned long long)(2 * cold_ops), (unsigned long long)cold_flushes,
+              (unsigned long long)cold_ops, (unsigned long long)cold_pages);
+  JsonMetric("cold commit ops", static_cast<double>(cold_ops));
+  JsonMetric("cold commit mprotect calls", static_cast<double>(cold_mprotect));
+  JsonMetric("per-site baseline mprotect calls", static_cast<double>(2 * cold_ops));
+  JsonMetric("cold commit flush ranges", static_cast<double>(cold_flushes));
+  JsonMetric("per-site baseline flush ranges", static_cast<double>(cold_ops));
+  JsonMetric("cold commit pages touched", static_cast<double>(cold_pages));
+  if (cold_ops > 0 && cold_mprotect >= 2 * cold_ops) {
+    std::fprintf(stderr, "FATAL: page coalescing did not reduce mprotect calls "
+                         "(%llu ops, %llu mprotects)\n",
+                 (unsigned long long)cold_ops, (unsigned long long)cold_mprotect);
+    std::abort();
+  }
   CheckOk(program->runtime().Revert(), "warmup revert");
 
   constexpr int kRounds = 50;
@@ -96,6 +125,12 @@ void Run() {
               last.callsites_patched, last.callsites_inlined, last.prologues_patched);
   JsonMetric("recorded call sites", static_cast<double>(table.callsites.size()));
   JsonMetric("commit+revert round-trip", ms_per_cycle, "ms");
+  // The timed rounds repeat one configuration, so after the warm-up round
+  // trip every commit should be a plan-cache hit.
+  JsonMetric("round-trip cache hits",
+             static_cast<double>(fast.plan_cache_hits));
+  JsonMetric("round-trip cache misses",
+             static_cast<double>(fast.plan_cache_misses));
   JsonMetric("callsites patched", last.callsites_patched);
   JsonMetric("callsites inlined", last.callsites_inlined);
   JsonMetric("prologues patched", last.prologues_patched);

@@ -1,7 +1,9 @@
 #include "src/core/patching.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "src/core/txn.h"
 #include "src/isa/isa.h"
 #include "src/support/faultpoint.h"
 
@@ -32,6 +34,88 @@ Status WriteCodeBytes(Vm* vm, uint64_t addr, const uint8_t* data, uint64_t len,
 
 Status PatchCode(Vm* vm, uint64_t addr, const std::array<uint8_t, 5>& bytes) {
   return WriteCodeBytes(vm, addr, bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// PageWriteBatch
+
+Status PageWriteBatch::Acquire(uint64_t addr, uint64_t len) {
+  if (len == 0) {
+    return Status::Ok();
+  }
+  Memory& memory = vm_->memory();
+  const uint64_t first = addr / kPageSize;
+  const uint64_t last = (addr + len - 1) / kPageSize;
+  for (uint64_t page = first; page <= last; ++page) {
+    const uint64_t base = page * kPageSize;
+    if (pages_.count(base) != 0) {
+      continue;  // already writable
+    }
+    const uint8_t old_perms = memory.PermsAt(base);
+    ++protect_calls_;
+    MV_RETURN_IF_ERROR(memory.Protect(base, kPageSize, old_perms | kPermWrite));
+    pages_.emplace(base, old_perms);
+    ++pages_acquired_;
+  }
+  return Status::Ok();
+}
+
+Status PageWriteBatch::Write(uint64_t addr, const uint8_t* data, uint64_t len) {
+  Memory& memory = vm_->memory();
+  // Fault point: the adversarial partial write — one byte lands, then the
+  // patcher dies with every acquired page still writable. Same semantics as
+  // WriteCodeBytes, so the sweep's recovery invariant carries over.
+  if (FaultInjector::Instance().ShouldFail(FaultSite::kPatchWrite)) {
+    if (len > 0) {
+      (void)memory.WriteRaw(addr, data, 1);
+    }
+    return Status::Internal("patch write torn after 1 byte (injected fault)");
+  }
+  return memory.WriteRaw(addr, data, len);
+}
+
+void PageWriteBatch::QueueFlush(uint64_t addr, uint64_t len) {
+  if (len > 0) {
+    flushes_.push_back(CodeRange{addr, len});
+  }
+}
+
+Status PageWriteBatch::Release() {
+  Memory& memory = vm_->memory();
+  for (const auto& [base, perms] : pages_) {
+    ++protect_calls_;
+    MV_RETURN_IF_ERROR(memory.Protect(base, kPageSize, perms));
+  }
+  pages_.clear();
+  return Status::Ok();
+}
+
+std::vector<CodeRange> PageWriteBatch::MergedFlushRanges() const {
+  // Invalidation hardware is cache-line granular (CLFLUSH, IC IVAU), so each
+  // queued range is widened to line boundaries before the union — that is
+  // what lets the 5-byte sites of adjacent small callers chain-merge into a
+  // handful of ranges instead of one flush IPI per site. Over-flushing is
+  // always safe; under-flushing is what the seal audit exists to catch.
+  constexpr uint64_t kLine = 64;
+  std::vector<CodeRange> sorted;
+  sorted.reserve(flushes_.size());
+  for (const CodeRange& r : flushes_) {
+    const uint64_t lo = r.addr & ~(kLine - 1);
+    const uint64_t hi = (r.addr + r.len + kLine - 1) & ~(kLine - 1);
+    sorted.push_back(CodeRange{lo, hi - lo});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CodeRange& a, const CodeRange& b) { return a.addr < b.addr; });
+  std::vector<CodeRange> merged;
+  for (const CodeRange& r : sorted) {
+    if (!merged.empty() && r.addr <= merged.back().addr + merged.back().len) {
+      const uint64_t end = std::max(merged.back().addr + merged.back().len, r.addr + r.len);
+      merged.back().len = end - merged.back().addr;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
 }
 
 Result<std::array<uint8_t, 5>> EncodeCallBytes(uint64_t site_addr, uint64_t target) {
@@ -121,11 +205,53 @@ Result<bool> TryBodyPatch(Vm* vm, uint64_t generic_addr, uint64_t generic_size,
   std::vector<uint8_t> body(generic_size, static_cast<uint8_t>(Op::kNop));
   MV_RETURN_IF_ERROR(memory.ReadRaw(variant_addr, body.data(), variant_size));
 
-  const uint8_t old_perms = memory.PermsAt(generic_addr);
-  MV_RETURN_IF_ERROR(memory.Protect(generic_addr, generic_size, old_perms | kPermWrite));
-  MV_RETURN_IF_ERROR(memory.WriteRaw(generic_addr, body.data(), body.size()));
-  MV_RETURN_IF_ERROR(memory.Protect(generic_addr, generic_size, old_perms));
-  vm->FlushIcache(generic_addr, generic_size);
+  constexpr uint64_t kOp = 5;  // PatchOp window size
+  if (generic_size < kOp) {
+    // Too small to journal as 5-byte ops; a single verified write still
+    // crosses every fault point and reads back the result.
+    MV_RETURN_IF_ERROR(WriteCodeBytes(vm, generic_addr, body.data(), body.size()));
+    std::vector<uint8_t> readback(body.size());
+    MV_RETURN_IF_ERROR(memory.ReadRaw(generic_addr, readback.data(), readback.size()));
+    if (readback != body) {
+      return Status::Internal("body patch torn (read-back mismatch)");
+    }
+    return true;
+  }
+
+  // Chunk the overwrite into journaled 5-byte ops; the tail chunk overlaps
+  // backward so the whole body is covered without writing past the function.
+  PatchPlan plan;
+  for (uint64_t off = 0;; off += kOp) {
+    if (off + kOp > generic_size) {
+      off = generic_size - kOp;
+    }
+    PatchOp op;
+    op.addr = generic_addr + off;
+    MV_RETURN_IF_ERROR(memory.ReadRaw(op.addr, op.old_bytes.data(), kOp));
+    std::memcpy(op.new_bytes.data(), body.data() + off, kOp);
+    plan.push_back(op);
+    if (off + kOp >= generic_size) {
+      break;
+    }
+  }
+
+  MV_ASSIGN_OR_RETURN(PatchJournal journal,
+                      PatchJournal::Begin(vm, /*image=*/nullptr, plan, /*validate=*/true));
+  TxnOptions options;
+  Status applied = journal.ApplyCoalesced(options, /*stats=*/nullptr);
+  TxnStats txn;
+  if (applied.ok()) {
+    applied = journal.Seal(&txn);
+  }
+  if (!applied.ok()) {
+    Status undo = journal.Rollback(&txn);
+    if (!undo.ok()) {
+      return Status::Internal("body patch rollback failed — image may be torn: " +
+                              undo.message());
+    }
+    return Status(applied.code(),
+                  "body patch rolled back: " + applied.ToString());
+  }
   return true;
 }
 

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -13,6 +14,27 @@
 #include "src/vm/vm.h"
 
 namespace mv {
+
+// Result of a commit/revert operation (the paper's int return, enriched).
+// Lives here (below the runtime) so the plan cache can memoize it alongside
+// the planned ops without a header cycle.
+struct PatchStats {
+  int functions_committed = 0;   // functions now bound to a variant
+  int functions_reverted = 0;    // functions restored to generic state
+  int generic_fallbacks = 0;     // no variant matched; generic installed (§4)
+  int callsites_patched = 0;     // call sites rewritten to direct calls
+  int callsites_inlined = 0;     // call sites with the body inlined / NOPed
+  int prologues_patched = 0;
+
+  void Accumulate(const PatchStats& other) {
+    functions_committed += other.functions_committed;
+    functions_reverted += other.functions_reverted;
+    generic_fallbacks += other.generic_fallbacks;
+    callsites_patched += other.callsites_patched;
+    callsites_inlined += other.callsites_inlined;
+    prologues_patched += other.prologues_patched;
+  }
+};
 
 // Writes `len` bytes of code at `addr`: temporarily adds write permission,
 // writes, restores the previous protection, and — unless `flush` is false —
@@ -37,6 +59,49 @@ struct PatchOp {
 
 using PatchPlan = std::vector<PatchOp>;
 
+// Page-coalesced code mutation: N writes landing on one page cost one
+// Protect-up and one Protect-down instead of N of each, and the icache
+// invalidations are merged into a range union issued once at the end.
+//
+// Usage: Acquire + Write per op (in plan order), then Release, then issue
+// MergedFlushRanges() through the VM. Pages are left writable after a failed
+// Write or Release — exactly like a patcher that died mid-flight — so the
+// journal's rollback (which re-does its own W^X dance per op) repairs both
+// bytes and protections.
+//
+// Write() carries the same kPatchWrite fault semantics as WriteCodeBytes: the
+// injected torn write lands one byte and leaves the page writable. Acquire
+// and Release cross the kProtect fault point once per page instead of once
+// per op — the faultpoint sweep calibrates occurrence counts by probing, so
+// it adapts to the coalesced counts automatically.
+class PageWriteBatch {
+ public:
+  explicit PageWriteBatch(Vm* vm) : vm_(vm) {}
+
+  // Makes every page overlapping [addr, addr+len) writable (idempotent per
+  // page), remembering the original protection for Release().
+  Status Acquire(uint64_t addr, uint64_t len);
+  // Writes into already-acquired pages; fault-injectable torn write.
+  Status Write(uint64_t addr, const uint8_t* data, uint64_t len);
+  // Queues [addr, addr+len) for the merged flush set.
+  void QueueFlush(uint64_t addr, uint64_t len);
+  // Restores the original protection of every acquired page.
+  Status Release();
+
+  // Sorted union of the queued flush ranges (overlapping/adjacent merged).
+  std::vector<CodeRange> MergedFlushRanges() const;
+
+  uint64_t protect_calls() const { return protect_calls_; }
+  uint64_t pages_acquired() const { return pages_acquired_; }
+
+ private:
+  Vm* vm_;
+  std::map<uint64_t, uint8_t> pages_;  // page base -> original perms
+  std::vector<CodeRange> flushes_;
+  uint64_t protect_calls_ = 0;
+  uint64_t pages_acquired_ = 0;  // lifetime count; survives Release()
+};
+
 // Encodes a 5-byte `CALL rel32` at `site_addr` targeting `target`.
 Result<std::array<uint8_t, 5>> EncodeCallBytes(uint64_t site_addr, uint64_t target);
 
@@ -52,6 +117,12 @@ std::optional<std::vector<uint8_t>> ExtractTinyBody(const Memory& memory, uint64
 // pc-relative instructions (CALL/JMP/Jcc rel32) — relocating those is
 // exactly the "significant complexity increase" the paper cites for choosing
 // call-site patching instead. Remaining generic bytes are NOP-filled.
+//
+// The overwrite itself runs through a PatchJournal (plan -> validate ->
+// coalesced apply -> seal, rolled back on failure), so a torn body patch hits
+// the same kPatchWrite/kProtect/kIcacheFlush fault points and read-back
+// verification as the call-site path and degrades to the pristine generic
+// body instead of a half-copied one.
 Result<bool> TryBodyPatch(Vm* vm, uint64_t generic_addr, uint64_t generic_size,
                           uint64_t variant_addr, uint64_t variant_size);
 

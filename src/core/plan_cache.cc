@@ -1,0 +1,59 @@
+#include "src/core/plan_cache.h"
+
+namespace mv {
+
+uint64_t ConfigFingerprint(const std::vector<int64_t>& values, uint64_t epoch) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  const auto mix = [&hash](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xff;
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(epoch);
+  for (int64_t value : values) {
+    mix(static_cast<uint64_t>(value));
+  }
+  return hash;
+}
+
+const PlanCache::Entry* PlanCache::Lookup(const StateToken& pre_state,
+                                          uint64_t fingerprint,
+                                          const std::vector<int64_t>& values) const {
+  for (const Entry& entry : entries_) {
+    if (entry.fingerprint == fingerprint && entry.values == values &&
+        entry.pre_state.Matches(pre_state)) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+void PlanCache::Insert(Entry entry) {
+  // Replace an existing entry for the same key rather than duplicating it.
+  for (Entry& existing : entries_) {
+    if (existing.fingerprint == entry.fingerprint &&
+        existing.values == entry.values &&
+        existing.pre_state.Matches(entry.pre_state)) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  if (entries_.size() >= capacity_ && !entries_.empty()) {
+    entries_.erase(entries_.begin());  // FIFO
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void PlanCache::EvictMatching(const StateToken& pre_state, uint64_t fingerprint,
+                              const std::vector<int64_t>& values) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->fingerprint == fingerprint && it->values == values &&
+        it->pre_state.Matches(pre_state)) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace mv

@@ -1,0 +1,132 @@
+// The commit fast path's memoization layer (docs/INTERNALS.md §12).
+//
+// The paper's headline workloads (pv-ops, spinlock elision, CPython GC
+// toggles) flip between a small set of recurring configurations, yet a plain
+// multiverse_commit() re-derives everything from scratch: variant selection,
+// tiny-body decoding, call-site verification, plan construction. The
+// PlanCache memoizes the fully-planned PatchJournal op list per
+// configuration, so a repeat commit skips selection and planning entirely and
+// goes straight to validate -> apply -> seal.
+//
+// A cached plan is a diff, not a state: its expected old bytes are only valid
+// from the exact pre-commit state it was planned in. Entries are therefore
+// keyed by (pre-state token, configuration fingerprint) and matched on the
+// exact configuration value vector — never on the hash alone. The pre-state
+// token is content-based (fully-generic, or fully-committed-to-values-V), so
+// an A<->B flip cycle converges onto two cache entries after one cold lap.
+// Even a wrongly-matched entry cannot tear the image: the journal's
+// expected-old-bytes validation (PR 3) rejects it before the first byte
+// moves, and the runtime then evicts the entry and replans cold.
+//
+// Invalidation: the whole cache is dropped on attach (trivially — it starts
+// empty), on any rollback (including foreign-write detection at seal), and on
+// RestoreState from outside the fast path (a livepatch session rewinding
+// bookkeeping). Entries are also evicted one-by-one when validation proves
+// them stale.
+#ifndef MULTIVERSE_SRC_CORE_PLAN_CACHE_H_
+#define MULTIVERSE_SRC_CORE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/patching.h"
+
+namespace mv {
+
+struct RuntimeSnapshot;  // runtime.cc; opaque bookkeeping snapshot
+
+// Identity of the runtime's logical patch state, compared by content so
+// recurring configurations converge. kUnknown never matches anything — it is
+// the safe default after partial operations (CommitFn, CommitRefs, livepatch
+// sessions) whose resulting text is not a pure function of the switch vector.
+struct StateToken {
+  enum class Kind : uint8_t { kGeneric, kConfig, kUnknown };
+
+  Kind kind = Kind::kGeneric;
+  // kConfig: the full configuration value vector the image is committed to
+  // (one slot per descriptor variable, fingerprinted slots meaningful).
+  std::vector<int64_t> values;
+
+  static StateToken Generic() { return StateToken{}; }
+  static StateToken Config(std::vector<int64_t> v) {
+    return StateToken{Kind::kConfig, std::move(v)};
+  }
+  static StateToken Unknown() { return StateToken{Kind::kUnknown, {}}; }
+
+  bool Matches(const StateToken& other) const {
+    return kind != Kind::kUnknown && other.kind != Kind::kUnknown &&
+           kind == other.kind && values == other.values;
+  }
+};
+
+// FNV-1a over the referenced switch values + the descriptor epoch. Used as a
+// cheap reject before the exact value-vector comparison.
+uint64_t ConfigFingerprint(const std::vector<int64_t>& values, uint64_t epoch);
+
+class PlanCache {
+ public:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    StateToken pre_state;          // state the plan's old bytes assume
+    std::vector<int64_t> values;   // configuration the plan commits to
+    PatchPlan plan;
+    PatchStats stats;              // what the cold commit reported
+    // Bookkeeping snapshot taken right after the cold commit succeeded; a
+    // cache hit restores it instead of replaying selection.
+    std::shared_ptr<const RuntimeSnapshot> post_state;
+  };
+
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  // Exact match on pre-state and configuration values (fingerprint is only
+  // the fast reject). Returned pointer is invalidated by any mutation.
+  const Entry* Lookup(const StateToken& pre_state, uint64_t fingerprint,
+                      const std::vector<int64_t>& values) const;
+  void Insert(Entry entry);  // FIFO eviction at capacity
+  // Drops the entry Lookup would have returned (stale plan detected).
+  void EvictMatching(const StateToken& pre_state, uint64_t fingerprint,
+                     const std::vector<int64_t>& values);
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+// Fast-path accounting, per runtime and mirrored into a process-wide total so
+// every bench --json document can surface the counters regardless of how many
+// Program/runtime instances the bench constructs.
+struct CommitFastPathStats {
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_evictions = 0;      // stale entries dropped at validate
+  uint64_t plan_cache_invalidations = 0;  // whole-cache clears (rollback, ...)
+  uint64_t mprotect_calls = 0;            // via coalesced applies
+  uint64_t flush_ranges = 0;              // merged ranges actually issued
+  uint64_t pages_touched = 0;
+  uint64_t fns_reevaluated = 0;           // guard evaluation actually ran
+  uint64_t fns_skipped = 0;               // dirty-set skip: switches unchanged
+};
+
+class GlobalCommitCounters {
+ public:
+  static GlobalCommitCounters& Instance() {
+    static GlobalCommitCounters counters;
+    return counters;
+  }
+
+  CommitFastPathStats totals;
+
+  void Reset() { totals = CommitFastPathStats{}; }
+
+ private:
+  GlobalCommitCounters() = default;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_PLAN_CACHE_H_

@@ -2,7 +2,9 @@
 
 #include "src/core/patching.h"
 
+#include <algorithm>
 #include <cstring>
+#include <set>
 
 #include "src/isa/isa.h"
 #include "src/support/str.h"
@@ -24,6 +26,7 @@ Result<MultiverseRuntime> MultiverseRuntime::Attach(Vm* vm, const Image& image,
   MultiverseRuntime runtime(vm);
   runtime.image_ = image;
   runtime.txn_options_ = options.txn;
+  runtime.plan_cache_enabled_ = options.plan_cache;
   DescriptorTable::ParseOptions parse_options;
   parse_options.paranoid = options.paranoid;
   MV_ASSIGN_OR_RETURN(runtime.table_,
@@ -72,7 +75,234 @@ Result<MultiverseRuntime> MultiverseRuntime::Attach(Vm* vm, const Image& image,
     runtime.fnptrs_.emplace(var.addr, std::move(state));
   }
 
+  // The guard index and dirty sets are derived once from the (immutable
+  // post-attach) descriptors; the plan cache starts empty — attach is the
+  // first invalidation point.
+  runtime.BuildGuardIndex();
   return runtime;
+}
+
+// ---------------------------------------------------------------------------
+// Guard index (commit fast path, INTERNALS.md §12)
+
+void MultiverseRuntime::BuildGuardIndex() {
+  // Variable address -> descriptor index, once (the linear FindVariable scan
+  // is exactly what the index exists to avoid).
+  std::map<uint64_t, size_t> var_index_by_addr;
+  for (size_t vi = 0; vi < table_.variables.size(); ++vi) {
+    var_index_by_addr.emplace(table_.variables[vi].addr, vi);
+  }
+
+  std::vector<bool> fingerprinted(table_.variables.size(), false);
+
+  for (auto& [generic_addr, fn] : fns_) {
+    const RtFunction& desc = table_.functions[fn.desc_index];
+    FnIndex index;
+
+    // Referenced variables (descriptor order) + the variable -> functions
+    // dirty map. fns_ iterates in ascending generic address — the same order
+    // CommitImpl patches in — so CommitRefs via the map preserves layering.
+    std::vector<bool> referenced(table_.variables.size(), false);
+    for (const RtVariant& variant : desc.variants) {
+      for (const RtGuard& guard : variant.guards) {
+        auto it = var_index_by_addr.find(guard.var_addr);
+        if (it == var_index_by_addr.end()) {
+          index.has_unknown_var = true;  // linear scan will surface the error
+          continue;
+        }
+        if (!referenced[it->second]) {
+          referenced[it->second] = true;
+          var_to_fns_[guard.var_addr].push_back(generic_addr);
+        }
+      }
+    }
+    for (size_t vi = 0; vi < referenced.size(); ++vi) {
+      if (referenced[vi]) {
+        index.var_indexes.push_back(vi);
+        fingerprinted[vi] = true;
+      }
+    }
+
+    if (!index.has_unknown_var) {
+      // Per referenced variable: intersect each variant's guards on it into
+      // one [lo, hi] (empty if contradictory), then cut the value axis at
+      // every boundary. Each resulting interval has a constant viable-variant
+      // bitmask, computable by membership of its start point.
+      const size_t words = (desc.variants.size() + 63) / 64;
+      for (size_t vi : index.var_indexes) {
+        const uint64_t var_addr = table_.variables[vi].addr;
+        std::vector<int64_t> lo(desc.variants.size(), INT64_MIN);
+        std::vector<int64_t> hi(desc.variants.size(), INT64_MAX);
+        for (size_t k = 0; k < desc.variants.size(); ++k) {
+          for (const RtGuard& guard : desc.variants[k].guards) {
+            if (guard.var_addr != var_addr) {
+              continue;
+            }
+            lo[k] = std::max<int64_t>(lo[k], guard.lo);
+            hi[k] = std::min<int64_t>(hi[k], guard.hi);
+          }
+        }
+        std::set<int64_t> cuts = {INT64_MIN};
+        for (size_t k = 0; k < desc.variants.size(); ++k) {
+          if (lo[k] > hi[k]) {
+            continue;  // contradictory guards: never viable on this variable
+          }
+          cuts.insert(lo[k]);
+          if (hi[k] < INT64_MAX) {
+            cuts.insert(hi[k] + 1);
+          }
+        }
+        VarIntervals table;
+        table.starts.assign(cuts.begin(), cuts.end());
+        table.masks.resize(table.starts.size(), std::vector<uint64_t>(words, 0));
+        for (size_t i = 0; i < table.starts.size(); ++i) {
+          const int64_t start = table.starts[i];
+          for (size_t k = 0; k < desc.variants.size(); ++k) {
+            if (start >= lo[k] && start <= hi[k]) {
+              table.masks[i][k / 64] |= 1ull << (k % 64);
+            }
+          }
+        }
+        index.tables.push_back(std::move(table));
+      }
+      index.selectable = true;
+    }
+
+    fn_indexes_.emplace(generic_addr, std::move(index));
+  }
+
+  // Function-pointer switches participate in the configuration fingerprint
+  // by their raw pointer value.
+  for (const auto& [var_addr, state] : fnptrs_) {
+    fingerprinted[state.var_index] = true;
+  }
+  for (size_t vi = 0; vi < fingerprinted.size(); ++vi) {
+    if (fingerprinted[vi]) {
+      fingerprint_vars_.push_back(vi);
+    }
+  }
+}
+
+Status MultiverseRuntime::ReadConfigVector(std::vector<int64_t>* out) const {
+  out->assign(table_.variables.size(), 0);
+  for (size_t vi : fingerprint_vars_) {
+    const RtVariable& var = table_.variables[vi];
+    if (var.is_fnptr) {
+      uint64_t target = 0;
+      MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(var.addr, &target, 8));
+      (*out)[vi] = static_cast<int64_t>(target);
+    } else {
+      MV_ASSIGN_OR_RETURN((*out)[vi], ReadSwitch(var));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> MultiverseRuntime::SelectVariantIndexed(
+    const FnIndex& index, const RtFunction& desc,
+    const std::vector<int64_t>& vals) const {
+  const size_t words = (desc.variants.size() + 63) / 64;
+  if (desc.variants.empty()) {
+    return static_cast<uint64_t>(0);
+  }
+  std::vector<uint64_t> viable(words, ~0ull);
+  const size_t tail_bits = desc.variants.size() % 64;
+  if (tail_bits != 0) {
+    viable.back() = (1ull << tail_bits) - 1;
+  }
+  for (size_t t = 0; t < index.tables.size(); ++t) {
+    const VarIntervals& table = index.tables[t];
+    // Last interval whose start <= value; starts[0] == INT64_MIN, so the
+    // search never underflows.
+    const auto it = std::upper_bound(table.starts.begin(), table.starts.end(),
+                                     vals[t]);
+    const size_t interval = static_cast<size_t>(it - table.starts.begin()) - 1;
+    bool any = false;
+    for (size_t w = 0; w < words; ++w) {
+      viable[w] &= table.masks[interval][w];
+      any |= viable[w] != 0;
+    }
+    if (!any) {
+      return static_cast<uint64_t>(0);  // generic fallback
+    }
+  }
+  for (size_t w = 0; w < words; ++w) {
+    if (viable[w] != 0) {
+      size_t bit = 0;
+      uint64_t word = viable[w];
+      while ((word & 1) == 0) {
+        word >>= 1;
+        ++bit;
+      }
+      return desc.variants[w * 64 + bit].fn_addr;
+    }
+  }
+  return static_cast<uint64_t>(0);
+}
+
+Result<uint64_t> MultiverseRuntime::SelectVariantLinear(const RtFunction& desc) const {
+  for (const RtVariant& variant : desc.variants) {
+    bool viable = true;
+    for (const RtGuard& guard : variant.guards) {
+      const RtVariable* var = table_.FindVariable(guard.var_addr);
+      if (var == nullptr) {
+        return Status::Internal("guard references unknown variable descriptor");
+      }
+      MV_ASSIGN_OR_RETURN(const int64_t value, ReadSwitch(*var));
+      if (value < guard.lo || value > guard.hi) {
+        viable = false;
+        break;
+      }
+    }
+    if (viable) {
+      return variant.fn_addr;
+    }
+  }
+  return static_cast<uint64_t>(0);
+}
+
+std::vector<uint64_t> MultiverseRuntime::FunctionsReferencing(uint64_t var_addr) const {
+  auto it = var_to_fns_.find(var_addr);
+  return it == var_to_fns_.end() ? std::vector<uint64_t>{} : it->second;
+}
+
+Result<uint64_t> MultiverseRuntime::SelectVariantForTest(uint64_t generic_addr,
+                                                         bool use_index) {
+  auto it = fns_.find(generic_addr);
+  if (it == fns_.end()) {
+    return Status::NotFound(StrFormat("no multiversed function at 0x%llx",
+                                      (unsigned long long)generic_addr));
+  }
+  const RtFunction& desc = table_.functions[it->second.desc_index];
+  const FnIndex& index = fn_indexes_.at(generic_addr);
+  if (!use_index || !index.selectable) {
+    return SelectVariantLinear(desc);
+  }
+  std::vector<int64_t> vals;
+  vals.reserve(index.var_indexes.size());
+  for (size_t vi : index.var_indexes) {
+    MV_ASSIGN_OR_RETURN(const int64_t value, ReadSwitch(table_.variables[vi]));
+    vals.push_back(value);
+  }
+  return SelectVariantIndexed(index, desc, vals);
+}
+
+void MultiverseRuntime::InvalidatePlanCache() {
+  if (plan_cache_.size() > 0) {
+    ++fast_stats_.plan_cache_invalidations;
+    ++GlobalCommitCounters::Instance().totals.plan_cache_invalidations;
+    plan_cache_.Clear();
+  }
+}
+
+void MultiverseRuntime::AccumulateApply(const CoalescedApplyStats& stats) {
+  fast_stats_.mprotect_calls += stats.mprotect_calls;
+  fast_stats_.flush_ranges += stats.flush_ranges;
+  fast_stats_.pages_touched += stats.pages_touched;
+  CommitFastPathStats& global = GlobalCommitCounters::Instance().totals;
+  global.mprotect_calls += stats.mprotect_calls;
+  global.flush_ranges += stats.flush_ranges;
+  global.pages_touched += stats.pages_touched;
 }
 
 Result<int64_t> MultiverseRuntime::ReadSwitch(const RtVariable& variable) const {
@@ -251,6 +481,10 @@ Result<PatchStats> MultiverseRuntime::InstallVariant(FnState* fn, uint64_t varia
 
 Result<PatchStats> MultiverseRuntime::RevertFnState(FnState* fn) {
   PatchStats stats;
+  // The generic state is not a committed evaluation; the next commit must
+  // re-run selection. (The fallback path in CommitFnState re-marks after.)
+  fn->evaluated = false;
+  fn->last_eval_values.clear();
   // Undo in reverse apply order (InstallVariant patches sites first, the
   // prologue last): the prologue comes off first, then the sites from last
   // to first, so overlapping windows — a recorded call site inside a patched
@@ -271,33 +505,69 @@ Result<PatchStats> MultiverseRuntime::RevertFnState(FnState* fn) {
   return stats;
 }
 
-Result<PatchStats> MultiverseRuntime::CommitFnState(FnState* fn) {
+Result<PatchStats> MultiverseRuntime::CommitFnState(FnState* fn,
+                                                    const std::vector<int64_t>* values) {
   const RtFunction& desc = table_.functions[fn->desc_index];
+  const FnIndex& index = fn_indexes_.at(desc.generic_addr);
+  CommitFastPathStats& global = GlobalCommitCounters::Instance().totals;
 
-  // Inspect the switches and search for a viable variant (§4).
-  for (const RtVariant& variant : desc.variants) {
-    bool viable = true;
-    for (const RtGuard& guard : variant.guards) {
-      const RtVariable* var = table_.FindVariable(guard.var_addr);
-      if (var == nullptr) {
-        return Status::Internal("guard references unknown variable descriptor");
-      }
-      MV_ASSIGN_OR_RETURN(const int64_t value, ReadSwitch(*var));
-      if (value < guard.lo || value > guard.hi) {
-        viable = false;
-        break;
+  // Current values of the referenced switches: the dirty-set key and the
+  // indexed-selection input.
+  std::vector<int64_t> vals;
+  if (!index.has_unknown_var) {
+    vals.reserve(index.var_indexes.size());
+    for (size_t vi : index.var_indexes) {
+      if (values != nullptr) {
+        vals.push_back((*values)[vi]);
+      } else {
+        MV_ASSIGN_OR_RETURN(const int64_t value, ReadSwitch(table_.variables[vi]));
+        vals.push_back(value);
       }
     }
-    if (viable) {
-      return InstallVariant(fn, variant.fn_addr);
+    if (fn->evaluated && vals == fn->last_eval_values) {
+      // Dirty-set skip: no referenced switch changed since the last
+      // evaluation, so the installed binding is already the one selection
+      // would pick. Report the standing outcome without re-deriving it.
+      ++fast_stats_.fns_skipped;
+      ++global.fns_skipped;
+      PatchStats stats;
+      if (fn->installed != 0) {
+        ++stats.functions_committed;
+      } else {
+        ++stats.generic_fallbacks;
+      }
+      return stats;
     }
   }
+  ++fast_stats_.fns_reevaluated;
+  ++global.fns_reevaluated;
 
-  // No suitable variant: revert to the generic function, which exhibits the
-  // correct behaviour for any value, and signal the situation (Figure 3 d).
-  MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnState(fn));
-  ++stats.generic_fallbacks;
-  return stats;
+  // Select the first viable variant (§4): binary search through the guard
+  // index when usable, the reference linear scan otherwise.
+  uint64_t selected = 0;
+  if (index.selectable) {
+    MV_ASSIGN_OR_RETURN(selected, SelectVariantIndexed(index, desc, vals));
+  } else {
+    MV_ASSIGN_OR_RETURN(selected, SelectVariantLinear(desc));
+  }
+
+  fn->evaluated = false;
+  Result<PatchStats> result = PatchStats{};
+  if (selected != 0) {
+    result = InstallVariant(fn, selected);
+  } else {
+    // No suitable variant: revert to the generic function, which exhibits the
+    // correct behaviour for any value, and signal the situation (Figure 3 d).
+    result = RevertFnState(fn);
+    if (result.ok()) {
+      ++result.value().generic_fallbacks;
+    }
+  }
+  if (result.ok() && !index.has_unknown_var) {
+    fn->last_eval_values = std::move(vals);
+    fn->evaluated = true;
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -308,9 +578,28 @@ Result<PatchStats> MultiverseRuntime::CommitFnPtr(FnPtrState* state) {
   const RtVariable& var = table_.variables[state->var_index];
   uint64_t target = 0;
   MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(var.addr, &target, 8));
+  CommitFastPathStats& global = GlobalCommitCounters::Instance().totals;
+  if (state->evaluated && target == state->last_target) {
+    // Dirty-set skip: the pointer has not moved since the last evaluation.
+    // (A null pointer was a generic fallback regardless of what is still
+    // burnt into the sites — legacy leaves them in place.)
+    ++fast_stats_.fns_skipped;
+    ++global.fns_skipped;
+    if (state->last_target != 0) {
+      ++stats.functions_committed;
+    } else {
+      ++stats.generic_fallbacks;
+    }
+    return stats;
+  }
+  ++fast_stats_.fns_reevaluated;
+  ++global.fns_reevaluated;
+  state->evaluated = false;
   if (target == 0) {
     // Null function pointer: leave the indirect call in place.
     ++stats.generic_fallbacks;
+    state->last_target = 0;
+    state->evaluated = true;
     return stats;
   }
   // The pointer value is runtime data, not compiler-emitted metadata — it
@@ -326,12 +615,16 @@ Result<PatchStats> MultiverseRuntime::CommitFnPtr(FnPtrState* state) {
     MV_RETURN_IF_ERROR(PatchSiteToCall(&sites_[si], target, &stats));
   }
   state->installed = target;
+  state->last_target = target;
+  state->evaluated = true;
   ++stats.functions_committed;
   return stats;
 }
 
 Result<PatchStats> MultiverseRuntime::RevertFnPtr(FnPtrState* state) {
   PatchStats stats;
+  state->evaluated = false;
+  state->last_target = 0;
   for (auto it = state->sites.rbegin(); it != state->sites.rend(); ++it) {
     MV_RETURN_IF_ERROR(RestoreSite(&sites_[*it], &stats));
   }
@@ -345,10 +638,10 @@ Result<PatchStats> MultiverseRuntime::RevertFnPtr(FnPtrState* state) {
 // ---------------------------------------------------------------------------
 // Transactional wrapper + logical-state snapshots (src/core/txn.h)
 
-struct MultiverseRuntime::SavedState {
-  std::vector<Site> sites;
-  std::map<uint64_t, FnState> fns;
-  std::map<uint64_t, FnPtrState> fnptrs;
+struct RuntimeSnapshot {
+  std::vector<MultiverseRuntime::Site> sites;
+  std::map<uint64_t, MultiverseRuntime::FnState> fns;
+  std::map<uint64_t, MultiverseRuntime::FnPtrState> fnptrs;
 };
 
 std::shared_ptr<const MultiverseRuntime::SavedState> MultiverseRuntime::SaveState()
@@ -360,10 +653,19 @@ std::shared_ptr<const MultiverseRuntime::SavedState> MultiverseRuntime::SaveStat
   return saved;
 }
 
-void MultiverseRuntime::RestoreState(const SavedState& saved) {
+void MultiverseRuntime::RestoreStateInternal(const SavedState& saved) {
   sites_ = saved.sites;
   fns_ = saved.fns;
   fnptrs_ = saved.fnptrs;
+}
+
+void MultiverseRuntime::RestoreState(const SavedState& saved) {
+  RestoreStateInternal(saved);
+  // A rewind from outside the fast path (livepatch rollback, tests): the
+  // text is no longer known to be a pure function of the switch vector, and
+  // memoized diffs planned against the abandoned state chain are suspect.
+  state_token_ = StateToken::Unknown();
+  InvalidatePlanCache();
 }
 
 Result<PatchStats> MultiverseRuntime::RunTransactional(
@@ -377,25 +679,28 @@ Result<PatchStats> MultiverseRuntime::RunTransactional(
 
   TxnHooks hooks;
   hooks.plan = [&]() -> Result<PatchPlan> {
-    RestoreState(*saved);
+    RestoreStateInternal(*saved);
     plan.clear();
     BeginPlan(&plan);
     Result<PatchStats> planned = op();
     EndPlan();
     if (!planned.ok()) {
-      RestoreState(*saved);
+      RestoreStateInternal(*saved);
       return planned.status();
     }
     patch_stats = *planned;
     return plan;
   };
   hooks.apply = [&](PatchJournal* journal) -> Status {
-    for (size_t i = 0; i < journal->size(); ++i) {
-      MV_RETURN_IF_ERROR(journal->ApplyOp(i, txn_options_));
-    }
-    return Status::Ok();
+    CoalescedApplyStats apply_stats;
+    Status status = journal->ApplyCoalesced(txn_options_, &apply_stats);
+    AccumulateApply(apply_stats);
+    return status;
   };
-  hooks.restore = [&]() { RestoreState(*saved); };
+  hooks.restore = [&]() {
+    RestoreStateInternal(*saved);
+    InvalidatePlanCache();  // a rollback poisons every memoized plan
+  };
 
   MV_RETURN_IF_ERROR(RunCommitTxn(vm_, &image_, txn_options_, hooks, &last_txn_));
   return patch_stats;
@@ -404,10 +709,10 @@ Result<PatchStats> MultiverseRuntime::RunTransactional(
 // ---------------------------------------------------------------------------
 // Public API (paper Table 1)
 
-Result<PatchStats> MultiverseRuntime::CommitImpl() {
+Result<PatchStats> MultiverseRuntime::CommitImpl(const std::vector<int64_t>* values) {
   PatchStats total;
   for (auto& [addr, fn] : fns_) {
-    MV_ASSIGN_OR_RETURN(PatchStats stats, CommitFnState(&fn));
+    MV_ASSIGN_OR_RETURN(PatchStats stats, CommitFnState(&fn, values));
     total.Accumulate(stats);
   }
   for (auto& [addr, state] : fnptrs_) {
@@ -434,14 +739,138 @@ Result<PatchStats> MultiverseRuntime::RevertImpl() {
 }
 
 Result<PatchStats> MultiverseRuntime::Commit() {
-  return RunTransactional([this] { return CommitImpl(); });
+  if (plan_ != nullptr) {
+    // Livepatch sessions own atomicity and sequencing; the fast path would
+    // bypass the session's journal.
+    return CommitImpl(nullptr);
+  }
+  std::vector<int64_t> values;
+  Status read = ReadConfigVector(&values);
+  if (!read.ok()) {
+    // A switch read failed (out-of-bounds descriptor with paranoid
+    // validation off). Fall back to the legacy path so the error surface —
+    // which tests pin — is identical to pre-fast-path behaviour.
+    return RunTransactional([this] { return CommitImpl(nullptr); });
+  }
+  return CommitFast(values);
+}
+
+Result<PatchStats> MultiverseRuntime::CommitFast(const std::vector<int64_t>& values) {
+  const uint64_t fingerprint = ConfigFingerprint(values, descriptor_epoch_);
+  const StateToken pre_state = state_token_;
+
+  // Copy the entry out: hooks.restore clears the cache, which would leave a
+  // Lookup pointer dangling mid-transaction.
+  PlanCache::Entry cached;
+  bool try_cached = false;
+  if (plan_cache_enabled_) {
+    const PlanCache::Entry* hit = plan_cache_.Lookup(pre_state, fingerprint, values);
+    if (hit != nullptr) {
+      cached = *hit;
+      try_cached = true;
+    }
+  }
+
+  std::shared_ptr<const SavedState> saved = SaveState();
+  PatchStats patch_stats;
+  PatchPlan plan;
+  bool used_cached = false;
+
+  TxnHooks hooks;
+  hooks.plan = [&]() -> Result<PatchPlan> {
+    if (try_cached) {
+      // Probe-validate the memoized plan before handing it to the
+      // transaction: RunCommitTxn treats validation failure as fatal (no
+      // retry), but a stale plan should fall back to a cold replan, not
+      // surface an error the uncached path would never produce.
+      Result<PatchJournal> probe =
+          PatchJournal::Begin(vm_, &image_, cached.plan, /*validate=*/true);
+      if (probe.ok()) {
+        used_cached = true;
+        patch_stats = cached.stats;
+        return cached.plan;
+      }
+      plan_cache_.EvictMatching(pre_state, fingerprint, values);
+      ++fast_stats_.plan_cache_evictions;
+      ++GlobalCommitCounters::Instance().totals.plan_cache_evictions;
+      try_cached = false;
+    }
+    used_cached = false;
+    plan.clear();
+    RestoreStateInternal(*saved);
+    BeginPlan(&plan);
+    Result<PatchStats> planned = CommitImpl(&values);
+    EndPlan();
+    if (!planned.ok()) {
+      RestoreStateInternal(*saved);
+      return planned.status();
+    }
+    patch_stats = *planned;
+    return plan;
+  };
+  hooks.apply = [&](PatchJournal* journal) -> Status {
+    CoalescedApplyStats apply_stats;
+    Status status = journal->ApplyCoalesced(txn_options_, &apply_stats);
+    AccumulateApply(apply_stats);
+    return status;
+  };
+  hooks.restore = [&]() {
+    RestoreStateInternal(*saved);
+    InvalidatePlanCache();  // rollback: all memoized diffs are now suspect
+    try_cached = false;
+    used_cached = false;
+  };
+
+  Status status = RunCommitTxn(vm_, &image_, txn_options_, hooks, &last_txn_);
+  if (!status.ok()) {
+    // hooks.restore already rewound the bookkeeping; the text may still hold
+    // partially-rolled-back bytes if even the rollback failed, so refuse to
+    // assume anything about it.
+    state_token_ = StateToken::Unknown();
+    return status;
+  }
+
+  if (used_cached) {
+    ++fast_stats_.plan_cache_hits;
+    ++GlobalCommitCounters::Instance().totals.plan_cache_hits;
+    // Restore the memoized post-commit bookkeeping instead of replaying
+    // selection — that is the entire point of the hit.
+    RestoreStateInternal(*cached.post_state);
+    state_token_ = StateToken::Config(cached.values);
+    return cached.stats;
+  }
+
+  state_token_ = StateToken::Config(values);
+  if (plan_cache_enabled_) {
+    ++fast_stats_.plan_cache_misses;
+    ++GlobalCommitCounters::Instance().totals.plan_cache_misses;
+    if (pre_state.kind != StateToken::Kind::kUnknown) {
+      PlanCache::Entry entry;
+      entry.fingerprint = fingerprint;
+      entry.pre_state = pre_state;
+      entry.values = values;
+      entry.plan = plan;
+      entry.stats = patch_stats;
+      entry.post_state = SaveState();
+      plan_cache_.Insert(std::move(entry));
+    }
+  }
+  return patch_stats;
 }
 
 Result<PatchStats> MultiverseRuntime::Revert() {
-  return RunTransactional([this] { return RevertImpl(); });
+  const bool planning = plan_ != nullptr;
+  Result<PatchStats> result = RunTransactional([this] { return RevertImpl(); });
+  if (!planning) {
+    // A full revert lands on the fully-generic state — a perfectly cacheable
+    // pre-state for the next commit. Failure leaves the text indeterminate.
+    state_token_ = result.ok() ? StateToken::Generic() : StateToken::Unknown();
+  }
+  return result;
 }
 
 Result<PatchStats> MultiverseRuntime::CommitFn(uint64_t generic_addr) {
+  MarkPartialOp();
   return RunTransactional([this, generic_addr]() -> Result<PatchStats> {
     auto it = fns_.find(generic_addr);
     if (it == fns_.end()) {
@@ -453,6 +882,7 @@ Result<PatchStats> MultiverseRuntime::CommitFn(uint64_t generic_addr) {
 }
 
 Result<PatchStats> MultiverseRuntime::RevertFn(uint64_t generic_addr) {
+  MarkPartialOp();
   return RunTransactional([this, generic_addr]() -> Result<PatchStats> {
     auto it = fns_.find(generic_addr);
     if (it == fns_.end()) {
@@ -464,6 +894,7 @@ Result<PatchStats> MultiverseRuntime::RevertFn(uint64_t generic_addr) {
 }
 
 Result<PatchStats> MultiverseRuntime::CommitRefs(uint64_t var_addr) {
+  MarkPartialOp();
   return RunTransactional([this, var_addr]() -> Result<PatchStats> {
     return CommitRefsImpl(var_addr);
   });
@@ -474,25 +905,15 @@ Result<PatchStats> MultiverseRuntime::CommitRefsImpl(uint64_t var_addr) {
   if (fp != fnptrs_.end()) {
     return CommitFnPtr(&fp->second);
   }
+  // The guard index's reverse map answers "who references this switch"
+  // directly — no variant x guard scan (ISSUE.md tentpole part 2).
   PatchStats total;
   bool found = false;
-  for (auto& [addr, fn] : fns_) {
-    const RtFunction& desc = table_.functions[fn.desc_index];
-    bool references = false;
-    for (const RtVariant& variant : desc.variants) {
-      for (const RtGuard& guard : variant.guards) {
-        if (guard.var_addr == var_addr) {
-          references = true;
-          break;
-        }
-      }
-      if (references) {
-        break;
-      }
-    }
-    if (references) {
+  auto refs = var_to_fns_.find(var_addr);
+  if (refs != var_to_fns_.end()) {
+    for (uint64_t fn_addr : refs->second) {
       found = true;
-      MV_ASSIGN_OR_RETURN(PatchStats stats, CommitFnState(&fn));
+      MV_ASSIGN_OR_RETURN(PatchStats stats, CommitFnState(&fns_.at(fn_addr)));
       total.Accumulate(stats);
     }
   }
@@ -504,6 +925,7 @@ Result<PatchStats> MultiverseRuntime::CommitRefsImpl(uint64_t var_addr) {
 }
 
 Result<PatchStats> MultiverseRuntime::RevertRefs(uint64_t var_addr) {
+  MarkPartialOp();
   return RunTransactional([this, var_addr]() -> Result<PatchStats> {
     return RevertRefsImpl(var_addr);
   });
@@ -516,23 +938,11 @@ Result<PatchStats> MultiverseRuntime::RevertRefsImpl(uint64_t var_addr) {
   }
   PatchStats total;
   bool found = false;
-  for (auto& [addr, fn] : fns_) {
-    const RtFunction& desc = table_.functions[fn.desc_index];
-    bool references = false;
-    for (const RtVariant& variant : desc.variants) {
-      for (const RtGuard& guard : variant.guards) {
-        if (guard.var_addr == var_addr) {
-          references = true;
-          break;
-        }
-      }
-      if (references) {
-        break;
-      }
-    }
-    if (references) {
+  auto refs = var_to_fns_.find(var_addr);
+  if (refs != var_to_fns_.end()) {
+    for (uint64_t fn_addr : refs->second) {
       found = true;
-      MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnState(&fn));
+      MV_ASSIGN_OR_RETURN(PatchStats stats, RevertFnState(&fns_.at(fn_addr)));
       total.Accumulate(stats);
     }
   }

@@ -33,6 +33,7 @@
 
 #include "src/core/descriptors.h"
 #include "src/core/patching.h"
+#include "src/core/plan_cache.h"
 #include "src/core/txn.h"
 #include "src/obj/linker.h"
 #include "src/support/status.h"
@@ -40,24 +41,8 @@
 
 namespace mv {
 
-// Result of a commit/revert operation (the paper's int return, enriched).
-struct PatchStats {
-  int functions_committed = 0;   // functions now bound to a variant
-  int functions_reverted = 0;    // functions restored to generic state
-  int generic_fallbacks = 0;     // no variant matched; generic installed (§4)
-  int callsites_patched = 0;     // call sites rewritten to direct calls
-  int callsites_inlined = 0;     // call sites with the body inlined / NOPed
-  int prologues_patched = 0;
-
-  void Accumulate(const PatchStats& other) {
-    functions_committed += other.functions_committed;
-    functions_reverted += other.functions_reverted;
-    generic_fallbacks += other.generic_fallbacks;
-    callsites_patched += other.callsites_patched;
-    callsites_inlined += other.callsites_inlined;
-    prologues_patched += other.prologues_patched;
-  }
-};
+// PatchStats (the commit/revert result struct) lives in patching.h so the
+// plan cache can memoize it without a header cycle.
 
 struct AttachOptions {
   // Treat the descriptor tables as untrusted input: harden parsing
@@ -67,6 +52,10 @@ struct AttachOptions {
   bool paranoid = true;
   // Transactional-commit tuning for the plain (non-livepatch) API paths.
   TxnOptions txn;
+  // Commit fast path: memoize fully-planned journals per configuration
+  // (src/core/plan_cache.h). `mvcc --no-plan-cache` turns it off; the
+  // differential suites assert on/off bit-identical text and execution.
+  bool plan_cache = true;
 };
 
 class MultiverseRuntime {
@@ -106,9 +95,38 @@ class MultiverseRuntime {
   // The runtime's bookkeeping (site states, installed variants) advances as
   // if the writes had happened, so the caller MUST apply the recorded ops to
   // memory afterwards — that is the livepatch protocols' job.
-  void BeginPlan(PatchPlan* plan) { plan_ = plan; }
+  void BeginPlan(PatchPlan* plan) {
+    plan_ = plan;
+    // Whatever the session applies, the resulting text is not a pure
+    // function of the switch vector from the cache's point of view.
+    state_token_ = StateToken::Unknown();
+  }
   void EndPlan() { plan_ = nullptr; }
   bool planning() const { return plan_ != nullptr; }
+
+  // --- Commit fast path (src/core/plan_cache.h, INTERNALS.md §12) ---
+  // Per-runtime counters: cache hits/misses/evictions, coalesced mprotect
+  // calls and merged flush ranges, dirty-set evaluation accounting.
+  const CommitFastPathStats& fast_stats() const { return fast_stats_; }
+  bool plan_cache_enabled() const { return plan_cache_enabled_; }
+  void set_plan_cache_enabled(bool enabled) {
+    plan_cache_enabled_ = enabled;
+    if (!enabled) {
+      plan_cache_.Clear();
+    }
+  }
+  size_t plan_cache_entries() const { return plan_cache_.size(); }
+  // Drops every memoized plan (and counts it when something was dropped).
+  void InvalidatePlanCache();
+
+  // Guard-index introspection (tests): the generic addresses of every
+  // function with a guard on `var_addr`, in commit order; empty if none.
+  std::vector<uint64_t> FunctionsReferencing(uint64_t var_addr) const;
+  // Variant selection without patching: the indexed binary-search path when
+  // `use_index` (falling back to linear if the index is unusable), else the
+  // reference linear scan. Returns the selected variant address (0 = generic
+  // fallback). The fuzz corpus asserts both paths agree on every function.
+  Result<uint64_t> SelectVariantForTest(uint64_t generic_addr, bool use_index);
 
   // --- Transactional commit (src/core/txn.h) ---
   // Outside a live-patch plan, every Table 1 operation above runs as one
@@ -123,12 +141,16 @@ class MultiverseRuntime {
   // Opaque copy of the runtime's logical patch state (site states, installed
   // variants, prologue flags). The livepatch engine saves before planning a
   // live commit and restores after a rollback so bookkeeping and guest text
-  // stay in lockstep.
-  struct SavedState;
+  // stay in lockstep. Restoring from outside the fast path marks the state
+  // token unknown and drops the plan cache — a rewind means the text is no
+  // longer a pure function of the switch vector.
+  using SavedState = RuntimeSnapshot;
   std::shared_ptr<const SavedState> SaveState() const;
   void RestoreState(const SavedState& saved);
 
  private:
+  friend struct RuntimeSnapshot;  // snapshot of the private state structs
+
   MultiverseRuntime(Vm* vm) : vm_(vm) {}
 
   enum class SiteState : uint8_t { kOriginal, kDirectCall, kInlined };
@@ -146,12 +168,37 @@ class MultiverseRuntime {
     std::array<uint8_t, 5> saved_prologue{};
     bool prologue_patched = false;
     uint64_t installed = 0;
+    // Dirty-set bookkeeping: the referenced switch values at the last
+    // evaluation. While they are unchanged, commit skips this function
+    // entirely (selection, site verify, patching). Travels with snapshots so
+    // rollback rewinds it too.
+    std::vector<int64_t> last_eval_values;
+    bool evaluated = false;
   };
 
   struct FnPtrState {
     size_t var_index = 0;  // into table_.variables
     std::vector<size_t> sites;
     uint64_t installed = 0;
+    uint64_t last_target = 0;  // pointer value at the last evaluation
+    bool evaluated = false;
+  };
+
+  // Guard index, built once at Attach (immutable; NOT part of snapshots):
+  // per referenced variable, a sorted interval table mapping a switch value
+  // to the bitmask of variants whose guards on that variable accept it.
+  // Selection intersects the per-variable masks (binary search per variable)
+  // and takes the first set bit — the same first-viable-variant order as the
+  // linear scan.
+  struct VarIntervals {
+    std::vector<int64_t> starts;               // interval i = [starts[i], starts[i+1])
+    std::vector<std::vector<uint64_t>> masks;  // variant bitmask per interval
+  };
+  struct FnIndex {
+    std::vector<size_t> var_indexes;   // referenced variables (table_ order)
+    std::vector<VarIntervals> tables;  // parallel to var_indexes
+    bool selectable = false;      // false -> reference linear scan
+    bool has_unknown_var = false; // a guard names an unparsed variable
   };
 
   // Writes 5 bytes at `addr` with W^X handling and icache flush.
@@ -173,14 +220,42 @@ class MultiverseRuntime {
 
   Result<PatchStats> InstallVariant(FnState* fn, uint64_t variant_addr);
   Result<PatchStats> RevertFnState(FnState* fn);
-  Result<PatchStats> CommitFnState(FnState* fn);
+  // `values` (full per-variable vector, nullable) avoids re-reading switches
+  // the caller already read for the fingerprint.
+  Result<PatchStats> CommitFnState(FnState* fn,
+                                   const std::vector<int64_t>* values = nullptr);
   Result<PatchStats> CommitFnPtr(FnPtrState* state);
   Result<PatchStats> RevertFnPtr(FnPtrState* state);
 
-  Result<PatchStats> CommitImpl();
+  Result<PatchStats> CommitImpl(const std::vector<int64_t>* values);
   Result<PatchStats> RevertImpl();
   Result<PatchStats> CommitRefsImpl(uint64_t var_addr);
   Result<PatchStats> RevertRefsImpl(uint64_t var_addr);
+
+  // --- Fast-path machinery ---
+  void BuildGuardIndex();
+  // Reads every fingerprinted switch into a full per-variable vector
+  // (fn-pointer switches as their raw 8-byte value).
+  Status ReadConfigVector(std::vector<int64_t>* out) const;
+  // First viable variant per the sorted interval tables (binary search).
+  Result<uint64_t> SelectVariantIndexed(const FnIndex& index, const RtFunction& desc,
+                                        const std::vector<int64_t>& vals) const;
+  // The reference O(variants x guards) scan (legacy semantics, kept as the
+  // agreement oracle and the fallback for unindexable functions).
+  Result<uint64_t> SelectVariantLinear(const RtFunction& desc) const;
+  void RestoreStateInternal(const SavedState& saved);
+  void AccumulateApply(const CoalescedApplyStats& stats);
+  // The memoizing full-commit transaction behind Commit().
+  Result<PatchStats> CommitFast(const std::vector<int64_t>& values);
+  // Partial operations (CommitFn, CommitRefs, ...) leave the text a mix of
+  // configurations: no longer a pure function of the switch vector, so the
+  // state token goes unknown. Cached entries stay — they become reachable
+  // again once a full Commit/Revert lands on a content-known state.
+  void MarkPartialOp() {
+    if (plan_ == nullptr) {
+      state_token_ = StateToken::Unknown();
+    }
+  }
 
   // Runs `op` as one transaction when no live-patch plan is active (see
   // txn.h); inside a plan it is a passthrough — the livepatch engine owns
@@ -196,6 +271,17 @@ class MultiverseRuntime {
   std::vector<Site> sites_;
   std::map<uint64_t, FnState> fns_;      // keyed by generic address
   std::map<uint64_t, FnPtrState> fnptrs_;  // keyed by variable address
+
+  // Fast-path state (the guard index and dirty sets are immutable after
+  // Attach and deliberately outside RuntimeSnapshot).
+  std::map<uint64_t, FnIndex> fn_indexes_;             // keyed by generic address
+  std::map<uint64_t, std::vector<uint64_t>> var_to_fns_;  // var -> generic addrs
+  std::vector<size_t> fingerprint_vars_;  // variable indexes in the fingerprint
+  uint64_t descriptor_epoch_ = 0;         // bumped on descriptor mutation
+  PlanCache plan_cache_;
+  bool plan_cache_enabled_ = true;
+  StateToken state_token_;  // identity of the current text/bookkeeping state
+  CommitFastPathStats fast_stats_;
 };
 
 }  // namespace mv

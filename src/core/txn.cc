@@ -1,5 +1,6 @@
 #include "src/core/txn.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -46,11 +47,23 @@ Result<PatchJournal> PatchJournal::Begin(Vm* vm, const Image* image,
                                 " outside guest memory");
     }
     journal.entries_[i].perms = memory.PermsAt(op.addr);
-    for (size_t j = 0; j < i; ++j) {
-      if (OpsOverlap(op, plan[j])) {
-        journal.entries_[i].overlaps_earlier = true;
-        break;
-      }
+  }
+  // overlaps_earlier via an address-sorted sweep instead of the O(n^2)
+  // pairwise scan: only ops within kOpSize of each other in address order
+  // can overlap, and for each overlapping pair the later *plan* op is the
+  // one whose expected-old-bytes check stops being meaningful.
+  std::vector<size_t> order(plan.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&plan](size_t a, size_t b) {
+    return plan[a].addr != plan[b].addr ? plan[a].addr < plan[b].addr : a < b;
+  });
+  for (size_t s = 0; s < order.size(); ++s) {
+    for (size_t t = s + 1; t < order.size() &&
+                           plan[order[t]].addr < plan[order[s]].addr + kOpSize;
+         ++t) {
+      journal.entries_[std::max(order[s], order[t])].overlaps_earlier = true;
     }
   }
   if (validate) {
@@ -134,6 +147,42 @@ Status PatchJournal::ApplyOp(size_t index, const TxnOptions& options) {
       return Status::Internal("journal: torn write detected at " +
                               OpDesc(index, op) + " (read-back mismatch)");
     }
+  }
+  return Status::Ok();
+}
+
+Status PatchJournal::ApplyCoalesced(const TxnOptions& options,
+                                    CoalescedApplyStats* stats) {
+  PageWriteBatch batch(vm_);
+  for (size_t i = 0; i < plan_.size(); ++i) {
+    const PatchOp& op = plan_[i];
+    // Touch before the page acquire: a refused mprotect mid-acquire must
+    // still roll this op back (redundantly restoring unchanged bytes is
+    // harmless; leaving a page writable is not).
+    MarkTouched(i);
+    MV_RETURN_IF_ERROR(batch.Acquire(op.addr, kOpSize));
+    MV_RETURN_IF_ERROR(batch.Write(op.addr, op.new_bytes.data(), kOpSize));
+    if (options.verify_writes) {
+      std::array<uint8_t, kOpSize> readback{};
+      MV_RETURN_IF_ERROR(
+          vm_->memory().ReadRaw(op.addr, readback.data(), readback.size()));
+      if (readback != op.new_bytes) {
+        return Status::Internal("journal: torn write detected at " +
+                                OpDesc(i, op) + " (read-back mismatch)");
+      }
+    }
+    batch.QueueFlush(op.addr, kOpSize);
+  }
+  MV_RETURN_IF_ERROR(batch.Release());
+  const std::vector<CodeRange> ranges = batch.MergedFlushRanges();
+  for (const CodeRange& range : ranges) {
+    ExpectFlush();
+    vm_->FlushIcache(range.addr, range.len);
+  }
+  if (stats != nullptr) {
+    stats->mprotect_calls += batch.protect_calls();
+    stats->flush_ranges += ranges.size();
+    stats->pages_touched += batch.pages_acquired();
   }
   return Status::Ok();
 }

@@ -78,6 +78,15 @@ struct TxnStats {
   std::string last_failure;     // one-line cause of the most recent rollback
 };
 
+// Per-commit accounting for one coalesced apply (see ApplyCoalesced): how
+// many mprotect flips and merged flush ranges the page batching actually
+// issued. Surfaced in runtime fast-path stats and every bench JSON.
+struct CoalescedApplyStats {
+  uint64_t mprotect_calls = 0;
+  uint64_t flush_ranges = 0;
+  uint64_t pages_touched = 0;
+};
+
 // The write-ahead journal for one attempt: per-op undo records plus the
 // validate/seal/rollback machinery. Appliers must call MarkTouched(i) (or use
 // ApplyOp, which does) before modifying any byte of op i.
@@ -107,8 +116,16 @@ class PatchJournal {
   void ExpectFlush() { ++expected_flushes_; }
 
   // Direct apply of op `index`: W^X dance, full write, optional read-back
-  // verify, icache flush. The plain (non-protocol) commit path.
+  // verify, icache flush. The per-op baseline path (kUnsafe protocol, tests).
   Status ApplyOp(size_t index, const TxnOptions& options);
+
+  // Page-coalesced apply of the whole plan (the plain commit fast path): ops
+  // are written in plan order through one PageWriteBatch — one Protect-up /
+  // Protect-down per touched page — and the icache invalidations are merged
+  // into a range union issued once at the end. Each merged range carries one
+  // ExpectFlush() promise, so the seal audit stays consistent with merging: a
+  // suppressed range flush is a detectable shortfall repaired at seal.
+  Status ApplyCoalesced(const TxnOptions& options, CoalescedApplyStats* stats);
 
   // Audits the committed state: every touched op's new bytes present, pages
   // back to executable-not-writable, flush obligations met. Missing flushes

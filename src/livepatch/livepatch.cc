@@ -218,9 +218,33 @@ class Engine {
     }
     MV_RETURN_IF_ERROR(WriteCodeBytes(vm_, addr, data, len, options_.flush_icache));
     host_clock_ += vm_->cost_model().patch_write;
+    stats_.mprotect_calls += 2;  // WriteCodeBytes: W^X up, W^X down
     if (options_.flush_icache) {
       host_clock_ += vm_->cost_model().icache_flush_ipi;
       ++stats_.icache_flushes;
+      ++stats_.flush_ranges;
+    }
+    return Status::Ok();
+  }
+
+  // HostWrite through an already-open PageWriteBatch: page protects are
+  // coalesced across the batch's lifetime, but the flush stays per-write —
+  // the breakpoint protocol's ordering (BKPT visible before tail bytes,
+  // tail bytes before the final first byte) depends on it.
+  Status HostWriteBatched(PageWriteBatch* batch, size_t op_index, uint64_t addr,
+                          const uint8_t* data, uint64_t len) {
+    journal_->MarkTouched(op_index);
+    if (options_.flush_icache) {
+      journal_->ExpectFlush();
+    }
+    MV_RETURN_IF_ERROR(batch->Acquire(addr, len));
+    MV_RETURN_IF_ERROR(batch->Write(addr, data, len));
+    host_clock_ += vm_->cost_model().patch_write;
+    if (options_.flush_icache) {
+      vm_->FlushIcache(addr, len);
+      host_clock_ += vm_->cost_model().icache_flush_ipi;
+      ++stats_.icache_flushes;
+      ++stats_.flush_ranges;
     }
     return Status::Ok();
   }
@@ -302,11 +326,31 @@ class Engine {
     }
     host_clock_ += vm_->cost_model().stop_machine_ipi * static_cast<uint64_t>(active);
 
+    // Every core is frozen, so ordering within the window is invisible: the
+    // fully-coalesced shape applies. One W^X toggle per page up, all writes,
+    // one toggle per page down, then one flush per merged range — instead of
+    // two mprotects and a flush IPI per 5-byte site.
     const PatchPlan& plan = session_.plan();
+    PageWriteBatch batch(vm_);
     for (size_t i = 0; i < plan.size(); ++i) {
-      MV_RETURN_IF_ERROR(HostWrite(i, plan[i].addr, plan[i].new_bytes.data(),
-                                   plan[i].new_bytes.size()));
+      journal_->MarkTouched(i);
+      MV_RETURN_IF_ERROR(batch.Acquire(plan[i].addr, plan[i].new_bytes.size()));
+      MV_RETURN_IF_ERROR(batch.Write(plan[i].addr, plan[i].new_bytes.data(),
+                                     plan[i].new_bytes.size()));
+      host_clock_ += vm_->cost_model().patch_write;
+      if (options_.flush_icache) {
+        batch.QueueFlush(plan[i].addr, plan[i].new_bytes.size());
+      }
     }
+    MV_RETURN_IF_ERROR(batch.Release());
+    for (const CodeRange& range : batch.MergedFlushRanges()) {
+      journal_->ExpectFlush();
+      vm_->FlushIcache(range.addr, range.len);
+      host_clock_ += vm_->cost_model().icache_flush_ipi;
+      ++stats_.icache_flushes;
+      ++stats_.flush_ranges;
+    }
+    stats_.mprotect_calls += batch.protect_calls();
 
     // Release: the frozen cores resume at the host clock; the difference is
     // the per-core disturbance the stop-machine caused.
@@ -341,10 +385,20 @@ class Engine {
       inflight.push_back(op.addr);
     }
 
+    // One batch spans all four phases: each page's W^X toggles up once at
+    // its first write and back down once at the end, instead of per write
+    // (3 writes x 2 mprotects per site otherwise). Mutators keep executing
+    // from the writable pages — CheckExec only requires X, matching real
+    // text_poke, which writes through a separate alias mapping precisely so
+    // the text mapping never changes. Flushes stay per-write (HostWriteBatched):
+    // the protocol's phase ordering depends on each write being visible
+    // before the next.
+    PageWriteBatch batch(vm_);
+
     // 1. BKPT over every first byte: from here on, no core can *enter* any
     //    site — sequential or jump entry fetches the trap and parks.
     for (size_t i = 0; i < plan.size(); ++i) {
-      MV_RETURN_IF_ERROR(HostWrite(i, plan[i].addr, &kBkptByte, 1));
+      MV_RETURN_IF_ERROR(HostWriteBatched(&batch, i, plan[i].addr, &kBkptByte, 1));
       MV_RETURN_IF_ERROR(RunMutatorsToHostClock(inflight));
     }
 
@@ -363,8 +417,8 @@ class Engine {
     // 3. All tail bytes while every first byte still traps (text_poke_bp
     //    order).
     for (size_t i = 0; i < plan.size(); ++i) {
-      MV_RETURN_IF_ERROR(
-          HostWrite(i, plan[i].addr + 1, plan[i].new_bytes.data() + 1, 4));
+      MV_RETURN_IF_ERROR(HostWriteBatched(
+          &batch, i, plan[i].addr + 1, plan[i].new_bytes.data() + 1, 4));
       MV_RETURN_IF_ERROR(RunMutatorsToHostClock(inflight));
     }
 
@@ -373,7 +427,7 @@ class Engine {
     //    finished or still trapping — raw-old text is unreachable.
     for (size_t i = 0; i < plan.size(); ++i) {
       const PatchOp& op = plan[i];
-      MV_RETURN_IF_ERROR(HostWrite(i, op.addr, op.new_bytes.data(), 1));
+      MV_RETURN_IF_ERROR(HostWriteBatched(&batch, i, op.addr, op.new_bytes.data(), 1));
       for (Mutator& m : mutators_) {
         if (m.parked && m.park_site == op.addr) {
           Core& core = vm_->core(m.core);
@@ -386,6 +440,9 @@ class Engine {
       }
       MV_RETURN_IF_ERROR(RunMutatorsToHostClock(inflight));
     }
+
+    MV_RETURN_IF_ERROR(batch.Release());
+    stats_.mprotect_calls += batch.protect_calls();
     return RunMutatorsToHostClock({});
   }
 

@@ -81,6 +81,11 @@ struct LiveCommitStats {
   int ops_applied = 0;         // 5-byte patch ops written to guest memory
   uint64_t commit_ticks = 0;   // host patch clock: start-to-finish latency
   uint64_t icache_flushes = 0;
+  // Page-coalesced write accounting: W^X toggles actually issued and merged
+  // flush ranges (quiescence flushes once per merged range; breakpoint keeps
+  // per-write flushes for ordering but still coalesces page protects).
+  uint64_t mprotect_calls = 0;
+  uint64_t flush_ranges = 0;
 
   // Disturbance of the mutator cores.
   int cores_stopped = 0;          // cores frozen by the quiescence protocol

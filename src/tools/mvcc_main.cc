@@ -20,6 +20,7 @@
 //     --guest              run as a paravirtualized guest
 //     --dispatch engine    VM dispatch engine (legacy | superblock)
 //     --no-paranoid        trust the descriptor sections (skip validation)
+//     --no-plan-cache      disable commit plan memoization (fast path)
 //
 // Exit codes: 0 success, 1 build/run error, 2 usage error, 3 commit failed
 // and was rolled back (the image is back in its pre-commit state).
@@ -55,6 +56,7 @@ struct CliOptions {
   CommitProtocol live_protocol = CommitProtocol::kQuiescence;
   bool guest = false;
   bool paranoid = true;
+  bool plan_cache = true;
   DispatchEngine dispatch = DispatchEngine::kLegacy;
   uint64_t trace = 0;
   std::string run_entry;
@@ -77,6 +79,7 @@ void Usage() {
                "  --guest            run as a paravirtualized guest\n"
                "  --paranoid         validate descriptor tables at attach (default)\n"
                "  --no-paranoid      trust the descriptor sections as emitted\n"
+               "  --no-plan-cache    disable commit plan memoization (fast path)\n"
                "  --dispatch engine  VM dispatch engine (legacy | superblock)\n"
                "  --trace N          print the first N executed instructions\n"
                "  --run entry [-- args...]  call entry() and report r0/cycles\n");
@@ -143,6 +146,8 @@ int Main(int argc, char** argv) {
       options.paranoid = true;
     } else if (arg == "--no-paranoid") {
       options.paranoid = false;
+    } else if (arg == "--no-plan-cache") {
+      options.plan_cache = false;
     } else if (arg == "--dispatch" && i + 1 < argc) {
       Result<DispatchEngine> engine = ParseDispatchEngine(argv[++i]);
       if (!engine.ok()) {
@@ -194,6 +199,7 @@ int Main(int argc, char** argv) {
   build.specialize = options.specialize;
   build.hypervisor_guest = options.guest;
   build.attach.paranoid = options.paranoid;
+  build.attach.plan_cache = options.plan_cache;
   Result<std::unique_ptr<Program>> built = Program::Build(sources, build);
   if (!built.ok()) {
     std::fprintf(stderr, "mvcc: %s\n", built.status().ToString().c_str());
@@ -292,6 +298,9 @@ int Main(int argc, char** argv) {
                 stats->patch.callsites_patched, stats->patch.callsites_inlined,
                 stats->ops_applied, (unsigned long long)stats->icache_flushes,
                 stats->CommitCycles());
+    std::printf("live commit-stats: mprotect=%llu flush-ranges=%llu\n",
+                (unsigned long long)stats->mprotect_calls,
+                (unsigned long long)stats->flush_ranges);
     if (stats->txn.rollbacks > 0) {
       std::printf("live commit recovery: %d attempt(s), %d rollback(s), "
                   "%d retries, last failure: %s\n",
@@ -311,6 +320,15 @@ int Main(int argc, char** argv) {
     std::printf("commit: %d committed, %d fallbacks, %d sites patched, %d inlined\n",
                 stats->functions_committed, stats->generic_fallbacks,
                 stats->callsites_patched, stats->callsites_inlined);
+    const CommitFastPathStats& fast = program.runtime().fast_stats();
+    std::printf("commit-stats: cache-hits=%llu cache-misses=%llu mprotect=%llu "
+                "flush-ranges=%llu fns-reevaluated=%llu fns-skipped=%llu\n",
+                (unsigned long long)fast.plan_cache_hits,
+                (unsigned long long)fast.plan_cache_misses,
+                (unsigned long long)fast.mprotect_calls,
+                (unsigned long long)fast.flush_ranges,
+                (unsigned long long)fast.fns_reevaluated,
+                (unsigned long long)fast.fns_skipped);
     if (txn.rollbacks > 0) {
       std::printf("commit recovery: %d attempt(s), %d rollback(s), %d retries, "
                   "last failure: %s\n",

@@ -136,6 +136,7 @@ Status Memory::Protect(uint64_t addr, uint64_t len, uint8_t perms) {
   if (!InBounds(addr, len)) {
     return Status::OutOfRange("Protect out of bounds");
   }
+  ++protect_calls_;
   // Fault point: models mprotect(2) refusing the change (ENOMEM on split VMA
   // accounting, a locked-down kernel, ...). Perms are left exactly as they
   // were — the caller's W^X dance dies mid-flight.

@@ -74,6 +74,11 @@ class Memory {
   Status Protect(uint64_t addr, uint64_t len, uint8_t perms);
   uint8_t PermsAt(uint64_t addr) const;
 
+  // Number of Protect() calls issued since construction (including refused
+  // ones — they model mprotect(2) syscalls either way). The commit fast path
+  // exists to shrink this; benches report it.
+  uint64_t protect_calls() const { return protect_calls_; }
+
   // True if a *guest* write to [addr, addr+len) would be allowed. The
   // multiverse runtime uses the same check before patching.
   bool Writable(uint64_t addr, uint64_t len) const;
@@ -118,6 +123,7 @@ class Memory {
 
   std::vector<uint8_t> bytes_;
   std::vector<uint8_t> page_perms_;
+  uint64_t protect_calls_ = 0;
   std::vector<uint8_t> code_marked_;  // per page: backs a cached decode trace
   CodeWriteObserver code_write_observer_;
 };

@@ -89,9 +89,23 @@ void Vm::FlushIcache(uint64_t addr, uint64_t len) {
   // Instructions are at most 10 bytes; anything starting within
   // [addr - 9, addr + len) may overlap the modified range.
   const uint64_t lo = addr >= 9 ? addr - 9 : 0;
+  const uint64_t hi = addr + len;
   for (auto& icache : icaches_) {
-    for (uint64_t a = lo; a < addr + len; ++a) {
-      icache.erase(a);
+    if (hi - lo >= icache.size()) {
+      // Wide range (page-coalesced commits flush merged multi-KB ranges):
+      // sweeping the cache once beats one hash erase per byte — and skips
+      // idle cores' empty caches entirely.
+      for (auto it = icache.begin(); it != icache.end();) {
+        if (it->first >= lo && it->first < hi) {
+          it = icache.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      for (uint64_t a = lo; a < hi; ++a) {
+        icache.erase(a);
+      }
     }
   }
   // Every erased icache key inside a cached block lies within that block's

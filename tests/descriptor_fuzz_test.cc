@@ -119,6 +119,22 @@ TEST(DescriptorFuzzTest, RandomBitFlipsNeverCrashOrPatchGarbage) {
       continue;
     }
 
+    // Whatever shape the corrupted guards took, the attach-time interval
+    // index must agree with the linear selection scan on every function —
+    // same value on success, rejection on both sides otherwise.
+    for (const RtFunction& fn : runtime->table().functions) {
+      Result<uint64_t> linear =
+          runtime->SelectVariantForTest(fn.generic_addr, /*use_index=*/false);
+      Result<uint64_t> indexed =
+          runtime->SelectVariantForTest(fn.generic_addr, /*use_index=*/true);
+      ASSERT_EQ(linear.ok(), indexed.ok())
+          << fn.name << ": linear=" << linear.status().ToString()
+          << " indexed=" << indexed.status().ToString();
+      if (linear.ok()) {
+        EXPECT_EQ(*linear, *indexed) << fn.name;
+      }
+    }
+
     Result<PatchStats> stats = runtime->Commit();
     if (!stats.ok()) {
       ++commit_rejected;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/patching.h"
 #include "src/core/program.h"
 #include "src/livepatch/livepatch.h"
 #include "src/support/faultpoint.h"
@@ -49,6 +50,11 @@ const char* CommitPathName(CommitPath path) {
 struct SweepConfig {
   DispatchEngine engine;
   CommitPath path;
+  // When set, the sweep arms faults against plan-cache HITS: the cache is
+  // pre-warmed with a disarmed commit/revert lap, so every armed commit
+  // replays a memoized plan. A fault during that replay must roll back just
+  // as cleanly as a cold one — and must evict the plan it interrupted.
+  bool warm_cache = false;
 };
 
 class FaultSweepTest : public ::testing::TestWithParam<SweepConfig> {
@@ -57,8 +63,12 @@ class FaultSweepTest : public ::testing::TestWithParam<SweepConfig> {
   void TearDown() override { SetDefaultDispatchEngine(DispatchEngine::kLegacy); }
 
   std::unique_ptr<Program> Build() {
+    BuildOptions build;
+    // Non-warm configs pin the cache off so every armed commit exercises the
+    // cold selection+planning path; warm configs sweep the hit path instead.
+    build.attach.plan_cache = GetParam().warm_cache;
     Result<std::unique_ptr<Program>> built =
-        Program::Build({{"sweep", kSource}}, BuildOptions{});
+        Program::Build({{"sweep", kSource}}, build);
     EXPECT_TRUE(built.ok()) << built.status().ToString();
     std::unique_ptr<Program> program = std::move(*built);
     EXPECT_TRUE(program->WriteGlobal("feature", 1, 1).ok());
@@ -113,12 +123,22 @@ TEST_P(FaultSweepTest, EveryFaultPointAtEveryIndexIsNeverTorn) {
   // Calibrate on a twin: fault-point occurrence counts of one clean commit,
   // the committed text, and the committed transcript.
   std::unique_ptr<Program> twin = Build();
+  if (GetParam().warm_cache) {
+    // Warm lap: the calibrating commit below must itself be a cache hit so
+    // the probed occurrence counts describe the hit path.
+    ASSERT_TRUE(DoCommit(twin.get()).ok());
+    ASSERT_TRUE(twin->runtime().Revert().ok());
+  }
   FaultInjector& injector = FaultInjector::Instance();
   uint64_t probe[kFaultSiteCount];
   for (size_t s = 0; s < kFaultSiteCount; ++s) {
     probe[s] = injector.Count(static_cast<FaultSite>(s));
   }
   ASSERT_TRUE(DoCommit(twin.get()).ok());
+  if (GetParam().warm_cache) {
+    ASSERT_GT(twin->runtime().fast_stats().plan_cache_hits, 0u)
+        << "calibration commit was expected to replay a memoized plan";
+  }
   for (size_t s = 0; s < kFaultSiteCount; ++s) {
     probe[s] = injector.Count(static_cast<FaultSite>(s)) - probe[s];
   }
@@ -130,6 +150,13 @@ TEST_P(FaultSweepTest, EveryFaultPointAtEveryIndexIsNeverTorn) {
   const std::vector<uint8_t> pristine_text = Text(program.get());
   const uint64_t generic_transcript = Transcript(program.get());
   EXPECT_EQ(generic_transcript, 6u);
+  if (GetParam().warm_cache) {
+    // Pre-warm so the first armed commit already replays a memoized plan;
+    // every later iteration re-warms itself through the disarmed retry.
+    ASSERT_TRUE(DoCommit(program.get()).ok());
+    ASSERT_TRUE(program->runtime().Revert().ok());
+    ASSERT_EQ(Text(program.get()), pristine_text);
+  }
 
   int recovered = 0;   // fault -> structured error -> generic image
   int committed = 0;   // fault absorbed (seal repair) -> committed image
@@ -159,6 +186,12 @@ TEST_P(FaultSweepTest, EveryFaultPointAtEveryIndexIsNeverTorn) {
             << status.ToString();
         EXPECT_EQ(Text(program.get()), pristine_text);
         EXPECT_EQ(Transcript(program.get()), generic_transcript);
+        if (GetParam().warm_cache && GetParam().path == CommitPath::kPlain) {
+          // A rollback means the runtime can no longer trust any memoized
+          // post-state bookkeeping: the cache must be empty, not stale.
+          EXPECT_EQ(program->runtime().plan_cache_entries(), 0u)
+              << "fault during a cached apply must invalidate the plan cache";
+        }
 
         // Transient-fault model: the injector is one-shot, so an immediate
         // retry of the identical commit must complete.
@@ -179,8 +212,12 @@ TEST_P(FaultSweepTest, EveryFaultPointAtEveryIndexIsNeverTorn) {
 }
 
 std::string ConfigName(const ::testing::TestParamInfo<SweepConfig>& info) {
-  return std::string(DispatchEngineName(info.param.engine)) + "_" +
-         CommitPathName(info.param.path);
+  std::string name = std::string(DispatchEngineName(info.param.engine)) + "_" +
+                     CommitPathName(info.param.path);
+  if (info.param.warm_cache) {
+    name += "_warmcache";
+  }
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -192,8 +229,97 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepConfig{DispatchEngine::kSuperblock,
                                   CommitPath::kQuiescence},
                       SweepConfig{DispatchEngine::kSuperblock,
-                                  CommitPath::kBreakpoint}),
+                                  CommitPath::kBreakpoint},
+                      SweepConfig{DispatchEngine::kLegacy, CommitPath::kPlain,
+                                  /*warm_cache=*/true},
+                      SweepConfig{DispatchEngine::kSuperblock, CommitPath::kPlain,
+                                  /*warm_cache=*/true}),
     ConfigName);
+
+// The journaled body-patch path (TryBodyPatch) crosses the same fault points
+// as a commit; killing it at every occurrence must leave the generic body
+// either fully intact (rolled back) or fully replaced — never torn.
+TEST(BodyPatchFaultSweep, EveryFaultPointRollsBackOrCompletes) {
+  constexpr char kBodySource[] = R"(
+long a_val;
+void generic_like() {
+  a_val = a_val + 1;
+  a_val = a_val * 3;
+}
+void variant_like() {
+  a_val = a_val + 7;
+}
+long probe() { a_val = 0; generic_like(); return a_val; }
+)";
+  const auto build = [&] {
+    Result<std::unique_ptr<Program>> built =
+        Program::Build({{"body", kBodySource}}, BuildOptions{});
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    return built.ok() ? std::move(*built) : nullptr;
+  };
+  const auto patch = [](Program* program) {
+    return TryBodyPatch(&program->vm(),
+                        program->SymbolAddress("generic_like").value(),
+                        program->FunctionSize("generic_like").value(),
+                        program->SymbolAddress("variant_like").value(),
+                        program->FunctionSize("variant_like").value());
+  };
+
+  // Calibrate occurrence counts on a twin.
+  std::unique_ptr<Program> twin = build();
+  ASSERT_NE(twin, nullptr);
+  FaultInjector& injector = FaultInjector::Instance();
+  uint64_t probe_counts[kFaultSiteCount];
+  for (size_t s = 0; s < kFaultSiteCount; ++s) {
+    probe_counts[s] = injector.Count(static_cast<FaultSite>(s));
+  }
+  Result<bool> clean = patch(twin.get());
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE(*clean);
+  for (size_t s = 0; s < kFaultSiteCount; ++s) {
+    probe_counts[s] = injector.Count(static_cast<FaultSite>(s)) - probe_counts[s];
+  }
+  EXPECT_EQ(*twin->Call("probe"), 7u);
+
+  int rolled_back = 0;
+  int completed = 0;
+  for (size_t s = 0; s < kFaultSiteCount; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    if (probe_counts[s] == 0) {
+      continue;  // this site is not on the body-patch path
+    }
+    for (uint64_t hit = 0; hit < probe_counts[s]; ++hit) {
+      SCOPED_TRACE(std::string(FaultSiteName(site)) + " hit " +
+                   std::to_string(hit));
+      // A fresh program per iteration: the body patch has no revert.
+      std::unique_ptr<Program> program = build();
+      ASSERT_NE(program, nullptr);
+      Result<bool> patched = [&] {
+        ScopedFault fault(site, hit);
+        return patch(program.get());
+      }();
+      if (patched.ok()) {
+        ++completed;
+        ASSERT_TRUE(*patched);
+        EXPECT_EQ(*program->Call("probe"), 7u);
+      } else {
+        ++rolled_back;
+        EXPECT_NE(patched.status().ToString().find("rolled back"),
+                  std::string::npos)
+            << patched.status().ToString();
+        EXPECT_EQ(*program->Call("probe"), 3u)
+            << "rolled-back body must still behave generically";
+        // Disarmed retry on the same image must complete.
+        Result<bool> retried = patch(program.get());
+        ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+        ASSERT_TRUE(*retried);
+        EXPECT_EQ(*program->Call("probe"), 7u);
+      }
+    }
+  }
+  EXPECT_GT(rolled_back, 0);
+  EXPECT_GT(completed, 0);
+}
 
 }  // namespace
 }  // namespace mv

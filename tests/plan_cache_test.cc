@@ -1,0 +1,317 @@
+// Tests for the commit fast path (docs/INTERNALS.md §12): plan-cache
+// memoization keyed by pre-state + configuration fingerprint, guard-index
+// variant selection, per-switch dirty sets, stale-plan eviction, and the
+// page-coalesced apply accounting. The cache is an optimization, never a
+// semantic: every test here pins "cache on" to behave bit-identically to
+// "cache off".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/core/plan_cache.h"
+#include "src/core/program.h"
+#include "src/vm/superblock.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+namespace {
+
+// Two value switches with disjoint and joint referees, a partially-bound
+// function (bind_only, §7.1), and a function-pointer switch — the full
+// variety the dirty sets and the fingerprint have to track.
+constexpr char kSource[] = R"(
+__attribute__((multiverse)) bool config_a;
+__attribute__((multiverse)) bool config_b;
+__attribute__((multiverse)) long (*op)(long);
+long acc;
+
+__attribute__((multiverse))
+void fa() { if (config_a) { acc = acc + 1; } else { acc = acc + 10; } }
+
+__attribute__((multiverse))
+void fb() { if (config_b) { acc = acc + 100; } else { acc = acc + 1000; } }
+
+__attribute__((multiverse))
+void fboth() {
+  if (config_a) {
+    if (config_b) { acc = acc + 2; } else { acc = acc + 3; }
+  }
+}
+
+__attribute__((multiverse(config_a)))
+void fbound() {
+  if (config_a) { acc = acc + 4; }
+  if (config_b) { acc = acc + 5; }
+}
+
+long twice(long x) { return 2 * x; }
+long inc(long x) { return x + 1; }
+
+long probe(long x) {
+  acc = 0;
+  fa();
+  fb();
+  fboth();
+  fbound();
+  return acc + op(x);
+}
+)";
+
+std::unique_ptr<Program> Build(bool plan_cache = true) {
+  BuildOptions options;
+  options.attach.plan_cache = plan_cache;
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"pc", kSource}}, options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return built.ok() ? std::move(*built) : nullptr;
+}
+
+void SetConfig(Program* program, int64_t a, int64_t b, const char* op_target) {
+  ASSERT_TRUE(program->WriteGlobal("config_a", a, 1).ok());
+  ASSERT_TRUE(program->WriteGlobal("config_b", b, 1).ok());
+  const int64_t target =
+      static_cast<int64_t>(program->SymbolAddress(op_target).value());
+  ASSERT_TRUE(program->WriteGlobal("op", target, 8).ok());
+}
+
+std::vector<uint8_t> Text(Program* program) {
+  std::vector<uint8_t> text(program->image().text_size);
+  EXPECT_TRUE(program->vm()
+                  .memory()
+                  .ReadRaw(program->image().text_base, text.data(), text.size())
+                  .ok());
+  return text;
+}
+
+TEST(PlanCacheTest, RepeatCommitHitsCacheAndSkipsSelection) {
+  std::unique_ptr<Program> program = Build();
+  ASSERT_NE(program, nullptr);
+  MultiverseRuntime& runtime = program->runtime();
+  SetConfig(program.get(), 1, 0, "twice");
+
+  // Cold: generic -> config V is a first visit.
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(runtime.fast_stats().plan_cache_misses, 1u);
+  EXPECT_EQ(runtime.fast_stats().plan_cache_hits, 0u);
+  EXPECT_EQ(runtime.plan_cache_entries(), 1u);
+
+  // Idempotent recommit: the pre-state is now Config(V), a different key, so
+  // one more cold lap closes the V -> V cycle...
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(runtime.fast_stats().plan_cache_misses, 2u);
+  const uint64_t reeval_after_cold = runtime.fast_stats().fns_reevaluated;
+
+  // ...and from here on every commit is a hit that replays memoized
+  // bookkeeping instead of re-running guard evaluation.
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(runtime.fast_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(runtime.fast_stats().fns_reevaluated, reeval_after_cold);
+
+  // Revert lands on the fully-generic pre-state: the original cold entry.
+  ASSERT_TRUE(runtime.Revert().ok());
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(runtime.fast_stats().plan_cache_hits, 2u);
+  EXPECT_EQ(runtime.fast_stats().fns_reevaluated, reeval_after_cold);
+
+  EXPECT_EQ(*program->Call("probe", {21}), 1u + 1000u + 3u + 4u + 42u);
+}
+
+TEST(PlanCacheTest, DisablingTheCacheClearsItAndCommitsStillWork) {
+  std::unique_ptr<Program> program = Build();
+  ASSERT_NE(program, nullptr);
+  MultiverseRuntime& runtime = program->runtime();
+  SetConfig(program.get(), 0, 1, "inc");
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(runtime.plan_cache_entries(), 1u);
+
+  runtime.set_plan_cache_enabled(false);
+  EXPECT_EQ(runtime.plan_cache_entries(), 0u);
+  const uint64_t misses = runtime.fast_stats().plan_cache_misses;
+  ASSERT_TRUE(runtime.Commit().ok());
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(runtime.plan_cache_entries(), 0u);
+  EXPECT_EQ(runtime.fast_stats().plan_cache_misses, misses);
+  EXPECT_EQ(runtime.fast_stats().plan_cache_hits, 0u);
+  EXPECT_EQ(*program->Call("probe", {21}), 10u + 100u + 0u + 5u + 22u);
+}
+
+TEST(PlanCacheTest, DirtySetsReevaluateOnlyReferencingFunctions) {
+  std::unique_ptr<Program> program = Build(/*plan_cache=*/false);
+  ASSERT_NE(program, nullptr);
+  MultiverseRuntime& runtime = program->runtime();
+
+  const uint64_t var_a = program->SymbolAddress("config_a").value();
+  const uint64_t var_b = program->SymbolAddress("config_b").value();
+  const uint64_t fn_a = program->SymbolAddress("fa").value();
+  const uint64_t fn_b = program->SymbolAddress("fb").value();
+  const uint64_t fn_both = program->SymbolAddress("fboth").value();
+  const uint64_t fn_bound = program->SymbolAddress("fbound").value();
+
+  // The reverse map is exact: fbound is partially specialized on config_a
+  // only, so its guards — and therefore its dirty set — never mention
+  // config_b even though its body reads it.
+  EXPECT_EQ(runtime.FunctionsReferencing(var_a),
+            (std::vector<uint64_t>{fn_a, fn_both, fn_bound}));
+  EXPECT_EQ(runtime.FunctionsReferencing(var_b),
+            (std::vector<uint64_t>{fn_b, fn_both}));
+
+  SetConfig(program.get(), 0, 0, "twice");
+  ASSERT_TRUE(runtime.Commit().ok());
+  const CommitFastPathStats& fast = runtime.fast_stats();
+
+  // Untouched switches: every function (and the fn-ptr binding) is skipped.
+  uint64_t reeval = fast.fns_reevaluated;
+  uint64_t skipped = fast.fns_skipped;
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(fast.fns_reevaluated - reeval, 0u);
+  EXPECT_EQ(fast.fns_skipped - skipped, 5u);  // fa, fb, fboth, fbound, op
+
+  // Touch config_a only: exactly its three referees re-evaluate.
+  ASSERT_TRUE(program->WriteGlobal("config_a", 1, 1).ok());
+  reeval = fast.fns_reevaluated;
+  skipped = fast.fns_skipped;
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(fast.fns_reevaluated - reeval, 3u);
+  EXPECT_EQ(fast.fns_skipped - skipped, 2u);  // fb and the op binding
+
+  // Touch the fn-ptr switch only: the binding re-evaluates, functions skip.
+  ASSERT_TRUE(program
+                  ->WriteGlobal("op",
+                                static_cast<int64_t>(
+                                    program->SymbolAddress("inc").value()),
+                                8)
+                  .ok());
+  reeval = fast.fns_reevaluated;
+  skipped = fast.fns_skipped;
+  ASSERT_TRUE(runtime.Commit().ok());
+  EXPECT_EQ(fast.fns_reevaluated - reeval, 1u);
+  EXPECT_EQ(fast.fns_skipped - skipped, 4u);
+  EXPECT_EQ(*program->Call("probe", {21}), 1u + 1000u + 3u + 4u + 22u);
+}
+
+TEST(PlanCacheTest, IndexedSelectionAgreesWithLinearOnAllConfigs) {
+  std::unique_ptr<Program> program = Build();
+  ASSERT_NE(program, nullptr);
+  MultiverseRuntime& runtime = program->runtime();
+  for (int64_t a = 0; a <= 1; ++a) {
+    for (int64_t b = 0; b <= 1; ++b) {
+      SetConfig(program.get(), a, b, a ? "twice" : "inc");
+      for (const RtFunction& fn : runtime.table().functions) {
+        SCOPED_TRACE(fn.name + " a=" + std::to_string(a) +
+                     " b=" + std::to_string(b));
+        Result<uint64_t> linear =
+            runtime.SelectVariantForTest(fn.generic_addr, /*use_index=*/false);
+        Result<uint64_t> indexed =
+            runtime.SelectVariantForTest(fn.generic_addr, /*use_index=*/true);
+        ASSERT_EQ(linear.ok(), indexed.ok()) << linear.status().ToString();
+        if (linear.ok()) {
+          EXPECT_EQ(*linear, *indexed);
+        }
+      }
+    }
+  }
+}
+
+TEST(PlanCacheTest, StalePlanIsEvictedAndForeignWriteStillSurfaces) {
+  std::unique_ptr<Program> program = Build();
+  ASSERT_NE(program, nullptr);
+  MultiverseRuntime& runtime = program->runtime();
+  SetConfig(program.get(), 1, 1, "twice");
+  ASSERT_TRUE(runtime.Commit().ok());
+  ASSERT_TRUE(runtime.Revert().ok());
+  ASSERT_GE(runtime.plan_cache_entries(), 1u);
+
+  // A foreign writer corrupts one planned call site behind the runtime's
+  // back. The memoized plan's expected-old-bytes check must catch it — the
+  // entry is evicted, the cold replan sees the same corruption, and the
+  // commit fails exactly as it would have without a cache.
+  const uint64_t site = runtime.table().callsites[0].site_addr;
+  uint8_t original = 0;
+  ASSERT_TRUE(program->vm().memory().ReadRaw(site, &original, 1).ok());
+  const uint8_t corrupted = original ^ 0xff;
+  ASSERT_TRUE(program->vm().memory().WriteRaw(site, &corrupted, 1).ok());
+  program->vm().FlushIcache(site, 1);
+
+  const uint64_t evictions = runtime.fast_stats().plan_cache_evictions;
+  Result<PatchStats> failed = runtime.Commit();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(runtime.fast_stats().plan_cache_evictions, evictions + 1);
+
+  // Undo the corruption: the commit must succeed again (and the text must
+  // land exactly where an uncorrupted commit would have put it).
+  ASSERT_TRUE(program->vm().memory().WriteRaw(site, &original, 1).ok());
+  program->vm().FlushIcache(site, 1);
+  ASSERT_TRUE(runtime.Commit().ok()) << "commit after repair";
+  EXPECT_EQ(*program->Call("probe", {21}), 1u + 100u + 2u + 4u + 5u + 42u);
+}
+
+TEST(PlanCacheTest, ColdCommitCoalescesProtectsAndFlushes) {
+  std::unique_ptr<Program> program = Build();
+  ASSERT_NE(program, nullptr);
+  MultiverseRuntime& runtime = program->runtime();
+  SetConfig(program.get(), 1, 0, "twice");
+  ASSERT_TRUE(runtime.Commit().ok());
+  const CommitFastPathStats& fast = runtime.fast_stats();
+  EXPECT_GE(fast.pages_touched, 1u);
+  // Page coalescing: one W^X toggle up + one down per touched page, at most.
+  EXPECT_LE(fast.mprotect_calls, 2 * fast.pages_touched);
+  EXPECT_GE(fast.flush_ranges, 1u);
+}
+
+// The differential property: with the cache on, every commit/revert sequence
+// must produce bit-identical text and execution to the cache-off runtime —
+// across random flip schedules, both fn-ptr retargets and value flips, and
+// both dispatch engines.
+class PlanCacheDifferentialTest : public ::testing::TestWithParam<DispatchEngine> {
+ protected:
+  void SetUp() override { SetDefaultDispatchEngine(GetParam()); }
+  void TearDown() override { SetDefaultDispatchEngine(DispatchEngine::kLegacy); }
+};
+
+TEST_P(PlanCacheDifferentialTest, RandomFlipsAreBitIdenticalCacheOnVsOff) {
+  std::unique_ptr<Program> cached = Build(/*plan_cache=*/true);
+  std::unique_ptr<Program> uncached = Build(/*plan_cache=*/false);
+  ASSERT_NE(cached, nullptr);
+  ASSERT_NE(uncached, nullptr);
+
+  std::mt19937 rng(0x9a12u);
+  for (int i = 0; i < 80; ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    const int64_t a = static_cast<int64_t>(rng() % 2);
+    const int64_t b = static_cast<int64_t>(rng() % 2);
+    const char* target = (rng() % 2) != 0 ? "twice" : "inc";
+    const bool revert = (rng() % 8) == 0;
+    SetConfig(cached.get(), a, b, target);
+    SetConfig(uncached.get(), a, b, target);
+    if (revert) {
+      ASSERT_TRUE(cached->runtime().Revert().ok());
+      ASSERT_TRUE(uncached->runtime().Revert().ok());
+    } else {
+      ASSERT_TRUE(cached->runtime().Commit().ok());
+      ASSERT_TRUE(uncached->runtime().Commit().ok());
+    }
+    ASSERT_EQ(Text(cached.get()), Text(uncached.get()));
+    Result<uint64_t> got = cached->Call("probe", {static_cast<uint64_t>(i)});
+    Result<uint64_t> want = uncached->Call("probe", {static_cast<uint64_t>(i)});
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_EQ(*got, *want);
+  }
+  // The schedule repeats configurations, so the cache must actually have
+  // been exercised — otherwise this differential proves nothing.
+  EXPECT_GT(cached->runtime().fast_stats().plan_cache_hits, 0u);
+  EXPECT_EQ(uncached->runtime().fast_stats().plan_cache_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, PlanCacheDifferentialTest,
+                         ::testing::Values(DispatchEngine::kLegacy,
+                                           DispatchEngine::kSuperblock),
+                         [](const ::testing::TestParamInfo<DispatchEngine>& info) {
+                           return std::string(DispatchEngineName(info.param));
+                         });
+
+}  // namespace
+}  // namespace mv

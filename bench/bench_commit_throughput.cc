@@ -18,6 +18,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/program.h"
+#include "src/livepatch/livepatch.h"
 #include "src/support/str.h"
 
 namespace mv {
@@ -211,6 +212,78 @@ void Run() {
     std::fprintf(stderr, "FATAL: warm commits only %.2fx faster than cold "
                          "(acceptance floor: 2x)\n",
                  speedup);
+    std::abort();
+  }
+
+  // The waitfree column: the same warm A<->B flips driven through the
+  // wait-free live protocol. The plan cache must keep hitting (the live
+  // paths replay memoized plans through their own apply hook), no core may
+  // be disturbed, and the committed text must stay bit-identical to the
+  // uncached plain-commit twin.
+  const uint64_t live_hits_before = fast.plan_cache_hits;
+  constexpr int kLiveLaps = 50;
+  double live_total_us = 0;
+  uint64_t live_word_stores = 0;
+  double live_disturbance = 0;
+  double live_parked = 0;
+  const auto flip_live = [&](const Config& config) {
+    SetConfig(cached.get(), config);
+    LiveCommitOptions options;
+    options.protocol = CommitProtocol::kWaitFree;
+    const auto start = now();
+    const LiveCommitStats stats =
+        CheckOk(multiverse_commit_live(&cached->vm(), &cached->runtime(), options),
+                "waitfree live commit");
+    live_total_us += us_since(start);
+    live_word_stores += stats.word_stores;
+    live_disturbance += stats.DisturbanceCycles();
+    live_parked += TicksToCycles(stats.parked_ticks);
+    if (stats.waitfree_fallback) {
+      std::fprintf(stderr, "FATAL: waitfree flip fell back to breakpoint\n");
+      std::abort();
+    }
+    SetConfig(uncached.get(), config);
+    CheckOk(uncached->runtime().Commit(), "uncached commit");
+    if (TextBytes(cached.get()) != TextBytes(uncached.get())) {
+      std::fprintf(stderr, "FATAL: waitfree text diverged from plain commit\n");
+      std::abort();
+    }
+  };
+  for (int i = 0; i < kLiveLaps; ++i) {
+    flip_live(kA);
+    flip_live(kB);
+  }
+  const uint64_t live_commits = 2 * kLiveLaps;
+  const uint64_t live_hits = fast.plan_cache_hits - live_hits_before;
+  const double live_us = live_total_us / static_cast<double>(live_commits);
+
+  std::printf("  warm waitfree live commit:               %10.2f us\n", live_us);
+  std::printf("  waitfree flips: %llu/%llu cache hits, %llu word stores, "
+              "%.0f disturbance cycles\n",
+              (unsigned long long)live_hits, (unsigned long long)live_commits,
+              (unsigned long long)live_word_stores, live_disturbance);
+
+  JsonMetric("warm_waitfree_commit_us", live_us, "us");
+  JsonMetric("waitfree_cache_hits", static_cast<double>(live_hits));
+  JsonMetric("waitfree_commits", static_cast<double>(live_commits));
+  JsonMetric("waitfree_word_stores", static_cast<double>(live_word_stores));
+  JsonMetric("waitfree_disturbance_cycles", live_disturbance, "cycles");
+  BenchReport::Instance().RecordDisturbance(live_disturbance, live_parked);
+
+  if (live_hits != live_commits) {
+    std::fprintf(stderr, "FATAL: waitfree flips missed the plan cache "
+                         "(%llu/%llu)\n",
+                 (unsigned long long)live_hits, (unsigned long long)live_commits);
+    std::abort();
+  }
+  if (live_disturbance != 0 || live_parked != 0) {
+    std::fprintf(stderr, "FATAL: waitfree flips disturbed cores "
+                         "(%.2f cycles, %.2f parked)\n",
+                 live_disturbance, live_parked);
+    std::abort();
+  }
+  if (live_word_stores == 0) {
+    std::fprintf(stderr, "FATAL: waitfree flips issued no word stores\n");
     std::abort();
   }
 }

@@ -9,10 +9,21 @@
 // protocol:
 //   (a) commit latency in modelled cycles (host patch clock), and
 //   (b) per-mutator-core disturbance: frozen cycles (quiescence), parked
-//       cycles + trap count (breakpoint), rendezvous single-steps.
+//       cycles + trap count (breakpoint), rendezvous single-steps — and the
+//       wait-free headline: 0 stopped, 0 parked, 0 trapped.
 // The unsafe baseline is the paper's semantics; under load it may tear (a
 // core resumes inside a half-written site), which the bench reports as the
 // motivating anomaly instead of a data point.
+//
+// Two cross-checks beyond the per-protocol table:
+//   * bit-identity: the post-commit text segment and a deterministic
+//     post-commit replay transcript must match the quiescence result exactly,
+//     for every protocol, on BOTH dispatch engines — wait-free trades no
+//     correctness for its zero disturbance;
+//   * superblock invalidation: the same wait-free hotplug commit is run under
+//     the broadcast baseline ("any code write/protect evicts overlapping
+//     blocks on every core") and under scoped invalidation (word-granular,
+//     epoch-gated, X-retaining protects skipped); scoped must evict fewer.
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -20,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/core/descriptors.h"
 #include "src/core/program.h"
 #include "src/livepatch/livepatch.h"
 #include "src/obj/linker.h"
@@ -31,6 +43,7 @@ namespace {
 constexpr int kCores = 4;
 constexpr uint64_t kRounds = 300;           // bench_loop iterations per mutator
 constexpr uint64_t kWarmup[kCores] = {0, 0, 700, 900};  // staggered pcs
+constexpr uint64_t kReplayRounds = 50;      // post-commit transcript workload
 
 // The spinlock kernel plus a multiversed debug hook whose off-variant is
 // empty: its call site is NOP-eradicated by the boot commit, so a mutator pc
@@ -55,9 +68,13 @@ void bench_loop(long rounds) {
 )";
 }
 
-// Finds the NOP-eradicated dbg_hook call site inside bench_loop: a maximal
-// run of exactly five one-byte NOPs (0x50) — one eradicated 5-byte CALL.
+// Finds the NOP-eradicated dbg_hook call site inside bench_loop through the
+// descriptor table — the authoritative record of every patchable site.
+// (Scanning the text for a five-NOP run is fragile now that codegen inserts
+// its own alignment NOPs next to patchable sites.)
 uint64_t FindNopSite(Program* program, uint64_t bench_loop) {
+  const uint64_t dbg_hook =
+      CheckOk(program->SymbolAddress("dbg_hook"), "resolve dbg_hook");
   const Image& image = program->image();
   uint64_t end = image.text_base + image.text_size;
   for (const auto& [name, addr] : image.symbols) {
@@ -65,18 +82,15 @@ uint64_t FindNopSite(Program* program, uint64_t bench_loop) {
       end = addr;
     }
   }
-  std::vector<uint8_t> body(end - bench_loop);
-  CheckOk(program->vm().memory().ReadRaw(bench_loop, body.data(), body.size()),
-          "read bench_loop body");
-  auto nop = [&](size_t i) { return i < body.size() && body[i] == 0x50; };
-  for (size_t i = 0; i + 5 <= body.size(); ++i) {
-    if (nop(i) && nop(i + 1) && nop(i + 2) && nop(i + 3) && nop(i + 4) &&
-        !(i > 0 && nop(i - 1)) && !nop(i + 5)) {
-      return bench_loop + i;
+  DescriptorTable table = CheckOk(
+      DescriptorTable::Parse(program->vm().memory(), image), "parse descriptors");
+  for (const RtCallsite& site : table.callsites) {
+    if (site.callee_addr == dbg_hook && site.site_addr >= bench_loop &&
+        site.site_addr < end) {
+      return site.site_addr;
     }
   }
-  CheckOk(Status::Internal("no NOP-eradicated site in bench_loop"),
-          "find NOP site");
+  CheckOk(Status::Internal("no dbg_hook site in bench_loop"), "find NOP site");
   return 0;
 }
 
@@ -152,7 +166,20 @@ Status DrainMutators(Program* program) {
   return Status::Internal("mutators did not finish");
 }
 
-void RunProtocol(CommitProtocol protocol) {
+// What a protocol run leaves behind, for the bit-identity cross-check: the
+// full post-commit text segment plus a deterministic replay transcript (a
+// fresh single-core bench_loop pass over the committed code).
+struct ProtocolOutcome {
+  LiveCommitStats stats;
+  std::vector<uint8_t> text;
+  std::vector<uint64_t> transcript;  // {replay dbg_hits, lock_word, r0}
+};
+
+// One hotplug-commit-under-load run. Returns nullopt if the commit tore
+// (expected only for the unsafe baseline). With `report` set, prints the
+// paper-style rows and records JSON metrics; identity/cross-engine runs pass
+// report=false so metric labels stay unique in the JSON document.
+std::optional<ProtocolOutcome> RunProtocol(CommitProtocol protocol, bool report) {
   std::unique_ptr<Program> program = BuildLoadedKernel();
   LiveCommitOptions options;
   options.protocol = protocol;
@@ -163,34 +190,49 @@ void RunProtocol(CommitProtocol protocol) {
       multiverse_commit_live(&program->vm(), &program->runtime(), options);
   if (!result.ok()) {
     // Expected only for the unsafe baseline: torn cross-modification.
-    PrintNote(name + ": COMMIT TORE UNDER LOAD -> " + result.status().ToString());
-    JsonMetric(name + ": torn", 1);
-    return;
+    if (report) {
+      PrintNote(name + ": COMMIT TORE UNDER LOAD -> " + result.status().ToString());
+      JsonMetric(name + ": torn", 1);
+    }
+    return std::nullopt;
   }
   const LiveCommitStats& stats = *result;
   Status drained = DrainMutators(program.get());
   if (!drained.ok()) {
     if (protocol == CommitProtocol::kUnsafe) {
-      PrintNote(name + ": COMMIT TORE UNDER LOAD -> " + drained.ToString());
-      JsonMetric(name + ": torn", 1);
-      return;
+      if (report) {
+        PrintNote(name + ": COMMIT TORE UNDER LOAD -> " + drained.ToString());
+        JsonMetric(name + ": torn", 1);
+      }
+      return std::nullopt;
     }
     CheckOk(drained, "drain mutators");
   }
 
-  PrintRow(name + ": commit latency", stats.CommitCycles(), "cycles");
-  PrintRow(name + ": mutator disturbance", stats.DisturbanceCycles(), "cycles",
-           "frozen + parked, all mutator cores");
-  PrintRow(name + ": cores stopped", stats.cores_stopped, "cores");
-  PrintRow(name + ": breakpoint traps", stats.bkpt_traps, "traps");
-  PrintRow(name + ": rendezvous steps", stats.rendezvous_steps, "insns");
-  JsonMetric(name + ": patch ops", stats.ops_applied);
-  JsonMetric(name + ": icache flushes", stats.icache_flushes);
-  JsonMetric(name + ": commit ticks", static_cast<double>(stats.commit_ticks), "ticks");
-  JsonMetric(name + ": functions committed", stats.patch.functions_committed);
-  JsonMetric(name + ": callsites patched",
-             stats.patch.callsites_patched + stats.patch.callsites_inlined);
-  JsonMetric(name + ": torn", 0);
+  if (report) {
+    PrintRow(name + ": commit latency", stats.CommitCycles(), "cycles");
+    PrintRow(name + ": mutator disturbance", stats.DisturbanceCycles(), "cycles",
+             "frozen + parked, all mutator cores");
+    PrintRow(name + ": cores stopped", stats.cores_stopped, "cores");
+    PrintRow(name + ": breakpoint traps", stats.bkpt_traps, "traps");
+    PrintRow(name + ": rendezvous steps", stats.rendezvous_steps, "insns");
+    JsonMetric(name + ": patch ops", stats.ops_applied);
+    JsonMetric(name + ": icache flushes", stats.icache_flushes);
+    JsonMetric(name + ": commit ticks", static_cast<double>(stats.commit_ticks), "ticks");
+    JsonMetric(name + ": functions committed", stats.patch.functions_committed);
+    JsonMetric(name + ": callsites patched",
+               stats.patch.callsites_patched + stats.patch.callsites_inlined);
+    // Per-protocol disturbance decomposition (satellite of the wait-free PR:
+    // every protocol row carries the counters CI asserts on).
+    JsonMetric(name + ": disturbance cycles", stats.DisturbanceCycles(), "cycles");
+    JsonMetric(name + ": parked cycles", TicksToCycles(stats.parked_ticks),
+               "cycles");
+    JsonMetric(name + ": superblock evictions", stats.superblock_evictions);
+    if (protocol == CommitProtocol::kWaitFree) {
+      JsonMetric(name + ": word stores", stats.word_stores);
+    }
+    JsonMetric(name + ": torn", 0);
+  }
 
   if (protocol == CommitProtocol::kBreakpoint) {
     // The point of the protocol: the spinlock commit completes without
@@ -199,6 +241,18 @@ void RunProtocol(CommitProtocol protocol) {
                 ? Status::Ok()
                 : Status::Internal("breakpoint protocol stopped cores"),
             "breakpoint protocol stop-free");
+  }
+  if (protocol == CommitProtocol::kWaitFree) {
+    // The wait-free headline: no core stopped, parked, or trapped — ever.
+    CheckOk(stats.cores_stopped == 0 && stats.parked_ticks == 0 &&
+                    stats.bkpt_traps == 0
+                ? Status::Ok()
+                : Status::Internal("waitfree protocol disturbed a core"),
+            "waitfree protocol disturbance-free");
+    CheckOk(!stats.waitfree_fallback
+                ? Status::Ok()
+                : Status::Internal("waitfree fell back to breakpoint"),
+            "waitfree sites word-aligned");
   }
   // Workload sanity after a mid-flight rebinding: every lock acquired during
   // the commit window was released. (preempt_count is deliberately not
@@ -209,6 +263,101 @@ void RunProtocol(CommitProtocol protocol) {
               ? Status::Ok()
               : Status::Internal("lock_word still held after live commit"),
           "lock released");
+
+  ProtocolOutcome outcome;
+  outcome.stats = stats;
+  const Image& image = program->image();
+  outcome.text.resize(image.text_size);
+  CheckOk(program->vm().memory().ReadRaw(image.text_base, outcome.text.data(),
+                                         outcome.text.size()),
+          "read post-commit text");
+  // Deterministic replay transcript: a fresh single-core pass over the
+  // committed code. Identical text must yield an identical transcript.
+  CheckOk(program->WriteGlobal("dbg_hits", 0, 8), "reset dbg_hits");
+  const uint64_t r0 =
+      CheckOk(program->Call("bench_loop", {kReplayRounds}), "replay bench_loop");
+  outcome.transcript = {
+      static_cast<uint64_t>(CheckOk(program->ReadGlobal("dbg_hits", 8),
+                                    "read replay dbg_hits")),
+      static_cast<uint64_t>(CheckOk(program->ReadGlobal("lock_word", 4),
+                                    "read replay lock_word")),
+      r0};
+  return outcome;
+}
+
+// Bit-identity cross-check: quiescence (stop-machine, trivially correct) is
+// the reference; every wait-free commit must leave the exact same text bytes
+// and replay transcript, on both dispatch engines.
+void CheckWaitFreeIdentity() {
+  const DispatchEngine prior = DefaultDispatchEngine();
+  for (DispatchEngine engine :
+       {DispatchEngine::kLegacy, DispatchEngine::kSuperblock}) {
+    SetDefaultDispatchEngine(engine);
+    std::optional<ProtocolOutcome> reference =
+        RunProtocol(CommitProtocol::kQuiescence, /*report=*/false);
+    std::optional<ProtocolOutcome> waitfree =
+        RunProtocol(CommitProtocol::kWaitFree, /*report=*/false);
+    CheckOk(reference.has_value() && waitfree.has_value()
+                ? Status::Ok()
+                : Status::Internal("identity run did not complete"),
+            "identity runs");
+    const std::string engine_name = DispatchEngineName(engine);
+    CheckOk(waitfree->text == reference->text
+                ? Status::Ok()
+                : Status::Internal("waitfree text differs from quiescence on " +
+                                   engine_name),
+            "post-commit text identity");
+    CheckOk(waitfree->transcript == reference->transcript
+                ? Status::Ok()
+                : Status::Internal(
+                      "waitfree transcript differs from quiescence on " +
+                      engine_name),
+            "post-commit transcript identity");
+    JsonMetric("identity vs quiescence (" + engine_name + ")", 1);
+  }
+  SetDefaultDispatchEngine(prior);
+  PrintNote("waitfree text + replay transcript == quiescence on both engines.");
+}
+
+// Superblock invalidation: the same wait-free hotplug commit under the
+// broadcast baseline vs. scoped (word-granular, epoch-gated) invalidation.
+// Runs on the superblock engine regardless of --dispatch (the legacy engine
+// caches no superblocks, so both counters would read zero). Evictions are
+// counted from pre-commit to post-drain, so the scoped mode's deferred
+// (reconcile-time) evictions on remote cores are charged too.
+void CompareInvalidationModes() {
+  const DispatchEngine prior = DefaultDispatchEngine();
+  SetDefaultDispatchEngine(DispatchEngine::kSuperblock);
+  uint64_t evictions[2] = {0, 0};
+  const SuperblockInvalidation modes[2] = {SuperblockInvalidation::kBroadcast,
+                                           SuperblockInvalidation::kScoped};
+  for (int i = 0; i < 2; ++i) {
+    std::unique_ptr<Program> program = BuildLoadedKernel();
+    program->vm().set_superblock_invalidation(modes[i]);
+    LiveCommitOptions options;
+    options.protocol = CommitProtocol::kWaitFree;
+    options.mutator_cores = {1, 2, 3};
+    const uint64_t before = program->vm().superblock_evictions();
+    CheckOk(
+        multiverse_commit_live(&program->vm(), &program->runtime(), options)
+            .status(),
+        "invalidation-mode commit");
+    CheckOk(DrainMutators(program.get()), "invalidation-mode drain");
+    evictions[i] = program->vm().superblock_evictions() - before;
+    if (modes[i] == SuperblockInvalidation::kScoped) {
+      JsonMetric("scoped: protect evictions skipped",
+                 program->vm().superblock_protect_skips());
+    }
+  }
+  SetDefaultDispatchEngine(prior);
+  PrintRow("superblock evictions (broadcast)", evictions[0], "blocks");
+  PrintRow("superblock evictions (scoped)", evictions[1], "blocks");
+  BenchReport::Instance().RecordEvictions(evictions[0], evictions[1]);
+  CheckOk(evictions[1] < evictions[0]
+              ? Status::Ok()
+              : Status::Internal("scoped invalidation did not evict fewer "
+                                 "blocks than broadcast"),
+          "scoped < broadcast evictions");
 }
 
 void Run() {
@@ -232,9 +381,34 @@ void Run() {
     JsonMetric("idle: patch ops", stats.ops_applied);
   }
 
-  RunProtocol(CommitProtocol::kUnsafe);
-  RunProtocol(CommitProtocol::kQuiescence);
-  RunProtocol(CommitProtocol::kBreakpoint);
+  RunProtocol(CommitProtocol::kUnsafe, /*report=*/true);
+  std::optional<ProtocolOutcome> quiescence =
+      RunProtocol(CommitProtocol::kQuiescence, /*report=*/true);
+  std::optional<ProtocolOutcome> breakpoint =
+      RunProtocol(CommitProtocol::kBreakpoint, /*report=*/true);
+  std::optional<ProtocolOutcome> waitfree =
+      RunProtocol(CommitProtocol::kWaitFree, /*report=*/true);
+  CheckOk(quiescence.has_value() && breakpoint.has_value() &&
+                  waitfree.has_value()
+              ? Status::Ok()
+              : Status::Internal("a safe protocol tore"),
+          "safe protocols complete");
+
+  // The perf headline: wait-free disturbance strictly below both prior
+  // protocols (it is zero by construction; they are not).
+  CheckOk(waitfree->stats.DisturbanceCycles() <
+                      quiescence->stats.DisturbanceCycles() &&
+                  waitfree->stats.DisturbanceCycles() <
+                      breakpoint->stats.DisturbanceCycles()
+              ? Status::Ok()
+              : Status::Internal("waitfree disturbance not below baselines"),
+          "waitfree disturbance strictly lowest");
+  BenchReport::Instance().RecordDisturbance(
+      waitfree->stats.DisturbanceCycles(),
+      TicksToCycles(waitfree->stats.parked_ticks));
+
+  CheckWaitFreeIdentity();
+  CompareInvalidationModes();
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #ifndef MULTIVERSE_BENCH_BENCH_COMMON_H_
 #define MULTIVERSE_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -71,6 +72,24 @@ class BenchReport {
     retries_ += retries;
   }
 
+  // Live-commit disturbance accounting. Every --json document carries
+  // top-level "disturbance_cycles" and "parked_cycles" (0 for benches that
+  // never commit under load) so the perf trajectory can assert the wait-free
+  // headline — zero disturbance — without parsing per-row metric labels.
+  void RecordDisturbance(double disturbance_cycles, double parked_cycles) {
+    disturbance_cycles_ += disturbance_cycles;
+    parked_cycles_ += parked_cycles;
+  }
+
+  // Superblock invalidation accounting: evictions incurred by the same
+  // workload under the broadcast baseline vs. scoped (epoch-gated, word-
+  // granular) invalidation. Carried at top level in every --json document so
+  // CI can assert scoped < broadcast.
+  void RecordEvictions(uint64_t broadcast, uint64_t scoped) {
+    sb_evictions_broadcast_ += broadcast;
+    sb_evictions_scoped_ += scoped;
+  }
+
   void Write() const {
     if (path_.empty()) {
       return;
@@ -87,6 +106,12 @@ class BenchReport {
                  DispatchEngineName(DefaultDispatchEngine()));
     std::fprintf(f, "  \"rollbacks\": %d,\n", rollbacks_);
     std::fprintf(f, "  \"retries\": %d,\n", retries_);
+    std::fprintf(f, "  \"disturbance_cycles\": %.10g,\n", disturbance_cycles_);
+    std::fprintf(f, "  \"parked_cycles\": %.10g,\n", parked_cycles_);
+    std::fprintf(f, "  \"superblock_evictions_broadcast\": %llu,\n",
+                 (unsigned long long)sb_evictions_broadcast_);
+    std::fprintf(f, "  \"superblock_evictions_scoped\": %llu,\n",
+                 (unsigned long long)sb_evictions_scoped_);
     // Commit fast-path accounting (plan_cache.h), process-wide so every bench
     // document carries the counters regardless of how many runtimes it built.
     const CommitFastPathStats& fast = GlobalCommitCounters::Instance().totals;
@@ -141,6 +166,10 @@ class BenchReport {
   std::vector<Metric> metrics_;
   int rollbacks_ = 0;
   int retries_ = 0;
+  double disturbance_cycles_ = 0;
+  double parked_cycles_ = 0;
+  uint64_t sb_evictions_broadcast_ = 0;
+  uint64_t sb_evictions_scoped_ = 0;
 };
 
 // Convenience forwarder for bench bodies.

@@ -321,6 +321,21 @@ Status FnEmitter::EmitCall(const Instr& instr, const BasicBlock& bb, size_t inde
         LoadOperandTo(static_cast<uint8_t>(i), instr.args[first_arg + i]));
   }
 
+  // Patchable call sites must sit with all five bytes inside one naturally
+  // aligned 8-byte word (offset % 8 <= 3), so the wait-free live protocol can
+  // retarget them with a single atomic word store. Functions start 16-aligned
+  // (GenerateObject), so padding here keeps the invariant in the final image.
+  const Function* direct_callee =
+      (!via && !indirect) ? module_.FindFunction(instr.callee) : nullptr;
+  const bool patchable =
+      via || (direct_callee != nullptr && direct_callee->mv.is_multiverse &&
+              !direct_callee->mv.is_variant());
+  if (patchable) {
+    while (Offset() % 8 > 3) {
+      MV_RETURN_IF_ERROR(EmitInsn(MakeSimple(Op::kNop)));
+    }
+  }
+
   const uint64_t call_offset = Offset();
   if (via) {
     // Memory-indirect call through the function-pointer global: one 5-byte
@@ -354,8 +369,7 @@ Status FnEmitter::EmitCall(const Instr& instr, const BasicBlock& bb, size_t inde
     reloc.symbol = instr.callee;
     obj_->relocs.push_back(std::move(reloc));
 
-    const Function* callee = module_.FindFunction(instr.callee);
-    if (callee != nullptr && callee->mv.is_multiverse && !callee->mv.is_variant()) {
+    if (patchable) {
       CallsiteRecord record;
       record.text_offset = call_offset;
       record.callee = instr.callee;

@@ -417,6 +417,16 @@ Status ValidateDescriptorTable(const DescriptorTable& table, const Memory& memor
                     "not match any image symbol",
                     fn.name.c_str(), (unsigned long long)fn.generic_addr));
     }
+    // The wait-free protocol retargets the generic prologue with one atomic
+    // word store; codegen 16-aligns function entries, so a misaligned entry
+    // means a corrupt descriptor, not a layout choice.
+    if (fn.generic_addr % 8 > 3) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: generic entry of '%s' at 0x%llx is "
+                    "not word-aligned for atomic patching (addr %% 8 must be "
+                    "<= 3)",
+                    fn.name.c_str(), (unsigned long long)fn.generic_addr));
+    }
     for (const RtVariant& variant : fn.variants) {
       if (!in_text(variant.fn_addr, 1) || symbol_addrs.count(variant.fn_addr) == 0) {
         return Status::FailedPrecondition(
@@ -442,6 +452,16 @@ Status ValidateDescriptorTable(const DescriptorTable& table, const Memory& memor
       return Status::FailedPrecondition(
           StrFormat("descriptor validation: call site at 0x%llx outside the text "
                     "segment",
+                    (unsigned long long)site.site_addr));
+    }
+    // Word-alignment invariant (wait-free protocol): all five mutable bytes
+    // of a patchable site must fall inside one naturally aligned 8-byte word.
+    // Codegen NOP-pads every recorded site to guarantee this, so a violation
+    // means the site address is corrupt.
+    if (site.site_addr % 8 > 3) {
+      return Status::FailedPrecondition(
+          StrFormat("descriptor validation: call site at 0x%llx is not "
+                    "word-aligned for atomic patching (addr %% 8 must be <= 3)",
                     (unsigned long long)site.site_addr));
     }
     const RtVariable* fnptr_var = table.FindVariable(site.callee_addr);

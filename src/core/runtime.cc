@@ -740,9 +740,10 @@ Result<PatchStats> MultiverseRuntime::RevertImpl() {
 
 Result<PatchStats> MultiverseRuntime::Commit() {
   if (plan_ != nullptr) {
-    // Livepatch sessions own atomicity and sequencing; the fast path would
-    // bypass the session's journal.
-    return CommitImpl(nullptr);
+    // Livepatch sessions own atomicity and sequencing (the txn fast path
+    // would bypass the session's journal), but planning still composes with
+    // the plan cache: a warm live commit replays the memoized plan.
+    return CommitPlanned();
   }
   std::vector<int64_t> values;
   Status read = ReadConfigVector(&values);
@@ -753,6 +754,60 @@ Result<PatchStats> MultiverseRuntime::Commit() {
     return RunTransactional([this] { return CommitImpl(nullptr); });
   }
   return CommitFast(values);
+}
+
+Result<PatchStats> MultiverseRuntime::CommitPlanned() {
+  std::vector<int64_t> values;
+  if (!plan_cache_enabled_ || !ReadConfigVector(&values).ok()) {
+    return CommitImpl(nullptr);
+  }
+  const uint64_t fingerprint = ConfigFingerprint(values, descriptor_epoch_);
+  // BeginPlan conservatively set state_token_ to Unknown; for a *full*
+  // planned commit the stashed pre-plan token is the cache key.
+  const StateToken pre_state = pre_plan_token_;
+  const PlanCache::Entry* hit =
+      plan_cache_.Lookup(pre_state, fingerprint, values);
+  if (hit != nullptr) {
+    // Probe-validate the memoized plan against the current text before
+    // trusting it, exactly like CommitFast: a stale entry falls back to a
+    // cold replan instead of handing the live protocol wrong old-bytes.
+    Result<PatchJournal> probe =
+        PatchJournal::Begin(vm_, &image_, hit->plan, /*validate=*/true);
+    if (probe.ok()) {
+      ++fast_stats_.plan_cache_hits;
+      ++GlobalCommitCounters::Instance().totals.plan_cache_hits;
+      *plan_ = hit->plan;
+      PatchStats stats = hit->stats;
+      // Memoized post-commit bookkeeping replaces selection replay. The
+      // session's journal still applies (and can roll back) the bytes; a
+      // rollback restores the caller's saved pre-state and poisons the
+      // cache, so this early restore never outlives a failed apply.
+      RestoreStateInternal(*hit->post_state);
+      state_token_ = StateToken::Config(hit->values);
+      return stats;
+    }
+    plan_cache_.EvictMatching(pre_state, fingerprint, values);
+    ++fast_stats_.plan_cache_evictions;
+    ++GlobalCommitCounters::Instance().totals.plan_cache_evictions;
+  }
+  Result<PatchStats> planned = CommitImpl(&values);
+  if (!planned.ok()) {
+    return planned;
+  }
+  ++fast_stats_.plan_cache_misses;
+  ++GlobalCommitCounters::Instance().totals.plan_cache_misses;
+  if (pre_state.kind != StateToken::Kind::kUnknown) {
+    PlanCache::Entry entry;
+    entry.fingerprint = fingerprint;
+    entry.pre_state = pre_state;
+    entry.values = values;
+    entry.plan = *plan_;
+    entry.stats = *planned;
+    entry.post_state = SaveState();
+    plan_cache_.Insert(std::move(entry));
+  }
+  state_token_ = StateToken::Config(values);
+  return planned;
 }
 
 Result<PatchStats> MultiverseRuntime::CommitFast(const std::vector<int64_t>& values) {

@@ -98,7 +98,10 @@ class MultiverseRuntime {
   void BeginPlan(PatchPlan* plan) {
     plan_ = plan;
     // Whatever the session applies, the resulting text is not a pure
-    // function of the switch vector from the cache's point of view.
+    // function of the switch vector from the cache's point of view — except
+    // for a *full* planned commit, which re-establishes the invariant;
+    // CommitPlanned recovers the stashed token to key the plan cache.
+    pre_plan_token_ = state_token_;
     state_token_ = StateToken::Unknown();
   }
   void EndPlan() { plan_ = nullptr; }
@@ -247,6 +250,12 @@ class MultiverseRuntime {
   void AccumulateApply(const CoalescedApplyStats& stats);
   // The memoizing full-commit transaction behind Commit().
   Result<PatchStats> CommitFast(const std::vector<int64_t>& values);
+
+  // Full commit under an active livepatch session (plan-capture mode): the
+  // session's journal owns atomicity, but selection/planning still goes
+  // through the plan cache — a warm live commit replays the memoized plan
+  // into the captured-plan buffer instead of re-running selection.
+  Result<PatchStats> CommitPlanned();
   // Partial operations (CommitFn, CommitRefs, ...) leave the text a mix of
   // configurations: no longer a pure function of the switch vector, so the
   // state token goes unknown. Cached entries stay — they become reachable
@@ -281,6 +290,9 @@ class MultiverseRuntime {
   PlanCache plan_cache_;
   bool plan_cache_enabled_ = true;
   StateToken state_token_;  // identity of the current text/bookkeeping state
+  // State token stashed by BeginPlan (see above); only meaningful inside a
+  // planning session, so it defaults to the never-matching kind.
+  StateToken pre_plan_token_ = StateToken::Unknown();
   CommitFastPathStats fast_stats_;
 };
 

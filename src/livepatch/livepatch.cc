@@ -1,6 +1,7 @@
 #include "src/livepatch/livepatch.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 
 #include "src/core/patching.h"
@@ -18,6 +19,8 @@ const char* CommitProtocolName(CommitProtocol protocol) {
       return "quiescence";
     case CommitProtocol::kBreakpoint:
       return "breakpoint";
+    case CommitProtocol::kWaitFree:
+      return "waitfree";
   }
   return "?";
 }
@@ -32,9 +35,12 @@ Result<CommitProtocol> ParseCommitProtocol(const std::string& name) {
   if (name == "breakpoint" || name == "bkpt") {
     return CommitProtocol::kBreakpoint;
   }
+  if (name == "waitfree" || name == "wait-free") {
+    return CommitProtocol::kWaitFree;
+  }
   return Status::InvalidArgument(
       StrFormat("unknown live-commit protocol '%s' "
-                "(expected unsafe|quiescence|breakpoint)",
+                "(expected unsafe|quiescence|breakpoint|waitfree)",
                 name.c_str()));
 }
 
@@ -100,6 +106,9 @@ class Engine {
         case CommitProtocol::kBreakpoint:
           status = RunBreakpoint();
           break;
+        case CommitProtocol::kWaitFree:
+          status = RunWaitFree();
+          break;
       }
       journal_ = nullptr;
       return status;
@@ -119,11 +128,14 @@ class Engine {
     hooks.retryable = [&](const Status&) { return !mutator_wedged_; };
     hooks.backoff = [&](uint64_t ticks) { host_clock_ += ticks; };
 
+    const uint64_t evictions_before = vm_->superblock_evictions();
     MV_RETURN_IF_ERROR(RunCommitTxn(vm_, &runtime_->image(), options_.txn,
                                     hooks, &stats_.txn));
 
     stats_.commit_ticks = host_clock_ - start_clock;
     stats_.ops_applied = static_cast<int>(session_.plan().size());
+    stats_.commit_epoch = vm_->code_epoch();
+    stats_.superblock_evictions = vm_->superblock_evictions() - evictions_before;
     return stats_;
   }
 
@@ -444,6 +456,97 @@ class Engine {
     MV_RETURN_IF_ERROR(batch.Release());
     stats_.mprotect_calls += batch.protect_calls();
     return RunMutatorsToHostClock({});
+  }
+
+  Status RunWaitFree() {
+    // Single-word atomic retargeting: codegen aligns every patchable site so
+    // its five bytes sit inside one naturally aligned 8-byte word
+    // (site_addr % 8 <= 3; enforced by the paranoid attach validation), and
+    // each site is rewritten with one atomic word store — read the containing
+    // word, splice the new bytes, store the word. Instruction execution is
+    // atomic at instruction granularity, so a concurrent fetcher decodes
+    // either the complete old site or the complete new one; no core is ever
+    // stopped and nothing parks at a trap. A plan op that violates the
+    // invariant (hand-built descriptors, or a multi-word body patch) cannot
+    // be stored atomically, so the whole commit degrades to the breakpoint
+    // protocol — still sound, just not disturbance-free.
+    const PatchPlan& plan = session_.plan();
+    for (const PatchOp& op : plan) {
+      if (op.addr % 8 > 3) {
+        stats_.waitfree_fallback = true;
+        return RunBreakpoint();
+      }
+    }
+
+    // Epoch gate (reclamation safety): deliver every queued superblock
+    // invalidation before the first store, so no core can still hold a
+    // decode of text an *earlier* commit rewrote when this one reuses it.
+    // The co-simulation interleaves at instruction granularity, so no core
+    // is mid-dispatch here; running mutators reconcile themselves at every
+    // Step entry, and the explicit pass covers halted cores and cores the
+    // caller parked by contract.
+    MV_RETURN_IF_ERROR(RunMutatorsToHostClock({}));
+    for (int c = 0; c < vm_->num_cores(); ++c) {
+      vm_->ReconcileCore(c);
+    }
+
+    // Apply in *reverse* plan order. Plan order groups sites by callee
+    // function ascending, which patches acquire-side call sites before the
+    // matching release-side ones; with mutators running between stores, a
+    // core could then take a lock through a new acquire and release it
+    // through a still-old release that no longer pairs with it. Reversed,
+    // every release-side site is new before any acquire-side site changes —
+    // the one-way strict->stricter direction rule of INTERNALS.md §9,
+    // without the stop-the-world or trap-barrier the other protocols use.
+    PageWriteBatch batch(vm_);
+    for (size_t ri = plan.size(); ri-- > 0;) {
+      const PatchOp& op = plan[ri];
+      // A pc *inside* the 5-byte window is possible only for NOP-eradicated
+      // sites (five 1-byte instructions); such a core would resume mid-site
+      // after the store and decode operand bytes as opcodes. Step it out
+      // first; pc == op.addr is fine — its next fetch decodes a complete
+      // site either way.
+      for (Mutator& m : mutators_) {
+        MV_RETURN_IF_ERROR(StepOutOf(
+            &m, {},
+            [&op](uint64_t pc) { return pc > op.addr && pc < op.addr + 5; },
+            "out of a wait-free patch site"));
+      }
+
+      journal_->MarkTouched(ri);
+      if (options_.flush_icache) {
+        journal_->ExpectFlush();
+      }
+      const uint64_t word = op.addr & ~UINT64_C(7);
+      uint8_t buf[8];
+      MV_RETURN_IF_ERROR(vm_->memory().ReadRaw(word, buf, sizeof buf));
+      std::memcpy(buf + (op.addr - word), op.new_bytes.data(),
+                  op.new_bytes.size());
+      MV_RETURN_IF_ERROR(batch.Acquire(word, sizeof buf));
+      MV_RETURN_IF_ERROR(batch.Write(word, buf, sizeof buf));
+      host_clock_ += vm_->cost_model().patch_write;
+      ++stats_.word_stores;
+      if (options_.flush_icache) {
+        vm_->FlushIcache(op.addr, op.new_bytes.size());
+        host_clock_ += vm_->cost_model().icache_flush_ipi;
+        ++stats_.icache_flushes;
+        ++stats_.flush_ranges;
+      }
+      MV_RETURN_IF_ERROR(RunMutatorsToHostClock({}));
+    }
+
+    MV_RETURN_IF_ERROR(batch.Release());
+    stats_.mprotect_calls += batch.protect_calls();
+    MV_RETURN_IF_ERROR(RunMutatorsToHostClock({}));
+    // Close the epoch: cores that finished mid-commit take their queued
+    // invalidations now, so code_epoch()/core_epoch() agree that the old
+    // text is reclaimable the moment the commit returns.
+    for (const Mutator& m : mutators_) {
+      if (m.done) {
+        vm_->ReconcileCore(m.core);
+      }
+    }
+    return Status::Ok();
   }
 
   Vm* vm_;

@@ -27,6 +27,20 @@
 //    immediately with no safe-point checks. Under load this can tear: a core
 //    resuming inside a rewritten site decodes operand bytes as opcodes.
 //
+//  * kWaitFree — single-word atomic retargeting: codegen aligns every
+//    patchable 5-byte site so its bytes sit inside one naturally aligned
+//    8-byte word (site_addr % 8 <= 3), and the protocol rewrites each site
+//    with one atomic word store (read the containing word, splice the five
+//    new bytes, store the word). A concurrent fetcher observes either the
+//    complete old site or the complete new site — both valid instructions —
+//    so no core is ever stopped and none parks at a trap: zero disturbance.
+//    Cores whose pc sits *inside* a multi-instruction site (NOP-eradicated
+//    call sites) are single-stepped out first, and per-core commit epochs
+//    (Vm::code_epoch/core_epoch) gate completion so old text is never
+//    reused while a core may still hold a stale superblock decode. Plans
+//    containing a misaligned op (hand-built or corrupted descriptors, or a
+//    multi-word body patch) fall back to the breakpoint protocol.
+//
 // The engine co-simulates host and guest deterministically: each host patch
 // action advances a virtual patch clock (cost_model.h patch_write /
 // icache_flush_ipi / stop_machine_ipi), and mutator cores execute until
@@ -50,6 +64,7 @@ enum class CommitProtocol {
   kUnsafe,      // the paper's unsynchronized commit (baseline)
   kQuiescence,  // stop-machine rendezvous
   kBreakpoint,  // BKPT cross-modification
+  kWaitFree,    // atomic word-store retargeting; zero disturbance
 };
 
 const char* CommitProtocolName(CommitProtocol protocol);
@@ -94,6 +109,12 @@ struct LiveCommitStats {
   int bkpt_traps = 0;             // cores that trapped on an in-flight site
   uint64_t parked_ticks = 0;      // total ticks cores spent parked at a BKPT
   int mutators_finished = 0;      // mutators that ran to completion mid-commit
+
+  // Wait-free protocol accounting.
+  uint64_t word_stores = 0;         // atomic 8-byte stores issued
+  bool waitfree_fallback = false;   // plan had a misaligned op; ran kBreakpoint
+  uint64_t commit_epoch = 0;        // Vm::code_epoch() after the commit
+  uint64_t superblock_evictions = 0;  // evictions caused by this commit
 
   // Transactional accounting: attempts, rollbacks, retries, seal repairs
   // (txn.h). rollbacks > 0 with an Ok() result means a transient failure was

@@ -15,7 +15,7 @@
 //     --run entry [-- a b ...]   call `entry` and print r0 and cycle count
 //     --commit             multiverse_commit() before --run
 //     --live protocol      commit via the live-patching subsystem
-//                          (unsafe | quiescence | breakpoint)
+//                          (unsafe | quiescence | breakpoint | waitfree)
 //     --set name=value     write a global before commit/run (may repeat)
 //     --guest              run as a paravirtualized guest
 //     --dispatch engine    VM dispatch engine (legacy | superblock)
@@ -75,7 +75,8 @@ void Usage() {
                "  --stats            print specializer statistics\n"
                "  --commit           multiverse_commit() before running\n"
                "  --live protocol    commit through the live-patching subsystem\n"
-               "                     (unsafe | quiescence | breakpoint); implies --commit\n"
+               "                     (unsafe | quiescence | breakpoint | waitfree);\n"
+               "                     implies --commit\n"
                "  --guest            run as a paravirtualized guest\n"
                "  --paranoid         validate descriptor tables at attach (default)\n"
                "  --no-paranoid      trust the descriptor sections as emitted\n"
@@ -298,9 +299,14 @@ int Main(int argc, char** argv) {
                 stats->patch.callsites_patched, stats->patch.callsites_inlined,
                 stats->ops_applied, (unsigned long long)stats->icache_flushes,
                 stats->CommitCycles());
-    std::printf("live commit-stats: mprotect=%llu flush-ranges=%llu\n",
+    std::printf("live commit-stats: mprotect=%llu flush-ranges=%llu "
+                "disturbance-cycles=%.2f word-stores=%llu sb-evictions=%llu%s\n",
                 (unsigned long long)stats->mprotect_calls,
-                (unsigned long long)stats->flush_ranges);
+                (unsigned long long)stats->flush_ranges,
+                stats->DisturbanceCycles(),
+                (unsigned long long)stats->word_stores,
+                (unsigned long long)stats->superblock_evictions,
+                stats->waitfree_fallback ? " waitfree-fallback=breakpoint" : "");
     if (stats->txn.rollbacks > 0) {
       std::printf("live commit recovery: %d attempt(s), %d rollback(s), "
                   "%d retries, last failure: %s\n",

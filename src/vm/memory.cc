@@ -143,12 +143,21 @@ Status Memory::Protect(uint64_t addr, uint64_t len, uint8_t perms) {
   if (FaultInjector::Instance().ShouldFail(FaultSite::kProtect)) {
     return Status::Internal("mprotect refused (injected fault)");
   }
+  bool lost_exec = false;
   for (uint64_t page = addr / kPageSize; page <= (addr + len - 1) / kPageSize; ++page) {
+    if ((page_perms_[page] & kPermExec) != 0 && (perms & kPermExec) == 0) {
+      lost_exec = true;
+    }
     page_perms_[page] = perms;
   }
   // A protection change over cached text (the W^X dance around a patch write)
-  // must evict the covering decode traces like a write would.
-  NotifyCodeWrite(addr, len);
+  // is reported to the VM; with the scoped observer installed, only changes
+  // that drop the execute bit force eviction of covering decode traces.
+  if (protect_observer_ && AnyCodePageMarked(addr, len)) {
+    protect_observer_(addr, len, lost_exec);
+  } else {
+    NotifyCodeWrite(addr, len);
+  }
   return Status::Ok();
 }
 

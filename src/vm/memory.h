@@ -94,6 +94,19 @@ class Memory {
   void set_code_write_observer(CodeWriteObserver observer) {
     code_write_observer_ = std::move(observer);
   }
+  // Finer-grained observer for Protect() over marked pages: `lost_exec` tells
+  // the VM whether any page in the range actually lost its execute bit. A
+  // protection change that *retains* X (the W^X dance flipping W on and off
+  // around a patch write) does not change what a fetch would decode, so the
+  // VM can skip the superblock eviction; a change that drops X must still
+  // evict (an unfilled cached element would execute where a fresh fetch
+  // faults). When unset, Protect falls back to the write observer — the
+  // conservative broadcast behaviour.
+  using ProtectObserver =
+      std::function<void(uint64_t addr, uint64_t len, bool lost_exec)>;
+  void set_protect_observer(ProtectObserver observer) {
+    protect_observer_ = std::move(observer);
+  }
   void MarkCodePages(uint64_t addr, uint64_t len);
   void ClearCodePageMarks();
 
@@ -126,6 +139,7 @@ class Memory {
   uint64_t protect_calls_ = 0;
   std::vector<uint8_t> code_marked_;  // per page: backs a cached decode trace
   CodeWriteObserver code_write_observer_;
+  ProtectObserver protect_observer_;
 };
 
 }  // namespace mv

@@ -17,10 +17,15 @@
 //    unchanged, so stale execution and kStaleFetch verdicts are preserved;
 //    instructions decoded fresh during a build fill the icache only when
 //    first dispatched, which is exactly the legacy fill moment;
-//  * any byte or protection change to memory backing a cached block evicts
-//    every overlapping block (on all cores), so a block never outlives the
-//    bytes it decoded; the rebuild re-consults the icache and recovers the
-//    legacy engine's state exactly.
+//  * any byte change (or X-dropping protection change) to memory backing a
+//    cached block evicts every overlapping block — immediately on the core
+//    that is running, and on every other core before its next fetch (at the
+//    point of the write under Vm's kBroadcast invalidation mode; from the
+//    queued-range reconcile at Step/Run entry under the default kScoped
+//    mode) — so a dispatch never reads a block whose backing bytes changed;
+//    the rebuild re-consults the icache and recovers the legacy engine's
+//    state exactly. Protection changes that retain X (the W^X patching
+//    dance) don't alter what a fetch decodes and skip eviction under kScoped.
 #ifndef MULTIVERSE_SRC_VM_SUPERBLOCK_H_
 #define MULTIVERSE_SRC_VM_SUPERBLOCK_H_
 

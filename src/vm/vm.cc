@@ -1,5 +1,6 @@
 #include "src/vm/vm.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/support/faultpoint.h"
@@ -73,8 +74,12 @@ Vm::Vm(uint64_t mem_size, int num_cores)
   icaches_.resize(static_cast<size_t>(num_cores));
   sb_caches_.resize(static_cast<size_t>(num_cores));
   sb_cursors_.resize(static_cast<size_t>(num_cores));
+  core_epochs_.resize(static_cast<size_t>(num_cores), 0);
   memory_.set_code_write_observer(
       [this](uint64_t addr, uint64_t len) { OnCodeModified(addr, len); });
+  memory_.set_protect_observer([this](uint64_t addr, uint64_t len, bool lost_exec) {
+    OnCodeProtected(addr, len, lost_exec);
+  });
 }
 
 void Vm::FlushIcache(uint64_t addr, uint64_t len) {
@@ -145,25 +150,115 @@ void Vm::OnCodeModified(uint64_t addr, uint64_t len) {
   EvictSuperblocks(addr, addr + len);
 }
 
-void Vm::EvictSuperblocks(uint64_t lo, uint64_t hi) {
-  bool evicted = false;
-  for (auto& cache : sb_caches_) {
-    for (auto it = cache.begin(); it != cache.end();) {
-      if (it->second->Overlaps(lo, hi)) {
-        it = cache.erase(it);
-        ++sb_evicted_;
-        evicted = true;
-      } else {
-        ++it;
-      }
+void Vm::OnCodeProtected(uint64_t addr, uint64_t len, bool lost_exec) {
+  if (sb_invalidation_ == SuperblockInvalidation::kScoped && !lost_exec) {
+    // The W^X dance flips the write bit but keeps X: a fetch through the page
+    // decodes the same bytes before and after, so the cached blocks stay
+    // valid. The actual patch write will evict exactly the blocks containing
+    // the patched word.
+    ++sb_protect_skips_;
+    return;
+  }
+  EvictSuperblocks(addr, addr + len);
+}
+
+uint64_t Vm::EvictSuperblocksOnCore(int core_id, uint64_t lo, uint64_t hi) {
+  auto& cache = sb_caches_[static_cast<size_t>(core_id)];
+  uint64_t evicted = 0;
+  for (auto it = cache.begin(); it != cache.end();) {
+    if (it->second->Overlaps(lo, hi)) {
+      it = cache.erase(it);
+      ++sb_evicted_;
+      ++evicted;
+    } else {
+      ++it;
     }
   }
-  if (evicted) {
-    for (SuperblockCursor& cursor : sb_cursors_) {
-      cursor.block = nullptr;
+  return evicted;
+}
+
+void Vm::EvictSuperblocks(uint64_t lo, uint64_t hi) {
+  if (lo >= hi) {
+    return;
+  }
+  ++code_epoch_;
+  if (sb_invalidation_ == SuperblockInvalidation::kBroadcast) {
+    bool evicted = false;
+    for (int c = 0; c < num_cores(); ++c) {
+      evicted = EvictSuperblocksOnCore(c, lo, hi) > 0 || evicted;
+      core_epochs_[static_cast<size_t>(c)] = code_epoch_;
     }
+    if (evicted) {
+      for (SuperblockCursor& cursor : sb_cursors_) {
+        cursor.block = nullptr;
+      }
+      ++sb_epoch_;
+    }
+    return;
+  }
+  // Scoped: the active core evicts immediately — the dispatch loops rely on a
+  // store into the running block's own text bumping sb_epoch_ before the next
+  // element dispatches. Everyone else picks the range up from the queue when
+  // they next enter Step/Run, which is before they can fetch anything.
+  if (EvictSuperblocksOnCore(active_core_, lo, hi) > 0) {
+    sb_cursors_[static_cast<size_t>(active_core_)].block = nullptr;
     ++sb_epoch_;
   }
+  core_epochs_[static_cast<size_t>(active_core_)] = code_epoch_;
+  sb_pending_.push_back(PendingInvalidation{code_epoch_, CodeRange{lo, hi - lo}});
+  TrimPendingInvalidations();
+}
+
+void Vm::ReconcileCore(int core_id) {
+  uint64_t& epoch = core_epochs_[static_cast<size_t>(core_id)];
+  if (epoch == code_epoch_) {
+    return;
+  }
+  uint64_t evicted = 0;
+  for (const PendingInvalidation& p : sb_pending_) {
+    if (p.seq > epoch) {
+      evicted += EvictSuperblocksOnCore(core_id, p.range.addr,
+                                        p.range.addr + p.range.len);
+    }
+  }
+  epoch = code_epoch_;
+  if (evicted > 0) {
+    sb_cursors_[static_cast<size_t>(core_id)].block = nullptr;
+    ++sb_epoch_;
+  }
+  TrimPendingInvalidations();
+}
+
+void Vm::TrimPendingInvalidations() {
+  uint64_t min_epoch = code_epoch_;
+  for (uint64_t e : core_epochs_) {
+    min_epoch = std::min(min_epoch, e);
+  }
+  sb_pending_.erase(
+      std::remove_if(sb_pending_.begin(), sb_pending_.end(),
+                     [min_epoch](const PendingInvalidation& p) {
+                       return p.seq <= min_epoch;
+                     }),
+      sb_pending_.end());
+  // Backstop for a core that never steps again (halted without the commit
+  // protocol reconciling it): past a bound, push the queue out eagerly so it
+  // cannot grow without limit.
+  if (sb_pending_.size() > 256) {
+    for (int c = 0; c < num_cores(); ++c) {
+      ReconcileCore(c);
+    }
+  }
+}
+
+void Vm::set_superblock_invalidation(SuperblockInvalidation mode) {
+  if (mode == sb_invalidation_) {
+    return;
+  }
+  for (int c = 0; c < num_cores(); ++c) {
+    ReconcileCore(c);
+  }
+  sb_pending_.clear();
+  sb_invalidation_ = mode;
 }
 
 void Vm::ClearSuperblocks() {
@@ -175,6 +270,11 @@ void Vm::ClearSuperblocks() {
     cursor.block = nullptr;
   }
   ++sb_epoch_;
+  ++code_epoch_;
+  sb_pending_.clear();
+  for (uint64_t& e : core_epochs_) {
+    e = code_epoch_;
+  }
   memory_.ClearCodePageMarks();
 }
 
@@ -236,6 +336,10 @@ std::optional<VmExit> Vm::Step(int core_id) {
 }
 
 std::optional<VmExit> Vm::StepLegacy(int core_id) {
+  active_core_ = core_id;
+  if (core_epochs_[static_cast<size_t>(core_id)] != code_epoch_) {
+    ReconcileCore(core_id);
+  }
   Core& core = cores_[static_cast<size_t>(core_id)];
   if (core.halted) {
     VmExit exit;
@@ -438,6 +542,12 @@ std::optional<VmExit> Vm::DispatchSuperblockInsn(int core_id, Core& core,
 }
 
 std::optional<VmExit> Vm::StepSuperblock(int core_id) {
+  active_core_ = core_id;
+  if (core_epochs_[static_cast<size_t>(core_id)] != code_epoch_) {
+    // Queued invalidations land before the cursor or cache can be consulted,
+    // so a core can never dispatch from a block a remote write stalled.
+    ReconcileCore(core_id);
+  }
   Core& core = cores_[static_cast<size_t>(core_id)];
   if (core.halted) {
     VmExit exit;
@@ -479,6 +589,10 @@ std::optional<VmExit> Vm::StepSuperblock(int core_id) {
 }
 
 VmExit Vm::RunSuperblock(int core_id, uint64_t max_steps) {
+  active_core_ = core_id;
+  if (core_epochs_[static_cast<size_t>(core_id)] != code_epoch_) {
+    ReconcileCore(core_id);
+  }
   Core& core = cores_[static_cast<size_t>(core_id)];
   SuperblockCursor& cursor = sb_cursors_[static_cast<size_t>(core_id)];
   uint64_t steps = 0;

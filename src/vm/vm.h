@@ -79,6 +79,21 @@ struct CodeRange {
   bool Contains(uint64_t pc) const { return pc >= addr && pc < addr + len; }
 };
 
+// How a code modification reaches the *other* cores' cached superblock
+// decodes (the active core always evicts its own overlapping blocks
+// immediately — the self-store invariant of the dispatch loop depends on it).
+enum class SuperblockInvalidation : uint8_t {
+  // Evict overlapping blocks on every core at the point of the write — the
+  // conservative pre-waitfree behaviour, kept as the measurable baseline.
+  kBroadcast,
+  // Queue the invalidated range; each core applies queued ranges to its own
+  // cache when it next enters Step/Run (before any fetch, so it can never
+  // dispatch a stale block). Protection changes that retain the execute bit
+  // (the W^X dance around a patch write) skip eviction entirely — a fetch
+  // decodes the same bytes either way.
+  kScoped,
+};
+
 class Vm {
  public:
   explicit Vm(uint64_t mem_size, int num_cores = 1);
@@ -108,6 +123,33 @@ class Vm {
   uint64_t superblocks_built() const { return sb_built_; }
   uint64_t superblock_evictions() const { return sb_evicted_; }
   uint64_t superblock_entries() const;
+
+  // Selects how code modifications invalidate other cores' superblock caches
+  // (default: scoped). Switching modes first drains every queued range so no
+  // core can observe a mode change as a lost invalidation.
+  void set_superblock_invalidation(SuperblockInvalidation mode);
+  SuperblockInvalidation superblock_invalidation() const {
+    return sb_invalidation_;
+  }
+  // Protection changes over cached text that retained the execute bit and
+  // therefore skipped eviction under kScoped (each would have been a
+  // full-range eviction sweep under kBroadcast).
+  uint64_t superblock_protect_skips() const { return sb_protect_skips_; }
+
+  // Commit-epoch tracking for the wait-free livepatch protocol. The global
+  // code epoch advances on every code-invalidation event (write, flush, or
+  // X-dropping protection change over cached text); a core's epoch records
+  // the last event it has reconciled against its own caches. A core whose
+  // epoch matches the global one can hold no stale decode of any patched
+  // range, which is what gates revert and variant-slot reuse.
+  uint64_t code_epoch() const { return code_epoch_; }
+  uint64_t core_epoch(int core_id) const {
+    return core_epochs_[static_cast<size_t>(core_id)];
+  }
+  // Applies every queued invalidation to `core_id`'s caches and marks it
+  // current. Called automatically when the core enters Step/Run; exposed so
+  // a commit protocol can reconcile halted cores that will never step again.
+  void ReconcileCore(int core_id);
 
   // When true, STI/CLI executed by the guest trap into the hypervisor
   // (expensive), and HYPERCALL provides the cheap paravirtual path —
@@ -195,8 +237,11 @@ class Vm {
                                                Superblock* block, size_t index,
                                                bool* block_live);
   void OnCodeModified(uint64_t addr, uint64_t len);
+  void OnCodeProtected(uint64_t addr, uint64_t len, bool lost_exec);
   void EvictSuperblocks(uint64_t lo, uint64_t hi);
+  uint64_t EvictSuperblocksOnCore(int core_id, uint64_t lo, uint64_t hi);
   void ClearSuperblocks();
+  void TrimPendingInvalidations();
 
   Memory memory_;
   std::vector<Core> cores_;
@@ -214,16 +259,35 @@ class Vm {
   std::vector<std::unordered_map<uint64_t, CachedInsn>> icaches_;
 
   // Superblock engine state. Unlike the icache, the block caches are kept
-  // strictly coherent (writes, W^X changes and flushes evict), which is what
-  // lets a block dispatch skip the per-instruction probe without changing
-  // observable behaviour. sb_epoch_ increments on every eviction so dispatch
-  // loops can detect that an instruction invalidated its own block.
+  // coherent with code modifications: the active core's overlapping blocks
+  // are evicted at the point of the write, and every other core applies the
+  // queued invalidations before its next fetch (immediately, under
+  // kBroadcast) — so no core ever dispatches from a block whose backing
+  // bytes changed. That is what lets a block dispatch skip the
+  // per-instruction probe without changing observable behaviour. sb_epoch_
+  // increments on every eviction so dispatch loops can detect that an
+  // instruction invalidated its own block.
   DispatchEngine dispatch_engine_;
   std::vector<std::unordered_map<uint64_t, std::unique_ptr<Superblock>>> sb_caches_;
   std::vector<SuperblockCursor> sb_cursors_;
   uint64_t sb_epoch_ = 0;
   uint64_t sb_built_ = 0;
   uint64_t sb_evicted_ = 0;
+
+  // Scoped-invalidation state: the global code epoch, each core's reconciled
+  // epoch, the queue of not-yet-everywhere-applied ranges (trimmed once every
+  // core has passed an entry), and the core whose Step/Run is innermost (its
+  // evictions must be immediate — see EvictSuperblocks).
+  SuperblockInvalidation sb_invalidation_ = SuperblockInvalidation::kScoped;
+  struct PendingInvalidation {
+    uint64_t seq = 0;
+    CodeRange range;
+  };
+  uint64_t code_epoch_ = 0;
+  std::vector<uint64_t> core_epochs_;
+  std::vector<PendingInvalidation> sb_pending_;
+  int active_core_ = 0;
+  uint64_t sb_protect_skips_ = 0;
 };
 
 }  // namespace mv

@@ -104,6 +104,30 @@ TEST(DescriptorRobustnessTest, GuardAgainstUnknownVariableFailsCommit) {
   EXPECT_EQ(commit.status().code(), StatusCode::kInternal);
 }
 
+TEST(DescriptorRobustnessTest, MisalignedCallSiteRejected) {
+  std::unique_ptr<Program> program = BuildSample();
+  ASSERT_NE(program, nullptr);
+  // Corrupt the first callsite record's site address (offset 8) to a text
+  // address whose five patch bytes straddle an 8-byte word boundary. The
+  // wait-free protocol retargets sites with a single atomic word store, so
+  // paranoid attach must reject any site with addr % 8 > 3.
+  const SectionPlacement& sites = program->image().sections.at(".mv.callsites");
+  ASSERT_GT(sites.size, 0u);
+  uint64_t site_addr = 0;
+  ASSERT_TRUE(
+      program->vm().memory().ReadRaw(sites.addr + 8, &site_addr, 8).ok());
+  ASSERT_LE(site_addr % 8, 3u);
+  const uint64_t misaligned = (site_addr & ~UINT64_C(7)) + 4;
+  ASSERT_TRUE(
+      program->vm().memory().WriteRaw(sites.addr + 8, &misaligned, 8).ok());
+  Result<MultiverseRuntime> runtime =
+      MultiverseRuntime::Attach(&program->vm(), program->image());
+  ASSERT_FALSE(runtime.ok());
+  EXPECT_EQ(runtime.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(runtime.status().ToString().find("word-aligned"), std::string::npos)
+      << runtime.status().ToString();
+}
+
 TEST(DescriptorRobustnessTest, UnterminatedNameStringRejected) {
   std::unique_ptr<Program> program = BuildSample();
   ASSERT_NE(program, nullptr);

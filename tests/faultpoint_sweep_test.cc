@@ -33,7 +33,7 @@ void tick() { if (feature) { count = count + 2; } else { count = count + 1; } }
 long run(long n) { long i; for (i = 0; i < n; ++i) { tick(); } return count; }
 )";
 
-enum class CommitPath { kPlain, kQuiescence, kBreakpoint };
+enum class CommitPath { kPlain, kQuiescence, kBreakpoint, kWaitFree };
 
 const char* CommitPathName(CommitPath path) {
   switch (path) {
@@ -43,6 +43,8 @@ const char* CommitPathName(CommitPath path) {
       return "quiescence";
     case CommitPath::kBreakpoint:
       return "breakpoint";
+    case CommitPath::kWaitFree:
+      return "waitfree";
   }
   return "?";
 }
@@ -88,9 +90,19 @@ class FaultSweepTest : public ::testing::TestWithParam<SweepConfig> {
       return program->runtime().Commit().status();
     }
     LiveCommitOptions options;
-    options.protocol = GetParam().path == CommitPath::kQuiescence
-                           ? CommitProtocol::kQuiescence
-                           : CommitProtocol::kBreakpoint;
+    switch (GetParam().path) {
+      case CommitPath::kQuiescence:
+        options.protocol = CommitProtocol::kQuiescence;
+        break;
+      case CommitPath::kBreakpoint:
+        options.protocol = CommitProtocol::kBreakpoint;
+        break;
+      case CommitPath::kWaitFree:
+        options.protocol = CommitProtocol::kWaitFree;
+        break;
+      case CommitPath::kPlain:
+        break;  // handled above
+    }
     options.txn.max_attempts = 1;
     return multiverse_commit_live(&program->vm(), &program->runtime(), options)
         .status();
@@ -230,6 +242,9 @@ INSTANTIATE_TEST_SUITE_P(
                                   CommitPath::kQuiescence},
                       SweepConfig{DispatchEngine::kSuperblock,
                                   CommitPath::kBreakpoint},
+                      SweepConfig{DispatchEngine::kLegacy, CommitPath::kWaitFree},
+                      SweepConfig{DispatchEngine::kSuperblock,
+                                  CommitPath::kWaitFree},
                       SweepConfig{DispatchEngine::kLegacy, CommitPath::kPlain,
                                   /*warm_cache=*/true},
                       SweepConfig{DispatchEngine::kSuperblock, CommitPath::kPlain,

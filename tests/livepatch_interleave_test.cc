@@ -275,6 +275,19 @@ SweepResult Sweep(CommitProtocol protocol, int num_mutators, bool flush_icache,
           EXPECT_EQ(stats->cores_stopped, 0)
               << "breakpoint protocol stopped cores at commit point " << k;
         }
+        if (protocol == CommitProtocol::kWaitFree) {
+          // The headline property: zero disturbance — nothing stopped,
+          // nothing parked, no trap-barrier, no misalignment fallback.
+          EXPECT_EQ(stats->cores_stopped, 0)
+              << "waitfree protocol stopped cores at commit point " << k;
+          EXPECT_EQ(stats->parked_ticks, 0u)
+              << "waitfree protocol parked a core at commit point " << k;
+          EXPECT_EQ(stats->bkpt_traps, 0)
+              << "waitfree protocol trapped a core at commit point " << k;
+          EXPECT_FALSE(stats->waitfree_fallback)
+              << "compiler-emitted plan misaligned at commit point " << k;
+          EXPECT_GT(stats->word_stores, 0u);
+        }
         outcome = fixture.Drain(&why);
       } else {
         const bool stale =
@@ -328,6 +341,11 @@ TEST_P(LivepatchInterleaveTest, EveryCommitPointIsSoundAndStaleFree) {
   if (protocol == CommitProtocol::kQuiescence) {
     EXPECT_GT(result.cores_stopped, 0u) << "stop-machine never engaged";
   }
+  if (protocol == CommitProtocol::kWaitFree) {
+    EXPECT_EQ(result.cores_stopped, 0u) << "waitfree stopped a core";
+    EXPECT_EQ(result.parked_ticks, 0u) << "waitfree parked a core";
+    EXPECT_EQ(result.bkpt_traps, 0u) << "waitfree trapped a core";
+  }
 }
 
 TEST_P(LivepatchInterleaveTest, SuppressedIcacheFlushIsDetectedNotSilent) {
@@ -350,7 +368,8 @@ TEST_P(LivepatchInterleaveTest, SuppressedIcacheFlushIsDetectedNotSilent) {
 INSTANTIATE_TEST_SUITE_P(
     Protocols, LivepatchInterleaveTest,
     ::testing::Combine(::testing::Values(CommitProtocol::kQuiescence,
-                                         CommitProtocol::kBreakpoint),
+                                         CommitProtocol::kBreakpoint,
+                                         CommitProtocol::kWaitFree),
                        ::testing::Values(1, 2),
                        ::testing::Values(DispatchEngine::kLegacy,
                                          DispatchEngine::kSuperblock)),

@@ -75,7 +75,7 @@ void RunFault(FaultSite site, uint64_t probe_count) {
   ScopedFault fault(site, probe_count / 2);
   CheckOk(program->runtime().Commit().status(), "recovered commit");
   const TxnStats& txn = program->runtime().last_txn();
-  RecordTxnOutcome(txn.rollbacks, txn.retries);
+  RecordCommitOutcome(CommitStatsFromTxn(txn));
 
   PrintRow(name + ": recovery latency", TicksToCycles(txn.recovery_ticks),
            "cycles", txn.rollbacks > 0 ? "rollback + reverse-order undo"
@@ -107,7 +107,7 @@ void RunLiveRecovery() {
   const LiveCommitStats stats = CheckOk(
       multiverse_commit_live(&program->vm(), &program->runtime(), options),
       "recovered live commit");
-  RecordTxnOutcome(stats.txn.rollbacks, stats.txn.retries);
+  RecordCommitOutcome(stats.Summary());
 
   PrintRow("live quiescence: clean commit latency", base.CommitCycles(),
            "cycles");
@@ -138,7 +138,7 @@ void Run() {
     }
     CheckOk(program->runtime().Commit().status(), "clean commit");
     const TxnStats& txn = program->runtime().last_txn();
-    RecordTxnOutcome(txn.rollbacks, txn.retries);
+    RecordCommitOutcome(CommitStatsFromTxn(txn));
     for (size_t s = 0; s < kFaultSiteCount; ++s) {
       probe[s] = injector.Count(static_cast<FaultSite>(s)) - before[s];
     }

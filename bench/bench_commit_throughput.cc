@@ -193,8 +193,7 @@ void Run() {
   JsonMetric("warm_mprotect_calls", warm_mprotect);
   JsonMetric("warm_flush_ranges", warm_flushes);
   JsonMetric("warm_pages_touched", warm_pages);
-  RecordTxnOutcome(cached->runtime().last_txn().rollbacks,
-                   cached->runtime().last_txn().retries);
+  RecordCommitOutcome(CommitStatsFromTxn(cached->runtime().last_txn()));
 
   if (hits != warm_commits) {
     std::fprintf(stderr, "FATAL: expected every warm flip to hit the plan cache "
@@ -268,7 +267,12 @@ void Run() {
   JsonMetric("waitfree_commits", static_cast<double>(live_commits));
   JsonMetric("waitfree_word_stores", static_cast<double>(live_word_stores));
   JsonMetric("waitfree_disturbance_cycles", live_disturbance, "cycles");
-  BenchReport::Instance().RecordDisturbance(live_disturbance, live_parked);
+  {
+    CommitStats live_stats;
+    live_stats.disturbance_cycles = live_disturbance;
+    live_stats.parked_cycles = live_parked;
+    RecordCommitOutcome(live_stats);
+  }
 
   if (live_hits != live_commits) {
     std::fprintf(stderr, "FATAL: waitfree flips missed the plan cache "

@@ -403,9 +403,7 @@ void Run() {
               ? Status::Ok()
               : Status::Internal("waitfree disturbance not below baselines"),
           "waitfree disturbance strictly lowest");
-  BenchReport::Instance().RecordDisturbance(
-      waitfree->stats.DisturbanceCycles(),
-      TicksToCycles(waitfree->stats.parked_ticks));
+  RecordCommitOutcome(waitfree->stats.Summary());
 
   CheckWaitFreeIdentity();
   CompareInvalidationModes();

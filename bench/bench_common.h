@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/commit_stats.h"
 #include "src/core/plan_cache.h"
 #include "src/support/status.h"
 #include "src/vm/superblock.h"
@@ -175,6 +176,17 @@ class BenchReport {
 // Convenience forwarder for bench bodies.
 inline void RecordTxnOutcome(int rollbacks, int retries) {
   BenchReport::Instance().RecordTxn(rollbacks, retries);
+}
+
+// One-call accounting for a whole commit outcome (commit_stats.h). Benches
+// used to hand-pick counters out of TxnStats/LiveCommitStats individually,
+// which drifted as counters were added; anything that produces a CommitStats
+// (LiveCommitStats::Summary(), CommitStatsFromTxn, CommitOutcome::stats)
+// lands in the report header through this single funnel.
+inline void RecordCommitOutcome(const CommitStats& stats) {
+  BenchReport::Instance().RecordTxn(stats.rollbacks, stats.retries);
+  BenchReport::Instance().RecordDisturbance(stats.disturbance_cycles,
+                                            stats.parked_cycles);
 }
 
 inline void PrintHeader(const char* experiment, const char* paper_ref) {

@@ -1,0 +1,223 @@
+// Fleet rollout benchmark: canary-coordinated configuration flips across a
+// fleet of independent multiverse instances, under sustained request load.
+//
+// Phase A (healthy): a 64-instance fleet serves a sharded tenant stream while
+// the CommitCoordinator rolls {fast_path=1, log_level=1} out wave by wave —
+// canary first, auto-advancing on healthy counters — with one tenant pinned
+// to the old variants on a dedicated instance. Headline: fleet-wide flip
+// latency, ZERO dropped and ZERO torn requests while every instance flips
+// with an in-flight batch racing the commit, and the pin surviving the
+// fleet-wide flip.
+//
+// Phase B (unhealthy): the same rollout with a one-shot patch-write fault
+// armed on the canary flip. The canary recovers by journal rollback + retry,
+// the health evaluation sees the rollback, breaches the zero-rollback policy
+// and auto-reverts — after which every instance's config fingerprint and
+// text checksum are bit-identical to its pre-rollout values.
+//
+// MV_FLEET_INSTANCES / MV_FLEET_WAVES env overrides let the CI smoke job run
+// a small fleet; defaults reproduce the full-size experiment.
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/fleet/coordinator.h"
+#include "src/fleet/fleet.h"
+#include "src/support/faultpoint.h"
+#include "src/workloads/harness.h"
+
+namespace mv {
+namespace {
+
+int EnvOr(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+std::unique_ptr<Fleet> BuildFleet(int instances) {
+  FleetOptions options;
+  options.instances = instances;
+  options.cores_per_instance = 2;
+  std::vector<ProgramSource> sources = {
+      {"fleet_kernel", FleetRequestKernelSource()}};
+  return CheckOk(Fleet::Build(sources, options), "fleet build");
+}
+
+RolloutPolicy Policy(int waves) {
+  RolloutPolicy policy;
+  policy.canary_pct = 12.5;
+  policy.waves = waves;
+  policy.max_rollbacks = 0;  // any journal rollback is a breach
+  policy.observe_requests = 96;
+  policy.inflight_requests = 32;
+  return policy;
+}
+
+const Fleet::Assignment kFlip = {{"fast_path", 1}, {"log_level", 1}};
+
+void RunHealthy(int instances, int waves) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(instances);
+  const CommitFastPathStats before = GlobalCommitCounters::Instance().totals;
+
+  // Pin one tenant to the old fast_path on a dedicated instance; the rollout
+  // must flow around it.
+  const uint64_t kPinnedTenant = 5;
+  CheckOk(fleet->PinTenant(kPinnedTenant, {{"fast_path", 0}}), "pin tenant");
+  const int pinned_instance = fleet->RouteTenant(kPinnedTenant);
+  const uint64_t pinned_fingerprint =
+      CheckOk(fleet->ConfigFingerprint(pinned_instance), "pinned fingerprint");
+
+  CommitCoordinator coordinator(fleet.get(), Policy(waves));
+  const RolloutReport report = CheckOk(
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn), "rollout");
+
+  CheckOk(report.advanced_to_full
+              ? Status::Ok()
+              : Status::Internal("healthy rollout did not reach 100%: " +
+                                 report.breach),
+          "healthy rollout advanced");
+  CheckOk(report.identity_mismatches == 0
+              ? Status::Ok()
+              : Status::Internal("instance neither fully-old nor fully-new"),
+          "identity proof");
+
+  // The pin survived: same fingerprint, still serving the old variant.
+  CheckOk(CheckOk(fleet->ConfigFingerprint(pinned_instance),
+                  "pinned fingerprint after") == pinned_fingerprint
+              ? Status::Ok()
+              : Status::Internal("tenant pin lost by fleet-wide flip"),
+          "pin survived rollout");
+  CheckOk(CheckOk(fleet->ReadSwitchValue(pinned_instance, "fast_path"),
+                  "pinned switch") == 0
+              ? Status::Ok()
+              : Status::Internal("pinned switch value changed"),
+          "pinned switch value");
+
+  const HealthSummary health = fleet->metrics().Fleet();
+  CheckOk(health.totals.dropped_requests == 0 && health.totals.torn_requests == 0
+              ? Status::Ok()
+              : Status::Internal("requests dropped or torn during rollout"),
+          "zero dropped, zero torn");
+
+  const CommitFastPathStats after = GlobalCommitCounters::Instance().totals;
+  const double cold_plans = double(after.plan_cache_misses - before.plan_cache_misses);
+  const double warm_plans = double(after.plan_cache_hits - before.plan_cache_hits);
+
+  PrintRow("fleet size", instances, "inst", "one canary + rolling waves");
+  PrintRow("rollout waves", report.waves_attempted, "");
+  PrintRow("instances flipped", double(report.flipped_instances), "inst",
+           "pinned instance excluded");
+  PrintRow("fleet-wide flip latency", report.fleet_flip_cycles, "cycles",
+           "sum of slowest in-wave flips");
+  PrintRow("flip latency per wave (max)",
+           report.fleet_flip_cycles / double(report.waves_attempted), "cycles");
+  PrintRow("requests served", double(health.totals.requests_served), "req");
+  PrintRow("dropped requests", double(health.totals.dropped_requests), "req",
+           "headline: zero");
+  PrintRow("torn requests", double(health.totals.torn_requests), "req",
+           "headline: zero");
+  PrintRow("mean request latency", health.totals.MeanRequestCycles(), "cycles");
+  PrintRow("plan-cache cold plans", cold_plans, "", "first instance per config");
+  PrintRow("plan-cache warm replays", warm_plans, "",
+           "every other instance, probe-validated");
+  for (const WaveReport& wave : report.waves) {
+    const std::string prefix = "wave " + std::to_string(wave.wave);
+    JsonMetric(prefix + ": instances", double(wave.instances.size()));
+    JsonMetric(prefix + ": flip cycles (max)", wave.flip_cycles_max, "cycles");
+    JsonMetric(prefix + ": rollbacks", wave.delta.totals.commit.rollbacks);
+    JsonMetric(prefix + ": dropped", double(wave.delta.totals.dropped_requests));
+    JsonMetric(prefix + ": torn", double(wave.delta.totals.torn_requests));
+    JsonMetric(prefix + ": mean request cycles",
+               wave.delta.totals.MeanRequestCycles(), "cycles");
+  }
+  JsonMetric("dropped_requests", double(health.totals.dropped_requests));
+  JsonMetric("torn_requests", double(health.totals.torn_requests));
+  JsonMetric("identity_mismatches", double(report.identity_mismatches));
+  RecordCommitOutcome(health.totals.commit);
+}
+
+void RunUnhealthy(int instances, int waves) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(instances);
+
+  // Every instance's identity before the rollout; auto-revert must restore
+  // all of them bit-identically.
+  std::map<int, std::pair<uint64_t, uint64_t>> pre;
+  for (int i = 0; i < fleet->size(); ++i) {
+    pre[i] = {CheckOk(fleet->ConfigFingerprint(i), "pre fingerprint"),
+              fleet->TextChecksum(i)};
+  }
+
+  CommitCoordinator coordinator(fleet.get(), Policy(waves));
+  // Arm a one-shot patch-write fault on the first (canary) flip: the commit
+  // recovers by rollback + retry, but the rollback breaches max_rollbacks=0.
+  bool armed = false;
+  coordinator.set_flip_hook([&armed](int, int) {
+    if (!armed) {
+      armed = true;
+      FaultInjector::Instance().Arm(FaultSite::kPatchWrite, 0);
+    }
+  });
+  const RolloutReport report = CheckOk(
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn), "rollout");
+  FaultInjector::Instance().Disarm();
+
+  CheckOk(report.reverted ? Status::Ok()
+                          : Status::Internal("unhealthy canary did not revert"),
+          "auto-revert triggered");
+  CheckOk(report.identity_mismatches == 0
+              ? Status::Ok()
+              : Status::Internal("revert left a mixed-config instance"),
+          "revert identity proof");
+
+  // Independent re-check against the snapshot taken before the rollout.
+  int mismatches = 0;
+  for (int i = 0; i < fleet->size(); ++i) {
+    if (CheckOk(fleet->ConfigFingerprint(i), "post fingerprint") != pre[i].first ||
+        fleet->TextChecksum(i) != pre[i].second) {
+      ++mismatches;
+    }
+  }
+  CheckOk(mismatches == 0
+              ? Status::Ok()
+              : Status::Internal("instance not bit-identical after revert"),
+          "pre/post fingerprint + text checksum identical");
+
+  const HealthSummary health = fleet->metrics().Fleet();
+  PrintRow("canary rollbacks (injected)", health.totals.commit.rollbacks, "",
+           "one-shot patch-write fault");
+  PrintRow("breach-to-revert instances", double(report.reverted_instances),
+           "inst", "reverse flip order");
+  PrintRow("revert: fingerprint mismatches", mismatches, "",
+           "headline: zero");
+  PrintRow("revert: instances restored", double(report.reverted_instances), "");
+  PrintRow("unhealthy phase dropped requests",
+           double(health.totals.dropped_requests), "req");
+  PrintRow("unhealthy phase torn requests",
+           double(health.totals.torn_requests), "req");
+  JsonMetric("unhealthy: dropped_requests",
+             double(health.totals.dropped_requests));
+  JsonMetric("unhealthy: torn_requests", double(health.totals.torn_requests));
+  RecordCommitOutcome(health.totals.commit);
+}
+
+void Run() {
+  PrintHeader("Fleet rollout: canary waves, auto-revert, tenant pinning",
+              "beyond-paper: ROADMAP fleet north-star; INTERNALS.md §14");
+  const int instances = EnvOr("MV_FLEET_INSTANCES", 64);
+  const int waves = EnvOr("MV_FLEET_WAVES", 4);
+  PrintNote("Each instance: independent Vm + runtime, 2 cores (core 0 serves");
+  PrintNote("the tenant stream, core 1 runs the in-flight batch each flip");
+  PrintNote("races). One shared plan cache across the fleet: instance 0 plans");
+  PrintNote("cold, the rest replay the journal after probe validation.");
+  RunHealthy(instances, waves);
+  PrintNote("-- unhealthy canary: one-shot patch-write fault, policy "
+            "max_rollbacks=0 --");
+  RunUnhealthy(instances, waves);
+}
+
+}  // namespace
+}  // namespace mv
+
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

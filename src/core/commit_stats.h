@@ -1,0 +1,72 @@
+// CommitStats — the reusable commit outcome counters.
+//
+// Before this header every bench (and now the fleet coordinator) re-collected
+// the same commit health counters by hand from three different sources:
+// TxnStats (rollbacks/retries), LiveCommitStats (disturbance, parked ticks,
+// wait-free fallbacks) and the Vm (superblock evictions). The fields drifted —
+// one bench recorded parked cycles, another recorded parked ticks, a third
+// forgot retries. CommitStats is the single struct all of them fold into:
+// per-commit producers convert into it, and consumers (BenchReport,
+// FleetMetrics, the rollout policy) only ever accumulate and compare it.
+#ifndef MULTIVERSE_SRC_CORE_COMMIT_STATS_H_
+#define MULTIVERSE_SRC_CORE_COMMIT_STATS_H_
+
+#include <cstdint>
+
+#include "src/core/txn.h"
+
+namespace mv {
+
+struct CommitStats {
+  // Transactional recovery (txn.h): journal rollbacks and the retries that
+  // followed them. rollbacks > 0 with an eventual success means a transient
+  // failure was absorbed; the fleet rollout policy treats it as a health
+  // signal either way.
+  int rollbacks = 0;
+  int retries = 0;
+
+  // Mutator disturbance in modelled cycles (livepatch protocols): total
+  // frozen + parked time, and the parked-at-BKPT share of it.
+  double disturbance_cycles = 0;
+  double parked_cycles = 0;
+
+  // Superblock decode-cache evictions caused by the commit's code writes.
+  uint64_t superblock_evictions = 0;
+
+  // Commits that requested kWaitFree but ran the breakpoint protocol
+  // because the plan contained a misaligned op.
+  int waitfree_fallbacks = 0;
+
+  void Accumulate(const CommitStats& other) {
+    rollbacks += other.rollbacks;
+    retries += other.retries;
+    disturbance_cycles += other.disturbance_cycles;
+    parked_cycles += other.parked_cycles;
+    superblock_evictions += other.superblock_evictions;
+    waitfree_fallbacks += other.waitfree_fallbacks;
+  }
+
+  CommitStats Delta(const CommitStats& since) const {
+    CommitStats d;
+    d.rollbacks = rollbacks - since.rollbacks;
+    d.retries = retries - since.retries;
+    d.disturbance_cycles = disturbance_cycles - since.disturbance_cycles;
+    d.parked_cycles = parked_cycles - since.parked_cycles;
+    d.superblock_evictions = superblock_evictions - since.superblock_evictions;
+    d.waitfree_fallbacks = waitfree_fallbacks - since.waitfree_fallbacks;
+    return d;
+  }
+};
+
+// The plain (non-livepatch) commit paths report through TxnStats only: no
+// mutators run, so disturbance and fallback fields stay zero.
+inline CommitStats CommitStatsFromTxn(const TxnStats& txn) {
+  CommitStats stats;
+  stats.rollbacks = txn.rollbacks;
+  stats.retries = txn.retries;
+  return stats;
+}
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_COMMIT_STATS_H_

@@ -27,6 +27,9 @@ Result<MultiverseRuntime> MultiverseRuntime::Attach(Vm* vm, const Image& image,
   runtime.image_ = image;
   runtime.txn_options_ = options.txn;
   runtime.plan_cache_enabled_ = options.plan_cache;
+  if (options.shared_plan_cache != nullptr) {
+    runtime.plan_cache_ = options.shared_plan_cache;
+  }
   DescriptorTable::ParseOptions parse_options;
   parse_options.paranoid = options.paranoid;
   MV_ASSIGN_OR_RETURN(runtime.table_,
@@ -288,11 +291,38 @@ Result<uint64_t> MultiverseRuntime::SelectVariantForTest(uint64_t generic_addr,
 }
 
 void MultiverseRuntime::InvalidatePlanCache() {
-  if (plan_cache_.size() > 0) {
+  if (plan_cache_->size() > 0) {
     ++fast_stats_.plan_cache_invalidations;
     ++GlobalCommitCounters::Instance().totals.plan_cache_invalidations;
-    plan_cache_.Clear();
+    plan_cache_->Clear();
   }
+}
+
+Result<uint64_t> MultiverseRuntime::ConfigFingerprintNow() const {
+  std::vector<int64_t> values;
+  MV_RETURN_IF_ERROR(ReadConfigVector(&values));
+  return ConfigFingerprint(values, descriptor_epoch_);
+}
+
+uint64_t MultiverseRuntime::TextChecksum() const {
+  std::vector<uint8_t> text(image_.text_size);
+  if (!vm_->memory().ReadRaw(image_.text_base, text.data(), text.size()).ok()) {
+    return 0;
+  }
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a
+  for (uint8_t byte : text) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+Result<CommitOutcome> MultiverseRuntime::CommitWithOutcome() {
+  CommitOutcome outcome;
+  MV_ASSIGN_OR_RETURN(outcome.patch, Commit());
+  outcome.stats = CommitStatsFromTxn(last_txn_);
+  MV_ASSIGN_OR_RETURN(outcome.config_fingerprint, ConfigFingerprintNow());
+  return outcome;
 }
 
 void MultiverseRuntime::AccumulateApply(const CoalescedApplyStats& stats) {
@@ -766,7 +796,7 @@ Result<PatchStats> MultiverseRuntime::CommitPlanned() {
   // planned commit the stashed pre-plan token is the cache key.
   const StateToken pre_state = pre_plan_token_;
   const PlanCache::Entry* hit =
-      plan_cache_.Lookup(pre_state, fingerprint, values);
+      plan_cache_->Lookup(pre_state, fingerprint, values);
   if (hit != nullptr) {
     // Probe-validate the memoized plan against the current text before
     // trusting it, exactly like CommitFast: a stale entry falls back to a
@@ -786,7 +816,7 @@ Result<PatchStats> MultiverseRuntime::CommitPlanned() {
       state_token_ = StateToken::Config(hit->values);
       return stats;
     }
-    plan_cache_.EvictMatching(pre_state, fingerprint, values);
+    plan_cache_->EvictMatching(pre_state, fingerprint, values);
     ++fast_stats_.plan_cache_evictions;
     ++GlobalCommitCounters::Instance().totals.plan_cache_evictions;
   }
@@ -804,7 +834,7 @@ Result<PatchStats> MultiverseRuntime::CommitPlanned() {
     entry.plan = *plan_;
     entry.stats = *planned;
     entry.post_state = SaveState();
-    plan_cache_.Insert(std::move(entry));
+    plan_cache_->Insert(std::move(entry));
   }
   state_token_ = StateToken::Config(values);
   return planned;
@@ -819,7 +849,7 @@ Result<PatchStats> MultiverseRuntime::CommitFast(const std::vector<int64_t>& val
   PlanCache::Entry cached;
   bool try_cached = false;
   if (plan_cache_enabled_) {
-    const PlanCache::Entry* hit = plan_cache_.Lookup(pre_state, fingerprint, values);
+    const PlanCache::Entry* hit = plan_cache_->Lookup(pre_state, fingerprint, values);
     if (hit != nullptr) {
       cached = *hit;
       try_cached = true;
@@ -845,7 +875,7 @@ Result<PatchStats> MultiverseRuntime::CommitFast(const std::vector<int64_t>& val
         patch_stats = cached.stats;
         return cached.plan;
       }
-      plan_cache_.EvictMatching(pre_state, fingerprint, values);
+      plan_cache_->EvictMatching(pre_state, fingerprint, values);
       ++fast_stats_.plan_cache_evictions;
       ++GlobalCommitCounters::Instance().totals.plan_cache_evictions;
       try_cached = false;
@@ -907,7 +937,7 @@ Result<PatchStats> MultiverseRuntime::CommitFast(const std::vector<int64_t>& val
       entry.plan = plan;
       entry.stats = patch_stats;
       entry.post_state = SaveState();
-      plan_cache_.Insert(std::move(entry));
+      plan_cache_->Insert(std::move(entry));
     }
   }
   return patch_stats;

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/commit_stats.h"
 #include "src/core/descriptors.h"
 #include "src/core/patching.h"
 #include "src/core/plan_cache.h"
@@ -56,6 +57,24 @@ struct AttachOptions {
   // (src/core/plan_cache.h). `mvcc --no-plan-cache` turns it off; the
   // differential suites assert on/off bit-identical text and execution.
   bool plan_cache = true;
+  // When set, this runtime memoizes into (and hits from) the given cache
+  // instead of a private one. Identically built images share text layout and
+  // descriptor addresses, so a fleet of same-source instances converges after
+  // ONE cold plan per configuration transition: instance A plans, instances
+  // B..N replay. Divergent sharers are safe — a plan whose old bytes don't
+  // match the instance's text fails probe validation and is evicted before a
+  // byte moves — but note that whole-cache invalidation (any rollback,
+  // set_plan_cache_enabled(false)) drops the entries for every sharer.
+  std::shared_ptr<PlanCache> shared_plan_cache;
+};
+
+// Structured outcome of a full commit, for callers (the fleet coordinator)
+// that orchestrate many runtimes and need comparable health + identity data
+// rather than a bare PatchStats.
+struct CommitOutcome {
+  PatchStats patch;             // what the commit did (Table 1 counters)
+  CommitStats stats;            // recovery counters (commit_stats.h)
+  uint64_t config_fingerprint = 0;  // fingerprint of the committed config
 };
 
 class MultiverseRuntime {
@@ -68,6 +87,10 @@ class MultiverseRuntime {
 
   // --- The multiverse API (paper Table 1) ---
   Result<PatchStats> Commit();
+  // Commit() plus the structured outcome a coordinator wants: the recovery
+  // counters of the transaction it ran and the fingerprint of the
+  // configuration the instance now provably runs.
+  Result<CommitOutcome> CommitWithOutcome();
   Result<PatchStats> Revert();
   Result<PatchStats> CommitFn(uint64_t generic_addr);
   Result<PatchStats> RevertFn(uint64_t generic_addr);
@@ -115,10 +138,13 @@ class MultiverseRuntime {
   void set_plan_cache_enabled(bool enabled) {
     plan_cache_enabled_ = enabled;
     if (!enabled) {
-      plan_cache_.Clear();
+      plan_cache_->Clear();
     }
   }
-  size_t plan_cache_entries() const { return plan_cache_.size(); }
+  size_t plan_cache_entries() const { return plan_cache_->size(); }
+  // The cache this runtime memoizes into — the caller's shared cache when
+  // AttachOptions::shared_plan_cache was set, else a private one.
+  const std::shared_ptr<PlanCache>& plan_cache() const { return plan_cache_; }
   // Drops every memoized plan (and counts it when something was dropped).
   void InvalidatePlanCache();
 
@@ -150,6 +176,16 @@ class MultiverseRuntime {
   using SavedState = RuntimeSnapshot;
   std::shared_ptr<const SavedState> SaveState() const;
   void RestoreState(const SavedState& saved);
+
+  // --- Instance identity (fleet provability) ---
+  // Fingerprint of the switch values the instance currently holds (the same
+  // hash the plan cache keys on). Two same-image instances with equal
+  // fingerprints are configured identically.
+  Result<uint64_t> ConfigFingerprintNow() const;
+  // FNV-1a over the full text segment as the guest would fetch it. Equal
+  // checksums on same-image instances mean bit-identical code — the
+  // "provably fully-old or fully-new" check after a rollout or revert.
+  uint64_t TextChecksum() const;
 
  private:
   friend struct RuntimeSnapshot;  // snapshot of the private state structs
@@ -287,7 +323,9 @@ class MultiverseRuntime {
   std::map<uint64_t, std::vector<uint64_t>> var_to_fns_;  // var -> generic addrs
   std::vector<size_t> fingerprint_vars_;  // variable indexes in the fingerprint
   uint64_t descriptor_epoch_ = 0;         // bumped on descriptor mutation
-  PlanCache plan_cache_;
+  // Private by default; Attach swaps in AttachOptions::shared_plan_cache so a
+  // fleet of same-image instances reuses each other's plans. Never null.
+  std::shared_ptr<PlanCache> plan_cache_ = std::make_shared<PlanCache>();
   bool plan_cache_enabled_ = true;
   StateToken state_token_;  // identity of the current text/bookkeeping state
   // State token stashed by BeginPlan (see above); only meaningful inside a

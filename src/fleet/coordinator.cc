@@ -1,0 +1,400 @@
+#include "src/fleet/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/support/str.h"
+
+namespace mv {
+
+const char* RolloutEventName(RolloutEvent::Kind kind) {
+  switch (kind) {
+    case RolloutEvent::Kind::kRolloutStart:
+      return "rollout-start";
+    case RolloutEvent::Kind::kWaveStart:
+      return "wave-start";
+    case RolloutEvent::Kind::kFlip:
+      return "flip";
+    case RolloutEvent::Kind::kFlipFailed:
+      return "flip-failed";
+    case RolloutEvent::Kind::kWaveHealthy:
+      return "wave-healthy";
+    case RolloutEvent::Kind::kBreach:
+      return "breach";
+    case RolloutEvent::Kind::kRevertStart:
+      return "revert-start";
+    case RolloutEvent::Kind::kRevertInstance:
+      return "revert-instance";
+    case RolloutEvent::Kind::kProof:
+      return "proof";
+    case RolloutEvent::Kind::kRolloutDone:
+      return "rollout-done";
+  }
+  return "?";
+}
+
+void RolloutLog::Append(RolloutEvent::Kind kind, int wave, int instance,
+                        std::string detail) {
+  RolloutEvent event;
+  event.kind = kind;
+  event.wave = wave;
+  event.instance = instance;
+  event.detail = std::move(detail);
+  events_.push_back(std::move(event));
+}
+
+std::string RolloutLog::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const RolloutEvent& e = events_[i];
+    out += StrFormat("%04zu %-16s", i, RolloutEventName(e.kind));
+    out += e.wave >= 0 ? StrFormat(" wave %d", e.wave) : std::string(" wave -");
+    out += e.instance >= 0 ? StrFormat(" inst %3d", e.instance)
+                           : std::string(" inst   -");
+    if (!e.detail.empty()) {
+      out += "  " + e.detail;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status RolloutLog::WriteTo(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open rollout log path '" + path + "'");
+  }
+  const std::string text = ToString();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+std::vector<std::vector<int>> CommitCoordinator::PartitionWaves(
+    const std::vector<int>& instances, double canary_pct, int waves) {
+  std::vector<std::vector<int>> out;
+  const int n = static_cast<int>(instances.size());
+  if (n == 0) {
+    return out;
+  }
+  const int total_waves = std::max(1, waves);
+  int canary = static_cast<int>(std::llround(n * canary_pct / 100.0));
+  canary = std::clamp(canary, 1, n);
+  if (total_waves == 1) {
+    canary = n;
+  }
+  out.emplace_back(instances.begin(), instances.begin() + canary);
+  int pos = canary;
+  int remaining = n - canary;
+  for (int w = 1; w < total_waves && remaining > 0; ++w) {
+    const int waves_left = total_waves - w;
+    const int take = (remaining + waves_left - 1) / waves_left;
+    out.emplace_back(instances.begin() + pos, instances.begin() + pos + take);
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+CommitProtocol CommitCoordinator::ProtocolFor(int instance) const {
+  return policy_.protocol.value_or(PreferredProtocol(fleet_->runtime(instance)));
+}
+
+std::string CommitCoordinator::EvaluateWave(const HealthSummary& delta,
+                                            double baseline_mean) const {
+  const CommitStats& commit = delta.totals.commit;
+  if (policy_.max_rollbacks >= 0 && commit.rollbacks > policy_.max_rollbacks) {
+    return StrFormat("rollbacks %d > max %d", commit.rollbacks,
+                     policy_.max_rollbacks);
+  }
+  if (policy_.max_waitfree_fallbacks >= 0 &&
+      commit.waitfree_fallbacks > policy_.max_waitfree_fallbacks) {
+    return StrFormat("waitfree fallbacks %d > max %d", commit.waitfree_fallbacks,
+                     policy_.max_waitfree_fallbacks);
+  }
+  if (policy_.max_disturbance_cycles >= 0 &&
+      commit.disturbance_cycles > policy_.max_disturbance_cycles) {
+    return StrFormat("disturbance %.0f cycles > max %.0f",
+                     commit.disturbance_cycles, policy_.max_disturbance_cycles);
+  }
+  if (delta.totals.dropped_requests > policy_.max_dropped) {
+    return StrFormat("dropped requests %llu > max %llu",
+                     (unsigned long long)delta.totals.dropped_requests,
+                     (unsigned long long)policy_.max_dropped);
+  }
+  if (delta.totals.torn_requests > policy_.max_torn) {
+    return StrFormat("torn requests %llu > max %llu",
+                     (unsigned long long)delta.totals.torn_requests,
+                     (unsigned long long)policy_.max_torn);
+  }
+  if (policy_.max_latency_factor > 0 && baseline_mean > 0 &&
+      delta.totals.MeanRequestCycles() >
+          baseline_mean * policy_.max_latency_factor) {
+    return StrFormat("mean latency %.1f cycles > %.2fx baseline %.1f",
+                     delta.totals.MeanRequestCycles(),
+                     policy_.max_latency_factor, baseline_mean);
+  }
+  return "";
+}
+
+Status CommitCoordinator::FlipInstance(int instance, int wave,
+                                       const Fleet::Assignment& assignment,
+                                       const std::string& load_fn,
+                                       double* flip_cycles) {
+  for (const auto& [name, value] : assignment) {
+    MV_RETURN_IF_ERROR(fleet_->WriteSwitch(instance, name, value));
+  }
+  if (flip_hook_) {
+    flip_hook_(instance, wave);
+  }
+  const bool with_load = !load_fn.empty() &&
+                         fleet_->options().cores_per_instance > 1 &&
+                         policy_.inflight_requests > 0;
+  if (with_load) {
+    MV_RETURN_IF_ERROR(fleet_->StartLoad(
+        instance, load_fn, 1000 * static_cast<uint64_t>(wave + 1) + instance,
+        policy_.inflight_requests, policy_.load_warmup_steps));
+  }
+  LiveCommitOptions live = policy_.live;
+  live.protocol = ProtocolFor(instance);
+  live.mutator_cores = with_load ? std::vector<int>{1} : std::vector<int>{};
+  Result<LiveCommitStats> stats = multiverse_commit_live(
+      &fleet_->program(instance).vm(), &fleet_->runtime(instance), live);
+  if (!stats.ok()) {
+    // The transaction rolled the text back (journal, reverse order); the
+    // in-flight batch keeps running on the restored old text.
+    (void)fleet_->DrainLoad(instance);
+    return stats.status();
+  }
+  InstanceHealth& health = fleet_->metrics().instance(instance);
+  const double cycles = stats->CommitCycles();
+  ++health.flips;
+  health.flip_cycles += cycles;
+  health.max_flip_cycles = std::max(health.max_flip_cycles, cycles);
+  health.commit.Accumulate(stats->Summary());
+  log_.Append(RolloutEvent::Kind::kFlip, wave, instance,
+              StrFormat("%s, %.0f cycles%s", CommitProtocolName(live.protocol),
+                        cycles,
+                        stats->txn.rollbacks > 0 ? " (recovered by retry)" : ""));
+  // A torn in-flight batch is a flip failure even though the commit landed:
+  // the caller reverts the rollout.
+  MV_RETURN_IF_ERROR(fleet_->DrainLoad(instance));
+  *flip_cycles = cycles;
+  return Status::Ok();
+}
+
+void CommitCoordinator::RevertAll(std::vector<FlippedInstance>* flipped,
+                                  const std::string& load_fn,
+                                  RolloutReport* report) {
+  log_.Append(RolloutEvent::Kind::kRevertStart, -1, -1,
+              StrFormat("%zu instance(s) to restore, reverse flip order",
+                        flipped->size()));
+  for (auto it = flipped->rbegin(); it != flipped->rend(); ++it) {
+    const int instance = it->instance;
+    std::string detail;
+    Status status = Status::Ok();
+    for (const auto& [name, value] : it->old_values) {
+      Status write = fleet_->WriteSwitch(instance, name, value);
+      if (!write.ok() && status.ok()) {
+        status = write;
+      }
+    }
+    const bool with_load = !load_fn.empty() &&
+                           fleet_->options().cores_per_instance > 1 &&
+                           policy_.inflight_requests > 0;
+    if (status.ok() && with_load) {
+      status = fleet_->StartLoad(instance, load_fn,
+                                 9'000'000ull + static_cast<uint64_t>(instance),
+                                 policy_.inflight_requests,
+                                 policy_.load_warmup_steps);
+    }
+    if (status.ok()) {
+      // The revert is a forward journaled commit back to the old assignment;
+      // with the shared plan cache the first instance replans cold and the
+      // rest replay the memoized reverse transition.
+      LiveCommitOptions live = policy_.live;
+      live.protocol = ProtocolFor(instance);
+      live.mutator_cores =
+          with_load ? std::vector<int>{1} : std::vector<int>{};
+      Result<LiveCommitStats> stats = multiverse_commit_live(
+          &fleet_->program(instance).vm(), &fleet_->runtime(instance), live);
+      if (stats.ok()) {
+        InstanceHealth& health = fleet_->metrics().instance(instance);
+        const double cycles = stats->CommitCycles();
+        ++health.flips;
+        health.flip_cycles += cycles;
+        health.max_flip_cycles = std::max(health.max_flip_cycles, cycles);
+        health.commit.Accumulate(stats->Summary());
+        detail = StrFormat("%s, %.0f cycles",
+                           CommitProtocolName(live.protocol), cycles);
+      } else {
+        status = stats.status();
+      }
+      Status drain = fleet_->DrainLoad(instance);
+      if (!drain.ok() && status.ok()) {
+        status = drain;
+      }
+    }
+    if (!status.ok()) {
+      detail = "FAILED: " + status.ToString();
+    }
+    ++report->reverted_instances;
+    log_.Append(RolloutEvent::Kind::kRevertInstance, -1, instance, detail);
+  }
+  flipped->clear();
+}
+
+Result<RolloutReport> CommitCoordinator::Rollout(
+    const Fleet::Assignment& assignment, const std::string& handler,
+    const std::string& load_fn) {
+  RolloutReport report;
+  const std::vector<int> targets = fleet_->UnpinnedInstances();
+  if (targets.empty()) {
+    return Status::FailedPrecondition("no unpinned instances to roll out to");
+  }
+  std::vector<int> everyone(fleet_->size());
+  for (int i = 0; i < fleet_->size(); ++i) {
+    everyone[i] = i;
+  }
+
+  // Plan: identity snapshot (the fully-old proof baseline) + wave partition.
+  pre_fingerprint_.assign(fleet_->size(), 0);
+  pre_checksum_.assign(fleet_->size(), 0);
+  for (int i = 0; i < fleet_->size(); ++i) {
+    MV_ASSIGN_OR_RETURN(pre_fingerprint_[i], fleet_->ConfigFingerprint(i));
+    pre_checksum_[i] = fleet_->TextChecksum(i);
+  }
+  const std::vector<std::vector<int>> waves =
+      PartitionWaves(targets, policy_.canary_pct, policy_.waves);
+  std::string assignment_text;
+  for (const auto& [name, value] : assignment) {
+    assignment_text += StrFormat("%s%s=%lld", assignment_text.empty() ? "" : " ",
+                                 name.c_str(), (long long)value);
+  }
+  log_.Append(RolloutEvent::Kind::kRolloutStart, -1, -1,
+              StrFormat("{%s} over %zu instance(s), %zu wave(s), canary %zu",
+                        assignment_text.c_str(), targets.size(), waves.size(),
+                        waves.empty() ? 0 : waves[0].size()));
+
+  // Baseline traffic slice: the latency yardstick the policy compares to.
+  {
+    const std::vector<InstanceHealth> snapshot = fleet_->metrics().Snapshot();
+    MV_RETURN_IF_ERROR(fleet_->Serve(
+        fleet_->GenerateRequests(policy_.observe_requests), handler));
+    const HealthSummary baseline =
+        fleet_->metrics().AggregateDelta(everyone, snapshot);
+    report.baseline_mean_request_cycles = baseline.totals.MeanRequestCycles();
+  }
+
+  std::vector<FlippedInstance> flipped;
+  for (size_t w = 0; w < waves.size(); ++w) {
+    ++report.waves_attempted;
+    WaveReport wave_report;
+    wave_report.wave = static_cast<int>(w);
+    wave_report.instances = waves[w];
+    log_.Append(RolloutEvent::Kind::kWaveStart, static_cast<int>(w), -1,
+                StrFormat("%zu instance(s)", waves[w].size()));
+    const std::vector<InstanceHealth> snapshot = fleet_->metrics().Snapshot();
+
+    for (int instance : waves[w]) {
+      FlippedInstance record;
+      record.instance = instance;
+      for (const auto& [name, value] : assignment) {
+        (void)value;
+        MV_ASSIGN_OR_RETURN(const int64_t old_value,
+                            fleet_->ReadSwitchValue(instance, name));
+        record.old_values.emplace_back(name, old_value);
+      }
+      double flip_cycles = 0;
+      Status flip =
+          FlipInstance(instance, static_cast<int>(w), assignment, load_fn,
+                       &flip_cycles);
+      if (flip.ok()) {
+        flipped.push_back(std::move(record));
+        wave_report.flip_cycles_max =
+            std::max(wave_report.flip_cycles_max, flip_cycles);
+        continue;
+      }
+      // Final transaction failure: the journal already restored this
+      // instance's text in reverse order; restore its switch values so
+      // config matches text again, then abandon the rollout.
+      for (const auto& [name, value] : record.old_values) {
+        (void)fleet_->WriteSwitch(instance, name, value);
+      }
+      log_.Append(RolloutEvent::Kind::kFlipFailed, static_cast<int>(w),
+                  instance, flip.ToString());
+      wave_report.breach = StrFormat("instance %d flip failed: %s", instance,
+                                     flip.ToString().c_str());
+      break;
+    }
+
+    if (wave_report.breach.empty()) {
+      // Observe: a fleet-wide traffic slice, then the policy verdict on this
+      // wave's health delta.
+      MV_RETURN_IF_ERROR(fleet_->Serve(
+          fleet_->GenerateRequests(policy_.observe_requests), handler));
+      wave_report.delta = fleet_->metrics().AggregateDelta(everyone, snapshot);
+      wave_report.breach =
+          EvaluateWave(wave_report.delta, report.baseline_mean_request_cycles);
+    }
+    wave_report.healthy = wave_report.breach.empty();
+    report.fleet_flip_cycles += wave_report.flip_cycles_max;
+    if (wave_report.healthy) {
+      log_.Append(RolloutEvent::Kind::kWaveHealthy, static_cast<int>(w), -1,
+                  StrFormat("slowest flip %.0f cycles",
+                            wave_report.flip_cycles_max));
+      report.waves.push_back(std::move(wave_report));
+      continue;
+    }
+    log_.Append(RolloutEvent::Kind::kBreach, static_cast<int>(w), -1,
+                wave_report.breach);
+    report.breach = wave_report.breach;
+    report.waves.push_back(std::move(wave_report));
+    break;
+  }
+
+  report.flipped_instances = flipped.size();
+  const bool reverting = !report.breach.empty();
+  if (reverting) {
+    report.reverted = true;
+    RevertAll(&flipped, load_fn, &report);
+  } else {
+    report.advanced_to_full = true;
+  }
+
+  // Identity proof: every instance must be provably on one side. After an
+  // advance, unpinned instances must agree with the first flipped instance's
+  // post-commit identity; after a revert (and for pinned instances always),
+  // identity must match the Plan snapshot.
+  uint64_t new_fingerprint = 0;
+  uint64_t new_checksum = 0;
+  if (!reverting) {
+    MV_ASSIGN_OR_RETURN(new_fingerprint, fleet_->ConfigFingerprint(targets[0]));
+    new_checksum = fleet_->TextChecksum(targets[0]);
+  }
+  for (int i = 0; i < fleet_->size(); ++i) {
+    const bool expect_new = !reverting && !fleet_->pinned(i);
+    Result<uint64_t> fingerprint = fleet_->ConfigFingerprint(i);
+    const uint64_t checksum = fleet_->TextChecksum(i);
+    const uint64_t want_fingerprint =
+        expect_new ? new_fingerprint : pre_fingerprint_[i];
+    const uint64_t want_checksum = expect_new ? new_checksum : pre_checksum_[i];
+    const bool match = fingerprint.ok() && *fingerprint == want_fingerprint &&
+                       checksum == want_checksum;
+    if (!match) {
+      ++report.identity_mismatches;
+    }
+    log_.Append(RolloutEvent::Kind::kProof, -1, i,
+                StrFormat("%s%s", fleet_->pinned(i) ? "pinned, " : "",
+                          match ? (expect_new ? "fully-new" : "fully-old")
+                                : "IDENTITY MISMATCH"));
+  }
+  log_.Append(RolloutEvent::Kind::kRolloutDone, -1, -1,
+              reverting ? "reverted: " + report.breach
+                        : StrFormat("advanced to 100%% (%llu instance(s))",
+                                    (unsigned long long)report.flipped_instances));
+  return report;
+}
+
+}  // namespace mv

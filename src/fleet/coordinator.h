@@ -1,0 +1,178 @@
+// CommitCoordinator — canary rollouts of a switch assignment across a Fleet.
+//
+// State machine (INTERNALS.md §14):
+//
+//   Plan -> [per wave: Flip -> Observe -> (advance | breach)]
+//        -> Converged                      (every wave healthy)
+//        -> Revert -> RolledBack           (any breach, or a failed flip)
+//
+// Plan partitions the unpinned instances into waves (wave 0 is the canary
+// cohort, canary_pct of the fleet), snapshots every instance's config
+// fingerprint and text checksum, and measures a baseline traffic slice.
+// Flip rewrites one wave: per instance, write the assignment, start the
+// in-flight batch on core 1, run a live commit (protocol chosen per instance
+// via PreferredProtocol unless the policy forces one), drain the batch.
+// Observe serves a fleet-wide traffic slice and evaluates the health delta
+// since the wave began against the policy thresholds. A breach — or a flip
+// whose transaction finally failed (the journal's reverse-order rollback has
+// already restored that instance's text) — reverts the whole rollout:
+// every flipped instance is committed back to its pre-rollout assignment in
+// reverse flip order, then every instance's fingerprint and checksum is
+// re-proved against the Plan snapshot. The rollout log records each
+// transition, so the final fully-old-or-fully-new claim is auditable, and
+// WriteTo() persists it.
+#ifndef MULTIVERSE_SRC_FLEET_COORDINATOR_H_
+#define MULTIVERSE_SRC_FLEET_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet.h"
+#include "src/fleet/metrics.h"
+#include "src/livepatch/livepatch.h"
+
+namespace mv {
+
+struct RolloutPolicy {
+  double canary_pct = 12.5;  // wave 0 size, percent of the unpinned fleet
+  int waves = 4;             // total waves, canary included
+
+  // Health thresholds, evaluated on each wave's delta. Negative = unlimited.
+  int max_rollbacks = 0;          // journal rollbacks (the revert threshold)
+  int max_waitfree_fallbacks = -1;
+  double max_disturbance_cycles = -1;
+  uint64_t max_dropped = 0;
+  uint64_t max_torn = 0;
+  // Mean foreground latency of the wave window vs. the baseline slice.
+  double max_latency_factor = -1;
+
+  // Traffic shape.
+  uint64_t observe_requests = 128;  // fleet-wide slice after each wave
+  uint64_t inflight_requests = 48;  // per-instance batch racing each flip
+  uint64_t load_warmup_steps = 64;
+
+  // Protocol: per-instance PreferredProtocol() unless forced here.
+  std::optional<CommitProtocol> protocol;
+  // Base live-commit options (txn tuning, rendezvous budget); the
+  // coordinator overrides protocol and mutator_cores per flip.
+  LiveCommitOptions live;
+};
+
+struct RolloutEvent {
+  enum class Kind : uint8_t {
+    kRolloutStart,
+    kWaveStart,
+    kFlip,         // one instance committed to the new assignment
+    kFlipFailed,   // transaction failed; journal already restored the text
+    kWaveHealthy,
+    kBreach,       // a policy threshold tripped
+    kRevertStart,
+    kRevertInstance,
+    kProof,        // per-instance identity verdict at rollout end
+    kRolloutDone,
+  };
+  Kind kind = Kind::kRolloutStart;
+  int wave = -1;      // -1 when not wave-scoped
+  int instance = -1;  // -1 when not instance-scoped
+  std::string detail;
+};
+
+const char* RolloutEventName(RolloutEvent::Kind kind);
+
+class RolloutLog {
+ public:
+  void Append(RolloutEvent::Kind kind, int wave, int instance,
+              std::string detail);
+  const std::vector<RolloutEvent>& events() const { return events_; }
+  std::string ToString() const;
+  // Persists the log, one event per line — the rollout's audit trail.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<RolloutEvent> events_;
+};
+
+struct WaveReport {
+  int wave = 0;
+  std::vector<int> instances;
+  HealthSummary delta;       // health attributable to this wave's window
+  double flip_cycles_max = 0;  // slowest flip in the wave
+  bool healthy = false;
+  std::string breach;        // first threshold that tripped
+};
+
+struct RolloutReport {
+  bool advanced_to_full = false;
+  bool reverted = false;
+  int waves_attempted = 0;
+  std::string breach;  // why the rollout reverted (empty when it advanced)
+  std::vector<WaveReport> waves;
+  // Fleet-wide flip latency: waves flip logically in parallel, so the cost
+  // of a wave is its slowest instance; the rollout pays the sum over waves.
+  double fleet_flip_cycles = 0;
+  uint64_t flipped_instances = 0;
+  uint64_t reverted_instances = 0;
+  // Identity proof at the end: instances whose fingerprint+checksum did not
+  // match the expected side (new after advance, old after revert). Zero or
+  // the rollout's guarantee is broken.
+  uint64_t identity_mismatches = 0;
+  double baseline_mean_request_cycles = 0;
+};
+
+class CommitCoordinator {
+ public:
+  CommitCoordinator(Fleet* fleet, const RolloutPolicy& policy)
+      : fleet_(fleet), policy_(policy) {}
+
+  // Rolls `assignment` across the unpinned fleet, wave by wave, serving the
+  // sharded request stream between waves. `load_fn` (when non-empty and the
+  // instances have a second core) races an in-flight batch against every
+  // flip. Returns the report for both outcomes — advanced or reverted; an
+  // error Status means the fleet itself failed (build/serve infrastructure),
+  // not an unhealthy rollout.
+  Result<RolloutReport> Rollout(const Fleet::Assignment& assignment,
+                                const std::string& handler,
+                                const std::string& load_fn);
+
+  const RolloutLog& log() const { return log_; }
+
+  // Test/bench hook, fired right before an instance's live commit — fault
+  // injection arms here to make a canary unhealthy for real.
+  void set_flip_hook(std::function<void(int instance, int wave)> hook) {
+    flip_hook_ = std::move(hook);
+  }
+
+  // Wave partition: wave 0 is the canary cohort (canary_pct, at least one
+  // instance), the remainder splits evenly across the other waves. Exposed
+  // for tests.
+  static std::vector<std::vector<int>> PartitionWaves(
+      const std::vector<int>& instances, double canary_pct, int waves);
+
+ private:
+  struct FlippedInstance {
+    int instance = -1;
+    Fleet::Assignment old_values;
+  };
+
+  // Empty string = healthy; otherwise the first breached threshold.
+  std::string EvaluateWave(const HealthSummary& delta, double baseline_mean) const;
+  CommitProtocol ProtocolFor(int instance) const;
+  Status FlipInstance(int instance, int wave, const Fleet::Assignment& assignment,
+                      const std::string& load_fn, double* flip_cycles);
+  void RevertAll(std::vector<FlippedInstance>* flipped,
+                 const std::string& load_fn, RolloutReport* report);
+
+  Fleet* fleet_;
+  RolloutPolicy policy_;
+  RolloutLog log_;
+  std::function<void(int, int)> flip_hook_;
+  std::vector<uint64_t> pre_fingerprint_;
+  std::vector<uint64_t> pre_checksum_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FLEET_COORDINATOR_H_

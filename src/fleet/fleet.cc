@@ -1,0 +1,302 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+// SplitMix64: the deterministic request-stream generator. Every slice of the
+// stream is a pure function of (stream_seed, cursor), so two runs of the same
+// fleet see the same tenants in the same order.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string FleetRequestKernelSource() {
+  return R"(__attribute__((multiverse)) int fast_path;
+__attribute__((multiverse)) int log_level;
+long served;
+long acc;
+long log_lines;
+
+__attribute__((multiverse))
+void account(long amount) {
+  if (fast_path) {
+    acc = acc + amount;
+  } else {
+    long i;
+    for (i = 0; i < 8; ++i) { acc = acc + amount; }
+    acc = acc - amount * 7;
+  }
+}
+
+__attribute__((multiverse))
+void audit() {
+  if (log_level) { log_lines = log_lines + 1; }
+}
+
+long handle_request(long tenant, long payload) {
+  account(payload + tenant % 7);
+  audit();
+  served = served + 1;
+  return acc;
+}
+
+long serve_batch(long base, long n) {
+  long i;
+  for (i = 0; i < n; ++i) { handle_request(base + i, i % 13); }
+  return served;
+}
+)";
+}
+
+Result<std::unique_ptr<Fleet>> Fleet::Build(
+    const std::vector<ProgramSource>& sources, const FleetOptions& options) {
+  if (options.instances < 1) {
+    return Status::InvalidArgument("fleet needs at least one instance");
+  }
+  if (options.cores_per_instance < 1) {
+    return Status::InvalidArgument("fleet instances need at least one core");
+  }
+  std::unique_ptr<Fleet> fleet(new Fleet(options));
+  if (options.share_plan_cache) {
+    fleet->plan_cache_ = std::make_shared<PlanCache>();
+  }
+  for (int i = 0; i < options.instances; ++i) {
+    BuildOptions build = options.build;
+    build.vm_cores = options.cores_per_instance;
+    build.vm_memory = options.vm_memory;
+    build.attach.shared_plan_cache = fleet->plan_cache_;
+    Result<std::unique_ptr<Program>> program = Program::Build(sources, build);
+    if (!program.ok()) {
+      return Status(program.status().code(),
+                    StrFormat("instance %d: %s", i,
+                              program.status().message().c_str()));
+    }
+    fleet->instances_.push_back(std::move(program.value()));
+  }
+  // Boot commit: bring every instance to the committed fixpoint of its boot
+  // configuration. Identity proofs depend on this — a revert re-commits the
+  // old switch values, which reproduces committed text bit-for-bit but can
+  // never reproduce a never-committed (generic, unspecialized) image. Also
+  // warms the shared plan cache: instance 0 plans cold, the rest replay.
+  for (int i = 0; i < options.instances; ++i) {
+    Result<CommitOutcome> boot = fleet->runtime(i).CommitWithOutcome();
+    if (!boot.ok()) {
+      return Status(boot.status().code(),
+                    StrFormat("instance %d boot commit: %s", i,
+                              boot.status().message().c_str()));
+    }
+  }
+  fleet->pinned_.assign(options.instances, false);
+  fleet->load_active_.assign(options.instances, false);
+  fleet->load_requests_.assign(options.instances, 0);
+  fleet->load_served_before_.assign(options.instances, 0);
+  return fleet;
+}
+
+Status Fleet::WriteSwitch(int instance, const std::string& name, int64_t value) {
+  // Descriptor width, not a blanket 8-byte store: switches narrower than 8
+  // bytes may have live neighbours in the data section.
+  int width = 8;
+  for (const RtVariable& var : runtime(instance).table().variables) {
+    if (var.name == name) {
+      width = static_cast<int>(var.width);
+      break;
+    }
+  }
+  return program(instance).WriteGlobal(name, value, width);
+}
+
+Result<int64_t> Fleet::ReadSwitchValue(int instance, const std::string& name) {
+  for (const RtVariable& var : runtime(instance).table().variables) {
+    if (var.name == name) {
+      return runtime(instance).ReadSwitch(var);
+    }
+  }
+  return program(instance).ReadGlobal(name);
+}
+
+Status Fleet::CommitAll(const Assignment& values) {
+  for (int i = 0; i < size(); ++i) {
+    for (const auto& [name, value] : values) {
+      MV_RETURN_IF_ERROR(WriteSwitch(i, name, value));
+    }
+    Result<CommitOutcome> outcome = runtime(i).CommitWithOutcome();
+    if (!outcome.ok()) {
+      return Status(outcome.status().code(),
+                    StrFormat("instance %d commit: %s", i,
+                              outcome.status().message().c_str()));
+    }
+    metrics_.instance(i).commit.Accumulate(outcome->stats);
+  }
+  return Status::Ok();
+}
+
+std::vector<Request> Fleet::GenerateRequests(uint64_t count) {
+  std::vector<Request> requests;
+  requests.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t n = stream_cursor_++;
+    Request request;
+    request.tenant = Mix64(options_.stream_seed ^ n) %
+                     static_cast<uint64_t>(options_.tenants);
+    request.payload = Mix64(options_.stream_seed + 2 * n + 1) % 1024;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+int Fleet::RouteTenant(uint64_t tenant) const {
+  for (const TenantPin& pin : pins_) {
+    if (pin.tenant == tenant) {
+      return pin.instance;
+    }
+  }
+  std::vector<int> pool = UnpinnedInstances();
+  if (pool.empty()) {
+    return 0;  // fully pinned fleet: degenerate, route to instance 0
+  }
+  return pool[tenant % pool.size()];
+}
+
+Status Fleet::Serve(const std::vector<Request>& requests,
+                    const std::string& handler) {
+  for (const Request& request : requests) {
+    const int i = RouteTenant(request.tenant);
+    InstanceHealth& health = metrics_.instance(i);
+    const uint64_t before = program(i).vm().core(0).ticks;
+    Result<uint64_t> result =
+        program(i).Call(handler, {request.tenant, request.payload});
+    if (!result.ok()) {
+      ++health.dropped_requests;
+      continue;
+    }
+    const double cycles = TicksToCycles(program(i).vm().core(0).ticks - before);
+    ++health.requests_served;
+    ++health.timed_requests;
+    health.request_cycles += cycles;
+    health.max_request_cycles = std::max(health.max_request_cycles, cycles);
+  }
+  return Status::Ok();
+}
+
+Status Fleet::StartLoad(int instance, const std::string& load_fn, uint64_t base,
+                        uint64_t requests, uint64_t warmup_steps) {
+  if (options_.cores_per_instance < 2) {
+    return Status::FailedPrecondition(
+        "in-flight load needs a second core per instance");
+  }
+  if (load_active_[instance]) {
+    return Status::FailedPrecondition("instance already has an active load");
+  }
+  Program& prog = program(instance);
+  MV_ASSIGN_OR_RETURN(const uint64_t fn_addr, prog.SymbolAddress(load_fn));
+  int64_t served_before = 0;
+  if (!options_.served_counter.empty()) {
+    MV_ASSIGN_OR_RETURN(served_before, prog.ReadGlobal(options_.served_counter));
+  }
+  SetupCall(prog.image(), &prog.vm(), fn_addr, {base, requests}, /*core=*/1);
+  // Step into the batch so the flip really races live execution. A tiny batch
+  // may halt during warmup — DrainLoad handles the already-halted core.
+  for (uint64_t i = 0; i < warmup_steps; ++i) {
+    if (prog.vm().Step(1).has_value()) {
+      break;
+    }
+  }
+  load_active_[instance] = true;
+  load_requests_[instance] = requests;
+  load_served_before_[instance] = served_before;
+  return Status::Ok();
+}
+
+Status Fleet::DrainLoad(int instance) {
+  if (!load_active_[instance]) {
+    return Status::Ok();
+  }
+  load_active_[instance] = false;
+  Program& prog = program(instance);
+  InstanceHealth& health = metrics_.instance(instance);
+  const uint64_t requests = load_requests_[instance];
+  const uint64_t budget = 10'000 * (requests + 1) + 100'000;
+  const VmExit exit = prog.vm().Run(1, budget);
+
+  uint64_t completed = requests;
+  if (!options_.served_counter.empty()) {
+    Result<int64_t> served_now = prog.ReadGlobal(options_.served_counter);
+    if (served_now.ok()) {
+      const int64_t delta = *served_now - load_served_before_[instance];
+      completed = delta < 0 ? 0 : std::min<uint64_t>(delta, requests);
+    }
+  }
+  if (exit.kind == VmExit::Kind::kHalt) {
+    health.requests_served += completed;
+    return Status::Ok();
+  }
+  // The batch died mid-flight — a fault on torn text, a stray trap, or a
+  // wedged loop. Everything it had not completed is torn traffic.
+  health.requests_served += completed;
+  health.torn_requests += requests - completed;
+  return Status::Internal(
+      StrFormat("instance %d in-flight batch tore: %s", instance,
+                exit.ToString().c_str()));
+}
+
+Status Fleet::PinTenant(uint64_t tenant, const Assignment& overrides) {
+  TenantPin* existing = nullptr;
+  for (TenantPin& pin : pins_) {
+    if (pin.tenant == tenant) {
+      existing = &pin;
+      break;
+    }
+  }
+  int instance;
+  if (existing != nullptr) {
+    instance = existing->instance;
+  } else {
+    std::vector<int> pool = UnpinnedInstances();
+    if (pool.size() < 2) {
+      return Status::FailedPrecondition(
+          "pinning would leave no unpinned instance to shard over");
+    }
+    instance = pool.back();  // take from the back, keep shard order stable
+  }
+  // Route the overrides through the per-switch path: write the switch, then
+  // re-bind exactly the functions referencing it (Table 1 CommitRefs) — the
+  // rest of the instance's bindings are untouched.
+  for (const auto& [name, value] : overrides) {
+    MV_RETURN_IF_ERROR(WriteSwitch(instance, name, value));
+    MV_RETURN_IF_ERROR(runtime(instance).CommitRefs(name).status());
+  }
+  if (existing != nullptr) {
+    existing->overrides = overrides;
+  } else {
+    pinned_[instance] = true;
+    TenantPin pin;
+    pin.tenant = tenant;
+    pin.instance = instance;
+    pin.overrides = overrides;
+    pins_.push_back(std::move(pin));
+  }
+  return Status::Ok();
+}
+
+std::vector<int> Fleet::UnpinnedInstances() const {
+  std::vector<int> pool;
+  for (int i = 0; i < size(); ++i) {
+    if (!pinned_[i]) {
+      pool.push_back(i);
+    }
+  }
+  return pool;
+}
+
+}  // namespace mv

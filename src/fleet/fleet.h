@@ -1,0 +1,154 @@
+// Fleet — N independent multiverse VM instances behind one request stream.
+//
+// The paper commits one image; the ROADMAP north-star is a production fleet
+// whose configuration flips roll out under live traffic. A Fleet owns N
+// fully independent instances (each its own Vm, Runtime and dispatch engine
+// — no shared guest state whatsoever), built from the same sources so their
+// images are bit-identical at boot. Identical images mean identical text
+// layout, which buys two things:
+//   * one shared PlanCache across the fleet: the first instance to plan a
+//     configuration transition pays the cold commit, every later instance
+//     replays the memoized journal (probe-validated against its own text
+//     first, so a diverged instance can never be torn by a foreign plan);
+//   * cheap identity proofs: equal TextChecksum + ConfigFingerprint across
+//     instances is exactly "this instance runs the same multiverse".
+//
+// A deterministic generated request stream is sharded by tenant id over the
+// unpinned instances; per-tenant variant pinning dedicates an instance to a
+// tenant and routes its config overrides through the per-switch
+// CommitRefs() path, so the pinned tenant keeps its variant while the
+// CommitCoordinator rolls the rest of the fleet around it.
+#ifndef MULTIVERSE_SRC_FLEET_FLEET_H_
+#define MULTIVERSE_SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/program.h"
+#include "src/fleet/metrics.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+struct FleetOptions {
+  int instances = 8;
+  // Core 0 of every instance serves foreground requests and runs commits;
+  // core 1 (when present) runs the in-flight batch a flip must not tear.
+  int cores_per_instance = 2;
+  uint64_t vm_memory = 1ull << 20;  // per instance; fleets are wide, not deep
+  int tenants = 64;                 // tenant id space of the request stream
+  uint64_t stream_seed = 0x5eedf1ee7ull;
+  bool share_plan_cache = true;
+  // Symbol of the guest counter the workload bumps once per handled request;
+  // lets DrainLoad() account a torn in-flight batch exactly. Empty disables
+  // exact accounting (a torn batch then counts whole).
+  std::string served_counter = "served";
+  // Base build options; vm_cores/vm_memory and the shared plan cache are
+  // overridden from the fields above.
+  BuildOptions build;
+};
+
+struct Request {
+  uint64_t tenant = 0;
+  uint64_t payload = 0;
+};
+
+struct TenantPin {
+  uint64_t tenant = 0;
+  int instance = -1;
+  std::vector<std::pair<std::string, int64_t>> overrides;
+};
+
+class Fleet {
+ public:
+  using Assignment = std::vector<std::pair<std::string, int64_t>>;
+
+  static Result<std::unique_ptr<Fleet>> Build(
+      const std::vector<ProgramSource>& sources, const FleetOptions& options);
+
+  int size() const { return static_cast<int>(instances_.size()); }
+  const FleetOptions& options() const { return options_; }
+  Program& program(int i) { return *instances_[i]; }
+  MultiverseRuntime& runtime(int i) { return instances_[i]->runtime(); }
+  FleetMetrics& metrics() { return metrics_; }
+
+  // --- Configuration ---
+  // Writes a switch through its descriptor (correct width), no commit.
+  Status WriteSwitch(int instance, const std::string& name, int64_t value);
+  Result<int64_t> ReadSwitchValue(int instance, const std::string& name);
+  // Boot path: writes `values` into every instance and full-commits each.
+  // With a shared plan cache the first instance plans cold, the rest replay.
+  Status CommitAll(const Assignment& values);
+
+  // --- Request stream ---
+  // Deterministic stream slices: repeated calls advance an internal cursor,
+  // so the whole run is a pure function of stream_seed.
+  std::vector<Request> GenerateRequests(uint64_t count);
+  // Pinned tenant -> its instance; otherwise tenant mod the unpinned pool.
+  int RouteTenant(uint64_t tenant) const;
+  // Serves each request as a foreground call `handler(tenant, payload)` on
+  // its routed instance's core 0, recording latency per instance. A failed
+  // call counts as dropped (and does not abort the slice).
+  Status Serve(const std::vector<Request>& requests, const std::string& handler);
+
+  // --- In-flight load (what a flip must not tear) ---
+  // Starts `load_fn(base, requests)` on `instance`'s core 1 and steps it into
+  // the batch. The caller then runs a live commit with mutator core 1.
+  Status StartLoad(int instance, const std::string& load_fn, uint64_t base,
+                   uint64_t requests, uint64_t warmup_steps = 64);
+  // Runs the in-flight batch to completion. A clean halt books the batch as
+  // served; a fault, stray trap or step-limit books the unfinished remainder
+  // (exact via served_counter) as torn.
+  Status DrainLoad(int instance);
+  bool load_active(int instance) const { return load_active_[instance]; }
+
+  // --- Per-tenant variant pinning ---
+  // Dedicates an instance (taken from the back of the shard pool) to
+  // `tenant`: writes the overrides and commits each through the per-switch
+  // CommitRefs path, then excludes the instance from sharding and from
+  // coordinator rollouts. Re-pinning an already-pinned tenant updates its
+  // overrides in place.
+  Status PinTenant(uint64_t tenant, const Assignment& overrides);
+  const std::vector<TenantPin>& pins() const { return pins_; }
+  bool pinned(int instance) const { return pinned_[instance]; }
+  std::vector<int> UnpinnedInstances() const;
+
+  // --- Identity proofs ---
+  Result<uint64_t> ConfigFingerprint(int instance) {
+    return runtime(instance).ConfigFingerprintNow();
+  }
+  uint64_t TextChecksum(int instance) { return runtime(instance).TextChecksum(); }
+
+ private:
+  explicit Fleet(const FleetOptions& options)
+      : options_(options), metrics_(options.instances) {}
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<Program>> instances_;
+  std::shared_ptr<PlanCache> plan_cache_;
+  FleetMetrics metrics_;
+  std::vector<TenantPin> pins_;
+  std::vector<bool> pinned_;
+  std::vector<bool> load_active_;
+  std::vector<uint64_t> load_requests_;      // batch size of the active load
+  std::vector<int64_t> load_served_before_;  // served_counter at StartLoad
+  uint64_t stream_cursor_ = 0;
+};
+
+// The built-in fleet workload: a request processor with two multiversed
+// switches. `fast_path` selects between two observably equivalent accounting
+// paths (so a mid-rollout fleet stays response-consistent); `log_level`'s off
+// variant is empty, so its call site is NOP-eradicated — in-flight batches
+// can be parked *inside* the 5-byte site, the adversarial case the live
+// protocols exist for. Handler: handle_request(tenant, payload); in-flight
+// batch: serve_batch(base, n); served counter: served.
+std::string FleetRequestKernelSource();
+inline const char* kFleetHandler = "handle_request";
+inline const char* kFleetLoadFn = "serve_batch";
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FLEET_FLEET_H_

@@ -1,0 +1,67 @@
+#include "src/fleet/metrics.h"
+
+#include <algorithm>
+
+namespace mv {
+
+void InstanceHealth::Accumulate(const InstanceHealth& other) {
+  requests_served += other.requests_served;
+  timed_requests += other.timed_requests;
+  dropped_requests += other.dropped_requests;
+  torn_requests += other.torn_requests;
+  request_cycles += other.request_cycles;
+  max_request_cycles = std::max(max_request_cycles, other.max_request_cycles);
+  flips += other.flips;
+  flip_cycles += other.flip_cycles;
+  max_flip_cycles = std::max(max_flip_cycles, other.max_flip_cycles);
+  commit.Accumulate(other.commit);
+}
+
+InstanceHealth InstanceHealth::Delta(const InstanceHealth& since) const {
+  InstanceHealth d;
+  d.requests_served = requests_served - since.requests_served;
+  d.timed_requests = timed_requests - since.timed_requests;
+  d.dropped_requests = dropped_requests - since.dropped_requests;
+  d.torn_requests = torn_requests - since.torn_requests;
+  d.request_cycles = request_cycles - since.request_cycles;
+  d.max_request_cycles = max_request_cycles;
+  d.flips = flips - since.flips;
+  d.flip_cycles = flip_cycles - since.flip_cycles;
+  d.max_flip_cycles = max_flip_cycles;
+  d.commit = commit.Delta(since.commit);
+  return d;
+}
+
+HealthSummary FleetMetrics::Aggregate(const std::vector<int>& instances) const {
+  HealthSummary summary;
+  for (int i : instances) {
+    summary.totals.Accumulate(per_instance_[i]);
+    summary.max_flip_cycles =
+        std::max(summary.max_flip_cycles, per_instance_[i].max_flip_cycles);
+    ++summary.instances;
+  }
+  return summary;
+}
+
+HealthSummary FleetMetrics::AggregateDelta(
+    const std::vector<int>& instances,
+    const std::vector<InstanceHealth>& since) const {
+  HealthSummary summary;
+  for (int i : instances) {
+    const InstanceHealth delta = per_instance_[i].Delta(since[i]);
+    summary.totals.Accumulate(delta);
+    summary.max_flip_cycles = std::max(summary.max_flip_cycles, delta.max_flip_cycles);
+    ++summary.instances;
+  }
+  return summary;
+}
+
+HealthSummary FleetMetrics::Fleet() const {
+  std::vector<int> all(per_instance_.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<int>(i);
+  }
+  return Aggregate(all);
+}
+
+}  // namespace mv

@@ -1,0 +1,76 @@
+// FleetMetrics — per-instance health counters and their aggregation.
+//
+// The CommitCoordinator's auto-advance/auto-revert decisions are driven by
+// measured health, not hope: every request served, dropped or torn, every
+// journal rollback and every cycle of mutator disturbance is accounted per
+// instance, and the rollout policy evaluates *deltas* over a wave's
+// observation window so one noisy boot does not poison a later wave.
+#ifndef MULTIVERSE_SRC_FLEET_METRICS_H_
+#define MULTIVERSE_SRC_FLEET_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/commit_stats.h"
+
+namespace mv {
+
+// Health counters of one fleet instance. Monotonic: the coordinator computes
+// windows by snapshot + Delta, never by resetting.
+struct InstanceHealth {
+  // Request-path accounting.
+  uint64_t requests_served = 0;   // completed requests (foreground + in-flight)
+  uint64_t timed_requests = 0;    // foreground requests with a latency sample
+  uint64_t dropped_requests = 0;  // request call failed outright
+  uint64_t torn_requests = 0;     // in-flight requests lost to a torn batch
+  double request_cycles = 0;      // summed foreground latency (modelled cycles)
+  double max_request_cycles = 0;
+
+  // Commit-path accounting.
+  uint64_t flips = 0;             // live commits executed on this instance
+  double flip_cycles = 0;         // summed live-commit latency
+  double max_flip_cycles = 0;
+  CommitStats commit;             // rollbacks/retries/disturbance/... (core)
+
+  double MeanRequestCycles() const {
+    return timed_requests == 0 ? 0 : request_cycles / timed_requests;
+  }
+
+  void Accumulate(const InstanceHealth& other);
+  // Field-wise `*this - since`. The max_* fields are not windowed — they
+  // carry the lifetime maximum; callers that need a per-wave maximum track
+  // it at the point of the flip (the coordinator does).
+  InstanceHealth Delta(const InstanceHealth& since) const;
+};
+
+// Aggregate over a set of instances (one wave, or the whole fleet).
+struct HealthSummary {
+  int instances = 0;
+  InstanceHealth totals;
+  double max_flip_cycles = 0;  // slowest single flip in the set
+};
+
+class FleetMetrics {
+ public:
+  explicit FleetMetrics(int instances) : per_instance_(instances) {}
+
+  InstanceHealth& instance(int i) { return per_instance_[i]; }
+  const InstanceHealth& instance(int i) const { return per_instance_[i]; }
+  int size() const { return static_cast<int>(per_instance_.size()); }
+
+  // Snapshot of every instance's counters, for later windowed deltas.
+  std::vector<InstanceHealth> Snapshot() const { return per_instance_; }
+
+  HealthSummary Aggregate(const std::vector<int>& instances) const;
+  // Aggregate of `instances`, windowed against a prior Snapshot().
+  HealthSummary AggregateDelta(const std::vector<int>& instances,
+                               const std::vector<InstanceHealth>& since) const;
+  HealthSummary Fleet() const;
+
+ private:
+  std::vector<InstanceHealth> per_instance_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FLEET_METRICS_H_

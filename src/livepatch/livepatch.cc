@@ -574,4 +574,19 @@ Result<LiveCommitStats> multiverse_commit_live(Vm* vm, MultiverseRuntime* runtim
   return patcher.Commit(options);
 }
 
+CommitProtocol PreferredProtocol(const MultiverseRuntime& runtime) {
+  const DescriptorTable& table = runtime.table();
+  for (const RtCallsite& site : table.callsites) {
+    if (site.site_addr % 8 > 3) {
+      return CommitProtocol::kBreakpoint;
+    }
+  }
+  for (const RtFunction& fn : table.functions) {
+    if (fn.generic_addr % 8 > 3) {
+      return CommitProtocol::kBreakpoint;
+    }
+  }
+  return CommitProtocol::kWaitFree;
+}
+
 }  // namespace mv

@@ -125,6 +125,20 @@ struct LiveCommitStats {
   double DisturbanceCycles() const {
     return TicksToCycles(stopped_ticks + parked_ticks);
   }
+
+  // Folds the live-commit outcome into the reusable health counters
+  // (src/core/commit_stats.h) that benches and the fleet coordinator
+  // accumulate.
+  CommitStats Summary() const {
+    CommitStats stats;
+    stats.rollbacks = txn.rollbacks;
+    stats.retries = txn.retries;
+    stats.disturbance_cycles = DisturbanceCycles();
+    stats.parked_cycles = TicksToCycles(parked_ticks);
+    stats.superblock_evictions = superblock_evictions;
+    stats.waitfree_fallbacks = waitfree_fallback ? 1 : 0;
+    return stats;
+  }
 };
 
 class LivePatcher {
@@ -152,6 +166,14 @@ class LivePatcher {
 // concurrency. Layered on LivePatcher.
 Result<LiveCommitStats> multiverse_commit_live(Vm* vm, MultiverseRuntime* runtime,
                                                const LiveCommitOptions& options);
+
+// Per-instance protocol selection for fleet coordinators: kWaitFree when the
+// instance's layout upholds the single-word alignment invariant (every
+// patchable call site and generic prologue starts at addr % 8 <= 3, so each
+// 5-byte rewrite fits one naturally aligned word), else kBreakpoint — the
+// protocol the wait-free engine would fall back to anyway, selected up front
+// so the coordinator can log and account it per instance.
+CommitProtocol PreferredProtocol(const MultiverseRuntime& runtime);
 
 }  // namespace mv
 

@@ -1,0 +1,401 @@
+// mvfleet — fleet rollout driver: N multiverse instances, canary rollouts.
+//
+//   mvfleet --instances 64 --canary-pct 12.5 --waves 4 --revert-threshold 0
+//           --pin 7=fast_path:0 --flip fast_path=1 --flip log_level=1 --json out.json
+//
+// Builds a Fleet (from the given .mvc sources, or the built-in request
+// kernel), optionally pins tenants to config overrides, then hands a switch
+// assignment to the CommitCoordinator: flip the canary cohort, observe
+// health, auto-advance wave by wave or auto-revert the whole rollout.
+//
+// Exit codes: 0 rollout advanced to 100%, 3 rollout auto-reverted (every
+// instance restored to its pre-rollout config), 1 build/infrastructure
+// error, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/plan_cache.h"
+#include "src/fleet/coordinator.h"
+#include "src/fleet/fleet.h"
+#include "src/support/faultpoint.h"
+#include "src/vm/superblock.h"
+
+namespace mv {
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> files;
+  int instances = 8;
+  int cores = 2;
+  double canary_pct = 12.5;
+  int waves = 4;
+  int revert_threshold = 0;
+  int tenants = 64;
+  uint64_t requests = 128;
+  uint64_t inflight = 48;
+  std::vector<std::pair<uint64_t, Fleet::Assignment>> pins;
+  Fleet::Assignment base;  // --set: boot configuration
+  Fleet::Assignment flip;  // --flip: the rollout assignment
+  std::optional<CommitProtocol> protocol;
+  std::string handler = kFleetHandler;
+  std::string load_fn = kFleetLoadFn;
+  bool unhealthy_canary = false;
+  std::string log_path;
+  std::string json_path;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mvfleet [options] [file.mvc...]\n"
+      "  --instances N        fleet size (default 8)\n"
+      "  --cores N            cores per instance; core 1 runs the in-flight\n"
+      "                       batch each flip races (default 2)\n"
+      "  --canary-pct P       canary wave size, %% of the unpinned fleet\n"
+      "                       (default 12.5)\n"
+      "  --waves W            rollout waves, canary included (default 4)\n"
+      "  --revert-threshold N journal rollbacks tolerated per wave before\n"
+      "                       the rollout auto-reverts (default 0)\n"
+      "  --pin tenant=name:v[,name:v...]\n"
+      "                       pin a tenant to config overrides on a dedicated\n"
+      "                       instance, excluded from rollouts (repeatable)\n"
+      "  --set name=value     boot configuration, committed fleet-wide before\n"
+      "                       the rollout (repeatable)\n"
+      "  --flip name=value    the rollout assignment (repeatable; default\n"
+      "                       fast_path=1 log_level=1 for the built-in kernel)\n"
+      "  --tenants N          tenant id space of the request stream (default 64)\n"
+      "  --requests N         observation slice per wave (default 128)\n"
+      "  --inflight N         in-flight batch size racing each flip (default 48)\n"
+      "  --live protocol      force one commit protocol (unsafe | quiescence |\n"
+      "                       breakpoint | waitfree); default: per-instance\n"
+      "                       selection (waitfree where alignment allows)\n"
+      "  --handler fn         request handler symbol (default handle_request)\n"
+      "  --load fn            in-flight batch symbol (default serve_batch)\n"
+      "  --unhealthy-canary   arm a one-shot patch-write fault on the first\n"
+      "                       canary flip (demonstrates auto-revert)\n"
+      "  --dispatch engine    VM dispatch engine (legacy | superblock)\n"
+      "  --log path           write the rollout event log (the audit trail)\n"
+      "  --json path          write the rollout report as JSON\n"
+      "With no files, a built-in request-processor kernel is used.\n");
+}
+
+bool ParseKeyValue(const char* text, std::string* key, int64_t* value) {
+  const char* eq = std::strchr(text, '=');
+  if (eq == nullptr) {
+    return false;
+  }
+  *key = std::string(text, eq);
+  *value = std::strtoll(eq + 1, nullptr, 0);
+  return !key->empty();
+}
+
+// --pin 7=fast_path:0,log_level:2
+bool ParsePin(const char* text, uint64_t* tenant, Fleet::Assignment* overrides) {
+  const char* eq = std::strchr(text, '=');
+  if (eq == nullptr || eq == text) {
+    return false;
+  }
+  *tenant = std::strtoull(text, nullptr, 0);
+  std::stringstream rest(eq + 1);
+  std::string item;
+  while (std::getline(rest, item, ',')) {
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return false;
+    }
+    overrides->emplace_back(item.substr(0, colon),
+                            std::strtoll(item.c_str() + colon + 1, nullptr, 0));
+  }
+  return !overrides->empty();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const CliOptions& options,
+               const RolloutReport& report, Fleet* fleet) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "mvfleet: cannot open --json path '%s'\n", path.c_str());
+    return;
+  }
+  const HealthSummary fleet_health = fleet->metrics().Fleet();
+  const CommitFastPathStats& fast = GlobalCommitCounters::Instance().totals;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"instances\": %d,\n", fleet->size());
+  std::fprintf(f, "  \"waves\": %d,\n", report.waves_attempted);
+  std::fprintf(f, "  \"canary_pct\": %.10g,\n", options.canary_pct);
+  std::fprintf(f, "  \"advanced_to_full\": %s,\n",
+               report.advanced_to_full ? "true" : "false");
+  std::fprintf(f, "  \"reverted\": %s,\n", report.reverted ? "true" : "false");
+  std::fprintf(f, "  \"breach\": \"%s\",\n", JsonEscape(report.breach).c_str());
+  std::fprintf(f, "  \"fleet_flip_cycles\": %.10g,\n", report.fleet_flip_cycles);
+  std::fprintf(f, "  \"flipped_instances\": %llu,\n",
+               (unsigned long long)report.flipped_instances);
+  std::fprintf(f, "  \"reverted_instances\": %llu,\n",
+               (unsigned long long)report.reverted_instances);
+  std::fprintf(f, "  \"identity_mismatches\": %llu,\n",
+               (unsigned long long)report.identity_mismatches);
+  std::fprintf(f, "  \"requests_served\": %llu,\n",
+               (unsigned long long)fleet_health.totals.requests_served);
+  std::fprintf(f, "  \"dropped_requests\": %llu,\n",
+               (unsigned long long)fleet_health.totals.dropped_requests);
+  std::fprintf(f, "  \"torn_requests\": %llu,\n",
+               (unsigned long long)fleet_health.totals.torn_requests);
+  std::fprintf(f, "  \"rollbacks\": %d,\n", fleet_health.totals.commit.rollbacks);
+  std::fprintf(f, "  \"retries\": %d,\n", fleet_health.totals.commit.retries);
+  std::fprintf(f, "  \"disturbance_cycles\": %.10g,\n",
+               fleet_health.totals.commit.disturbance_cycles);
+  std::fprintf(f, "  \"waitfree_fallbacks\": %d,\n",
+               fleet_health.totals.commit.waitfree_fallbacks);
+  std::fprintf(f, "  \"plan_cache_hits\": %llu,\n",
+               (unsigned long long)fast.plan_cache_hits);
+  std::fprintf(f, "  \"plan_cache_misses\": %llu,\n",
+               (unsigned long long)fast.plan_cache_misses);
+  std::fprintf(f, "  \"wave_health\": [\n");
+  for (size_t i = 0; i < report.waves.size(); ++i) {
+    const WaveReport& wave = report.waves[i];
+    std::fprintf(f,
+                 "    {\"wave\": %d, \"instances\": %zu, \"healthy\": %s, "
+                 "\"flip_cycles_max\": %.10g, \"rollbacks\": %d, "
+                 "\"dropped\": %llu, \"torn\": %llu, "
+                 "\"mean_request_cycles\": %.10g, \"breach\": \"%s\"}%s\n",
+                 wave.wave, wave.instances.size(),
+                 wave.healthy ? "true" : "false", wave.flip_cycles_max,
+                 wave.delta.totals.commit.rollbacks,
+                 (unsigned long long)wave.delta.totals.dropped_requests,
+                 (unsigned long long)wave.delta.totals.torn_requests,
+                 wave.delta.totals.MeanRequestCycles(),
+                 JsonEscape(wave.breach).c_str(),
+                 i + 1 < report.waves.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mvfleet: %s needs an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--instances") {
+      options.instances = std::atoi(next("--instances"));
+    } else if (arg == "--cores") {
+      options.cores = std::atoi(next("--cores"));
+    } else if (arg == "--canary-pct") {
+      options.canary_pct = std::atof(next("--canary-pct"));
+    } else if (arg == "--waves") {
+      options.waves = std::atoi(next("--waves"));
+    } else if (arg == "--revert-threshold") {
+      options.revert_threshold = std::atoi(next("--revert-threshold"));
+    } else if (arg == "--tenants") {
+      options.tenants = std::atoi(next("--tenants"));
+    } else if (arg == "--requests") {
+      options.requests = std::strtoull(next("--requests"), nullptr, 0);
+    } else if (arg == "--inflight") {
+      options.inflight = std::strtoull(next("--inflight"), nullptr, 0);
+    } else if (arg == "--pin") {
+      uint64_t tenant = 0;
+      Fleet::Assignment overrides;
+      if (!ParsePin(next("--pin"), &tenant, &overrides)) {
+        std::fprintf(stderr, "mvfleet: bad --pin argument '%s'\n", argv[i]);
+        return 2;
+      }
+      options.pins.emplace_back(tenant, std::move(overrides));
+    } else if (arg == "--set" || arg == "--flip") {
+      std::string key;
+      int64_t value = 0;
+      if (!ParseKeyValue(next(arg.c_str()), &key, &value)) {
+        std::fprintf(stderr, "mvfleet: bad %s argument '%s'\n", arg.c_str(),
+                     argv[i]);
+        return 2;
+      }
+      (arg == "--set" ? options.base : options.flip).emplace_back(key, value);
+    } else if (arg == "--live") {
+      Result<CommitProtocol> protocol = ParseCommitProtocol(next("--live"));
+      if (!protocol.ok()) {
+        std::fprintf(stderr, "mvfleet: %s\n", protocol.status().ToString().c_str());
+        return 2;
+      }
+      options.protocol = *protocol;
+    } else if (arg == "--handler") {
+      options.handler = next("--handler");
+    } else if (arg == "--load") {
+      options.load_fn = next("--load");
+    } else if (arg == "--unhealthy-canary") {
+      options.unhealthy_canary = true;
+    } else if (arg == "--dispatch") {
+      Result<DispatchEngine> engine = ParseDispatchEngine(next("--dispatch"));
+      if (!engine.ok()) {
+        std::fprintf(stderr, "mvfleet: %s\n", engine.status().ToString().c_str());
+        return 2;
+      }
+      SetDefaultDispatchEngine(*engine);
+    } else if (arg == "--log") {
+      options.log_path = next("--log");
+    } else if (arg == "--json") {
+      options.json_path = next("--json");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mvfleet: unknown option '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.instances < 1 || options.waves < 1) {
+    std::fprintf(stderr, "mvfleet: --instances and --waves must be >= 1\n");
+    return 2;
+  }
+
+  // Sources: the given files, or the built-in request kernel (which also
+  // supplies the default assignment when none was given).
+  std::vector<ProgramSource> sources;
+  if (options.files.empty()) {
+    sources.push_back({"fleet_kernel", FleetRequestKernelSource()});
+    if (options.flip.empty()) {
+      options.flip = {{"fast_path", 1}, {"log_level", 1}};
+    }
+  } else {
+    for (const std::string& path : options.files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "mvfleet: cannot read '%s'\n", path.c_str());
+        return 1;
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      sources.push_back({path, buffer.str()});
+    }
+    if (options.flip.empty()) {
+      std::fprintf(stderr, "mvfleet: --flip name=value is required with "
+                           "explicit sources\n");
+      return 2;
+    }
+  }
+
+  FleetOptions fleet_options;
+  fleet_options.instances = options.instances;
+  fleet_options.cores_per_instance = options.cores;
+  fleet_options.tenants = options.tenants;
+  Result<std::unique_ptr<Fleet>> built = Fleet::Build(sources, fleet_options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "mvfleet: build: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Fleet> fleet = std::move(built.value());
+
+  Status boot = fleet->CommitAll(options.base);
+  if (!boot.ok()) {
+    std::fprintf(stderr, "mvfleet: boot commit: %s\n", boot.ToString().c_str());
+    return 1;
+  }
+  for (const auto& [tenant, overrides] : options.pins) {
+    Status pin = fleet->PinTenant(tenant, overrides);
+    if (!pin.ok()) {
+      std::fprintf(stderr, "mvfleet: pin tenant %llu: %s\n",
+                   (unsigned long long)tenant, pin.ToString().c_str());
+      return 1;
+    }
+  }
+
+  RolloutPolicy policy;
+  policy.canary_pct = options.canary_pct;
+  policy.waves = options.waves;
+  policy.max_rollbacks = options.revert_threshold;
+  policy.observe_requests = options.requests;
+  policy.inflight_requests = options.inflight;
+  policy.protocol = options.protocol;
+
+  CommitCoordinator coordinator(fleet.get(), policy);
+  if (options.unhealthy_canary) {
+    bool armed = false;
+    coordinator.set_flip_hook([&armed](int, int) {
+      if (!armed) {
+        armed = true;
+        FaultInjector::Instance().Arm(FaultSite::kPatchWrite, 0);
+      }
+    });
+  }
+
+  std::printf("mvfleet: %d instance(s), canary %.3g%%, %d wave(s), "
+              "revert threshold %d rollback(s)\n",
+              fleet->size(), options.canary_pct, options.waves,
+              options.revert_threshold);
+  for (const TenantPin& pin : fleet->pins()) {
+    std::printf("mvfleet: tenant %llu pinned to instance %d\n",
+                (unsigned long long)pin.tenant, pin.instance);
+  }
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(options.flip, options.handler, options.load_fn);
+  FaultInjector::Instance().Disarm();
+  if (!rolled.ok()) {
+    std::fprintf(stderr, "mvfleet: rollout: %s\n",
+                 rolled.status().ToString().c_str());
+    return 1;
+  }
+  const RolloutReport& report = *rolled;
+
+  std::printf("%s", coordinator.log().ToString().c_str());
+  const HealthSummary fleet_health = fleet->metrics().Fleet();
+  std::printf("mvfleet: served %llu request(s), dropped %llu, torn %llu\n",
+              (unsigned long long)fleet_health.totals.requests_served,
+              (unsigned long long)fleet_health.totals.dropped_requests,
+              (unsigned long long)fleet_health.totals.torn_requests);
+  std::printf("mvfleet: fleet flip latency %.0f cycles over %d wave(s)\n",
+              report.fleet_flip_cycles, report.waves_attempted);
+  if (report.advanced_to_full) {
+    std::printf("mvfleet: rollout advanced to 100%% (%llu flipped, "
+                "%llu identity mismatch(es))\n",
+                (unsigned long long)report.flipped_instances,
+                (unsigned long long)report.identity_mismatches);
+  } else {
+    std::printf("mvfleet: rollout auto-reverted (%s); %llu restored, "
+                "%llu identity mismatch(es)\n",
+                report.breach.c_str(),
+                (unsigned long long)report.reverted_instances,
+                (unsigned long long)report.identity_mismatches);
+  }
+
+  if (!options.log_path.empty()) {
+    Status wrote = coordinator.log().WriteTo(options.log_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "mvfleet: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!options.json_path.empty()) {
+    WriteJson(options.json_path, options, report, fleet.get());
+  }
+  if (report.identity_mismatches > 0) {
+    return 1;
+  }
+  return report.advanced_to_full ? 0 : 3;
+}
+
+}  // namespace
+}  // namespace mv
+
+int main(int argc, char** argv) { return mv::Main(argc, argv); }

@@ -1,0 +1,223 @@
+// Tests for the fleet commit orchestration layer (src/fleet): wave
+// partitioning, canary rollouts that auto-advance on healthy counters,
+// threshold breaches that auto-revert the whole rollout through the journaled
+// commit path, mid-wave instance-level transaction failure, and per-tenant
+// variant pinning surviving a fleet-wide flip.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/fleet/coordinator.h"
+#include "src/fleet/fleet.h"
+#include "src/support/faultpoint.h"
+
+namespace mv {
+namespace {
+
+std::unique_ptr<Fleet> BuildFleet(int instances) {
+  FleetOptions options;
+  options.instances = instances;
+  options.cores_per_instance = 2;
+  Result<std::unique_ptr<Fleet>> fleet = Fleet::Build(
+      {{"fleet_kernel", FleetRequestKernelSource()}}, options);
+  EXPECT_TRUE(fleet.ok()) << fleet.status().ToString();
+  return fleet.ok() ? std::move(fleet.value()) : nullptr;
+}
+
+RolloutPolicy SmallPolicy(int waves) {
+  RolloutPolicy policy;
+  policy.canary_pct = 12.5;
+  policy.waves = waves;
+  policy.max_rollbacks = 0;
+  policy.observe_requests = 24;
+  policy.inflight_requests = 12;
+  return policy;
+}
+
+const Fleet::Assignment kFlip = {{"fast_path", 1}, {"log_level", 1}};
+
+// Every instance's (config fingerprint, text checksum) pair.
+std::map<int, std::pair<uint64_t, uint64_t>> Identities(Fleet* fleet) {
+  std::map<int, std::pair<uint64_t, uint64_t>> out;
+  for (int i = 0; i < fleet->size(); ++i) {
+    Result<uint64_t> fingerprint = fleet->ConfigFingerprint(i);
+    EXPECT_TRUE(fingerprint.ok()) << fingerprint.status().ToString();
+    out[i] = {fingerprint.ok() ? *fingerprint : 0, fleet->TextChecksum(i)};
+  }
+  return out;
+}
+
+TEST(PartitionWavesTest, CanaryFirstThenEvenWaves) {
+  std::vector<int> instances;
+  for (int i = 0; i < 64; ++i) {
+    instances.push_back(i);
+  }
+  const auto waves = CommitCoordinator::PartitionWaves(instances, 12.5, 4);
+  ASSERT_EQ(waves.size(), 4u);
+  EXPECT_EQ(waves[0].size(), 8u);  // 12.5% of 64
+  size_t total = 0;
+  for (const auto& wave : waves) {
+    total += wave.size();
+  }
+  EXPECT_EQ(total, 64u);  // exact cover, no instance dropped or repeated
+  EXPECT_EQ(waves[0][0], 0);
+  EXPECT_EQ(waves[3].back(), 63);
+}
+
+TEST(PartitionWavesTest, CanaryClampedToAtLeastOneInstance) {
+  const auto waves = CommitCoordinator::PartitionWaves({0, 1, 2}, 1.0, 2);
+  ASSERT_GE(waves.size(), 1u);
+  EXPECT_EQ(waves[0].size(), 1u);  // 1% of 3 rounds to 0, clamped up
+}
+
+TEST(PartitionWavesTest, SingleWaveTakesEverything) {
+  const auto waves = CommitCoordinator::PartitionWaves({4, 5, 6, 7}, 25.0, 1);
+  ASSERT_EQ(waves.size(), 1u);
+  EXPECT_EQ(waves[0].size(), 4u);
+}
+
+TEST(CommitCoordinatorTest, HealthyRolloutAdvancesWaveByWaveToFull) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(6);
+  ASSERT_NE(fleet, nullptr);
+  CommitCoordinator coordinator(fleet.get(), SmallPolicy(3));
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  EXPECT_TRUE(rolled->advanced_to_full);
+  EXPECT_FALSE(rolled->reverted);
+  EXPECT_EQ(rolled->waves_attempted, 3);
+  EXPECT_EQ(rolled->flipped_instances, 6u);
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+  for (const WaveReport& wave : rolled->waves) {
+    EXPECT_TRUE(wave.healthy) << wave.breach;
+    EXPECT_EQ(wave.delta.totals.dropped_requests, 0u);
+    EXPECT_EQ(wave.delta.totals.torn_requests, 0u);
+  }
+  for (int i = 0; i < fleet->size(); ++i) {
+    EXPECT_EQ(*fleet->ReadSwitchValue(i, "fast_path"), 1) << "instance " << i;
+    EXPECT_EQ(*fleet->ReadSwitchValue(i, "log_level"), 1) << "instance " << i;
+  }
+}
+
+TEST(CommitCoordinatorTest, ThresholdBreachRevertsAndRestoresFingerprints) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(6);
+  ASSERT_NE(fleet, nullptr);
+  const auto before = Identities(fleet.get());
+
+  CommitCoordinator coordinator(fleet.get(), SmallPolicy(3));
+  // One-shot patch-write fault on the canary flip: the commit itself recovers
+  // by rollback + retry, but the rollback count breaches max_rollbacks=0.
+  bool armed = false;
+  coordinator.set_flip_hook([&armed](int, int) {
+    if (!armed) {
+      armed = true;
+      FaultInjector::Instance().Arm(FaultSite::kPatchWrite, 0);
+    }
+  });
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  FaultInjector::Instance().Disarm();
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  EXPECT_TRUE(rolled->reverted);
+  EXPECT_FALSE(rolled->advanced_to_full);
+  EXPECT_EQ(rolled->waves_attempted, 1);  // breach on the canary wave
+  EXPECT_NE(rolled->breach.find("rollbacks"), std::string::npos);
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+  // Bit-identical restoration, proven independently of the coordinator.
+  EXPECT_EQ(Identities(fleet.get()), before);
+  for (int i = 0; i < fleet->size(); ++i) {
+    EXPECT_EQ(*fleet->ReadSwitchValue(i, "fast_path"), 0) << "instance " << i;
+  }
+}
+
+TEST(CommitCoordinatorTest, MidWaveInstanceRollbackAbandonsAndRevertsAll) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(8);
+  ASSERT_NE(fleet, nullptr);
+  const auto before = Identities(fleet.get());
+
+  RolloutPolicy policy = SmallPolicy(2);
+  // No retry budget: the injected fault becomes a terminal transaction
+  // failure. The journal rolls that instance's text back in reverse order and
+  // the coordinator abandons the rollout mid-wave.
+  policy.live.txn.max_attempts = 1;
+  CommitCoordinator coordinator(fleet.get(), policy);
+  // Arm on the second flip of the second wave: some instances have already
+  // flipped when the failure hits.
+  int flips = 0;
+  coordinator.set_flip_hook([&flips](int, int) {
+    if (++flips == 3) {
+      FaultInjector::Instance().Arm(FaultSite::kPatchWrite, 0);
+    }
+  });
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  FaultInjector::Instance().Disarm();
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  EXPECT_TRUE(rolled->reverted);
+  EXPECT_NE(rolled->breach.find("flip failed"), std::string::npos);
+  bool saw_flip_failed = false;
+  for (const RolloutEvent& event : coordinator.log().events()) {
+    saw_flip_failed |= event.kind == RolloutEvent::Kind::kFlipFailed;
+  }
+  EXPECT_TRUE(saw_flip_failed);
+  // Everyone is fully-old again: the instances flipped before the failure
+  // were reverted, the failed instance was restored by its own journal.
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+  EXPECT_EQ(Identities(fleet.get()), before);
+}
+
+TEST(CommitCoordinatorTest, TenantPinSurvivesFleetWideFlip) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(6);
+  ASSERT_NE(fleet, nullptr);
+  const uint64_t kTenant = 3;
+  ASSERT_TRUE(fleet->PinTenant(kTenant, {{"fast_path", 0}}).ok());
+  const int pinned = fleet->RouteTenant(kTenant);
+  const uint64_t pinned_fingerprint = *fleet->ConfigFingerprint(pinned);
+
+  CommitCoordinator coordinator(fleet.get(), SmallPolicy(3));
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  EXPECT_TRUE(rolled->advanced_to_full);
+  EXPECT_EQ(rolled->flipped_instances, 5u);  // pinned instance excluded
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+  // The pin held through the fleet-wide flip...
+  EXPECT_EQ(*fleet->ConfigFingerprint(pinned), pinned_fingerprint);
+  EXPECT_EQ(*fleet->ReadSwitchValue(pinned, "fast_path"), 0);
+  // ...and the pinned tenant still routes to its dedicated instance.
+  EXPECT_EQ(fleet->RouteTenant(kTenant), pinned);
+  for (int i = 0; i < fleet->size(); ++i) {
+    if (i != pinned) {
+      EXPECT_EQ(*fleet->ReadSwitchValue(i, "fast_path"), 1) << "instance " << i;
+    }
+  }
+}
+
+TEST(CommitCoordinatorTest, RolloutLogProvesEveryInstanceFullyOldOrFullyNew) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(4);
+  ASSERT_NE(fleet, nullptr);
+  CommitCoordinator coordinator(fleet.get(), SmallPolicy(2));
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  int proofs = 0;
+  for (const RolloutEvent& event : coordinator.log().events()) {
+    if (event.kind == RolloutEvent::Kind::kProof) {
+      ++proofs;
+      EXPECT_EQ(event.detail.find("MISMATCH"), std::string::npos)
+          << event.detail;
+    }
+  }
+  EXPECT_EQ(proofs, fleet->size());  // one verdict per instance, none mixed
+}
+
+}  // namespace
+}  // namespace mv

@@ -306,6 +306,80 @@ TEST_P(PlanCacheDifferentialTest, RandomFlipsAreBitIdenticalCacheOnVsOff) {
   EXPECT_EQ(uncached->runtime().fast_stats().plan_cache_hits, 0u);
 }
 
+// --- Shared plan cache across instances (src/fleet) ---
+// Instances built from the same sources have bit-identical text, so a plan
+// memoized by one is a valid journal for all of them — the fleet boots N
+// instances with one cache and pays one cold plan per configuration
+// transition. Divergence is caught by probe validation, never by luck.
+
+std::unique_ptr<Program> BuildShared(const std::shared_ptr<PlanCache>& cache) {
+  BuildOptions options;
+  options.attach.shared_plan_cache = cache;
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"pc", kSource}}, options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return built.ok() ? std::move(*built) : nullptr;
+}
+
+TEST(PlanCacheTest, SharedCacheHitsAcrossInstancesWithIdenticalPreState) {
+  auto cache = std::make_shared<PlanCache>();
+  std::unique_ptr<Program> a = BuildShared(cache);
+  std::unique_ptr<Program> b = BuildShared(cache);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  // Instance A plans the generic -> config transition cold...
+  SetConfig(a.get(), 1, 0, "twice");
+  ASSERT_TRUE(a->runtime().Commit().ok());
+  EXPECT_EQ(a->runtime().fast_stats().plan_cache_misses, 1u);
+  EXPECT_EQ(a->runtime().plan_cache_entries(), 1u);
+
+  // ...and instance B, same sources + same pre-state token, replays it warm:
+  // a hit on B's very first commit, planned by a different runtime.
+  SetConfig(b.get(), 1, 0, "twice");
+  ASSERT_TRUE(b->runtime().Commit().ok());
+  EXPECT_EQ(b->runtime().fast_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(b->runtime().fast_stats().plan_cache_misses, 0u);
+
+  // Replay must be bit-identical to planning, and both instances agree.
+  EXPECT_EQ(Text(a.get()), Text(b.get()));
+  EXPECT_EQ(*a->Call("probe", {21}), *b->Call("probe", {21}));
+}
+
+TEST(PlanCacheTest, SharedCachePoisonedOnDivergentInstance) {
+  auto cache = std::make_shared<PlanCache>();
+  std::unique_ptr<Program> a = BuildShared(cache);
+  std::unique_ptr<Program> b = BuildShared(cache);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  SetConfig(a.get(), 1, 0, "twice");
+  ASSERT_TRUE(a->runtime().Commit().ok());
+  ASSERT_EQ(a->runtime().plan_cache_entries(), 1u);
+
+  // Instance B diverges: someone scribbles over one of its call sites, so
+  // A's memoized journal no longer describes B's text.
+  const uint64_t site = b->runtime().table().callsites[0].site_addr;
+  const uint8_t garbage[5] = {0x50, 0x50, 0x50, 0x50, 0x50};
+  ASSERT_TRUE(b->vm().memory().WriteRaw(site, garbage, 5).ok());
+
+  // Probe validation rejects the cached plan before a single byte is written
+  // (eviction, not a torn replay), and the cold path's verifying patcher then
+  // refuses the foreign bytes outright.
+  SetConfig(b.get(), 1, 0, "twice");
+  Result<PatchStats> commit = b->runtime().Commit();
+  EXPECT_FALSE(commit.ok());
+  EXPECT_EQ(commit.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_GE(b->runtime().fast_stats().plan_cache_evictions, 1u);
+
+  // The poison is scoped: instance A is merely back to a cold plan for that
+  // transition, not corrupted — its next commits still work and still match
+  // the uncached semantics.
+  SetConfig(a.get(), 0, 1, "inc");
+  ASSERT_TRUE(a->runtime().Commit().ok());
+  EXPECT_EQ(*a->Call("probe", {21}), 10u + 100u + 5u + 22u);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothEngines, PlanCacheDifferentialTest,
                          ::testing::Values(DispatchEngine::kLegacy,
                                            DispatchEngine::kSuperblock),

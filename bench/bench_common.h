@@ -82,6 +82,17 @@ class BenchReport {
     parked_cycles_ += parked_cycles;
   }
 
+  // Variational-execution accounting (src/vm/varexec.h). Carried as
+  // top-level "configs_covered" / "varexec_forks" / "varexec_merges" fields
+  // in every --json document so perf-smoke and the varexec-smoke CI job can
+  // assert exhaustive coverage (configs_covered == |domain cross-product|)
+  // without parsing per-row metric labels.
+  void RecordVarexec(uint64_t configs_covered, uint64_t forks, uint64_t merges) {
+    configs_covered_ += configs_covered;
+    varexec_forks_ += forks;
+    varexec_merges_ += merges;
+  }
+
   // Superblock invalidation accounting: evictions incurred by the same
   // workload under the broadcast baseline vs. scoped (epoch-gated, word-
   // granular) invalidation. Carried at top level in every --json document so
@@ -113,6 +124,12 @@ class BenchReport {
                  (unsigned long long)sb_evictions_broadcast_);
     std::fprintf(f, "  \"superblock_evictions_scoped\": %llu,\n",
                  (unsigned long long)sb_evictions_scoped_);
+    std::fprintf(f, "  \"configs_covered\": %llu,\n",
+                 (unsigned long long)configs_covered_);
+    std::fprintf(f, "  \"varexec_forks\": %llu,\n",
+                 (unsigned long long)varexec_forks_);
+    std::fprintf(f, "  \"varexec_merges\": %llu,\n",
+                 (unsigned long long)varexec_merges_);
     // Commit fast-path accounting (plan_cache.h), process-wide so every bench
     // document carries the counters regardless of how many runtimes it built.
     const CommitFastPathStats& fast = GlobalCommitCounters::Instance().totals;
@@ -171,6 +188,9 @@ class BenchReport {
   double parked_cycles_ = 0;
   uint64_t sb_evictions_broadcast_ = 0;
   uint64_t sb_evictions_scoped_ = 0;
+  uint64_t configs_covered_ = 0;
+  uint64_t varexec_forks_ = 0;
+  uint64_t varexec_merges_ = 0;
 };
 
 // Convenience forwarder for bench bodies.

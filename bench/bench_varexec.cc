@@ -1,0 +1,159 @@
+// Variational config-space execution (src/vm/varexec.h, src/core/varprove.h):
+// exhaustive variant/generic equivalence over the full switch-domain cross
+// product in one shared-state pass, vs brute-force per-config enumeration.
+//
+// Headline: configs covered per VM-instruction. The 4-switch workload below
+// spans 4^4 = 256 configurations (2^8 — the varexec-smoke CI job asserts
+// "configs_covered" == 2^"domain_bits" from this JSON); the variational pass
+// shares the config-independent prefix across all of them and must beat
+// enumerating the space config-by-config by >= 5x retired instructions.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "src/core/program.h"
+#include "src/core/varprove.h"
+
+namespace mv {
+namespace {
+
+// Four switches with 4-value domains. Each phase function specializes to 2
+// distinct bodies (the specializer merges {0,1} and {2,3} under guard
+// ranges), so 256 configs collapse to 2^4 = 16 commit classes. The bulk of
+// the work — the mixing loop — never observes a switch, which is exactly
+// the sharing opportunity variational execution exploits.
+constexpr char kFourSwitchWorkload[] = R"(
+__attribute__((multiverse(0, 1, 2, 3))) int sw0;
+__attribute__((multiverse(0, 1, 2, 3))) int sw1;
+__attribute__((multiverse(0, 1, 2, 3))) int sw2;
+__attribute__((multiverse(0, 1, 2, 3))) int sw3;
+long state[16];
+__attribute__((multiverse))
+void phase0(long i) {
+  if (sw0 >= 2) { state[0] = state[0] + i * 3; } else { state[0] = state[0] + i; }
+}
+__attribute__((multiverse))
+void phase1(long i) {
+  if (sw1 >= 2) { state[1] = state[1] ^ (i << 1); } else { state[1] = state[1] + i; }
+}
+__attribute__((multiverse))
+void phase2(long i) {
+  if (sw2 >= 2) { state[2] = state[2] - i; } else { state[2] = state[2] + i * 2; }
+}
+__attribute__((multiverse))
+void phase3(long i) {
+  if (sw3 >= 2) { state[3] = state[3] + i * 5; } else { state[3] = state[3] + i; }
+}
+long drive(long n) {
+  long i;
+  long sum;
+  for (i = 0; i < n; ++i) {
+    state[i % 16] = state[i % 16] + i * 7 + (i % 5);
+  }
+  phase0(n);
+  phase1(n);
+  phase2(n);
+  phase3(n);
+  sum = 0;
+  for (i = 0; i < 16; ++i) { sum = sum + state[i]; }
+  return sum;
+}
+)";
+
+void Run() {
+  PrintHeader("Variational config-space execution: exhaustive coverage cost",
+              "ROADMAP item 3 (Wong et al., PAPERS.md); paper SS7.1 domains");
+
+  BuildOptions build;
+  build.vm_memory = 4ull << 20;  // brute force snapshots memory per run
+  std::unique_ptr<Program> program = CheckOk(
+      Program::Build({{"varexec", kFourSwitchWorkload}}, build), "build");
+
+  const ConfigSpace space = CheckOk(CollectConfigSpace(program.get()), "space");
+  std::printf("  switches: %zu, cross product: %zu configurations\n",
+              space.switches.size(), space.num_configs);
+
+  VarProveOptions options;
+  options.entry = "drive";
+  options.args = {700};
+
+  // The exhaustive variational proof: every config, generic AND committed.
+  const VarProveReport report =
+      CheckOk(ProveEquivalence(program.get(), options), "prove");
+  if (!report.equivalent()) {
+    for (const std::string& mismatch : report.mismatches) {
+      std::fprintf(stderr, "FATAL: %s\n", mismatch.c_str());
+    }
+    std::abort();
+  }
+  const uint64_t varexec_insns = report.instructions_executed();
+
+  // Brute-force denominator: the same 2 x 256 config-executions, one VM run
+  // each.
+  uint64_t brute_insns = 0;
+  for (size_t config = 0; config < space.num_configs; ++config) {
+    for (const bool committed : {false, true}) {
+      const BruteOutcome outcome = CheckOk(
+          RunOneConfig(program.get(), space, config, committed, options),
+          "brute run");
+      brute_insns += outcome.instret;
+    }
+  }
+
+  const double ratio =
+      static_cast<double>(brute_insns) / static_cast<double>(varexec_insns);
+  const double domain_bits = 8;  // 4^4 = 2^8
+
+  PrintRow("configurations covered (exhaustive)",
+           static_cast<double>(report.num_configs), "configs");
+  PrintRow("commit classes", static_cast<double>(report.num_classes), "classes");
+  PrintRow("brute-force instructions (512 runs)",
+           static_cast<double>(brute_insns), "insns");
+  PrintRow("variational instructions (2 passes)",
+           static_cast<double>(varexec_insns), "insns");
+  PrintRow("coverage speedup (brute / variational)", ratio, "x",
+           "(>= 5x required)");
+  PrintRow("varexec forks",
+           static_cast<double>(report.generic_stats.forks +
+                               report.committed_stats.forks), "forks");
+  PrintRow("varexec merges",
+           static_cast<double>(report.generic_stats.merges +
+                               report.committed_stats.merges), "merges");
+  PrintRow("peak contexts (generic pass)",
+           static_cast<double>(report.generic_stats.peak_contexts), "contexts");
+  PrintRow("peak contexts (committed pass)",
+           static_cast<double>(report.committed_stats.peak_contexts),
+           "contexts");
+  JsonMetric("domain_bits", domain_bits);
+  JsonMetric("configs_per_kinsn_variational",
+             static_cast<double>(report.num_configs) * 2000.0 /
+                 static_cast<double>(varexec_insns));
+  JsonMetric("configs_per_kinsn_brute",
+             static_cast<double>(report.num_configs) * 2000.0 /
+                 static_cast<double>(brute_insns));
+
+  BenchReport::Instance().RecordVarexec(
+      report.num_configs,
+      report.generic_stats.forks + report.committed_stats.forks,
+      report.generic_stats.merges + report.committed_stats.merges);
+
+  if (report.num_configs != 256) {
+    std::fprintf(stderr, "FATAL: expected 256 configs, covered %zu\n",
+                 report.num_configs);
+    std::abort();
+  }
+  if (ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FATAL: variational coverage only %.2fx cheaper than "
+                 "enumeration (need >= 5x)\n",
+                 ratio);
+    std::abort();
+  }
+  PrintNote("every configuration's variant execution proven bit-identical "
+            "to its generic execution");
+}
+
+}  // namespace
+}  // namespace mv
+
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -290,6 +290,17 @@ Result<uint64_t> MultiverseRuntime::SelectVariantForTest(uint64_t generic_addr,
   return SelectVariantIndexed(index, desc, vals);
 }
 
+Result<std::vector<uint64_t>> MultiverseRuntime::SelectionSignatureNow() {
+  std::vector<uint64_t> signature;
+  signature.reserve(table_.functions.size());
+  for (const RtFunction& desc : table_.functions) {
+    MV_ASSIGN_OR_RETURN(const uint64_t variant,
+                        SelectVariantForTest(desc.generic_addr, true));
+    signature.push_back(variant);
+  }
+  return signature;
+}
+
 void MultiverseRuntime::InvalidatePlanCache() {
   if (plan_cache_->size() > 0) {
     ++fast_stats_.plan_cache_invalidations;

@@ -156,6 +156,12 @@ class MultiverseRuntime {
   // reference linear scan. Returns the selected variant address (0 = generic
   // fallback). The fuzz corpus asserts both paths agree on every function.
   Result<uint64_t> SelectVariantForTest(uint64_t generic_addr, bool use_index);
+  // The per-function selection signature of the CURRENT switch values: for
+  // every multiversed function (in descriptor order) the variant address a
+  // commit would install now (0 = generic). Two switch assignments with equal
+  // signatures produce bit-identical committed text — the equivalence the
+  // variational prover (src/core/varprove.h) groups "commit classes" by.
+  Result<std::vector<uint64_t>> SelectionSignatureNow();
 
   // --- Transactional commit (src/core/txn.h) ---
   // Outside a live-patch plan, every Table 1 operation above runs as one

@@ -218,4 +218,19 @@ Result<SpecializeStats> SpecializeModule(Module* module, const SpecializeOptions
   return stats;
 }
 
+std::vector<SwitchDomain> CollectSwitchDomains(const Module& module) {
+  std::vector<SwitchDomain> domains;
+  for (const GlobalVar& global : module.globals) {
+    if (!global.is_multiverse) {
+      continue;
+    }
+    SwitchDomain domain;
+    domain.name = global.name;
+    domain.values = global.domain;
+    domain.is_fnptr = global.is_fnptr_switch;
+    domains.push_back(std::move(domain));
+  }
+  return domains;
+}
+
 }  // namespace mv

@@ -51,6 +51,21 @@ struct SpecializeStats {
 Result<SpecializeStats> SpecializeModule(Module* module,
                                          const SpecializeOptions& options = {});
 
+// One configuration switch and its value domain, as the specializer sees it
+// (lower.cc has already normalized the domain: explicit > enum > {0, 1}).
+// The variational prover (src/core/varprove.h) flattens the cross product of
+// these domains into its config-space indices, so the exhaustive proof
+// enumerates exactly the assignments the specializer generated variants for.
+struct SwitchDomain {
+  std::string name;
+  std::vector<int64_t> values;
+  bool is_fnptr = false;
+};
+
+// The multiverse switches of `module` in declaration order with their
+// normalized domains. Purely observational — does not modify the module.
+std::vector<SwitchDomain> CollectSwitchDomains(const Module& module);
+
 }  // namespace mv
 
 #endif  // MULTIVERSE_SRC_CORE_SPECIALIZER_H_

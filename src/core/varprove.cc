@@ -1,0 +1,474 @@
+#include "src/core/varprove.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/abi.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+// Full-memory snapshot for run isolation: guest bytes + runtime bookkeeping.
+// Restoring rewrites every byte and flushes all icaches, so the next run
+// starts from exactly this state regardless of what executed in between.
+struct BaselineSnapshot {
+  std::vector<uint8_t> memory;
+  std::shared_ptr<const MultiverseRuntime::SavedState> runtime;
+
+  static Result<BaselineSnapshot> Take(Program* program) {
+    BaselineSnapshot snap;
+    snap.memory.resize(program->vm().memory().size());
+    MV_RETURN_IF_ERROR(
+        program->vm().memory().ReadRaw(0, snap.memory.data(), snap.memory.size()));
+    snap.runtime = program->runtime().SaveState();
+    return snap;
+  }
+
+  Status Restore(Program* program) const {
+    MV_RETURN_IF_ERROR(
+        program->vm().memory().WriteRaw(0, memory.data(), memory.size()));
+    program->vm().FlushAllIcache();
+    program->runtime().RestoreState(*runtime);
+    return Status::Ok();
+  }
+};
+
+Status WriteAssignment(Program* program, const ConfigSpace& space,
+                       size_t config) {
+  const std::vector<int64_t> values = space.Assignment(config);
+  for (size_t i = 0; i < space.switches.size(); ++i) {
+    MV_RETURN_IF_ERROR(program->WriteGlobal(
+        space.switches[i].name, values[i],
+        static_cast<int>(space.switches[i].width)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<int64_t> ConfigSpace::Assignment(size_t index) const {
+  std::vector<int64_t> values(switches.size());
+  for (size_t i = 0; i < switches.size(); ++i) {
+    const size_t radix = switches[i].values.size();
+    values[i] = switches[i].values[index % radix];
+    index /= radix;
+  }
+  return values;
+}
+
+std::string ConfigSpace::DescribeConfig(size_t index) const {
+  const std::vector<int64_t> values = Assignment(index);
+  std::string out;
+  for (size_t i = 0; i < switches.size(); ++i) {
+    if (i != 0) {
+      out += " ";
+    }
+    out += StrFormat("%s=%lld", switches[i].name.c_str(),
+                     (long long)values[i]);
+  }
+  return out;
+}
+
+Result<ConfigSpace> CollectConfigSpace(Program* program) {
+  ConfigSpace space;
+  const DescriptorTable& table = program->runtime().table();
+  for (const Module& module : program->modules()) {
+    for (const SwitchDomain& domain : CollectSwitchDomains(module)) {
+      if (domain.is_fnptr) {
+        return Status::Unimplemented(StrFormat(
+            "varprove: switch '%s' is a function pointer — its domain is an "
+            "address set, not an enumerable integer domain",
+            domain.name.c_str()));
+      }
+      const RtVariable* variable = nullptr;
+      for (const RtVariable& candidate : table.variables) {
+        if (candidate.name == domain.name) {
+          variable = &candidate;
+          break;
+        }
+      }
+      if (variable == nullptr) {
+        return Status::NotFound(StrFormat(
+            "varprove: switch '%s' has no runtime descriptor",
+            domain.name.c_str()));
+      }
+      if (domain.values.empty()) {
+        return Status::Internal(StrFormat("varprove: switch '%s' has an empty "
+                                          "domain after lowering",
+                                          domain.name.c_str()));
+      }
+      ConfigSwitch sw;
+      sw.name = domain.name;
+      sw.addr = variable->addr;
+      sw.width = variable->width;
+      sw.values = domain.values;
+      space.switches.push_back(std::move(sw));
+    }
+  }
+  if (space.switches.empty()) {
+    return Status::InvalidArgument("varprove: program has no multiverse switches");
+  }
+  size_t product = 1;
+  for (const ConfigSwitch& sw : space.switches) {
+    product *= sw.values.size();
+    if (product > (1u << 20)) {
+      return Status::OutOfRange(
+          "varprove: switch-domain cross product exceeds 2^20 configurations");
+    }
+  }
+  space.num_configs = product;
+  return space;
+}
+
+CommitDriver PlainCommitDriver() {
+  return [](Program* program) -> Status {
+    return program->runtime().Commit().status();
+  };
+}
+
+Result<std::vector<CommitClass>> EnumerateCommitClasses(
+    Program* program, const ConfigSpace& space, const CommitDriver& commit) {
+  const Image& image = program->image();
+  std::vector<uint8_t> pristine(image.text_size);
+  MV_RETURN_IF_ERROR(
+      program->vm().memory().ReadRaw(image.text_base, pristine.data(),
+                                     pristine.size()));
+  const uint64_t pristine_checksum = program->runtime().TextChecksum();
+
+  // Pass 1: group configs by selection signature (no patching).
+  std::vector<CommitClass> classes;
+  std::map<std::vector<uint64_t>, size_t> class_of_signature;
+  for (size_t config = 0; config < space.num_configs; ++config) {
+    MV_RETURN_IF_ERROR(WriteAssignment(program, space, config));
+    MV_ASSIGN_OR_RETURN(std::vector<uint64_t> signature,
+                        program->runtime().SelectionSignatureNow());
+    auto [it, inserted] =
+        class_of_signature.emplace(std::move(signature), classes.size());
+    if (inserted) {
+      CommitClass cls;
+      cls.signature = it->first;
+      cls.rep_config = config;
+      cls.members = PresenceCondition::Single(space.num_configs, config);
+      classes.push_back(std::move(cls));
+    } else {
+      classes[it->second].members.Set(config);
+    }
+  }
+
+  // Pass 2: commit one representative per class, harvest its text diff,
+  // revert, and verify the pristine text came back bit-identical.
+  for (CommitClass& cls : classes) {
+    MV_RETURN_IF_ERROR(WriteAssignment(program, space, cls.rep_config));
+    MV_RETURN_IF_ERROR(commit(program));
+    std::vector<uint8_t> committed(image.text_size);
+    MV_RETURN_IF_ERROR(
+        program->vm().memory().ReadRaw(image.text_base, committed.data(),
+                                       committed.size()));
+    for (uint64_t i = 0; i < image.text_size; ++i) {
+      if (committed[i] != pristine[i]) {
+        cls.text_diff.emplace_back(image.text_base + i, committed[i]);
+      }
+    }
+    MV_RETURN_IF_ERROR(program->runtime().Revert().status());
+    if (program->runtime().TextChecksum() != pristine_checksum) {
+      return Status::Internal(StrFormat(
+          "varprove: revert after class %s did not restore the pristine text",
+          cls.members.ToString().c_str()));
+    }
+  }
+  return classes;
+}
+
+Result<std::vector<VarRegion>> BuildSwitchCellRegions(Program* program,
+                                                      const ConfigSpace& space) {
+  (void)program;
+  std::vector<VarRegion> regions;
+  for (size_t s = 0; s < space.switches.size(); ++s) {
+    const ConfigSwitch& sw = space.switches[s];
+    VarRegion region;
+    region.addr = sw.addr;
+    region.len = sw.width;
+    region.is_text = false;
+    region.name = StrFormat("switch %s", sw.name.c_str());
+    std::map<int64_t, uint32_t> content_of_value;
+    region.variant_of_config.resize(space.num_configs);
+    for (size_t config = 0; config < space.num_configs; ++config) {
+      const int64_t value = space.Assignment(config)[s];
+      auto [it, inserted] =
+          content_of_value.emplace(value, region.contents.size());
+      if (inserted) {
+        std::vector<uint8_t> bytes(sw.width);
+        for (uint32_t b = 0; b < sw.width; ++b) {
+          bytes[b] = static_cast<uint8_t>(static_cast<uint64_t>(value) >> (b * 8));
+        }
+        region.contents.push_back(std::move(bytes));
+      }
+      region.variant_of_config[config] = it->second;
+    }
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+Result<std::vector<VarRegion>> BuildCommittedTextRegions(
+    Program* program, const ConfigSpace& space,
+    const std::vector<CommitClass>& classes) {
+  // Union of every byte any class patches, coalesced into ranges (gaps up to
+  // 8 bytes are bridged; gap bytes are pristine in every class's content, so
+  // bridging only trades region count for content size).
+  std::vector<uint64_t> addrs;
+  for (const CommitClass& cls : classes) {
+    for (const auto& [addr, value] : cls.text_diff) {
+      addrs.push_back(addr);
+    }
+  }
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+
+  // Which class each config belongs to.
+  std::vector<uint32_t> class_of_config(space.num_configs, 0);
+  for (size_t k = 0; k < classes.size(); ++k) {
+    for (size_t config : classes[k].members.Configs()) {
+      class_of_config[config] = static_cast<uint32_t>(k);
+    }
+  }
+
+  std::vector<VarRegion> regions;
+  size_t i = 0;
+  while (i < addrs.size()) {
+    size_t j = i;
+    while (j + 1 < addrs.size() && addrs[j + 1] - addrs[j] <= 8) {
+      ++j;
+    }
+    const uint64_t lo = addrs[i];
+    const uint64_t len = addrs[j] - addrs[i] + 1;
+    VarRegion region;
+    region.addr = lo;
+    region.len = static_cast<uint32_t>(len);
+    region.is_text = true;
+    region.name = StrFormat("text@0x%llx+%llu", (unsigned long long)lo,
+                            (unsigned long long)len);
+    std::vector<uint8_t> base_bytes(len);
+    MV_RETURN_IF_ERROR(
+        program->vm().memory().ReadRaw(lo, base_bytes.data(), len));
+    region.contents.reserve(classes.size());
+    for (const CommitClass& cls : classes) {
+      std::vector<uint8_t> content = base_bytes;
+      for (const auto& [addr, value] : cls.text_diff) {
+        if (addr >= lo && addr < lo + len) {
+          content[addr - lo] = value;
+        }
+      }
+      region.contents.push_back(std::move(content));
+    }
+    region.variant_of_config.resize(space.num_configs);
+    for (size_t config = 0; config < space.num_configs; ++config) {
+      region.variant_of_config[config] = class_of_config[config];
+    }
+    regions.push_back(std::move(region));
+    i = j + 1;
+  }
+  return regions;
+}
+
+std::vector<uint64_t> CollectJoinPcs(Program* program) {
+  std::vector<uint64_t> pcs;
+  for (const RtCallsite& site : program->runtime().table().callsites) {
+    pcs.push_back(site.site_addr + 5);  // fall-through of the 5-byte CALL
+  }
+  std::sort(pcs.begin(), pcs.end());
+  pcs.erase(std::unique(pcs.begin(), pcs.end()), pcs.end());
+  return pcs;
+}
+
+void DefaultChecksumRange(const Program& program, uint64_t* lo, uint64_t* hi) {
+  const Image& image = program.image();
+  *lo = image.text_base + image.text_size;
+  *hi = image.stack_base != 0 ? image.stack_base : image.stack_top;
+}
+
+uint64_t MemoryRangeChecksum(Program* program, uint64_t lo, uint64_t hi) {
+  hi = std::min<uint64_t>(hi, program->vm().memory().size());
+  if (hi <= lo) {
+    return 0;
+  }
+  uint64_t hash = kFnvOffset;
+  const uint8_t* bytes = program->vm().memory().raw(lo);
+  for (uint64_t i = 0; i < hi - lo; ++i) {
+    hash = (hash ^ bytes[i]) * kFnvPrime;
+  }
+  return hash;
+}
+
+namespace {
+
+Result<std::vector<ConfigOutcome>> RunVariationalPass(
+    Program* program, const ConfigSpace& space,
+    const std::vector<VarRegion>& regions, const VarProveOptions& options,
+    VarExecStats* stats_out) {
+  MV_ASSIGN_OR_RETURN(const uint64_t entry,
+                      program->SymbolAddress(options.entry));
+  MV_ASSIGN_OR_RETURN(BaselineSnapshot snapshot, BaselineSnapshot::Take(program));
+  SetupCall(program->image(), &program->vm(), entry, options.args);
+
+  VarExecutor executor(&program->vm(), space.num_configs);
+  for (const VarRegion& region : regions) {
+    MV_RETURN_IF_ERROR(executor.AddRegion(region));
+  }
+  VarExecOptions exec_options;
+  exec_options.max_steps_per_config = options.max_steps_per_config;
+  exec_options.join_pcs = CollectJoinPcs(program);
+  DefaultChecksumRange(*program, &exec_options.checksum_lo,
+                       &exec_options.checksum_hi);
+  Result<std::vector<ConfigOutcome>> outcomes = executor.Run(exec_options);
+  *stats_out = executor.stats();
+  MV_RETURN_IF_ERROR(snapshot.Restore(program));
+  return outcomes;
+}
+
+}  // namespace
+
+Result<VarProveReport> ProveEquivalence(Program* program,
+                                        const VarProveOptions& options) {
+  VarProveReport report;
+  MV_ASSIGN_OR_RETURN(const ConfigSpace space, CollectConfigSpace(program));
+  report.num_configs = space.num_configs;
+  report.num_switches = space.switches.size();
+
+  const CommitDriver commit = options.commit ? options.commit : PlainCommitDriver();
+  // The proof is defined against the GENERIC image. The caller may hand us a
+  // program that already committed (mvcc --commit/--live before --varexec);
+  // save its exact state, revert to generic for the proof, restore at the end.
+  MV_ASSIGN_OR_RETURN(BaselineSnapshot original, BaselineSnapshot::Take(program));
+  MV_RETURN_IF_ERROR(program->runtime().Revert().status());
+  MV_ASSIGN_OR_RETURN(BaselineSnapshot baseline, BaselineSnapshot::Take(program));
+  MV_ASSIGN_OR_RETURN(const std::vector<CommitClass> classes,
+                      EnumerateCommitClasses(program, space, commit));
+  report.num_classes = classes.size();
+  // Class enumeration wrote switch values and committed/reverted; rewind to
+  // the caller's baseline so both proof passes share one starting state.
+  MV_RETURN_IF_ERROR(baseline.Restore(program));
+
+  MV_ASSIGN_OR_RETURN(const std::vector<VarRegion> cell_regions,
+                      BuildSwitchCellRegions(program, space));
+  MV_ASSIGN_OR_RETURN(report.generic_outcomes,
+                      RunVariationalPass(program, space, cell_regions, options,
+                                         &report.generic_stats));
+
+  MV_ASSIGN_OR_RETURN(const std::vector<VarRegion> text_regions,
+                      BuildCommittedTextRegions(program, space, classes));
+  std::vector<VarRegion> committed_regions = cell_regions;
+  committed_regions.insert(committed_regions.end(), text_regions.begin(),
+                           text_regions.end());
+  MV_ASSIGN_OR_RETURN(report.committed_outcomes,
+                      RunVariationalPass(program, space, committed_regions,
+                                         options, &report.committed_stats));
+
+  for (size_t config = 0; config < space.num_configs; ++config) {
+    const ConfigOutcome& generic = report.generic_outcomes[config];
+    const ConfigOutcome& committed = report.committed_outcomes[config];
+    const std::string who =
+        StrFormat("config %zu (%s)", config, space.DescribeConfig(config).c_str());
+    if (generic.exit != committed.exit ||
+        generic.fault.kind != committed.fault.kind) {
+      report.mismatches.push_back(StrFormat(
+          "%s: exit/fault diverged (generic %d/%d, committed %d/%d)",
+          who.c_str(), (int)generic.exit, (int)generic.fault.kind,
+          (int)committed.exit, (int)committed.fault.kind));
+      continue;
+    }
+    if (generic.transcript != committed.transcript) {
+      report.mismatches.push_back(
+          StrFormat("%s: transcript diverged ('%s' vs '%s')", who.c_str(),
+                    generic.transcript.c_str(), committed.transcript.c_str()));
+    }
+    if (generic.exit == VmExit::Kind::kHalt && generic.r0 != committed.r0) {
+      report.mismatches.push_back(StrFormat(
+          "%s: return value diverged (%llu vs %llu)", who.c_str(),
+          (unsigned long long)generic.r0, (unsigned long long)committed.r0));
+    }
+    if (generic.mem_checksum != committed.mem_checksum) {
+      report.mismatches.push_back(
+          StrFormat("%s: data-segment checksum diverged", who.c_str()));
+    }
+  }
+  MV_RETURN_IF_ERROR(original.Restore(program));
+  return report;
+}
+
+Result<BruteOutcome> RunOneConfig(Program* program, const ConfigSpace& space,
+                                  size_t config, bool committed,
+                                  const VarProveOptions& options) {
+  if (config >= space.num_configs) {
+    return Status::OutOfRange(StrFormat("config %zu out of %zu", config,
+                                        space.num_configs));
+  }
+  MV_ASSIGN_OR_RETURN(const uint64_t entry,
+                      program->SymbolAddress(options.entry));
+  MV_ASSIGN_OR_RETURN(BaselineSnapshot snapshot, BaselineSnapshot::Take(program));
+  // Like ProveEquivalence, the non-committed run is defined on the generic
+  // image even if the caller committed earlier; the snapshot restores their
+  // state afterwards.
+  MV_RETURN_IF_ERROR(program->runtime().Revert().status());
+  MV_RETURN_IF_ERROR(WriteAssignment(program, space, config));
+  if (committed) {
+    const CommitDriver commit =
+        options.commit ? options.commit : PlainCommitDriver();
+    MV_RETURN_IF_ERROR(commit(program));
+  }
+  SetupCall(program->image(), &program->vm(), entry, options.args);
+
+  BruteOutcome outcome;
+  // instret accumulates across runs on the same core; report this run's delta
+  // (the same accounting the variational executor uses).
+  const uint64_t instret_base = program->vm().core(0).instret;
+  uint64_t budget = options.max_steps_per_config;
+  for (;;) {
+    const VmExit exit = program->vm().Run(0, budget);
+    const uint64_t retired = program->vm().core(0).instret - instret_base;
+    switch (exit.kind) {
+      case VmExit::Kind::kVmCall:
+        if (exit.vmcall_code == kVmCallPutChar) {
+          outcome.transcript.push_back(
+              static_cast<char>(program->vm().core(0).regs[0]));
+          if (retired >= options.max_steps_per_config) {
+            (void)snapshot.Restore(program);
+            return Status::Internal("varprove: config exceeded its step budget");
+          }
+          budget = options.max_steps_per_config - retired;
+          continue;
+        }
+        (void)snapshot.Restore(program);
+        return Status::Unimplemented(StrFormat(
+            "varprove: VMCALL %u inside a proof run", exit.vmcall_code));
+      case VmExit::Kind::kHalt:
+      case VmExit::Kind::kFault:
+        outcome.exit = exit.kind;
+        outcome.fault = exit.fault;
+        break;
+      case VmExit::Kind::kStepLimit:
+        (void)snapshot.Restore(program);
+        return Status::Internal("varprove: config exceeded its step budget");
+      case VmExit::Kind::kBreakpoint:
+        (void)snapshot.Restore(program);
+        return Status::Internal("varprove: unexpected breakpoint exit");
+    }
+    break;
+  }
+  outcome.r0 = program->vm().core(0).regs[0];
+  outcome.instret = program->vm().core(0).instret - instret_base;
+  outcome.core_hash = HashCoreArchState(program->vm().core(0));
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  DefaultChecksumRange(*program, &lo, &hi);
+  outcome.mem_checksum = MemoryRangeChecksum(program, lo, hi);
+  MV_RETURN_IF_ERROR(snapshot.Restore(program));
+  return outcome;
+}
+
+}  // namespace mv

@@ -1,0 +1,168 @@
+// Variational equivalence proving: exhaustive variant/generic equivalence
+// over the WHOLE switch-domain cross product in one shared-state pass
+// (ROADMAP item 3; the oracle layer on top of src/vm/varexec.h).
+//
+// The repo's other correctness harnesses prove per sampled config; this one
+// enumerates the full config space. The trick that keeps that tractable:
+//
+//  * The config space is the cross product of the normalized switch domains
+//    (specializer.h CollectSwitchDomains), flattened to indices 0..N-1.
+//  * A configuration reaches the machine through exactly two channels — the
+//    switch data cells, and the text bytes a commit patches. Both are pure
+//    functions of the config index, so both become VarRegions.
+//  * Configurations whose per-function selection signatures agree
+//    (runtime.h SelectionSignatureNow) commit to bit-identical text — one
+//    "commit class". The class count is sub-linear in N whenever the
+//    specializer merged variants under guard ranges, so the committed pass
+//    needs one text region variant per CLASS, not per config.
+//
+// ProveEquivalence then runs the workload twice under the variational
+// executor — once on the generic image (switch cells variational, text
+// shared) and once on the committed image (cells + per-class text overlays)
+// — and asserts every config's transcript, fault, return value and data
+// checksum agree between the two, exhaustively.
+//
+// RunOneConfig is the brute-force counterpart (one real run per config),
+// kept as the differential oracle for the varexec verdicts and as the
+// instructions-per-config denominator for bench_varexec.
+#ifndef MULTIVERSE_SRC_CORE_VARPROVE_H_
+#define MULTIVERSE_SRC_CORE_VARPROVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/program.h"
+#include "src/support/status.h"
+#include "src/vm/presence.h"
+#include "src/vm/varexec.h"
+
+namespace mv {
+
+// One switch with its runtime storage and normalized value domain.
+struct ConfigSwitch {
+  std::string name;
+  uint64_t addr = 0;
+  uint32_t width = 0;  // bytes: 1/2/4/8
+  std::vector<int64_t> values;
+};
+
+// The flattened cross product of all switch domains. Index arithmetic is
+// mixed-radix: switch 0 varies fastest.
+struct ConfigSpace {
+  std::vector<ConfigSwitch> switches;
+  size_t num_configs = 0;
+
+  // The per-switch values config `index` assigns, in switches order.
+  std::vector<int64_t> Assignment(size_t index) const;
+  std::string DescribeConfig(size_t index) const;  // "fast=1 mode=2"
+};
+
+// Builds the config space of `program` from its modules' multiverse switches
+// matched against the attached descriptor table. Errors on function-pointer
+// switches (their domain is an address set, not an enumerable integer
+// domain) and on an empty cross product.
+Result<ConfigSpace> CollectConfigSpace(Program* program);
+
+// How to commit a configuration: defaults to the runtime's transactional
+// Commit(); tests substitute multiverse_commit_live (e.g. the wait-free
+// protocol) to prove the equivalence holds for every commit engine.
+using CommitDriver = std::function<Status(Program*)>;
+CommitDriver PlainCommitDriver();
+
+// A group of configurations that commit to bit-identical text.
+struct CommitClass {
+  std::vector<uint64_t> signature;  // per-function selected variant addrs
+  size_t rep_config = 0;            // first member, used to take the text diff
+  PresenceCondition members;
+  // Text bytes this class's commit changes, relative to the pristine image.
+  std::vector<std::pair<uint64_t, uint8_t>> text_diff;
+};
+
+// Enumerates the commit classes of the config space: walks every config's
+// selection signature (cheap — no patching), then commits one representative
+// per class to harvest its text diff, reverting and verifying the pristine
+// text checksum after each. The program is left on the pristine image with
+// the LAST config's switch values written.
+Result<std::vector<CommitClass>> EnumerateCommitClasses(
+    Program* program, const ConfigSpace& space, const CommitDriver& commit);
+
+// The VarRegions for a proof pass over `space`:
+//  * one region per switch cell (contents = each config's value bytes);
+//  * when `classes` is non-null, one region per coalesced text range any
+//    class patches (contents = pristine bytes overlaid per class).
+Result<std::vector<VarRegion>> BuildSwitchCellRegions(Program* program,
+                                                      const ConfigSpace& space);
+Result<std::vector<VarRegion>> BuildCommittedTextRegions(
+    Program* program, const ConfigSpace& space,
+    const std::vector<CommitClass>& classes);
+
+// Join pcs for the merge scheduler: the fall-through of every patchable call
+// site (site_addr + 5 — the post-dominator of a multiverse divergence).
+std::vector<uint64_t> CollectJoinPcs(Program* program);
+
+struct VarProveOptions {
+  std::string entry = "main";
+  std::vector<uint64_t> args;
+  uint64_t max_steps_per_config = 100'000'000;
+  CommitDriver commit;  // defaults to PlainCommitDriver()
+};
+
+struct VarProveReport {
+  size_t num_configs = 0;
+  size_t num_switches = 0;
+  size_t num_classes = 0;
+  VarExecStats generic_stats;
+  VarExecStats committed_stats;
+  std::vector<ConfigOutcome> generic_outcomes;    // per config index
+  std::vector<ConfigOutcome> committed_outcomes;  // per config index
+  std::vector<std::string> mismatches;            // empty = proven equivalent
+
+  bool equivalent() const { return mismatches.empty(); }
+  uint64_t instructions_executed() const {
+    return generic_stats.instructions_executed +
+           committed_stats.instructions_executed;
+  }
+};
+
+// The exhaustive oracle: proves every configuration's committed (variant)
+// execution observationally identical to its generic execution — transcript,
+// terminal fault, return value, and a checksum of the data segment (the
+// stack is excluded: dead frames below SP legitimately differ between
+// generic and variant codegen). Ok(report) with report.equivalent() false
+// means the proof RAN and found divergence; a non-Ok status means the proof
+// could not run.
+Result<VarProveReport> ProveEquivalence(Program* program,
+                                        const VarProveOptions& options = {});
+
+// --- Brute-force counterpart -----------------------------------------------
+
+struct BruteOutcome {
+  VmExit::Kind exit = VmExit::Kind::kHalt;
+  Fault fault;
+  std::string transcript;
+  uint64_t r0 = 0;
+  uint64_t core_hash = 0;
+  uint64_t mem_checksum = 0;
+  uint64_t instret = 0;
+};
+
+// Runs ONE configuration for real: writes its switch values, optionally
+// commits (committed=true), calls the entry and collects the same
+// observables the variational executor reports. Restores the pre-call
+// memory/runtime snapshot afterwards so calls are independent. The checksum
+// range matches ProveEquivalence's ([text end, stack_base)).
+Result<BruteOutcome> RunOneConfig(Program* program, const ConfigSpace& space,
+                                  size_t config, bool committed,
+                                  const VarProveOptions& options = {});
+
+// FNV-1a over [lo, hi) of guest memory, the shared checksum the oracles use.
+uint64_t MemoryRangeChecksum(Program* program, uint64_t lo, uint64_t hi);
+
+// The default checksum range: [end of text, bottom of stack).
+void DefaultChecksumRange(const Program& program, uint64_t* lo, uint64_t* hi);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_VARPROVE_H_

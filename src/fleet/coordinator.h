@@ -61,39 +61,8 @@ struct RolloutPolicy {
   LiveCommitOptions live;
 };
 
-struct RolloutEvent {
-  enum class Kind : uint8_t {
-    kRolloutStart,
-    kWaveStart,
-    kFlip,         // one instance committed to the new assignment
-    kFlipFailed,   // transaction failed; journal already restored the text
-    kWaveHealthy,
-    kBreach,       // a policy threshold tripped
-    kRevertStart,
-    kRevertInstance,
-    kProof,        // per-instance identity verdict at rollout end
-    kRolloutDone,
-  };
-  Kind kind = Kind::kRolloutStart;
-  int wave = -1;      // -1 when not wave-scoped
-  int instance = -1;  // -1 when not instance-scoped
-  std::string detail;
-};
-
-const char* RolloutEventName(RolloutEvent::Kind kind);
-
-class RolloutLog {
- public:
-  void Append(RolloutEvent::Kind kind, int wave, int instance,
-              std::string detail);
-  const std::vector<RolloutEvent>& events() const { return events_; }
-  std::string ToString() const;
-  // Persists the log, one event per line — the rollout's audit trail.
-  Status WriteTo(const std::string& path) const;
-
- private:
-  std::vector<RolloutEvent> events_;
-};
+// RolloutEvent / RolloutLog live in src/fleet/metrics.h — Fleet::Build logs
+// boot commits and boot rollbacks into the same audit-trail type.
 
 struct WaveReport {
   int wave = 0;

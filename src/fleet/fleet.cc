@@ -91,9 +91,38 @@ Result<std::unique_ptr<Fleet>> Fleet::Build(
   for (int i = 0; i < options.instances; ++i) {
     Result<CommitOutcome> boot = fleet->runtime(i).CommitWithOutcome();
     if (!boot.ok()) {
+      // All-or-nothing boot: a fleet must never come up half-committed, so
+      // every instance that already reached its boot fixpoint is rolled back
+      // to the generic image before the (structured) failure propagates.
+      if (options.boot_log != nullptr) {
+        options.boot_log->Append(
+            RolloutEvent::Kind::kFlipFailed, /*wave=*/-1, i,
+            StrFormat("boot commit FAILED: %s", boot.status().ToString().c_str()));
+      }
+      std::string rollback_notes;
+      for (int j = i - 1; j >= 0; --j) {
+        Result<PatchStats> undo = fleet->runtime(j).Revert();
+        const std::string note =
+            undo.ok() ? StrFormat("instance %d rolled back", j)
+                      : StrFormat("instance %d rollback FAILED: %s", j,
+                                  undo.status().ToString().c_str());
+        if (options.boot_log != nullptr) {
+          options.boot_log->Append(RolloutEvent::Kind::kBootRollback,
+                                   /*wave=*/-1, j, note);
+        }
+        rollback_notes += "; " + note;
+      }
       return Status(boot.status().code(),
-                    StrFormat("instance %d boot commit: %s", i,
-                              boot.status().message().c_str()));
+                    StrFormat("instance %d boot commit: %s%s", i,
+                              boot.status().message().c_str(),
+                              rollback_notes.c_str()));
+    }
+    if (options.boot_log != nullptr) {
+      options.boot_log->Append(
+          RolloutEvent::Kind::kBootCommit, /*wave=*/-1, i,
+          StrFormat("%d functions committed, %d sites patched",
+                    boot->patch.functions_committed,
+                    boot->patch.callsites_patched));
     }
   }
   fleet->pinned_.assign(options.instances, false);

@@ -49,6 +49,12 @@ struct FleetOptions {
   // Base build options; vm_cores/vm_memory and the shared plan cache are
   // overridden from the fields above.
   BuildOptions build;
+  // Optional audit trail for the boot path. When set, Build appends a
+  // kBootCommit event per committed instance and — if instance k's boot
+  // commit fails — a kBootRollback note per already-committed instance it
+  // rolls back, so a failed boot leaves the same auditable trail as a
+  // reverted rollout. Not owned; must outlive Build().
+  RolloutLog* boot_log = nullptr;
 };
 
 struct Request {

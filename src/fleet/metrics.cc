@@ -1,8 +1,79 @@
 #include "src/fleet/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "src/support/str.h"
 
 namespace mv {
+
+const char* RolloutEventName(RolloutEvent::Kind kind) {
+  switch (kind) {
+    case RolloutEvent::Kind::kRolloutStart:
+      return "rollout-start";
+    case RolloutEvent::Kind::kWaveStart:
+      return "wave-start";
+    case RolloutEvent::Kind::kFlip:
+      return "flip";
+    case RolloutEvent::Kind::kFlipFailed:
+      return "flip-failed";
+    case RolloutEvent::Kind::kWaveHealthy:
+      return "wave-healthy";
+    case RolloutEvent::Kind::kBreach:
+      return "breach";
+    case RolloutEvent::Kind::kRevertStart:
+      return "revert-start";
+    case RolloutEvent::Kind::kRevertInstance:
+      return "revert-instance";
+    case RolloutEvent::Kind::kProof:
+      return "proof";
+    case RolloutEvent::Kind::kRolloutDone:
+      return "rollout-done";
+    case RolloutEvent::Kind::kBootCommit:
+      return "boot-commit";
+    case RolloutEvent::Kind::kBootRollback:
+      return "boot-rollback";
+  }
+  return "?";
+}
+
+void RolloutLog::Append(RolloutEvent::Kind kind, int wave, int instance,
+                        std::string detail) {
+  RolloutEvent event;
+  event.kind = kind;
+  event.wave = wave;
+  event.instance = instance;
+  event.detail = std::move(detail);
+  events_.push_back(std::move(event));
+}
+
+std::string RolloutLog::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const RolloutEvent& e = events_[i];
+    out += StrFormat("%04zu %-16s", i, RolloutEventName(e.kind));
+    out += e.wave >= 0 ? StrFormat(" wave %d", e.wave) : std::string(" wave -");
+    out += e.instance >= 0 ? StrFormat(" inst %3d", e.instance)
+                           : std::string(" inst   -");
+    if (!e.detail.empty()) {
+      out += "  " + e.detail;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status RolloutLog::WriteTo(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open rollout log path '" + path + "'");
+  }
+  const std::string text = ToString();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return Status::Ok();
+}
 
 void InstanceHealth::Accumulate(const InstanceHealth& other) {
   requests_served += other.requests_served;

@@ -9,11 +9,53 @@
 #define MULTIVERSE_SRC_FLEET_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/commit_stats.h"
+#include "src/support/status.h"
 
 namespace mv {
+
+// One auditable transition in a fleet's life: boot commits, rollout waves,
+// flips, breaches, reverts, identity proofs. Shared by Fleet::Build (boot
+// path) and the CommitCoordinator (rollout path) — the same log type records
+// both, so an instance's history reads as one trail.
+struct RolloutEvent {
+  enum class Kind : uint8_t {
+    kRolloutStart,
+    kWaveStart,
+    kFlip,         // one instance committed to the new assignment
+    kFlipFailed,   // transaction failed; journal already restored the text
+    kWaveHealthy,
+    kBreach,       // a policy threshold tripped
+    kRevertStart,
+    kRevertInstance,
+    kProof,        // per-instance identity verdict at rollout end
+    kRolloutDone,
+    kBootCommit,   // instance reached its boot-configuration fixpoint
+    kBootRollback, // boot failed downstream; this instance was rolled back
+  };
+  Kind kind = Kind::kRolloutStart;
+  int wave = -1;      // -1 when not wave-scoped
+  int instance = -1;  // -1 when not instance-scoped
+  std::string detail;
+};
+
+const char* RolloutEventName(RolloutEvent::Kind kind);
+
+class RolloutLog {
+ public:
+  void Append(RolloutEvent::Kind kind, int wave, int instance,
+              std::string detail);
+  const std::vector<RolloutEvent>& events() const { return events_; }
+  std::string ToString() const;
+  // Persists the log, one event per line — the rollout's audit trail.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<RolloutEvent> events_;
+};
 
 // Health counters of one fleet instance. Monotonic: the coordinator computes
 // windows by snapshot + Delta, never by resetting.

@@ -94,6 +94,7 @@ Result<Image> LinkAndLoad(const std::vector<ObjectFile>& objects, const LinkOpti
   // Stack at the top.
   const uint64_t stack_base = AlignUp(cursor, kPageSize);
   const uint64_t stack_top = stack_base + options.stack_size;
+  image.stack_base = stack_base;
   image.stack_top = stack_top;
   if (stack_top > memory.size()) {
     return Status::OutOfRange(

@@ -33,6 +33,7 @@ struct Image {
   uint64_t text_base = 0;
   uint64_t text_size = 0;
   uint64_t stack_top = 0;   // initial SP
+  uint64_t stack_base = 0;  // bottom of the stack region (stack_top - stack_size)
   uint64_t halt_stub = 0;   // address of a HLT; used as top-level return address
 
   Result<uint64_t> SymbolAddress(const std::string& name) const;

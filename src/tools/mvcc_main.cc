@@ -13,6 +13,9 @@
 //     --dump-descriptors   print the parsed multiverse descriptor tables
 //     --stats              print specializer statistics
 //     --run entry [-- a b ...]   call `entry` and print r0 and cycle count
+//     --varexec entry [-- a b ...]  variational execution: prove every
+//                          configuration's variant run equivalent to its
+//                          generic run, exhaustively, in one shared pass
 //     --commit             multiverse_commit() before --run
 //     --live protocol      commit via the live-patching subsystem
 //                          (unsafe | quiescence | breakpoint | waitfree)
@@ -23,7 +26,8 @@
 //     --no-plan-cache      disable commit plan memoization (fast path)
 //
 // Exit codes: 0 success, 1 build/run error, 2 usage error, 3 commit failed
-// and was rolled back (the image is back in its pre-commit state).
+// and was rolled back (the image is back in its pre-commit state), 4 the
+// variational proof ran and found a variant/generic divergence.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +38,7 @@
 
 #include "src/core/descriptors.h"
 #include "src/core/program.h"
+#include "src/core/varprove.h"
 #include "src/isa/isa.h"
 #include "src/livepatch/livepatch.h"
 #include "src/support/str.h"
@@ -60,6 +65,7 @@ struct CliOptions {
   DispatchEngine dispatch = DispatchEngine::kLegacy;
   uint64_t trace = 0;
   std::string run_entry;
+  std::string varexec_entry;
   std::vector<uint64_t> run_args;
 };
 
@@ -83,7 +89,10 @@ void Usage() {
                "  --no-plan-cache    disable commit plan memoization (fast path)\n"
                "  --dispatch engine  VM dispatch engine (legacy | superblock)\n"
                "  --trace N          print the first N executed instructions\n"
-               "  --run entry [-- args...]  call entry() and report r0/cycles\n");
+               "  --run entry [-- args...]  call entry() and report r0/cycles\n"
+               "  --varexec entry [-- args...]  prove variant/generic\n"
+               "                     equivalence over the WHOLE switch-domain\n"
+               "                     cross product in one variational pass\n");
 }
 
 bool ParseKeyValue(const char* text, std::string* key, int64_t* value) {
@@ -160,6 +169,8 @@ int Main(int argc, char** argv) {
       options.trace = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--run" && i + 1 < argc) {
       options.run_entry = argv[++i];
+    } else if (arg == "--varexec" && i + 1 < argc) {
+      options.varexec_entry = argv[++i];
     } else if (arg == "--") {
       for (++i; i < argc; ++i) {
         options.run_args.push_back(std::strtoull(argv[i], nullptr, 0));
@@ -340,6 +351,51 @@ int Main(int argc, char** argv) {
                   "last failure: %s\n",
                   txn.attempts, txn.rollbacks, txn.retries, txn.last_failure.c_str());
     }
+  }
+
+  if (!options.varexec_entry.empty()) {
+    VarProveOptions prove;
+    prove.entry = options.varexec_entry;
+    prove.args = options.run_args;
+    if (options.live) {
+      const CommitProtocol protocol = options.live_protocol;
+      prove.commit = [protocol](Program* p) -> Status {
+        LiveCommitOptions live;
+        live.protocol = protocol;
+        return multiverse_commit_live(&p->vm(), &p->runtime(), live).status();
+      };
+    }
+    Result<VarProveReport> report = ProveEquivalence(&program, prove);
+    if (!report.ok()) {
+      std::fprintf(stderr, "mvcc: varexec failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("varexec: %zu configuration(s) over %zu switch(es), "
+                "%zu commit class(es)\n",
+                report->num_configs, report->num_switches, report->num_classes);
+    std::printf("varexec-stats: insns=%llu forks=%llu merges=%llu "
+                "peak-contexts=%llu (vs %zu independent runs)\n",
+                (unsigned long long)report->instructions_executed(),
+                (unsigned long long)(report->generic_stats.forks +
+                                     report->committed_stats.forks),
+                (unsigned long long)(report->generic_stats.merges +
+                                     report->committed_stats.merges),
+                (unsigned long long)std::max(
+                    report->generic_stats.peak_contexts,
+                    report->committed_stats.peak_contexts),
+                2 * report->num_configs);
+    if (!report->equivalent()) {
+      for (const std::string& mismatch : report->mismatches) {
+        std::fprintf(stderr, "varexec mismatch: %s\n", mismatch.c_str());
+      }
+      std::fprintf(stderr, "mvcc: varexec: %zu configuration(s) diverged\n",
+                   report->mismatches.size());
+      return 4;
+    }
+    std::printf("varexec: all %zu configurations proven equivalent "
+                "(variant == generic, exhaustively)\n",
+                report->num_configs);
   }
 
   if (!options.run_entry.empty()) {

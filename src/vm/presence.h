@@ -1,0 +1,187 @@
+// Presence conditions: which configurations of a switch cross-product a
+// shared execution state stands for.
+//
+// The variational executor (src/vm/varexec.h) runs the guest once over a
+// *set* of configurations. Every execution context carries a presence
+// condition — a bitmask over the flattened config-space indices — and the
+// executor maintains the partition invariant: the masks of all live contexts
+// union to the full space and are pairwise disjoint, so no configuration is
+// ever lost or double-counted. Forks split a mask into disjoint non-empty
+// parts; merges union masks of contexts that reconverged to identical state.
+//
+// The mask is a plain dynamic bitset. Config spaces are capped well below
+// anything a bitset would struggle with (the specializer refuses cross
+// products past its own cap long before), so there is no BDD machinery here
+// — the flattened-index representation is exact and cheap at these sizes.
+#ifndef MULTIVERSE_SRC_VM_PRESENCE_H_
+#define MULTIVERSE_SRC_VM_PRESENCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mv {
+
+class PresenceCondition {
+ public:
+  PresenceCondition() = default;
+  explicit PresenceCondition(size_t num_configs) : size_(num_configs) {
+    words_.resize(WordCount(num_configs), 0);
+  }
+
+  static PresenceCondition All(size_t num_configs) {
+    PresenceCondition pc(num_configs);
+    for (size_t i = 0; i < pc.words_.size(); ++i) {
+      pc.words_[i] = ~UINT64_C(0);
+    }
+    pc.TrimTail();
+    return pc;
+  }
+  static PresenceCondition None(size_t num_configs) {
+    return PresenceCondition(num_configs);
+  }
+  static PresenceCondition Single(size_t num_configs, size_t config) {
+    PresenceCondition pc(num_configs);
+    pc.Set(config);
+    return pc;
+  }
+
+  size_t size() const { return size_; }
+
+  void Set(size_t config) { words_[config / 64] |= UINT64_C(1) << (config % 64); }
+  void Clear(size_t config) {
+    words_[config / 64] &= ~(UINT64_C(1) << (config % 64));
+  }
+  bool Test(size_t config) const {
+    return config < size_ &&
+           (words_[config / 64] >> (config % 64) & UINT64_C(1)) != 0;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) {
+      while (w != 0) {
+        w &= w - 1;
+        ++n;
+      }
+    }
+    return n;
+  }
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Empty() const { return !Any(); }
+
+  // --- Algebra (operands must share the same config-space size) ---
+  PresenceCondition Union(const PresenceCondition& other) const {
+    PresenceCondition out(size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] = words_[i] | other.words_[i];
+    }
+    return out;
+  }
+  PresenceCondition Intersect(const PresenceCondition& other) const {
+    PresenceCondition out(size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] = words_[i] & other.words_[i];
+    }
+    return out;
+  }
+  PresenceCondition Complement() const {
+    PresenceCondition out(size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] = ~words_[i];
+    }
+    out.TrimTail();
+    return out;
+  }
+  PresenceCondition Minus(const PresenceCondition& other) const {
+    PresenceCondition out(size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] = words_[i] & ~other.words_[i];
+    }
+    return out;
+  }
+
+  bool Disjoint(const PresenceCondition& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool IsAll() const { return Count() == size_; }
+
+  bool operator==(const PresenceCondition& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+  bool operator!=(const PresenceCondition& other) const {
+    return !(*this == other);
+  }
+
+  // The config indices present, ascending.
+  std::vector<size_t> Configs() const {
+    std::vector<size_t> out;
+    out.reserve(Count());
+    for (size_t i = 0; i < size_; ++i) {
+      if (Test(i)) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (size_t i = 0; i < size_; ++i) {
+      if (Test(i)) {
+        if (!first) {
+          out += ",";
+        }
+        out += std::to_string(i);
+        first = false;
+      }
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static size_t WordCount(size_t bits) { return (bits + 63) / 64; }
+  // Keep the bits past `size_` zero so Count/==/Complement stay exact.
+  void TrimTail() {
+    const size_t tail = size_ % 64;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (UINT64_C(1) << tail) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+// Partition check over a set of masks: true iff they are pairwise disjoint
+// and union to the full space — "no config lost, no config double-counted".
+inline bool IsPartition(const std::vector<PresenceCondition>& masks,
+                        size_t num_configs) {
+  PresenceCondition seen = PresenceCondition::None(num_configs);
+  for (const PresenceCondition& mask : masks) {
+    if (!seen.Disjoint(mask)) {
+      return false;
+    }
+    seen = seen.Union(mask);
+  }
+  return seen.IsAll();
+}
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_VM_PRESENCE_H_

@@ -1,0 +1,715 @@
+#include "src/vm/varexec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace mv {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t FnvBytes(uint64_t hash, const uint8_t* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    hash = (hash ^ data[i]) * kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvU64(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash = (hash ^ static_cast<uint8_t>(value >> (i * 8))) * kFnvPrime;
+  }
+  return hash;
+}
+
+// Byte width of a load/store data access, 0 for non-memory ops. CALL/RET/
+// PUSH/POP stack traffic is handled separately (it depends on SP, not on an
+// operand immediate).
+int DataWidth(const Insn& insn) {
+  switch (insn.op) {
+    case Op::kLd8U:
+    case Op::kLd8S:
+    case Op::kSt8:
+      return 1;
+    case Op::kLd16U:
+    case Op::kLd16S:
+    case Op::kSt16:
+      return 2;
+    case Op::kLd32U:
+    case Op::kLd32S:
+    case Op::kSt32:
+      return 4;
+    case Op::kLd64:
+    case Op::kSt64:
+      return 8;
+    case Op::kLdg:
+    case Op::kStg:
+      return GWidthBytes(insn.gw);
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+uint64_t HashCoreArchState(const Core& core) {
+  uint64_t hash = kFnvOffset;
+  for (uint64_t reg : core.regs) {
+    hash = FnvU64(hash, reg);
+  }
+  hash = FnvU64(hash, core.pc);
+  hash = FnvU64(hash, (core.zf ? 1u : 0u) | (core.lt_signed ? 2u : 0u) |
+                          (core.lt_unsigned ? 4u : 0u) |
+                          (core.interrupts_enabled ? 8u : 0u) |
+                          (core.halted ? 16u : 0u));
+  return hash;
+}
+
+VarExecutor::VarExecutor(Vm* vm, size_t num_configs)
+    : vm_(vm), num_configs_(num_configs) {}
+
+Status VarExecutor::AddRegion(VarRegion region) {
+  if (region.len == 0) {
+    return Status::InvalidArgument("varexec: empty region");
+  }
+  if (region.addr + region.len > vm_->memory().size()) {
+    return Status::InvalidArgument(
+        StrFormat("varexec: region '%s' outside memory", region.name.c_str()));
+  }
+  if (region.variant_of_config.size() != num_configs_) {
+    return Status::InvalidArgument(
+        StrFormat("varexec: region '%s' maps %zu configs, space has %zu",
+                  region.name.c_str(), region.variant_of_config.size(),
+                  num_configs_));
+  }
+  for (const std::vector<uint8_t>& content : region.contents) {
+    if (content.size() != region.len) {
+      return Status::InvalidArgument(
+          StrFormat("varexec: region '%s' content size mismatch",
+                    region.name.c_str()));
+    }
+  }
+  // Deduplicate identical contents so "distinct variant index" really means
+  // "distinct bytes" — forks group by variant index.
+  std::vector<std::vector<uint8_t>> unique;
+  std::vector<uint32_t> remap(region.contents.size(), 0);
+  for (size_t i = 0; i < region.contents.size(); ++i) {
+    size_t found = unique.size();
+    for (size_t j = 0; j < unique.size(); ++j) {
+      if (unique[j] == region.contents[i]) {
+        found = j;
+        break;
+      }
+    }
+    if (found == unique.size()) {
+      unique.push_back(region.contents[i]);
+    }
+    remap[i] = static_cast<uint32_t>(found);
+  }
+  for (uint32_t& v : region.variant_of_config) {
+    if (v >= remap.size()) {
+      return Status::InvalidArgument(
+          StrFormat("varexec: region '%s' variant index out of range",
+                    region.name.c_str()));
+    }
+    v = remap[v];
+  }
+  region.contents = std::move(unique);
+  if (region.contents.size() <= 1) {
+    return Status::Ok();  // all configs agree: not variational, nothing to do
+  }
+  for (const VarRegion& existing : regions_) {
+    if (region.addr < existing.addr + existing.len &&
+        existing.addr < region.addr + region.len) {
+      return Status::InvalidArgument(
+          StrFormat("varexec: region '%s' overlaps '%s'", region.name.c_str(),
+                    existing.name.c_str()));
+    }
+  }
+  regions_.push_back(std::move(region));
+  return Status::Ok();
+}
+
+int VarExecutor::RegionAt(uint64_t addr) const {
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (addr >= regions_[r].addr && addr < regions_[r].addr + regions_[r].len) {
+      return static_cast<int>(r);
+    }
+  }
+  return -1;
+}
+
+bool VarExecutor::RangeTouchesUnresolved(const Context& ctx, uint64_t addr,
+                                         uint64_t len,
+                                         size_t* region_out) const {
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (ctx.resolved.count(r) != 0) {
+      continue;
+    }
+    const VarRegion& region = regions_[r];
+    if (addr < region.addr + region.len && region.addr < addr + len) {
+      *region_out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+void VarExecutor::ApplyByte(uint64_t addr, uint8_t value) {
+  const uint8_t current = vm_->memory().raw(addr)[0];
+  if (materialized_.count(addr) == 0) {
+    materialized_[addr] = current;
+  }
+  if (current != value) {
+    (void)vm_->memory().WriteRaw(addr, &value, 1);
+    if ((vm_->memory().PermsAt(addr) & kPermExec) != 0) {
+      vm_->FlushIcache(addr, 1);
+    }
+  }
+}
+
+void VarExecutor::RestoreBaseBytes() {
+  for (const auto& [addr, base_value] : materialized_) {
+    const uint8_t current = vm_->memory().raw(addr)[0];
+    if (current != base_value) {
+      (void)vm_->memory().WriteRaw(addr, &base_value, 1);
+      if ((vm_->memory().PermsAt(addr) & kPermExec) != 0) {
+        vm_->FlushIcache(addr, 1);
+      }
+    }
+  }
+  materialized_.clear();
+}
+
+void VarExecutor::Materialize(Context* ctx) {
+  RestoreBaseBytes();
+  for (const auto& [r, variant] : ctx->resolved) {
+    const VarRegion& region = regions_[r];
+    const std::vector<uint8_t>& content = region.contents[variant];
+    for (uint32_t i = 0; i < region.len; ++i) {
+      ApplyByte(region.addr + i, content[i]);
+    }
+  }
+  for (const auto& [addr, value] : ctx->delta) {
+    ApplyByte(addr, value);
+  }
+  vm_->core(0) = ctx->core;
+}
+
+std::vector<std::pair<uint32_t, PresenceCondition>> VarExecutor::GroupByVariant(
+    const Context& ctx, const VarRegion& region) const {
+  std::vector<std::pair<uint32_t, PresenceCondition>> groups;
+  for (size_t c = 0; c < num_configs_; ++c) {
+    if (!ctx.mask.Test(c)) {
+      continue;
+    }
+    const uint32_t variant = region.variant_of_config[c];
+    bool found = false;
+    for (auto& [v, mask] : groups) {
+      if (v == variant) {
+        mask.Set(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      groups.emplace_back(variant, PresenceCondition::Single(num_configs_, c));
+    }
+  }
+  return groups;
+}
+
+Result<bool> VarExecutor::ResolveRegion(size_t r) {
+  const VarRegion& region = regions_[r];
+  std::vector<std::pair<uint32_t, PresenceCondition>> groups =
+      GroupByVariant(contexts_[current_], region);
+  if (groups.empty()) {
+    return Status::Internal("varexec: resolving region for an empty mask");
+  }
+  if (groups.size() == 1) {
+    ++stats_.region_resolutions;
+  } else {
+    // Fork: the current context keeps the first group; clones take the rest.
+    if (contexts_.size() + groups.size() - 1 > 4096 &&
+        contexts_.size() + groups.size() - 1 > num_configs_) {
+      return Status::Internal("varexec: context explosion");
+    }
+    contexts_[current_].core = vm_->core(0);
+    stats_.forks += groups.size() - 1;
+    // Clone from a value snapshot: push_back can reallocate contexts_, so a
+    // reference into it would dangle after the first clone.
+    const Context proto = contexts_[current_];
+    for (size_t g = 1; g < groups.size(); ++g) {
+      Context child = proto;  // copies delta, resolutions, transcript, core
+      child.mask = groups[g].second;
+      child.resolved[r] = groups[g].first;
+      child.parked = false;
+      contexts_.push_back(std::move(child));
+    }
+  }
+  // Re-fetch: contexts_ may have reallocated.
+  Context& self = contexts_[current_];
+  self.mask = groups[0].second;
+  self.resolved[r] = groups[0].first;
+  const std::vector<uint8_t>& content = region.contents[groups[0].first];
+  for (uint32_t i = 0; i < region.len; ++i) {
+    ApplyByte(region.addr + i, content[i]);
+  }
+  stats_.peak_contexts = std::max<uint64_t>(stats_.peak_contexts, contexts_.size());
+  return groups.size() == 1;
+}
+
+void VarExecutor::ReadSet(const Insn& insn, const Core& core,
+                          std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+  out->clear();
+  const int width = DataWidth(insn);
+  switch (insn.op) {
+    case Op::kLd8U:
+    case Op::kLd8S:
+    case Op::kLd16U:
+    case Op::kLd16S:
+    case Op::kLd32U:
+    case Op::kLd32S:
+    case Op::kLd64:
+      out->emplace_back(core.regs[insn.b] + static_cast<uint64_t>(insn.imm),
+                        width);
+      break;
+    case Op::kLdg:
+      out->emplace_back(static_cast<uint64_t>(insn.imm), width);
+      break;
+    case Op::kCallM:
+      out->emplace_back(static_cast<uint64_t>(insn.imm), 8);
+      break;
+    case Op::kRet:
+    case Op::kPop:
+      out->emplace_back(core.regs[kRegSP], 8);
+      break;
+    case Op::kXchg:
+      out->emplace_back(core.regs[insn.b], 4);
+      break;
+    default:
+      break;
+  }
+}
+
+void VarExecutor::WriteSet(const Insn& insn, const Core& core,
+                           std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+  out->clear();
+  const int width = DataWidth(insn);
+  switch (insn.op) {
+    case Op::kSt8:
+    case Op::kSt16:
+    case Op::kSt32:
+    case Op::kSt64:
+      out->emplace_back(core.regs[insn.b] + static_cast<uint64_t>(insn.imm),
+                        width);
+      break;
+    case Op::kStg:
+      out->emplace_back(static_cast<uint64_t>(insn.imm), width);
+      break;
+    case Op::kCall:
+    case Op::kCallR:
+    case Op::kCallM:
+    case Op::kPush:
+      out->emplace_back(core.regs[kRegSP] - 8, 8);
+      break;
+    case Op::kXchg:
+      out->emplace_back(core.regs[insn.b], 4);
+      break;
+    default:
+      break;
+  }
+}
+
+Result<bool> VarExecutor::PrepareStep(Insn* insn, bool* decoded) {
+  *decoded = false;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  for (;;) {
+    const uint64_t pc = vm_->core(0).pc;
+    // The opcode byte itself: a patched call site replaces the whole window,
+    // so a pc inside an unresolved region must resolve before decode.
+    size_t r = 0;
+    if (RangeTouchesUnresolved(contexts_[current_], pc, 1, &r)) {
+      Result<bool> resolved = ResolveRegion(r);
+      if (!resolved.ok()) {
+        return resolved.status();
+      }
+      if (!*resolved) {
+        return false;  // forked
+      }
+      continue;
+    }
+    uint8_t window[10] = {};
+    const uint64_t avail =
+        std::min<uint64_t>(sizeof(window), vm_->memory().size() - pc);
+    if (pc >= vm_->memory().size() ||
+        !vm_->memory().ReadRaw(pc, window, avail).ok()) {
+      return true;  // the real Step will fault identically
+    }
+    Result<Insn> next = Decode(window, avail);
+    if (!next.ok()) {
+      return true;  // undecodable: let Step raise kBadOpcode
+    }
+    // Operand bytes (MVISA sizes are opcode-determined, so `size` is valid
+    // even when operand bytes are still unresolved).
+    if (RangeTouchesUnresolved(contexts_[current_], pc, next->size, &r)) {
+      Result<bool> resolved = ResolveRegion(r);
+      if (!resolved.ok()) {
+        return resolved.status();
+      }
+      if (!*resolved) {
+        return false;
+      }
+      continue;  // operand bytes changed: re-decode
+    }
+    // Data accesses: any read or write observing an unresolved region
+    // resolves it first — this is the switch-cell divergence point.
+    bool resolved_any = false;
+    for (int pass = 0; pass < 2 && !resolved_any; ++pass) {
+      pass == 0 ? ReadSet(*next, vm_->core(0), &ranges)
+                : WriteSet(*next, vm_->core(0), &ranges);
+      for (const auto& [addr, len] : ranges) {
+        if (len != 0 && addr < vm_->memory().size() &&
+            RangeTouchesUnresolved(contexts_[current_], addr, len, &r)) {
+          Result<bool> resolved = ResolveRegion(r);
+          if (!resolved.ok()) {
+            return resolved.status();
+          }
+          if (!*resolved) {
+            return false;
+          }
+          resolved_any = true;
+          break;
+        }
+      }
+    }
+    if (resolved_any) {
+      continue;
+    }
+    *insn = *next;
+    *decoded = true;
+    return true;
+  }
+}
+
+void VarExecutor::FinishCurrent(const VmExit& exit) {
+  Context& ctx = contexts_[current_];
+  ctx.core = vm_->core(0);
+  ctx.exit = exit;
+  ctx.done = true;
+  ctx.parked = false;
+}
+
+Status VarExecutor::StepCurrent(const VarExecOptions& options, bool* progressed) {
+  Context& ctx = contexts_[current_];
+  *progressed = false;
+  if (vm_->core(0).instret - instret_base_ >= options.max_steps_per_config) {
+    return Status::Internal(StrFormat(
+        "varexec: context %s exceeded %llu steps", ctx.mask.ToString().c_str(),
+        (unsigned long long)options.max_steps_per_config));
+  }
+  Insn insn;
+  bool decoded = false;
+  Result<bool> prepared = PrepareStep(&insn, &decoded);
+  if (!prepared.ok()) {
+    return prepared.status();
+  }
+  if (!*prepared) {
+    return Status::Ok();  // forked; scheduler re-picks (no step retired)
+  }
+  if (decoded && insn.op == Op::kRdtsc && contexts_[current_].ticks_approx) {
+    return Status::FailedPrecondition(
+        "varexec: RDTSC after a state merge — tick accounting is approximate "
+        "and architecturally visible; rerun with merging disabled");
+  }
+  // Copy-on-write capture: remember the base value of every byte this
+  // instruction may write, then harvest the written bytes into the delta.
+  std::vector<std::pair<uint64_t, uint64_t>> writes;
+  if (decoded) {
+    WriteSet(insn, vm_->core(0), &writes);
+    for (const auto& [addr, len] : writes) {
+      for (uint64_t i = 0; i < len; ++i) {
+        const uint64_t a = addr + i;
+        if (a < vm_->memory().size() && materialized_.count(a) == 0) {
+          materialized_[a] = vm_->memory().raw(a)[0];
+        }
+      }
+    }
+  }
+  std::optional<VmExit> exit = vm_->Step(0);
+  ++stats_.instructions_executed;
+  *progressed = true;
+  Context& self = contexts_[current_];
+  if (decoded) {
+    for (const auto& [addr, len] : writes) {
+      for (uint64_t i = 0; i < len; ++i) {
+        const uint64_t a = addr + i;
+        if (a < vm_->memory().size()) {
+          self.delta[a] = vm_->memory().raw(a)[0];
+        }
+      }
+    }
+  }
+  if (exit.has_value()) {
+    switch (exit->kind) {
+      case VmExit::Kind::kVmCall:
+        if (exit->vmcall_code == options.putchar_code) {
+          self.transcript.push_back(static_cast<char>(vm_->core(0).regs[0]));
+          return Status::Ok();
+        }
+        return Status::Unimplemented(StrFormat(
+            "varexec: VMCALL %u inside a variational run (only putchar is "
+            "config-neutral; commit/revert upcalls mutate text mid-proof)",
+            exit->vmcall_code));
+      case VmExit::Kind::kHalt:
+      case VmExit::Kind::kFault:
+        FinishCurrent(*exit);
+        return Status::Ok();
+      case VmExit::Kind::kBreakpoint:
+      case VmExit::Kind::kStepLimit:
+        return Status::Unimplemented(
+            StrFormat("varexec: unsupported exit %s", exit->ToString().c_str()));
+    }
+  }
+  // Park at a join pc so reconverged siblings get a chance to merge.
+  if (!join_pcs_.empty() && contexts_.size() > 1) {
+    const uint64_t pc = vm_->core(0).pc;
+    if (std::binary_search(join_pcs_.begin(), join_pcs_.end(), pc)) {
+      self.core = vm_->core(0);
+      self.parked = true;
+    }
+  }
+  return Status::Ok();
+}
+
+std::map<uint64_t, uint8_t> VarExecutor::NormalizedDelta(const Context& ctx) const {
+  std::map<uint64_t, uint8_t> out;
+  for (const auto& [addr, value] : ctx.delta) {
+    // Writes that restored the shared base value are not state — unless the
+    // byte lies in a variational region, where the base is not the content
+    // the config observes.
+    if (value == base_[addr] && RegionAt(addr) < 0) {
+      continue;
+    }
+    out.emplace(addr, value);
+  }
+  return out;
+}
+
+bool VarExecutor::TryMerge(Context* into, Context* from) {
+  if (into->core.pc != from->core.pc ||
+      std::memcmp(into->core.regs, from->core.regs, sizeof(into->core.regs)) != 0 ||
+      into->core.zf != from->core.zf ||
+      into->core.lt_signed != from->core.lt_signed ||
+      into->core.lt_unsigned != from->core.lt_unsigned ||
+      into->core.interrupts_enabled != from->core.interrupts_enabled ||
+      into->core.halted != from->core.halted ||
+      into->transcript != from->transcript ||
+      !into->mask.Disjoint(from->mask) ||
+      NormalizedDelta(*into) != NormalizedDelta(*from)) {
+    return false;
+  }
+  // Resolutions that disagree (or exist on one side only) become unresolved
+  // again: region content is a pure function of config, so the merged
+  // context re-forks lazily if the region is observed again.
+  std::map<size_t, uint32_t> kept;
+  for (const auto& [r, variant] : into->resolved) {
+    auto it = from->resolved.find(r);
+    if (it != from->resolved.end() && it->second == variant) {
+      kept.emplace(r, variant);
+    }
+  }
+  into->ticks_approx = into->ticks_approx || from->ticks_approx ||
+                       into->core.ticks != from->core.ticks;
+  into->core.ticks = std::max(into->core.ticks, from->core.ticks);
+  into->core.instret = std::max(into->core.instret, from->core.instret);
+  into->resolved = std::move(kept);
+  into->mask = into->mask.Union(from->mask);
+  ++stats_.merges;
+  return true;
+}
+
+void VarExecutor::MergeRound() {
+  ++stats_.merge_rounds;
+  // All contexts are parked or done; nothing is materialized mid-flight, so
+  // it is safe to drop the overlay and compact the context vector.
+  RestoreBaseBytes();
+  current_ = SIZE_MAX;
+  std::vector<bool> dead(contexts_.size(), false);
+  for (size_t i = 0; i < contexts_.size(); ++i) {
+    if (dead[i] || !contexts_[i].parked) {
+      continue;
+    }
+    for (size_t j = i + 1; j < contexts_.size(); ++j) {
+      if (dead[j] || !contexts_[j].parked) {
+        continue;
+      }
+      if (TryMerge(&contexts_[i], &contexts_[j])) {
+        dead[j] = true;
+      }
+    }
+  }
+  std::vector<Context> alive;
+  alive.reserve(contexts_.size());
+  for (size_t i = 0; i < contexts_.size(); ++i) {
+    if (!dead[i]) {
+      contexts_[i].parked = false;
+      alive.push_back(std::move(contexts_[i]));
+    }
+  }
+  contexts_ = std::move(alive);
+}
+
+uint64_t VarExecutor::ChecksumFor(const Context& ctx, size_t config,
+                                  const VarExecOptions& options) {
+  if (options.checksum_hi <= options.checksum_lo) {
+    return 0;
+  }
+  const uint64_t lo = options.checksum_lo;
+  const uint64_t hi = std::min<uint64_t>(options.checksum_hi, vm_->memory().size());
+  // Overlay the bytes this config observes for every region the context
+  // never resolved (resolved regions and the delta are already materialized).
+  std::vector<std::pair<uint64_t, uint8_t>> saved;
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (ctx.resolved.count(r) != 0) {
+      continue;
+    }
+    const VarRegion& region = regions_[r];
+    if (region.addr + region.len <= lo || region.addr >= hi) {
+      continue;
+    }
+    const std::vector<uint8_t>& content =
+        region.contents[region.variant_of_config[config]];
+    for (uint32_t i = 0; i < region.len; ++i) {
+      const uint64_t a = region.addr + i;
+      if (a < lo || a >= hi || ctx.delta.count(a) != 0) {
+        continue;
+      }
+      saved.emplace_back(a, vm_->memory().raw(a)[0]);
+      (void)vm_->memory().WriteRaw(a, &content[i], 1);
+    }
+  }
+  const uint64_t hash = FnvBytes(kFnvOffset, vm_->memory().raw(lo), hi - lo);
+  for (const auto& [a, value] : saved) {
+    (void)vm_->memory().WriteRaw(a, &value, 1);
+  }
+  return hash;
+}
+
+Result<std::vector<ConfigOutcome>> VarExecutor::Run(const VarExecOptions& options) {
+  if (num_configs_ == 0) {
+    return Status::InvalidArgument("varexec: empty config space");
+  }
+  base_.resize(vm_->memory().size());
+  Status snap = vm_->memory().ReadRaw(0, base_.data(), base_.size());
+  if (!snap.ok()) {
+    return snap;
+  }
+  join_pcs_ = options.join_pcs;
+  instret_base_ = vm_->core(0).instret;
+  std::sort(join_pcs_.begin(), join_pcs_.end());
+  contexts_.clear();
+  materialized_.clear();
+  stats_ = VarExecStats{};
+  Context root;
+  root.mask = PresenceCondition::All(num_configs_);
+  root.core = vm_->core(0);
+  contexts_.push_back(std::move(root));
+  stats_.peak_contexts = 1;
+  current_ = SIZE_MAX;
+
+  for (;;) {
+    if (contexts_.size() > options.max_contexts) {
+      return Status::Internal(
+          StrFormat("varexec: %zu contexts exceed the cap %zu",
+                    contexts_.size(), options.max_contexts));
+    }
+    // Min-instret scheduling keeps siblings roughly in lockstep, which is
+    // what makes reconvergence (and therefore merging) observable.
+    size_t pick = SIZE_MAX;
+    bool any_parked = false;
+    for (size_t i = 0; i < contexts_.size(); ++i) {
+      if (contexts_[i].done) {
+        continue;
+      }
+      if (contexts_[i].parked) {
+        any_parked = true;
+        continue;
+      }
+      if (pick == SIZE_MAX ||
+          contexts_[i].core.instret < contexts_[pick].core.instret) {
+        pick = i;
+      }
+    }
+    if (pick == SIZE_MAX) {
+      if (!any_parked) {
+        break;  // every context is done
+      }
+      MergeRound();
+      continue;
+    }
+    if (pick != current_) {
+      if (current_ != SIZE_MAX && current_ < contexts_.size() &&
+          !contexts_[current_].done) {
+        contexts_[current_].core = vm_->core(0);
+      }
+      current_ = pick;
+      Materialize(&contexts_[current_]);
+      ++stats_.context_switches;
+    }
+    for (uint64_t slice = 0; slice < options.schedule_slice; ++slice) {
+      bool progressed = false;
+      Status status = StepCurrent(options, &progressed);
+      if (!status.ok()) {
+        return status;
+      }
+      Context& ctx = contexts_[current_];
+      if (ctx.done || ctx.parked || !progressed) {
+        break;
+      }
+      ctx.core = vm_->core(0);
+    }
+    if (current_ < contexts_.size() && !contexts_[current_].done &&
+        !contexts_[current_].parked) {
+      contexts_[current_].core = vm_->core(0);
+    }
+  }
+
+  // Partition invariant: every config accounted for exactly once.
+  std::vector<PresenceCondition> masks;
+  masks.reserve(contexts_.size());
+  for (const Context& ctx : contexts_) {
+    masks.push_back(ctx.mask);
+  }
+  if (!IsPartition(masks, num_configs_)) {
+    return Status::Internal(
+        "varexec: presence conditions no longer partition the config space");
+  }
+
+  std::vector<ConfigOutcome> outcomes(num_configs_);
+  for (size_t i = 0; i < contexts_.size(); ++i) {
+    Context& ctx = contexts_[i];
+    current_ = i;
+    Materialize(&ctx);
+    const uint64_t core_hash = HashCoreArchState(ctx.core);
+    for (size_t c : ctx.mask.Configs()) {
+      ConfigOutcome& out = outcomes[c];
+      out.exit = ctx.exit.kind;
+      out.fault = ctx.exit.fault;
+      out.transcript = ctx.transcript;
+      out.r0 = ctx.core.regs[0];
+      out.core_hash = core_hash;
+      out.instret = ctx.core.instret - instret_base_;
+      out.cycles = ctx.core.cycles();
+      out.ticks_approx = ctx.ticks_approx;
+      out.mem_checksum = ChecksumFor(ctx, c, options);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace mv

@@ -1,0 +1,204 @@
+// Variational execution: run the guest once over a SET of configurations,
+// sharing registers, memory and transcript until a config-dependent byte is
+// observed, then forking copy-on-write per-config deltas and re-merging
+// deltas that reconverge to identical state (ROADMAP item 3; Wong et al.,
+// "Faster Variational Execution", and "Effective Analysis of C Programs by
+// Rewriting Variability" — see PAPERS.md).
+//
+// The executor is configured with "variational regions": byte ranges whose
+// content is a pure function of the configuration index — exactly the two
+// places the multiverse model lets a configuration reach the machine:
+//   * the switch data cells themselves (each config's switch values), and
+//   * the patchable text ranges a commit rewrites (per commit class).
+// Everything else is config-independent by construction, which is why those
+// regions are the ONLY possible divergence points (INTERNALS.md §15).
+//
+// Execution model — fork-at-observation, not symbolic state:
+//   * One real Vm executes. Each context owns {presence condition, Core,
+//     copy-on-write byte delta, resolved-region choices, transcript}; the
+//     scheduler materializes a context onto the Vm (apply resolutions +
+//     delta, flush the icache over changed text), steps it, and captures
+//     its writes back into the delta.
+//   * Before each step the next instruction is pre-decoded host-side and its
+//     exact read/write byte sets computed (MVISA operand addressing is fully
+//     register+immediate, so this is precise, not a points-to guess). Any
+//     access overlapping an unresolved region resolves it: configs in the
+//     context's mask are grouped by the region's content; one group resolves
+//     in place, several groups fork the context.
+//   * A context that reaches a join pc (the fall-through of a patchable call
+//     site — the post-dominator of every multiverse divergence) parks; when
+//     no unparked context remains, parked contexts at the same pc with
+//     bit-identical architectural state, delta and transcript merge (masks
+//     union; resolutions that disagree become unresolved again, which is
+//     sound because region content is a pure function of config).
+//
+// Merged contexts lose exact tick/predictor accounting (the paths they
+// shared legitimately differed in cycles); the context is flagged
+// ticks_approx and a subsequent RDTSC — which makes ticks architecturally
+// visible — is a structured error rather than a silent wrong answer.
+// Faults, HLT and the putchar VMCALL are handled per context; any other exit
+// is unsupported inside a variational run and reported as an error.
+#ifndef MULTIVERSE_SRC_VM_VAREXEC_H_
+#define MULTIVERSE_SRC_VM_VAREXEC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/vm/presence.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+// A byte range whose content is a pure function of the config index.
+// `variant_of_config[c]` indexes `contents`; every content has size `len`.
+struct VarRegion {
+  uint64_t addr = 0;
+  uint32_t len = 0;
+  bool is_text = false;  // requires icache flushing when (re)materialized
+  std::string name;      // diagnostics: "switch fast_path", "site@0x2040", ...
+  std::vector<uint32_t> variant_of_config;
+  std::vector<std::vector<uint8_t>> contents;
+};
+
+struct VarExecOptions {
+  // Per-context retired-instruction budget; exceeding it fails the run (a
+  // diverged config that never halts would otherwise hang the whole proof).
+  uint64_t max_steps_per_config = 100'000'000;
+  size_t max_contexts = 4096;
+  // Park-for-merge points, sorted ascending: the fall-through pc of every
+  // patchable call site. Empty disables merging entirely.
+  std::vector<uint64_t> join_pcs;
+  // VMCALL code appended to the per-context transcript (abi.h kVmCallPutChar).
+  uint8_t putchar_code = 1;
+  // Scheduler slice: steps a context runs before control returns to the
+  // min-instret scheduler. Larger slices amortize materialization switches.
+  uint64_t schedule_slice = 64;
+  // When nonzero, each finished context's full-memory checksum over
+  // [checksum_lo, checksum_hi) is expanded per config (unresolved regions
+  // overlaid with that config's content).
+  uint64_t checksum_lo = 0;
+  uint64_t checksum_hi = 0;
+};
+
+struct VarExecStats {
+  uint64_t instructions_executed = 0;  // real VM steps, all contexts
+  uint64_t forks = 0;
+  uint64_t merges = 0;
+  uint64_t merge_rounds = 0;
+  uint64_t region_resolutions = 0;  // in-place (non-forking) resolutions
+  uint64_t context_switches = 0;
+  uint64_t peak_contexts = 0;
+};
+
+// What one configuration observed: the equivalence oracle's comparands.
+struct ConfigOutcome {
+  VmExit::Kind exit = VmExit::Kind::kHalt;
+  Fault fault;             // terminal fault; kind == kNone on a clean halt
+  std::string transcript;  // putchar stream
+  uint64_t r0 = 0;         // guest return value at halt
+  // FNV-1a over the architectural core state (regs, pc, flags; no counters,
+  // no predictor).
+  uint64_t core_hash = 0;
+  // FNV-1a over [checksum_lo, checksum_hi) as this config's memory reads
+  // (0 when the checksum range is empty).
+  uint64_t mem_checksum = 0;
+  // Shared-path accounting: instructions the context this config rode in
+  // retired (identical for every config sharing the context).
+  uint64_t instret = 0;
+  double cycles = 0;        // approximate after any merge on the path
+  bool ticks_approx = false;
+};
+
+uint64_t HashCoreArchState(const Core& core);
+
+class VarExecutor {
+ public:
+  // The executor drives core 0 of `vm`. The caller sets up the entry call
+  // (SetupCall) before Run(); memory must hold the SHARED state — every
+  // variational region's backing bytes are whatever the base image holds,
+  // and are only overlaid per context during materialization.
+  VarExecutor(Vm* vm, size_t num_configs);
+
+  // Regions must not overlap each other. Contents are deduplicated here; a
+  // region whose configs all share one content is dropped (not variational).
+  Status AddRegion(VarRegion region);
+
+  // Runs all configurations to completion and expands per-config outcomes.
+  // The Vm's memory and core 0 are left in the last materialized context's
+  // state; callers restore their own snapshot afterwards.
+  Result<std::vector<ConfigOutcome>> Run(const VarExecOptions& options);
+
+  const VarExecStats& stats() const { return stats_; }
+  size_t num_configs() const { return num_configs_; }
+
+ private:
+  struct Context {
+    PresenceCondition mask;
+    Core core;
+    std::map<uint64_t, uint8_t> delta;     // copy-on-write guest writes
+    std::map<size_t, uint32_t> resolved;   // region index -> variant index
+    std::string transcript;
+    bool done = false;
+    bool parked = false;
+    bool ticks_approx = false;
+    VmExit exit;
+  };
+
+  // Materialization: applies `ctx`'s resolved regions + delta onto the Vm,
+  // restoring the previous context's bytes first. `materialized_` maps every
+  // currently-overlaid byte to its base (shared-image) value.
+  void Materialize(Context* ctx);
+  void RestoreBaseBytes();
+  void ApplyByte(uint64_t addr, uint8_t value);
+
+  // Region/resolution machinery. Returns the number of distinct content
+  // groups for ctx's mask (1 = resolvable in place).
+  std::vector<std::pair<uint32_t, PresenceCondition>> GroupByVariant(
+      const Context& ctx, const VarRegion& region) const;
+  // Resolves region `r` for the CURRENT (materialized) context, forking if
+  // its mask observes several contents. Returns false if a fork happened
+  // (the scheduler must re-pick).
+  Result<bool> ResolveRegion(size_t r);
+  int RegionAt(uint64_t addr) const;        // region containing addr, or -1
+  bool RangeTouchesUnresolved(const Context& ctx, uint64_t addr,
+                              uint64_t len, size_t* region_out) const;
+
+  // Pre-decode the next instruction of the current context and resolve any
+  // region its fetch window or data accesses observe. Returns false if a
+  // fork happened. On success fills `*insn` (valid only when *decoded).
+  Result<bool> PrepareStep(Insn* insn, bool* decoded);
+  // Exact write byte-ranges of `insn` given current register state.
+  void WriteSet(const Insn& insn, const Core& core,
+                std::vector<std::pair<uint64_t, uint64_t>>* out) const;
+  void ReadSet(const Insn& insn, const Core& core,
+               std::vector<std::pair<uint64_t, uint64_t>>* out) const;
+
+  Status StepCurrent(const VarExecOptions& options, bool* progressed);
+  void FinishCurrent(const VmExit& exit);
+
+  // Merge round over parked contexts (same pc, identical state).
+  void MergeRound();
+  bool TryMerge(Context* into, Context* from);
+  std::map<uint64_t, uint8_t> NormalizedDelta(const Context& ctx) const;
+
+  uint64_t ChecksumFor(const Context& ctx, size_t config,
+                       const VarExecOptions& options);
+
+  Vm* vm_;
+  size_t num_configs_;
+  std::vector<VarRegion> regions_;
+  std::vector<Context> contexts_;
+  size_t current_ = SIZE_MAX;              // materialized context index
+  std::map<uint64_t, uint8_t> materialized_;  // overlaid byte -> base value
+  std::vector<uint8_t> base_;              // memory snapshot at Run() start
+  std::vector<uint64_t> join_pcs_;         // sorted
+  uint64_t instret_base_ = 0;              // core 0's instret at Run() start
+  VarExecStats stats_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_VM_VAREXEC_H_

@@ -17,8 +17,10 @@
 
 #include "src/core/patching.h"
 #include "src/core/program.h"
+#include "src/core/varprove.h"
 #include "src/livepatch/livepatch.h"
 #include "src/support/faultpoint.h"
+#include "src/vm/presence.h"
 #include "src/vm/superblock.h"
 #include "src/vm/vm.h"
 
@@ -250,6 +252,125 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepConfig{DispatchEngine::kSuperblock, CommitPath::kPlain,
                                   /*warm_cache=*/true}),
     ConfigName);
+
+// Class-driven sweep over the FULL switch-domain cross product: instead of
+// re-running the fault sweep once per configuration, enumerate the commit
+// classes (varprove.h) — configs that commit to bit-identical text — and
+// sweep every fault point once per CLASS representative. The class presence
+// conditions are verified to partition the config space, so the never-torn
+// verdict of each representative covers every member configuration exactly
+// once, at sub-linear sweep cost.
+TEST(ClassDrivenFaultSweep, EveryClassRepresentativeCoversItsWholeClass) {
+  constexpr char kCrossSource[] = R"(
+__attribute__((multiverse)) bool feature;
+__attribute__((multiverse(0, 1, 2))) int mode;
+long count;
+__attribute__((multiverse))
+void tick() { if (feature) { count = count + 2; } else { count = count + 1; } }
+__attribute__((multiverse))
+void adjust() { if (mode >= 1) { count = count * 2; } else { count = count + 3; } }
+long run(long n) { long i; for (i = 0; i < n; ++i) { tick(); adjust(); } return count; }
+)";
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"cross", kCrossSource}}, BuildOptions{});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  std::unique_ptr<Program> program = std::move(*built);
+  program->vm().set_stale_fetch_detection(true);
+  TxnOptions txn;
+  txn.max_attempts = 1;  // each injected fault classifies, no masking retry
+  program->runtime().set_txn_options(txn);
+
+  const Result<ConfigSpace> space = CollectConfigSpace(program.get());
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+  ASSERT_EQ(space->num_configs, 6u);  // bool x {0,1,2}
+
+  Result<std::vector<CommitClass>> classes =
+      EnumerateCommitClasses(program.get(), *space, PlainCommitDriver());
+  ASSERT_TRUE(classes.ok()) << classes.status().ToString();
+  // Sub-linear: the specializer merges mode's {1,2} under a guard range.
+  EXPECT_LT(classes->size(), space->num_configs);
+
+  // The coverage proof: class membership masks partition the cross product —
+  // every config is swept by exactly one representative.
+  std::vector<PresenceCondition> masks;
+  size_t configs_covered = 0;
+  for (const CommitClass& cls : *classes) {
+    masks.push_back(cls.members);
+    configs_covered += cls.members.Count();
+  }
+  EXPECT_TRUE(IsPartition(masks, space->num_configs));
+  EXPECT_EQ(configs_covered, space->num_configs);
+
+  const auto write_assignment = [&](size_t config) {
+    const std::vector<int64_t> values = space->Assignment(config);
+    for (size_t s = 0; s < space->switches.size(); ++s) {
+      ASSERT_TRUE(program
+                      ->WriteGlobal(space->switches[s].name, values[s],
+                                    static_cast<int>(space->switches[s].width))
+                      .ok());
+    }
+  };
+  const auto text = [&] {
+    std::vector<uint8_t> bytes(program->image().text_size);
+    EXPECT_TRUE(program->vm()
+                    .memory()
+                    .ReadRaw(program->image().text_base, bytes.data(),
+                             bytes.size())
+                    .ok());
+    return bytes;
+  };
+  const std::vector<uint8_t> pristine_text = text();
+
+  FaultInjector& injector = FaultInjector::Instance();
+  int recovered = 0;
+  int completed = 0;
+  for (const CommitClass& cls : *classes) {
+    SCOPED_TRACE("class rep config " + space->DescribeConfig(cls.rep_config));
+    write_assignment(cls.rep_config);
+
+    // Probe this class's fault-point occurrence counts with a clean lap.
+    uint64_t probe[kFaultSiteCount];
+    for (size_t s = 0; s < kFaultSiteCount; ++s) {
+      probe[s] = injector.Count(static_cast<FaultSite>(s));
+    }
+    ASSERT_TRUE(program->runtime().Commit().ok());
+    for (size_t s = 0; s < kFaultSiteCount; ++s) {
+      probe[s] = injector.Count(static_cast<FaultSite>(s)) - probe[s];
+    }
+    const std::vector<uint8_t> committed_text = text();
+    ASSERT_TRUE(program->runtime().Revert().ok());
+    ASSERT_EQ(text(), pristine_text);
+
+    for (size_t s = 0; s < kFaultSiteCount; ++s) {
+      const FaultSite site = static_cast<FaultSite>(s);
+      for (uint64_t hit = 0; hit < probe[s]; ++hit) {
+        SCOPED_TRACE(std::string(FaultSiteName(site)) + " hit " +
+                     std::to_string(hit));
+        Status status;
+        {
+          ScopedFault fault(site, hit);
+          status = program->runtime().Commit().status();
+        }
+        if (status.ok()) {
+          ++completed;
+          EXPECT_EQ(text(), committed_text);
+        } else {
+          ++recovered;
+          EXPECT_NE(status.ToString().find("rolled back"), std::string::npos)
+              << status.ToString();
+          EXPECT_EQ(text(), pristine_text);
+          Status retried = program->runtime().Commit().status();
+          ASSERT_TRUE(retried.ok()) << retried.ToString();
+          EXPECT_EQ(text(), committed_text);
+        }
+        ASSERT_TRUE(program->runtime().Revert().ok());
+        ASSERT_EQ(text(), pristine_text);
+      }
+    }
+  }
+  EXPECT_GT(recovered, 0);
+  EXPECT_GT(completed, 0);
+}
 
 // The journaled body-patch path (TryBodyPatch) crosses the same fault points
 // as a commit; killing it at every occurrence must leave the generic body

@@ -172,6 +172,82 @@ TEST(CommitCoordinatorTest, MidWaveInstanceRollbackAbandonsAndRevertsAll) {
   EXPECT_EQ(Identities(fleet.get()), before);
 }
 
+TEST(FleetBootTest, BootCommitsAreAudited) {
+  FleetOptions options;
+  options.instances = 3;
+  options.cores_per_instance = 1;
+  RolloutLog log;
+  options.boot_log = &log;
+  Result<std::unique_ptr<Fleet>> fleet = Fleet::Build(
+      {{"fleet_kernel", FleetRequestKernelSource()}}, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+
+  int boot_commits = 0;
+  for (const RolloutEvent& event : log.events()) {
+    EXPECT_EQ(event.kind, RolloutEvent::Kind::kBootCommit);
+    EXPECT_EQ(event.instance, boot_commits);  // in instance order
+    ++boot_commits;
+  }
+  EXPECT_EQ(boot_commits, 3);
+}
+
+TEST(FleetBootTest, FailedBootCommitRollsBackEarlierInstances) {
+  FleetOptions options;
+  options.instances = 3;
+  options.cores_per_instance = 1;
+  // No retry budget: the injected patch-write fault becomes a terminal boot
+  // failure instead of a recovered rollback+retry.
+  options.build.attach.txn.max_attempts = 1;
+  const std::vector<ProgramSource> sources = {
+      {"fleet_kernel", FleetRequestKernelSource()}};
+
+  // Probe: a disarmed build counts the patch writes the whole boot crosses.
+  const uint64_t before = FaultInjector::Instance().Count(FaultSite::kPatchWrite);
+  {
+    Result<std::unique_ptr<Fleet>> probe = Fleet::Build(sources, options);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  }
+  const uint64_t writes =
+      FaultInjector::Instance().Count(FaultSite::kPatchWrite) - before;
+  ASSERT_GT(writes, 0u);
+
+  // Kill the LAST patch write of the (deterministic) build: it lands inside
+  // the final instance's boot commit, after the earlier instances committed.
+  RolloutLog log;
+  options.boot_log = &log;
+  ScopedFault fault(FaultSite::kPatchWrite, writes - 1);
+  Result<std::unique_ptr<Fleet>> fleet = Fleet::Build(sources, options);
+  ASSERT_FALSE(fleet.ok());
+
+  // Structured propagation: the Status carries the failing instance, the
+  // underlying commit error, and the rollback notes for its predecessors.
+  EXPECT_NE(fleet.status().message().find("instance 2 boot commit"),
+            std::string::npos)
+      << fleet.status().ToString();
+  EXPECT_NE(fleet.status().message().find("instance 1 rolled back"),
+            std::string::npos)
+      << fleet.status().ToString();
+  EXPECT_NE(fleet.status().message().find("instance 0 rolled back"),
+            std::string::npos)
+      << fleet.status().ToString();
+
+  // The audit trail: boot commits for 0 and 1, the failure on 2, then the
+  // rollbacks in reverse boot order.
+  std::vector<RolloutEvent::Kind> kinds;
+  std::vector<int> instances;
+  for (const RolloutEvent& event : log.events()) {
+    kinds.push_back(event.kind);
+    instances.push_back(event.instance);
+  }
+  const std::vector<RolloutEvent::Kind> want_kinds = {
+      RolloutEvent::Kind::kBootCommit, RolloutEvent::Kind::kBootCommit,
+      RolloutEvent::Kind::kFlipFailed, RolloutEvent::Kind::kBootRollback,
+      RolloutEvent::Kind::kBootRollback};
+  const std::vector<int> want_instances = {0, 1, 2, 1, 0};
+  EXPECT_EQ(kinds, want_kinds) << log.ToString();
+  EXPECT_EQ(instances, want_instances) << log.ToString();
+}
+
 TEST(CommitCoordinatorTest, TenantPinSurvivesFleetWideFlip) {
   std::unique_ptr<Fleet> fleet = BuildFleet(6);
   ASSERT_NE(fleet, nullptr);

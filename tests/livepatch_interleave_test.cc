@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "src/core/program.h"
+#include "src/core/varprove.h"
 #include "src/livepatch/livepatch.h"
 #include "src/obj/linker.h"
+#include "src/vm/presence.h"
 #include "src/workloads/kernel.h"
 
 namespace mv {
@@ -379,6 +381,72 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param)) + "_" +
              DispatchEngineName(std::get<2>(info.param));
     });
+
+// --- class-driven coverage of the config cross product ----------------------
+
+// The parameterized sweeps above flip ONE fixed target assignment. This case
+// drives the interleave sweep over the FULL switch-domain cross product
+// (config_smp x debug_on) by enumerating the commit classes (varprove.h):
+// each class representative gets its own commit-point sweep, and the class
+// presence conditions are verified to partition the config space — so every
+// configuration's live-commit transition is covered by exactly one swept
+// representative instead of one sweep per config.
+TEST(ClassDrivenInterleaveSweep, EveryCommitClassIsSoundAtSampledPoints) {
+  // Enumerate the classes on a probe twin (class enumeration commits and
+  // reverts; the swept fixture must stay pristine).
+  Result<std::unique_ptr<Program>> probe =
+      Program::Build({{"interleave", InterleaveSource()}}, BuildOptions{});
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const Result<ConfigSpace> space = CollectConfigSpace(probe->get());
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+  ASSERT_EQ(space->num_configs, 4u);  // config_smp x debug_on
+  Result<std::vector<CommitClass>> classes =
+      EnumerateCommitClasses(probe->get(), *space, PlainCommitDriver());
+  ASSERT_TRUE(classes.ok()) << classes.status().ToString();
+
+  std::vector<PresenceCondition> masks;
+  size_t configs_covered = 0;
+  for (const CommitClass& cls : *classes) {
+    masks.push_back(cls.members);
+    configs_covered += cls.members.Count();
+  }
+  ASSERT_TRUE(IsPartition(masks, space->num_configs));
+  ASSERT_EQ(configs_covered, space->num_configs);
+
+  const int total_steps =
+      ScheduleLength(/*num_mutators=*/1, kShortRounds, DispatchEngine::kLegacy);
+  ASSERT_GT(total_steps, 0);
+
+  for (const CommitClass& cls : *classes) {
+    SCOPED_TRACE("class rep " + space->DescribeConfig(cls.rep_config));
+    const std::vector<int64_t> values = space->Assignment(cls.rep_config);
+    InterleaveFixture fixture(/*num_mutators=*/1, /*detect=*/true, kShortRounds);
+    for (int k = 0; k <= total_steps; k += 3) {
+      SCOPED_TRACE("commit point " + std::to_string(k));
+      RunOutcome outcome = RunOutcome::kClean;
+      for (int step = 0; step < k && outcome == RunOutcome::kClean; ++step) {
+        fixture.StepSchedule(&outcome);
+      }
+      ASSERT_EQ(outcome, RunOutcome::kClean);
+      // Flip to the class representative's assignment mid-schedule.
+      for (size_t s = 0; s < space->switches.size(); ++s) {
+        ASSERT_TRUE(fixture.program()
+                        .WriteGlobal(space->switches[s].name, values[s],
+                                     static_cast<int>(space->switches[s].width))
+                        .ok());
+      }
+      LiveCommitOptions options;
+      options.protocol = CommitProtocol::kWaitFree;
+      options.mutator_cores = fixture.MutatorCores();
+      Result<LiveCommitStats> stats = multiverse_commit_live(
+          &fixture.program().vm(), &fixture.program().runtime(), options);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      std::string why;
+      EXPECT_EQ(fixture.Drain(&why), RunOutcome::kClean) << why;
+      fixture.Reset();
+    }
+  }
+}
 
 // --- the motivating baseline ------------------------------------------------
 

@@ -1,0 +1,148 @@
+// Presence-condition algebra and the fork/merge partition invariant
+// (src/vm/presence.h): masks over flattened config-space indices must never
+// lose a configuration and never double-count one.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/vm/presence.h"
+
+namespace mv {
+namespace {
+
+TEST(PresenceConditionTest, ConstructorsAndBasics) {
+  const PresenceCondition all = PresenceCondition::All(130);
+  EXPECT_EQ(all.Count(), 130u);
+  EXPECT_TRUE(all.IsAll());
+  EXPECT_TRUE(all.Any());
+
+  const PresenceCondition none = PresenceCondition::None(130);
+  EXPECT_EQ(none.Count(), 0u);
+  EXPECT_TRUE(none.Empty());
+  EXPECT_FALSE(none.IsAll());
+
+  const PresenceCondition one = PresenceCondition::Single(130, 129);
+  EXPECT_EQ(one.Count(), 1u);
+  EXPECT_TRUE(one.Test(129));
+  EXPECT_FALSE(one.Test(128));
+  EXPECT_EQ(one.Configs(), std::vector<size_t>{129});
+}
+
+TEST(PresenceConditionTest, SetClearTest) {
+  PresenceCondition pc(70);
+  pc.Set(0);
+  pc.Set(63);
+  pc.Set(64);
+  pc.Set(69);
+  EXPECT_EQ(pc.Count(), 4u);
+  EXPECT_EQ(pc.ToString(), "{0,63,64,69}");
+  pc.Clear(63);
+  EXPECT_FALSE(pc.Test(63));
+  EXPECT_EQ(pc.Count(), 3u);
+}
+
+TEST(PresenceConditionTest, AlgebraIdentities) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng() % 200;
+    PresenceCondition a(n);
+    PresenceCondition b(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng() % 2) a.Set(i);
+      if (rng() % 2) b.Set(i);
+    }
+    // De Morgan.
+    EXPECT_EQ(a.Union(b).Complement(),
+              a.Complement().Intersect(b.Complement()));
+    EXPECT_EQ(a.Intersect(b).Complement(),
+              a.Complement().Union(b.Complement()));
+    // Minus is intersect-with-complement.
+    EXPECT_EQ(a.Minus(b), a.Intersect(b.Complement()));
+    // Complement round-trips (and never touches bits past the size).
+    EXPECT_EQ(a.Complement().Complement(), a);
+    EXPECT_EQ(a.Complement().Count(), n - a.Count());
+    // Union/intersect bounds.
+    EXPECT_EQ(a.Union(a.Complement()).Count(), n);
+    EXPECT_TRUE(a.Intersect(a.Complement()).Empty());
+    EXPECT_EQ(a.Union(b).Count() + a.Intersect(b).Count(),
+              a.Count() + b.Count());
+    // Disjointness is intersect-emptiness.
+    EXPECT_EQ(a.Disjoint(b), a.Intersect(b).Empty());
+  }
+}
+
+TEST(PresenceConditionTest, PartitionCheck) {
+  const size_t n = 10;
+  std::vector<PresenceCondition> parts;
+  parts.push_back(PresenceCondition::Single(n, 3));
+  PresenceCondition rest = PresenceCondition::Single(n, 3).Complement();
+  parts.push_back(rest);
+  EXPECT_TRUE(IsPartition(parts, n));
+
+  // Losing a config breaks the partition.
+  parts[1].Clear(7);
+  EXPECT_FALSE(IsPartition(parts, n));
+  // Double-counting breaks it too.
+  parts[1].Set(7);
+  parts[1].Set(3);
+  EXPECT_FALSE(IsPartition(parts, n));
+}
+
+// The executor's lifecycle as a property test: start with the full space,
+// apply random forks (split one mask into disjoint non-empty parts — what
+// region resolution does) and random merges (union two masks — what
+// reconvergence does). The partition invariant must hold after every step:
+// no config lost, no config double-counted. 256 seeds.
+TEST(PresenceConditionTest, ForkMergePartitionProperty) {
+  for (uint32_t seed = 0; seed < 256; ++seed) {
+    std::mt19937 rng(seed);
+    const size_t n = 1 + rng() % 150;
+    std::vector<PresenceCondition> masks;
+    masks.push_back(PresenceCondition::All(n));
+    for (int step = 0; step < 60; ++step) {
+      if (rng() % 2 == 0) {
+        // Fork: split a mask with >= 2 configs into two non-empty parts.
+        std::vector<size_t> candidates;
+        for (size_t i = 0; i < masks.size(); ++i) {
+          if (masks[i].Count() >= 2) candidates.push_back(i);
+        }
+        if (!candidates.empty()) {
+          const size_t victim = candidates[rng() % candidates.size()];
+          const std::vector<size_t> configs = masks[victim].Configs();
+          PresenceCondition left(n);
+          PresenceCondition right(n);
+          // Guarantee both sides non-empty, distribute the rest randomly.
+          left.Set(configs[0]);
+          right.Set(configs[1]);
+          for (size_t i = 2; i < configs.size(); ++i) {
+            (rng() % 2 ? left : right).Set(configs[i]);
+          }
+          ASSERT_TRUE(left.Disjoint(right));
+          ASSERT_EQ(left.Union(right), masks[victim]);
+          masks[victim] = left;
+          masks.push_back(right);
+        }
+      } else if (masks.size() >= 2) {
+        // Merge: union two partition members (disjoint by the invariant).
+        const size_t a = rng() % masks.size();
+        size_t b = rng() % masks.size();
+        if (b == a) b = (b + 1) % masks.size();
+        ASSERT_TRUE(masks[a].Disjoint(masks[b]))
+            << "partition members must be disjoint";
+        masks[a] = masks[a].Union(masks[b]);
+        masks.erase(masks.begin() + static_cast<long>(b));
+      }
+      ASSERT_TRUE(IsPartition(masks, n))
+          << "seed " << seed << " step " << step << ": partition violated";
+      size_t total = 0;
+      for (const PresenceCondition& mask : masks) {
+        ASSERT_FALSE(mask.Empty()) << "empty context mask";
+        total += mask.Count();
+      }
+      ASSERT_EQ(total, n) << "configs lost or double-counted";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mv

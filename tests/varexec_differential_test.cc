@@ -1,0 +1,226 @@
+// Differential oracle for the variational executor (src/vm/varexec.h,
+// src/core/varprove.h): on small switch domains, the verdicts of the
+// one-pass variational run must agree bit-for-bit with brute-force
+// enumeration — per-config transcripts, fault streams, return values and
+// data checksums — across both dispatch engines and both commit engines
+// (the plain transactional commit and the wait-free live protocol).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/program.h"
+#include "src/core/varprove.h"
+#include "src/livepatch/livepatch.h"
+#include "src/vm/superblock.h"
+
+namespace mv {
+namespace {
+
+// Two switches (2 x 3 = 6 configs), transcript-producing: the varexec
+// transcript must match the brute-force putchar stream exactly.
+constexpr char kTwoSwitch[] = R"(
+__attribute__((multiverse)) bool verbose;
+__attribute__((multiverse(1, 2, 4))) int stride;
+long sum;
+__attribute__((multiverse))
+void step(long i) {
+  if (i % stride == 0) {
+    sum = sum + i;
+    if (verbose) { __builtin_vmcall(1, 'a' + (i % 26)); }
+  }
+}
+long drive(long n) {
+  long i;
+  for (i = 0; i < n; ++i) { step(i); }
+  return sum;
+}
+)";
+
+// Three switches (2 x 3 x 2 = 12 configs) with a faulting subdomain:
+// divisor = 0 raises kDivByZero for exactly those configs, so the fault
+// stream itself is config-dependent.
+constexpr char kThreeSwitchFaulting[] = R"(
+__attribute__((multiverse)) bool twist;
+__attribute__((multiverse(0, 1, 2))) int divisor;
+__attribute__((multiverse(1, 2))) int gain;
+long acc;
+__attribute__((multiverse))
+long mix(long x) {
+  long v = x * gain;
+  v = v / divisor;
+  if (twist) { v = v ^ 21; }
+  return v;
+}
+long drive(long n) {
+  long i;
+  for (i = 1; i <= n; ++i) { acc = acc + mix(i * 7); }
+  return acc;
+}
+)";
+
+// Four boolean switches (16 configs), memory-heavy: the data-segment
+// checksum is the discriminating observable.
+constexpr char kFourSwitch[] = R"(
+__attribute__((multiverse)) bool fa;
+__attribute__((multiverse)) bool fb;
+__attribute__((multiverse)) bool fc;
+__attribute__((multiverse)) bool fd;
+long cells[32];
+__attribute__((multiverse))
+void phase(long i) {
+  long v = i;
+  if (fa) { v = v * 3; }
+  if (fb) { v = v + cells[(i * 5) % 32]; }
+  if (fc) { v = v ^ (i << 2); }
+  if (fd) { v = v - 11; }
+  cells[i % 32] = cells[i % 32] + v;
+}
+long drive(long n) {
+  long i;
+  long sum;
+  for (i = 0; i < n; ++i) { phase(i); }
+  sum = 0;
+  for (i = 0; i < 32; ++i) { sum = sum + cells[i]; }
+  return sum;
+}
+)";
+
+CommitDriver WaitFreeDriver() {
+  return [](Program* program) -> Status {
+    LiveCommitOptions options;
+    options.protocol = CommitProtocol::kWaitFree;
+    return multiverse_commit_live(&program->vm(), &program->runtime(), options)
+        .status();
+  };
+}
+
+struct Case {
+  const char* name;
+  const char* source;
+  uint64_t arg;
+};
+
+const Case kCases[] = {
+    {"two_switch", kTwoSwitch, 24},
+    {"three_switch_faulting", kThreeSwitchFaulting, 9},
+    {"four_switch", kFourSwitch, 40},
+};
+
+void RunDifferential(const Case& test_case, DispatchEngine engine,
+                     bool waitfree) {
+  SCOPED_TRACE(std::string(test_case.name) + " / " +
+               DispatchEngineName(engine) + " / " +
+               (waitfree ? "waitfree" : "plain"));
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{test_case.name, test_case.source}}, {});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Program& program = **built;
+  program.vm().SetDispatchEngine(engine);
+
+  VarProveOptions options;
+  options.entry = "drive";
+  options.args = {test_case.arg};
+  if (waitfree) {
+    options.commit = WaitFreeDriver();
+  }
+
+  Result<ConfigSpace> space = CollectConfigSpace(&program);
+  ASSERT_TRUE(space.ok()) << space.status().ToString();
+
+  Result<VarProveReport> proved = ProveEquivalence(&program, options);
+  ASSERT_TRUE(proved.ok()) << proved.status().ToString();
+  for (const std::string& mismatch : proved->mismatches) {
+    ADD_FAILURE() << mismatch;
+  }
+  ASSERT_EQ(proved->num_configs, space->num_configs);
+  ASSERT_EQ(proved->generic_outcomes.size(), space->num_configs);
+  ASSERT_EQ(proved->committed_outcomes.size(), space->num_configs);
+
+  // Brute force every config in both modes and demand bit-identical
+  // observables from the variational pass.
+  for (size_t config = 0; config < space->num_configs; ++config) {
+    SCOPED_TRACE("config " + space->DescribeConfig(config));
+    for (const bool committed : {false, true}) {
+      const ConfigOutcome& vex = committed
+                                     ? proved->committed_outcomes[config]
+                                     : proved->generic_outcomes[config];
+      Result<BruteOutcome> brute =
+          RunOneConfig(&program, *space, config, committed, options);
+      ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+      EXPECT_EQ(vex.exit, brute->exit) << (committed ? "committed" : "generic");
+      EXPECT_EQ(vex.fault.kind, brute->fault.kind);
+      if (vex.fault.kind != FaultKind::kNone) {
+        EXPECT_EQ(vex.fault.addr, brute->fault.addr);
+        EXPECT_EQ(vex.fault.pc, brute->fault.pc);
+      }
+      EXPECT_EQ(vex.transcript, brute->transcript);
+      if (vex.exit == VmExit::Kind::kHalt) {
+        EXPECT_EQ(vex.r0, brute->r0);
+      }
+      EXPECT_EQ(vex.mem_checksum, brute->mem_checksum);
+    }
+  }
+
+  // The whole point: the variational passes must retire fewer instructions
+  // than running each config separately would.
+  uint64_t brute_total = 0;
+  for (size_t config = 0; config < space->num_configs; ++config) {
+    Result<BruteOutcome> brute =
+        RunOneConfig(&program, *space, config, false, options);
+    ASSERT_TRUE(brute.ok());
+    brute_total += brute->instret;
+  }
+  EXPECT_LT(proved->generic_stats.instructions_executed, brute_total)
+      << "variational sharing saved nothing";
+}
+
+TEST(VarexecDifferentialTest, LegacyEnginePlainCommit) {
+  for (const Case& test_case : kCases) {
+    RunDifferential(test_case, DispatchEngine::kLegacy, false);
+  }
+}
+
+TEST(VarexecDifferentialTest, SuperblockEnginePlainCommit) {
+  for (const Case& test_case : kCases) {
+    RunDifferential(test_case, DispatchEngine::kSuperblock, false);
+  }
+}
+
+TEST(VarexecDifferentialTest, LegacyEngineWaitFreeCommit) {
+  for (const Case& test_case : kCases) {
+    RunDifferential(test_case, DispatchEngine::kLegacy, true);
+  }
+}
+
+TEST(VarexecDifferentialTest, SuperblockEngineWaitFreeCommit) {
+  for (const Case& test_case : kCases) {
+    RunDifferential(test_case, DispatchEngine::kSuperblock, true);
+  }
+}
+
+// Commit classes must partition the config space, and the class count must
+// not exceed the config count (it is sub-linear whenever the specializer
+// merged variants under guard ranges).
+TEST(VarexecDifferentialTest, CommitClassesPartitionTheSpace) {
+  Result<std::unique_ptr<Program>> built =
+      Program::Build({{"cls", kFourSwitch}}, {});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Program& program = **built;
+  Result<ConfigSpace> space = CollectConfigSpace(&program);
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->num_configs, 16u);
+  Result<std::vector<CommitClass>> classes =
+      EnumerateCommitClasses(&program, *space, PlainCommitDriver());
+  ASSERT_TRUE(classes.ok()) << classes.status().ToString();
+  std::vector<PresenceCondition> masks;
+  for (const CommitClass& cls : *classes) {
+    masks.push_back(cls.members);
+    EXPECT_TRUE(cls.members.Test(cls.rep_config));
+  }
+  EXPECT_TRUE(IsPartition(masks, space->num_configs));
+  EXPECT_LE(classes->size(), space->num_configs);
+}
+
+}  // namespace
+}  // namespace mv

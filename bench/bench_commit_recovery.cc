@@ -19,6 +19,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "src/core/journal.h"
 #include "src/core/program.h"
 #include "src/isa/cost_model.h"
 #include "src/livepatch/livepatch.h"
@@ -120,6 +121,82 @@ void RunLiveRecovery() {
   VerifyCommitted(program.get());
 }
 
+// Crash at a durable-journal entry boundary mid-commit: unlike the in-process
+// fault sites above, there is no rollback — the process is gone. Restart
+// replays the write-ahead log (redo sealed, undo the unsealed tail), proves
+// the text checksum, and a rebuilt replacement converges to the same image.
+void RunCrashRecovery(FaultSite site) {
+  const std::string name = FaultSiteName(site);
+
+  // Calibrate: a clean journaled commit, counting journal appends and
+  // recording the committed checksum.
+  DurableJournal probe_wal;
+  std::unique_ptr<Program> probe = Build();
+  TxnOptions journaled;
+  journaled.max_attempts = 1;
+  journaled.wal = &probe_wal;
+  probe->runtime().set_txn_options(journaled);
+  FaultInjector& injector = FaultInjector::Instance();
+  const uint64_t before = injector.Count(FaultSite::kCrash);
+  CheckOk(probe->runtime().Commit().status(), "clean journaled commit");
+  const uint64_t appends = injector.Count(FaultSite::kCrash) - before;
+  const uint64_t committed = probe->runtime().TextChecksum();
+
+  // Kill the instance halfway through the journal's append sequence.
+  DurableJournal wal;
+  std::unique_ptr<Program> program = Build();
+  journaled.wal = &wal;
+  program->runtime().set_txn_options(journaled);
+  const uint64_t pristine = program->runtime().TextChecksum();
+  Status died;
+  {
+    ScopedFault fault(site, appends / 2);
+    died = program->runtime().Commit().status();
+  }
+  CheckOk(!died.ok() && IsSimulatedCrash(died)
+              ? Status::Ok()
+              : Status::Internal("commit survived the armed crash"),
+          "simulated process death");
+
+  // Restart: replay the journal onto the dead image.
+  const RecoveryOutcome outcome =
+      CheckOk(RecoverFromJournal(&program->vm(), &program->image(), &wal),
+              "journal recovery");
+  const bool fully_old = outcome.final_text_checksum == pristine;
+  CheckOk(fully_old || outcome.final_text_checksum == committed
+              ? Status::Ok()
+              : Status::Internal("recovered text is neither old nor new"),
+          "never-torn recovery proof");
+
+  // A rebuilt replacement replaying the same log converges to the same image
+  // and carries on: its commit lands the flip the crash interrupted.
+  DurableJournal replica_wal;
+  replica_wal.SetBytes(wal.bytes());
+  std::unique_ptr<Program> replica = Build();
+  const RecoveryOutcome replay = CheckOk(
+      RecoverFromJournal(&replica->vm(), &replica->image(), &replica_wal),
+      "twin replay");
+  CheckOk(replay.final_text_checksum == outcome.final_text_checksum
+              ? Status::Ok()
+              : Status::Internal("twin replay diverged from the dead image"),
+          "replay convergence");
+  journaled.wal = &replica_wal;
+  replica->runtime().set_txn_options(journaled);
+  CheckOk(replica->runtime().Commit().status(), "replacement commit");
+  VerifyCommitted(replica.get());
+
+  PrintRow(name + ": journal appends per commit", double(appends), "");
+  PrintRow(name + ": txns undone", outcome.txns_undone, "",
+           fully_old ? "recovered fully-old" : "recovered fully-new");
+  PrintRow(name + ": ops undone", outcome.ops_undone, "ops");
+  PrintRow(name + ": torn tail dropped", double(outcome.torn_tail_bytes),
+           "bytes");
+  JsonMetric(name + ": txns redone", outcome.txns_redone);
+  JsonMetric(name + ": switch sets undone", outcome.switch_sets_undone);
+  RecordChaosCounters(/*crash_recoveries=*/1, /*quarantined_instances=*/0,
+                      /*commit_timeouts=*/0);
+}
+
 void Run() {
   PrintHeader("Commit recovery: rollback latency under injected faults",
               "beyond-paper robustness; failure model of INTERNALS.md §11");
@@ -151,6 +228,10 @@ void Run() {
   RunFault(FaultSite::kProtect, probe[1]);
   RunFault(FaultSite::kIcacheFlush, probe[2]);
   RunLiveRecovery();
+  PrintNote("-- process death at a write-ahead-journal boundary (no rollback "
+            "runs; restart replays the log) --");
+  RunCrashRecovery(FaultSite::kCrash);
+  RunCrashRecovery(FaultSite::kCrashTorn);
 }
 
 }  // namespace

@@ -93,6 +93,18 @@ class BenchReport {
     varexec_merges_ += merges;
   }
 
+  // Failure-tolerance accounting (fleet chaos engine, durable journal).
+  // Carried as top-level "crash_recoveries" / "quarantined_instances" /
+  // "commit_timeouts" fields in every --json document so the chaos-smoke CI
+  // job can assert that injected crashes really exercised the recovery path
+  // (crash_recoveries > 0) without parsing per-row metric labels.
+  void RecordChaos(uint64_t crash_recoveries, uint64_t quarantined_instances,
+                   uint64_t commit_timeouts) {
+    crash_recoveries_ += crash_recoveries;
+    quarantined_instances_ += quarantined_instances;
+    commit_timeouts_ += commit_timeouts;
+  }
+
   // Superblock invalidation accounting: evictions incurred by the same
   // workload under the broadcast baseline vs. scoped (epoch-gated, word-
   // granular) invalidation. Carried at top level in every --json document so
@@ -124,6 +136,12 @@ class BenchReport {
                  (unsigned long long)sb_evictions_broadcast_);
     std::fprintf(f, "  \"superblock_evictions_scoped\": %llu,\n",
                  (unsigned long long)sb_evictions_scoped_);
+    std::fprintf(f, "  \"crash_recoveries\": %llu,\n",
+                 (unsigned long long)crash_recoveries_);
+    std::fprintf(f, "  \"quarantined_instances\": %llu,\n",
+                 (unsigned long long)quarantined_instances_);
+    std::fprintf(f, "  \"commit_timeouts\": %llu,\n",
+                 (unsigned long long)commit_timeouts_);
     std::fprintf(f, "  \"configs_covered\": %llu,\n",
                  (unsigned long long)configs_covered_);
     std::fprintf(f, "  \"varexec_forks\": %llu,\n",
@@ -188,6 +206,9 @@ class BenchReport {
   double parked_cycles_ = 0;
   uint64_t sb_evictions_broadcast_ = 0;
   uint64_t sb_evictions_scoped_ = 0;
+  uint64_t crash_recoveries_ = 0;
+  uint64_t quarantined_instances_ = 0;
+  uint64_t commit_timeouts_ = 0;
   uint64_t configs_covered_ = 0;
   uint64_t varexec_forks_ = 0;
   uint64_t varexec_merges_ = 0;
@@ -196,6 +217,16 @@ class BenchReport {
 // Convenience forwarder for bench bodies.
 inline void RecordTxnOutcome(int rollbacks, int retries) {
   BenchReport::Instance().RecordTxn(rollbacks, retries);
+}
+
+// Failure-tolerance forwarder (mirrors RecordTxnOutcome): benches that crash
+// instances or run fault-tolerant rollouts funnel their recovery accounting
+// into the --json header through this one call.
+inline void RecordChaosCounters(uint64_t crash_recoveries,
+                                uint64_t quarantined_instances,
+                                uint64_t commit_timeouts) {
+  BenchReport::Instance().RecordChaos(crash_recoveries, quarantined_instances,
+                                      commit_timeouts);
 }
 
 // One-call accounting for a whole commit outcome (commit_stats.h). Benches

@@ -1,0 +1,261 @@
+// Fleet chaos benchmark: crash-consistent rollouts under injected failure.
+//
+// Phase A (headline): a 64-instance fleet serves a sharded tenant stream
+// while {fast_path=1, log_level=1} rolls out wave by wave — and EVERY
+// instance is killed at a durable-journal entry boundary on its first flip
+// attempt. Each death is recovered by replaying the instance's write-ahead
+// journal (redo sealed transactions, undo the unsealed tail), rebuilding a
+// replacement from source and proving it bit-identical to the recovered
+// image before it rejoins the fleet. On top of the scripted deaths, a seeded
+// ChaosSchedule wedges cores, stretches commits past the deadline and drops
+// health reports on the retries. Headline numbers: 0 torn instances, 0
+// dropped healthy-instance requests, crash recoveries == fleet size, and
+// every instance proven fully-old or fully-new after the dust settles.
+//
+// Phase B (protocol matrix): the same scripted crash-every-instance rollout
+// for each live-commit protocol (quiescence, breakpoint, wait-free) on a
+// quarter-size fleet — the journal's crash story must hold at every wave
+// under every protocol, not just the preferred one.
+//
+// MV_FLEET_INSTANCES / MV_FLEET_WAVES / MV_CHAOS_SEED env overrides let the
+// CI chaos-smoke job run a small fleet; defaults reproduce the full-size
+// experiment.
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/fleet/chaos.h"
+#include "src/fleet/coordinator.h"
+#include "src/fleet/fleet.h"
+#include "src/workloads/harness.h"
+
+namespace mv {
+namespace {
+
+int EnvOr(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+std::unique_ptr<Fleet> BuildFleet(int instances) {
+  FleetOptions options;
+  options.instances = instances;
+  options.cores_per_instance = 2;
+  std::vector<ProgramSource> sources = {
+      {"fleet_kernel", FleetRequestKernelSource()}};
+  return CheckOk(Fleet::Build(sources, options), "fleet build");
+}
+
+const Fleet::Assignment kFlip = {{"fast_path", 1}, {"log_level", 1}};
+
+struct ChaosRunResult {
+  RolloutReport report;
+  HealthSummary health;
+  int recoveries_old = 0;   // journal recovered the pre-rollout text
+  int recoveries_new = 0;   // journal redid a sealed flip
+  int waves_with_crashes = 0;
+};
+
+// One chaos rollout: every instance scripted to die at its first flip
+// attempt, seeded chaos layered on the retries. Asserts the crash-consistency
+// headline (0 torn, 0 dropped, every instance recovered and proven) and
+// returns the accounting for the caller to print.
+ChaosRunResult RunChaosRollout(int instances, int waves, uint64_t seed,
+                               std::optional<CommitProtocol> protocol) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(instances);
+
+  ChaosSchedule schedule(seed);
+  // Scripted layer: whichever wave an instance lands in, it dies once at a
+  // journal boundary. Most die on the first attempt, BEFORE their flip seals
+  // — even instances cleanly between records, odd instances mid-record (torn
+  // tail for recovery to drop) — so recovery undoes the tail and lands
+  // fully-old. Every 8th instance instead lands its flip but has the health
+  // report dropped, then dies at the first boundary of the retry: the sealed
+  // flip is now behind the crash point, so recovery must REDO it and land
+  // fully-new. Both sides of the never-torn proof get exercised.
+  for (int wave = 0; wave < waves; ++wave) {
+    for (int instance = 0; instance < instances; ++instance) {
+      if (instance % 8 == 3) {
+        schedule.Script(wave, instance, 1, ChaosEventKind::kDropHealth);
+        schedule.Script(wave, instance, 2, ChaosEventKind::kCrash);
+      } else {
+        schedule.Script(wave, instance, 1,
+                        instance % 2 == 0 ? ChaosEventKind::kCrash
+                                          : ChaosEventKind::kCrashTorn);
+      }
+    }
+  }
+
+  RolloutPolicy policy;
+  policy.canary_pct = 12.5;
+  policy.waves = waves;
+  policy.max_rollbacks = 0;
+  policy.observe_requests = 96;
+  policy.inflight_requests = 32;
+  policy.protocol = protocol;
+  policy.quarantine_after = 4;
+  policy.commit_timeout_cycles = 5'000'000;
+  policy.chaos = &schedule;
+  CommitCoordinator coordinator(fleet.get(), policy);
+
+  ChaosRunResult out;
+  out.report = CheckOk(coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn),
+                       "chaos rollout");
+  out.health = fleet->metrics().Fleet();
+
+  // --- the crash-consistency headline, asserted, not just printed ---------
+  CheckOk(out.report.advanced_to_full
+              ? Status::Ok()
+              : Status::Internal("chaos rollout did not reach 100%: " +
+                                 out.report.breach),
+          "rollout advanced despite chaos");
+  CheckOk(out.report.identity_mismatches == 0
+              ? Status::Ok()
+              : Status::Internal("instance neither fully-old nor fully-new"),
+          "0 torn instances");
+  CheckOk(out.health.totals.dropped_requests == 0
+              ? Status::Ok()
+              : Status::Internal("healthy-instance requests dropped"),
+          "0 dropped healthy-instance requests");
+  CheckOk(out.health.totals.torn_requests == 0
+              ? Status::Ok()
+              : Status::Internal("torn requests observed"),
+          "0 torn requests");
+  CheckOk(out.report.crash_recoveries >= static_cast<uint64_t>(instances)
+              ? Status::Ok()
+              : Status::Internal("an instance dodged its scripted death"),
+          "every instance crashed and recovered");
+
+  // Post-rollout, every instance must be on exactly one side: fully-new
+  // (flipped) or fully-old (quarantined — parked on the pre-rollout config,
+  // still serving its shard).
+  std::set<int> quarantined(out.report.quarantined.begin(),
+                            out.report.quarantined.end());
+  for (int i = 0; i < instances; ++i) {
+    const int64_t fast_path =
+        CheckOk(fleet->ReadSwitchValue(i, "fast_path"), "post switch");
+    const bool expect_new = quarantined.count(i) == 0;
+    CheckOk(fast_path == (expect_new ? 1 : 0)
+                ? Status::Ok()
+                : Status::Internal("instance on the wrong side post-rollout"),
+            "post-rollout side proof");
+  }
+
+  // Quarantined instances keep serving in degraded mode: a full traffic
+  // slice after the rollout still drops nothing.
+  const uint64_t dropped_before = out.health.totals.dropped_requests;
+  CheckOk(fleet->Serve(fleet->GenerateRequests(4 * instances), kFleetHandler),
+          "post-rollout serve");
+  CheckOk(fleet->metrics().Fleet().totals.dropped_requests == dropped_before
+              ? Status::Ok()
+              : Status::Internal("quarantined instance dropped requests"),
+          "degraded-mode serving");
+
+  // Recovery audit: which side did each journal replay land on, and did
+  // every wave see its crashes?
+  std::set<int> crash_waves;
+  for (const RolloutEvent& event : coordinator.log().events()) {
+    if (event.kind == RolloutEvent::Kind::kCrash) {
+      crash_waves.insert(event.wave);
+    } else if (event.kind == RolloutEvent::Kind::kRecovery) {
+      out.recoveries_old +=
+          event.detail.find("fully-old") != std::string::npos ? 1 : 0;
+      out.recoveries_new +=
+          event.detail.find("fully-new") != std::string::npos ? 1 : 0;
+    }
+  }
+  out.waves_with_crashes = static_cast<int>(crash_waves.size());
+  CheckOk(out.waves_with_crashes == out.report.waves_attempted
+              ? Status::Ok()
+              : Status::Internal("a wave advanced without its crash"),
+          "crashes at every wave");
+  CheckOk(out.recoveries_old > 0 && out.recoveries_new > 0
+              ? Status::Ok()
+              : Status::Internal("recovery sweep missed one side of the "
+                                 "never-torn proof"),
+          "both fully-old and fully-new recoveries seen");
+
+  RecordCommitOutcome(out.health.totals.commit);
+  return out;
+}
+
+void Run() {
+  PrintHeader("Fleet chaos: crash-consistent rollouts under injected failure",
+              "beyond-paper: ROADMAP fleet north-star; INTERNALS.md §16");
+  const int instances = EnvOr("MV_FLEET_INSTANCES", 64);
+  const int waves = EnvOr("MV_FLEET_WAVES", 4);
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvOr("MV_CHAOS_SEED", 20260807));
+  PrintNote("Every instance is killed at a write-ahead-journal boundary on");
+  PrintNote("its first flip attempt (even instances at a record boundary,");
+  PrintNote("odd ones mid-record); seeded chaos wedges cores and slows");
+  PrintNote("commits on the retries. Recovery replays the journal, rebuilds");
+  PrintNote("a replacement from source and proves it bit-identical.");
+
+  ChaosRunResult headline = RunChaosRollout(instances, waves, seed,
+                                            /*protocol=*/std::nullopt);
+  const RolloutReport& report = headline.report;
+  PrintRow("fleet size", instances, "inst", "every instance killed once");
+  PrintRow("rollout waves", report.waves_attempted, "");
+  PrintRow("waves with crashes", headline.waves_with_crashes, "",
+           "headline: every wave");
+  PrintRow("crash recoveries", double(report.crash_recoveries), "",
+           "journal replay + rebuild + proof");
+  PrintRow("recovered fully-old", headline.recoveries_old, "",
+           "unsealed tail undone");
+  PrintRow("recovered fully-new", headline.recoveries_new, "",
+           "sealed flip redone");
+  PrintRow("commit timeouts (strikes)", double(report.commit_timeouts), "",
+           "wedge / deadline / dropped health");
+  PrintRow("quarantined instances", double(report.quarantined_instances),
+           "inst", "serving pre-rollout config");
+  PrintRow("instances flipped", double(report.flipped_instances), "inst");
+  PrintRow("torn instances", double(report.identity_mismatches), "",
+           "headline: zero");
+  PrintRow("dropped healthy requests",
+           double(headline.health.totals.dropped_requests), "req",
+           "headline: zero");
+  PrintRow("torn requests", double(headline.health.totals.torn_requests),
+           "req", "headline: zero");
+  PrintRow("requests served",
+           double(headline.health.totals.requests_served), "req");
+  RecordChaosCounters(report.crash_recoveries, report.quarantined_instances,
+                      report.commit_timeouts);
+
+  PrintNote("-- protocol matrix: same scripted deaths under each live-commit "
+            "protocol --");
+  const CommitProtocol kProtocols[] = {CommitProtocol::kQuiescence,
+                                       CommitProtocol::kBreakpoint,
+                                       CommitProtocol::kWaitFree};
+  const int matrix_instances = std::max(8, instances / 4);
+  for (CommitProtocol protocol : kProtocols) {
+    ChaosRunResult r =
+        RunChaosRollout(matrix_instances, waves, seed ^ static_cast<uint64_t>(protocol),
+                        protocol);
+    const std::string prefix = std::string(CommitProtocolName(protocol));
+    PrintRow(prefix + ": crash recoveries", double(r.report.crash_recoveries),
+             "", "all proven fully-old or fully-new");
+    JsonMetric(prefix + ": waves with crashes", r.waves_with_crashes);
+    JsonMetric(prefix + ": recovered fully-old", r.recoveries_old);
+    JsonMetric(prefix + ": recovered fully-new", r.recoveries_new);
+    JsonMetric(prefix + ": commit timeouts", double(r.report.commit_timeouts));
+    JsonMetric(prefix + ": quarantined",
+               double(r.report.quarantined_instances));
+    JsonMetric(prefix + ": torn instances",
+               double(r.report.identity_mismatches));
+    JsonMetric(prefix + ": dropped requests",
+               double(r.health.totals.dropped_requests));
+    RecordChaosCounters(r.report.crash_recoveries,
+                        r.report.quarantined_instances,
+                        r.report.commit_timeouts);
+  }
+}
+
+}  // namespace
+}  // namespace mv
+
+int main(int argc, char** argv) { return mv::BenchMain(argc, argv, mv::Run); }

@@ -136,6 +136,8 @@ void RunHealthy(int instances, int waves) {
   JsonMetric("torn_requests", double(health.totals.torn_requests));
   JsonMetric("identity_mismatches", double(report.identity_mismatches));
   RecordCommitOutcome(health.totals.commit);
+  RecordChaosCounters(report.crash_recoveries, report.quarantined_instances,
+                      report.commit_timeouts);
 }
 
 void RunUnhealthy(int instances, int waves) {
@@ -200,6 +202,8 @@ void RunUnhealthy(int instances, int waves) {
              double(health.totals.dropped_requests));
   JsonMetric("unhealthy: torn_requests", double(health.totals.torn_requests));
   RecordCommitOutcome(health.totals.commit);
+  RecordChaosCounters(report.crash_recoveries, report.quarantined_instances,
+                      report.commit_timeouts);
 }
 
 void Run() {

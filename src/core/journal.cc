@@ -1,0 +1,517 @@
+#include "src/core/journal.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "src/support/faultpoint.h"
+#include "src/vm/memory.h"
+
+namespace mv {
+
+namespace {
+
+constexpr uint8_t kMagic0 = 0x4D;  // "MW" — multiverse WAL
+constexpr uint8_t kMagic1 = 0x57;
+constexpr size_t kHeaderSize = 7;    // magic(2) + kind(1) + payload len(4)
+constexpr size_t kChecksumSize = 8;  // FNV-1a over kind + len + payload
+constexpr uint32_t kOpWindow = 5;    // every PatchOp rewrites one 5-byte window
+constexpr uint64_t kMaxOpsPerTxn = 1u << 20;
+
+// Fixed payload size per record kind; the parser rejects any other length.
+size_t PayloadSize(WalRecordKind kind) {
+  switch (kind) {
+    case WalRecordKind::kTxnBegin:
+      return 24;  // txn_id(8) op_count(8) pre_checksum(8)
+    case WalRecordKind::kOp:
+      return 35;  // txn_id(8) op_index(8) addr(8) perms(1) old(5) new(5)
+    case WalRecordKind::kSeal:
+      return 16;  // txn_id(8) post_checksum(8)
+    case WalRecordKind::kAbort:
+      return 8;  // txn_id(8)
+    case WalRecordKind::kSwitchSet:
+      return 28;  // addr(8) width(4) old(8) new(8)
+    case WalRecordKind::kRecovery:
+      return 16;  // post_checksum(8) flags(8)
+  }
+  return 0;
+}
+
+bool ValidKind(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(WalRecordKind::kTxnBegin) &&
+         raw <= static_cast<uint8_t>(WalRecordKind::kRecovery);
+}
+
+uint64_t Fnv64(const uint8_t* data, size_t len) {
+  uint64_t hash = 1469598103934665603ull;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void Put32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Put64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t Get32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Get64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* WalRecordKindName(WalRecordKind kind) {
+  switch (kind) {
+    case WalRecordKind::kTxnBegin:
+      return "txn-begin";
+    case WalRecordKind::kOp:
+      return "op";
+    case WalRecordKind::kSeal:
+      return "seal";
+    case WalRecordKind::kAbort:
+      return "abort";
+    case WalRecordKind::kSwitchSet:
+      return "switch-set";
+    case WalRecordKind::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+bool IsSimulatedCrash(const Status& status) {
+  return !status.ok() &&
+         status.message().find("simulated crash") != std::string::npos;
+}
+
+Status DurableJournal::AppendRecord(WalRecordKind kind,
+                                    const std::vector<uint8_t>& payload) {
+  if (dead_) {
+    return Status::Internal(
+        "simulated crash: instance already dead (journal closed)");
+  }
+  std::vector<uint8_t> record;
+  record.reserve(kHeaderSize + payload.size() + kChecksumSize);
+  record.push_back(kMagic0);
+  record.push_back(kMagic1);
+  record.push_back(static_cast<uint8_t>(kind));
+  Put32(&record, static_cast<uint32_t>(payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+  Put64(&record, Fnv64(record.data() + 2, record.size() - 2));
+
+  // The crash injection point: the instance dies either at the entry
+  // boundary (record never reaches the log) or mid-record (a torn prefix
+  // does). Either way the process is gone — the caller must propagate the
+  // status without any cleanup.
+  FaultInjector& injector = FaultInjector::Instance();
+  const bool boundary = injector.ShouldFail(FaultSite::kCrash);
+  const bool torn = injector.ShouldFail(FaultSite::kCrashTorn);
+  if (boundary || torn) {
+    if (torn) {
+      size_t prefix = record.size() / 2;
+      if (prefix == 0) {
+        prefix = 1;
+      }
+      bytes_.insert(bytes_.end(), record.begin(), record.begin() + prefix);
+    }
+    dead_ = true;
+    return Status::Internal(
+        std::string("simulated crash: instance died ") +
+        (torn ? "mid-record (torn " : "at the entry boundary (") +
+        WalRecordKindName(kind) +
+        (torn ? " prefix left in the log)" : " record never written)"));
+  }
+  bytes_.insert(bytes_.end(), record.begin(), record.end());
+  return Status::Ok();
+}
+
+Status DurableJournal::AppendTxnBegin(uint64_t txn_id, uint64_t op_count,
+                                      uint64_t pre_text_checksum) {
+  std::vector<uint8_t> payload;
+  Put64(&payload, txn_id);
+  Put64(&payload, op_count);
+  Put64(&payload, pre_text_checksum);
+  return AppendRecord(WalRecordKind::kTxnBegin, payload);
+}
+
+Status DurableJournal::AppendOp(uint64_t txn_id, uint64_t op_index,
+                                uint64_t addr, uint8_t perms,
+                                const uint8_t* old_bytes,
+                                const uint8_t* new_bytes, uint32_t width) {
+  if (width != kOpWindow) {
+    return Status::InvalidArgument("journal: op record width must be " +
+                                   std::to_string(kOpWindow));
+  }
+  std::vector<uint8_t> payload;
+  Put64(&payload, txn_id);
+  Put64(&payload, op_index);
+  Put64(&payload, addr);
+  payload.push_back(perms);
+  payload.insert(payload.end(), old_bytes, old_bytes + width);
+  payload.insert(payload.end(), new_bytes, new_bytes + width);
+  return AppendRecord(WalRecordKind::kOp, payload);
+}
+
+Status DurableJournal::AppendSeal(uint64_t txn_id,
+                                  uint64_t post_text_checksum) {
+  std::vector<uint8_t> payload;
+  Put64(&payload, txn_id);
+  Put64(&payload, post_text_checksum);
+  return AppendRecord(WalRecordKind::kSeal, payload);
+}
+
+Status DurableJournal::AppendAbort(uint64_t txn_id) {
+  std::vector<uint8_t> payload;
+  Put64(&payload, txn_id);
+  return AppendRecord(WalRecordKind::kAbort, payload);
+}
+
+Status DurableJournal::AppendSwitchSet(uint64_t addr, uint32_t width,
+                                       uint64_t old_value,
+                                       uint64_t new_value) {
+  std::vector<uint8_t> payload;
+  Put64(&payload, addr);
+  Put32(&payload, width);
+  Put64(&payload, old_value);
+  Put64(&payload, new_value);
+  return AppendRecord(WalRecordKind::kSwitchSet, payload);
+}
+
+Status DurableJournal::AppendRecovery(uint64_t post_text_checksum) {
+  std::vector<uint8_t> payload;
+  Put64(&payload, post_text_checksum);
+  Put64(&payload, 0);
+  return AppendRecord(WalRecordKind::kRecovery, payload);
+}
+
+std::vector<WalRecord> DurableJournal::Parse(size_t* torn_tail_bytes) const {
+  std::vector<WalRecord> out;
+  size_t pos = 0;
+  while (true) {
+    if (bytes_.size() - pos < kHeaderSize + kChecksumSize) {
+      break;  // clean end (pos == size) or a torn/truncated header
+    }
+    const uint8_t* p = bytes_.data() + pos;
+    if (p[0] != kMagic0 || p[1] != kMagic1 || !ValidKind(p[2])) {
+      break;
+    }
+    const WalRecordKind kind = static_cast<WalRecordKind>(p[2]);
+    const uint32_t len = Get32(p + 3);
+    if (len != PayloadSize(kind) ||
+        bytes_.size() - pos < kHeaderSize + len + kChecksumSize) {
+      break;
+    }
+    const uint64_t want = Get64(p + kHeaderSize + len);
+    if (Fnv64(p + 2, kHeaderSize - 2 + len) != want) {
+      break;  // bit flip or torn rewrite — everything from here is lost
+    }
+    const uint8_t* body = p + kHeaderSize;
+    WalRecord record;
+    record.kind = kind;
+    switch (kind) {
+      case WalRecordKind::kTxnBegin:
+        record.txn_id = Get64(body);
+        record.op_count = Get64(body + 8);
+        record.checksum = Get64(body + 16);
+        break;
+      case WalRecordKind::kOp:
+        record.txn_id = Get64(body);
+        record.op_index = Get64(body + 8);
+        record.addr = Get64(body + 16);
+        record.perms = body[24];
+        record.width = kOpWindow;
+        std::memcpy(record.old_bytes.data(), body + 25, kOpWindow);
+        std::memcpy(record.new_bytes.data(), body + 30, kOpWindow);
+        break;
+      case WalRecordKind::kSeal:
+        record.txn_id = Get64(body);
+        record.checksum = Get64(body + 8);
+        break;
+      case WalRecordKind::kAbort:
+        record.txn_id = Get64(body);
+        break;
+      case WalRecordKind::kSwitchSet:
+        record.addr = Get64(body);
+        record.width = Get32(body + 8);
+        std::memcpy(record.old_bytes.data(), body + 12, 8);
+        std::memcpy(record.new_bytes.data(), body + 20, 8);
+        break;
+      case WalRecordKind::kRecovery:
+        record.checksum = Get64(body);
+        break;
+    }
+    out.push_back(record);
+    pos += kHeaderSize + len + kChecksumSize;
+  }
+  if (torn_tail_bytes != nullptr) {
+    *torn_tail_bytes = bytes_.size() - pos;
+  }
+  return out;
+}
+
+size_t DurableJournal::record_count() const {
+  size_t torn = 0;
+  return Parse(&torn).size();
+}
+
+void DurableJournal::TruncateTo(size_t size) {
+  if (size < bytes_.size()) {
+    bytes_.resize(size);
+  }
+}
+
+uint64_t TextChecksumOf(const Vm& vm, const Image& image) {
+  std::vector<uint8_t> text(image.text_size);
+  if (!vm.memory().ReadRaw(image.text_base, text.data(), text.size()).ok()) {
+    return 0;
+  }
+  return Fnv64(text.data(), text.size());
+}
+
+namespace {
+
+Status WritePatchWindow(Vm* vm, const WalRecord& record, bool forward) {
+  Memory& memory = vm->memory();
+  const uint8_t* data =
+      forward ? record.new_bytes.data() : record.old_bytes.data();
+  MV_RETURN_IF_ERROR(memory.WriteRaw(record.addr, data, record.width));
+  // Restore the journaled pre-transaction protection unconditionally: a
+  // crash inside a page batch can leave text pages writable, and the op
+  // record is the only surviving perms snapshot.
+  MV_RETURN_IF_ERROR(memory.Protect(record.addr, record.width, record.perms));
+  vm->FlushIcache(record.addr, record.width);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<RecoveryOutcome> RecoverFromJournal(Vm* vm, const Image* image,
+                                           DurableJournal* journal) {
+  // The restart reopens the journal: the process that died is gone, the log
+  // bytes are what survived.
+  journal->Revive();
+
+  RecoveryOutcome outcome;
+  std::vector<WalRecord> records = journal->Parse(&outcome.torn_tail_bytes);
+
+  // Pass 1 — structural validation, zero writes. The surviving prefix must
+  // describe a replayable history; anything else is a structured reject.
+  const Memory& memory = vm->memory();
+  bool txn_open = false;
+  uint64_t open_txn = 0;
+  uint64_t open_op_count = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const WalRecord& r = records[i];
+    const std::string at = "journal record " + std::to_string(i) + " (" +
+                           WalRecordKindName(r.kind) + ")";
+    switch (r.kind) {
+      case WalRecordKind::kTxnBegin:
+        if (txn_open) {
+          return Status::InvalidArgument("recovery: " + at +
+                                         " begins a txn inside an open txn");
+        }
+        if (r.op_count > kMaxOpsPerTxn) {
+          return Status::InvalidArgument("recovery: " + at +
+                                         " op count implausible");
+        }
+        txn_open = true;
+        open_txn = r.txn_id;
+        open_op_count = r.op_count;
+        break;
+      case WalRecordKind::kOp:
+        if (!txn_open || r.txn_id != open_txn) {
+          return Status::InvalidArgument("recovery: " + at +
+                                         " outside its transaction");
+        }
+        if (r.op_index >= open_op_count) {
+          return Status::InvalidArgument("recovery: " + at +
+                                         " op index beyond txn op count");
+        }
+        if (r.addr >= memory.size() ||
+            r.width > memory.size() - r.addr) {
+          return Status::OutOfRange("recovery: " + at +
+                                    " outside guest memory");
+        }
+        if (image != nullptr &&
+            (r.addr < image->text_base ||
+             r.addr + r.width > image->text_base + image->text_size)) {
+          return Status::FailedPrecondition(
+              "recovery: " + at + " outside the image text segment");
+        }
+        break;
+      case WalRecordKind::kSeal:
+      case WalRecordKind::kAbort:
+        if (!txn_open || r.txn_id != open_txn) {
+          return Status::InvalidArgument("recovery: " + at +
+                                         " closes no open transaction");
+        }
+        txn_open = false;
+        break;
+      case WalRecordKind::kSwitchSet:
+        if (txn_open) {
+          return Status::InvalidArgument(
+              "recovery: " + at + " switch write inside an open txn");
+        }
+        if (r.width == 0 || r.width > 8 || r.addr >= memory.size() ||
+            r.width > memory.size() - r.addr) {
+          return Status::OutOfRange("recovery: " + at +
+                                    " switch write outside guest memory");
+        }
+        break;
+      case WalRecordKind::kRecovery:
+        // A previous restart resolved everything before this marker —
+        // including an unsealed tail it undid, so an open txn closes here.
+        txn_open = false;
+        break;
+    }
+  }
+
+  // Pass 2 — replay. Records partition into groups ended by a resolving
+  // record: kSeal (redo the group), kAbort (the in-process rollback already
+  // zeroed the txn's text effect; its switch writes stand — the caller's
+  // restore writes follow as their own records), kRecovery (a previous
+  // restart already resolved the group; if it was undone its records must
+  // not be replayed). The trailing group with no resolution is this crash:
+  // undo it in reverse.
+  std::vector<const WalRecord*> group;
+  uint64_t last_resolved_checksum = 0;
+  Status write_status = Status::Ok();
+
+  // Running view of the switch data cells as the log replays, and a snapshot
+  // of that view at the last seal — the committed configuration the final
+  // proven text corresponds to (RestartInstance rebuilds to it). Groups
+  // resolved by a kRecovery marker were undone by the earlier restart, so
+  // their writes never enter the running view.
+  std::map<uint64_t, std::pair<uint32_t, std::array<uint8_t, 8>>> switch_data;
+  std::map<uint64_t, std::pair<uint32_t, std::array<uint8_t, 8>>> committed_data;
+
+  auto redo_group = [&](uint64_t post_checksum) -> Status {
+    for (const WalRecord* r : group) {
+      if (r->kind == WalRecordKind::kSwitchSet) {
+        MV_RETURN_IF_ERROR(
+            vm->memory().WriteRaw(r->addr, r->new_bytes.data(), r->width));
+        switch_data[r->addr] = std::make_pair(r->width, r->new_bytes);
+        ++outcome.switch_sets_replayed;
+      } else if (r->kind == WalRecordKind::kOp) {
+        MV_RETURN_IF_ERROR(WritePatchWindow(vm, *r, /*forward=*/true));
+        ++outcome.ops_redone;
+      }
+    }
+    ++outcome.txns_redone;
+    last_resolved_checksum = post_checksum;
+    committed_data = switch_data;
+    return Status::Ok();
+  };
+  auto abort_group = [&]() -> Status {
+    // Net text effect is zero, but switch writes before the begin record
+    // really happened and were not reverted by the txn rollback — they stay
+    // in the data section (and feed any later sealed commit's planning), yet
+    // are NOT committed until a seal snapshots them.
+    for (const WalRecord* r : group) {
+      if (r->kind == WalRecordKind::kSwitchSet) {
+        MV_RETURN_IF_ERROR(
+            vm->memory().WriteRaw(r->addr, r->new_bytes.data(), r->width));
+        switch_data[r->addr] = std::make_pair(r->width, r->new_bytes);
+        ++outcome.switch_sets_replayed;
+      }
+    }
+    return Status::Ok();
+  };
+
+  for (const WalRecord& r : records) {
+    switch (r.kind) {
+      case WalRecordKind::kSeal:
+        write_status = redo_group(r.checksum);
+        group.clear();
+        break;
+      case WalRecordKind::kAbort:
+        write_status = abort_group();
+        group.clear();
+        break;
+      case WalRecordKind::kRecovery:
+        // Whatever this group held, the earlier restart resolved it; its
+        // checksum is the state the log vouches for at this point.
+        group.clear();
+        last_resolved_checksum = r.checksum;
+        break;
+      default:
+        group.push_back(&r);
+        break;
+    }
+    if (!write_status.ok()) {
+      return write_status;
+    }
+  }
+
+  // The trailing incomplete group is the crash itself: undo it in reverse —
+  // op windows back to their journaled old bytes and protections, switch
+  // cells back to their old values. Idempotent, so this is correct both on
+  // the dead VM's torn memory and on a freshly rebuilt boot-state twin.
+  uint64_t expected = last_resolved_checksum;
+  if (!group.empty()) {
+    outcome.tail_undone = true;
+    for (auto it = group.rbegin(); it != group.rend(); ++it) {
+      const WalRecord* r = *it;
+      if (r->kind == WalRecordKind::kOp) {
+        MV_RETURN_IF_ERROR(WritePatchWindow(vm, *r, /*forward=*/false));
+        ++outcome.ops_undone;
+      } else if (r->kind == WalRecordKind::kSwitchSet) {
+        MV_RETURN_IF_ERROR(
+            vm->memory().WriteRaw(r->addr, r->old_bytes.data(), r->width));
+        ++outcome.switch_sets_undone;
+      } else if (r->kind == WalRecordKind::kTxnBegin) {
+        ++outcome.txns_undone;
+        expected = r->checksum;  // the pre-commit text we must land on
+      }
+    }
+  }
+
+  for (const auto& [addr, cell] : committed_data) {
+    outcome.committed_switches.push_back(
+        {addr, cell.first,
+         std::vector<uint8_t>(cell.second.begin(),
+                              cell.second.begin() + cell.first)});
+  }
+
+  // The proof: the recovered text must be bit-identical to the journaled
+  // expectation — fully-old (the undone txn's pre checksum) or fully-new
+  // (the last sealed txn's post checksum). Never torn.
+  outcome.expected_text_checksum = expected;
+  if (image != nullptr) {
+    outcome.final_text_checksum = TextChecksumOf(*vm, *image);
+    if (expected != 0 && outcome.final_text_checksum != expected) {
+      return Status::Internal(
+          "recovery: text checksum mismatch after replay — image torn "
+          "(expected " + std::to_string(expected) + ", got " +
+          std::to_string(outcome.final_text_checksum) + ")");
+    }
+  }
+
+  // Drop the torn tail (crash evidence, now resolved) and stamp the log so
+  // a later restart knows everything before this point is settled.
+  journal->TruncateTo(journal->bytes().size() - outcome.torn_tail_bytes);
+  MV_RETURN_IF_ERROR(journal->AppendRecovery(outcome.final_text_checksum));
+  return outcome;
+}
+
+}  // namespace mv

@@ -1,0 +1,188 @@
+// Durable write-ahead commit journal: crash consistency across process death.
+//
+// The in-memory PatchJournal (src/core/txn.h) makes a commit atomic for every
+// failure the process *survives* — torn writes, refused mprotects, suppressed
+// flushes all roll back in-process. It has no answer for an instance that
+// dies mid-commit: the undo records die with it. This module closes that
+// hole the way databases do (docs/INTERNALS.md §16):
+//
+//   every byte-level intent is serialized to an append-only durable log
+//   *before* the byte moves — a begin record (txn id, op count, pre-commit
+//   text checksum), one op record per patch window (address, page
+//   protection, expected-old and new bytes) appended at MarkTouched time,
+//   and a seal record (post-commit text checksum) appended only after the
+//   in-memory seal audit passed. An in-process rollback appends an abort
+//   record. Fleet-level switch writes are journaled the same way
+//   (old/new value) so data state recovers alongside text state.
+//
+// Simulated death is a first-class fault: FaultSite::kCrash kills the
+// instance at a journal entry boundary (the record is never written),
+// FaultSite::kCrashTorn kills it mid-record (a torn prefix survives in the
+// log). A crash surfaces as a distinguished Status (IsSimulatedCrash) that
+// the commit driver propagates *without* running rollback, bookkeeping
+// restore, or retry — a dead process cleans up nothing. The guest text is
+// abandoned exactly as torn as the fault left it; only the durable log
+// survives.
+//
+// On restart, RecoverFromJournal replays the log onto the instance — either
+// the dead VM's still-mapped memory or a freshly rebuilt boot-state twin:
+// sealed transactions are redone (forcible forward writes), aborted ones are
+// skipped (their net effect was zero), and the trailing incomplete group —
+// switch writes plus an unsealed transaction's op records — is undone in
+// reverse. Every replayed write is idempotent, so both starting points
+// converge; the final text checksum is verified against the journaled
+// pre/post checksum of the resolving transaction. The invariant, asserted by
+// the crash sweep (tests/durable_journal_test.cc): after a crash at any
+// journal entry boundary under any protocol and either dispatch engine, the
+// recovered instance is bit-identical to fully-old or fully-new text —
+// never torn.
+//
+// A corrupt log (truncation, bit flips) is truncated to its longest valid
+// prefix when the damage is at the tail — the crash-evidence case — and
+// structurally rejected with zero writes when the surviving prefix itself is
+// inconsistent (op outside the text segment, seal without a begin, ...).
+#ifndef MULTIVERSE_SRC_CORE_JOURNAL_H_
+#define MULTIVERSE_SRC_CORE_JOURNAL_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obj/linker.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+
+// One durable log entry kind. Values are part of the serialized format.
+enum class WalRecordKind : uint8_t {
+  kTxnBegin = 1,   // txn id, op count, pre-commit text checksum
+  kOp = 2,         // write-ahead intent for one 5-byte patch window
+  kSeal = 3,       // txn committed; post-commit text checksum
+  kAbort = 4,      // txn rolled back in-process; net effect zero
+  kSwitchSet = 5,  // fleet switch write: addr, width, old/new value
+  kRecovery = 6,   // a restart resolved the log; post-recovery checksum
+};
+
+const char* WalRecordKindName(WalRecordKind kind);
+
+// Parsed view of one record (union-style: fields valid per kind).
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kTxnBegin;
+  uint64_t txn_id = 0;    // kTxnBegin / kOp / kSeal / kAbort
+  uint64_t op_count = 0;  // kTxnBegin
+  uint64_t checksum = 0;  // kTxnBegin: pre-text; kSeal / kRecovery: post-text
+  uint64_t op_index = 0;  // kOp
+  uint64_t addr = 0;      // kOp / kSwitchSet
+  uint8_t perms = 0;      // kOp: page protection to restore on undo
+  uint32_t width = 0;     // kOp: patch window size; kSwitchSet: value width
+  std::array<uint8_t, 8> old_bytes{};  // kOp window / kSwitchSet value, LE
+  std::array<uint8_t, 8> new_bytes{};
+};
+
+// The append-only durable log for one instance. The byte buffer models the
+// instance's journal file: it survives simulated process death (the Fleet
+// owns it outside the Program), and Revive() models the restart reopening
+// it. Appends are the crash injection point — FaultSite::kCrash fires at the
+// entry boundary (nothing written), FaultSite::kCrashTorn mid-entry (a torn
+// prefix is written). Once dead, every further append fails the same way.
+class DurableJournal {
+ public:
+  DurableJournal() = default;
+
+  // Append primitives. Each returns a simulated-crash Status when the fault
+  // injector kills the instance at this entry (see IsSimulatedCrash).
+  Status AppendTxnBegin(uint64_t txn_id, uint64_t op_count,
+                        uint64_t pre_text_checksum);
+  Status AppendOp(uint64_t txn_id, uint64_t op_index, uint64_t addr,
+                  uint8_t perms, const uint8_t* old_bytes,
+                  const uint8_t* new_bytes, uint32_t width);
+  Status AppendSeal(uint64_t txn_id, uint64_t post_text_checksum);
+  Status AppendAbort(uint64_t txn_id);
+  Status AppendSwitchSet(uint64_t addr, uint32_t width, uint64_t old_value,
+                         uint64_t new_value);
+  Status AppendRecovery(uint64_t post_text_checksum);
+
+  // Monotonic transaction ids for this journal.
+  uint64_t NextTxnId() { return ++txn_counter_; }
+
+  // Simulated process death. The log bytes survive; Revive() models the
+  // restarted instance reopening its journal.
+  bool dead() const { return dead_; }
+  void Revive() { dead_ = false; }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  // Fuzz/test hook: install a (possibly mutated) log image.
+  void SetBytes(std::vector<uint8_t> bytes) { bytes_ = std::move(bytes); }
+  // Number of well-formed records (a torn tail is not counted).
+  size_t record_count() const;
+
+  // Decodes the log into records. Stops at the first malformed entry: the
+  // remainder is reported through *torn_tail_bytes (the crash-evidence /
+  // lost-unsynced-tail case), never an error. Structural consistency of the
+  // surviving prefix is the recovery machinery's job, not the parser's.
+  std::vector<WalRecord> Parse(size_t* torn_tail_bytes) const;
+
+  // Drops a torn tail so post-recovery appends rebuild a clean log.
+  void TruncateTo(size_t size);
+
+ private:
+  Status AppendRecord(WalRecordKind kind, const std::vector<uint8_t>& payload);
+
+  std::vector<uint8_t> bytes_;
+  uint64_t txn_counter_ = 0;
+  bool dead_ = false;
+};
+
+// True iff `status` is the distinguished simulated-process-death status. The
+// commit driver uses this to skip rollback/restore/retry (a dead process
+// cleans up nothing); the fleet uses it to route an instance to
+// restart-and-recover instead of the failure path.
+bool IsSimulatedCrash(const Status& status);
+
+// Outcome accounting for one recovery replay.
+struct RecoveryOutcome {
+  int txns_redone = 0;         // sealed transactions replayed forward
+  int txns_undone = 0;         // 0 or 1: the trailing unsealed transaction
+  int ops_redone = 0;
+  int ops_undone = 0;
+  int switch_sets_replayed = 0;
+  int switch_sets_undone = 0;  // trailing group's switch writes reverted
+  size_t torn_tail_bytes = 0;  // bytes dropped as crash evidence
+  bool tail_undone = false;    // a trailing incomplete group was rolled back
+  uint64_t final_text_checksum = 0;
+  uint64_t expected_text_checksum = 0;  // 0 when the log pins no expectation
+
+  // Switch data cells as of the last SEALED transaction (cells the log never
+  // touched keep their boot defaults). This is the committed configuration a
+  // rebuilt replacement must commit to land on the proven text. Write-ahead
+  // intent that never sealed — switch writes whose flip aborted or whose
+  // transaction the recovery undid is excluded here, but aborted-flip writes
+  // persist in the recovered data section: a replacement reproduces them as
+  // uncommitted data on top of the committed text.
+  struct CommittedSwitch {
+    uint64_t addr = 0;
+    uint32_t width = 0;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<CommittedSwitch> committed_switches;
+};
+
+// Replays `journal` onto the instance: redo sealed, skip aborted, undo the
+// trailing incomplete group in reverse; verify the final text checksum
+// against the journaled expectation; truncate any torn tail and append a
+// kRecovery record. Works both on the dead VM's torn memory and on a
+// freshly rebuilt boot-state instance (every replayed write is idempotent).
+// Structured reject (no writes) when the log's valid prefix is inconsistent.
+Result<RecoveryOutcome> RecoverFromJournal(Vm* vm, const Image* image,
+                                           DurableJournal* journal);
+
+// FNV-1a over the image text segment — bit-compatible with
+// MultiverseRuntime::TextChecksum so journal proofs and fleet identity
+// proofs compare equal. Returns 0 on read failure.
+uint64_t TextChecksumOf(const Vm& vm, const Image& image);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_JOURNAL_H_

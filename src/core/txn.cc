@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/core/journal.h"
 #include "src/isa/cost_model.h"
 #include "src/vm/memory.h"
 
@@ -121,12 +122,34 @@ Status PatchJournal::Validate() const {
   return Status::Ok();
 }
 
-void PatchJournal::MarkTouched(size_t index) {
+Status PatchJournal::AttachWal(DurableJournal* wal) {
+  if (wal == nullptr) {
+    return Status::Ok();
+  }
+  wal_ = wal;
+  wal_txn_ = wal->NextTxnId();
+  const uint64_t pre =
+      image_ != nullptr ? TextChecksumOf(*vm_, *image_) : 0;
+  return wal->AppendTxnBegin(wal_txn_, plan_.size(), pre);
+}
+
+Status PatchJournal::MarkTouched(size_t index) {
   if (index >= entries_.size() || entries_[index].touched) {
-    return;
+    return Status::Ok();
+  }
+  if (wal_ != nullptr) {
+    // Write-ahead: the intent record hits the durable log before the touch
+    // is acknowledged and before any byte of the op moves. A crash here
+    // leaves this op cleanly unwritten — recovery's tail-undo never needs a
+    // record it doesn't have.
+    const PatchOp& op = plan_[index];
+    MV_RETURN_IF_ERROR(wal_->AppendOp(
+        wal_txn_, index, op.addr, entries_[index].perms, op.old_bytes.data(),
+        op.new_bytes.data(), static_cast<uint32_t>(kOpSize)));
   }
   entries_[index].touched = true;
   touch_order_.push_back(index);
+  return Status::Ok();
 }
 
 Status PatchJournal::ApplyOp(size_t index, const TxnOptions& options) {
@@ -135,7 +158,7 @@ Status PatchJournal::ApplyOp(size_t index, const TxnOptions& options) {
                               " beyond plan size " + std::to_string(plan_.size()));
   }
   const PatchOp& op = plan_[index];
-  MarkTouched(index);
+  MV_RETURN_IF_ERROR(MarkTouched(index));
   ExpectFlush();
   MV_RETURN_IF_ERROR(WriteCodeBytes(vm_, op.addr, op.new_bytes.data(),
                                     op.new_bytes.size(), /*flush=*/true));
@@ -159,7 +182,7 @@ Status PatchJournal::ApplyCoalesced(const TxnOptions& options,
     // Touch before the page acquire: a refused mprotect mid-acquire must
     // still roll this op back (redundantly restoring unchanged bytes is
     // harmless; leaving a page writable is not).
-    MarkTouched(i);
+    MV_RETURN_IF_ERROR(MarkTouched(i));
     MV_RETURN_IF_ERROR(batch.Acquire(op.addr, kOpSize));
     MV_RETURN_IF_ERROR(batch.Write(op.addr, op.new_bytes.data(), kOpSize));
     if (options.verify_writes) {
@@ -243,6 +266,15 @@ Status PatchJournal::Seal(TxnStats* stats) {
       vm_->FlushIcache(plan_[index].addr, kOpSize);
     }
   }
+  if (wal_ != nullptr) {
+    // The seal record is durable only after the in-memory audit passed: its
+    // presence is the recovery machinery's license to redo this txn forward.
+    // A crash inside this append leaves the txn unsealed — recovery undoes
+    // it and the instance lands fully-old.
+    const uint64_t post =
+        image_ != nullptr ? TextChecksumOf(*vm_, *image_) : 0;
+    MV_RETURN_IF_ERROR(wal_->AppendSeal(wal_txn_, post));
+  }
   return Status::Ok();
 }
 
@@ -275,6 +307,15 @@ Status PatchJournal::Rollback(TxnStats* stats) {
     if (!status.ok() && first_error.ok()) {
       first_error = Status(status.code(), "rollback of " + OpDesc(index, op) +
                                               " failed: " + status.message());
+    }
+  }
+  if (wal_ != nullptr && first_error.ok()) {
+    // Mark the txn resolved-by-rollback so recovery skips its op records
+    // (their net effect is zero). A crash inside this append is benign:
+    // recovery's tail-undo replays the same old bytes — idempotent.
+    Status abort_status = wal_->AppendAbort(wal_txn_);
+    if (IsSimulatedCrash(abort_status)) {
+      return abort_status;
     }
   }
   return first_error;
@@ -312,6 +353,14 @@ Status RunCommitTxn(Vm* vm, const Image* image, const TxnOptions& options,
                     "commit validation failed: " + journal.status().message());
     }
 
+    // Durable begin record (no-op without a WAL). Can fail only by
+    // simulated crash: the instance is dead, nothing to clean up.
+    Status walled = journal->AttachWal(options.wal);
+    if (!walled.ok()) {
+      stats->last_failure = walled.ToString();
+      return walled;
+    }
+
     // Apply + seal.
     Status failed = hooks.apply(&journal.value());
     if (failed.ok()) {
@@ -322,11 +371,24 @@ Status RunCommitTxn(Vm* vm, const Image* image, const TxnOptions& options,
       return Status::Ok();
     }
 
+    // A simulated process death is not a failure to recover from in
+    // process: the dead instance runs no rollback, restores no bookkeeping,
+    // retries nothing. The durable journal is what survives; restart-time
+    // RecoverFromJournal resolves the torn image.
+    if (IsSimulatedCrash(failed)) {
+      stats->last_failure = failed.ToString();
+      return failed;
+    }
+
     // Roll back this attempt: bytes first (reverse order), then the caller's
     // logical bookkeeping.
     ++stats->rollbacks;
     stats->last_failure = failed.ToString();
     Status undo = journal->Rollback(stats);
+    if (IsSimulatedCrash(undo)) {
+      stats->last_failure = undo.ToString();
+      return undo;
+    }
     hooks.restore();
     if (!undo.ok()) {
       return Status::Internal("commit rollback failed — image may be torn: " +

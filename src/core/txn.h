@@ -49,6 +49,8 @@
 
 namespace mv {
 
+class DurableJournal;
+
 struct TxnOptions {
   // Total plan->apply->seal attempts; 1 disables retry. Each failed attempt
   // is rolled back before the next one starts.
@@ -63,6 +65,12 @@ struct TxnOptions {
   // Read back every op after a direct (non-protocol) apply and fail on
   // mismatch — catches torn writes at the op that tore, not at seal.
   bool verify_writes = true;
+  // Optional durable write-ahead log (src/core/journal.h). When set, every
+  // attempt journals begin/op/seal/abort records so a simulated process
+  // death mid-commit is recoverable at restart (RecoverFromJournal). Not
+  // owned; must outlive the commit — and, for crash recovery to mean
+  // anything, outlive the instance itself.
+  DurableJournal* wal = nullptr;
 };
 
 // Outcome accounting for one transactional commit (possibly several
@@ -106,9 +114,17 @@ class PatchJournal {
   const PatchPlan& plan() const { return plan_; }
   size_t size() const { return plan_.size(); }
 
+  // Attaches the durable write-ahead log for this attempt and journals the
+  // begin record (txn id, op count, pre-commit text checksum). No-op when
+  // `wal` is null. Can fail only by simulated crash (IsSimulatedCrash).
+  Status AttachWal(DurableJournal* wal);
+
   // Declares that op `index` is about to have bytes modified. Idempotent;
-  // records the undo order.
-  void MarkTouched(size_t index);
+  // records the undo order. With a WAL attached, the op's intent record
+  // (address, perms, old/new bytes) is durably appended *before* the touch
+  // is acknowledged — the write-ahead discipline; a simulated crash in the
+  // append surfaces here and the op's bytes must then not be written.
+  Status MarkTouched(size_t index);
   bool touched(size_t index) const { return entries_[index].touched; }
 
   // Promises that one icache invalidation will be issued; Seal() verifies the
@@ -160,6 +176,8 @@ class PatchJournal {
   std::vector<size_t> touch_order_;
   uint64_t flushes_at_begin_ = 0;
   uint64_t expected_flushes_ = 0;
+  DurableJournal* wal_ = nullptr;  // not owned; null = volatile journal only
+  uint64_t wal_txn_ = 0;
 };
 
 // Hooks that let one driver serve both commit paths (the plain runtime apply

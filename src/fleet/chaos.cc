@@ -1,0 +1,82 @@
+#include "src/fleet/chaos.h"
+
+namespace mv {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* ChaosEventKindName(ChaosEventKind kind) {
+  switch (kind) {
+    case ChaosEventKind::kNone:
+      return "none";
+    case ChaosEventKind::kCrash:
+      return "crash";
+    case ChaosEventKind::kCrashTorn:
+      return "crash-torn";
+    case ChaosEventKind::kWedge:
+      return "wedge";
+    case ChaosEventKind::kSlowCommit:
+      return "slow-commit";
+    case ChaosEventKind::kDropHealth:
+      return "drop-health";
+  }
+  return "?";
+}
+
+ChaosEventKind ChaosSchedule::At(int wave, int instance, int attempt) const {
+  const auto scripted = scripted_.find({wave, instance, attempt});
+  if (scripted != scripted_.end()) {
+    return scripted->second;
+  }
+  // One hash per slot; the low bits pick whether an event fires, the high
+  // bits pick which. Retries draw at a quarter of the first-attempt odds so
+  // bounded retry converges (transient faults), while a scripted schedule
+  // can still starve every attempt.
+  const uint64_t h = Mix64(seed_ ^ Mix64(static_cast<uint64_t>(wave) * 0x9e37ull +
+                                         static_cast<uint64_t>(instance) * 0x51edull +
+                                         static_cast<uint64_t>(attempt)));
+  const int divisor = attempt <= 1 ? 1 : 4;
+  const int roll = static_cast<int>(h % 100);
+  if (roll < crash_pct_ / divisor) {
+    return (h >> 32) % 2 == 0 ? ChaosEventKind::kCrash
+                              : ChaosEventKind::kCrashTorn;
+  }
+  if (roll < (crash_pct_ + degrade_pct_) / divisor) {
+    switch ((h >> 32) % 3) {
+      case 0:
+        return ChaosEventKind::kWedge;
+      case 1:
+        return ChaosEventKind::kSlowCommit;
+      default:
+        return ChaosEventKind::kDropHealth;
+    }
+  }
+  return ChaosEventKind::kNone;
+}
+
+void ChaosSchedule::Script(int wave, int instance, int attempt,
+                           ChaosEventKind kind) {
+  scripted_[{wave, instance, attempt}] = kind;
+}
+
+int ChaosSchedule::CrashHit(int wave, int instance, int attempt) const {
+  if (scripted_.count({wave, instance, attempt}) > 0) {
+    return 0;  // scripted crashes must fire: the first boundary always exists
+  }
+  const uint64_t h =
+      Mix64(seed_ ^ 0x5c5c5c5cull ^
+            Mix64(static_cast<uint64_t>(wave) * 131ull +
+                  static_cast<uint64_t>(instance) * 17ull +
+                  static_cast<uint64_t>(attempt)));
+  return static_cast<int>(h % 8);
+}
+
+}  // namespace mv

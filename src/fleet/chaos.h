@@ -1,0 +1,72 @@
+// ChaosSchedule — deterministic, seeded fault scripting for fleet rollouts.
+//
+// A production fleet does not fail on request: instances crash mid-commit,
+// cores wedge inside rendezvous, commits stall past their deadline, health
+// reports never arrive. The chaos engine makes those failures *reproducible*
+// so the CommitCoordinator's failure handling (timeout -> retry -> quarantine,
+// crash -> restart -> recover) can be asserted exhaustively: every event is a
+// pure function of (seed, wave, instance, attempt), so two runs of the same
+// seeded schedule inject byte-identical havoc, and a failing seed is a
+// one-line reproducer.
+//
+// Two authoring modes compose:
+//   * seeded   — Mix64-hashed (seed, wave, instance, attempt) draws an event
+//     with bounded probability, biased to first attempts so bounded retry
+//     usually wins (the transient-fault model the txn layer assumes);
+//   * scripted — Script() pins an exact (wave, instance, attempt) to an
+//     event, overriding the seeded draw; tests use this to place a crash at
+//     a precise journal boundary of a precise canary.
+#ifndef MULTIVERSE_SRC_FLEET_CHAOS_H_
+#define MULTIVERSE_SRC_FLEET_CHAOS_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+namespace mv {
+
+enum class ChaosEventKind : uint8_t {
+  kNone = 0,
+  kCrash,       // instance dies at a journal entry boundary mid-commit
+  kCrashTorn,   // instance dies mid-record — a torn prefix survives in the log
+  kWedge,       // a mutator core never reaches the rendezvous (budget starved)
+  kSlowCommit,  // the commit lands but blows the per-instance deadline
+  kDropHealth,  // the instance's wave health report never arrives
+};
+
+const char* ChaosEventKindName(ChaosEventKind kind);
+
+class ChaosSchedule {
+ public:
+  // `crash_pct` + `degrade_pct` bound the per-(wave, instance) event
+  // probability on the first attempt, in percent. Retries draw with a
+  // quarter of the probability — most injected faults are transient.
+  explicit ChaosSchedule(uint64_t seed, int crash_pct = 12, int degrade_pct = 25)
+      : seed_(seed), crash_pct_(crash_pct), degrade_pct_(degrade_pct) {}
+
+  uint64_t seed() const { return seed_; }
+
+  // The event injected into `instance`'s commit attempt `attempt` (1-based)
+  // of `wave`. Deterministic; scripted entries win over seeded draws.
+  ChaosEventKind At(int wave, int instance, int attempt) const;
+
+  // Pins an exact slot to an event (kNone suppresses a seeded draw there).
+  void Script(int wave, int instance, int attempt, ChaosEventKind kind);
+
+  // For crash events: the 0-based journal-append boundary the death fires
+  // at. Scripted slots crash at the first boundary (guaranteed — every flip
+  // appends at least its switch-set intent), seeded draws vary the boundary
+  // so recovery exercises both sides: undo-the-trailing-group (fully-old)
+  // and redo-after-a-sealed-transaction (fully-new).
+  int CrashHit(int wave, int instance, int attempt) const;
+
+ private:
+  uint64_t seed_;
+  int crash_pct_;
+  int degrade_pct_;
+  std::map<std::tuple<int, int, int>, ChaosEventKind> scripted_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_FLEET_CHAOS_H_

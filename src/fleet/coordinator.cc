@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 
+#include "src/support/faultpoint.h"
 #include "src/support/str.h"
 
 namespace mv {
@@ -78,7 +80,21 @@ std::string CommitCoordinator::EvaluateWave(const HealthSummary& delta,
 Status CommitCoordinator::FlipInstance(int instance, int wave,
                                        const Fleet::Assignment& assignment,
                                        const std::string& load_fn,
-                                       double* flip_cycles) {
+                                       double* flip_cycles,
+                                       ChaosEventKind chaos_event, int attempt) {
+  // Injected process death: arm the journal-append crash site for the whole
+  // attempt — the switch-write intents and the live commit's op/seal records
+  // all cross it, so the boundary the schedule picked decides whether the
+  // death leaves an unsealed tail (recovers fully-old) or lands after a
+  // sealed transaction (recovers fully-new).
+  std::optional<ScopedFault> crash;
+  if (chaos_event == ChaosEventKind::kCrash ||
+      chaos_event == ChaosEventKind::kCrashTorn) {
+    crash.emplace(chaos_event == ChaosEventKind::kCrash
+                      ? FaultSite::kCrash
+                      : FaultSite::kCrashTorn,
+                  policy_.chaos->CrashHit(wave, instance, attempt));
+  }
   for (const auto& [name, value] : assignment) {
     MV_RETURN_IF_ERROR(fleet_->WriteSwitch(instance, name, value));
   }
@@ -96,9 +112,27 @@ Status CommitCoordinator::FlipInstance(int instance, int wave,
   LiveCommitOptions live = policy_.live;
   live.protocol = ProtocolFor(instance);
   live.mutator_cores = with_load ? std::vector<int>{1} : std::vector<int>{};
+  // The flip is write-ahead logged in the instance's durable journal; live
+  // commits carry their own TxnOptions, so the journal is attached here.
+  live.txn.wal = fleet_->journal(instance);
+  std::optional<ScopedFault> wedge;
+  if (chaos_event == ChaosEventKind::kWedge) {
+    // A wedged instance: starve the rendezvous budget and arm the next
+    // code-byte write to fail, so whichever the protocol hits first makes the
+    // attempt fail cleanly — the transaction rolls the text back and the
+    // strike is the coordinator's to count, not an in-process retry's.
+    live.max_rendezvous_steps = 1;
+    live.txn.max_attempts = 1;
+    wedge.emplace(FaultSite::kPatchWrite, 0);
+  }
   Result<LiveCommitStats> stats = multiverse_commit_live(
       &fleet_->program(instance).vm(), &fleet_->runtime(instance), live);
   if (!stats.ok()) {
+    if (IsSimulatedCrash(stats.status())) {
+      // The process is dead. Its in-flight batch died with it, and the torn
+      // text is RecoverFromJournal's problem now, not DrainLoad's.
+      return stats.status();
+    }
     // The transaction rolled the text back (journal, reverse order); the
     // in-flight batch keeps running on the restored old text.
     (void)fleet_->DrainLoad(instance);
@@ -119,6 +153,112 @@ Status CommitCoordinator::FlipInstance(int instance, int wave,
   MV_RETURN_IF_ERROR(fleet_->DrainLoad(instance));
   *flip_cycles = cycles;
   return Status::Ok();
+}
+
+Result<bool> CommitCoordinator::FlipWithRecovery(
+    int instance, int wave, const Fleet::Assignment& assignment,
+    const Fleet::Assignment& old_values, const std::string& load_fn,
+    RolloutReport* report, double* flip_cycles) {
+  uint64_t backoff = policy_.retry_backoff_cycles;
+  for (int attempt = 1; attempt <= policy_.quarantine_after; ++attempt) {
+    const ChaosEventKind event =
+        policy_.chaos != nullptr ? policy_.chaos->At(wave, instance, attempt)
+                                 : ChaosEventKind::kNone;
+    // Doubling backoff between strikes, noted on each strike's log line —
+    // the simulated fleet has no wall clock to actually sleep on.
+    const std::string strike_suffix =
+        attempt < policy_.quarantine_after
+            ? StrFormat("; retrying after %llu-cycle backoff",
+                        (unsigned long long)backoff)
+            : std::string("; attempts exhausted");
+    double cycles = 0;
+    Status flip = FlipInstance(instance, wave, assignment, load_fn, &cycles,
+                               event, attempt);
+    if (IsSimulatedCrash(flip)) {
+      // The instance died mid-commit. Its in-flight batch died with it
+      // (unacknowledged, so no healthy-instance request is dropped); the
+      // durable journal decides which side of the flip the replacement
+      // lands on.
+      log_.Append(RolloutEvent::Kind::kCrash, wave, instance,
+                  StrFormat("attempt %d: %s", attempt,
+                            flip.ToString().c_str()));
+      Result<RecoveryOutcome> recovered = fleet_->RestartInstance(instance);
+      if (!recovered.ok()) {
+        return Status(recovered.status().code(),
+                      StrFormat("instance %d crash-restart: %s", instance,
+                                recovered.status().message().c_str()));
+      }
+      ++report->crash_recoveries;
+      const bool old_side =
+          recovered->final_text_checksum == pre_checksum_[instance];
+      log_.Append(
+          RolloutEvent::Kind::kRecovery, wave, instance,
+          StrFormat("journal replayed: %d txn(s) redone, %d undone, "
+                    "%d switch set(s) undone, %zu torn byte(s) dropped — "
+                    "recovered %s%s",
+                    recovered->txns_redone, recovered->txns_undone,
+                    recovered->switch_sets_undone,
+                    recovered->torn_tail_bytes,
+                    old_side ? "fully-old" : "fully-new",
+                    strike_suffix.c_str()));
+    } else if (!flip.ok()) {
+      // Clean failure: the transaction rolled the text back. A wedged core
+      // surfaces here as a rendezvous-budget timeout.
+      ++report->commit_timeouts;
+      log_.Append(RolloutEvent::Kind::kTimeout, wave, instance,
+                  StrFormat("attempt %d: %s%s", attempt,
+                            flip.ToString().c_str(), strike_suffix.c_str()));
+    } else {
+      // The commit landed. It still strikes if it blew the deadline or its
+      // health report never arrived — but the text is already new, so the
+      // retry is a cheap no-op commit.
+      if (event == ChaosEventKind::kSlowCommit) {
+        cycles += policy_.commit_timeout_cycles > 0
+                      ? 4.0 * static_cast<double>(policy_.commit_timeout_cycles)
+                      : 1e6;
+      }
+      const bool deadline_missed =
+          policy_.commit_timeout_cycles > 0 &&
+          cycles > static_cast<double>(policy_.commit_timeout_cycles);
+      if (!deadline_missed && event != ChaosEventKind::kDropHealth) {
+        *flip_cycles = cycles;
+        return true;
+      }
+      ++report->commit_timeouts;
+      log_.Append(
+          RolloutEvent::Kind::kTimeout, wave, instance,
+          deadline_missed
+              ? StrFormat("attempt %d: commit took %.0f cycles > deadline "
+                          "%llu%s",
+                          attempt, cycles,
+                          (unsigned long long)policy_.commit_timeout_cycles,
+                          strike_suffix.c_str())
+              : StrFormat("attempt %d: health report dropped%s", attempt,
+                          strike_suffix.c_str()));
+    }
+    backoff *= 2;
+  }
+  // Out of attempts: quarantine. Park the instance on its pre-rollout
+  // configuration through the normal journaled commit path — committed old
+  // text, so it keeps serving its shard (degraded mode, zero dropped
+  // requests) while the rollout carries on without it.
+  for (const auto& [name, value] : old_values) {
+    MV_RETURN_IF_ERROR(fleet_->WriteSwitch(instance, name, value));
+  }
+  Result<CommitOutcome> park = fleet_->runtime(instance).CommitWithOutcome();
+  if (!park.ok()) {
+    return Status(park.status().code(),
+                  StrFormat("instance %d quarantine park: %s", instance,
+                            park.status().message().c_str()));
+  }
+  quarantined_[instance] = true;
+  ++report->quarantined_instances;
+  report->quarantined.push_back(instance);
+  log_.Append(RolloutEvent::Kind::kQuarantine, wave, instance,
+              StrFormat("after %d failed attempt(s); serving pre-rollout "
+                        "config",
+                        policy_.quarantine_after));
+  return false;
 }
 
 void CommitCoordinator::RevertAll(std::vector<FlippedInstance>* flipped,
@@ -154,6 +294,7 @@ void CommitCoordinator::RevertAll(std::vector<FlippedInstance>* flipped,
       live.protocol = ProtocolFor(instance);
       live.mutator_cores =
           with_load ? std::vector<int>{1} : std::vector<int>{};
+      live.txn.wal = fleet_->journal(instance);
       Result<LiveCommitStats> stats = multiverse_commit_live(
           &fleet_->program(instance).vm(), &fleet_->runtime(instance), live);
       if (stats.ok()) {
@@ -198,6 +339,7 @@ Result<RolloutReport> CommitCoordinator::Rollout(
   // Plan: identity snapshot (the fully-old proof baseline) + wave partition.
   pre_fingerprint_.assign(fleet_->size(), 0);
   pre_checksum_.assign(fleet_->size(), 0);
+  quarantined_.assign(fleet_->size(), false);
   for (int i = 0; i < fleet_->size(); ++i) {
     MV_ASSIGN_OR_RETURN(pre_fingerprint_[i], fleet_->ConfigFingerprint(i));
     pre_checksum_[i] = fleet_->TextChecksum(i);
@@ -244,9 +386,26 @@ Result<RolloutReport> CommitCoordinator::Rollout(
         record.old_values.emplace_back(name, old_value);
       }
       double flip_cycles = 0;
+      if (policy_.quarantine_after > 0) {
+        // Failure-tolerant mode: retry with backoff, recover crashes from
+        // the durable journal, quarantine a persistently failing instance
+        // on its old config — and carry on with the wave either way.
+        Result<bool> flipped_ok = FlipWithRecovery(
+            instance, static_cast<int>(w), assignment, record.old_values,
+            load_fn, &report, &flip_cycles);
+        if (!flipped_ok.ok()) {
+          return flipped_ok.status();  // infrastructure, not health
+        }
+        if (*flipped_ok) {
+          flipped.push_back(std::move(record));
+          wave_report.flip_cycles_max =
+              std::max(wave_report.flip_cycles_max, flip_cycles);
+        }
+        continue;
+      }
       Status flip =
           FlipInstance(instance, static_cast<int>(w), assignment, load_fn,
-                       &flip_cycles);
+                       &flip_cycles, ChaosEventKind::kNone, /*attempt=*/1);
       if (flip.ok()) {
         flipped.push_back(std::move(record));
         wave_report.flip_cycles_max =
@@ -293,6 +452,10 @@ Result<RolloutReport> CommitCoordinator::Rollout(
 
   report.flipped_instances = flipped.size();
   const bool reverting = !report.breach.empty();
+  // Reference identity for the fully-new proof: the first instance that
+  // actually flipped (targets[0] may be quarantined on its old config).
+  const int new_ref =
+      !reverting && !flipped.empty() ? flipped.front().instance : -1;
   if (reverting) {
     report.reverted = true;
     RevertAll(&flipped, load_fn, &report);
@@ -301,17 +464,18 @@ Result<RolloutReport> CommitCoordinator::Rollout(
   }
 
   // Identity proof: every instance must be provably on one side. After an
-  // advance, unpinned instances must agree with the first flipped instance's
-  // post-commit identity; after a revert (and for pinned instances always),
-  // identity must match the Plan snapshot.
+  // advance, flipped instances must agree with the first flipped instance's
+  // post-commit identity; after a revert — and always for pinned and
+  // quarantined instances — identity must match the Plan snapshot.
   uint64_t new_fingerprint = 0;
   uint64_t new_checksum = 0;
-  if (!reverting) {
-    MV_ASSIGN_OR_RETURN(new_fingerprint, fleet_->ConfigFingerprint(targets[0]));
-    new_checksum = fleet_->TextChecksum(targets[0]);
+  if (new_ref >= 0) {
+    MV_ASSIGN_OR_RETURN(new_fingerprint, fleet_->ConfigFingerprint(new_ref));
+    new_checksum = fleet_->TextChecksum(new_ref);
   }
   for (int i = 0; i < fleet_->size(); ++i) {
-    const bool expect_new = !reverting && !fleet_->pinned(i);
+    const bool expect_new =
+        new_ref >= 0 && !fleet_->pinned(i) && !quarantined_[i];
     Result<uint64_t> fingerprint = fleet_->ConfigFingerprint(i);
     const uint64_t checksum = fleet_->TextChecksum(i);
     const uint64_t want_fingerprint =
@@ -323,14 +487,23 @@ Result<RolloutReport> CommitCoordinator::Rollout(
       ++report.identity_mismatches;
     }
     log_.Append(RolloutEvent::Kind::kProof, -1, i,
-                StrFormat("%s%s", fleet_->pinned(i) ? "pinned, " : "",
+                StrFormat("%s%s%s", fleet_->pinned(i) ? "pinned, " : "",
+                          quarantined_[i] ? "quarantined, " : "",
                           match ? (expect_new ? "fully-new" : "fully-old")
                                 : "IDENTITY MISMATCH"));
   }
-  log_.Append(RolloutEvent::Kind::kRolloutDone, -1, -1,
-              reverting ? "reverted: " + report.breach
-                        : StrFormat("advanced to 100%% (%llu instance(s))",
-                                    (unsigned long long)report.flipped_instances));
+  log_.Append(
+      RolloutEvent::Kind::kRolloutDone, -1, -1,
+      reverting
+          ? "reverted: " + report.breach
+          : StrFormat("advanced to 100%% (%llu instance(s)%s)",
+                      (unsigned long long)report.flipped_instances,
+                      report.quarantined_instances > 0
+                          ? StrFormat(", %llu quarantined",
+                                      (unsigned long long)
+                                          report.quarantined_instances)
+                                .c_str()
+                          : ""));
   return report;
 }
 

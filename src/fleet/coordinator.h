@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fleet/chaos.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/metrics.h"
 #include "src/livepatch/livepatch.h"
@@ -57,8 +58,27 @@ struct RolloutPolicy {
   // Protocol: per-instance PreferredProtocol() unless forced here.
   std::optional<CommitProtocol> protocol;
   // Base live-commit options (txn tuning, rendezvous budget); the
-  // coordinator overrides protocol and mutator_cores per flip.
+  // coordinator overrides protocol, mutator_cores and the durable journal
+  // per flip.
   LiveCommitOptions live;
+
+  // --- Failure tolerance (all off by default: a failed flip aborts the
+  // whole rollout, the legacy all-or-nothing behavior) ---
+  // Per-instance flip deadline in modelled cycles; exceeding it is a strike
+  // even when the commit landed (the retry then no-op-commits). 0 disables.
+  uint64_t commit_timeout_cycles = 0;
+  // > 0 enables degraded-mode rollouts: a failing instance's flip is retried
+  // with doubling backoff, and after this many failed attempts the instance
+  // is quarantined on its pre-rollout configuration — still serving — while
+  // the rollout carries on, instead of aborting everything.
+  int quarantine_after = 0;
+  // Base retry backoff in modelled cycles, doubled per strike. The simulated
+  // fleet has no wall clock to sleep on; the backoff is audit-log-visible.
+  uint64_t retry_backoff_cycles = 1024;
+  // Deterministic fault injection during waves (crashes, wedged cores, slow
+  // commits, dropped health reports). Not owned. Injected crashes need the
+  // restart path, so chaos requires quarantine_after > 0 to take effect.
+  const ChaosSchedule* chaos = nullptr;
 };
 
 // RolloutEvent / RolloutLog live in src/fleet/metrics.h — Fleet::Build logs
@@ -89,6 +109,12 @@ struct RolloutReport {
   // the rollout's guarantee is broken.
   uint64_t identity_mismatches = 0;
   double baseline_mean_request_cycles = 0;
+
+  // Failure-tolerance accounting (all zero on a calm rollout).
+  uint64_t commit_timeouts = 0;   // deadline misses, wedges, dropped reports
+  uint64_t crash_recoveries = 0;  // instance deaths replayed from the journal
+  uint64_t quarantined_instances = 0;
+  std::vector<int> quarantined;   // ids parked on their pre-rollout config
 };
 
 class CommitCoordinator {
@@ -129,8 +155,21 @@ class CommitCoordinator {
   // Empty string = healthy; otherwise the first breached threshold.
   std::string EvaluateWave(const HealthSummary& delta, double baseline_mean) const;
   CommitProtocol ProtocolFor(int instance) const;
+  // One flip attempt. `chaos_event` injects the scheduled fault: a crash
+  // arms the journal-append fault site for the whole attempt (switch writes
+  // and the live commit both append), a wedge starves the rendezvous budget.
   Status FlipInstance(int instance, int wave, const Fleet::Assignment& assignment,
-                      const std::string& load_fn, double* flip_cycles);
+                      const std::string& load_fn, double* flip_cycles,
+                      ChaosEventKind chaos_event, int attempt);
+  // Fault-tolerant flip: attempt loop with chaos injection, timeout strikes,
+  // crash-restart-recovery and doubling backoff. Returns true when the
+  // instance flipped, false when it was quarantined on its old config; a
+  // non-ok status is an infrastructure failure (recovery itself broke).
+  Result<bool> FlipWithRecovery(int instance, int wave,
+                                const Fleet::Assignment& assignment,
+                                const Fleet::Assignment& old_values,
+                                const std::string& load_fn,
+                                RolloutReport* report, double* flip_cycles);
   void RevertAll(std::vector<FlippedInstance>* flipped,
                  const std::string& load_fn, RolloutReport* report);
 
@@ -140,6 +179,7 @@ class CommitCoordinator {
   std::function<void(int, int)> flip_hook_;
   std::vector<uint64_t> pre_fingerprint_;
   std::vector<uint64_t> pre_checksum_;
+  std::vector<bool> quarantined_;
 };
 
 }  // namespace mv

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/str.h"
+#include "src/vm/memory.h"
 
 namespace mv {
 
@@ -129,6 +130,17 @@ Result<std::unique_ptr<Fleet>> Fleet::Build(
   fleet->load_active_.assign(options.instances, false);
   fleet->load_requests_.assign(options.instances, 0);
   fleet->load_served_before_.assign(options.instances, 0);
+  // Durable journals attach only now, after the boot fixpoint: boot commits
+  // are not journaled because RestartInstance reproduces them
+  // deterministically from the stored sources. The journal records the
+  // post-boot history — switch writes, pins, CommitAll, coordinator flips.
+  fleet->sources_ = sources;
+  for (int i = 0; i < options.instances; ++i) {
+    fleet->journals_.push_back(std::make_unique<DurableJournal>());
+    TxnOptions txn = fleet->runtime(i).txn_options();
+    txn.wal = fleet->journals_.back().get();
+    fleet->runtime(i).set_txn_options(txn);
+  }
   return fleet;
 }
 
@@ -136,11 +148,27 @@ Status Fleet::WriteSwitch(int instance, const std::string& name, int64_t value) 
   // Descriptor width, not a blanket 8-byte store: switches narrower than 8
   // bytes may have live neighbours in the data section.
   int width = 8;
+  uint64_t addr = 0;
   for (const RtVariable& var : runtime(instance).table().variables) {
     if (var.name == name) {
       width = static_cast<int>(var.width);
+      addr = var.addr;
       break;
     }
+  }
+  // Write-ahead: the intent record lands in the durable journal before the
+  // value moves, so a crash here leaves the old value in place and recovery
+  // has the old bytes to restore if a trailing group must be undone.
+  // (journals_ is empty only during Build's boot phase, which is rebuilt
+  // from sources on restart rather than replayed.)
+  if (!journals_.empty()) {
+    if (addr == 0) {
+      MV_ASSIGN_OR_RETURN(addr, program(instance).SymbolAddress(name));
+    }
+    MV_ASSIGN_OR_RETURN(const int64_t old_value, ReadSwitchValue(instance, name));
+    MV_RETURN_IF_ERROR(journals_[instance]->AppendSwitchSet(
+        addr, static_cast<uint32_t>(width), static_cast<uint64_t>(old_value),
+        static_cast<uint64_t>(value)));
   }
   return program(instance).WriteGlobal(name, value, width);
 }
@@ -316,6 +344,111 @@ Status Fleet::PinTenant(uint64_t tenant, const Assignment& overrides) {
     pins_.push_back(std::move(pin));
   }
   return Status::Ok();
+}
+
+Result<RecoveryOutcome> Fleet::RestartInstance(int instance) {
+  if (journals_.empty()) {
+    return Status::FailedPrecondition("fleet has no durable journals attached");
+  }
+  DurableJournal* wal = journals_[instance].get();
+
+  // (1) Recover the dead VM in place. Its memory is the crashed process's
+  // core image — possibly torn mid-patch — and RecoverFromJournal resolves
+  // it: sealed transactions redone forward, the unsealed tail undone in
+  // reverse, the result checksum-proven fully-old or fully-new.
+  Program& dead = program(instance);
+  Result<RecoveryOutcome> recovered =
+      RecoverFromJournal(&dead.vm(), &dead.image(), wal);
+  if (!recovered.ok()) {
+    return Status(recovered.status().code(),
+                  StrFormat("instance %d recovery: %s", instance,
+                            recovered.status().message().c_str()));
+  }
+  const RecoveryOutcome outcome = recovered.value();
+
+  // (2) Read the resolved configuration off the recovered image. The dead
+  // process's runtime bookkeeping (logical bindings, planned transitions)
+  // died with it, but the descriptor table is static and the data section is
+  // recovered, so the switch values are trustworthy.
+  std::vector<std::pair<std::string, int64_t>> resolved;
+  for (const RtVariable& var : runtime(instance).table().variables) {
+    Result<int64_t> value = runtime(instance).ReadSwitch(var);
+    if (!value.ok()) {
+      return Status(value.status().code(),
+                    StrFormat("instance %d recovery: switch '%s': %s", instance,
+                              var.name.c_str(),
+                              value.status().message().c_str()));
+    }
+    resolved.emplace_back(var.name, value.value());
+  }
+
+  // (3) Build the replacement from the stored sources, boot it, then commit
+  // it to the journal's last SEALED configuration through the normal
+  // transactional path — which rebuilds exactly the runtime bookkeeping the
+  // crash destroyed and must land on the proven text. The committed cells
+  // come from the recovery outcome, not from the recovered data section: the
+  // data section may additionally hold write-ahead intent that never sealed
+  // (a flip whose attempt failed cleanly leaves its switch writes in data
+  // while the rollback restores the text).
+  BuildOptions build = options_.build;
+  build.vm_cores = options_.cores_per_instance;
+  build.vm_memory = options_.vm_memory;
+  build.attach.shared_plan_cache = plan_cache_;
+  Result<std::unique_ptr<Program>> rebuilt = Program::Build(sources_, build);
+  if (!rebuilt.ok()) {
+    return Status(rebuilt.status().code(),
+                  StrFormat("instance %d restart build: %s", instance,
+                            rebuilt.status().message().c_str()));
+  }
+  std::unique_ptr<Program> fresh = std::move(rebuilt.value());
+  MV_RETURN_IF_ERROR(fresh->runtime().CommitWithOutcome().status());
+  for (const RecoveryOutcome::CommittedSwitch& cell :
+       outcome.committed_switches) {
+    MV_RETURN_IF_ERROR(
+        fresh->vm().memory().WriteRaw(cell.addr, cell.bytes.data(),
+                                      cell.width));
+  }
+  MV_RETURN_IF_ERROR(fresh->runtime().CommitWithOutcome().status());
+
+  // (4) The replacement must be bit-identical to the recovered image before
+  // it is adopted — the whole point of recovery is that the instance lands
+  // fully-old or fully-new, never approximately-right.
+  const uint64_t rebuilt_checksum = fresh->runtime().TextChecksum();
+  if (outcome.final_text_checksum != 0 &&
+      rebuilt_checksum != outcome.final_text_checksum) {
+    return Status::Internal(StrFormat(
+        "instance %d restart: rebuilt text checksum %016llx != recovered "
+        "%016llx — replacement diverges from the proven image",
+        instance, (unsigned long long)rebuilt_checksum,
+        (unsigned long long)outcome.final_text_checksum));
+  }
+
+  // (5) Re-write the resolved data values on top WITHOUT committing: any
+  // difference from the committed cells is uncommitted flip intent the dead
+  // process carried, and the caller's retry commits it the same way the
+  // original attempt would have.
+  for (const auto& [name, value] : resolved) {
+    int width = 8;
+    for (const RtVariable& var : fresh->runtime().table().variables) {
+      if (var.name == name) {
+        width = static_cast<int>(var.width);
+        break;
+      }
+    }
+    MV_RETURN_IF_ERROR(fresh->WriteGlobal(name, value, width));
+  }
+
+  instances_[instance] = std::move(fresh);
+  load_active_[instance] = false;
+  load_requests_[instance] = 0;
+  load_served_before_[instance] = 0;
+  // Re-attach the journal: the replacement's boot/catch-up commits above are
+  // deliberately un-journaled (a second restart reproduces them the same
+  // way); everything after this point is write-ahead logged again.
+  TxnOptions txn = runtime(instance).txn_options();
+  txn.wal = wal;
+  runtime(instance).set_txn_options(txn);
+  return outcome;
 }
 
 std::vector<int> Fleet::UnpinnedInstances() const {

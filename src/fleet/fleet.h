@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/journal.h"
 #include "src/core/program.h"
 #include "src/fleet/metrics.h"
 #include "src/support/status.h"
@@ -128,12 +129,32 @@ class Fleet {
   }
   uint64_t TextChecksum(int instance) { return runtime(instance).TextChecksum(); }
 
+  // --- Crash consistency ---
+  // Every instance owns a durable write-ahead journal (attached to its
+  // runtime's transaction options after boot): post-boot switch writes and
+  // commits — pins, CommitAll, coordinator flips — are serialized to it, so
+  // a simulated process death mid-commit is recoverable. The journal lives
+  // in the Fleet, outside the Program, exactly because it must survive the
+  // instance.
+  DurableJournal* journal(int instance) { return journals_[instance].get(); }
+  // Restart-and-recover after a simulated crash: (1) RecoverFromJournal
+  // resolves the dead VM's torn text in place — redo sealed, undo unsealed,
+  // checksum-proven fully-old or fully-new; (2) the resolved switch values
+  // are read off the recovered image; (3) a replacement instance is built
+  // from the stored sources, booted, and committed to those values through
+  // the normal journaled path (the dead process's runtime bookkeeping died
+  // with it); (4) the replacement's text checksum must equal the recovered
+  // one bit-for-bit before it is adopted and the journal re-attached.
+  Result<RecoveryOutcome> RestartInstance(int instance);
+
  private:
   explicit Fleet(const FleetOptions& options)
       : options_(options), metrics_(options.instances) {}
 
   FleetOptions options_;
+  std::vector<ProgramSource> sources_;  // for crash-restart rebuilds
   std::vector<std::unique_ptr<Program>> instances_;
+  std::vector<std::unique_ptr<DurableJournal>> journals_;
   std::shared_ptr<PlanCache> plan_cache_;
   FleetMetrics metrics_;
   std::vector<TenantPin> pins_;

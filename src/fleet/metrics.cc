@@ -34,6 +34,14 @@ const char* RolloutEventName(RolloutEvent::Kind kind) {
       return "boot-commit";
     case RolloutEvent::Kind::kBootRollback:
       return "boot-rollback";
+    case RolloutEvent::Kind::kTimeout:
+      return "timeout";
+    case RolloutEvent::Kind::kQuarantine:
+      return "quarantine";
+    case RolloutEvent::Kind::kCrash:
+      return "crash";
+    case RolloutEvent::Kind::kRecovery:
+      return "recovery";
   }
   return "?";
 }

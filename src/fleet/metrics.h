@@ -35,6 +35,10 @@ struct RolloutEvent {
     kRolloutDone,
     kBootCommit,   // instance reached its boot-configuration fixpoint
     kBootRollback, // boot failed downstream; this instance was rolled back
+    kTimeout,      // commit exceeded its deadline (or health report dropped)
+    kQuarantine,   // repeated failures; instance parked on its old config
+    kCrash,        // instance died mid-commit (simulated process death)
+    kRecovery,     // restart replayed the durable journal; identity proven
   };
   Kind kind = Kind::kRolloutStart;
   int wave = -1;      // -1 when not wave-scoped

@@ -224,7 +224,7 @@ class Engine {
   // suppressed invalidation) before the first byte changes.
   Status HostWrite(size_t op_index, uint64_t addr, const uint8_t* data,
                    uint64_t len) {
-    journal_->MarkTouched(op_index);
+    MV_RETURN_IF_ERROR(journal_->MarkTouched(op_index));
     if (options_.flush_icache) {
       journal_->ExpectFlush();
     }
@@ -245,7 +245,7 @@ class Engine {
   // tail bytes before the final first byte) depends on it.
   Status HostWriteBatched(PageWriteBatch* batch, size_t op_index, uint64_t addr,
                           const uint8_t* data, uint64_t len) {
-    journal_->MarkTouched(op_index);
+    MV_RETURN_IF_ERROR(journal_->MarkTouched(op_index));
     if (options_.flush_icache) {
       journal_->ExpectFlush();
     }
@@ -345,7 +345,7 @@ class Engine {
     const PatchPlan& plan = session_.plan();
     PageWriteBatch batch(vm_);
     for (size_t i = 0; i < plan.size(); ++i) {
-      journal_->MarkTouched(i);
+      MV_RETURN_IF_ERROR(journal_->MarkTouched(i));
       MV_RETURN_IF_ERROR(batch.Acquire(plan[i].addr, plan[i].new_bytes.size()));
       MV_RETURN_IF_ERROR(batch.Write(plan[i].addr, plan[i].new_bytes.data(),
                                      plan[i].new_bytes.size()));
@@ -513,7 +513,7 @@ class Engine {
             "out of a wait-free patch site"));
       }
 
-      journal_->MarkTouched(ri);
+      MV_RETURN_IF_ERROR(journal_->MarkTouched(ri));
       if (options_.flush_icache) {
         journal_->ExpectFlush();
       }

@@ -30,6 +30,12 @@ enum class FaultSite : uint8_t {
   kIcacheFlush,     // Vm::FlushIcache: silently suppressed (no error — the
                     // classic forgotten-invalidation bug; recovery must
                     // *detect* it via flush accounting, not be told)
+  kCrash,           // DurableJournal::Append: the instance dies at a journal
+                    // entry boundary — the record is never written, in-memory
+                    // state is abandoned as-is (no rollback runs; a dead
+                    // process cleans up nothing)
+  kCrashTorn,       // DurableJournal::Append: the instance dies mid-record,
+                    // leaving a torn prefix of the entry in the durable log
   kSiteCount,
 };
 
@@ -43,6 +49,10 @@ inline const char* FaultSiteName(FaultSite site) {
       return "mprotect";
     case FaultSite::kIcacheFlush:
       return "icache-flush";
+    case FaultSite::kCrash:
+      return "crash";
+    case FaultSite::kCrashTorn:
+      return "crash-torn";
     case FaultSite::kSiteCount:
       break;
   }

@@ -9,8 +9,10 @@
 // health, auto-advance wave by wave or auto-revert the whole rollout.
 //
 // Exit codes: 0 rollout advanced to 100%, 3 rollout auto-reverted (every
-// instance restored to its pre-rollout config), 1 build/infrastructure
-// error, 2 usage error.
+// instance restored to its pre-rollout config), 5 rollout advanced but one
+// or more instances were quarantined on their pre-rollout config (degraded
+// but serving), 1 build/infrastructure error or identity mismatch, 2 usage
+// error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "src/core/plan_cache.h"
+#include "src/fleet/chaos.h"
 #include "src/fleet/coordinator.h"
 #include "src/fleet/fleet.h"
 #include "src/support/faultpoint.h"
@@ -42,6 +45,9 @@ struct CliOptions {
   Fleet::Assignment base;  // --set: boot configuration
   Fleet::Assignment flip;  // --flip: the rollout assignment
   std::optional<CommitProtocol> protocol;
+  std::optional<uint64_t> chaos_seed;
+  uint64_t commit_timeout = 0;
+  std::optional<int> quarantine_after;
   std::string handler = kFleetHandler;
   std::string load_fn = kFleetLoadFn;
   bool unhealthy_canary = false;
@@ -78,6 +84,15 @@ void Usage() {
       "  --load fn            in-flight batch symbol (default serve_batch)\n"
       "  --unhealthy-canary   arm a one-shot patch-write fault on the first\n"
       "                       canary flip (demonstrates auto-revert)\n"
+      "  --chaos SEED         inject a deterministic seeded chaos schedule\n"
+      "                       (crashes, wedged cores, slow commits, dropped\n"
+      "                       health reports); same seed, same havoc. Implies\n"
+      "                       --quarantine-after 2 unless given explicitly\n"
+      "  --commit-timeout C   per-instance commit deadline in modelled cycles;\n"
+      "                       a commit past the deadline is a strike (0 = off)\n"
+      "  --quarantine-after N park an instance on its pre-rollout config after\n"
+      "                       N failed flip attempts instead of reverting the\n"
+      "                       rollout; it keeps serving degraded (0 = off)\n"
       "  --dispatch engine    VM dispatch engine (legacy | superblock)\n"
       "  --log path           write the rollout event log (the audit trail)\n"
       "  --json path          write the rollout report as JSON\n"
@@ -149,6 +164,17 @@ void WriteJson(const std::string& path, const CliOptions& options,
                (unsigned long long)report.reverted_instances);
   std::fprintf(f, "  \"identity_mismatches\": %llu,\n",
                (unsigned long long)report.identity_mismatches);
+  std::fprintf(f, "  \"crash_recoveries\": %llu,\n",
+               (unsigned long long)report.crash_recoveries);
+  std::fprintf(f, "  \"commit_timeouts\": %llu,\n",
+               (unsigned long long)report.commit_timeouts);
+  std::fprintf(f, "  \"quarantined_instances\": %llu,\n",
+               (unsigned long long)report.quarantined_instances);
+  std::fprintf(f, "  \"quarantined\": [");
+  for (size_t i = 0; i < report.quarantined.size(); ++i) {
+    std::fprintf(f, "%s%d", i > 0 ? ", " : "", report.quarantined[i]);
+  }
+  std::fprintf(f, "],\n");
   std::fprintf(f, "  \"requests_served\": %llu,\n",
                (unsigned long long)fleet_health.totals.requests_served);
   std::fprintf(f, "  \"dropped_requests\": %llu,\n",
@@ -240,6 +266,12 @@ int Main(int argc, char** argv) {
         return 2;
       }
       options.protocol = *protocol;
+    } else if (arg == "--chaos") {
+      options.chaos_seed = std::strtoull(next("--chaos"), nullptr, 0);
+    } else if (arg == "--commit-timeout") {
+      options.commit_timeout = std::strtoull(next("--commit-timeout"), nullptr, 0);
+    } else if (arg == "--quarantine-after") {
+      options.quarantine_after = std::atoi(next("--quarantine-after"));
     } else if (arg == "--handler") {
       options.handler = next("--handler");
     } else if (arg == "--load") {
@@ -328,6 +360,17 @@ int Main(int argc, char** argv) {
   policy.observe_requests = options.requests;
   policy.inflight_requests = options.inflight;
   policy.protocol = options.protocol;
+  policy.commit_timeout_cycles = options.commit_timeout;
+  // --chaos without an explicit --quarantine-after defaults to 2 strikes:
+  // chaos without a quarantine path would turn every persistent injected
+  // fault into a whole-rollout revert.
+  policy.quarantine_after = options.quarantine_after.value_or(
+      options.chaos_seed.has_value() ? 2 : 0);
+  std::optional<ChaosSchedule> chaos;
+  if (options.chaos_seed.has_value()) {
+    chaos.emplace(*options.chaos_seed);
+    policy.chaos = &*chaos;
+  }
 
   CommitCoordinator coordinator(fleet.get(), policy);
   if (options.unhealthy_canary) {
@@ -344,6 +387,12 @@ int Main(int argc, char** argv) {
               "revert threshold %d rollback(s)\n",
               fleet->size(), options.canary_pct, options.waves,
               options.revert_threshold);
+  if (options.chaos_seed.has_value()) {
+    std::printf("mvfleet: chaos seed %llu, quarantine after %d strike(s), "
+                "commit timeout %llu cycle(s)\n",
+                (unsigned long long)*options.chaos_seed, policy.quarantine_after,
+                (unsigned long long)options.commit_timeout);
+  }
   for (const TenantPin& pin : fleet->pins()) {
     std::printf("mvfleet: tenant %llu pinned to instance %d\n",
                 (unsigned long long)pin.tenant, pin.instance);
@@ -366,6 +415,14 @@ int Main(int argc, char** argv) {
               (unsigned long long)fleet_health.totals.torn_requests);
   std::printf("mvfleet: fleet flip latency %.0f cycles over %d wave(s)\n",
               report.fleet_flip_cycles, report.waves_attempted);
+  if (report.crash_recoveries > 0 || report.commit_timeouts > 0 ||
+      report.quarantined_instances > 0) {
+    std::printf("mvfleet: %llu crash recovery(ies), %llu commit timeout "
+                "strike(s), %llu quarantined instance(s)\n",
+                (unsigned long long)report.crash_recoveries,
+                (unsigned long long)report.commit_timeouts,
+                (unsigned long long)report.quarantined_instances);
+  }
   if (report.advanced_to_full) {
     std::printf("mvfleet: rollout advanced to 100%% (%llu flipped, "
                 "%llu identity mismatch(es))\n",
@@ -392,7 +449,10 @@ int Main(int argc, char** argv) {
   if (report.identity_mismatches > 0) {
     return 1;
   }
-  return report.advanced_to_full ? 0 : 3;
+  if (!report.advanced_to_full) {
+    return 3;
+  }
+  return report.quarantined_instances > 0 ? 5 : 0;
 }
 
 }  // namespace

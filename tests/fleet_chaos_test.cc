@@ -1,0 +1,315 @@
+// Tests for the fleet chaos engine and the coordinator's failure paths
+// (src/fleet/chaos.h, coordinator.cc FlipWithRecovery): deterministic
+// seeded schedules, timeout -> retry -> quarantine progression, crash ->
+// restart -> journal recovery mid-wave, crash-during-canary followed by an
+// auto-revert with bit-identical restoration on the survivors, and
+// degraded-mode serving — a quarantined instance keeps answering its shard
+// on the pre-rollout config while pinned tenants stay untouched.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fleet/chaos.h"
+#include "src/fleet/coordinator.h"
+#include "src/fleet/fleet.h"
+#include "src/support/faultpoint.h"
+
+namespace mv {
+namespace {
+
+std::unique_ptr<Fleet> BuildFleet(int instances) {
+  FleetOptions options;
+  options.instances = instances;
+  options.cores_per_instance = 2;
+  Result<std::unique_ptr<Fleet>> fleet =
+      Fleet::Build({{"fleet_kernel", FleetRequestKernelSource()}}, options);
+  EXPECT_TRUE(fleet.ok()) << fleet.status().ToString();
+  return fleet.ok() ? std::move(fleet.value()) : nullptr;
+}
+
+RolloutPolicy TolerantPolicy(int waves, int quarantine_after) {
+  RolloutPolicy policy;
+  policy.canary_pct = 25.0;
+  policy.waves = waves;
+  policy.max_rollbacks = 0;
+  policy.observe_requests = 24;
+  policy.inflight_requests = 12;
+  policy.quarantine_after = quarantine_after;
+  return policy;
+}
+
+const Fleet::Assignment kFlip = {{"fast_path", 1}, {"log_level", 1}};
+
+std::map<int, std::pair<uint64_t, uint64_t>> Identities(Fleet* fleet) {
+  std::map<int, std::pair<uint64_t, uint64_t>> out;
+  for (int i = 0; i < fleet->size(); ++i) {
+    Result<uint64_t> fingerprint = fleet->ConfigFingerprint(i);
+    EXPECT_TRUE(fingerprint.ok()) << fingerprint.status().ToString();
+    out[i] = {fingerprint.ok() ? *fingerprint : 0, fleet->TextChecksum(i)};
+  }
+  return out;
+}
+
+int CountEvents(const RolloutLog& log, RolloutEvent::Kind kind) {
+  int count = 0;
+  for (const RolloutEvent& event : log.events()) {
+    count += event.kind == kind ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(ChaosScheduleTest, SeededDrawsAreDeterministicAndSeedSensitive) {
+  const ChaosSchedule a(0x5eedull);
+  const ChaosSchedule b(0x5eedull);
+  const ChaosSchedule c(0xc0ffeeull);
+  int events_a = 0;
+  int differs = 0;
+  for (int wave = 0; wave < 8; ++wave) {
+    for (int instance = 0; instance < 32; ++instance) {
+      for (int attempt = 1; attempt <= 3; ++attempt) {
+        const ChaosEventKind ea = a.At(wave, instance, attempt);
+        EXPECT_EQ(ea, b.At(wave, instance, attempt));
+        differs += ea != c.At(wave, instance, attempt) ? 1 : 0;
+        events_a += ea != ChaosEventKind::kNone ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_GT(events_a, 0) << "default rates must inject something over 768 slots";
+  EXPECT_GT(differs, 0) << "a different seed must produce a different schedule";
+}
+
+TEST(ChaosScheduleTest, ScriptedSlotsOverrideSeededDraws) {
+  ChaosSchedule schedule(1, /*crash_pct=*/100, /*degrade_pct=*/0);
+  EXPECT_NE(schedule.At(0, 0, 1), ChaosEventKind::kNone);
+  schedule.Script(0, 0, 1, ChaosEventKind::kNone);
+  EXPECT_EQ(schedule.At(0, 0, 1), ChaosEventKind::kNone);
+  schedule.Script(2, 5, 1, ChaosEventKind::kWedge);
+  EXPECT_EQ(schedule.At(2, 5, 1), ChaosEventKind::kWedge);
+  // Scripted crashes fire at the first journal boundary — guaranteed.
+  schedule.Script(1, 3, 1, ChaosEventKind::kCrash);
+  EXPECT_EQ(schedule.CrashHit(1, 3, 1), 0);
+}
+
+TEST(ChaosScheduleTest, RetriesDrawAtReducedOdds) {
+  const ChaosSchedule schedule(7, /*crash_pct=*/40, /*degrade_pct=*/40);
+  int first = 0;
+  int retry = 0;
+  for (int instance = 0; instance < 400; ++instance) {
+    first += schedule.At(0, instance, 1) != ChaosEventKind::kNone ? 1 : 0;
+    retry += schedule.At(0, instance, 2) != ChaosEventKind::kNone ? 1 : 0;
+  }
+  EXPECT_GT(first, retry) << "retries must fault less often than first attempts";
+}
+
+TEST(FleetChaosTest, CalmTolerantRolloutMatchesLegacyBehavior) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(4);
+  ASSERT_NE(fleet, nullptr);
+  CommitCoordinator coordinator(fleet.get(), TolerantPolicy(2, 3));
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_TRUE(rolled->advanced_to_full);
+  EXPECT_EQ(rolled->flipped_instances, 4u);
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+  EXPECT_EQ(rolled->commit_timeouts, 0u);
+  EXPECT_EQ(rolled->crash_recoveries, 0u);
+  EXPECT_EQ(rolled->quarantined_instances, 0u);
+}
+
+TEST(FleetChaosTest, TimeoutRetryQuarantineProgression) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(4);
+  ASSERT_NE(fleet, nullptr);
+  const auto before = Identities(fleet.get());
+
+  // Wedge the canary's mutator core on every attempt: each strike is logged
+  // as a timeout, the retries back off, and the third strike quarantines.
+  ChaosSchedule schedule(0, /*crash_pct=*/0, /*degrade_pct=*/0);
+  schedule.Script(0, 0, 1, ChaosEventKind::kWedge);
+  schedule.Script(0, 0, 2, ChaosEventKind::kWedge);
+  schedule.Script(0, 0, 3, ChaosEventKind::kWedge);
+  RolloutPolicy policy = TolerantPolicy(2, /*quarantine_after=*/3);
+  policy.chaos = &schedule;
+  policy.live.txn.max_attempts = 1;
+  CommitCoordinator coordinator(fleet.get(), policy);
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  // The rollout advanced around the failing canary.
+  EXPECT_TRUE(rolled->advanced_to_full);
+  EXPECT_EQ(rolled->flipped_instances, 3u);
+  EXPECT_EQ(rolled->commit_timeouts, 3u);
+  EXPECT_EQ(rolled->quarantined_instances, 1u);
+  ASSERT_EQ(rolled->quarantined, std::vector<int>{0});
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+  EXPECT_EQ(CountEvents(coordinator.log(), RolloutEvent::Kind::kTimeout), 3);
+  EXPECT_EQ(CountEvents(coordinator.log(), RolloutEvent::Kind::kQuarantine), 1);
+
+  // The quarantined instance is parked bit-identically on its old identity;
+  // the rest of the fleet is fully-new.
+  const auto after = Identities(fleet.get());
+  EXPECT_EQ(after.at(0), before.at(0));
+  EXPECT_EQ(*fleet->ReadSwitchValue(0, "fast_path"), 0);
+  for (int i = 1; i < fleet->size(); ++i) {
+    EXPECT_EQ(*fleet->ReadSwitchValue(i, "fast_path"), 1) << "instance " << i;
+  }
+  // Doubling backoff is visible in the audit trail.
+  bool saw_backoff = false;
+  for (const RolloutEvent& event : coordinator.log().events()) {
+    saw_backoff |= event.detail.find("backoff") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_backoff);
+}
+
+TEST(FleetChaosTest, CrashMidWaveRestartsRecoversAndRetries) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(4);
+  ASSERT_NE(fleet, nullptr);
+
+  // Kill instance 1 (wave 1's first flip) at a journal boundary on the first
+  // attempt; the retry after restart-and-recover must land the flip.
+  ChaosSchedule schedule(0, /*crash_pct=*/0, /*degrade_pct=*/0);
+  schedule.Script(1, 1, 1, ChaosEventKind::kCrash);
+  RolloutPolicy policy = TolerantPolicy(2, /*quarantine_after=*/3);
+  policy.chaos = &schedule;
+  CommitCoordinator coordinator(fleet.get(), policy);
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  EXPECT_TRUE(rolled->advanced_to_full);
+  EXPECT_EQ(rolled->flipped_instances, 4u);
+  EXPECT_EQ(rolled->crash_recoveries, 1u);
+  EXPECT_EQ(rolled->quarantined_instances, 0u);
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+  EXPECT_EQ(CountEvents(coordinator.log(), RolloutEvent::Kind::kCrash), 1);
+  EXPECT_EQ(CountEvents(coordinator.log(), RolloutEvent::Kind::kRecovery), 1);
+  for (int i = 0; i < fleet->size(); ++i) {
+    EXPECT_EQ(*fleet->ReadSwitchValue(i, "fast_path"), 1) << "instance " << i;
+  }
+}
+
+TEST(FleetChaosTest, TornCrashRecoversTheSameWay) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(4);
+  ASSERT_NE(fleet, nullptr);
+  ChaosSchedule schedule(0, /*crash_pct=*/0, /*degrade_pct=*/0);
+  schedule.Script(0, 0, 1, ChaosEventKind::kCrashTorn);
+  RolloutPolicy policy = TolerantPolicy(2, /*quarantine_after=*/2);
+  policy.chaos = &schedule;
+  CommitCoordinator coordinator(fleet.get(), policy);
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_TRUE(rolled->advanced_to_full);
+  EXPECT_EQ(rolled->crash_recoveries, 1u);
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+}
+
+TEST(FleetChaosTest, CrashDuringCanaryThenBreachAutoRevertsBitIdentically) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(4);
+  ASSERT_NE(fleet, nullptr);
+  const auto before = Identities(fleet.get());
+
+  // The canary crashes mid-commit (recovered from the journal, retried,
+  // flipped), then the wave observation breaches an absurd latency budget:
+  // the whole rollout must revert, including the crash-recovered instance,
+  // and every survivor must restore bit-identically.
+  ChaosSchedule schedule(0, /*crash_pct=*/0, /*degrade_pct=*/0);
+  schedule.Script(0, 0, 1, ChaosEventKind::kCrash);
+  RolloutPolicy policy = TolerantPolicy(2, /*quarantine_after=*/3);
+  policy.chaos = &schedule;
+  policy.max_latency_factor = 1e-9;  // every observation breaches
+  CommitCoordinator coordinator(fleet.get(), policy);
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+
+  EXPECT_TRUE(rolled->reverted);
+  EXPECT_FALSE(rolled->advanced_to_full);
+  EXPECT_EQ(rolled->crash_recoveries, 1u);
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+  EXPECT_EQ(Identities(fleet.get()), before);
+  for (int i = 0; i < fleet->size(); ++i) {
+    EXPECT_EQ(*fleet->ReadSwitchValue(i, "fast_path"), 0) << "instance " << i;
+  }
+}
+
+TEST(FleetChaosTest, QuarantinedInstanceKeepsServingAndPinsAreUntouched) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(6);
+  ASSERT_NE(fleet, nullptr);
+  const uint64_t kTenant = 3;
+  ASSERT_TRUE(fleet->PinTenant(kTenant, {{"fast_path", 0}}).ok());
+  const int pinned = fleet->RouteTenant(kTenant);
+  const uint64_t pinned_fingerprint = *fleet->ConfigFingerprint(pinned);
+  const auto before = Identities(fleet.get());
+
+  // Starve instance 0 (the canary) into quarantine.
+  ChaosSchedule schedule(0, /*crash_pct=*/0, /*degrade_pct=*/0);
+  schedule.Script(0, 0, 1, ChaosEventKind::kWedge);
+  schedule.Script(0, 0, 2, ChaosEventKind::kWedge);
+  RolloutPolicy policy = TolerantPolicy(2, /*quarantine_after=*/2);
+  policy.chaos = &schedule;
+  policy.live.txn.max_attempts = 1;
+  CommitCoordinator coordinator(fleet.get(), policy);
+  Result<RolloutReport> rolled =
+      coordinator.Rollout(kFlip, kFleetHandler, kFleetLoadFn);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  ASSERT_EQ(rolled->quarantined, std::vector<int>{0});
+  EXPECT_TRUE(rolled->advanced_to_full);
+  EXPECT_EQ(rolled->identity_mismatches, 0u);
+
+  // Degraded-mode serving: the quarantined instance still answers its shard
+  // on the pre-rollout config — a full traffic slice drops zero requests.
+  const uint64_t dropped_before =
+      fleet->metrics().Fleet().totals.dropped_requests;
+  ASSERT_TRUE(fleet->Serve(fleet->GenerateRequests(96), kFleetHandler).ok());
+  EXPECT_EQ(fleet->metrics().Fleet().totals.dropped_requests, dropped_before);
+  EXPECT_GT(fleet->metrics().instance(0).requests_served, 0u)
+      << "quarantined instance must keep serving";
+  EXPECT_EQ(Identities(fleet.get()).at(0), before.at(0));
+
+  // The pinned tenant's instance never entered the rollout at all.
+  EXPECT_EQ(*fleet->ConfigFingerprint(pinned), pinned_fingerprint);
+  EXPECT_EQ(*fleet->ReadSwitchValue(pinned, "fast_path"), 0);
+  EXPECT_EQ(fleet->RouteTenant(kTenant), pinned);
+}
+
+TEST(FleetRestartTest, RestartInstanceRebuildsBitIdenticalReplacement) {
+  std::unique_ptr<Fleet> fleet = BuildFleet(2);
+  ASSERT_NE(fleet, nullptr);
+  ASSERT_TRUE(fleet->CommitAll({{"fast_path", 1}}).ok());
+  const uint64_t committed_checksum = fleet->TextChecksum(0);
+  const uint64_t committed_fingerprint = *fleet->ConfigFingerprint(0);
+
+  // Kill instance 0 inside a plain commit, then restart it.
+  ASSERT_TRUE(fleet->WriteSwitch(0, "log_level", 1).ok());
+  Status died;
+  {
+    ScopedFault fault(FaultSite::kCrash, 2);
+    died = fleet->runtime(0).Commit().status();
+  }
+  ASSERT_FALSE(died.ok());
+  ASSERT_TRUE(IsSimulatedCrash(died)) << died.ToString();
+  ASSERT_TRUE(fleet->journal(0)->dead());
+
+  Result<RecoveryOutcome> outcome = fleet->RestartInstance(0);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  // The replacement is live, journaled, and provably on one side.
+  EXPECT_FALSE(fleet->journal(0)->dead());
+  const uint64_t checksum = fleet->TextChecksum(0);
+  EXPECT_EQ(outcome->final_text_checksum, checksum);
+  if (checksum == committed_checksum) {
+    EXPECT_EQ(*fleet->ConfigFingerprint(0), committed_fingerprint);
+  }
+  // The replacement serves and commits normally.
+  ASSERT_TRUE(fleet->Serve(fleet->GenerateRequests(16), kFleetHandler).ok());
+  EXPECT_EQ(fleet->metrics().Fleet().totals.dropped_requests, 0u);
+  ASSERT_TRUE(fleet->CommitAll({{"fast_path", 1}, {"log_level", 1}}).ok());
+  EXPECT_EQ(*fleet->ReadSwitchValue(0, "log_level"), 1);
+}
+
+}  // namespace
+}  // namespace mv

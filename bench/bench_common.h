@@ -105,6 +105,18 @@ class BenchReport {
     commit_timeouts_ += commit_timeouts;
   }
 
+  // Threaded-tier accounting (src/vm/threaded.h). Carried as top-level
+  // "threaded_promotions" / "threaded_deopts" / "threaded_patchpoint_commits"
+  // fields in every --json document so perf-smoke can assert the compiled
+  // tier actually engaged (promotions > 0) and that live commits landing on
+  // compiled traces were observed, without parsing per-row metric labels.
+  void RecordThreaded(uint64_t promotions, uint64_t deopts,
+                      uint64_t patchpoint_commits) {
+    threaded_promotions_ += promotions;
+    threaded_deopts_ += deopts;
+    threaded_patchpoint_commits_ += patchpoint_commits;
+  }
+
   // Superblock invalidation accounting: evictions incurred by the same
   // workload under the broadcast baseline vs. scoped (epoch-gated, word-
   // granular) invalidation. Carried at top level in every --json document so
@@ -142,6 +154,12 @@ class BenchReport {
                  (unsigned long long)quarantined_instances_);
     std::fprintf(f, "  \"commit_timeouts\": %llu,\n",
                  (unsigned long long)commit_timeouts_);
+    std::fprintf(f, "  \"threaded_promotions\": %llu,\n",
+                 (unsigned long long)threaded_promotions_);
+    std::fprintf(f, "  \"threaded_deopts\": %llu,\n",
+                 (unsigned long long)threaded_deopts_);
+    std::fprintf(f, "  \"threaded_patchpoint_commits\": %llu,\n",
+                 (unsigned long long)threaded_patchpoint_commits_);
     std::fprintf(f, "  \"configs_covered\": %llu,\n",
                  (unsigned long long)configs_covered_);
     std::fprintf(f, "  \"varexec_forks\": %llu,\n",
@@ -206,6 +224,9 @@ class BenchReport {
   double parked_cycles_ = 0;
   uint64_t sb_evictions_broadcast_ = 0;
   uint64_t sb_evictions_scoped_ = 0;
+  uint64_t threaded_promotions_ = 0;
+  uint64_t threaded_deopts_ = 0;
+  uint64_t threaded_patchpoint_commits_ = 0;
   uint64_t crash_recoveries_ = 0;
   uint64_t quarantined_instances_ = 0;
   uint64_t commit_timeouts_ = 0;
@@ -227,6 +248,14 @@ inline void RecordChaosCounters(uint64_t crash_recoveries,
                                 uint64_t commit_timeouts) {
   BenchReport::Instance().RecordChaos(crash_recoveries, quarantined_instances,
                                       commit_timeouts);
+}
+
+// Threaded-tier forwarder (mirrors RecordChaosCounters): benches that run the
+// compiled tier funnel its promotion/deopt/patch-point accounting into the
+// --json header through this one call.
+inline void RecordThreadedCounters(uint64_t promotions, uint64_t deopts,
+                                   uint64_t patchpoint_commits) {
+  BenchReport::Instance().RecordThreaded(promotions, deopts, patchpoint_commits);
 }
 
 // One-call accounting for a whole commit outcome (commit_stats.h). Benches

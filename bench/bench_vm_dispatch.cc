@@ -1,12 +1,14 @@
-// Dispatch-engine shootout: superblock vs legacy fetch/decode on the three
-// case-study workloads (spinlock kernel, grep, musl libc).
+// Dispatch-engine shootout: legacy fetch/decode vs superblock walk vs the
+// threaded-code tier on the three case-study workloads (spinlock kernel,
+// grep, musl libc).
 //
-// The superblock engine (src/vm/superblock.h) must be bit-identical in
-// modelled time — this bench enforces identical simulated cycle counts and
-// workload results across engines, then reports the host-side interpreter
-// speed (interpreted MIPS) and the wall-clock speedup the block dispatch
-// buys. Unlike the other benches, the interesting metric here is host
-// wall-clock, not modelled cycles: the modelled numbers are asserted equal.
+// All engines must be bit-identical in modelled time — this bench enforces
+// identical simulated cycle counts, retired-instruction counts and workload
+// results across the full engine matrix, then reports the host-side
+// interpreter speed (interpreted MIPS) per engine and the wall-clock speedup
+// each tier buys over the previous one. Unlike the other benches, the
+// interesting metric here is host wall-clock, not modelled cycles: the
+// modelled numbers are asserted equal.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -29,7 +31,16 @@ struct WorkloadRun {
   double sim_cycles = 0;   // modelled cycles consumed (all cores)
   uint64_t instret = 0;    // instructions retired in the section
   double metric = 0;       // workload result, for the equivalence check
+  uint64_t threaded_promotions = 0;   // compiled-tier accounting (0 for the
+  uint64_t threaded_deopts = 0;       // interpreting engines)
+  uint64_t threaded_patchpoint_commits = 0;
 };
+
+void CaptureThreaded(const Vm& vm, WorkloadRun* run) {
+  run->threaded_promotions = vm.threaded_promotions();
+  run->threaded_deopts = vm.threaded_deopts();
+  run->threaded_patchpoint_commits = vm.threaded_patchpoint_commits();
+}
 
 uint64_t TotalInstret(const Vm& vm) {
   uint64_t total = 0;
@@ -70,6 +81,7 @@ WorkloadRun RunSpinlock() {
   run.wall_s = Now() - t0;
   run.instret = TotalInstret(vm) - instret0;
   run.sim_cycles = TicksToCycles(TotalTicks(vm) - ticks0);
+  CaptureThreaded(vm, &run);
   return run;
 }
 
@@ -86,6 +98,7 @@ WorkloadRun RunGrepWorkload() {
   run.instret = TotalInstret(vm) - instret0;
   run.sim_cycles = TicksToCycles(TotalTicks(vm) - ticks0);
   run.metric = result.cycles + static_cast<double>(result.matches);
+  CaptureThreaded(vm, &run);
   return run;
 }
 
@@ -104,6 +117,7 @@ WorkloadRun RunLibc() {
   run.sim_cycles = TicksToCycles(TotalTicks(vm) - ticks0);
   run.metric = result.random_cycles + result.malloc0_cycles +
                result.malloc1_cycles + result.fputc_cycles;
+  CaptureThreaded(vm, &run);
   return run;
 }
 
@@ -139,9 +153,9 @@ WorkloadRun Measure(const Workload& workload, DispatchEngine engine) {
 }
 
 void Run() {
-  PrintHeader("VM dispatch: superblock engine vs legacy per-insn fetch",
+  PrintHeader("VM dispatch: legacy fetch vs superblock walk vs threaded code",
               "host-side speed; modelled cycles asserted bit-identical");
-  // This bench drives both engines itself; restore the process default (the
+  // This bench drives all engines itself; restore the process default (the
   // --dispatch flag, or legacy) so the JSON header stays truthful.
   const DispatchEngine saved_default = DefaultDispatchEngine();
 
@@ -150,47 +164,75 @@ void Run() {
       {"grep", RunGrepWorkload},
       {"musl", RunLibc},
   };
+  const size_t n_workloads = sizeof(workloads) / sizeof(workloads[0]);
 
-  std::printf("  %-10s %14s %12s %9s %9s %9s\n", "workload", "sim cycles",
-              "insns", "leg MIPS", "sb MIPS", "speedup");
-  double log_speedup_sum = 0;
+  std::printf("  %-10s %14s %12s %9s %9s %9s %9s %9s\n", "workload",
+              "sim cycles", "insns", "leg MIPS", "sb MIPS", "tc MIPS",
+              "sb/leg", "tc/sb");
+  double log_sb_speedup_sum = 0;
+  double log_tc_speedup_sum = 0;
+  uint64_t promotions = 0;
+  uint64_t deopts = 0;
+  uint64_t ppcommits = 0;
   for (const Workload& workload : workloads) {
     const WorkloadRun legacy = Measure(workload, DispatchEngine::kLegacy);
     const WorkloadRun sb = Measure(workload, DispatchEngine::kSuperblock);
-    if (legacy.sim_cycles != sb.sim_cycles || legacy.instret != sb.instret ||
-        legacy.metric != sb.metric) {
-      std::fprintf(stderr,
-                   "FATAL: %s diverges between engines: "
-                   "sim %.2f vs %.2f cycles, %llu vs %llu insns, "
-                   "metric %.6f vs %.6f\n",
-                   workload.name, legacy.sim_cycles, sb.sim_cycles,
-                   (unsigned long long)legacy.instret,
-                   (unsigned long long)sb.instret, legacy.metric, sb.metric);
-      std::abort();
+    const WorkloadRun tc = Measure(workload, DispatchEngine::kThreaded);
+    const WorkloadRun* engine_runs[] = {&sb, &tc};
+    const char* engine_names[] = {"superblock", "threaded"};
+    for (size_t e = 0; e < 2; ++e) {
+      const WorkloadRun& run = *engine_runs[e];
+      if (legacy.sim_cycles != run.sim_cycles ||
+          legacy.instret != run.instret || legacy.metric != run.metric) {
+        std::fprintf(stderr,
+                     "FATAL: %s diverges legacy vs %s: "
+                     "sim %.2f vs %.2f cycles, %llu vs %llu insns, "
+                     "metric %.6f vs %.6f\n",
+                     workload.name, engine_names[e], legacy.sim_cycles,
+                     run.sim_cycles, (unsigned long long)legacy.instret,
+                     (unsigned long long)run.instret, legacy.metric,
+                     run.metric);
+        std::abort();
+      }
     }
+    promotions += tc.threaded_promotions;
+    deopts += tc.threaded_deopts;
+    ppcommits += tc.threaded_patchpoint_commits;
     const double legacy_mips =
         static_cast<double>(legacy.instret) / legacy.wall_s / 1e6;
     const double sb_mips = static_cast<double>(sb.instret) / sb.wall_s / 1e6;
-    const double speedup = legacy.wall_s / sb.wall_s;
-    log_speedup_sum += std::log(speedup);
-    std::printf("  %-10s %14.0f %12llu %9.1f %9.1f %8.2fx\n", workload.name,
-                legacy.sim_cycles, (unsigned long long)legacy.instret,
-                legacy_mips, sb_mips, speedup);
+    const double tc_mips = static_cast<double>(tc.instret) / tc.wall_s / 1e6;
+    const double sb_speedup = legacy.wall_s / sb.wall_s;
+    const double tc_speedup = sb.wall_s / tc.wall_s;
+    log_sb_speedup_sum += std::log(sb_speedup);
+    log_tc_speedup_sum += std::log(tc_speedup);
+    std::printf("  %-10s %14.0f %12llu %9.1f %9.1f %9.1f %8.2fx %8.2fx\n",
+                workload.name, legacy.sim_cycles,
+                (unsigned long long)legacy.instret, legacy_mips, sb_mips,
+                tc_mips, sb_speedup, tc_speedup);
     JsonMetric(std::string(workload.name) + " sim cycles", legacy.sim_cycles,
                "cycles");
     JsonMetric(std::string(workload.name) + " legacy", legacy_mips, "MIPS");
     JsonMetric(std::string(workload.name) + " superblock", sb_mips, "MIPS");
-    JsonMetric(std::string(workload.name) + " speedup", speedup, "x");
+    JsonMetric(std::string(workload.name) + " threaded", tc_mips, "MIPS");
+    JsonMetric(std::string(workload.name) + " speedup", sb_speedup, "x");
+    JsonMetric(std::string(workload.name) + " threaded speedup", tc_speedup,
+               "x");
   }
-  const double geomean =
-      std::exp(log_speedup_sum / (sizeof(workloads) / sizeof(workloads[0])));
+  const double sb_geomean = std::exp(log_sb_speedup_sum / n_workloads);
+  const double tc_geomean = std::exp(log_tc_speedup_sum / n_workloads);
+  RecordThreadedCounters(promotions, deopts, ppcommits);
   SetDefaultDispatchEngine(saved_default);
-  std::printf("  geomean wall-clock speedup: %.2fx\n", geomean);
-  JsonMetric("geomean speedup", geomean, "x");
+  std::printf("  geomean wall-clock speedup, superblock vs legacy: %.2fx\n",
+              sb_geomean);
+  std::printf("  geomean wall-clock speedup, threaded vs superblock: %.2fx\n",
+              tc_geomean);
+  JsonMetric("geomean speedup", sb_geomean, "x");
+  JsonMetric("geomean speedup threaded", tc_geomean, "x");
   PrintNote("");
   PrintNote("Simulated cycle counts, retired-instruction counts and workload");
-  PrintNote("results are asserted identical across engines before any speed");
-  PrintNote("number is reported: the superblock engine buys wall-clock only.");
+  PrintNote("results are asserted identical across all engines before any");
+  PrintNote("speed number is reported: the dispatch tiers buy wall-clock only.");
 }
 
 }  // namespace

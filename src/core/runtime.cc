@@ -38,13 +38,17 @@ Result<MultiverseRuntime> MultiverseRuntime::Attach(Vm* vm, const Image& image,
     MV_RETURN_IF_ERROR(ValidateDescriptorTable(runtime.table_, vm->memory(), image));
   }
 
-  // Snapshot the pristine call sites.
+  // Snapshot the pristine call sites. Each one is also a host-side patch
+  // point: the threaded tier records site-pc -> slot maps for any of these
+  // ranges it compiles, so protocol commits on compiled traces stay
+  // observable.
   for (const RtCallsite& desc : runtime.table_.callsites) {
     Site site;
     site.desc = desc;
     MV_RETURN_IF_ERROR(vm->memory().ReadRaw(desc.site_addr, site.original.data(), 5));
     site.current = site.original;
     runtime.sites_.push_back(site);
+    vm->RegisterPatchPoint(desc.site_addr, 5);
   }
 
   // Function states with their call sites and pristine prologues.
@@ -54,6 +58,8 @@ Result<MultiverseRuntime> MultiverseRuntime::Attach(Vm* vm, const Image& image,
     state.desc_index = fi;
     MV_RETURN_IF_ERROR(
         vm->memory().ReadRaw(fn.generic_addr, state.saved_prologue.data(), 5));
+    // Prologue rewrites (generic -> variant jmp) are patch points too.
+    vm->RegisterPatchPoint(fn.generic_addr, 5);
     for (size_t si = 0; si < runtime.sites_.size(); ++si) {
       if (runtime.sites_[si].desc.callee_addr == fn.generic_addr) {
         state.sites.push_back(si);

@@ -91,6 +91,12 @@ class Engine {
         return planned.status();
       }
       stats_.patch = *planned;
+      // Every op the protocols will write is a patch point: any threaded
+      // trace compiled over these bytes carries a site->slot map, and its
+      // eviction at apply time is counted as a patch-point commit.
+      for (const PatchOp& op : session_.plan()) {
+        vm_->RegisterPatchPoint(op.addr, op.new_bytes.size());
+      }
       return session_.plan();
     };
     hooks.apply = [&](PatchJournal* journal) -> Status {

@@ -21,11 +21,12 @@
 //                          (unsafe | quiescence | breakpoint | waitfree)
 //     --set name=value     write a global before commit/run (may repeat)
 //     --guest              run as a paravirtualized guest
-//     --dispatch engine    VM dispatch engine (legacy | superblock)
+//     --dispatch engine    VM dispatch engine (legacy | superblock | threaded)
 //     --no-paranoid        trust the descriptor sections (skip validation)
 //     --no-plan-cache      disable commit plan memoization (fast path)
 //
-// Exit codes: 0 success, 1 build/run error, 2 usage error, 3 commit failed
+// Exit codes: 0 success, 1 build/run error or unknown --dispatch engine
+// (rejected with a structured usage error), 2 usage error, 3 commit failed
 // and was rolled back (the image is back in its pre-commit state), 4 the
 // variational proof ran and found a variant/generic divergence.
 #include <cstdio>
@@ -87,7 +88,8 @@ void Usage() {
                "  --paranoid         validate descriptor tables at attach (default)\n"
                "  --no-paranoid      trust the descriptor sections as emitted\n"
                "  --no-plan-cache    disable commit plan memoization (fast path)\n"
-               "  --dispatch engine  VM dispatch engine (legacy | superblock)\n"
+               "  --dispatch engine  VM dispatch engine (legacy | superblock |\n"
+               "                     threaded)\n"
                "  --trace N          print the first N executed instructions\n"
                "  --run entry [-- args...]  call entry() and report r0/cycles\n"
                "  --varexec entry [-- args...]  prove variant/generic\n"
@@ -161,8 +163,10 @@ int Main(int argc, char** argv) {
     } else if (arg == "--dispatch" && i + 1 < argc) {
       Result<DispatchEngine> engine = ParseDispatchEngine(argv[++i]);
       if (!engine.ok()) {
-        std::fprintf(stderr, "mvcc: %s\n", engine.status().ToString().c_str());
-        return 2;
+        std::fprintf(stderr, "mvcc: usage error: %s\n",
+                     engine.status().ToString().c_str());
+        Usage();
+        return 1;
       }
       options.dispatch = *engine;
     } else if (arg == "--trace" && i + 1 < argc) {

@@ -11,8 +11,8 @@
 // Exit codes: 0 rollout advanced to 100%, 3 rollout auto-reverted (every
 // instance restored to its pre-rollout config), 5 rollout advanced but one
 // or more instances were quarantined on their pre-rollout config (degraded
-// but serving), 1 build/infrastructure error or identity mismatch, 2 usage
-// error.
+// but serving), 1 build/infrastructure error, identity mismatch, or unknown
+// --dispatch engine (rejected with a structured usage error), 2 usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,7 +93,8 @@ void Usage() {
       "  --quarantine-after N park an instance on its pre-rollout config after\n"
       "                       N failed flip attempts instead of reverting the\n"
       "                       rollout; it keeps serving degraded (0 = off)\n"
-      "  --dispatch engine    VM dispatch engine (legacy | superblock)\n"
+      "  --dispatch engine    VM dispatch engine (legacy | superblock |\n"
+      "                       threaded)\n"
       "  --log path           write the rollout event log (the audit trail)\n"
       "  --json path          write the rollout report as JSON\n"
       "With no files, a built-in request-processor kernel is used.\n");
@@ -281,8 +282,10 @@ int Main(int argc, char** argv) {
     } else if (arg == "--dispatch") {
       Result<DispatchEngine> engine = ParseDispatchEngine(next("--dispatch"));
       if (!engine.ok()) {
-        std::fprintf(stderr, "mvfleet: %s\n", engine.status().ToString().c_str());
-        return 2;
+        std::fprintf(stderr, "mvfleet: usage error: %s\n",
+                     engine.status().ToString().c_str());
+        Usage();
+        return 1;
       }
       SetDefaultDispatchEngine(*engine);
     } else if (arg == "--log") {

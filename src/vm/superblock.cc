@@ -1,6 +1,7 @@
 #include "src/vm/superblock.h"
 
 #include "src/support/str.h"
+#include "src/vm/threaded.h"
 
 namespace mv {
 
@@ -8,12 +9,19 @@ namespace {
 DispatchEngine g_default_engine = DispatchEngine::kLegacy;
 }  // namespace
 
+// Out-of-line so unique_ptr<ThreadedTrace> destroys a complete type here,
+// while superblock.h only forward-declares it.
+Superblock::Superblock() = default;
+Superblock::~Superblock() = default;
+
 const char* DispatchEngineName(DispatchEngine engine) {
   switch (engine) {
     case DispatchEngine::kLegacy:
       return "legacy";
     case DispatchEngine::kSuperblock:
       return "superblock";
+    case DispatchEngine::kThreaded:
+      return "threaded";
   }
   return "?";
 }
@@ -25,8 +33,11 @@ Result<DispatchEngine> ParseDispatchEngine(const std::string& name) {
   if (name == "superblock" || name == "sb") {
     return DispatchEngine::kSuperblock;
   }
+  if (name == "threaded" || name == "tc") {
+    return DispatchEngine::kThreaded;
+  }
   return Status::InvalidArgument(
-      StrFormat("unknown dispatch engine '%s' (expected legacy|superblock)",
+      StrFormat("unknown dispatch engine '%s' (expected legacy|superblock|threaded)",
                 name.c_str()));
 }
 

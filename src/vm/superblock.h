@@ -31,6 +31,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,7 @@ namespace mv {
 enum class DispatchEngine : uint8_t {
   kLegacy,      // one icache probe per instruction (the original engine)
   kSuperblock,  // one block-cache probe per straight-line trace
+  kThreaded,    // hot blocks compiled to threaded code (see threaded.h)
 };
 
 const char* DispatchEngineName(DispatchEngine engine);
@@ -73,6 +75,12 @@ struct SuperblockInsn {
   bool mem_sign = false;
 };
 
+// Compiled form of a hot superblock (threaded.h). Owned by the block so trace
+// lifetime is exactly block lifetime: every eviction path that frees a block
+// frees its compiled trace with it, and no separate invalidation protocol is
+// needed for the compiled tier.
+struct ThreadedTrace;
+
 struct Superblock {
   uint64_t entry = 0;
   uint64_t end = 0;  // one past the last byte the trace decoded
@@ -85,6 +93,17 @@ struct Superblock {
   Superblock* succ = nullptr;
   uint64_t succ_pc = 0;
   uint64_t succ_epoch = 0;
+
+  // Threaded-tier promotion state (used only under DispatchEngine::kThreaded):
+  // entries counts how many times Run dispatch entered this block at element
+  // 0; once it crosses the promotion threshold the block is lowered to a
+  // ThreadedTrace. The superblock walk itself never reads either field, so
+  // the kSuperblock engine is unaffected.
+  uint32_t entries = 0;
+  std::unique_ptr<ThreadedTrace> trace;
+
+  Superblock();
+  ~Superblock();  // out-of-line: ThreadedTrace is incomplete here
 
   bool Overlaps(uint64_t lo, uint64_t hi) const { return entry < hi && lo < end; }
 };

@@ -1,0 +1,1109 @@
+// Threaded-code execution tier (threaded.h): trace lowering, the direct-
+// dispatch executor, and the kThreaded Run loop.
+//
+// The executor is compiled twice from one body: the fast instantiation
+// (kProbed = false) dispatches through the pre-resolved label address stored
+// in each slot — one indirect jump per slot, nothing else — and the probed
+// instantiation (kProbed = true) adds the forced-deopt countdown the
+// deopt-at-every-slot sweep uses, dispatching through its own label table
+// keyed by the slot token (label addresses are local to each instantiation,
+// so the probed executor must never follow a pointer the fast one resolved).
+// Without GNU computed goto the same handler bodies compile as a token
+// switch; the macros below are the only thing that changes.
+//
+// Two executor-local accumulations keep the hot path out of memory: tick
+// charges batch in a register (`tk`) and flush to core.ticks at every point
+// the architectural count is observable (RDTSC, Execute(), every exit), and
+// retirement batches per trace via retired_before/total_retire. The fast
+// instantiation also chains trace-to-trace through the superblock successor
+// hints at term_done, so a hot loop whose blocks are all compiled never
+// leaves the executor until something deopts or the budget nears.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+
+#include "src/vm/threaded.h"
+#include "src/vm/vm.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MV_THREADED_COMPUTED_GOTO 1
+#else
+#define MV_THREADED_COMPUTED_GOTO 0
+#endif
+
+namespace mv {
+
+namespace {
+
+int64_t SignExtend(uint64_t value, int width) {
+  switch (width) {
+    case 1:
+      return static_cast<int8_t>(value);
+    case 2:
+      return static_cast<int16_t>(value);
+    case 4:
+      return static_cast<int32_t>(value);
+    default:
+      return static_cast<int64_t>(value);
+  }
+}
+
+// Fusible second halves of a load+ALU pair.
+bool FusibleAlu(Op op, ThreadedOp* fused) {
+  switch (op) {
+    case Op::kAdd:
+      *fused = ThreadedOp::kLoadAdd;
+      return true;
+    case Op::kSub:
+      *fused = ThreadedOp::kLoadSub;
+      return true;
+    case Op::kAnd:
+      *fused = ThreadedOp::kLoadAnd;
+      return true;
+    case Op::kOr:
+      *fused = ThreadedOp::kLoadOr;
+      return true;
+    case Op::kXor:
+      *fused = ThreadedOp::kLoadXor;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// Lowers the longest filled prefix of `block` into a ThreadedTrace. Elements
+// are filled by their first dispatch, so after the promotion threshold the
+// whole executed range is filled and the handlers can skip the fill check the
+// superblock walk still pays; an unfilled suffix (a tail beyond a fault that
+// never un-faulted) is simply left to the interpreter — the sentinel hands
+// control back at its first pc.
+void Vm::BuildThreadedTrace(Superblock* block) {
+  if (block->insns.empty() || !block->insns[0].filled) {
+    return;
+  }
+  auto trace = std::make_unique<ThreadedTrace>();
+  const size_t n_total = block->insns.size();
+  size_t i = 0;
+  while (i < n_total && block->insns[i].filled) {
+    const SuperblockInsn& el = block->insns[i];
+    const SuperblockInsn* next_el =
+        (i + 1 < n_total && block->insns[i + 1].filled) ? &block->insns[i + 1]
+                                                        : nullptr;
+    ThreadedSlot s;
+    s.pc = el.pc;
+    s.npc = el.pc + el.insn.size;
+    s.retired_before = static_cast<uint32_t>(i);
+    s.a = el.insn.a;
+    s.b = el.insn.b;
+    s.cc = el.insn.cc;
+    s.imm = static_cast<uint64_t>(el.insn.imm);
+    s.mem_width = el.mem_width;
+    s.mem_sign = el.mem_sign;
+    size_t consumed = 1;
+
+    // Fuses the Jcc into the preceding compare: one dispatch sets the
+    // architectural flags and resolves the branch, with the predictor still
+    // keyed at the Jcc's own pc.
+    auto fuse_jcc = [&](ThreadedOp fused) {
+      s.top = fused;
+      s.cc = next_el->insn.cc;
+      s.pc2 = next_el->pc;
+      s.npc = next_el->pc + next_el->insn.size;
+      s.tpc = s.npc + static_cast<uint64_t>(next_el->insn.imm);
+      consumed = 2;
+    };
+
+    switch (el.insn.op) {
+      case Op::kMovRI:
+        s.top = ThreadedOp::kMovRI;
+        break;
+      case Op::kMovRR:
+        s.top = ThreadedOp::kMovRR;
+        break;
+      case Op::kLd8U:
+      case Op::kLd8S:
+      case Op::kLd16U:
+      case Op::kLd16S:
+      case Op::kLd32U:
+      case Op::kLd32S:
+      case Op::kLd64: {
+        s.top = ThreadedOp::kLoad;
+        ThreadedOp fused;
+        if (next_el != nullptr && FusibleAlu(next_el->insn.op, &fused)) {
+          s.top = fused;
+          s.a2 = next_el->insn.a;
+          s.b2 = next_el->insn.b;
+          s.npc = next_el->pc + next_el->insn.size;
+          consumed = 2;
+        }
+        break;
+      }
+      case Op::kSt8:
+      case Op::kSt16:
+      case Op::kSt32:
+      case Op::kSt64:
+        s.top = ThreadedOp::kStore;
+        break;
+      case Op::kLdg:
+        s.top = ThreadedOp::kLdg;
+        break;
+      case Op::kStg:
+        s.top = ThreadedOp::kStg;
+        break;
+      case Op::kAdd:
+        s.top = ThreadedOp::kAdd;
+        break;
+      case Op::kSub:
+        s.top = ThreadedOp::kSub;
+        break;
+      case Op::kMul:
+        s.top = ThreadedOp::kMul;
+        break;
+      case Op::kAnd:
+        s.top = ThreadedOp::kAnd;
+        break;
+      case Op::kOr:
+        s.top = ThreadedOp::kOr;
+        break;
+      case Op::kXor:
+        s.top = ThreadedOp::kXor;
+        break;
+      case Op::kShl:
+        s.top = ThreadedOp::kShl;
+        break;
+      case Op::kShr:
+        s.top = ThreadedOp::kShr;
+        break;
+      case Op::kSar:
+        s.top = ThreadedOp::kSar;
+        break;
+      case Op::kAddI:
+        s.top = ThreadedOp::kAddI;
+        break;
+      case Op::kSubI:
+        s.top = ThreadedOp::kSubI;
+        break;
+      case Op::kMulI:
+        s.top = ThreadedOp::kMulI;
+        break;
+      case Op::kAndI:
+        s.top = ThreadedOp::kAndI;
+        break;
+      case Op::kOrI:
+        s.top = ThreadedOp::kOrI;
+        break;
+      case Op::kXorI:
+        s.top = ThreadedOp::kXorI;
+        break;
+      case Op::kShlI:
+        s.top = ThreadedOp::kShlI;
+        break;
+      case Op::kShrI:
+        s.top = ThreadedOp::kShrI;
+        break;
+      case Op::kSarI:
+        s.top = ThreadedOp::kSarI;
+        break;
+      case Op::kNot:
+        s.top = ThreadedOp::kNot;
+        break;
+      case Op::kNeg:
+        s.top = ThreadedOp::kNeg;
+        break;
+      case Op::kCmp:
+        if (next_el != nullptr && next_el->insn.op == Op::kJcc) {
+          fuse_jcc(ThreadedOp::kCmpJcc);
+        } else {
+          s.top = ThreadedOp::kCmp;
+        }
+        break;
+      case Op::kCmpI:
+        if (next_el != nullptr && next_el->insn.op == Op::kJcc) {
+          fuse_jcc(ThreadedOp::kCmpIJcc);
+        } else {
+          s.top = ThreadedOp::kCmpI;
+        }
+        break;
+      case Op::kSetCC:
+        s.top = ThreadedOp::kSetCC;
+        break;
+      case Op::kJmp:
+        s.top = ThreadedOp::kJmp;
+        s.tpc = s.npc + s.imm;
+        break;
+      case Op::kJcc:
+        s.top = ThreadedOp::kJcc;
+        s.tpc = s.npc + s.imm;
+        break;
+      case Op::kCall:
+        s.top = ThreadedOp::kCall;
+        s.tpc = s.npc + s.imm;
+        break;
+      case Op::kRet:
+        s.top = ThreadedOp::kRet;
+        break;
+      case Op::kPush:
+        s.top = ThreadedOp::kPush;
+        break;
+      case Op::kPop:
+        s.top = ThreadedOp::kPop;
+        break;
+      case Op::kNop:
+        s.top = ThreadedOp::kNop;
+        break;
+      case Op::kPause:
+        s.top = ThreadedOp::kPause;
+        break;
+      case Op::kFence:
+        s.top = ThreadedOp::kFence;
+        break;
+      case Op::kSti:
+        s.top = ThreadedOp::kSti;
+        break;
+      case Op::kCli:
+        s.top = ThreadedOp::kCli;
+        break;
+      case Op::kXchg:
+        s.top = ThreadedOp::kXchg;
+        break;
+      case Op::kRdtsc:
+        s.top = ThreadedOp::kRdtsc;
+        break;
+      case Op::kHypercall:
+        s.top = ThreadedOp::kHypercall;
+        break;
+      default:
+        // Divisions, CALLR/CALLM, HLT, VMCALL, BKPT, invalid encodings: the
+        // shared Execute() switch stays the single source of truth. The raw
+        // Insn lives in the trace's side array to keep slots one line wide.
+        s.top = ThreadedOp::kExec;
+        s.imm = trace->exec_insns.size();
+        trace->exec_insns.push_back(el.insn);
+        s.ends = EndsSuperblock(el.insn.op);
+        break;
+    }
+    trace->slots.push_back(s);
+    i += consumed;
+  }
+  if (trace->slots.empty()) {
+    return;
+  }
+  trace->total_retire = static_cast<uint32_t>(i);
+
+  ThreadedSlot sentinel;
+  sentinel.top = ThreadedOp::kEnd;
+  sentinel.pc = i < n_total ? block->insns[i].pc : block->end;
+  sentinel.retired_before = trace->total_retire;
+  trace->slots.push_back(sentinel);
+
+  // Site-pc -> slot map for every registered host patch point inside the
+  // lowered range, so commits landing on compiled code are observable.
+  const uint64_t blo = block->entry;
+  const uint64_t bhi = sentinel.pc;
+  auto it = std::lower_bound(
+      patch_points_.begin(), patch_points_.end(), blo,
+      [](const CodeRange& r, uint64_t a) { return r.addr + r.len <= a; });
+  for (; it != patch_points_.end() && it->addr < bhi; ++it) {
+    for (size_t k = 0; k + 1 < trace->slots.size(); ++k) {
+      const uint64_t lo = trace->slots[k].pc;
+      const uint64_t hi = trace->slots[k + 1].pc;
+      if (it->addr < hi && lo < it->addr + it->len) {
+        trace->patch_sites.push_back(
+            ThreadedPatchSite{it->addr, it->len, static_cast<uint32_t>(k)});
+        break;
+      }
+    }
+  }
+
+  block->trace = std::move(trace);
+}
+
+// Dispatch plumbing. MV_OP introduces a handler, MV_NEXT advances to the
+// next slot, MV_JUMP dispatches the current one. Under computed goto the
+// fast instantiation follows the slot's pre-resolved label address; the
+// probed one indexes its own table and runs the forced-deopt countdown.
+#if MV_THREADED_COMPUTED_GOTO
+#define MV_OP(name) h_##name
+#define MV_JUMP()                                     \
+  do {                                                \
+    if (kProbed) {                                    \
+      if (--threaded_probe_left_ == 0) {              \
+        goto forced_deopt;                            \
+      }                                               \
+      goto* kLabels[static_cast<int>(slot->top)];     \
+    }                                                 \
+    goto* slot->handler;                              \
+  } while (0)
+#else
+#define MV_OP(name) case ThreadedOp::k##name
+#define MV_JUMP() goto dispatch
+#endif
+#define MV_NEXT() \
+  do {            \
+    ++slot;       \
+    MV_JUMP();    \
+  } while (0)
+
+template <bool kProbed>
+std::optional<VmExit> Vm::ExecThreadedTrace(int core_id, Core& core,
+                                            Superblock** pblock,
+                                            uint64_t max_steps,
+                                            uint64_t* steps, bool* evicted) {
+  Superblock* block = *pblock;
+  ThreadedTrace* trace = block->trace.get();
+  const CostModel& cm = cost_model_;
+  uint64_t* regs = core.regs;
+  const uint64_t epoch = sb_epoch_;
+  uint32_t total = trace->total_retire;
+  *evicted = false;
+
+  // Register-resident tick accumulator; flushed to core.ticks wherever the
+  // architectural count is observable.
+  uint64_t tk = 0;
+  // Deopt scratch: slots dangle the moment a handler's own memory write
+  // evicts the block, so memory-writing handlers copy what the deopt path
+  // needs before the write.
+  uint64_t d_npc = 0;
+  uint32_t d_rb = 0;
+  Fault d_fault;
+
+  ThreadedSlot* slot = trace->slots.data();
+
+#if MV_THREADED_COMPUTED_GOTO
+  static const void* const kLabels[] = {
+      &&h_MovRI,   &&h_MovRR, &&h_Load,  &&h_Store,   &&h_Ldg,     &&h_Stg,
+      &&h_Add,     &&h_Sub,   &&h_Mul,   &&h_And,     &&h_Or,      &&h_Xor,
+      &&h_Shl,     &&h_Shr,   &&h_Sar,   &&h_AddI,    &&h_SubI,    &&h_MulI,
+      &&h_AndI,    &&h_OrI,   &&h_XorI,  &&h_ShlI,    &&h_ShrI,    &&h_SarI,
+      &&h_Not,     &&h_Neg,   &&h_Cmp,   &&h_CmpI,    &&h_SetCC,   &&h_Jmp,
+      &&h_Jcc,     &&h_Call,  &&h_Ret,   &&h_Push,    &&h_Pop,     &&h_Nop,
+      &&h_Pause,   &&h_Fence, &&h_Sti,   &&h_Cli,     &&h_Xchg,    &&h_Rdtsc,
+      &&h_Hypercall, &&h_CmpJcc, &&h_CmpIJcc, &&h_LoadAdd, &&h_LoadSub,
+      &&h_LoadAnd, &&h_LoadOr, &&h_LoadXor, &&h_Exec, &&h_End,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                    static_cast<size_t>(ThreadedOp::kNumOps),
+                "label table must cover every ThreadedOp");
+  if (!kProbed && !trace->resolved) {
+    for (ThreadedSlot& s : trace->slots) {
+      s.handler = kLabels[static_cast<int>(s.top)];
+    }
+    trace->resolved = true;
+  }
+  MV_JUMP();
+#else
+dispatch:
+  if (kProbed) {
+    if (--threaded_probe_left_ == 0) {
+      goto forced_deopt;
+    }
+  }
+  switch (slot->top) {
+#endif
+
+  MV_OP(MovRI) : {
+    regs[slot->a] = slot->imm;
+    tk += cm.mov;
+    MV_NEXT();
+  }
+  MV_OP(MovRR) : {
+    regs[slot->a] = regs[slot->b];
+    tk += cm.mov;
+    MV_NEXT();
+  }
+  MV_OP(Load) : {
+    const uint64_t addr = regs[slot->b] + slot->imm;
+    uint64_t value = 0;
+    Fault f = memory_.Read(addr, slot->mem_width, &value);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] =
+        slot->mem_sign ? static_cast<uint64_t>(SignExtend(value, slot->mem_width))
+                       : value;
+    tk += cm.load;
+    MV_NEXT();
+  }
+  MV_OP(Store) : {
+    d_npc = slot->npc;
+    d_rb = slot->retired_before;
+    const uint64_t addr = regs[slot->b] + slot->imm;
+    Fault f = memory_.Write(addr, slot->mem_width, regs[slot->a]);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    tk += cm.store;
+    if (sb_epoch_ != epoch) {
+      goto evict_deopt;
+    }
+    MV_NEXT();
+  }
+  MV_OP(Ldg) : {
+    uint64_t value = 0;
+    Fault f = memory_.Read(slot->imm, slot->mem_width, &value);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] =
+        slot->mem_sign ? static_cast<uint64_t>(SignExtend(value, slot->mem_width))
+                       : value;
+    tk += cm.global_load;
+    MV_NEXT();
+  }
+  MV_OP(Stg) : {
+    d_npc = slot->npc;
+    d_rb = slot->retired_before;
+    Fault f = memory_.Write(slot->imm, slot->mem_width, regs[slot->a]);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    tk += cm.global_store;
+    if (sb_epoch_ != epoch) {
+      goto evict_deopt;
+    }
+    MV_NEXT();
+  }
+  MV_OP(Add) : {
+    regs[slot->a] += regs[slot->b];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Sub) : {
+    regs[slot->a] -= regs[slot->b];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Mul) : {
+    regs[slot->a] *= regs[slot->b];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(And) : {
+    regs[slot->a] &= regs[slot->b];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Or) : {
+    regs[slot->a] |= regs[slot->b];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Xor) : {
+    regs[slot->a] ^= regs[slot->b];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Shl) : {
+    regs[slot->a] <<= (regs[slot->b] & 63);
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Shr) : {
+    regs[slot->a] >>= (regs[slot->b] & 63);
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Sar) : {
+    regs[slot->a] = static_cast<uint64_t>(static_cast<int64_t>(regs[slot->a]) >>
+                                          (regs[slot->b] & 63));
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(AddI) : {
+    regs[slot->a] += slot->imm;
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(SubI) : {
+    regs[slot->a] -= slot->imm;
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(MulI) : {
+    regs[slot->a] *= slot->imm;
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(AndI) : {
+    regs[slot->a] &= slot->imm;
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(OrI) : {
+    regs[slot->a] |= slot->imm;
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(XorI) : {
+    regs[slot->a] ^= slot->imm;
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(ShlI) : {
+    regs[slot->a] <<= static_cast<int64_t>(slot->imm);
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(ShrI) : {
+    regs[slot->a] >>= static_cast<int64_t>(slot->imm);
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(SarI) : {
+    regs[slot->a] = static_cast<uint64_t>(static_cast<int64_t>(regs[slot->a]) >>
+                                          static_cast<int64_t>(slot->imm));
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Not) : {
+    regs[slot->a] = ~regs[slot->a];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Neg) : {
+    regs[slot->a] = ~regs[slot->a] + 1;
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Cmp) : {
+    const uint64_t a = regs[slot->a];
+    const uint64_t b = regs[slot->b];
+    core.zf = a == b;
+    core.lt_signed = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+    core.lt_unsigned = a < b;
+    tk += cm.cmp;
+    MV_NEXT();
+  }
+  MV_OP(CmpI) : {
+    const uint64_t a = regs[slot->a];
+    const uint64_t b = slot->imm;
+    core.zf = a == b;
+    core.lt_signed = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+    core.lt_unsigned = a < b;
+    tk += cm.cmp;
+    MV_NEXT();
+  }
+  MV_OP(SetCC) : {
+    regs[slot->a] = EvalCond(core, slot->cc) ? 1 : 0;
+    tk += cm.setcc;
+    MV_NEXT();
+  }
+  MV_OP(Jmp) : {
+    core.pc = slot->tpc;
+    tk += cm.jmp;
+    goto term_done;
+  }
+  MV_OP(Jcc) : {
+    const bool taken = EvalCond(core, slot->cc);
+    const bool predicted = core.predictor.PredictCond(slot->pc);
+    core.predictor.UpdateCond(slot->pc, taken);
+    ++core.cond_branches;
+    tk += cm.branch_predicted;
+    if (predicted != taken) {
+      tk += cm.branch_mispredict_penalty;
+      ++core.cond_mispredicts;
+    }
+    core.pc = taken ? slot->tpc : slot->npc;
+    goto term_done;
+  }
+  MV_OP(Call) : {
+    const uint64_t ret_pc = slot->npc;
+    const uint64_t target = slot->tpc;
+    regs[kRegSP] -= 8;
+    Fault f = memory_.Write(regs[kRegSP], 8, ret_pc);
+    if (!f.ok()) {
+      regs[kRegSP] += 8;
+      d_fault = f;
+      goto fault_deopt;
+    }
+    core.predictor.PushRet(ret_pc);
+    core.pc = target;
+    tk += cm.call;
+    goto term_done;
+  }
+  MV_OP(Ret) : {
+    uint64_t target = 0;
+    Fault f = memory_.Read(regs[kRegSP], 8, &target);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[kRegSP] += 8;
+    tk += cm.ret;
+    if (!core.predictor.PopRetMatches(target)) {
+      tk += cm.branch_mispredict_penalty;
+      ++core.ret_mispredicts;
+    }
+    core.pc = target;
+    goto term_done;
+  }
+  MV_OP(Push) : {
+    d_npc = slot->npc;
+    d_rb = slot->retired_before;
+    regs[kRegSP] -= 8;
+    Fault f = memory_.Write(regs[kRegSP], 8, regs[slot->a]);
+    if (!f.ok()) {
+      regs[kRegSP] += 8;
+      d_fault = f;
+      goto fault_deopt;
+    }
+    tk += cm.push;
+    if (sb_epoch_ != epoch) {
+      goto evict_deopt;
+    }
+    MV_NEXT();
+  }
+  MV_OP(Pop) : {
+    uint64_t value = 0;
+    Fault f = memory_.Read(regs[kRegSP], 8, &value);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] = value;
+    regs[kRegSP] += 8;
+    tk += cm.pop;
+    MV_NEXT();
+  }
+  MV_OP(Nop) : {
+    tk += cm.nop;
+    MV_NEXT();
+  }
+  MV_OP(Pause) : {
+    tk += cm.pause;
+    MV_NEXT();
+  }
+  MV_OP(Fence) : {
+    tk += cm.fence;
+    MV_NEXT();
+  }
+  MV_OP(Sti) : {
+    core.interrupts_enabled = true;
+    if (hypervisor_guest_) {
+      tk += cm.sti_cli_guest_trap;
+      ++core.priv_traps;
+    } else {
+      tk += cm.sti_cli_native;
+    }
+    MV_NEXT();
+  }
+  MV_OP(Cli) : {
+    core.interrupts_enabled = false;
+    if (hypervisor_guest_) {
+      tk += cm.sti_cli_guest_trap;
+      ++core.priv_traps;
+    } else {
+      tk += cm.sti_cli_native;
+    }
+    MV_NEXT();
+  }
+  MV_OP(Xchg) : {
+    d_npc = slot->npc;
+    d_rb = slot->retired_before;
+    const uint64_t addr = regs[slot->b];
+    uint64_t old = 0;
+    Fault f = memory_.Read(addr, 4, &old);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    f = memory_.Write(addr, 4, regs[slot->a]);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] = old;
+    ++core.atomic_ops;
+    tk += cm.xchg_atomic;
+    if (sb_epoch_ != epoch) {
+      goto evict_deopt;
+    }
+    MV_NEXT();
+  }
+  MV_OP(Rdtsc) : {
+    // RDTSC observes the tick counter: flush the accumulator first.
+    core.ticks += tk;
+    tk = 0;
+    regs[slot->a] = core.ticks / kTicksPerCycle;
+    tk += cm.rdtsc;
+    MV_NEXT();
+  }
+  MV_OP(Hypercall) : {
+    switch (static_cast<int64_t>(slot->imm)) {
+      case 0:
+        core.interrupts_enabled = true;
+        break;
+      case 1:
+        core.interrupts_enabled = false;
+        break;
+      default:
+        break;
+    }
+    tk += cm.hypercall;
+    MV_NEXT();
+  }
+  MV_OP(CmpJcc) : {
+    const uint64_t a = regs[slot->a];
+    const uint64_t b = regs[slot->b];
+    core.zf = a == b;
+    core.lt_signed = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+    core.lt_unsigned = a < b;
+    tk += cm.cmp;
+    const bool taken = EvalCond(core, slot->cc);
+    const bool predicted = core.predictor.PredictCond(slot->pc2);
+    core.predictor.UpdateCond(slot->pc2, taken);
+    ++core.cond_branches;
+    tk += cm.branch_predicted;
+    if (predicted != taken) {
+      tk += cm.branch_mispredict_penalty;
+      ++core.cond_mispredicts;
+    }
+    core.pc = taken ? slot->tpc : slot->npc;
+    goto term_done;
+  }
+  MV_OP(CmpIJcc) : {
+    const uint64_t a = regs[slot->a];
+    const uint64_t b = slot->imm;
+    core.zf = a == b;
+    core.lt_signed = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+    core.lt_unsigned = a < b;
+    tk += cm.cmp;
+    const bool taken = EvalCond(core, slot->cc);
+    const bool predicted = core.predictor.PredictCond(slot->pc2);
+    core.predictor.UpdateCond(slot->pc2, taken);
+    ++core.cond_branches;
+    tk += cm.branch_predicted;
+    if (predicted != taken) {
+      tk += cm.branch_mispredict_penalty;
+      ++core.cond_mispredicts;
+    }
+    core.pc = taken ? slot->tpc : slot->npc;
+    goto term_done;
+  }
+  MV_OP(LoadAdd) : {
+    const uint64_t addr = regs[slot->b] + slot->imm;
+    uint64_t value = 0;
+    Fault f = memory_.Read(addr, slot->mem_width, &value);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] =
+        slot->mem_sign ? static_cast<uint64_t>(SignExtend(value, slot->mem_width))
+                       : value;
+    tk += cm.load;
+    regs[slot->a2] += regs[slot->b2];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(LoadSub) : {
+    const uint64_t addr = regs[slot->b] + slot->imm;
+    uint64_t value = 0;
+    Fault f = memory_.Read(addr, slot->mem_width, &value);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] =
+        slot->mem_sign ? static_cast<uint64_t>(SignExtend(value, slot->mem_width))
+                       : value;
+    tk += cm.load;
+    regs[slot->a2] -= regs[slot->b2];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(LoadAnd) : {
+    const uint64_t addr = regs[slot->b] + slot->imm;
+    uint64_t value = 0;
+    Fault f = memory_.Read(addr, slot->mem_width, &value);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] =
+        slot->mem_sign ? static_cast<uint64_t>(SignExtend(value, slot->mem_width))
+                       : value;
+    tk += cm.load;
+    regs[slot->a2] &= regs[slot->b2];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(LoadOr) : {
+    const uint64_t addr = regs[slot->b] + slot->imm;
+    uint64_t value = 0;
+    Fault f = memory_.Read(addr, slot->mem_width, &value);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] =
+        slot->mem_sign ? static_cast<uint64_t>(SignExtend(value, slot->mem_width))
+                       : value;
+    tk += cm.load;
+    regs[slot->a2] |= regs[slot->b2];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(LoadXor) : {
+    const uint64_t addr = regs[slot->b] + slot->imm;
+    uint64_t value = 0;
+    Fault f = memory_.Read(addr, slot->mem_width, &value);
+    if (!f.ok()) {
+      d_fault = f;
+      goto fault_deopt;
+    }
+    regs[slot->a] =
+        slot->mem_sign ? static_cast<uint64_t>(SignExtend(value, slot->mem_width))
+                       : value;
+    tk += cm.load;
+    regs[slot->a2] ^= regs[slot->b2];
+    tk += cm.alu;
+    MV_NEXT();
+  }
+  MV_OP(Exec) : {
+    // Copy out before Execute: a store (CALLR/CALLM stack push) into this
+    // block's own text evicts the block — and the trace with it — while the
+    // instruction is still executing. Execute() observes and charges
+    // core.ticks itself, so the accumulator flushes first.
+    const Insn insn = trace->exec_insns[slot->imm];
+    const uint32_t rb = slot->retired_before;
+    const bool ends = slot->ends;
+    core.ticks += tk;
+    tk = 0;
+    core.pc = slot->pc;
+    std::optional<VmExit> e = Execute(core, insn);
+    if (e.has_value()) {
+      uint64_t retired = rb;
+      if (e->kind == VmExit::Kind::kVmCall || e->kind == VmExit::Kind::kHalt) {
+        ++retired;
+      }
+      core.instret += retired;
+      *steps += retired;
+      if (e->kind == VmExit::Kind::kFault) {
+        ++threaded_deopts_;
+      }
+      return e;
+    }
+    if (ends || sb_epoch_ != epoch) {
+      // Terminator retired (pc already redirected by Execute), or a
+      // non-terminator's write evicted this block (pc already advanced).
+      core.instret += rb + 1;
+      *steps += rb + 1;
+      *evicted = sb_epoch_ != epoch;
+      if (!ends) {
+        ++threaded_deopts_;
+      }
+      return std::nullopt;
+    }
+    MV_NEXT();
+  }
+  MV_OP(End) : {
+    // Fell off the trace's end: the fall-through pc resumes via term_done
+    // (which may chain), or back in the dispatch loop (and, for a truncated
+    // lowering, in the interpreter).
+    core.pc = slot->pc;
+    goto term_done;
+  }
+
+#if !MV_THREADED_COMPUTED_GOTO
+  }
+  std::abort();  // unreachable: every token has a case
+#endif
+
+term_done:
+  // A terminator (always the last slot) retired the whole trace and set pc.
+  // If the successor hint already points at another compiled trace and the
+  // budget covers it, jump straight in: the hot steady state never re-enters
+  // the resolve loop. Probed runs never chain — the probe countdown's parked
+  // cursor must interleave with the dispatch loop to guarantee progress.
+  core.ticks += tk;
+  tk = 0;
+  core.instret += total;
+  *steps += total;
+  *evicted = sb_epoch_ != epoch;
+  if (!kProbed && !*evicted) {
+    Superblock* nb = block->succ;
+    if (nb != nullptr && block->succ_epoch == epoch &&
+        block->succ_pc == core.pc) {
+      ThreadedTrace* nt = nb->trace.get();
+      if (nt != nullptr && max_steps - *steps >= nt->total_retire) {
+        block = nb;
+        *pblock = nb;
+        trace = nt;
+        total = nt->total_retire;
+        slot = nt->slots.data();
+#if MV_THREADED_COMPUTED_GOTO
+        if (!nt->resolved) {
+          for (ThreadedSlot& s : nt->slots) {
+            s.handler = kLabels[static_cast<int>(s.top)];
+          }
+          nt->resolved = true;
+        }
+#endif
+        MV_JUMP();
+      }
+    }
+  }
+  return std::nullopt;
+
+fault_deopt : {
+  // Precise architectural state at the faulting instruction's boundary: the
+  // instructions before it retired, it did not. `slot` is still valid — a
+  // faulted access never wrote, so it cannot have evicted the block.
+  core.ticks += tk;
+  core.pc = slot->pc;
+  core.instret += slot->retired_before;
+  *steps += slot->retired_before;
+  ++threaded_deopts_;
+  d_fault.pc = slot->pc;
+  VmExit exit;
+  exit.kind = VmExit::Kind::kFault;
+  exit.fault = d_fault;
+  return exit;
+}
+
+evict_deopt:
+  // The handler's own memory write evicted this block (self-modifying code):
+  // the slot array is gone; d_npc/d_rb were copied out before the write. The
+  // instruction itself retired — resume at its fall-through in the
+  // interpreter, which rebuilds from coherent bytes.
+  core.ticks += tk;
+  core.pc = d_npc;
+  core.instret += d_rb + 1;
+  *steps += d_rb + 1;
+  *evicted = true;
+  ++threaded_deopts_;
+  return std::nullopt;
+
+forced_deopt:
+  // Probe countdown fired (kProbed only): hand the current slot boundary to
+  // the superblock interpreter with nothing retired from this slot. The
+  // parked cursor resumes mid-block, which also keeps the dispatch loop from
+  // re-entering the trace without progress.
+  threaded_probe_left_ = threaded_deopt_probe_;
+  {
+    SuperblockCursor& cursor = sb_cursors_[static_cast<size_t>(core_id)];
+    cursor.block = block;
+    cursor.index = slot->retired_before;
+    core.ticks += tk;
+    core.pc = slot->pc;
+    core.instret += slot->retired_before;
+    *steps += slot->retired_before;
+    ++threaded_deopts_;
+    return std::nullopt;
+  }
+}
+
+#undef MV_OP
+#undef MV_JUMP
+#undef MV_NEXT
+#undef MV_THREADED_COMPUTED_GOTO
+
+VmExit Vm::RunThreaded(int core_id, uint64_t max_steps) {
+  active_core_ = core_id;
+  if (core_epochs_[static_cast<size_t>(core_id)] != code_epoch_) {
+    ReconcileCore(core_id);
+  }
+  Core& core = cores_[static_cast<size_t>(core_id)];
+  SuperblockCursor& cursor = sb_cursors_[static_cast<size_t>(core_id)];
+  uint64_t steps = 0;
+  // The block whose walk just ended, for successor chaining (see
+  // RunSuperblock; hot traces additionally chain trace-to-trace inside the
+  // executor through the same hints).
+  Superblock* prev = nullptr;
+  // Any per-instruction observation disables the compiled tier entirely: the
+  // superblock walk is the oracle for stale-fetch verdicts and trace hooks.
+  const bool observing = stale_fetch_detection_ || trace_hook_ != nullptr;
+
+  while (true) {
+    // Budget before halt, like the legacy Run loop: an exhausted budget wins
+    // even on a halted core.
+    if (steps >= max_steps) {
+      VmExit exit;
+      exit.kind = VmExit::Kind::kStepLimit;
+      return exit;
+    }
+    if (core.halted) {
+      VmExit exit;
+      exit.kind = VmExit::Kind::kHalt;
+      return exit;
+    }
+
+    Superblock* block = nullptr;
+    size_t index = 0;
+    bool from_cursor = false;
+    if (cursor.block != nullptr && cursor.index < cursor.block->insns.size() &&
+        cursor.block->insns[cursor.index].pc == core.pc) {
+      block = cursor.block;
+      index = cursor.index;
+      from_cursor = true;
+    } else if (prev != nullptr && prev->succ != nullptr &&
+               prev->succ_epoch == sb_epoch_ && prev->succ_pc == core.pc) {
+      block = prev->succ;
+    } else {
+      VmExit fault_exit;
+      block = LookupOrBuildSuperblock(core_id, core.pc, &fault_exit);
+      if (block == nullptr) {
+        cursor.block = nullptr;
+        return fault_exit;
+      }
+      if (prev != nullptr) {
+        prev->succ = block;
+        prev->succ_pc = core.pc;
+        prev->succ_epoch = sb_epoch_;
+      }
+    }
+    cursor.block = nullptr;
+
+    // Compiled-trace entry. Only at the block's head, never from a parked
+    // cursor (a forced deopt parks the cursor at the deopt boundary: taking
+    // the interpreter for that resume guarantees forward progress).
+    if (!observing && index == 0 && !from_cursor) {
+      if (block->trace == nullptr &&
+          ++block->entries == kThreadedPromotionThreshold) {
+        BuildThreadedTrace(block);
+        if (block->trace != nullptr) {
+          ++threaded_promotions_;
+        }
+      }
+      if (ThreadedTrace* trace = block->trace.get()) {
+        if (max_steps - steps >= trace->total_retire) {
+          bool evicted = false;
+          std::optional<VmExit> exit =
+              threaded_deopt_probe_ != 0
+                  ? ExecThreadedTrace<true>(core_id, core, &block, max_steps,
+                                            &steps, &evicted)
+                  : ExecThreadedTrace<false>(core_id, core, &block, max_steps,
+                                             &steps, &evicted);
+          if (exit.has_value()) {
+            return *exit;
+          }
+          prev = evicted ? nullptr : block;
+          continue;
+        }
+        // Budget shorter than the trace: deopt to the interpreter, which
+        // honours the mid-block step limit precisely.
+        ++threaded_deopts_;
+      }
+    }
+
+    VmExit wexit;
+    const WalkResult walked =
+        WalkSuperblock(core_id, core, block, index, max_steps, &steps, &wexit);
+    if (walked == WalkResult::kExit) {
+      return wexit;
+    }
+    prev = walked == WalkResult::kEvicted ? nullptr : block;
+  }
+}
+
+}  // namespace mv

@@ -1,0 +1,166 @@
+// Threaded-code execution tier: hot superblocks lowered to direct-dispatch
+// handler chains.
+//
+// A superblock that Run dispatch has entered kThreadedPromotionThreshold
+// times is lowered once into a ThreadedTrace — a contiguous array of slots,
+// each carrying a pre-resolved handler (a computed-goto label address under
+// GCC/Clang, a handler token elsewhere) plus fully pre-decoded operands:
+// register indices, sign-extended immediates, memory-access shape, the slot's
+// own pc, its fall-through pc and its taken-branch target. Execution is then
+// one indirect jump per slot — no icache probe, no Insn copy, no per-
+// instruction budget/fill/pc bookkeeping, no switch. Common pairs are macro-
+// fused into one slot (CMP+Jcc, CMPI+Jcc, load+ALU), halving dispatches on
+// branchy loop code while keeping the architectural flag updates and the
+// branch predictor keyed at the Jcc's own pc.
+//
+// Equivalence contract (the three-engine differential suite pins this):
+// every handler mirrors the superblock fast walk instruction for instruction
+// — same tick charges, same operation order, same fault construction — and
+// every exit from a trace (fault, HLT/VMCALL/BKPT, self-modifying write that
+// evicts the running block, forced deopt probe, entry-time budget shortfall)
+// lands at a precise architectural state: pc at the instruction boundary,
+// instret/ticks/flags/predictor state bit-identical to what the superblock
+// interpreter would hold at the same boundary. Instruction retirement is
+// batched (each slot records how many instructions retired before it), so
+// the common path pays zero per-slot bookkeeping yet deopt restores exact
+// counts.
+//
+// Patchability: traces record a site-pc -> slot map for every host-side
+// patch point (registered by the livepatch layer at attach and commit time)
+// that falls inside the lowered range. All protocol writes funnel through
+// the memory code-write observer, which evicts the owning superblock —
+// destroying the trace with it — so a commit invalidates compiled code
+// through exactly the same epoch-gated scoped-eviction path (succ_epoch /
+// core_epochs) that keeps the superblock tier coherent; the map exists so
+// commits on compiled code are observable (threaded_patchpoint_commits).
+#ifndef MULTIVERSE_SRC_VM_THREADED_H_
+#define MULTIVERSE_SRC_VM_THREADED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace mv {
+
+// Entries into a block at element 0 before it is lowered. Low enough that
+// steady-state loops promote almost immediately, high enough that one-shot
+// straight-line code never pays the (one-time) lowering cost.
+inline constexpr uint32_t kThreadedPromotionThreshold = 8;
+
+// Handler tokens. One per direct handler; everything rare or exit-producing
+// routes through kExec (the shared Execute() switch, the single source of
+// truth for those ops). kEnd is the sentinel slot terminating every trace.
+enum class ThreadedOp : uint8_t {
+  kMovRI,
+  kMovRR,
+  kLoad,
+  kStore,
+  kLdg,
+  kStg,
+  kAdd,
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kSar,
+  kAddI,
+  kSubI,
+  kMulI,
+  kAndI,
+  kOrI,
+  kXorI,
+  kShlI,
+  kShrI,
+  kSarI,
+  kNot,
+  kNeg,
+  kCmp,
+  kCmpI,
+  kSetCC,
+  kJmp,
+  kJcc,
+  kCall,
+  kRet,
+  kPush,
+  kPop,
+  kNop,
+  kPause,
+  kFence,
+  kSti,
+  kCli,
+  kXchg,
+  kRdtsc,
+  kHypercall,
+  // Macro-fused pairs (retire two instructions per dispatch).
+  kCmpJcc,    // CMP ra, rb ; Jcc
+  kCmpIJcc,   // CMPI ra, imm ; Jcc
+  kLoadAdd,   // LD ra, [rb+imm] ; ADD ra2, rb2
+  kLoadSub,
+  kLoadAnd,
+  kLoadOr,
+  kLoadXor,
+  // Fallback to the shared Execute() switch (divisions, CALLR/CALLM, HLT,
+  // VMCALL, BKPT, invalid encodings).
+  kExec,
+  // Sentinel: restore pc to the fall-through address, retire the whole
+  // trace, return to the dispatch loop.
+  kEnd,
+  kNumOps,
+};
+
+// Exactly one cache line: the executor streams through slots, and two slots
+// per line halves the dispatch-path misses relative to a naive layout. The
+// raw Insn a kExec slot needs lives in the trace's side array (indexed by
+// `imm`), not here.
+struct ThreadedSlot {
+  // Pre-resolved handler address for the computed-goto executor. Resolved
+  // lazily at the trace's first execution (label addresses are local to the
+  // executor function); the token-switch fallback and the probed executor
+  // dispatch on `top` instead.
+  const void* handler = nullptr;
+  // insn.imm bit pattern (handlers cast to signed where the fast walk does);
+  // for kExec slots, the index into ThreadedTrace::exec_insns.
+  uint64_t imm = 0;
+  uint64_t pc = 0;           // this slot's first instruction
+  uint64_t npc = 0;          // fall-through pc (after the *last* fused insn)
+  uint64_t tpc = 0;          // taken-branch / call target
+  uint64_t pc2 = 0;          // fused Jcc's own pc: the branch-predictor key
+  // Instructions retired before this slot — equals the owning block's insns[]
+  // index of the slot's first instruction, which is what makes batched
+  // retirement and cursor-precise deopt possible.
+  uint32_t retired_before = 0;
+  ThreadedOp top = ThreadedOp::kEnd;
+  uint8_t a = 0;
+  uint8_t b = 0;
+  Cond cc = Cond::kEq;       // Jcc/SetCC condition (the Jcc's for fused pairs)
+  uint8_t mem_width = 0;     // memory-access shape, as in SuperblockInsn
+  bool mem_sign = false;
+  uint8_t a2 = 0;            // fused second op's register operands
+  uint8_t b2 = 0;
+  bool ends = false;         // kExec only: EndsSuperblock(insn.op)
+};
+static_assert(sizeof(ThreadedSlot) <= 64, "slot must fit one cache line");
+
+// Host-side patch point lowered into this trace: the registered site range
+// and the slot whose instruction range contains it.
+struct ThreadedPatchSite {
+  uint64_t addr = 0;
+  uint64_t len = 0;
+  uint32_t slot = 0;
+};
+
+struct ThreadedTrace {
+  std::vector<ThreadedSlot> slots;  // terminated by a kEnd sentinel
+  uint32_t total_retire = 0;        // instructions retired by a full run
+  bool resolved = false;            // slot handlers resolved to label addrs
+  std::vector<ThreadedPatchSite> patch_sites;
+  std::vector<Insn> exec_insns;     // raw instructions for kExec slots
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_VM_THREADED_H_

@@ -5,6 +5,7 @@
 
 #include "src/support/faultpoint.h"
 #include "src/support/str.h"
+#include "src/vm/threaded.h"
 
 namespace mv {
 
@@ -167,6 +168,17 @@ uint64_t Vm::EvictSuperblocksOnCore(int core_id, uint64_t lo, uint64_t hi) {
   uint64_t evicted = 0;
   for (auto it = cache.begin(); it != cache.end();) {
     if (it->second->Overlaps(lo, hi)) {
+      // A compiled trace dies with its block. When the invalidated range hits
+      // a registered patch point lowered into the trace, this is a live
+      // commit landing on compiled code — the observable event the
+      // site-pc -> slot map exists for.
+      if (const ThreadedTrace* trace = it->second->trace.get()) {
+        for (const ThreadedPatchSite& site : trace->patch_sites) {
+          if (site.addr < hi && lo < site.addr + site.len) {
+            ++threaded_patchpoint_commits_;
+          }
+        }
+      }
       it = cache.erase(it);
       ++sb_evicted_;
       ++evicted;
@@ -175,6 +187,20 @@ uint64_t Vm::EvictSuperblocksOnCore(int core_id, uint64_t lo, uint64_t hi) {
     }
   }
   return evicted;
+}
+
+void Vm::RegisterPatchPoint(uint64_t addr, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  auto it = std::lower_bound(
+      patch_points_.begin(), patch_points_.end(), addr,
+      [](const CodeRange& r, uint64_t a) { return r.addr < a; });
+  if (it != patch_points_.end() && it->addr == addr) {
+    it->len = std::max(it->len, len);
+    return;
+  }
+  patch_points_.insert(it, CodeRange{addr, len});
 }
 
 void Vm::EvictSuperblocks(uint64_t lo, uint64_t hi) {
@@ -302,34 +328,11 @@ void Vm::FlushPredictors() {
   }
 }
 
-bool Vm::EvalCond(const Core& core, Cond cc) const {
-  switch (cc) {
-    case Cond::kEq:
-      return core.zf;
-    case Cond::kNe:
-      return !core.zf;
-    case Cond::kLt:
-      return core.lt_signed;
-    case Cond::kLe:
-      return core.lt_signed || core.zf;
-    case Cond::kGt:
-      return !(core.lt_signed || core.zf);
-    case Cond::kGe:
-      return !core.lt_signed;
-    case Cond::kB:
-      return core.lt_unsigned;
-    case Cond::kBe:
-      return core.lt_unsigned || core.zf;
-    case Cond::kA:
-      return !(core.lt_unsigned || core.zf);
-    case Cond::kAe:
-      return !core.lt_unsigned;
-  }
-  return false;
-}
-
 std::optional<VmExit> Vm::Step(int core_id) {
-  if (dispatch_engine_ == DispatchEngine::kSuperblock) {
+  // The threaded tier only accelerates Run: a single Step is one instruction
+  // by contract, so it goes through the superblock path (which shares the
+  // block caches with the threaded loop) and never enters a compiled trace.
+  if (dispatch_engine_ != DispatchEngine::kLegacy) {
     return StepSuperblock(core_id);
   }
   return StepLegacy(core_id);
@@ -410,6 +413,9 @@ std::optional<VmExit> Vm::StepLegacy(int core_id) {
 VmExit Vm::Run(int core_id, uint64_t max_steps) {
   if (dispatch_engine_ == DispatchEngine::kSuperblock) {
     return RunSuperblock(core_id, max_steps);
+  }
+  if (dispatch_engine_ == DispatchEngine::kThreaded) {
+    return RunThreaded(core_id, max_steps);
   }
   for (uint64_t i = 0; i < max_steps; ++i) {
     std::optional<VmExit> exit = StepLegacy(core_id);
@@ -1160,6 +1166,35 @@ VmExit Vm::RunSuperblock(int core_id, uint64_t max_steps) {
       prev = evicted ? nullptr : block;
     }
   }
+}
+
+Vm::WalkResult Vm::WalkSuperblock(int core_id, Core& core, Superblock* block,
+                                  size_t index, uint64_t max_steps,
+                                  uint64_t* steps, VmExit* exit) {
+  SuperblockCursor& cursor = sb_cursors_[static_cast<size_t>(core_id)];
+  const size_t n = block->insns.size();
+  while (index < n && block->insns[index].pc == core.pc) {
+    if (*steps >= max_steps) {
+      // Park the cursor so a later Run/Step resumes without a probe.
+      cursor.block = block;
+      cursor.index = index;
+      exit->kind = VmExit::Kind::kStepLimit;
+      return WalkResult::kExit;
+    }
+    bool block_live = true;
+    std::optional<VmExit> e =
+        DispatchSuperblockInsn(core_id, core, block, index, &block_live);
+    ++*steps;
+    if (e.has_value()) {
+      *exit = *e;
+      return WalkResult::kExit;
+    }
+    if (!block_live) {
+      return WalkResult::kEvicted;
+    }
+    ++index;
+  }
+  return WalkResult::kEndOfBlock;
 }
 
 std::optional<VmExit> Vm::Execute(Core& core, const Insn& insn) {

@@ -124,6 +124,36 @@ class Vm {
   uint64_t superblock_evictions() const { return sb_evicted_; }
   uint64_t superblock_entries() const;
 
+  // Threaded-tier observability (bench/tests). Promotions counts blocks
+  // lowered to threaded code; deopts counts every transfer out of a compiled
+  // trace back to the superblock interpreter short of normal completion
+  // (fault, self-modifying write, entry-time budget shortfall, forced probe);
+  // patchpoint commits counts registered host patch points whose compiled
+  // trace was invalidated by a commit write or flush.
+  uint64_t threaded_promotions() const { return threaded_promotions_; }
+  uint64_t threaded_deopts() const { return threaded_deopts_; }
+  uint64_t threaded_patchpoint_commits() const {
+    return threaded_patchpoint_commits_;
+  }
+
+  // Registers a host-side patch point: a code range the livepatch layer may
+  // rewrite at commit time. Traces lowered over the range record a
+  // site-pc -> slot map (ThreadedTrace::patch_sites); evicting such a trace
+  // because a commit rewrote the range increments
+  // threaded_patchpoint_commits(). Idempotent; ranges never unregister (the
+  // descriptor table is immutable post-attach).
+  void RegisterPatchPoint(uint64_t addr, uint64_t len);
+  const std::vector<CodeRange>& patch_points() const { return patch_points_; }
+
+  // Test knob: when n > 0, the threaded executor forcibly deopts to the
+  // superblock interpreter before every n-th slot it would dispatch. The
+  // deopt-at-every-slot sweep uses this to prove each slot boundary restores
+  // bit-identical interpreter state. 0 disables (default).
+  void set_threaded_deopt_probe(uint64_t n) {
+    threaded_deopt_probe_ = n;
+    threaded_probe_left_ = n;
+  }
+
   // Selects how code modifications invalidate other cores' superblock caches
   // (default: scoped). Switching modes first drains every queued range so no
   // core can observe a mode change as a lost invalidation.
@@ -220,7 +250,33 @@ class Vm {
   };
 
   std::optional<VmExit> Execute(Core& core, const Insn& insn);
-  bool EvalCond(const Core& core, Cond cc) const;
+
+  // Inline: on every conditional branch of every engine's hot path.
+  bool EvalCond(const Core& core, Cond cc) const {
+    switch (cc) {
+      case Cond::kEq:
+        return core.zf;
+      case Cond::kNe:
+        return !core.zf;
+      case Cond::kLt:
+        return core.lt_signed;
+      case Cond::kLe:
+        return core.lt_signed || core.zf;
+      case Cond::kGt:
+        return !(core.lt_signed || core.zf);
+      case Cond::kGe:
+        return !core.lt_signed;
+      case Cond::kB:
+        return core.lt_unsigned;
+      case Cond::kBe:
+        return core.lt_unsigned || core.zf;
+      case Cond::kA:
+        return !(core.lt_unsigned || core.zf);
+      case Cond::kAe:
+        return !core.lt_unsigned;
+    }
+    return false;
+  }
 
   // Legacy engine: one icache probe per instruction.
   std::optional<VmExit> StepLegacy(int core_id);
@@ -228,6 +284,19 @@ class Vm {
   // Superblock engine (see superblock.h for the equivalence argument).
   std::optional<VmExit> StepSuperblock(int core_id);
   VmExit RunSuperblock(int core_id, uint64_t max_steps);
+  // One block's per-instruction walk through DispatchSuperblockInsn — the
+  // legacy-equivalent oracle path. The threaded Run loop uses it for
+  // everything a compiled trace cannot take: cold blocks, mid-block resumes,
+  // budget tails shorter than the trace, and observed execution (stale-fetch
+  // detection / trace hook). A step-limit parks the cursor at the boundary.
+  enum class WalkResult : uint8_t {
+    kExit,        // *exit holds the result (fault/halt/vmcall/bkpt/steplimit)
+    kEvicted,     // an instruction evicted its own block; re-resolve
+    kEndOfBlock,  // walked off the block's end; block still live
+  };
+  WalkResult WalkSuperblock(int core_id, Core& core, Superblock* block,
+                            size_t index, uint64_t max_steps, uint64_t* steps,
+                            VmExit* exit);
   Superblock* LookupOrBuildSuperblock(int core_id, uint64_t pc, VmExit* fault_exit);
   // Dispatches block->insns[index]; `core.pc` must equal that element's pc.
   // Sets *block_live to false when the instruction evicted its own block
@@ -236,6 +305,27 @@ class Vm {
   std::optional<VmExit> DispatchSuperblockInsn(int core_id, Core& core,
                                                Superblock* block, size_t index,
                                                bool* block_live);
+  // Threaded tier (threaded.h / threaded.cc). Step never enters compiled
+  // traces — single-stepping goes through the superblock path — so the
+  // threaded engine only changes Run dispatch.
+  VmExit RunThreaded(int core_id, uint64_t max_steps);
+  // Lowers `block` into a ThreadedTrace (or the longest filled prefix).
+  // No-op if the entry element was never dispatched.
+  void BuildThreadedTrace(Superblock* block);
+  // Executes (*pblock)->trace from slot 0, chaining trace-to-trace through
+  // the successor hints while the step budget lasts (the fast instantiation
+  // only). Returns an exit, or nullopt when the dispatch loop should
+  // re-resolve at core.pc (trace completed with no compiled successor,
+  // deopted, or was evicted — *evicted distinguishes the last). *pblock is
+  // left at the last block executed, for the caller's chaining hint. kProbed
+  // adds the forced-deopt countdown; the fast instantiation pays nothing for
+  // it.
+  template <bool kProbed>
+  std::optional<VmExit> ExecThreadedTrace(int core_id, Core& core,
+                                          Superblock** pblock,
+                                          uint64_t max_steps, uint64_t* steps,
+                                          bool* evicted);
+
   void OnCodeModified(uint64_t addr, uint64_t len);
   void OnCodeProtected(uint64_t addr, uint64_t len, bool lost_exec);
   void EvictSuperblocks(uint64_t lo, uint64_t hi);
@@ -288,6 +378,14 @@ class Vm {
   std::vector<PendingInvalidation> sb_pending_;
   int active_core_ = 0;
   uint64_t sb_protect_skips_ = 0;
+
+  // Threaded-tier state (counters documented at the accessors above).
+  uint64_t threaded_promotions_ = 0;
+  uint64_t threaded_deopts_ = 0;
+  uint64_t threaded_patchpoint_commits_ = 0;
+  uint64_t threaded_deopt_probe_ = 0;
+  uint64_t threaded_probe_left_ = 0;
+  std::vector<CodeRange> patch_points_;  // sorted by addr, deduped
 };
 
 }  // namespace mv

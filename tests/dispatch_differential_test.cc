@@ -1,12 +1,14 @@
-// Dual-engine differential tests: every scenario runs once under the legacy
-// per-instruction engine and once under the superblock engine, and the two
-// runs must produce byte-identical transcripts — final architectural state of
-// every core (registers, pc, flags), exit reasons, fault streams, simulated
-// cycle counts (quarter-cycle ticks, so rounding cannot hide a divergence),
-// retired-instruction counts, predictor counters and RDTSC readings.
+// Three-engine differential tests: every scenario runs once under the legacy
+// per-instruction engine, once under the superblock engine and once under the
+// threaded-code tier, and all runs must produce byte-identical transcripts —
+// final architectural state of every core (registers, pc, flags), exit
+// reasons, fault streams, simulated cycle counts (quarter-cycle ticks, so
+// rounding cannot hide a divergence), retired-instruction counts, predictor
+// counters and RDTSC readings.
 //
-// This is the proof obligation for src/vm/superblock.h: the superblock
-// engine is allowed to be faster on the host, and nothing else.
+// This is the proof obligation for src/vm/superblock.h and src/vm/threaded.h:
+// the block-dispatch tiers are allowed to be faster on the host, and nothing
+// else.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -71,14 +73,16 @@ std::string ExitTranscript(const VmExit& exit) {
 }
 
 // A scenario maps an engine to a transcript. Each test runs the scenario
-// twice and diffs the transcripts; gtest's string diff pinpoints the first
-// divergent line.
+// once per engine and diffs the transcripts against the legacy reference;
+// gtest's string diff pinpoints the first divergent line.
 using ScenarioFn = std::function<std::string(DispatchEngine)>;
 
 void ExpectEngineAgreement(const ScenarioFn& scenario) {
   const std::string legacy = scenario(DispatchEngine::kLegacy);
   const std::string superblock = scenario(DispatchEngine::kSuperblock);
-  EXPECT_EQ(legacy, superblock);
+  EXPECT_EQ(legacy, superblock) << "legacy vs superblock";
+  const std::string threaded = scenario(DispatchEngine::kThreaded);
+  EXPECT_EQ(legacy, threaded) << "legacy vs threaded";
 }
 
 // Raw-VM harness mirroring tests/vm_test.cc, plus an unflushed-write knob
@@ -138,22 +142,27 @@ TEST(DispatchDifferentialTest, WarmLoopWithCallsAndStack) {
             MakeMovRI(2, 200),           // 10 bytes
             MakeMovRI(3, kText + 0x100),  // 10 bytes at +10
             MakeCall(rel),               // 5 bytes at +20
-            MakeCallR(3),                // 2 bytes at +25
-            MakePush(0),                 // 2 bytes at +27
-            MakePop(4),                  // 2 bytes at +29
-            MakeMovRI(5, kData),         // 10 bytes at +31
-            MakeAluRR(Op::kXchg, 4, 5),  // 3 bytes at +41
-            MakeAluRI(Op::kSubI, 2, 1),  // 6 bytes at +44
-            MakeCmpI(2, 0),              // 6 bytes at +50
-            MakeJcc(Cond::kNe, -41),     // 6 bytes at +56: back to +20
+            MakeCallR(3),                // 5 bytes at +25
+            MakePush(0),                 // 2 bytes at +30
+            MakePop(4),                  // 2 bytes at +32
+            MakeMovRI(5, kData),         // 10 bytes at +34
+            MakeAluRR(Op::kXchg, 4, 5),  // 3 bytes at +44
+            MakeAluRI(Op::kSubI, 2, 1),  // 6 bytes at +47
+            MakeCmpI(2, 0),              // 6 bytes at +53
+            MakeJcc(Cond::kNe, -45),     // 6 bytes at +59: back to +20
             MakeSimple(Op::kHlt),
         },
         kText);
     raw.Reset();
     const VmExit exit = raw.Run();
     std::string transcript = ExitTranscript(exit) + CoreTranscript(raw.vm());
-    if (engine == DispatchEngine::kSuperblock) {
+    if (engine != DispatchEngine::kLegacy) {
       EXPECT_GT(raw.vm().superblocks_built(), 0u);
+    }
+    if (engine == DispatchEngine::kThreaded) {
+      // 200 iterations through an 8-entry promotion threshold: the hot loop
+      // must actually have been compiled.
+      EXPECT_GT(raw.vm().threaded_promotions(), 0u);
     }
     return transcript;
   });
@@ -195,11 +204,11 @@ TEST(DispatchDifferentialTest, RdtscReadsIdenticalMidLoop) {
             MakeMovRI(0, 8),              // iterations, 10 bytes
             MakeMovRI(1, kData),          // 10 bytes at +10
             MakeRdtsc(2),                 // 2 bytes at +20
-            MakeStore(Op::kSt64, 2, 1, 0),  // 6 bytes at +22
-            MakeAluRI(Op::kAddI, 1, 8),   // 6 bytes at +28
-            MakeAluRI(Op::kSubI, 0, 1),   // 6 bytes at +34
-            MakeCmpI(0, 0),               // 6 bytes at +40
-            MakeJcc(Cond::kNe, -31),      // 6 bytes at +46: back to +20
+            MakeStore(Op::kSt64, 2, 1, 0),  // 7 bytes at +22
+            MakeAluRI(Op::kAddI, 1, 8),   // 6 bytes at +29
+            MakeAluRI(Op::kSubI, 0, 1),   // 6 bytes at +35
+            MakeCmpI(0, 0),               // 6 bytes at +41
+            MakeJcc(Cond::kNe, -33),      // 6 bytes at +47: back to +20
             MakeSimple(Op::kHlt),
         },
         kText);
@@ -315,12 +324,12 @@ TEST(DispatchDifferentialTest, TwoCoreRoundRobinStepTrace) {
         {
             MakeMovRI(0, 50),             // 10
             MakeMovRI(1, kData),          // 10 at +10
-            MakeLoad(Op::kLd64, 2, 1, 0),  // 6 at +20
-            MakeAluRI(Op::kAddI, 2, 1),   // 6 at +26
-            MakeStore(Op::kSt64, 2, 1, 0),  // 6 at +32
-            MakeAluRI(Op::kSubI, 0, 1),   // 6 at +38
-            MakeCmpI(0, 0),               // 6 at +44
-            MakeJcc(Cond::kNe, -36),      // 6 at +50: back to +20
+            MakeLoad(Op::kLd64, 2, 1, 0),  // 7 at +20
+            MakeAluRI(Op::kAddI, 2, 1),   // 6 at +27
+            MakeStore(Op::kSt64, 2, 1, 0),  // 7 at +33
+            MakeAluRI(Op::kSubI, 0, 1),   // 6 at +40
+            MakeCmpI(0, 0),               // 6 at +46
+            MakeJcc(Cond::kNe, -38),      // 6 at +52: back to +20
             MakeSimple(Op::kHlt),
         },
         kText);
@@ -330,11 +339,11 @@ TEST(DispatchDifferentialTest, TwoCoreRoundRobinStepTrace) {
             MakeMovRI(1, kData),          // 10 at +10
             MakeMovRI(3, 1),              // 10 at +20
             MakeAluRR(Op::kXchg, 3, 1),   // 3 at +30 (atomic, counts atomics)
-            MakeLoad(Op::kLd64, 2, 1, 0),  // 6 at +33
-            MakeAluRR(Op::kAdd, 4, 2),    // 3 at +39
-            MakeAluRI(Op::kSubI, 0, 1),   // 6 at +42
-            MakeCmpI(0, 0),               // 6 at +48
-            MakeJcc(Cond::kNe, -29),      // 6 at +54: back to +30
+            MakeLoad(Op::kLd64, 2, 1, 0),  // 7 at +33
+            MakeAluRR(Op::kAdd, 4, 2),    // 3 at +40
+            MakeAluRI(Op::kSubI, 0, 1),   // 6 at +43
+            MakeCmpI(0, 0),               // 6 at +49
+            MakeJcc(Cond::kNe, -31),      // 6 at +55: back to +30
             MakeSimple(Op::kHlt),
         },
         kText + 0x200);
@@ -470,18 +479,22 @@ TEST(DispatchDifferentialTest, MidRunEngineSwitchMatchesPureRuns) {
   build(pure);
   const std::string reference = scenario(pure.vm(), pure, [] {});
 
-  for (DispatchEngine start :
-       {DispatchEngine::kLegacy, DispatchEngine::kSuperblock}) {
-    const DispatchEngine other = start == DispatchEngine::kLegacy
-                                     ? DispatchEngine::kSuperblock
-                                     : DispatchEngine::kLegacy;
-    RawVm switched(start);
-    build(switched);
-    const std::string transcript = scenario(
-        switched.vm(), switched, [&] { switched.vm().SetDispatchEngine(other); });
-    EXPECT_EQ(reference, transcript)
-        << "switch " << DispatchEngineName(start) << " -> "
-        << DispatchEngineName(other);
+  constexpr DispatchEngine kEngines[] = {DispatchEngine::kLegacy,
+                                         DispatchEngine::kSuperblock,
+                                         DispatchEngine::kThreaded};
+  for (DispatchEngine start : kEngines) {
+    for (DispatchEngine other : kEngines) {
+      if (start == other) {
+        continue;
+      }
+      RawVm switched(start);
+      build(switched);
+      const std::string transcript = scenario(
+          switched.vm(), switched, [&] { switched.vm().SetDispatchEngine(other); });
+      EXPECT_EQ(reference, transcript)
+          << "switch " << DispatchEngineName(start) << " -> "
+          << DispatchEngineName(other);
+    }
   }
 }
 

@@ -1,9 +1,9 @@
 // Randomized self-modifying-code differential test: seeded sequences of
 //   { patch a text slot, flush-or-suppress the icache broadcast,
 //     execute some steps, switch the executing core }
-// are replayed under the legacy and superblock dispatch engines, and the
-// full per-action transcripts (exit reasons, stale-fetch verdicts, per-core
-// registers, tick counters) must be byte-identical.
+// are replayed under the legacy, superblock and threaded dispatch engines,
+// and the full per-action transcripts (exit reasons, stale-fetch verdicts,
+// per-core registers, tick counters) must be byte-identical.
 //
 // This is the hostile half of the differential suite: the scenarios in
 // dispatch_differential_test.cc pin the happy paths, while these sequences
@@ -193,6 +193,10 @@ TEST_P(DispatchSelfModRandomTest, EnginesAgreeOnStaleVerdicts) {
       RunScenario(seed, detect, DispatchEngine::kSuperblock);
   EXPECT_EQ(legacy.transcript, superblock.transcript);
   EXPECT_EQ(legacy.stale_fetches, superblock.stale_fetches);
+  const ScenarioResult threaded =
+      RunScenario(seed, detect, DispatchEngine::kThreaded);
+  EXPECT_EQ(legacy.transcript, threaded.transcript);
+  EXPECT_EQ(legacy.stale_fetches, threaded.stale_fetches);
   if (detect) {
     // The sequences must actually exercise the detector, or the "identical
     // verdicts" property is vacuous. Across ~120 actions with coin-flip

@@ -4,7 +4,9 @@
 // (plain runtime, quiescence, breakpoint) and both dispatch engines. After
 // each injected fault the image must behave bit-identically to the
 // fully-generic or the fully-committed program — never a mixture — and a
-// disarmed retry of a failed commit must succeed.
+// disarmed retry of a failed commit must succeed. All three dispatch
+// engines are swept: the threaded tier's compiled traces must tear down as
+// cleanly as interpreted superblocks under every protocol's fault points.
 //
 // Stale-fetch detection stays on for the whole sweep, so a recovery that
 // restored bytes but skipped an invalidation is caught as a fault, not
@@ -253,12 +255,21 @@ INSTANTIATE_TEST_SUITE_P(
                                   CommitPath::kQuiescence},
                       SweepConfig{DispatchEngine::kSuperblock,
                                   CommitPath::kBreakpoint},
+                      SweepConfig{DispatchEngine::kThreaded, CommitPath::kPlain},
+                      SweepConfig{DispatchEngine::kThreaded,
+                                  CommitPath::kQuiescence},
+                      SweepConfig{DispatchEngine::kThreaded,
+                                  CommitPath::kBreakpoint},
                       SweepConfig{DispatchEngine::kLegacy, CommitPath::kWaitFree},
                       SweepConfig{DispatchEngine::kSuperblock,
+                                  CommitPath::kWaitFree},
+                      SweepConfig{DispatchEngine::kThreaded,
                                   CommitPath::kWaitFree},
                       SweepConfig{DispatchEngine::kLegacy, CommitPath::kPlain,
                                   /*warm_cache=*/true},
                       SweepConfig{DispatchEngine::kSuperblock, CommitPath::kPlain,
+                                  /*warm_cache=*/true},
+                      SweepConfig{DispatchEngine::kThreaded, CommitPath::kPlain,
                                   /*warm_cache=*/true}),
     ConfigName);
 

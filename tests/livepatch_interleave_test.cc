@@ -374,7 +374,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          CommitProtocol::kWaitFree),
                        ::testing::Values(1, 2),
                        ::testing::Values(DispatchEngine::kLegacy,
-                                         DispatchEngine::kSuperblock)),
+                                         DispatchEngine::kSuperblock,
+                                         DispatchEngine::kThreaded)),
     [](const ::testing::TestParamInfo<std::tuple<CommitProtocol, int, DispatchEngine>>&
            info) {
       return std::string(CommitProtocolName(std::get<0>(info.param))) + "_x" +
@@ -459,7 +460,8 @@ TEST(LivepatchInterleaveUnsafeTest, UnsafeBaselineTearsAtSomeCommitPoint) {
   // may never make the unsafe baseline accidentally safe (or differently
   // unsafe) — that would mean the engine altered fetch semantics.
   for (DispatchEngine engine :
-       {DispatchEngine::kLegacy, DispatchEngine::kSuperblock}) {
+       {DispatchEngine::kLegacy, DispatchEngine::kSuperblock,
+        DispatchEngine::kThreaded}) {
     const SweepResult result =
         Sweep(CommitProtocol::kUnsafe, 2, /*flush_icache=*/true, engine);
     EXPECT_GT(result.anomaly, 0)

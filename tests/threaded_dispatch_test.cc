@@ -1,0 +1,199 @@
+// Threaded-tier-specific tests (src/vm/threaded.h): the deopt-at-every-slot
+// sweep, promotion-threshold behaviour, patch-point commit observability and
+// mid-block step-budget parity.
+//
+// The three-engine differential suite (dispatch_differential_test.cc) proves
+// the happy paths agree; this file drives the threaded executor's *exits*.
+// The forced-deopt probe (Vm::set_threaded_deopt_probe) counts dispatches
+// and deopts the trace at the Nth slot boundary, so sweeping N over a range
+// wider than any trace forces a transfer out of compiled code at every slot
+// of every trace — each of which must land at a bit-identical architectural
+// state to the superblock interpreter running the same program.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/support/str.h"
+#include "src/vm/superblock.h"
+#include "src/vm/threaded.h"
+#include "src/vm/vm.h"
+
+namespace mv {
+namespace {
+
+constexpr uint64_t kText = 0x1000;
+constexpr uint64_t kData = 0x8000;
+constexpr uint64_t kStackTop = 0x20000;
+
+std::string CoreTranscript(const Vm& vm) {
+  std::string out;
+  for (int i = 0; i < vm.num_cores(); ++i) {
+    const Core& c = vm.core(i);
+    out += StrFormat("core %d: pc=%llx halted=%d zf=%d lts=%d ltu=%d\n", i,
+                     (unsigned long long)c.pc, c.halted ? 1 : 0, c.zf ? 1 : 0,
+                     c.lt_signed ? 1 : 0, c.lt_unsigned ? 1 : 0);
+    out += "  regs:";
+    for (int r = 0; r < kNumRegs; ++r) {
+      out += StrFormat(" %llx", (unsigned long long)c.regs[r]);
+    }
+    out += StrFormat(
+        "\n  ticks=%llu instret=%llu condbr=%llu condmiss=%llu retmiss=%llu "
+        "atomics=%llu\n",
+        (unsigned long long)c.ticks, (unsigned long long)c.instret,
+        (unsigned long long)c.cond_branches,
+        (unsigned long long)c.cond_mispredicts,
+        (unsigned long long)c.ret_mispredicts,
+        (unsigned long long)c.atomic_ops);
+  }
+  return out;
+}
+
+class ThreadedVm {
+ public:
+  explicit ThreadedVm(DispatchEngine engine) : vm_(0x40000, 1) {
+    vm_.SetDispatchEngine(engine);
+    EXPECT_TRUE(vm_.memory().Protect(kText, 0x4000, kPermRead | kPermExec).ok());
+    EXPECT_TRUE(vm_.memory().Protect(kData, 0x4000, kPermRead | kPermWrite).ok());
+    EXPECT_TRUE(vm_.memory()
+                    .Protect(0x10000, kStackTop - 0x10000, kPermRead | kPermWrite)
+                    .ok());
+  }
+
+  void Assemble(const std::vector<Insn>& insns, uint64_t addr) {
+    std::vector<uint8_t> bytes;
+    for (const Insn& insn : insns) {
+      Result<int> size = Encode(insn, &bytes);
+      EXPECT_TRUE(size.ok()) << size.status().ToString();
+    }
+    EXPECT_TRUE(vm_.memory().WriteRaw(addr, bytes.data(), bytes.size()).ok());
+    vm_.FlushIcache(addr, bytes.size());
+  }
+
+  std::string Run(uint64_t max_steps = 100000) {
+    Core& c = vm_.core(0);
+    c.pc = kText;
+    c.halted = false;
+    c.regs[kRegSP] = kStackTop - 16;
+    const VmExit exit = vm_.Run(0, max_steps);
+    return "exit " + exit.ToString() + "\n" + CoreTranscript(vm_);
+  }
+
+  Vm& vm() { return vm_; }
+
+ private:
+  Vm vm_;
+};
+
+// A loop body exercising every handler family the executor has paths through:
+// plain ALU, fused load+ALU, stores (the self-eviction check), push/pop,
+// RDTSC (tick-accumulator flush), and a fused CMPI+Jcc terminator.
+std::vector<Insn> SweepProgram(int64_t iterations) {
+  return {
+      MakeMovRI(0, iterations),       // 10 bytes
+      MakeMovRI(1, kData),            // 10 bytes at +10
+      MakeMovRI(2, 7),                // 10 bytes at +20
+      // Loop head at +30.
+      MakeStore(Op::kSt64, 2, 1, 0),  // 7 bytes at +30
+      MakeLoad(Op::kLd64, 3, 1, 0),   // 7 bytes at +37
+      MakeAluRR(Op::kAdd, 3, 2),      // 3 bytes at +44 (fuses into LoadAdd)
+      MakePush(3),                    // 2 bytes at +47
+      MakePop(4),                     // 2 bytes at +49
+      MakeRdtsc(5),                   // 2 bytes at +51
+      MakeAluRI(Op::kAndI, 5, 1023),  // 6 bytes at +53
+      MakeStore(Op::kSt64, 5, 1, 8),  // 7 bytes at +59
+      MakeAluRI(Op::kSubI, 0, 1),     // 6 bytes at +66
+      MakeCmpI(0, 0),                 // 6 bytes at +72 (fuses into CmpIJcc)
+      MakeJcc(Cond::kNe, -54),        // 6 bytes at +78: back to +30
+      MakeSimple(Op::kHlt),           // at +84
+  };
+}
+
+// The acceptance sweep: force a deopt at every slot of every compiled trace
+// and require the post-deopt state to be bit-identical to the superblock
+// interpreter. Probe value n deopts at the n-th dispatched slot (then every
+// n-th after that), so sweeping n past the widest trace hits every slot
+// index in every trace, at shifting loop iterations.
+TEST(ThreadedDispatchTest, DeoptAtEverySlotMatchesSuperblock) {
+  ThreadedVm reference(DispatchEngine::kSuperblock);
+  reference.Assemble(SweepProgram(50), kText);
+  const std::string expected = reference.Run();
+
+  // Fast path (no probe) first.
+  {
+    ThreadedVm fast(DispatchEngine::kThreaded);
+    fast.Assemble(SweepProgram(50), kText);
+    EXPECT_EQ(expected, fast.Run()) << "unprobed threaded run diverged";
+    EXPECT_GT(fast.vm().threaded_promotions(), 0u);
+  }
+
+  for (uint64_t probe = 1; probe <= 64; ++probe) {
+    ThreadedVm probed(DispatchEngine::kThreaded);
+    probed.vm().set_threaded_deopt_probe(probe);
+    probed.Assemble(SweepProgram(50), kText);
+    EXPECT_EQ(expected, probed.Run()) << "probe=" << probe;
+    EXPECT_GT(probed.vm().threaded_promotions(), 0u) << "probe=" << probe;
+    EXPECT_GT(probed.vm().threaded_deopts(), 0u) << "probe=" << probe;
+  }
+}
+
+// A block below the promotion threshold must never be lowered; past it, the
+// hot loop must be.
+TEST(ThreadedDispatchTest, PromotionRequiresThreshold) {
+  {
+    ThreadedVm cold(DispatchEngine::kThreaded);
+    cold.Assemble(SweepProgram(kThreadedPromotionThreshold / 2), kText);
+    cold.Run();
+    EXPECT_EQ(cold.vm().threaded_promotions(), 0u);
+  }
+  {
+    ThreadedVm hot(DispatchEngine::kThreaded);
+    hot.Assemble(SweepProgram(8 * kThreadedPromotionThreshold), kText);
+    hot.Run();
+    EXPECT_GT(hot.vm().threaded_promotions(), 0u);
+  }
+}
+
+// Patch-point observability: an invalidation that lands on a registered
+// patch point lowered into a live trace counts as a patch-point commit on
+// compiled code; an invalidation elsewhere in the same block does not.
+TEST(ThreadedDispatchTest, PatchPointCommitsOnCompiledCodeAreCounted) {
+  ThreadedVm t(DispatchEngine::kThreaded);
+  // Register before promotion so the builder lowers the site into the trace:
+  // the load instruction at +37 inside the loop body.
+  t.vm().RegisterPatchPoint(kText + 37, 5);
+  t.Assemble(SweepProgram(50), kText);
+  t.Run();
+  ASSERT_GT(t.vm().threaded_promotions(), 0u);
+  EXPECT_EQ(t.vm().threaded_patchpoint_commits(), 0u);
+
+  // Commit-shaped invalidation over the patch point: observable.
+  t.vm().FlushIcache(kText + 37, 1);
+  EXPECT_EQ(t.vm().threaded_patchpoint_commits(), 1u);
+
+  // Re-promote, then invalidate a range inside the block but away from the
+  // registered site: evicts the trace, but is not a patch-point commit.
+  t.Run();
+  ASSERT_GT(t.vm().threaded_promotions(), 1u);
+  t.vm().FlushIcache(kText + 66, 1);
+  EXPECT_EQ(t.vm().threaded_patchpoint_commits(), 1u);
+}
+
+// Mid-run step budgets: every budget value must stop at exactly the same
+// architectural boundary as the superblock interpreter, whether that lands
+// before a trace entry (entry guard deopt) or mid-block.
+TEST(ThreadedDispatchTest, StepBudgetParityAtEveryBoundary) {
+  for (uint64_t budget = 1; budget <= 120; ++budget) {
+    ThreadedVm sb(DispatchEngine::kSuperblock);
+    sb.Assemble(SweepProgram(50), kText);
+    const std::string expected = sb.Run(budget);
+
+    ThreadedVm tc(DispatchEngine::kThreaded);
+    tc.Assemble(SweepProgram(50), kText);
+    EXPECT_EQ(expected, tc.Run(budget)) << "budget=" << budget;
+  }
+}
+
+}  // namespace
+}  // namespace mv

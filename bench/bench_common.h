@@ -117,6 +117,22 @@ class BenchReport {
     threaded_patchpoint_commits_ += patchpoint_commits;
   }
 
+  // Commit-storm scheduler accounting (src/core/commit_scheduler.h). Carried
+  // as top-level "storm_flips_submitted" / "storm_flips_elided_null" /
+  // "storm_plans_committed" / "storm_batch_p99_cycles" fields in every --json
+  // document so perf-smoke can assert the coalescing ratio and the bounded
+  // batch latency without parsing per-row metric labels. The p99 field is a
+  // gauge: the worst batch p99 any recorded outcome reported.
+  void RecordStorm(uint64_t flips_submitted, uint64_t flips_elided_null,
+                   uint64_t plans_committed, double batch_p99_cycles) {
+    storm_flips_submitted_ += flips_submitted;
+    storm_flips_elided_null_ += flips_elided_null;
+    storm_plans_committed_ += plans_committed;
+    if (batch_p99_cycles > storm_batch_p99_cycles_) {
+      storm_batch_p99_cycles_ = batch_p99_cycles;
+    }
+  }
+
   // Superblock invalidation accounting: evictions incurred by the same
   // workload under the broadcast baseline vs. scoped (epoch-gated, word-
   // granular) invalidation. Carried at top level in every --json document so
@@ -160,6 +176,14 @@ class BenchReport {
                  (unsigned long long)threaded_deopts_);
     std::fprintf(f, "  \"threaded_patchpoint_commits\": %llu,\n",
                  (unsigned long long)threaded_patchpoint_commits_);
+    std::fprintf(f, "  \"storm_flips_submitted\": %llu,\n",
+                 (unsigned long long)storm_flips_submitted_);
+    std::fprintf(f, "  \"storm_flips_elided_null\": %llu,\n",
+                 (unsigned long long)storm_flips_elided_null_);
+    std::fprintf(f, "  \"storm_plans_committed\": %llu,\n",
+                 (unsigned long long)storm_plans_committed_);
+    std::fprintf(f, "  \"storm_batch_p99_cycles\": %.10g,\n",
+                 storm_batch_p99_cycles_);
     std::fprintf(f, "  \"configs_covered\": %llu,\n",
                  (unsigned long long)configs_covered_);
     std::fprintf(f, "  \"varexec_forks\": %llu,\n",
@@ -233,6 +257,10 @@ class BenchReport {
   uint64_t configs_covered_ = 0;
   uint64_t varexec_forks_ = 0;
   uint64_t varexec_merges_ = 0;
+  uint64_t storm_flips_submitted_ = 0;
+  uint64_t storm_flips_elided_null_ = 0;
+  uint64_t storm_plans_committed_ = 0;
+  double storm_batch_p99_cycles_ = 0;
 };
 
 // Convenience forwarder for bench bodies.
@@ -267,6 +295,9 @@ inline void RecordCommitOutcome(const CommitStats& stats) {
   BenchReport::Instance().RecordTxn(stats.rollbacks, stats.retries);
   BenchReport::Instance().RecordDisturbance(stats.disturbance_cycles,
                                             stats.parked_cycles);
+  BenchReport::Instance().RecordStorm(
+      stats.storm_flips_submitted, stats.storm_flips_elided_null,
+      stats.storm_plans_committed, stats.storm_batch_p99_cycles);
 }
 
 inline void PrintHeader(const char* experiment, const char* paper_ref) {

@@ -1,0 +1,167 @@
+#include "src/core/commit_scheduler.h"
+
+#include <algorithm>
+
+#include "src/core/runtime.h"
+#include "src/support/str.h"
+
+namespace mv {
+
+double StormStats::BatchP99Cycles() const {
+  if (batch_cycles.empty()) {
+    return 0;
+  }
+  std::vector<double> sorted = batch_cycles;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  size_t index = (99 * n + 99) / 100;  // ceil(0.99 * n)
+  if (index > n) {
+    index = n;
+  }
+  return sorted[index - 1];
+}
+
+double StormStats::CoalescingRatio() const {
+  if (plans_committed == 0) {
+    return static_cast<double>(flips_submitted);
+  }
+  return static_cast<double>(flips_submitted) /
+         static_cast<double>(plans_committed);
+}
+
+CommitStats StormStats::Summary() const {
+  CommitStats summary = commit;
+  summary.storm_flips_submitted = flips_submitted;
+  summary.storm_flips_elided_null = flips_elided_null;
+  summary.storm_plans_committed = plans_committed;
+  summary.storm_batch_p99_cycles = BatchP99Cycles();
+  return summary;
+}
+
+CommitScheduler::CommitScheduler(Program* program, const StormOptions& options)
+    : program_(program), options_(options) {
+  if (!options_.write_switch) {
+    // Descriptor-width write, not a blanket 8-byte store: switches narrower
+    // than 8 bytes may have live neighbours in the data section.
+    options_.write_switch = [this](const std::string& name, int64_t value) {
+      int width = 8;
+      for (const RtVariable& var : program_->runtime().table().variables) {
+        if (var.name == name) {
+          width = static_cast<int>(var.width);
+          break;
+        }
+      }
+      return program_->WriteGlobal(name, value, width);
+    };
+  }
+  if (!options_.commit) {
+    options_.commit = [this]() -> Result<BatchCommitResult> {
+      MV_ASSIGN_OR_RETURN(const CommitOutcome outcome,
+                          program_->runtime().CommitWithOutcome());
+      BatchCommitResult result;
+      result.stats = outcome.stats;
+      return result;  // the plain path has no modelled patch clock
+    };
+  }
+  // Elision baseline: the signature of the text the program runs right now.
+  // Valid only at a committed fixpoint; when the signature is unreadable the
+  // baseline stays unset and the first drain commits unconditionally.
+  Result<std::vector<uint64_t>> signature =
+      program_->runtime().SelectionSignatureNow();
+  if (signature.ok()) {
+    committed_signature_ = std::move(*signature);
+    have_signature_ = true;
+  }
+}
+
+Status CommitScheduler::Submit(const std::string& name, int64_t value,
+                               double now_cycles) {
+  ++stats_.flips_submitted;
+  if (now_cycles < busy_until_) {
+    // A drain is still in flight at this modelled instant: the submission is
+    // accepted (slots, not queues), but it waited on the busy scheduler —
+    // the latency a sustained storm pays, bounded by window + batch commit.
+    ++stats_.backpressure_waits;
+  }
+  const bool was_idle = pending_.empty();
+  auto [slot, inserted] = pending_.insert_or_assign(name, value);
+  (void)slot;
+  if (!inserted) {
+    ++stats_.flips_coalesced;  // last writer wins inside the window
+  }
+  stats_.max_queue_depth =
+      std::max<uint64_t>(stats_.max_queue_depth, pending_.size());
+  if (was_idle) {
+    // The window opens when the scheduler can actually see the submission:
+    // after the in-flight drain retires, never before.
+    window_deadline_ =
+        std::max(now_cycles, busy_until_) + options_.window_cycles;
+  }
+  return Status::Ok();
+}
+
+Result<bool> CommitScheduler::Poll(double now_cycles) {
+  if (pending_.empty() || now_cycles < window_deadline_) {
+    return false;
+  }
+  return Drain(now_cycles);
+}
+
+Result<bool> CommitScheduler::Flush(double now_cycles) {
+  if (pending_.empty()) {
+    return false;
+  }
+  return Drain(now_cycles);
+}
+
+Result<bool> CommitScheduler::Drain(double now_cycles) {
+  // Apply the debounced values first: plain data writes (journaled as
+  // write-ahead intent when the caller's write hook does so). The selection
+  // signature below is computed over these final values — intermediate
+  // values a slot absorbed never existed as far as the commit path knows.
+  for (const auto& [name, value] : pending_) {
+    Status written = options_.write_switch(name, value);
+    if (!written.ok()) {
+      return Status(written.code(),
+                    StrFormat("storm drain: switch '%s': %s", name.c_str(),
+                              written.message().c_str()));
+    }
+  }
+  MV_ASSIGN_OR_RETURN(std::vector<uint64_t> signature,
+                      program_->runtime().SelectionSignatureNow());
+  if (options_.elide_null_flips && have_signature_ &&
+      signature == committed_signature_) {
+    // Null batch: every surviving flip selects exactly the code already
+    // installed, so the committed text is bit-identical to what a commit
+    // would produce. Drop the whole batch without planning a patch.
+    stats_.flips_elided_null += pending_.size();
+    ++stats_.batches_drained;
+    ++stats_.batches_elided;
+    pending_.clear();
+    window_deadline_ = 0;
+    return true;
+  }
+  Result<BatchCommitResult> committed = options_.commit();
+  if (!committed.ok()) {
+    // The transaction rolled the text back; the written values stay in data
+    // and the slots stay pending, so the next Poll/Flush retries the same
+    // coalesced batch. A fresh window keeps the retry off the hot path.
+    ++stats_.commit_failures;
+    window_deadline_ = now_cycles + options_.window_cycles;
+    return committed.status();
+  }
+  const double effective_now = std::max(now_cycles, busy_until_);
+  ++stats_.plans_committed;
+  ++stats_.batches_drained;
+  stats_.batch_cycles.push_back(committed->commit_cycles);
+  stats_.busy_cycles += committed->commit_cycles;
+  stats_.commit.Accumulate(committed->stats);
+  busy_until_ = effective_now + committed->commit_cycles;
+  committed_signature_ = std::move(signature);
+  have_signature_ = true;
+  pending_.clear();
+  window_deadline_ = 0;
+  return true;
+}
+
+}  // namespace mv

@@ -1,0 +1,172 @@
+// CommitScheduler — the commit-storm front end of the transactional commit
+// path (docs/INTERNALS.md §18).
+//
+// Every commit path below this layer handles one configuration transition at
+// a time; the paper's premise is one flip per epoch (thread create/exit, CPU
+// hotplug). A production control plane is nothing like that: thousands of
+// switch-flip requests per second arrive from config pushes, autoscalers and
+// per-tenant overrides — and "Small Yet Configurable" (PAPERS.md) observes
+// that a large fraction of them are *null*: the new values select exactly the
+// code already installed. Committing each flip individually burns a journaled
+// plan (and a protocol rendezvous) per flip and stalls the request loop; the
+// scheduler turns the stream into bounded batches:
+//
+//   debounce   Submissions land in a per-switch pending slot, last writer
+//              wins. A slot absorbs any number of re-submissions within the
+//              window at zero commit cost — the queue depth is bounded by
+//              the number of switches, never by the storm rate.
+//   window     The first submission into an idle scheduler opens a window of
+//              `window_cycles`; Poll() closes it once the deadline passes
+//              (Flush() closes it immediately). Closing drains every pending
+//              slot in one shot.
+//   elide      After the drained values are written, the selection signature
+//              (runtime.h SelectionSignatureNow) is compared with the
+//              signature of the last committed state. Equal signatures mean
+//              the committed text is already bit-identical to what a commit
+//              would produce — the whole batch is null and is dropped
+//              without planning a single patch. Soundness: committed text is
+//              a pure function of the selection signature, not of the raw
+//              switch values; the values themselves are ordinary data writes
+//              that need no patching.
+//   coalesce   A batch that does change the signature commits ONCE — one
+//              journaled plan (served from the plan cache when warm, applied
+//              through PageWriteBatch), whatever the protocol — so N flips
+//              cost one commit: the coalescing ratio.
+//   backpressure  The scheduler models its own occupancy: a drain charges
+//              its commit latency to `busy_until`, and submissions arriving
+//              while a drain is still in flight are accounted as
+//              backpressure waits and start the next window only after the
+//              drain retires. Sustained storms therefore degrade to one
+//              bounded batch per (window + commit) period instead of an
+//              unbounded queue.
+//
+// The scheduler is deliberately protocol-agnostic: the commit callback
+// performs one full coalesced commit (default: the runtime's plain
+// transactional Commit()); callers that must not disturb mutator cores wrap
+// multiverse_commit_live with kWaitFree. The write callback defaults to
+// descriptor-width global writes; the fleet passes Fleet::WriteSwitch so
+// every drained value still lands in the durable write-ahead journal first.
+//
+// Failure contract: a drain whose commit fails (rolled back by the journal)
+// KEEPS its pending slots — the switch values are already written, the text
+// is restored, and the next Poll/Flush retries the same coalesced batch.
+// Queued flips survive rollback; the fault sweep asserts it at every fault
+// point.
+#ifndef MULTIVERSE_SRC_CORE_COMMIT_SCHEDULER_H_
+#define MULTIVERSE_SRC_CORE_COMMIT_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/commit_stats.h"
+#include "src/core/program.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+// What one coalesced batch commit cost: the reusable health counters plus the
+// modelled latency the scheduler charges to its busy clock (plain commits
+// have no patch clock and report 0).
+struct BatchCommitResult {
+  CommitStats stats;
+  double commit_cycles = 0;
+};
+
+struct StormOptions {
+  // Debounce window in modelled cycles: how long the first submission into an
+  // idle scheduler waits for companions before the batch drains. At the
+  // nominal 3 GHz clock the default is ~20 microseconds.
+  double window_cycles = 60'000;
+  // Drop batches whose selection signature is unchanged (null flips). Off
+  // only for measurement baselines — elision is always sound.
+  bool elide_null_flips = true;
+  // Writes one drained value. Default: descriptor-width WriteGlobal on the
+  // scheduler's program. The fleet substitutes Fleet::WriteSwitch so the
+  // write-ahead intent record lands in the durable journal.
+  std::function<Status(const std::string& name, int64_t value)> write_switch;
+  // Performs ONE coalesced commit over the values just written. Default: the
+  // plain transactional Commit() (plan cache + PageWriteBatch underneath).
+  // Live callers wrap multiverse_commit_live and report CommitCycles().
+  std::function<Result<BatchCommitResult>()> commit;
+};
+
+// Monotonic scheduler accounting. flips_submitted counts every Submit();
+// flips_coalesced the submissions absorbed by an already-pending slot;
+// flips_elided_null the pending slots dropped by whole-batch null elision.
+// plans_committed counts the journaled plans actually applied — the
+// denominator of the coalescing ratio.
+struct StormStats {
+  uint64_t flips_submitted = 0;
+  uint64_t flips_coalesced = 0;
+  uint64_t flips_elided_null = 0;
+  uint64_t plans_committed = 0;
+  uint64_t batches_drained = 0;  // windows closed (committed or elided)
+  uint64_t batches_elided = 0;
+  uint64_t commit_failures = 0;  // drains rolled back (slots retained)
+  uint64_t backpressure_waits = 0;
+  uint64_t max_queue_depth = 0;  // peak pending slots (bounded by #switches)
+  double busy_cycles = 0;        // summed modelled commit latency
+  std::vector<double> batch_cycles;  // per-committed-batch latency samples
+  CommitStats commit;                // accumulated commit outcomes
+
+  double BatchP99Cycles() const;
+  // flips per journaled plan; flips_submitted when no plan was needed at all
+  // (an all-null storm coalesces infinitely — reported as the flip count).
+  double CoalescingRatio() const;
+  // The storm counters folded into the reusable CommitStats so one
+  // RecordCommitOutcome / InstanceHealth accumulation carries them.
+  CommitStats Summary() const;
+};
+
+class CommitScheduler {
+ public:
+  // The program must be attached and at a committed fixpoint: the elision
+  // baseline is seeded from the current selection signature, so "unchanged
+  // signature" means "text already bit-identical to a fresh commit".
+  CommitScheduler(Program* program, const StormOptions& options);
+
+  // Records one switch-flip request at modelled time `now_cycles`. Never
+  // blocks and never commits: last-writer-wins into the pending slot, and an
+  // idle scheduler opens its debounce window (deferred past the busy clock
+  // when a previous drain is still in flight — the backpressure bound).
+  Status Submit(const std::string& name, int64_t value, double now_cycles);
+
+  // Closes the window if its deadline has passed. Returns true when a drain
+  // ran (committed or elided). The caller's event loop is expected to Poll
+  // between requests; time only advances when the caller says it does.
+  Result<bool> Poll(double now_cycles);
+
+  // Forces the open window closed now — rollout barriers, shutdown, tests.
+  Result<bool> Flush(double now_cycles);
+
+  bool idle() const { return pending_.empty(); }
+  size_t pending_switches() const { return pending_.size(); }
+  // When the open window will drain (meaningful only while !idle()).
+  double window_deadline() const { return window_deadline_; }
+  // The modelled time until which the last drain keeps the scheduler busy.
+  double busy_until() const { return busy_until_; }
+  const StormStats& stats() const { return stats_; }
+
+ private:
+  // Writes every pending slot, evaluates the elision check, commits once.
+  Result<bool> Drain(double now_cycles);
+
+  Program* program_;
+  StormOptions options_;
+  // Pending slots, keyed by switch name: deterministic drain order and O(1)
+  // last-writer-wins coalescing.
+  std::map<std::string, int64_t> pending_;
+  double window_deadline_ = 0;
+  double busy_until_ = 0;
+  // Selection signature of the last committed text (the elision baseline).
+  std::vector<uint64_t> committed_signature_;
+  bool have_signature_ = false;
+  StormStats stats_;
+};
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_CORE_COMMIT_SCHEDULER_H_

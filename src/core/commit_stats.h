@@ -37,6 +37,18 @@ struct CommitStats {
   // because the plan contained a misaligned op.
   int waitfree_fallbacks = 0;
 
+  // Commit-storm scheduler accounting (src/core/commit_scheduler.h): raw
+  // flip submissions, submissions dropped because their debounced batch left
+  // the selection signature unchanged (null flips), and the journaled plans
+  // actually committed. flips_submitted / plans_committed is the coalescing
+  // ratio the storm bench headlines. Zero for paths that commit directly.
+  uint64_t storm_flips_submitted = 0;
+  uint64_t storm_flips_elided_null = 0;
+  uint64_t storm_plans_committed = 0;
+  // p99 of the scheduler's per-batch commit latency — a gauge, not a sum:
+  // Accumulate keeps the worst report, Delta carries the current value.
+  double storm_batch_p99_cycles = 0;
+
   void Accumulate(const CommitStats& other) {
     rollbacks += other.rollbacks;
     retries += other.retries;
@@ -44,6 +56,13 @@ struct CommitStats {
     parked_cycles += other.parked_cycles;
     superblock_evictions += other.superblock_evictions;
     waitfree_fallbacks += other.waitfree_fallbacks;
+    storm_flips_submitted += other.storm_flips_submitted;
+    storm_flips_elided_null += other.storm_flips_elided_null;
+    storm_plans_committed += other.storm_plans_committed;
+    storm_batch_p99_cycles =
+        storm_batch_p99_cycles > other.storm_batch_p99_cycles
+            ? storm_batch_p99_cycles
+            : other.storm_batch_p99_cycles;
   }
 
   CommitStats Delta(const CommitStats& since) const {
@@ -54,6 +73,11 @@ struct CommitStats {
     d.parked_cycles = parked_cycles - since.parked_cycles;
     d.superblock_evictions = superblock_evictions - since.superblock_evictions;
     d.waitfree_fallbacks = waitfree_fallbacks - since.waitfree_fallbacks;
+    d.storm_flips_submitted = storm_flips_submitted - since.storm_flips_submitted;
+    d.storm_flips_elided_null =
+        storm_flips_elided_null - since.storm_flips_elided_null;
+    d.storm_plans_committed = storm_plans_committed - since.storm_plans_committed;
+    d.storm_batch_p99_cycles = storm_batch_p99_cycles;  // gauge, not windowed
     return d;
   }
 };

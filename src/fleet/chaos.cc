@@ -1,17 +1,8 @@
 #include "src/fleet/chaos.h"
 
+#include "src/support/rng.h"
+
 namespace mv {
-
-namespace {
-
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 const char* ChaosEventKindName(ChaosEventKind kind) {
   switch (kind) {
@@ -40,7 +31,7 @@ ChaosEventKind ChaosSchedule::At(int wave, int instance, int attempt) const {
   // bits pick which. Retries draw at a quarter of the first-attempt odds so
   // bounded retry converges (transient faults), while a scripted schedule
   // can still starve every attempt.
-  const uint64_t h = Mix64(seed_ ^ Mix64(static_cast<uint64_t>(wave) * 0x9e37ull +
+  const uint64_t h = SplitMix64(seed_ ^ SplitMix64(static_cast<uint64_t>(wave) * 0x9e37ull +
                                          static_cast<uint64_t>(instance) * 0x51edull +
                                          static_cast<uint64_t>(attempt)));
   const int divisor = attempt <= 1 ? 1 : 4;
@@ -72,8 +63,8 @@ int ChaosSchedule::CrashHit(int wave, int instance, int attempt) const {
     return 0;  // scripted crashes must fire: the first boundary always exists
   }
   const uint64_t h =
-      Mix64(seed_ ^ 0x5c5c5c5cull ^
-            Mix64(static_cast<uint64_t>(wave) * 131ull +
+      SplitMix64(seed_ ^ 0x5c5c5c5cull ^
+            SplitMix64(static_cast<uint64_t>(wave) * 131ull +
                   static_cast<uint64_t>(instance) * 17ull +
                   static_cast<uint64_t>(attempt)));
   return static_cast<int>(h % 8);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "src/core/commit_scheduler.h"
 #include "src/support/faultpoint.h"
 #include "src/support/str.h"
 
@@ -95,8 +96,52 @@ Status CommitCoordinator::FlipInstance(int instance, int wave,
                       : FaultSite::kCrashTorn,
                   policy_.chaos->CrashHit(wave, instance, attempt));
   }
-  for (const auto& [name, value] : assignment) {
-    MV_RETURN_IF_ERROR(fleet_->WriteSwitch(instance, name, value));
+  // With a storm window, the assignment is routed through a CommitScheduler:
+  // switch writes debounce into per-switch slots, a batch whose selection
+  // signature is unchanged is elided without any commit, and the surviving
+  // deltas land as one coalesced plan. The scheduler's write hook is
+  // Fleet::WriteSwitch, so every drained value still journals its
+  // write-ahead intent; the commit hook is the same live commit the legacy
+  // path issues. `live` is captured by reference and fully configured below,
+  // before the Flush that can invoke it.
+  const bool storm = policy_.storm_window_cycles > 0;
+  LiveCommitOptions live = policy_.live;
+  std::optional<LiveCommitStats> live_stats;
+  std::optional<CommitScheduler> scheduler;
+  if (storm) {
+    StormOptions options;
+    options.window_cycles = policy_.storm_window_cycles;
+    // The scheduler's elision baseline is seeded from the CURRENT selection
+    // signature, which is only the committed text's signature while the
+    // instance sits at a committed fixpoint. Attempt 1 starts from one, but
+    // a retry follows a rolled-back attempt that already wrote the
+    // assignment values — the signature then describes the new config while
+    // the text is still old, and eliding would silently skip the flip.
+    options.elide_null_flips = (attempt == 1);
+    options.write_switch = [this, instance](const std::string& name,
+                                            int64_t value) {
+      return fleet_->WriteSwitch(instance, name, value);
+    };
+    options.commit = [this, instance, &live,
+                      &live_stats]() -> Result<BatchCommitResult> {
+      MV_ASSIGN_OR_RETURN(
+          LiveCommitStats stats,
+          multiverse_commit_live(&fleet_->program(instance).vm(),
+                                 &fleet_->runtime(instance), live));
+      live_stats = stats;
+      BatchCommitResult result;
+      result.stats = stats.Summary();
+      result.commit_cycles = stats.CommitCycles();
+      return result;
+    };
+    scheduler.emplace(&fleet_->program(instance), options);
+    for (const auto& [name, value] : assignment) {
+      MV_RETURN_IF_ERROR(scheduler->Submit(name, value, /*now_cycles=*/0));
+    }
+  } else {
+    for (const auto& [name, value] : assignment) {
+      MV_RETURN_IF_ERROR(fleet_->WriteSwitch(instance, name, value));
+    }
   }
   if (flip_hook_) {
     flip_hook_(instance, wave);
@@ -109,7 +154,6 @@ Status CommitCoordinator::FlipInstance(int instance, int wave,
         instance, load_fn, 1000 * static_cast<uint64_t>(wave + 1) + instance,
         policy_.inflight_requests, policy_.load_warmup_steps));
   }
-  LiveCommitOptions live = policy_.live;
   live.protocol = ProtocolFor(instance);
   live.mutator_cores = with_load ? std::vector<int>{1} : std::vector<int>{};
   // The flip is write-ahead logged in the instance's durable journal; live
@@ -125,29 +169,47 @@ Status CommitCoordinator::FlipInstance(int instance, int wave,
     live.txn.max_attempts = 1;
     wedge.emplace(FaultSite::kPatchWrite, 0);
   }
-  Result<LiveCommitStats> stats = multiverse_commit_live(
-      &fleet_->program(instance).vm(), &fleet_->runtime(instance), live);
-  if (!stats.ok()) {
-    if (IsSimulatedCrash(stats.status())) {
+  Status committed = Status::Ok();
+  if (storm) {
+    committed = scheduler->Flush(/*now_cycles=*/0).status();
+  } else {
+    Result<LiveCommitStats> stats = multiverse_commit_live(
+        &fleet_->program(instance).vm(), &fleet_->runtime(instance), live);
+    if (stats.ok()) {
+      live_stats = *stats;
+    } else {
+      committed = stats.status();
+    }
+  }
+  if (!committed.ok()) {
+    if (IsSimulatedCrash(committed)) {
       // The process is dead. Its in-flight batch died with it, and the torn
       // text is RecoverFromJournal's problem now, not DrainLoad's.
-      return stats.status();
+      return committed;
     }
     // The transaction rolled the text back (journal, reverse order); the
     // in-flight batch keeps running on the restored old text.
     (void)fleet_->DrainLoad(instance);
-    return stats.status();
+    return committed;
   }
   InstanceHealth& health = fleet_->metrics().instance(instance);
-  const double cycles = stats->CommitCycles();
+  // An elided batch is a successful flip with no commit: the assignment
+  // selected the code already installed.
+  const double cycles = live_stats.has_value() ? live_stats->CommitCycles() : 0;
   ++health.flips;
   health.flip_cycles += cycles;
   health.max_flip_cycles = std::max(health.max_flip_cycles, cycles);
-  health.commit.Accumulate(stats->Summary());
+  health.commit.Accumulate(storm ? scheduler->stats().Summary()
+                                 : live_stats->Summary());
+  const char* storm_note =
+      !storm ? "" : (live_stats.has_value() ? " (storm coalesced)" : " (storm elided)");
   log_.Append(RolloutEvent::Kind::kFlip, wave, instance,
-              StrFormat("%s, %.0f cycles%s", CommitProtocolName(live.protocol),
+              StrFormat("%s, %.0f cycles%s%s", CommitProtocolName(live.protocol),
                         cycles,
-                        stats->txn.rollbacks > 0 ? " (recovered by retry)" : ""));
+                        live_stats.has_value() && live_stats->txn.rollbacks > 0
+                            ? " (recovered by retry)"
+                            : "",
+                        storm_note));
   // A torn in-flight batch is a flip failure even though the commit landed:
   // the caller reverts the rollout.
   MV_RETURN_IF_ERROR(fleet_->DrainLoad(instance));

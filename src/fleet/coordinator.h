@@ -55,6 +55,15 @@ struct RolloutPolicy {
   uint64_t inflight_requests = 48;  // per-instance batch racing each flip
   uint64_t load_warmup_steps = 64;
 
+  // > 0 routes every flip through a CommitScheduler
+  // (src/core/commit_scheduler.h): the assignment's switch writes debounce
+  // in one window of this many modelled cycles, a batch whose selection
+  // signature is unchanged is elided without any commit, and the surviving
+  // deltas commit as one coalesced plan. The scheduler's storm counters ride
+  // the instance's CommitStats into FleetMetrics. 0 = the legacy direct
+  // write-then-commit path.
+  double storm_window_cycles = 0;
+
   // Protocol: per-instance PreferredProtocol() unless forced here.
   std::optional<CommitProtocol> protocol;
   // Base live-commit options (txn tuning, rendezvous budget); the

@@ -2,24 +2,11 @@
 
 #include <algorithm>
 
+#include "src/support/rng.h"
 #include "src/support/str.h"
 #include "src/vm/memory.h"
 
 namespace mv {
-
-namespace {
-
-// SplitMix64: the deterministic request-stream generator. Every slice of the
-// stream is a pure function of (stream_seed, cursor), so two runs of the same
-// fleet see the same tenants in the same order.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 std::string FleetRequestKernelSource() {
   return R"(__attribute__((multiverse)) int fast_path;
@@ -204,9 +191,12 @@ std::vector<Request> Fleet::GenerateRequests(uint64_t count) {
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t n = stream_cursor_++;
     Request request;
-    request.tenant = Mix64(options_.stream_seed ^ n) %
+    // SplitMix64 keyed on (stream_seed, cursor): every slice of the stream is
+    // a pure function of the pair, so two runs of the same fleet see the same
+    // tenants in the same order.
+    request.tenant = SplitMix64(options_.stream_seed ^ n) %
                      static_cast<uint64_t>(options_.tenants);
-    request.payload = Mix64(options_.stream_seed + 2 * n + 1) % 1024;
+    request.payload = SplitMix64(options_.stream_seed + 2 * n + 1) % 1024;
     requests.push_back(request);
   }
   return requests;

@@ -3,21 +3,32 @@
 #ifndef MULTIVERSE_SRC_SUPPORT_RNG_H_
 #define MULTIVERSE_SRC_SUPPORT_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mv {
 
+// SplitMix64 — the one stateless 64-bit mixer/stream generator shared by the
+// whole tree: Rng seeding below, the fleet's deterministic request stream
+// (src/fleet/fleet.cc), the chaos schedule's per-slot draws
+// (src/fleet/chaos.cc), and the storm scheduler's flip streams. Every value
+// is a pure function of the input, so any consumer that keys it on
+// (seed, index) gets a reproducible stream with random access.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) {
-    // splitmix64 seeding, as recommended by the xoshiro authors.
-    uint64_t x = seed;
-    for (uint64_t& s : state_) {
-      x += 0x9e3779b97f4a7c15ULL;
-      uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      s = z ^ (z >> 31);
+    // splitmix64 seeding, as recommended by the xoshiro authors. The
+    // increment is folded into SplitMix64 itself, so seeding is four
+    // consecutive draws of the (seed + k * golden-gamma) stream.
+    for (uint64_t i = 0; i < 4; ++i) {
+      state_[i] = SplitMix64(seed + i * 0x9e3779b97f4a7c15ULL);
     }
   }
 

@@ -20,6 +20,11 @@
 //     --live protocol      commit via the live-patching subsystem
 //                          (unsafe | quiescence | breakpoint | waitfree)
 //     --set name=value     write a global before commit/run (may repeat)
+//     --storm rate,secs    replay a deterministic switch-flip storm of `rate`
+//                          flips per virtual second for `secs` seconds
+//                          through the CommitScheduler (implies --commit)
+//     --storm-window N     scheduler debounce window in modelled cycles
+//                          (default 60000, ~20us at the nominal 3 GHz)
 //     --guest              run as a paravirtualized guest
 //     --dispatch engine    VM dispatch engine (legacy | superblock | threaded)
 //     --no-paranoid        trust the descriptor sections (skip validation)
@@ -37,11 +42,13 @@
 #include <string>
 #include <vector>
 
+#include "src/core/commit_scheduler.h"
 #include "src/core/descriptors.h"
 #include "src/core/program.h"
 #include "src/core/varprove.h"
 #include "src/isa/isa.h"
 #include "src/livepatch/livepatch.h"
+#include "src/support/rng.h"
 #include "src/support/str.h"
 #include "src/workloads/harness.h"
 
@@ -64,6 +71,9 @@ struct CliOptions {
   bool paranoid = true;
   bool plan_cache = true;
   DispatchEngine dispatch = DispatchEngine::kLegacy;
+  uint64_t storm_rate = 0;     // flips per virtual second; 0 = no storm
+  double storm_secs = 0;       // storm duration in virtual seconds
+  double storm_window = 60'000;  // scheduler debounce window, modelled cycles
   uint64_t trace = 0;
   std::string run_entry;
   std::string varexec_entry;
@@ -84,6 +94,13 @@ void Usage() {
                "  --live protocol    commit through the live-patching subsystem\n"
                "                     (unsafe | quiescence | breakpoint | waitfree);\n"
                "                     implies --commit\n"
+               "  --storm rate,secs  replay a deterministic flip storm of rate\n"
+               "                     flips per virtual second for secs seconds\n"
+               "                     through the CommitScheduler; implies\n"
+               "                     --commit (combine with --live to batch\n"
+               "                     through a live protocol)\n"
+               "  --storm-window N   debounce window in modelled cycles\n"
+               "                     (default 60000)\n"
                "  --guest            run as a paravirtualized guest\n"
                "  --paranoid         validate descriptor tables at attach (default)\n"
                "  --no-paranoid      trust the descriptor sections as emitted\n"
@@ -152,6 +169,26 @@ int Main(int argc, char** argv) {
       options.live = true;
       options.live_protocol = *protocol;
       options.commit = true;
+    } else if (arg == "--storm" && i + 1 < argc) {
+      char* rest = nullptr;
+      options.storm_rate = std::strtoull(argv[++i], &rest, 0);
+      if (options.storm_rate == 0 || rest == nullptr || *rest != ',') {
+        std::fprintf(stderr, "mvcc: bad --storm argument '%s' (want rate,secs)\n",
+                     argv[i]);
+        return 2;
+      }
+      options.storm_secs = std::strtod(rest + 1, nullptr);
+      if (options.storm_secs <= 0) {
+        std::fprintf(stderr, "mvcc: bad --storm duration in '%s'\n", argv[i]);
+        return 2;
+      }
+      options.commit = true;
+    } else if (arg == "--storm-window" && i + 1 < argc) {
+      options.storm_window = std::strtod(argv[++i], nullptr);
+      if (options.storm_window <= 0) {
+        std::fprintf(stderr, "mvcc: bad --storm-window '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (arg == "--guest") {
       options.guest = true;
     } else if (arg == "--paranoid") {
@@ -355,6 +392,88 @@ int Main(int argc, char** argv) {
                   "last failure: %s\n",
                   txn.attempts, txn.rollbacks, txn.retries, txn.last_failure.c_str());
     }
+  }
+
+  if (options.storm_rate > 0) {
+    const DescriptorTable& table = program.runtime().table();
+    if (table.variables.empty()) {
+      std::fprintf(stderr, "mvcc: --storm: program has no multiverse switches\n");
+      return 1;
+    }
+    StormOptions storm;
+    storm.window_cycles = options.storm_window;
+    if (options.live) {
+      const CommitProtocol protocol = options.live_protocol;
+      Program* prog = &program;
+      storm.commit = [prog, protocol]() -> Result<BatchCommitResult> {
+        LiveCommitOptions live;
+        live.protocol = protocol;
+        Result<LiveCommitStats> stats =
+            multiverse_commit_live(&prog->vm(), &prog->runtime(), live);
+        if (!stats.ok()) {
+          return stats.status();
+        }
+        BatchCommitResult result;
+        result.stats = stats->Summary();
+        result.commit_cycles = stats->CommitCycles();
+        return result;
+      };
+    }
+    CommitScheduler scheduler(&program, storm);
+
+    // A deterministic replayable storm: flip k lands at k / rate virtual
+    // seconds, targeting a SplitMix64-drawn switch with a 0/1 value.
+    const double inter_flip_cycles =
+        kNominalGHz * 1e9 / (double)options.storm_rate;
+    const uint64_t total_flips =
+        (uint64_t)((double)options.storm_rate * options.storm_secs);
+    Status storm_status = Status::Ok();
+    for (uint64_t k = 0; k < total_flips; ++k) {
+      const double now = (double)k * inter_flip_cycles;
+      Result<bool> drained = scheduler.Poll(now);
+      if (!drained.ok()) {
+        storm_status = drained.status();
+        break;
+      }
+      const uint64_t draw = SplitMix64(0x53746f726d5eedull ^ (k * 2 + 1));
+      const RtVariable& var = table.variables[draw % table.variables.size()];
+      storm_status =
+          scheduler.Submit(var.name, (int64_t)((draw >> 32) & 1), now);
+      if (!storm_status.ok()) {
+        break;
+      }
+    }
+    if (storm_status.ok()) {
+      storm_status =
+          scheduler.Flush(options.storm_secs * kNominalGHz * 1e9).status();
+    }
+    if (!storm_status.ok()) {
+      const bool rolled_back =
+          storm_status.ToString().find("rolled back") != std::string::npos;
+      std::fprintf(stderr, "mvcc: error: storm %s: %s\n",
+                   rolled_back ? "rolled back" : "failed",
+                   storm_status.ToString().c_str());
+      return rolled_back ? 3 : 1;
+    }
+    const StormStats& stats = scheduler.stats();
+    std::printf("storm [%llu flips/sec x %.3f sec, window=%.0f cycles]: "
+                "%llu submitted, %llu coalesced, %llu elided-null, "
+                "%llu plan(s), ratio %.1f\n",
+                (unsigned long long)options.storm_rate, options.storm_secs,
+                options.storm_window,
+                (unsigned long long)stats.flips_submitted,
+                (unsigned long long)stats.flips_coalesced,
+                (unsigned long long)stats.flips_elided_null,
+                (unsigned long long)stats.plans_committed,
+                stats.CoalescingRatio());
+    std::printf("storm-stats: batches=%llu elided-batches=%llu failures=%llu "
+                "backpressure-waits=%llu max-depth=%llu batch-p99=%.2f cycles\n",
+                (unsigned long long)stats.batches_drained,
+                (unsigned long long)stats.batches_elided,
+                (unsigned long long)stats.commit_failures,
+                (unsigned long long)stats.backpressure_waits,
+                (unsigned long long)stats.max_queue_depth,
+                stats.BatchP99Cycles());
   }
 
   if (!options.varexec_entry.empty()) {

@@ -47,6 +47,7 @@ struct CliOptions {
   std::optional<CommitProtocol> protocol;
   std::optional<uint64_t> chaos_seed;
   uint64_t commit_timeout = 0;
+  double storm_window = 0;  // > 0 routes flips through the CommitScheduler
   std::optional<int> quarantine_after;
   std::string handler = kFleetHandler;
   std::string load_fn = kFleetLoadFn;
@@ -88,6 +89,10 @@ void Usage() {
       "                       (crashes, wedged cores, slow commits, dropped\n"
       "                       health reports); same seed, same havoc. Implies\n"
       "                       --quarantine-after 2 unless given explicitly\n"
+      "  --storm-window N     route every flip through the CommitScheduler:\n"
+      "                       the assignment's switch writes debounce in one\n"
+      "                       N-cycle window, null batches are elided, the\n"
+      "                       rest commit as one coalesced plan (0 = off)\n"
       "  --commit-timeout C   per-instance commit deadline in modelled cycles;\n"
       "                       a commit past the deadline is a strike (0 = off)\n"
       "  --quarantine-after N park an instance on its pre-rollout config after\n"
@@ -271,6 +276,12 @@ int Main(int argc, char** argv) {
       options.chaos_seed = std::strtoull(next("--chaos"), nullptr, 0);
     } else if (arg == "--commit-timeout") {
       options.commit_timeout = std::strtoull(next("--commit-timeout"), nullptr, 0);
+    } else if (arg == "--storm-window") {
+      options.storm_window = std::strtod(next("--storm-window"), nullptr);
+      if (options.storm_window <= 0) {
+        std::fprintf(stderr, "mvfleet: bad --storm-window '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (arg == "--quarantine-after") {
       options.quarantine_after = std::atoi(next("--quarantine-after"));
     } else if (arg == "--handler") {
@@ -363,6 +374,7 @@ int Main(int argc, char** argv) {
   policy.observe_requests = options.requests;
   policy.inflight_requests = options.inflight;
   policy.protocol = options.protocol;
+  policy.storm_window_cycles = options.storm_window;
   policy.commit_timeout_cycles = options.commit_timeout;
   // --chaos without an explicit --quarantine-after defaults to 2 strikes:
   // chaos without a quarantine path would turn every persistent injected

@@ -1,0 +1,169 @@
+#include "src/workloads/server.h"
+
+#include "src/vm/vm.h"
+
+namespace mv {
+
+namespace {
+
+// The server kernel. Every operational knob follows the musl pattern: the
+// switch gates a block whose off-variant is empty, so a committed "off"
+// NOP-eradicates the whole feature from the call sites.
+constexpr char kServerSource[] = R"(
+__attribute__((multiverse)) int srv_log_enabled;
+__attribute__((multiverse)) int srv_checksum_on;
+__attribute__((multiverse)) int srv_trace_on;
+__attribute__((multiverse)) int srv_multi_worker;
+
+int queue_lock_word;
+int bg_lock_word;
+long served;
+long log_bytes;
+long trace_events;
+long checksum_acc;
+unsigned char logbuf[4096];
+long logpos;
+
+__attribute__((multiverse))
+void srv_lock(int* l) {
+  if (srv_multi_worker) {
+    while (__builtin_xchg(l, 1)) {
+      __builtin_pause();
+    }
+  }
+}
+
+// Deliberately NOT gated on srv_multi_worker: the storm commits at arbitrary
+// points, including while a worker sits inside its critical section. A
+// guarded unlock elided by such a commit would leak the held lock and wedge
+// the shard when locking is later re-enabled; an unconditional store-zero is
+// idempotent under every interleaving (releasing an untaken lock writes the
+// value it already has). Only the expensive half — the xchg spin in
+// srv_lock — is worth eliding anyway.
+void srv_unlock(int* l) {
+  *l = 0;
+}
+
+__attribute__((multiverse))
+void srv_log(long tenant, long payload) {
+  if (srv_log_enabled) {
+    logbuf[logpos & 4095] = (unsigned char)(tenant ^ payload);
+    logpos = logpos + 1;
+    log_bytes = log_bytes + 1;
+  }
+}
+
+__attribute__((multiverse))
+void srv_trace(long marker) {
+  if (srv_trace_on) {
+    trace_events = trace_events + marker;
+  }
+}
+
+__attribute__((multiverse))
+long srv_checksum(long payload) {
+  long sum;
+  long i;
+  sum = 0;
+  if (srv_checksum_on) {
+    for (i = 0; i < 8; i = i + 1) {
+      sum = sum * 31 + ((payload >> (i * 8)) & 255);
+    }
+    checksum_acc = checksum_acc + sum;
+  }
+  return sum;
+}
+
+// One request: lock the worker shard's queue, do the fixed-cost application
+// work, run the optional features, publish completion. The application work
+// (a short mixing loop) dominates when all switches are off — that is the
+// flat-p99 baseline. Each worker shard owns its queue lock, so a shard
+// parked mid-request (core 1 between scheduler drains) never deadlocks the
+// event loop — the lock guards the shard's queue, not the server.
+long handle_request_on(long tenant, long payload, int* l) {
+  long work;
+  long i;
+  srv_trace(1);
+  srv_lock(l);
+  work = payload;
+  for (i = 0; i < 16; i = i + 1) {
+    work = work * 6364136223846793005 + tenant;
+    work = work ^ (work >> 29);
+  }
+  srv_checksum(work);
+  srv_log(tenant, work);
+  served = served + 1;
+  srv_unlock(l);
+  srv_trace(-1);
+  return work;
+}
+
+long handle_request(long tenant, long payload) {
+  return handle_request_on(tenant, payload, &queue_lock_word);
+}
+
+// Background batch for the second core (its own shard lock): the mutator the
+// live protocols must not disturb while storms commit.
+long serve_batch(long base, long n) {
+  long i;
+  long acc;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    acc = acc + handle_request_on(base + (i & 7),
+                                  base * 2862933555777941757 + i,
+                                  &bg_lock_word);
+  }
+  return acc;
+}
+
+void bench_requests(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+    handle_request(i & 7, i * 40503 + 9);
+  }
+}
+
+void bench_empty(long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1) {
+  }
+}
+)";
+
+}  // namespace
+
+std::string ServerSource() { return kServerSource; }
+
+const std::vector<std::string>& ServerSwitches() {
+  static const std::vector<std::string>* kSwitches = new std::vector<std::string>{
+      "srv_log_enabled", "srv_checksum_on", "srv_trace_on", "srv_multi_worker"};
+  return *kSwitches;
+}
+
+Result<std::unique_ptr<Program>> BuildServer(int cores) {
+  BuildOptions options;
+  options.vm_cores = cores;
+  MV_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                      Program::Build({{"server", kServerSource}}, options));
+  // Commit the initial all-off configuration so the program starts at a
+  // committed fixpoint (the CommitScheduler's elision baseline).
+  Result<PatchStats> committed = program->runtime().Commit();
+  if (!committed.ok()) {
+    return committed.status();
+  }
+  return program;
+}
+
+Result<double> ServeRequestCycles(Program* program, uint64_t tenant,
+                                  uint64_t payload) {
+  Core& core = program->vm().core(0);
+  const uint64_t before = core.ticks;
+  Result<uint64_t> result =
+      program->Call(kServerHandler, {tenant, payload}, 10'000'000);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return TicksToCycles(core.ticks - before);
+}
+
+}  // namespace mv

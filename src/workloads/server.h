@@ -1,0 +1,55 @@
+// The high-traffic server case study (docs/INTERNALS.md §18, EXPERIMENTS.md
+// S9): an event-loop request processor whose hot path is gated by four
+// multiversed switches, the musl lock-elision pattern (libc.h) generalized to
+// a server's operational knobs:
+//
+//   srv_log_enabled   request logging on/off (empty off-variant — the log
+//                     call sites NOP-eradicate when logging is off)
+//   srv_checksum_on   payload checksumming on/off
+//   srv_trace_on      per-request trace events on/off
+//   srv_multi_worker  single- vs multi-worker queue locking (musl's
+//                     threads_minus_1: the xchg spinlock disappears from the
+//                     committed text in single-worker mode)
+//
+// The storm bench (bench/bench_commit_storm.cc) serves a deterministic
+// request stream through `handle_request` on core 0 while a control plane
+// floods switch flips through the CommitScheduler; `serve_batch` is the
+// core-1 background load the live protocols must not disturb. `served` counts
+// completed requests — the torn-request detector, exactly like the fleet's
+// served counter.
+#ifndef MULTIVERSE_SRC_WORKLOADS_SERVER_H_
+#define MULTIVERSE_SRC_WORKLOADS_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/program.h"
+#include "src/support/status.h"
+
+namespace mv {
+
+// Guest entry points.
+inline constexpr char kServerHandler[] = "handle_request";
+inline constexpr char kServerBatchFn[] = "serve_batch";
+inline constexpr char kServerServedCounter[] = "served";
+
+// The full mvc source of the server (exposed for tests).
+std::string ServerSource();
+
+// The four switch names, in descriptor order. All boolean (domain {0, 1}).
+const std::vector<std::string>& ServerSwitches();
+
+// Builds the server with `cores` VM cores (the storm bench uses 2: requests
+// on core 0, background batch on core 1) and commits the initial
+// configuration (all switches 0 — the lean single-worker fast path).
+Result<std::unique_ptr<Program>> BuildServer(int cores = 2);
+
+// Serves one request on core 0 and returns the modelled cycles it took —
+// the storm bench's per-request service time.
+Result<double> ServeRequestCycles(Program* program, uint64_t tenant,
+                                  uint64_t payload);
+
+}  // namespace mv
+
+#endif  // MULTIVERSE_SRC_WORKLOADS_SERVER_H_

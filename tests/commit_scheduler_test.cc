@@ -1,0 +1,244 @@
+// CommitScheduler coalescing-correctness suite (src/core/commit_scheduler.h).
+//
+// The scheduler's contract, checked end to end on the server workload:
+//   * last-writer-wins coalescing commits text bit-identical to applying the
+//     same flip sequence one commit at a time (the final values are all that
+//     matter — the intermediate values never existed);
+//   * null-flip elision is sound: a batch whose final values leave the
+//     selection signature unchanged is dropped without a commit, and the
+//     text stays bit-identical;
+//   * a failed batch commit keeps its pending slots and the next Flush
+//     retries the same coalesced batch;
+//   * the window/backpressure clock arithmetic and the monotonic counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/commit_scheduler.h"
+#include "src/core/program.h"
+#include "src/workloads/server.h"
+
+namespace mv {
+namespace {
+
+std::unique_ptr<Program> MustBuildServer() {
+  Result<std::unique_ptr<Program>> program = BuildServer(/*cores=*/1);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(*program);
+}
+
+// One flip in the storm stream: (switch name, value).
+struct Flip {
+  const char* name;
+  int64_t value;
+};
+
+TEST(CommitSchedulerTest, LastWriterWinsMatchesSequentialCommits) {
+  // The coalesced batch: srv_log_enabled is rewritten three times; only the
+  // final value may influence the committed text.
+  const std::vector<Flip> flips = {{"srv_log_enabled", 1},
+                                   {"srv_checksum_on", 1},
+                                   {"srv_log_enabled", 0},
+                                   {"srv_multi_worker", 1},
+                                   {"srv_log_enabled", 1}};
+
+  std::unique_ptr<Program> coalesced = MustBuildServer();
+  CommitScheduler scheduler(coalesced.get(), StormOptions{});
+  for (const Flip& flip : flips) {
+    ASSERT_TRUE(scheduler.Submit(flip.name, flip.value, /*now=*/0).ok());
+  }
+  Result<bool> drained = scheduler.Flush(/*now=*/0);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_TRUE(*drained);
+  EXPECT_TRUE(scheduler.idle());
+  EXPECT_EQ(scheduler.stats().flips_submitted, 5u);
+  EXPECT_EQ(scheduler.stats().flips_coalesced, 2u);  // two absorbed rewrites
+  EXPECT_EQ(scheduler.stats().plans_committed, 1u);  // one plan for 5 flips
+  EXPECT_EQ(scheduler.stats().max_queue_depth, 3u);  // bounded by #switches
+
+  // The reference: the same stream, one full commit per flip.
+  std::unique_ptr<Program> sequential = MustBuildServer();
+  for (const Flip& flip : flips) {
+    ASSERT_TRUE(sequential->WriteGlobal(flip.name, flip.value, 4).ok());
+    Result<CommitOutcome> outcome = sequential->runtime().CommitWithOutcome();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+
+  // Bit-identical committed text, and an identical request transcript.
+  EXPECT_EQ(coalesced->runtime().TextChecksum(),
+            sequential->runtime().TextChecksum());
+  for (uint64_t payload : {7ull, 99ull, 1234567ull}) {
+    Result<uint64_t> a = coalesced->Call(kServerHandler, {1, payload});
+    Result<uint64_t> b = sequential->Call(kServerHandler, {1, payload});
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+  EXPECT_EQ(coalesced->ReadGlobal(kServerServedCounter).value(),
+            sequential->ReadGlobal(kServerServedCounter).value());
+}
+
+TEST(CommitSchedulerTest, NullBatchIsElidedWithoutCommit) {
+  std::unique_ptr<Program> program = MustBuildServer();
+  CommitScheduler scheduler(program.get(), StormOptions{});
+  const uint64_t checksum_before = program->runtime().TextChecksum();
+
+  // Re-submit the values the boot commit already installed (all off).
+  for (const std::string& name : ServerSwitches()) {
+    ASSERT_TRUE(scheduler.Submit(name, 0, /*now=*/0).ok());
+  }
+  Result<bool> drained = scheduler.Flush(/*now=*/0);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_TRUE(*drained);
+  EXPECT_EQ(scheduler.stats().flips_elided_null, 4u);
+  EXPECT_EQ(scheduler.stats().batches_elided, 1u);
+  EXPECT_EQ(scheduler.stats().plans_committed, 0u);
+  EXPECT_EQ(program->runtime().TextChecksum(), checksum_before);
+}
+
+TEST(CommitSchedulerTest, ToggleAndRestoreWithinWindowIsElided) {
+  std::unique_ptr<Program> program = MustBuildServer();
+  CommitScheduler scheduler(program.get(), StormOptions{});
+  const uint64_t checksum_before = program->runtime().TextChecksum();
+
+  // The debounce window absorbs a flap: on, then back off before the drain.
+  ASSERT_TRUE(scheduler.Submit("srv_checksum_on", 1, /*now=*/0).ok());
+  ASSERT_TRUE(scheduler.Submit("srv_checksum_on", 0, /*now=*/10).ok());
+  Result<bool> drained = scheduler.Flush(/*now=*/20);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_EQ(scheduler.stats().flips_coalesced, 1u);
+  EXPECT_EQ(scheduler.stats().flips_elided_null, 1u);
+  EXPECT_EQ(scheduler.stats().plans_committed, 0u);
+  EXPECT_EQ(program->runtime().TextChecksum(), checksum_before);
+}
+
+TEST(CommitSchedulerTest, ElisionDisabledStillCommitsNullBatches) {
+  std::unique_ptr<Program> program = MustBuildServer();
+  StormOptions options;
+  options.elide_null_flips = false;
+  CommitScheduler scheduler(program.get(), options);
+  ASSERT_TRUE(scheduler.Submit("srv_trace_on", 0, /*now=*/0).ok());
+  Result<bool> drained = scheduler.Flush(/*now=*/0);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_EQ(scheduler.stats().flips_elided_null, 0u);
+  EXPECT_EQ(scheduler.stats().plans_committed, 1u);
+}
+
+TEST(CommitSchedulerTest, FailedCommitKeepsPendingAndRetries) {
+  std::unique_ptr<Program> program = MustBuildServer();
+  StormOptions options;
+  int commits = 0;
+  Program* prog = program.get();
+  options.commit = [&commits, prog]() -> Result<BatchCommitResult> {
+    if (++commits == 1) {
+      return Status::Internal("injected batch-commit failure");
+    }
+    Result<CommitOutcome> outcome = prog->runtime().CommitWithOutcome();
+    if (!outcome.ok()) {
+      return outcome.status();
+    }
+    BatchCommitResult result;
+    result.stats = outcome->stats;
+    return result;
+  };
+  CommitScheduler scheduler(program.get(), options);
+  ASSERT_TRUE(scheduler.Submit("srv_log_enabled", 1, /*now=*/0).ok());
+
+  Result<bool> failed = scheduler.Flush(/*now=*/0);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(scheduler.stats().commit_failures, 1u);
+  EXPECT_EQ(scheduler.pending_switches(), 1u);  // the batch survived
+
+  Result<bool> retried = scheduler.Flush(/*now=*/100);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_TRUE(*retried);
+  EXPECT_TRUE(scheduler.idle());
+  EXPECT_EQ(scheduler.stats().plans_committed, 1u);
+  EXPECT_EQ(commits, 2);
+}
+
+TEST(CommitSchedulerTest, WindowAndBackpressureClocks) {
+  std::unique_ptr<Program> program = MustBuildServer();
+  StormOptions options;
+  options.window_cycles = 1000;
+  Program* prog = program.get();
+  options.commit = [prog]() -> Result<BatchCommitResult> {
+    Result<CommitOutcome> outcome = prog->runtime().CommitWithOutcome();
+    if (!outcome.ok()) {
+      return outcome.status();
+    }
+    BatchCommitResult result;
+    result.stats = outcome->stats;
+    result.commit_cycles = 5000;  // a deliberately slow modelled commit
+    return result;
+  };
+  CommitScheduler scheduler(program.get(), options);
+
+  // The first submission into an idle scheduler opens the window.
+  ASSERT_TRUE(scheduler.Submit("srv_log_enabled", 1, /*now=*/200).ok());
+  EXPECT_DOUBLE_EQ(scheduler.window_deadline(), 1200);
+  EXPECT_FALSE(scheduler.Poll(/*now=*/1199).value());
+  Result<bool> drained = scheduler.Poll(/*now=*/1200);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_TRUE(*drained);
+  EXPECT_DOUBLE_EQ(scheduler.busy_until(), 6200);  // 1200 + 5000
+
+  // A submission landing while the drain is in flight is a backpressure
+  // wait, and its window opens only after the drain retires.
+  ASSERT_TRUE(scheduler.Submit("srv_trace_on", 1, /*now=*/3000).ok());
+  EXPECT_EQ(scheduler.stats().backpressure_waits, 1u);
+  EXPECT_DOUBLE_EQ(scheduler.window_deadline(), 7200);  // 6200 + 1000
+  EXPECT_EQ(scheduler.stats().batch_cycles.size(), 1u);
+  EXPECT_DOUBLE_EQ(scheduler.stats().busy_cycles, 5000);
+}
+
+TEST(CommitSchedulerTest, SummaryFoldsIntoCommitStats) {
+  std::unique_ptr<Program> program = MustBuildServer();
+  CommitScheduler scheduler(program.get(), StormOptions{});
+  ASSERT_TRUE(scheduler.Submit("srv_log_enabled", 1, /*now=*/0).ok());
+  ASSERT_TRUE(scheduler.Submit("srv_trace_on", 0, /*now=*/0).ok());  // null
+  ASSERT_TRUE(scheduler.Flush(/*now=*/0).ok());
+
+  const StormStats& stats = scheduler.stats();
+  EXPECT_EQ(stats.flips_submitted, 2u);
+  EXPECT_EQ(stats.plans_committed, 1u);
+  EXPECT_DOUBLE_EQ(stats.CoalescingRatio(), 2.0);
+
+  const CommitStats summary = stats.Summary();
+  EXPECT_EQ(summary.storm_flips_submitted, 2u);
+  EXPECT_EQ(summary.storm_plans_committed, 1u);
+  EXPECT_EQ(summary.storm_flips_elided_null, stats.flips_elided_null);
+
+  // The funnel arithmetic: Accumulate sums, Delta recovers the increment,
+  // the p99 gauge carries.
+  CommitStats base;
+  base.storm_flips_submitted = 10;
+  CommitStats total = base;
+  total.Accumulate(summary);
+  EXPECT_EQ(total.storm_flips_submitted, 12u);
+  const CommitStats delta = total.Delta(base);
+  EXPECT_EQ(delta.storm_flips_submitted, summary.storm_flips_submitted);
+  EXPECT_EQ(delta.storm_plans_committed, summary.storm_plans_committed);
+}
+
+// An all-null storm commits nothing: the ratio degenerates to the flip count
+// (documented as "coalesces infinitely").
+TEST(CommitSchedulerTest, AllNullStormCommitsNoPlans) {
+  std::unique_ptr<Program> program = MustBuildServer();
+  CommitScheduler scheduler(program.get(), StormOptions{});
+  for (int round = 0; round < 8; ++round) {
+    for (const std::string& name : ServerSwitches()) {
+      ASSERT_TRUE(
+          scheduler.Submit(name, 0, /*now=*/round * 10.0).ok());
+    }
+    ASSERT_TRUE(scheduler.Flush(/*now=*/round * 10.0 + 5).ok());
+  }
+  EXPECT_EQ(scheduler.stats().plans_committed, 0u);
+  EXPECT_EQ(scheduler.stats().batches_elided, 8u);
+  EXPECT_EQ(scheduler.stats().flips_elided_null, 32u);
+  EXPECT_DOUBLE_EQ(scheduler.stats().CoalescingRatio(), 32.0);
+}
+
+}  // namespace
+}  // namespace mv

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/commit_scheduler.h"
 #include "src/core/patching.h"
 #include "src/core/program.h"
 #include "src/core/varprove.h"
@@ -232,6 +233,122 @@ TEST_P(FaultSweepTest, EveryFaultPointAtEveryIndexIsNeverTorn) {
   }
   // The sweep must have exercised both outcomes: real rollbacks and at least
   // one absorbed (repaired-in-place) fault.
+  EXPECT_GT(recovered, 0);
+  EXPECT_GT(committed, 0);
+}
+
+// The same sweep through the CommitScheduler's batched commit path
+// (src/core/commit_scheduler.h): a coalesced drain killed at every fault
+// point must leave the image fully-old or fully-new, keep its pending slots
+// across the rollback, and retry the SAME coalesced batch to completion.
+TEST_P(FaultSweepTest, SchedulerBatchedDrainIsNeverTornAndRetries) {
+  // The scheduler under sweep commits through the configured path; the
+  // iteration below restores the image with Revert(), which bypasses the
+  // scheduler's signature baseline, so elision is pinned off — this sweep is
+  // about the commit path, and elided batches never reach it anyway.
+  auto storm_options = [this](Program* prog) {
+    StormOptions options;
+    options.elide_null_flips = false;
+    options.commit = [this, prog]() -> Result<BatchCommitResult> {
+      Status status = DoCommit(prog);
+      if (!status.ok()) {
+        return status;
+      }
+      return BatchCommitResult{};
+    };
+    return options;
+  };
+
+  // Calibrate on a twin: fault-point occurrence counts of one clean
+  // coalesced drain, the committed text, and the committed transcript.
+  std::unique_ptr<Program> twin = Build();
+  if (GetParam().warm_cache) {
+    ASSERT_TRUE(DoCommit(twin.get()).ok());
+    ASSERT_TRUE(twin->runtime().Revert().ok());
+  }
+  FaultInjector& injector = FaultInjector::Instance();
+  uint64_t probe[kFaultSiteCount];
+  for (size_t s = 0; s < kFaultSiteCount; ++s) {
+    probe[s] = injector.Count(static_cast<FaultSite>(s));
+  }
+  {
+    CommitScheduler calibrate(twin.get(), storm_options(twin.get()));
+    ASSERT_TRUE(calibrate.Submit("feature", 0, /*now=*/0).ok());
+    ASSERT_TRUE(calibrate.Submit("feature", 1, /*now=*/0).ok());
+    Result<bool> drained = calibrate.Flush(/*now=*/0);
+    ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  }
+  for (size_t s = 0; s < kFaultSiteCount; ++s) {
+    probe[s] = injector.Count(static_cast<FaultSite>(s)) - probe[s];
+  }
+  const std::vector<uint8_t> committed_text = Text(twin.get());
+  const uint64_t committed_transcript = Transcript(twin.get());
+  EXPECT_EQ(committed_transcript, 12u);
+
+  std::unique_ptr<Program> program = Build();
+  const std::vector<uint8_t> pristine_text = Text(program.get());
+  const uint64_t generic_transcript = Transcript(program.get());
+  EXPECT_EQ(generic_transcript, 6u);
+  if (GetParam().warm_cache) {
+    ASSERT_TRUE(DoCommit(program.get()).ok());
+    ASSERT_TRUE(program->runtime().Revert().ok());
+    ASSERT_EQ(Text(program.get()), pristine_text);
+  }
+
+  int recovered = 0;
+  int committed = 0;
+  for (size_t s = 0; s < kFaultSiteCount; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    if (site == FaultSite::kCrash || site == FaultSite::kCrashTorn) {
+      continue;  // journal-append sites; see the main sweep's rationale
+    }
+    ASSERT_GT(probe[s], 0u) << FaultSiteName(site)
+                            << " never crossed — sweep would be vacuous";
+    for (uint64_t hit = 0; hit < probe[s]; ++hit) {
+      SCOPED_TRACE(std::string(FaultSiteName(site)) + " hit " +
+                   std::to_string(hit));
+      // A fresh scheduler per iteration, fed a flapping flip: the drain
+      // coalesces {0, 1} into one slot before the armed commit runs.
+      CommitScheduler scheduler(program.get(), storm_options(program.get()));
+      ASSERT_TRUE(scheduler.Submit("feature", 0, /*now=*/0).ok());
+      ASSERT_TRUE(scheduler.Submit("feature", 1, /*now=*/0).ok());
+      ASSERT_EQ(scheduler.pending_switches(), 1u);
+      Result<bool> drained = [&] {
+        ScopedFault fault(site, hit);
+        return scheduler.Flush(/*now=*/0);
+      }();
+      if (drained.ok()) {
+        // Absorbed fault (seal repair): the batch committed whole.
+        ++committed;
+        EXPECT_TRUE(scheduler.idle());
+        EXPECT_EQ(scheduler.stats().plans_committed, 1u);
+        EXPECT_EQ(Text(program.get()), committed_text);
+        EXPECT_EQ(Transcript(program.get()), committed_transcript);
+      } else {
+        // Rolled back: fully generic image, and the queued flip SURVIVED —
+        // the pending slot still holds the coalesced batch.
+        ++recovered;
+        EXPECT_NE(drained.status().ToString().find("rolled back"),
+                  std::string::npos)
+            << drained.status().ToString();
+        EXPECT_EQ(scheduler.pending_switches(), 1u);
+        EXPECT_EQ(scheduler.stats().commit_failures, 1u);
+        EXPECT_EQ(Text(program.get()), pristine_text);
+        EXPECT_EQ(Transcript(program.get()), generic_transcript);
+
+        // The disarmed retry drains the SAME batch to completion.
+        Result<bool> retried = scheduler.Flush(/*now=*/100);
+        ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+        EXPECT_TRUE(*retried);
+        EXPECT_TRUE(scheduler.idle());
+        EXPECT_EQ(scheduler.stats().plans_committed, 1u);
+        EXPECT_EQ(Text(program.get()), committed_text);
+      }
+      Result<PatchStats> reverted = program->runtime().Revert();
+      ASSERT_TRUE(reverted.ok()) << reverted.status().ToString();
+      ASSERT_EQ(Text(program.get()), pristine_text);
+    }
+  }
   EXPECT_GT(recovered, 0);
   EXPECT_GT(committed, 0);
 }
